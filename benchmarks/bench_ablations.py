@@ -1,0 +1,258 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own ablation (the ``nowait`` row of Table I), these
+quantify:
+
+* orbital block-size sweep for Algorithm 4;
+* AoS vs SoA data layout (the Section III-A transformation);
+* shadow dynamics on/off: per-MD-step CPU-GPU traffic with occupations-
+  only handshake vs full wave-function round-trips;
+* scissor correction on/off: the gap error the projected nonlocal
+  operator removes;
+* LDC buffer width vs domain eigenvalue error (the density-adaptive
+  boundary condition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_common import measured_setup, write_report
+from repro.device import PCIE_GEN4
+from repro.grids import Grid3D, DomainDecomposition
+from repro.lfd import kinetic_step
+from repro.lfd.costs import LFDWorkload
+from repro.perf import Table, format_seconds
+
+
+# --------------------------------------------------------------------- #
+# block-size sweep (Algorithm 4)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("block_size", [1, 4, 16, 64])
+def test_block_size_sweep(benchmark, block_size):
+    _, wf, _, _ = measured_setup(norb=64)
+
+    def run():
+        kinetic_step(wf, 0.02, variant="blocked", block_size=block_size)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["block_size"] = block_size
+
+
+def test_block_size_report(benchmark):
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for block_size in (1, 2, 4, 8, 16, 32, 64):
+        _, wf, _, _ = measured_setup(norb=64)
+        best = float("inf")
+        for _ in range(2):
+            w = wf.copy()
+            t0 = time.perf_counter()
+            kinetic_step(w, 0.02, variant="blocked", block_size=block_size)
+            best = min(best, time.perf_counter() - t0)
+        rows.append((block_size, best))
+    table = Table(["block size", "kinetic step time"],
+                  title="Ablation -- Algorithm 4 orbital block size "
+                        "(24^3 mesh, 64 orbitals)")
+    for b, t in rows:
+        table.add_row(b, format_seconds(t))
+    text = table.render()
+    write_report("ablation_block_size", text)
+    print("\n" + text)
+    times = dict(rows)
+    # Tiny blocks strand the vector units; large blocks recover.
+    assert times[1] > times[32]
+
+
+# --------------------------------------------------------------------- #
+# AoS vs SoA layout
+# --------------------------------------------------------------------- #
+def test_layout_report(benchmark):
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    _, wf, _, _ = measured_setup(norb=64)
+    results = {}
+    for variant, label in (("baseline", "AoS (orbital-first)"),
+                           ("collapsed", "SoA (orbital-last)")):
+        best = float("inf")
+        for _ in range(2):
+            w = wf.copy()
+            t0 = time.perf_counter()
+            kinetic_step(w, 0.02, variant=variant)
+            best = min(best, time.perf_counter() - t0)
+        results[label] = best
+    table = Table(["layout", "kinetic step time"],
+                  title="Ablation -- AoS vs SoA wave-function layout")
+    for k, v in results.items():
+        table.add_row(k, format_seconds(v))
+    text = table.render()
+    write_report("ablation_layout", text)
+    print("\n" + text)
+    assert results["SoA (orbital-last)"] < results["AoS (orbital-first)"]
+
+
+# --------------------------------------------------------------------- #
+# shadow dynamics traffic
+# --------------------------------------------------------------------- #
+def test_shadow_traffic_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    w = LFDWorkload(ngrid=70 * 70 * 72, norb=64, nunocc=32, itemsize=16,
+                    nqd=1000)
+    shadow_bytes = w.shadow_handshake_bytes()
+    # Without shadow dynamics the occupations would be produced on the
+    # CPU: Psi(t) must round-trip every MD step (and the paper's point is
+    # that naive coupling even does so per QD step).
+    no_shadow_md = 2 * w.psi_bytes
+    no_shadow_qd = 2 * w.psi_bytes * w.nqd
+    t_shadow = PCIE_GEN4.transfer_time(shadow_bytes, pinned=True)
+    t_no_shadow = 2 * PCIE_GEN4.transfer_time(w.psi_bytes, pinned=True)
+    table = Table(
+        ["coupling scheme", "bytes / MD step", "transfer time / MD step"],
+        title="Ablation -- shadow dynamics vs wave-function shipping "
+              "(paper-scale domain)",
+    )
+    table.add_row("shadow handshake (occupations)", f"{shadow_bytes:,}",
+                  format_seconds(t_shadow))
+    table.add_row("Psi round-trip per MD step", f"{no_shadow_md:,}",
+                  format_seconds(t_no_shadow))
+    table.add_row("Psi round-trip per QD step", f"{no_shadow_qd:,}",
+                  format_seconds(t_no_shadow * w.nqd))
+    text = table.render()
+    write_report("ablation_shadow", text)
+    print("\n" + text)
+    assert shadow_bytes < 0.01 * w.psi_bytes
+
+
+# --------------------------------------------------------------------- #
+# scissor correction accuracy
+# --------------------------------------------------------------------- #
+def test_scissor_gap_report(benchmark):
+    """The scissor-projected nonlocal operator restores the nl gap."""
+    import scipy.linalg as sla
+
+    from repro.core import scissor_shift
+    from repro.core.scissor import homo_lumo_gap
+    from repro.lfd import WaveFunctionSet
+    from repro.pseudo import KBProjectorSet, get_species
+    from repro.qxmd import KSHamiltonian, cg_eigensolve
+
+    grid = Grid3D.cubic(16, 0.6)
+    rng = np.random.default_rng(5)
+    pos = np.array([[4.8, 4.8, 4.8]])
+    kb = KBProjectorSet(grid, pos, [get_species("Ti")])
+    vloc = -1.5 * np.exp(-sum((x - 4.8) ** 2 for x in grid.meshgrid()) / 2.0)
+    ham = KSHamiltonian(grid, vloc, kb=kb)
+    wf = WaveFunctionSet.random(grid, 4, rng)
+
+    def solve():
+        cg_eigensolve(ham, wf, ncg=10)
+        return scissor_shift(ham, wf, np.array([2.0, 2.0, 0.0, 0.0]))
+
+    dsci = benchmark.pedantic(solve, rounds=1, iterations=1)
+    occ = np.array([2.0, 2.0, 0.0, 0.0])
+    ssub = wf.overlap_matrix()
+    e_nl = sla.eigh(ham.subspace_matrix(wf), ssub, eigvals_only=True)
+    e_loc = sla.eigh(ham.without_nonlocal().subspace_matrix(wf), ssub,
+                     eigvals_only=True)
+    gap_nl, _, _ = homo_lumo_gap(e_nl, occ)
+    gap_loc, _, _ = homo_lumo_gap(e_loc, occ)
+    table = Table(["quantity", "value (Ha)"],
+                  title="Ablation -- scissor correction (Eq. 8)")
+    table.add_row("gap with nonlocal", f"{gap_nl:.4f}")
+    table.add_row("gap local-only", f"{gap_loc:.4f}")
+    table.add_row("scissor shift Dsci", f"{dsci:.4f}")
+    table.add_row("gap error without scissor", f"{abs(gap_nl - gap_loc):.4f}")
+    table.add_row("gap error with scissor", f"{abs(gap_nl - gap_loc - dsci):.4f}")
+    text = table.render()
+    write_report("ablation_scissor", text)
+    print("\n" + text)
+    # The scissor exactly closes the subspace gap error by construction.
+    assert abs(gap_nl - gap_loc - dsci) < 1e-10
+
+
+# --------------------------------------------------------------------- #
+# LDC buffer width
+# --------------------------------------------------------------------- #
+def test_ldc_buffer_report(benchmark):
+    """Wider LDC buffers converge domain eigenvalues to the global ones."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.pseudo import get_species
+    from repro.qxmd import GlobalDCSolver, SCFConfig, scf_solve
+
+    grid = Grid3D((16, 16, 16), (0.6, 0.6, 0.6))
+    pos = np.array([[2.0, 4.8, 4.8], [7.0, 4.8, 4.8]])
+    sp = [get_species("H"), get_species("H")]
+    # Reference: one global SCF solve.
+    ref = scf_solve(grid, pos, sp, norb=4, config=SCFConfig(nscf=3, ncg=4))
+    rows = []
+    for buffer_width in (1, 2, 3, 5):
+        dec = DomainDecomposition(grid, (2, 1, 1), buffer_width=buffer_width)
+        solver = GlobalDCSolver(grid, dec, pos, sp, norb_extra=2,
+                                nscf=3, ncg=4)
+        res = solver.solve()
+        e0 = np.mean([st.eigenvalues[0] for st in res.states])
+        rows.append((buffer_width, e0, abs(e0 - ref.eigenvalues[0])))
+    table = Table(
+        ["buffer width", "mean domain HOMO (Ha)", "|error| vs global"],
+        title="Ablation -- LDC density-adaptive boundary (buffer width)",
+    )
+    for b, e, err in rows:
+        table.add_row(b, f"{e:.4f}", f"{err:.4f}")
+    text = table.render() + (
+        "\nnote: at this toy scale (8-point cores comparable to the orbital "
+        "extent) the trend is not monotone -- very wide buffers let local "
+        "orbitals weight the neighbouring atom, which the core-only "
+        "recombination then truncates.  In the paper's regime (domains "
+        ">> orbital decay length) the buffer converges the boundary."
+    )
+    write_report("ablation_ldc_buffer", text)
+    print("\n" + text)
+    errors = [r[2] for r in rows]
+    # All buffer widths keep the domain HOMO within a few 10 mHa of the
+    # global solve.
+    assert max(errors) < 0.05
+
+
+# --------------------------------------------------------------------- #
+# Strang (order 2) vs Suzuki (order 4) propagator
+# --------------------------------------------------------------------- #
+def test_propagator_order_report(benchmark):
+    """Accuracy/cost trade of the 4th-order Suzuki composition."""
+    import time
+
+    from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    grid = Grid3D.cubic(10, 0.5)
+    rng = np.random.default_rng(0)
+    wf0 = WaveFunctionSet.random(grid, 4, rng)
+    vloc = 0.4 * rng.standard_normal(grid.shape)
+    T = 1.0
+    ref = wf0.copy()
+    QDPropagator(ref, vloc, PropagatorConfig(dt=T / 512, order=4)).run(512)
+
+    rows = []
+    for order in (2, 4):
+        for nsteps in (10, 20):
+            w = wf0.copy()
+            t0 = time.perf_counter()
+            QDPropagator(
+                w, vloc, PropagatorConfig(dt=T / nsteps, order=order)
+            ).run(nsteps)
+            wall = time.perf_counter() - t0
+            rows.append((order, nsteps, ref.max_abs_diff(w), wall))
+    table = Table(["order", "steps", "error vs fine ref", "wall time"],
+                  title="Ablation -- Strang (2nd) vs Suzuki (4th) propagator")
+    for order, nsteps, err, wall in rows:
+        table.add_row(order, nsteps, f"{err:.2e}", format_seconds(wall))
+    text = table.render()
+    write_report("ablation_propagator_order", text)
+    print("\n" + text)
+    errs = {(o, n): e for o, n, e, _ in rows}
+    # Order 4 at 10 steps beats order 2 at 20 steps despite ~2.5x cost.
+    assert errs[(4, 10)] < errs[(2, 20)]

@@ -1,0 +1,61 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+Every bench measures/models one table or figure of the paper and emits a
+paper-vs-ours text report under ``benchmarks/reports/`` (consumed when
+updating EXPERIMENTS.md).  Real measurements run at a documented reduced
+scale; modeled numbers use the device/cluster rooflines at full paper
+scale.  See DESIGN.md section 2 for the substitution policy.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional
+
+import numpy as np
+
+from repro.grids import Grid3D
+from repro.lfd import WaveFunctionSet
+from repro.lfd.costs import LFDWorkload
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: The paper's LFD kernel-benchmark workload (Tables I-II):
+#: 1,000 QD steps, 64 KS orbitals, 70 x 70 x 72 mesh.
+PAPER_WORKLOAD = dict(ngrid=70 * 70 * 72, norb=64, nunocc=32, nqd=1000)
+
+#: Reduced measured workload: 24^3 mesh (14.3x fewer points), 16 orbitals
+#: (4x fewer), few QD steps -- documented scale factors for EXPERIMENTS.md.
+MEASURED_GRID_N = 24
+MEASURED_NORB = 16
+MEASURED_NUNOCC = 8
+
+
+def paper_workload(itemsize: int = 16) -> LFDWorkload:
+    """The full Table I/II workload for the roofline models."""
+    return LFDWorkload(itemsize=itemsize, **PAPER_WORKLOAD)
+
+
+def measured_setup(norb: int = MEASURED_NORB, n: int = MEASURED_GRID_N,
+                   seed: int = 7, dtype=np.complex128):
+    """A real wave-function set at the reduced measured scale."""
+    grid = Grid3D.cubic(n, 0.5)
+    rng = np.random.default_rng(seed)
+    wf = WaveFunctionSet.random(grid, norb, rng, dtype=dtype)
+    vloc = 0.3 * rng.standard_normal(grid.shape)
+    return grid, wf, vloc, rng
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    """Persist a bench report for the EXPERIMENTS.md index."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def ratio_note(ours: float, paper: float) -> str:
+    """Human-readable ours-vs-paper ratio."""
+    if paper == 0:
+        return "-"
+    return f"{ours / paper:.2f}x of paper"

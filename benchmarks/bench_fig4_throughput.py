@@ -1,0 +1,71 @@
+"""Fig. 4: single-node throughput, CPU-only vs CPU+GPU.
+
+Paper: 4 MPI ranks on one Polaris node, 40-atom PbTiO3 per rank;
+throughput = ranks completing the fixed problem per unit time
+(P / t_completion); offloading the key computations gives 19x.
+
+Reproduction: the DC-MESH step model evaluated with the LFD work charged
+to the A100 (CPU+GPU) or to the EPYC core (CPU-only).  The ratio emerges
+from the rooflines; no constant is fitted to this figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_common import write_report
+from repro.analysis import throughput
+from repro.parallel import DCMeshStepModel
+from repro.parallel.scaling import calibrated_model
+from repro.perf import Table
+
+PAPER_SPEEDUP = 19.0
+
+
+@pytest.fixture(scope="module")
+def model():
+    return calibrated_model()
+
+
+def test_single_node_step(benchmark, model):
+    t = benchmark(model.step_time, 4)
+    assert t > 0
+
+
+def test_fig4_report(benchmark, model):
+    def run():
+        t_gpu = model.step_time(4, use_gpu=True)
+        t_cpu = model.step_time(4, use_gpu=False)
+        return t_gpu, t_cpu
+
+    t_gpu, t_cpu = benchmark.pedantic(run, rounds=1, iterations=1)
+    thr_gpu = throughput(4, t_gpu)
+    thr_cpu = throughput(4, t_cpu)
+    ratio = thr_gpu / thr_cpu
+    table = Table(
+        ["configuration", "step time", "throughput (ranks/s)", "speedup"],
+        title="Fig. 4 -- single Polaris node throughput (modeled; "
+              "4 ranks x 40-atom PbTiO3)",
+    )
+    table.add_row("CPU only (EPYC 7543P)", f"{t_cpu:.2f} s",
+                  f"{thr_cpu:.4f}", "1.00x")
+    table.add_row("CPU + 4x A100", f"{t_gpu:.2f} s", f"{thr_gpu:.4f}",
+                  f"{ratio:.2f}x")
+    # Energy-to-solution extension: faster beats hungrier.
+    from repro.device.energy import NodeEnergyModel
+
+    e_gpu = NodeEnergyModel(ngpus=4).energy_to_solution(t_gpu)
+    e_cpu = NodeEnergyModel(ngpus=0).energy_to_solution(t_cpu)
+    text = table.render() + (
+        f"\npaper speedup: {PAPER_SPEEDUP:.0f}x"
+        f"\nenergy-to-solution per MD step: CPU-only {e_cpu / 1e3:.1f} kJ vs "
+        f"CPU+GPU {e_gpu / 1e3:.1f} kJ "
+        f"({e_cpu / e_gpu:.1f}x less energy despite "
+        f"{NodeEnergyModel(ngpus=4).node_power / NodeEnergyModel(ngpus=0).node_power:.1f}x the power)"
+    )
+    write_report("fig4_throughput", text)
+    print("\n" + text)
+
+    # Shape: GPU wins by an order of magnitude (paper: 19x).  The exact
+    # factor depends on the QXMD/LFD split; accept the right decade.
+    assert 5.0 < ratio < 80.0

@@ -1,0 +1,123 @@
+"""Fig. 5: DP runtime of compute-intensive kernels across builds.
+
+Paper (DP, comparing CPU+AOCL-BLAS against GPU+cuBLAS+pinned): 45x
+speedup in electron propagation, 42x in nonlocal propagation, 46x in the
+energy-calculation kernel.
+
+Reproduction: the same three kernels exist here -- the Eq. (6) electron
+propagator (potential/kinetic/nonlinear), the Eq. (7) nonlocal
+propagation GEMMs, and the BLASified ``calc_energy``.  The measured layer
+contrasts the real naive vs BLAS implementations; the modeled layer gives
+the CPU-BLAS -> GPU-cuBLAS-pinned speedups at paper scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_common import measured_setup, paper_workload, write_report
+from repro.device import A100, EPYC_7543_CORE, KernelCostModel
+from repro.device.blas import GEMM_EFFICIENCY
+from repro.lfd import (
+    NonlocalCorrector,
+    WaveFunctionSet,
+    band_energies,
+    kinetic_step,
+    nonlocal_correction_blas,
+    potential_phase_step,
+)
+from repro.lfd.energy import band_energies_naive
+from repro.perf import Table, format_speedup
+
+PAPER = {"electron_propagation": 45.0, "nonlocal_propagation": 42.0,
+         "energy_calculation": 46.0}
+
+
+def _modeled_speedups() -> dict:
+    w = paper_workload(itemsize=16)
+    gpu = KernelCostModel(A100)
+    cpu = KernelCostModel(EPYC_7543_CORE)
+
+    def pair(cost, gemm=False):
+        eff = GEMM_EFFICIENCY if gemm else 1.0
+        t_cpu = cpu.kernel_time(cost.flops, cost.bytes_moved, itemsize=8,
+                                efficiency=eff)
+        t_gpu = gpu.kernel_time(cost.flops, cost.bytes_moved, itemsize=8,
+                                efficiency=eff)
+        return t_cpu / t_gpu
+
+    kin = w.kin_prop_step()
+    pot = w.pot_prop_half()
+    elec = type(kin)("elec", kin.flops + 2 * pot.flops,
+                     kin.bytes_moved + 2 * pot.bytes_moved)
+    return {
+        "electron_propagation": pair(elec),
+        "nonlocal_propagation": pair(w.nonlocal_half(), gemm=True),
+        "energy_calculation": pair(w.calc_energy(), gemm=True),
+    }
+
+
+@pytest.mark.parametrize("kernel", ["electron_propagation",
+                                    "nonlocal_propagation",
+                                    "energy_calculation"])
+def test_kernel_measured(benchmark, kernel):
+    """Real kernel timings at reduced scale (the BLASified versions)."""
+    grid, wf, vloc, rng = measured_setup()
+    ref = WaveFunctionSet.random(grid, 8, rng)
+    corr = NonlocalCorrector(ref, 0.1)
+
+    if kernel == "electron_propagation":
+        def run():
+            potential_phase_step(wf, vloc, 0.01)
+            kinetic_step(wf, 0.02, variant="collapsed")
+            potential_phase_step(wf, vloc, 0.01)
+    elif kernel == "nonlocal_propagation":
+        def run():
+            corr.apply(wf, 0.02)
+    else:
+        def run():
+            band_energies(wf, vloc, corrector=corr)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["paper_speedup_vs_cpu_blas"] = PAPER[kernel]
+
+
+def test_fig5_report(benchmark):
+    speedups = benchmark.pedantic(_modeled_speedups, rounds=1, iterations=1)
+
+    # Also a *measured* naive-vs-BLAS energy contrast for the record.
+    grid, wf, vloc, rng = measured_setup(norb=12, n=16)
+    ref = WaveFunctionSet.random(grid, 6, rng)
+    corr = NonlocalCorrector(ref, 0.1)
+    t0 = time.perf_counter()
+    band_energies_naive(wf, vloc, corrector=corr)
+    t_naive = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    band_energies(wf, vloc, corrector=corr)
+    t_blas = time.perf_counter() - t0
+
+    table = Table(
+        ["kernel", "paper speedup (CPU+BLAS -> GPU pinned)",
+         "modeled speedup"],
+        title="Fig. 5 -- compute-intensive kernel speedups (DP, modeled "
+              "at paper scale)",
+    )
+    for k, paper in PAPER.items():
+        table.add_row(k, format_speedup(paper), format_speedup(speedups[k]))
+    text = table.render() + (
+        f"\nmeasured energy kernel, naive loops vs BLASified "
+        f"(16^3, 12 orbitals): {t_naive / t_blas:.1f}x"
+    )
+    write_report("fig5_kernels", text)
+    print("\n" + text)
+
+    # Shape: all three kernels accelerate by tens of x on the GPU, and
+    # the three speedups are the same order of magnitude (paper: 42-46x).
+    # The pure roofline overestimates skinny-GEMM speedups (cuBLAS does
+    # not reach peak on 64-wide panels); accept the right order.
+    for k, s in speedups.items():
+        assert 10.0 < s < 250.0, (k, s)
+    assert max(speedups.values()) / min(speedups.values()) < 5.0

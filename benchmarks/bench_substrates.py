@@ -1,0 +1,148 @@
+"""Substrate micro-benchmarks: the solvers under the headline kernels.
+
+Not a paper table, but what a downstream user of this library profiles
+first: the O(N) multigrid Poisson solve, the CG eigensolver, one full SCF
+iteration, an FDTD step, the FSSH electronic step, and the effective-
+Hamiltonian relaxation.  The O(N) property of the multigrid is asserted
+directly (time per point roughly flat across sizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D
+from repro.lfd import WaveFunctionSet
+from repro.maxwell import VectorPotentialFDTD
+from repro.materials import EffectiveHamiltonian, flux_closure_modes
+from repro.multigrid import PoissonMultigrid
+from repro.pseudo import get_species
+from repro.qxmd import FSSH, KSHamiltonian, SurfaceHoppingState, cg_eigensolve
+from repro.qxmd.scf import SCFConfig, scf_solve
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_multigrid_poisson(benchmark, n):
+    grid = Grid3D.cubic(n, 0.5)
+    rng = np.random.default_rng(0)
+    rho = rng.standard_normal(grid.shape)
+    rho -= rho.mean()
+    mg = PoissonMultigrid(grid)
+
+    def solve():
+        v, stats = mg.solve(rho, tol=1e-8)
+        assert stats.converged
+        return v
+
+    benchmark(solve)
+    benchmark.extra_info["points"] = grid.npoints
+
+
+def test_multigrid_is_linear_scaling(benchmark):
+    """Time per mesh point stays within ~3x from 16^3 to 32^3."""
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    per_point = []
+    for n in (16, 32):
+        grid = Grid3D.cubic(n, 0.5)
+        rng = np.random.default_rng(0)
+        rho = rng.standard_normal(grid.shape)
+        rho -= rho.mean()
+        mg = PoissonMultigrid(grid)
+        mg.solve(rho, tol=1e-8)  # warm up
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            mg.solve(rho, tol=1e-8)
+            best = min(best, time.perf_counter() - t0)
+        per_point.append(best / grid.npoints)
+    assert per_point[1] < 3.0 * per_point[0]
+
+
+def test_cg_eigensolver(benchmark):
+    grid = Grid3D.cubic(12, 0.5)
+    rng = np.random.default_rng(1)
+    vloc = rng.standard_normal(grid.shape)
+    ham = KSHamiltonian(grid, vloc)
+
+    def solve():
+        wf = WaveFunctionSet.random(grid, 6, np.random.default_rng(2))
+        return cg_eigensolve(ham, wf, ncg=3)
+
+    evals = benchmark(solve)
+    assert np.all(np.diff(evals) >= -1e-9)
+
+
+def test_scf_iteration(benchmark):
+    grid = Grid3D.cubic(12, 0.6)
+    L = grid.lengths[0]
+    pos = np.array([[L / 2 - 0.7, L / 2, L / 2], [L / 2 + 0.7, L / 2, L / 2]])
+    sp = [get_species("H"), get_species("H")]
+
+    def solve():
+        return scf_solve(grid, pos, sp, norb=3,
+                         config=SCFConfig(nscf=1, ncg=3))
+
+    res = benchmark(solve)
+    assert res.occupations.sum() == pytest.approx(2.0)
+
+
+def test_fdtd_step(benchmark):
+    solver = VectorPotentialFDTD(nz=4096, dz=10.0, dt=0.05)
+    solver.a[:] = np.sin(np.linspace(0, 20 * np.pi, 4096))
+    solver.a_prev[:] = solver.a
+    benchmark(solver.step)
+
+
+def test_fssh_step(benchmark):
+    rng = np.random.default_rng(3)
+    fssh = FSSH(rng, decoherence_c=0.1)
+    n = 32
+    energies = np.sort(rng.standard_normal(n))
+    m = 0.05 * (rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)))
+    nac = 0.5 * (m - m.conj().T)
+
+    def step():
+        state = SurfaceHoppingState.on_state(n, 5)
+        return fssh.step(state, energies, nac, dt=1.0, kinetic_energy=5.0)
+
+    benchmark(step)
+
+
+def test_effective_ham_relax(benchmark):
+    ham = EffectiveHamiltonian((16, 2, 16))
+    fc = flux_closure_modes((16, 2, 16), ham.params.p_min)
+
+    def relax():
+        modes, e = ham.relax(fc, nsteps=50)
+        return e
+
+    e = benchmark(relax)
+    assert np.isfinite(e)
+
+
+def test_distributed_dc_solver(benchmark):
+    """SPMD DC solve over 4 simulated ranks (result checked vs serial)."""
+    from repro.grids import DomainDecomposition
+    from repro.parallel.distributed import DistributedDCSolver
+    from repro.qxmd import GlobalDCSolver
+
+    grid = Grid3D((16, 16, 16), (0.6, 0.6, 0.6))
+    dec = DomainDecomposition(grid, (2, 2, 1), buffer_width=3)
+    pos = np.array(
+        [[2.0, 2.0, 4.8], [7.0, 2.0, 4.8], [2.0, 7.0, 4.8], [7.0, 7.0, 4.8]]
+    )
+    sp = [get_species("H")] * 4
+
+    def run():
+        return DistributedDCSolver(
+            grid, dec, pos, sp, nranks=4, nscf=2, ncg=2
+        ).solve()
+
+    dist = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = GlobalDCSolver(grid, dec, pos, sp, norb_extra=2,
+                            nscf=2, ncg=2).solve()
+    assert np.array_equal(dist.rho_global, serial.rho_global)

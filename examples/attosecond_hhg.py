@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Attosecond physics demo: high harmonics and strong-field ionization.
+
+The paper's introduction motivates DC-MESH with the 2023 Nobel-prize
+physics of attosecond pulses -- generated through the highly nonlinear
+response of matter to intense lasers.  This example drives a model system
+with a strong CW field and extracts the two strong-field signatures:
+
+1. the high-harmonic emission spectrum (odd harmonics only, by inversion
+   symmetry), via the 4th-order Suzuki propagator;
+2. the ionization yield, measured as the norm absorbed by a complex
+   absorbing potential (CAP) at the cell boundary, versus intensity.
+
+Run:  python examples/attosecond_hhg.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    harmonic_peak_intensities,
+    harmonic_spectrum,
+    odd_even_contrast,
+)
+from repro.grids import Grid3D
+from repro.lfd import (
+    PropagatorConfig,
+    QDPropagator,
+    WaveFunctionSet,
+    cos2_absorber,
+    ionization_yield,
+)
+from repro.lfd.observables import dipole_moment
+from repro.maxwell.laser import CWField
+from repro.qxmd import KSHamiltonian, cg_eigensolve
+
+
+def ground_state():
+    g = Grid3D.cubic(10, 0.5)
+    c = (10 - 1) * 0.5 / 2.0
+    xs, ys, zs = g.meshgrid()
+    vloc = -2.0 * np.exp(-((xs - c) ** 2 + (ys - c) ** 2 + (zs - c) ** 2) / 2.0)
+    ham = KSHamiltonian(g, vloc)
+    wf = WaveFunctionSet.random(g, 2, np.random.default_rng(0))
+    evals = cg_eigensolve(ham, wf, ncg=25)
+    return g, vloc, wf, evals
+
+
+def main() -> None:
+    g, vloc, wf0, evals = ground_state()
+    print(f"model levels (Ha): {np.round(evals, 4)}")
+    occ = np.array([2.0, 0.0])
+    omega0 = 0.35
+
+    # --- part 1: HHG spectrum ------------------------------------------- #
+    driver = CWField(e0=0.08, omega=omega0)
+    prop = QDPropagator(
+        wf0.copy(), vloc, PropagatorConfig(dt=0.1, order=4),
+        a_of_t=lambda t: driver.vector_potential(t),
+    )
+    times, dips = [], []
+    ncycles = 14
+    nsteps = int(ncycles * 2 * np.pi / omega0 / 0.1)
+    print(f"\ndriving {ncycles} optical cycles ({nsteps} Suzuki-4 steps) ...")
+    prop.run(nsteps, observer=lambda p: (times.append(p.time),
+                                         dips.append(dipole_moment(p.wf, occ)[0])))
+    orders, intensity = harmonic_spectrum(np.array(times), np.array(dips),
+                                          omega0)
+    peaks = harmonic_peak_intensities(orders, intensity,
+                                      harmonics=(1, 2, 3, 4, 5),
+                                      half_width=0.3)
+    print("harmonic emission (arb. units):")
+    imax = max(peaks.values())
+    for h, v in peaks.items():
+        bar = "#" * max(1, int(30 * np.log10(max(v / imax, 1e-6)) / 6 + 30))
+        print(f"  H{h}: {v:9.3e} |{bar}")
+    print(f"odd/even contrast (H2-H4 band): "
+          f"{odd_even_contrast({2: peaks[2], 3: peaks[3], 4: peaks[4]}):.2f} "
+          f"decades (inversion symmetry forbids even harmonics)")
+
+    # --- part 2: ionization vs intensity --------------------------------- #
+    # A larger box keeps the bound-state tail off the absorber; the
+    # residual field-free absorption is subtracted as the baseline.
+    gi = Grid3D.cubic(14, 0.5)
+    ci = (14 - 1) * 0.5 / 2.0
+    xs, ys, zs = gi.meshgrid()
+    vloc_i = -2.0 * np.exp(
+        -((xs - ci) ** 2 + (ys - ci) ** 2 + (zs - ci) ** 2) / 2.0
+    )
+    ham_i = KSHamiltonian(gi, vloc_i)
+    wf_i = WaveFunctionSet.random(gi, 2, np.random.default_rng(1))
+    cg_eigensolve(ham_i, wf_i, ncg=25)
+    cap = cos2_absorber(gi, width_points=2, strength=0.5, axes=(0,))
+
+    def run_yield(e0: float) -> float:
+        wf = wf_i.copy()
+        n0 = wf.norms().copy()
+        drv = CWField(e0=e0, omega=omega0)
+        p = QDPropagator(
+            wf, vloc_i, PropagatorConfig(dt=0.1), cap=cap,
+            a_of_t=lambda t, _d=drv: _d.vector_potential(t),
+        )
+        p.run(400)
+        return ionization_yield(n0, wf, occ)
+
+    baseline = run_yield(0.0)
+    print("\nionization yield vs field strength (CAP at the cell faces,")
+    print(f"field-free baseline {baseline:.4f} electrons subtracted):")
+    print("  E0 [a.u.]   field-induced yield")
+    for e0 in (0.02, 0.05, 0.1, 0.2):
+        y = run_yield(e0) - baseline
+        print(f"  {e0:8.2f}   {max(y, 0.0):12.6f}")
+    print("yield grows strongly nonlinearly with intensity -- the "
+          "strong-field regime the paper's attosecond motivation targets.")
+
+
+if __name__ == "__main__":
+    main()

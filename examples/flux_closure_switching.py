@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Light-induced switching of a flux-closure domain in PbTiO3 (Fig. 7).
+
+The paper's application scenario, reproduced with the in-repo multiscale
+pipeline:
+
+1. a neural-network force field is trained against the effective
+   Hamiltonian (the stand-in for the QMD-trained NNFF of Ref. 35);
+2. a flux-closure polar topology is prepared and relaxed -- its winding
+   number is the protected topological invariant;
+3. a femtosecond "laser" deposits photo-excited carriers, renormalizing
+   the ferroelectric double well; below threshold the texture survives,
+   above threshold it collapses -- the ultrafast switching event;
+4. the texture is rendered as an ASCII quiver plot before and after.
+
+Run:  python examples/flux_closure_switching.py
+"""
+
+import numpy as np
+
+from repro.materials import (
+    EffectiveHamiltonian,
+    flux_closure_modes,
+    train_nnff,
+    winding_number,
+)
+
+SHAPE = (16, 2, 16)
+ARROWS = {(1, 0): ">", (-1, 0): "<", (0, 1): "^", (0, -1): "v"}
+
+
+def quiver(modes: np.ndarray, p_ref: float) -> str:
+    """ASCII in-plane quiver of the y-midplane polarization."""
+    lines = []
+    for k in reversed(range(modes.shape[2])):
+        row = []
+        for i in range(modes.shape[0]):
+            px, pz = modes[i, 0, k, 0], modes[i, 0, k, 2]
+            mag = np.hypot(px, pz)
+            if mag < 0.15 * p_ref:
+                row.append(".")
+            elif abs(px) >= abs(pz):
+                row.append(">" if px > 0 else "<")
+            else:
+                row.append("^" if pz > 0 else "v")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    # Ref. 35 ("...Flux Closure Domains in Strained PbTiO3"): a mild
+    # compressive misfit stabilizes the out-of-plane limbs of the closure.
+    from repro.materials import LandauParameters
+
+    ham = EffectiveHamiltonian(
+        SHAPE, LandauParameters(misfit_strain=-0.05)
+    )
+    p0 = ham.params.p_min
+    threshold = ham.params.switching_threshold
+    rng = np.random.default_rng(1)
+    print(f"epitaxial misfit strain: {ham.params.misfit_strain:+.2f} "
+          f"(compressive, per the strained-PbTiO3 setup of Ref. 35)")
+
+    # --- step 1: NNFF preparation (Ref. 35 stand-in) -------------------- #
+    print("training the NNFF against the effective Hamiltonian ...")
+    nnff, history = train_nnff(ham, rng, hidden=24, nconfigs=30, epochs=200)
+    print(f"  force-fit loss: {history[0]:.3f} -> {history[-1]:.3f}")
+
+    # --- step 2: prepare and relax the flux closure --------------------- #
+    texture = flux_closure_modes(SHAPE, p0)
+    texture, e0 = ham.relax(texture, nsteps=400)
+    w0 = winding_number(texture)
+    print(f"\nground-state flux closure: E = {e0:.2f}, winding = {w0:+.2f}")
+    print(quiver(texture, p0))
+
+    # --- step 3: laser-driven excitation sweep -------------------------- #
+    print(f"\nLandau switching threshold: n_exc = {threshold:.2f}")
+    print("n_exc   mean|p|   winding   survives?")
+    for n_exc in (0.1, 0.3, 0.5, 0.65, 0.8):
+        relaxed, _ = ham.relax(texture.copy(), nsteps=400, n_exc=n_exc)
+        mags = float(np.linalg.norm(relaxed, axis=-1).mean())
+        alive = mags > 0.05 * p0
+        w = winding_number(relaxed) if alive else 0.0
+        print(
+            f"{n_exc:5.2f}  {mags:8.3f}  {w:+8.2f}   "
+            f"{'yes' if alive else 'NO -- switched'}"
+        )
+        if n_exc == 0.8:
+            print("\npost-pulse texture at n_exc = 0.8:")
+            print(quiver(relaxed, p0))
+
+    # --- step 4: transient dynamics through a pulse --------------------- #
+    print("\ntime-resolved switching (n_exc ramps with a Gaussian pulse):")
+    modes = texture.copy()
+    vel = np.zeros_like(modes)
+    for step in range(120):
+        t = step * 0.1
+        n_exc = 0.9 * np.exp(-((t - 5.0) ** 2) / 4.0)  # fs-pulse envelope
+        modes, vel = ham.dynamics_step(
+            modes, vel, dt=0.1, damping=0.4, n_exc=n_exc
+        )
+        if step % 20 == 0:
+            mags = float(np.linalg.norm(modes, axis=-1).mean())
+            print(f"  t = {t:5.1f}  n_exc = {n_exc:4.2f}  mean|p| = {mags:.3f}")
+    final_mag = float(np.linalg.norm(modes, axis=-1).mean())
+    print(f"final mean |p| after the pulse: {final_mag:.3f} "
+          f"(texture {'destroyed' if final_mag < 0.3 * p0 else 'recovered'})")
+
+    # --- step 5: hand the texture to the atomistic level ---------------- #
+    from repro.materials import PBTIO3, modes_to_positions, roundtrip_alignment
+
+    reps = (6, 2, 6)
+    from repro.materials import flux_closure_modes as _fc
+
+    small = _fc(reps, p0)
+    positions, species, box = modes_to_positions(PBTIO3, reps, small,
+                                                 amplitude=0.2)
+    align = roundtrip_alignment(small, PBTIO3, reps, amplitude=0.2)
+    print(f"\natomistic handoff (Section V): {len(species)} atoms in a "
+          f"{reps[0]}x{reps[1]}x{reps[2]} PbTiO3 supercell, texture "
+          f"alignment after the round trip: {align:.3f} "
+          f"-- this configuration is what DC-MESH would excite.")
+
+
+if __name__ == "__main__":
+    main()

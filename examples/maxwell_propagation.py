@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Self-consistent Maxwell-TDDFT propagation across DC domains.
+
+Demonstrates the multiscale light-matter machinery of Section II: a laser
+pulse is injected on the coarse 1-D light mesh, propagates at c, reaches
+electron-carrying DC domains at *retarded* times, drives their TDDFT
+dynamics through the velocity-gauge coupling, and (with feedback enabled)
+their polarization currents act back on the field.
+
+Run:  python examples/maxwell_propagation.py
+"""
+
+import numpy as np
+
+from repro.constants import AUT_FS, C_LIGHT
+from repro.core import CoupledDomain, MaxwellCoupledLFD
+from repro.grids import Grid3D
+from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+from repro.maxwell import GaussianPulse, VectorPotentialFDTD
+
+DT = 0.05       # lockstep Delta_QD (a.u.)
+DZ = 40.0       # light-mesh spacing (bohr); CFL: c*DT = 6.9 << 40
+NZ = 256
+
+
+def make_domain(z_cells: int, seed: int) -> CoupledDomain:
+    grid = Grid3D.cubic(8, 0.5)
+    rng = np.random.default_rng(seed)
+    wf = WaveFunctionSet.random(grid, 3, rng)
+    # Real-valued initial orbitals carry zero paramagnetic current, so the
+    # domains radiate only after the pulse arrives (clean retardation).
+    wf.psi.imag[...] = 0.0
+    wf.normalize()
+    vloc = 0.2 * rng.standard_normal(grid.shape)
+    prop = QDPropagator(wf, vloc, PropagatorConfig(dt=DT))
+    return CoupledDomain(
+        propagator=prop,
+        occupations=np.full(3, 2.0),
+        z_position=z_cells * DZ,
+        volume=grid.volume,
+    )
+
+
+def build(feedback: bool) -> MaxwellCoupledLFD:
+    pulse = GaussianPulse(e0=0.02, omega=0.4, t0=6.0, sigma=2.0)
+    fdtd = VectorPotentialFDTD(nz=NZ, dz=DZ, dt=DT, source=pulse)
+    # All domains in the first half of the periodic mesh so the direct
+    # path beats the wrap-around image of the injected pulse.
+    domains = [make_domain(40, 1), make_domain(80, 2), make_domain(120, 3)]
+    return MaxwellCoupledLFD(fdtd, domains, feedback=feedback,
+                             current_scale=20.0)
+
+
+def main() -> None:
+    print(f"light mesh: {NZ} cells x {DZ} bohr; c = {C_LIGHT:.1f} a.u.")
+
+    # --- part 1: retardation (feedback off -> the pure injected pulse) --- #
+    coupled = build(feedback=False)
+    expected = [
+        coupled.arrival_delay_cells(0.0, d.z_position) * DT * AUT_FS
+        for d in coupled.domains
+    ]
+    print("expected arrival times at the three domains (fs):",
+          [f"{t:.3f}" for t in expected])
+    arrivals = [None, None, None]
+    print("\n   t[fs]   A(dom0)    A(dom1)    A(dom2)")
+    nsteps = 1500
+    for step in range(1, nsteps + 1):
+        coupled.step()
+        a = coupled.sampled_fields()
+        for i in range(3):
+            if arrivals[i] is None and abs(a[i]) > 1e-3:
+                arrivals[i] = step * DT * AUT_FS
+        if step % 250 == 0:
+            print(f"{step * DT * AUT_FS:8.3f}  " +
+                  "  ".join(f"{x:+9.5f}" for x in a))
+    print("\nmeasured arrival times (fs):",
+          [f"{t:.3f}" if t else "-" for t in arrivals])
+    print("retardation reproduced: each domain sees the pulse later.")
+
+    norms = [np.abs(d.propagator.wf.norms() - 1).max()
+             for d in coupled.domains]
+    print(f"orbital norm drift across the run: {max(norms):.2e} "
+          f"(unitary propagation)")
+
+    # --- part 2: self-consistent feedback reshapes the field ------------- #
+    on = build(feedback=True)
+    off = build(feedback=False)
+    for _ in range(nsteps):
+        on.step()
+        off.step()
+    delta = np.abs(on.fdtd.a - off.fdtd.a).max()
+    print(f"\nwith polarization-current feedback: max field modification "
+          f"{delta:.3e} (vs free propagation), field energy stays bounded: "
+          f"{on.total_field_energy():.3e} a.u.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Weak/strong scaling of DC-MESH on the Polaris machine model (Figs. 2-3).
+
+Reproduces the paper's scaling methodology end to end: per-rank kernel
+costs from the LFD inventory + device rooflines, communication from the
+Slingshot/NVLink alpha-beta model, efficiencies per the paper's exact
+definitions, and least-squares fits of the paper's closed-form laws.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.parallel import (
+    PolarisModel,
+    fit_strong_efficiency_law,
+    fit_weak_efficiency_law,
+    strong_scaling_study,
+    weak_scaling_study,
+)
+from repro.parallel.scaling import calibrated_model
+
+
+def spark(value: float, lo: float = 0.6, hi: float = 1.0, width: int = 30) -> str:
+    n = int(width * (value - lo) / (hi - lo))
+    return "#" * max(0, min(width, n))
+
+
+def main() -> None:
+    model = calibrated_model()
+    print(
+        f"calibrated Polaris step model: tree factor = "
+        f"{model.tree_levels_factor:.1f}, fixed overhead = "
+        f"{model.fixed_step_overhead:.2f} s\n"
+    )
+
+    # --- weak scaling (Fig. 2) ------------------------------------------ #
+    print("weak scaling, 40 atoms/rank (paper anchor: 0.9673 at P = 1024)")
+    print("ranks   atoms    t_step    efficiency")
+    points = weak_scaling_study(model)
+    for p in points:
+        print(
+            f"{p.nranks:5d}  {int(p.natoms):6d}  {p.step_time:7.2f} s  "
+            f"{p.efficiency:.4f} |{spark(p.efficiency, 0.95, 1.0)}"
+        )
+    a_const, beta = fit_weak_efficiency_law(points)
+    print(f"fitted law: 1/eta - 1 = {a_const:.2e} + {beta:.2e} log2(P)\n")
+
+    # --- strong scaling (Fig. 3) ----------------------------------------- #
+    for natoms, p_list, anchor in (
+        (5120.0, (64, 128, 256), "paper: 0.6634 at P = 256"),
+        (10240.0, (128, 256, 512), "paper: 0.8083 at P = 512"),
+    ):
+        print(f"strong scaling, {int(natoms)} atoms ({anchor})")
+        print("ranks   atoms/rank   t_step    efficiency")
+        pts = strong_scaling_study(model, natoms, p_list)
+        for p in pts:
+            print(
+                f"{p.nranks:5d}  {natoms / p.nranks:10.1f}  "
+                f"{p.step_time:7.2f} s  {p.efficiency:.4f} "
+                f"|{spark(p.efficiency, 0.5, 1.0)}"
+            )
+        alpha, beta = fit_strong_efficiency_law(pts)
+        print(
+            f"fitted law: 1/eta - 1 = {alpha:.2e} (P/N)^(1/3) "
+            f"+ {beta:.2e} P log2(P)/N\n"
+        )
+
+    # --- the machine behind the numbers ---------------------------------- #
+    polaris = PolarisModel(nnodes=256)
+    print(
+        f"largest modeled allocation: {polaris.nnodes} nodes, "
+        f"{polaris.nranks} ranks/GPUs, aggregate "
+        f"{polaris.peak_flops_dp() / 1e15:.1f} PFLOP/s DP"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline test environment ships setuptools without the `wheel`
+package, so PEP 517 editable installs (which build an editable wheel)
+fail.  Keeping a setup.py and omitting the [build-system] table from
+pyproject.toml lets `pip install -e .` fall back to the legacy
+`setup.py develop` path, which works without wheel.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro: DC-MESH -- divide-and-conquer Maxwell-Ehrenfest-surface-hopping.
+
+A complete Python reproduction of "Accelerating Quantum Light-Matter
+Dynamics on Graphics Processing Units" (IPPS 2024): linear-scaling
+nonadiabatic quantum molecular dynamics coupling real-time TDDFT (LFD,
+GPU-resident) with divide-and-conquer DFT, surface hopping and MD (QXMD,
+CPU-resident) through shadow dynamics, plus the virtual-GPU and
+simulated-Polaris substrates used to reproduce the paper's performance
+evaluation.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for paper-vs-measured results.
+
+Quick start::
+
+    from repro import DCMESHSimulation, DCMESHConfig, TimescaleSplit
+    from repro.grids import Grid3D
+    from repro.pseudo import get_species
+    sim = DCMESHSimulation(Grid3D.cubic(16, 0.6), (2, 1, 1), positions,
+                           [get_species("O")] * 2)
+    sim.run(10)
+"""
+
+from repro.constants import (
+    HBAR,
+    C_LIGHT,
+    HARTREE_EV,
+    BOHR_ANGSTROM,
+    AUT_FS,
+    ev_to_hartree,
+    hartree_to_ev,
+    fs_to_aut,
+    aut_to_fs,
+)
+from repro.core import (
+    DCMESHConfig,
+    DCMESHSimulation,
+    MDStepRecord,
+    ShadowLedger,
+    TimescaleSplit,
+    scissor_shift,
+)
+from repro.grids import Grid3D, Domain, DomainDecomposition
+from repro.lfd import (
+    WaveFunctionSet,
+    QDPropagator,
+    PropagatorConfig,
+    NonlocalCorrector,
+    kinetic_step,
+)
+from repro.device import VirtualGPU
+from repro.parallel import SimComm, PolarisModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HBAR",
+    "C_LIGHT",
+    "HARTREE_EV",
+    "BOHR_ANGSTROM",
+    "AUT_FS",
+    "ev_to_hartree",
+    "hartree_to_ev",
+    "fs_to_aut",
+    "aut_to_fs",
+    "DCMESHConfig",
+    "DCMESHSimulation",
+    "MDStepRecord",
+    "ShadowLedger",
+    "TimescaleSplit",
+    "scissor_shift",
+    "Grid3D",
+    "Domain",
+    "DomainDecomposition",
+    "WaveFunctionSet",
+    "QDPropagator",
+    "PropagatorConfig",
+    "NonlocalCorrector",
+    "kinetic_step",
+    "VirtualGPU",
+    "SimComm",
+    "PolarisModel",
+    "__version__",
+]

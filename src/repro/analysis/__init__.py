@@ -1,0 +1,36 @@
+"""Analysis: efficiency/speedup math and optical spectra."""
+
+from repro.analysis.efficiency import (
+    speedup,
+    weak_scaling_efficiency,
+    strong_scaling_efficiency,
+    throughput,
+    cumulative_speedup,
+)
+from repro.analysis.spectra import dipole_to_spectrum, absorption_peaks
+from repro.analysis.hhg import (
+    harmonic_spectrum,
+    harmonic_peak_intensities,
+    odd_even_contrast,
+)
+from repro.analysis.hysteresis import (
+    HysteresisLoop,
+    sweep_hysteresis,
+    excitation_softening,
+)
+
+__all__ = [
+    "speedup",
+    "weak_scaling_efficiency",
+    "strong_scaling_efficiency",
+    "throughput",
+    "cumulative_speedup",
+    "dipole_to_spectrum",
+    "absorption_peaks",
+    "harmonic_spectrum",
+    "harmonic_peak_intensities",
+    "odd_even_contrast",
+    "HysteresisLoop",
+    "sweep_hysteresis",
+    "excitation_softening",
+]

@@ -1,0 +1,55 @@
+"""Speedup / efficiency / throughput definitions exactly as in the paper.
+
+Section IV defines: the *speed* of DC-MESH as (number of atoms) x (MD
+steps executed per second); the isogranular (weak-scaling) speedup as the
+ratio of speeds between P and the reference 4 ranks; weak-scaling
+efficiency as that speedup divided by P/4; strong-scaling speedup as
+t(P_min)/t(P_max); and throughput (Fig. 4) as ranks completing a fixed
+problem per unit time, P / t_completion.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def speedup(t_baseline: float, t_new: float) -> float:
+    """Plain ratio t_baseline / t_new."""
+    if t_baseline <= 0 or t_new <= 0:
+        raise ValueError("times must be positive")
+    return t_baseline / t_new
+
+
+def weak_scaling_efficiency(
+    speed_p: float, speed_ref: float, p: int, p_ref: int
+) -> float:
+    """Isogranular speedup divided by the rank ratio (Fig. 2 definition)."""
+    if min(speed_p, speed_ref) <= 0 or min(p, p_ref) <= 0:
+        raise ValueError("speeds and rank counts must be positive")
+    return (speed_p / speed_ref) / (p / p_ref)
+
+
+def strong_scaling_efficiency(
+    t_pmin: float, t_pmax: float, p_min: int, p_max: int
+) -> float:
+    """Strong-scaling speedup divided by the rank ratio (Fig. 3 definition)."""
+    if min(t_pmin, t_pmax) <= 0 or min(p_min, p_max) <= 0:
+        raise ValueError("times and rank counts must be positive")
+    return (t_pmin / t_pmax) / (p_max / p_min)
+
+
+def throughput(nranks: int, t_completion: float) -> float:
+    """Fig. 4 definition: ranks completing the fixed problem per second."""
+    if nranks <= 0 or t_completion <= 0:
+        raise ValueError("nranks and t_completion must be positive")
+    return nranks / t_completion
+
+
+def cumulative_speedup(stage_speedups: Sequence[float]) -> float:
+    """Product of per-stage speedups (the Fig. 6 cumulative bar)."""
+    total = 1.0
+    for s in stage_speedups:
+        if s <= 0:
+            raise ValueError("speedups must be positive")
+        total *= s
+    return total

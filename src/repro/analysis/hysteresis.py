@@ -1,0 +1,116 @@
+"""Ferroelectric hysteresis analysis on the effective Hamiltonian.
+
+Sweeping an external field over the Landau energy surface produces the
+classic P-E hysteresis loop; the coercive field and remanent polarization
+are the figures of merit the topotronics application (Section V) aims to
+undercut with light-induced switching.  Also quantifies how
+photoexcitation shrinks the loop -- the quasi-static counterpart of the
+Fig. 7 switching study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.materials.effective_ham import EffectiveHamiltonian
+from repro.materials.topology import uniform_modes
+
+
+@dataclass(frozen=True)
+class HysteresisLoop:
+    """A swept P-E loop along one axis."""
+
+    fields: np.ndarray          # applied field values, in sweep order
+    polarizations: np.ndarray   # mean mode component along the axis
+    axis: int
+
+    @property
+    def remanent_polarization(self) -> float:
+        """|P| at the zero-field crossings (mean of both branches)."""
+        zeros = np.where(np.isclose(self.fields, 0.0, atol=1e-12))[0]
+        if zeros.size == 0:
+            raise ValueError("the sweep never passes through zero field")
+        return float(np.mean(np.abs(self.polarizations[zeros])))
+
+    @property
+    def coercive_field(self) -> float:
+        """Field magnitude at which P changes sign (mean of both branches)."""
+        crossings = []
+        p = self.polarizations
+        e = self.fields
+        for i in range(len(p) - 1):
+            if p[i] * p[i + 1] < 0.0:
+                # Linear interpolation of the zero crossing.
+                frac = p[i] / (p[i] - p[i + 1])
+                crossings.append(abs(e[i] + frac * (e[i + 1] - e[i])))
+        if not crossings:
+            return 0.0
+        return float(np.mean(crossings))
+
+    @property
+    def is_hysteretic(self) -> bool:
+        """True if the up and down branches differ (finite loop area)."""
+        return self.loop_area() > 1e-6
+
+    def loop_area(self) -> float:
+        """Enclosed P-E area (the switching energy density)."""
+        return abs(float(np.trapezoid(self.polarizations, self.fields)))
+
+
+def sweep_hysteresis(
+    ham: EffectiveHamiltonian,
+    e_max: float,
+    nsteps: int = 21,
+    axis: int = 2,
+    n_exc: float = 0.0,
+    relax_steps: int = 300,
+) -> HysteresisLoop:
+    """Quasi-static field sweep 0 -> +E -> -E -> +E along ``axis``.
+
+    Each field value relaxes from the previous state (field-cooled
+    protocol), so metastability produces the loop.
+    """
+    if e_max <= 0:
+        raise ValueError("e_max must be positive")
+    if nsteps < 3:
+        raise ValueError("need at least 3 steps per branch")
+    if axis not in (0, 1, 2):
+        raise ValueError("axis must be 0, 1 or 2")
+    up = np.linspace(-e_max, e_max, nsteps)
+    sweep = np.concatenate([up, up[::-1][1:]])
+    modes = uniform_modes(ham.shape, ham.params.p_min, axis=axis)
+    fields: List[float] = []
+    pols: List[float] = []
+    for e_val in sweep:
+        e_vec = np.zeros(3)
+        e_vec[axis] = e_val
+        modes, _ = ham.relax(
+            modes, nsteps=relax_steps, n_exc=n_exc, e_field=e_vec
+        )
+        fields.append(float(e_val))
+        pols.append(float(modes[..., axis].mean()))
+    return HysteresisLoop(
+        fields=np.asarray(fields), polarizations=np.asarray(pols), axis=axis
+    )
+
+
+def excitation_softening(
+    ham: EffectiveHamiltonian,
+    e_max: float,
+    excitations: Tuple[float, ...] = (0.0, 0.2, 0.4),
+    nsteps: int = 15,
+) -> List[Tuple[float, float]]:
+    """Coercive field vs photoexcitation fraction (loop collapse).
+
+    Returns (n_exc, coercive field) pairs; the coercive field shrinks
+    monotonically toward zero as the excitation approaches the Landau
+    threshold -- the quasi-static signature of light-induced switching.
+    """
+    out = []
+    for n_exc in excitations:
+        loop = sweep_hysteresis(ham, e_max, nsteps=nsteps, n_exc=n_exc)
+        out.append((float(n_exc), loop.coercive_field))
+    return out

@@ -1,0 +1,204 @@
+"""Command-line interface for the DC-MESH reproduction.
+
+Subcommands::
+
+    repro-mesh info                      # hardware/config summary
+    repro-mesh run [...]                 # a small coupled DC-MESH run
+    repro-mesh scaling [...]             # Figs. 2-3 scaling tables
+    repro-mesh spectrum [...]            # delta-kick absorption spectrum
+
+Every subcommand is also importable (``from repro.cli import main``) and
+returns a process exit code, so it is unit-testable without spawning
+processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.device import A100, EPYC_7543_CORE
+    from repro.parallel import PolarisModel
+
+    print(f"repro {repro.__version__} -- DC-MESH reproduction (IPPS 2024)")
+    print(f"  A100 model: {A100.peak_flops_dp / 1e12:.1f} DP TFLOP/s, "
+          f"{A100.mem_bandwidth / 1e12:.2f} TB/s HBM2")
+    print(f"  CPU core model: {EPYC_7543_CORE.name}, "
+          f"{EPYC_7543_CORE.peak_flops_dp / 1e9:.1f} DP GFLOP/s")
+    polaris = PolarisModel(nnodes=256)
+    print(f"  Polaris model: up to {PolarisModel.MAX_NODES} nodes; "
+          f"256-node allocation = {polaris.nranks} ranks/GPUs")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import (
+        DCMESHConfig,
+        DCMESHSimulation,
+        TimescaleSplit,
+        VirtualGPU,
+        aut_to_fs,
+    )
+    from repro.core.checkpoint import load_checkpoint, save_checkpoint
+    from repro.grids import Grid3D
+    from repro.maxwell import GaussianPulse
+    from repro.pseudo import get_species
+
+    n = args.grid
+    grid = Grid3D((n, n, n), (args.spacing,) * 3)
+    L = grid.lengths[0]
+    positions = np.array(
+        [[L / 4, L / 2, L / 2], [3 * L / 4 - args.spacing, L / 2, L / 2]]
+    )
+    species = [get_species(args.species), get_species(args.species)]
+    laser = None
+    if args.e0 > 0:
+        laser = GaussianPulse(e0=args.e0, omega=args.omega, t0=10.0, sigma=6.0)
+    config = DCMESHConfig(
+        timescale=TimescaleSplit(dt_md=args.dt_md, n_qd=args.n_qd),
+        nscf=args.nscf,
+        ncg=args.ncg,
+        seed=args.seed,
+    )
+    sim = DCMESHSimulation(
+        grid, (2, 1, 1), positions, species,
+        laser=laser, config=config, device=VirtualGPU(),
+        buffer_width=args.buffer,
+    )
+    if args.restart:
+        load_checkpoint(sim, args.restart)
+        print(f"restarted from {args.restart} at step {sim.step_count}")
+    if args.excite:
+        sim.excite_carrier(0)
+    print("step    t[fs]     T[K]   E_band[Ha]   n_exc  hops")
+    for rec in sim.run(args.steps):
+        print(
+            f"{rec.step:4d}  {aut_to_fs(rec.time):8.4f}  {rec.temperature:7.1f}"
+            f"  {rec.band_energy:11.4f}  {rec.excited_population:6.2f}"
+            f"  {rec.hops:4d}"
+        )
+    sim.ledger.assert_no_psi_traffic()
+    if args.checkpoint:
+        path = save_checkpoint(sim, args.checkpoint)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.parallel import strong_scaling_study, weak_scaling_study
+    from repro.parallel.scaling import calibrated_model
+
+    model = calibrated_model()
+    if args.mode in ("weak", "both"):
+        print("weak scaling (40 atoms/rank):")
+        for p in weak_scaling_study(model):
+            print(f"  P={p.nranks:5d}  atoms={int(p.natoms):6d}  "
+                  f"t={p.step_time:7.2f}s  eta={p.efficiency:.4f}")
+    if args.mode in ("strong", "both"):
+        for natoms, plist in ((5120.0, (64, 128, 256)),
+                              (10240.0, (128, 256, 512))):
+            print(f"strong scaling ({int(natoms)} atoms):")
+            for p in strong_scaling_study(model, natoms, plist):
+                print(f"  P={p.nranks:5d}  t={p.step_time:7.2f}s  "
+                      f"eta={p.efficiency:.4f}")
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    from repro import PropagatorConfig, QDPropagator, WaveFunctionSet
+    from repro.analysis import absorption_peaks, dipole_to_spectrum
+    from repro.grids import Grid3D
+    from repro.lfd.observables import dipole_moment
+    from repro.qxmd import KSHamiltonian, cg_eigensolve
+
+    grid = Grid3D.cubic(args.grid, 0.5)
+    c = (args.grid - 1) * 0.5 / 2.0
+    xs, ys, zs = grid.meshgrid()
+    vloc = -args.depth * np.exp(
+        -((xs - c) ** 2 + (ys - c) ** 2 + (zs - c) ** 2) / 1.8
+    )
+    ham = KSHamiltonian(grid, vloc)
+    wf = WaveFunctionSet.random(grid, args.norb, np.random.default_rng(args.seed))
+    evals = cg_eigensolve(ham, wf, ncg=30)
+    print("KS levels (Ha):", np.round(evals, 4))
+
+    k0 = 1e-3
+    wf.psi *= np.exp(1j * k0 * xs)[..., None]
+    occ = np.zeros(args.norb)
+    occ[0] = 2.0
+    prop = QDPropagator(wf, vloc, PropagatorConfig(dt=0.05))
+    times, dips = [], []
+    prop.run(
+        args.steps,
+        observer=lambda p: (times.append(p.time),
+                            dips.append(dipole_moment(p.wf, occ)[0])),
+    )
+    omega, s = dipole_to_spectrum(np.array(times), np.array(dips),
+                                  kick_strength=k0, damping=0.01)
+    peaks = absorption_peaks(omega, s, min_height=0.3)
+    print("absorption peaks (Ha):", np.round(peaks[:5], 4))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-mesh argument parser (see module doc)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mesh",
+        description="DC-MESH quantum light-matter dynamics (IPPS 2024 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="hardware/config summary").set_defaults(
+        func=_cmd_info
+    )
+
+    run = sub.add_parser("run", help="run a small coupled simulation")
+    run.add_argument("--grid", type=int, default=16, help="mesh points/axis")
+    run.add_argument("--spacing", type=float, default=0.6, help="bohr")
+    run.add_argument("--species", default="O", help="pseudo-atom symbol")
+    run.add_argument("--steps", type=int, default=5, help="MD steps")
+    run.add_argument("--dt-md", type=float, default=2.0, help="Delta_MD (a.u.)")
+    run.add_argument("--n-qd", type=int, default=20, help="QD steps per MD step")
+    run.add_argument("--nscf", type=int, default=2)
+    run.add_argument("--ncg", type=int, default=3)
+    run.add_argument("--buffer", type=int, default=3, help="LDC buffer width")
+    run.add_argument("--e0", type=float, default=0.02, help="laser peak field")
+    run.add_argument("--omega", type=float, default=0.3, help="laser frequency")
+    run.add_argument("--excite", action="store_true",
+                     help="seed a photo-excited carrier")
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--checkpoint", help="write a checkpoint after the run")
+    run.add_argument("--restart", help="restore this checkpoint first")
+    run.set_defaults(func=_cmd_run)
+
+    scaling = sub.add_parser("scaling", help="Figs. 2-3 scaling tables")
+    scaling.add_argument("--mode", choices=("weak", "strong", "both"),
+                         default="both")
+    scaling.set_defaults(func=_cmd_scaling)
+
+    spectrum = sub.add_parser("spectrum", help="delta-kick absorption run")
+    spectrum.add_argument("--grid", type=int, default=12)
+    spectrum.add_argument("--norb", type=int, default=4)
+    spectrum.add_argument("--depth", type=float, default=3.0,
+                          help="model-well depth (Ha)")
+    spectrum.add_argument("--steps", type=int, default=800)
+    spectrum.add_argument("--seed", type=int, default=0)
+    spectrum.set_defaults(func=_cmd_spectrum)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

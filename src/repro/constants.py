@@ -1,0 +1,106 @@
+"""Physical constants in Hartree atomic units.
+
+DC-MESH works in Hartree atomic units throughout: the reduced Planck
+constant, electron mass and elementary charge are all unity, energies are
+in hartree (Ha), lengths in bohr, and times in atomic time units
+(1 a.u. = 24.188 as).  Only the speed of light survives as a dimensionful
+parameter (``C_LIGHT`` = 1/alpha).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Reduced Planck constant (a.u.).
+HBAR = 1.0
+
+#: Electron mass (a.u.).
+M_ELECTRON = 1.0
+
+#: Elementary charge (a.u.).
+E_CHARGE = 1.0
+
+#: Fine-structure constant (CODATA 2018).
+ALPHA_FS = 7.2973525693e-3
+
+#: Speed of light in atomic units, c = 1/alpha.
+C_LIGHT = 1.0 / ALPHA_FS
+
+#: One hartree in electron-volts.
+HARTREE_EV = 27.211386245988
+
+#: One bohr in angstroms.
+BOHR_ANGSTROM = 0.529177210903
+
+#: One atomic time unit in femtoseconds.
+AUT_FS = 2.4188843265857e-2
+
+#: One atomic time unit in attoseconds.
+AUT_AS = AUT_FS * 1000.0
+
+#: Boltzmann constant in Ha/K.
+KB_HA = 3.166811563e-6
+
+#: Proton mass in electron masses (for nuclear dynamics).
+M_PROTON = 1836.15267343
+
+#: Atomic masses (in electron-mass units) for the species used in PbTiO3.
+ATOMIC_MASS = {
+    "Pb": 207.2 * M_PROTON,
+    "Ti": 47.867 * M_PROTON,
+    "O": 15.999 * M_PROTON,
+    "H": 1.008 * M_PROTON,
+}
+
+#: Valence charges of the pseudo-atoms used in this reproduction.
+VALENCE_CHARGE = {"Pb": 4.0, "Ti": 4.0, "O": 6.0, "H": 1.0}
+
+
+def ev_to_hartree(energy_ev: float) -> float:
+    """Convert an energy from eV to hartree."""
+    return energy_ev / HARTREE_EV
+
+
+def hartree_to_ev(energy_ha: float) -> float:
+    """Convert an energy from hartree to eV."""
+    return energy_ha * HARTREE_EV
+
+
+def fs_to_aut(time_fs: float) -> float:
+    """Convert a time from femtoseconds to atomic time units."""
+    return time_fs / AUT_FS
+
+
+def aut_to_fs(time_aut: float) -> float:
+    """Convert a time from atomic time units to femtoseconds."""
+    return time_aut * AUT_FS
+
+
+def angstrom_to_bohr(length_angstrom: float) -> float:
+    """Convert a length from angstrom to bohr."""
+    return length_angstrom / BOHR_ANGSTROM
+
+
+def bohr_to_angstrom(length_bohr: float) -> float:
+    """Convert a length from bohr to angstrom."""
+    return length_bohr * BOHR_ANGSTROM
+
+
+def laser_intensity_to_field(intensity_w_cm2: float) -> float:
+    """Peak electric field (a.u.) of a laser of given intensity (W/cm^2).
+
+    Uses E0[a.u.] = sqrt(I / 3.50944758e16 W/cm^2), the standard atomic
+    unit of intensity.
+    """
+    if intensity_w_cm2 < 0.0:
+        raise ValueError("intensity must be non-negative")
+    return math.sqrt(intensity_w_cm2 / 3.50944758e16)
+
+
+def wavelength_nm_to_omega(wavelength_nm: float) -> float:
+    """Angular frequency (a.u.) of light with the given vacuum wavelength."""
+    if wavelength_nm <= 0.0:
+        raise ValueError("wavelength must be positive")
+    # omega = 2 pi c / lambda, with lambda converted nm -> bohr.
+    lam_bohr = wavelength_nm * 10.0 / BOHR_ANGSTROM
+    return 2.0 * math.pi * C_LIGHT / lam_bohr

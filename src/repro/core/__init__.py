@@ -1,0 +1,32 @@
+"""DC-MESH core: the paper's primary contribution.
+
+Couples the CPU-resident QXMD subprogram (DC-DFT SCF, surface hopping,
+forces, MD) with the GPU-resident LFD subprogram (real-time TDDFT under
+the laser) through the shadow-dynamics handshake, with multiple
+time-scale splitting between Delta_MD and Delta_QD.
+"""
+
+from repro.core.timescale import TimescaleSplit
+from repro.core.scissor import scissor_shift, homo_lumo_gap
+from repro.core.shadow import ShadowLedger, HandshakeRecord
+from repro.core.mesh import DCMESHConfig, DCMESHSimulation, MDStepRecord
+from repro.core.maxwell_coupling import CoupledDomain, MaxwellCoupledLFD
+from repro.core.ehrenfest import EhrenfestDynamics, EhrenfestRecord
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "CoupledDomain",
+    "MaxwellCoupledLFD",
+    "EhrenfestDynamics",
+    "EhrenfestRecord",
+    "load_checkpoint",
+    "save_checkpoint",
+    "TimescaleSplit",
+    "scissor_shift",
+    "homo_lumo_gap",
+    "ShadowLedger",
+    "HandshakeRecord",
+    "DCMESHConfig",
+    "DCMESHSimulation",
+    "MDStepRecord",
+]

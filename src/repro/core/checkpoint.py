@@ -1,0 +1,120 @@
+"""Checkpoint/restart for DC-MESH simulations.
+
+Long NAQMD trajectories (the paper's production runs are thousands of MD
+steps) need restart capability.  A checkpoint captures everything the MD
+loop evolves: atomic positions/velocities, per-domain orbitals,
+occupations and eigenvalues, surface-hopping carriers, cached forces,
+simulation time and the RNG state -- so a restarted run continues the
+*identical* trajectory (asserted by the tests).
+
+Format: a single ``.npz`` archive; arrays are stored natively, small
+structured state (carrier amplitudes, RNG state) via named entries.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.core.mesh import DCMESHSimulation
+from repro.qxmd.surface_hopping import SurfaceHoppingState
+
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write the full mutable state of a simulation to ``path`` (.npz)."""
+    path = pathlib.Path(path)
+    arrays = {
+        "positions": sim.md_state.positions,
+        "velocities": sim.md_state.velocities,
+        "masses": sim.md_state.masses,
+    }
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "time": sim.time,
+        "step_count": sim.step_count,
+        "ndomains": len(sim.dc.states),
+        "has_prev_forces": sim._prev_forces is not None,
+        "carriers": {
+            str(alpha): [c.active for c in carriers]
+            for alpha, carriers in sim.carriers.items()
+        },
+    }
+    if sim._prev_forces is not None:
+        arrays["prev_forces"] = sim._prev_forces
+    for st in sim.dc.states:
+        a = st.domain.alpha
+        arrays[f"psi_{a}"] = st.wf.psi
+        arrays[f"occ_{a}"] = st.occupations
+        arrays[f"eig_{a}"] = st.eigenvalues
+        arrays[f"vloc_{a}"] = st.vloc
+    for alpha, carriers in sim.carriers.items():
+        for i, c in enumerate(carriers):
+            arrays[f"carrier_{alpha}_{i}"] = c.amplitudes
+    # RNG state: serialize the bit-generator state deterministically.
+    arrays["rng_state"] = np.frombuffer(
+        json.dumps(sim.rng.bit_generator.state).encode(), dtype=np.uint8
+    )
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> None:
+    """Restore a checkpoint into a compatibly constructed simulation.
+
+    ``sim`` must have been built with the same grid, domains, species and
+    configuration as the checkpointed run; mismatches raise ValueError.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        if meta["version"] != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {meta['version']} != "
+                f"supported {CHECKPOINT_VERSION}"
+            )
+        if meta["ndomains"] != len(sim.dc.states):
+            raise ValueError(
+                f"checkpoint has {meta['ndomains']} domains, simulation "
+                f"has {len(sim.dc.states)}"
+            )
+        if data["positions"].shape != sim.md_state.positions.shape:
+            raise ValueError("atom count mismatch with the checkpoint")
+
+        sim.md_state.positions = data["positions"].copy()
+        sim.md_state.velocities = data["velocities"].copy()
+        sim.md_state.masses = data["masses"].copy()
+        sim.time = float(meta["time"])
+        sim.step_count = int(meta["step_count"])
+        sim._prev_forces = (
+            data["prev_forces"].copy() if meta["has_prev_forces"] else None
+        )
+        for st in sim.dc.states:
+            a = st.domain.alpha
+            psi = data[f"psi_{a}"]
+            if psi.shape != st.wf.psi.shape:
+                raise ValueError(
+                    f"domain {a}: orbital shape mismatch "
+                    f"{psi.shape} vs {st.wf.psi.shape}"
+                )
+            st.wf.psi[...] = psi
+            st.occupations = data[f"occ_{a}"].copy()
+            st.eigenvalues = data[f"eig_{a}"].copy()
+            st.vloc = data[f"vloc_{a}"].copy()
+        sim.carriers.clear()
+        for alpha_str, actives in meta["carriers"].items():
+            alpha = int(alpha_str)
+            carriers = []
+            for i, active in enumerate(actives):
+                amps = data[f"carrier_{alpha}_{i}"].copy()
+                carriers.append(
+                    SurfaceHoppingState(amplitudes=amps, active=int(active))
+                )
+            sim.carriers[alpha] = carriers
+        rng_state = json.loads(bytes(data["rng_state"].tobytes()).decode())
+        sim.rng.bit_generator.state = rng_state

@@ -1,0 +1,159 @@
+"""Self-consistent Maxwell-TDDFT coupling (the "M" of DC-MESH).
+
+The multiscale scheme of Section II: light propagates on a coarse 1-D
+FDTD mesh along the propagation axis while every DC domain samples the
+vector potential at its centre X(alpha) (dipole approximation within a
+domain, Eq. 2) and deposits its macroscopic polarization current back
+into the wave equation.  :class:`MaxwellCoupledLFD` advances the FDTD
+field and all per-domain QD propagators in lockstep with a shared
+Delta_QD, realizing the retarded, absorbing light-matter feedback loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import C_LIGHT
+from repro.lfd.observables import current_expectation
+from repro.lfd.propagator import QDPropagator
+from repro.maxwell.vector_potential import VectorPotentialFDTD
+
+
+@dataclass
+class CoupledDomain:
+    """One DC domain attached to the light mesh.
+
+    Attributes
+    ----------
+    propagator:
+        The domain's QD propagator (its ``a_of_t`` is overridden by the
+        coupling).
+    occupations:
+        Occupations used for the current expectation.
+    z_position:
+        Coordinate of the domain centre along the propagation axis.
+    volume:
+        Domain volume (converts the current expectation into a current
+        density for the 1-D wave equation).
+    """
+
+    propagator: QDPropagator
+    occupations: np.ndarray
+    z_position: float
+    volume: float
+
+    def __post_init__(self) -> None:
+        self.occupations = np.asarray(self.occupations, dtype=float)
+        if self.occupations.shape != (self.propagator.wf.norb,):
+            raise ValueError("need one occupation per orbital")
+        if self.volume <= 0:
+            raise ValueError("volume must be positive")
+
+
+class MaxwellCoupledLFD:
+    """Lockstep integrator for the FDTD field and the domain electrons.
+
+    Parameters
+    ----------
+    fdtd:
+        The 1-D vector-potential solver.  Its ``dt`` must equal the QD
+        time step of every attached propagator (lockstep).
+    domains:
+        The coupled DC domains.
+    feedback:
+        If False, domains only *sample* the field (no absorption) --
+        useful as an ablation of the self-consistent coupling.
+    current_scale:
+        Optional uniform scale on the deposited current density (models
+        the areal density of domains transverse to the light axis).
+    """
+
+    def __init__(
+        self,
+        fdtd: VectorPotentialFDTD,
+        domains: Sequence[CoupledDomain],
+        feedback: bool = True,
+        current_scale: float = 1.0,
+    ) -> None:
+        if not domains:
+            raise ValueError("need at least one coupled domain")
+        for d in domains:
+            if abs(d.propagator.config.dt - fdtd.dt) > 1e-12:
+                raise ValueError(
+                    f"lockstep violated: domain dt {d.propagator.config.dt} "
+                    f"!= FDTD dt {fdtd.dt}"
+                )
+        self.fdtd = fdtd
+        self.domains = list(domains)
+        self.feedback = feedback
+        self.current_scale = float(current_scale)
+        self.steps_taken = 0
+        self.field_history: List[np.ndarray] = []
+        # Rewire every propagator to sample the live FDTD field.
+        for d in self.domains:
+            d.propagator.a_of_t = self._sampler(d)
+
+    def _sampler(self, dom: CoupledDomain) -> Callable[[float], np.ndarray]:
+        def a_of_t(_t: float, _z=dom.z_position) -> np.ndarray:
+            return self.fdtd.sample_vector(_z)
+
+        return a_of_t
+
+    # ------------------------------------------------------------------ #
+    def _deposit_currents(self) -> np.ndarray:
+        """Polarization current density profile on the light mesh."""
+        j = np.zeros(self.fdtd.nz)
+        if not self.feedback:
+            return j
+        axis = self.fdtd.polarization_axis
+        for d in self.domains:
+            a_vec = self.fdtd.sample_vector(d.z_position)
+            cur = current_expectation(
+                d.propagator.wf, d.occupations, a_field=a_vec
+            )[axis]
+            # Current density = total current / volume; the electron
+            # charge is -e so the physical current flips sign.
+            density = -cur / d.volume * self.current_scale
+            cell = int(round(d.z_position / self.fdtd.dz)) % self.fdtd.nz
+            j[cell] += density * d.volume / self.fdtd.dz  # line density
+        return j
+
+    def step(self) -> None:
+        """One lockstep dt: field update with feedback, then electrons."""
+        current = self._deposit_currents()
+        self.fdtd.step(current=current)
+        for d in self.domains:
+            d.propagator.step()
+        self.steps_taken += 1
+
+    def run(
+        self,
+        nsteps: int,
+        record_every: int = 0,
+        observer: Optional[Callable[["MaxwellCoupledLFD"], None]] = None,
+    ) -> None:
+        """Advance ``nsteps`` lockstep intervals."""
+        if nsteps < 0:
+            raise ValueError("nsteps must be non-negative")
+        for i in range(nsteps):
+            self.step()
+            if record_every and (i + 1) % record_every == 0:
+                self.field_history.append(self.fdtd.a.copy())
+            if observer is not None:
+                observer(self)
+
+    # ------------------------------------------------------------------ #
+    def sampled_fields(self) -> np.ndarray:
+        """A at every domain centre (diagnostics), shape (ndomains,)."""
+        return np.array([self.fdtd.sample(d.z_position) for d in self.domains])
+
+    def total_field_energy(self) -> float:
+        """Electromagnetic field energy on the light mesh (diagnostic)."""
+        return self.fdtd.energy()
+
+    def arrival_delay_cells(self, z_a: float, z_b: float) -> float:
+        """Light travel time between two domain positions, in dt units."""
+        return abs(z_b - z_a) / (C_LIGHT * self.fdtd.dt)

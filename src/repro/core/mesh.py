@@ -1,0 +1,374 @@
+"""DCMESHSimulation: the coupled Maxwell-Ehrenfest-surface-hopping driver.
+
+One MD step (Eq. 3) is orchestrated as:
+
+1. **QXMD (CPU)** -- global-local SCF refresh of the adiabatic Kohn-Sham
+   states at the new atomic positions (3 SCF x 3 CG in the paper).
+2. **Surface hopping** -- nonadiabatic couplings from consecutive
+   adiabatic orbital sets drive fewest-switches hops of the excited
+   carriers; occupations and nuclear kinetic energy are updated.
+3. **Scissor setup** -- Delta_sci (Eq. 8) and the unoccupied reference
+   block are computed once and shipped to the (virtual) GPU.
+4. **LFD (GPU)** -- N_QD quantum sub-steps of the laser-driven TDDFT
+   propagator (Eq. 6) per domain; final orbitals are remapped to
+   occupation numbers, the only data returned (shadow dynamics).
+5. **Forces + MD** -- excited-state (occupation-weighted) forces move
+   the atoms by Delta_MD (velocity Verlet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.scissor import scissor_shift
+from repro.core.shadow import ShadowLedger
+from repro.core.timescale import TimescaleSplit
+from repro.device.gpu import VirtualGPU
+from repro.grids.domain import DomainDecomposition
+from repro.grids.grid import Grid3D
+from repro.lfd.nonlocal_corr import NonlocalCorrector
+from repro.lfd.observables import density
+from repro.lfd.occupations import remap_occ
+from repro.lfd.propagator import PropagatorConfig, QDPropagator
+from repro.lfd.wavefunction import WaveFunctionSet
+from repro.maxwell.laser import LaserPulse
+from repro.pseudo.elements import PseudoSpecies
+from repro.qxmd.dftsolver import DCResult, GlobalDCSolver
+from repro.qxmd.forces import ForceCalculator
+from repro.qxmd.md import MDState, kinetic_energy, temperature
+from repro.qxmd.nac import nonadiabatic_couplings
+from repro.qxmd.surface_hopping import FSSH, SurfaceHoppingState
+
+
+@dataclass
+class DCMESHConfig:
+    """Top-level simulation configuration."""
+
+    timescale: TimescaleSplit = field(
+        default_factory=lambda: TimescaleSplit(dt_md=20.0, n_qd=20)
+    )
+    nscf: int = 3
+    ncg: int = 3
+    norb_extra: int = 2
+    mixing: float = 0.4
+    kin_variant: str = "collapsed"
+    include_nonlocal: bool = True
+    use_scissor: bool = True
+    use_surface_hopping: bool = True
+    include_nonlocal_forces: bool = True
+    conserve_charge: bool = True
+    decoherence_c: Optional[float] = None
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.nscf < 1 or self.ncg < 0 or self.norb_extra < 1:
+            raise ValueError("nscf >= 1, ncg >= 0, norb_extra >= 1 required")
+
+
+@dataclass
+class MDStepRecord:
+    """Observables of one completed MD step."""
+
+    step: int
+    time: float
+    temperature: float
+    band_energy: float
+    excited_population: float
+    scissor_shifts: List[float]
+    hops: int
+    handshake_bytes: int
+    vector_potential: np.ndarray
+
+
+class DCMESHSimulation:
+    """A complete DC-MESH simulation instance.
+
+    Parameters
+    ----------
+    grid:
+        Global periodic grid (shape divisible by the domain counts, local
+        grids even-sized for the pair-split kinetic propagator).
+    ndomains:
+        DC domain lattice.
+    positions, species:
+        The atomic configuration.
+    laser:
+        Optional pulse; sampled at each domain centre (dipole
+        approximation per domain).
+    config:
+        Numerical configuration.
+    device:
+        Optional virtual GPU; when present, LFD transfers and residency
+        are charged to its clock and the shadow ledger audits the traffic.
+    """
+
+    def __init__(
+        self,
+        grid: Grid3D,
+        ndomains: tuple,
+        positions: np.ndarray,
+        species: Sequence[PseudoSpecies],
+        laser: Optional[LaserPulse] = None,
+        config: Optional[DCMESHConfig] = None,
+        device: Optional[VirtualGPU] = None,
+        buffer_width: int = 2,
+    ) -> None:
+        self.grid = grid
+        self.config = config if config is not None else DCMESHConfig()
+        self.decomposition = DomainDecomposition(grid, ndomains, buffer_width)
+        self.positions = np.asarray(positions, dtype=float)
+        self.species = list(species)
+        self.laser = laser
+        self.device = device
+        self.ledger = ShadowLedger(device.transfer if device is not None else None)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.fssh = FSSH(self.rng, decoherence_c=self.config.decoherence_c)
+        self.carriers: Dict[int, List[SurfaceHoppingState]] = {}
+
+        masses = np.array([sp.mass for sp in self.species])
+        self.md_state = MDState(
+            positions=self.positions.copy(),
+            velocities=np.zeros_like(self.positions),
+            masses=masses,
+        )
+        self.time = 0.0
+        self.step_count = 0
+        self.history: List[MDStepRecord] = []
+        self._prev_forces: Optional[np.ndarray] = None
+
+        # Initial electronic structure.
+        self.dc: DCResult = self._solve_qxmd(warm=None)
+        self.force_calc = ForceCalculator(grid, self.species)
+        psi_bytes = sum(st.wf.nbytes for st in self.dc.states)
+        self.ledger.record_psi_upload(psi_bytes, pinned=True)
+
+    # ------------------------------------------------------------------ #
+    def _solve_qxmd(self, warm: Optional[DCResult]) -> DCResult:
+        solver = GlobalDCSolver(
+            self.grid,
+            self.decomposition,
+            self.md_state.positions if hasattr(self, "md_state") else self.positions,
+            self.species,
+            norb_extra=self.config.norb_extra,
+            nscf=self.config.nscf,
+            ncg=self.config.ncg,
+            mixing=self.config.mixing,
+            include_nonlocal=self.config.include_nonlocal,
+            seed=self.config.seed,
+        )
+        if warm is not None:
+            # Warm start: seed each domain with the previous orbitals when
+            # the orbital counts still match (atoms stayed in their cores).
+            return solver.solve(warm_wfs=[st.wf for st in warm.states])
+        return solver.solve()
+
+    # ------------------------------------------------------------------ #
+    def excite_carrier(self, domain_alpha: int, target_offset: int = 1) -> None:
+        """Promote one electron of a domain from its HOMO upward.
+
+        ``target_offset`` = 1 puts the carrier on the LUMO.  This models
+        the photo-excited electron whose surface-hopping dynamics steers
+        the lattice (the Fig. 7 scenario seeds carriers via the laser).
+        """
+        st = self.dc.states[domain_alpha]
+        nelec = float(st.occupations.sum())
+        if nelec <= 0:
+            raise ValueError("domain has no occupied states")
+        homo = int(np.ceil(nelec / 2.0 - 1e-9)) - 1
+        target = homo + target_offset
+        if target >= st.wf.norb:
+            raise ValueError("target state outside the orbital set")
+        carrier = SurfaceHoppingState.on_state(st.wf.norb, target)
+        self.carriers.setdefault(domain_alpha, []).append(carrier)
+        st.occupations[homo] -= 1.0
+        st.occupations[target] += 1.0
+
+    def excited_population(self) -> float:
+        """Total electron population above each domain's ground filling."""
+        total = 0.0
+        for st in self.dc.states:
+            nelec = st.occupations.sum()
+            nfull = int(nelec // 2)
+            total += float(st.occupations[nfull:].sum())
+        return total
+
+    # ------------------------------------------------------------------ #
+    def _domain_a_of_t(self, alpha: int):
+        if self.laser is None:
+            return None
+        center = self.decomposition[alpha].core_center()
+        t0 = self.time
+
+        def a_of_t(t: float, _c=center, _t0=t0) -> np.ndarray:
+            return self.laser.vector_potential(_t0 + t)
+
+        return a_of_t
+
+    def _run_lfd(self, scissors: List[float]) -> int:
+        """Run the N_QD LFD sub-steps in every domain; returns handshake bytes."""
+        ts = self.config.timescale
+        handshake_total = 0
+        for st, dsci in zip(self.dc.states, scissors):
+            basis = st.wf
+            prop_wf = basis.copy()
+            corrector = None
+            if self.config.use_scissor and self.config.include_nonlocal:
+                lumo = int(np.ceil(float(st.occupations.sum()) / 2.0 - 1e-9))
+                if lumo < basis.norb:
+                    ref = WaveFunctionSet(
+                        basis.grid,
+                        basis.norb - lumo,
+                        dtype=basis.dtype,
+                        data=basis.psi[..., lumo:],
+                    )
+                    corrector = NonlocalCorrector(ref, dsci)
+            prop = QDPropagator(
+                prop_wf,
+                st.vloc,
+                PropagatorConfig(dt=ts.dt_qd, kin_variant=self.config.kin_variant),
+                corrector=corrector,
+                a_of_t=self._domain_a_of_t(st.domain.alpha),
+            )
+            prop.run(ts.n_qd)
+            nelec = float(st.occupations.sum())
+            st.occupations = remap_occ(prop.wf, basis, st.occupations)
+            if self.config.conserve_charge:
+                # The finite adiabatic basis cannot capture the whole
+                # propagated state; rescale the remapped occupations so
+                # the projection leakage does not drain charge.
+                total = float(st.occupations.sum())
+                if total > 0.0:
+                    st.occupations *= nelec / total
+            rec = self.ledger.record_handshake(
+                md_step=self.step_count,
+                vloc_bytes=st.vloc.nbytes,
+                occ_count=st.occupations.size,
+                psi_bytes_resident=basis.nbytes + prop_wf.nbytes,
+                pinned=True,
+            )
+            handshake_total += rec.total
+        return handshake_total
+
+    def _surface_hopping(self, prev: DCResult) -> int:
+        """FSSH update of all carriers; returns the number of accepted hops."""
+        hops = 0
+        dt = self.config.timescale.dt_md
+        ke = kinetic_energy(self.md_state)
+        for alpha, carriers in self.carriers.items():
+            st_prev = prev.states[alpha]
+            st_new = self.dc.states[alpha]
+            if st_prev.wf.norb != st_new.wf.norb:
+                continue
+            nac = nonadiabatic_couplings(st_prev.wf, st_new.wf, dt)
+            for carrier in carriers:
+                old_active = carrier.active
+                hopped, scale = self.fssh.step(
+                    carrier, st_new.eigenvalues, nac, dt, ke
+                )
+                if hopped:
+                    hops += 1
+                    st_new.occupations[old_active] -= 1.0
+                    st_new.occupations[carrier.active] += 1.0
+                    self.md_state.velocities *= scale
+        return hops
+
+    def _forces(self) -> np.ndarray:
+        """Occupation-weighted (excited-state) forces on all atoms."""
+        rho_global = self.decomposition.recombine(
+            [density(st.wf, st.occupations) for st in self.dc.states]
+        )
+        f = self.force_calc.electrostatic_forces(self.md_state.positions, rho_global)
+        from repro.pseudo.local import core_repulsion_pair_forces
+
+        f += core_repulsion_pair_forces(self.grid, self.md_state.positions, self.species)
+        if self.config.include_nonlocal_forces and self.config.include_nonlocal:
+            for st in self.dc.states:
+                if st.kb is None or not st.atom_indices:
+                    continue
+                local_calc = ForceCalculator(
+                    st.domain.local_grid,
+                    [self.species[i] for i in st.atom_indices],
+                    poisson=None,
+                )
+                local_pos = self.md_state.positions[st.atom_indices]
+                f_nl = local_calc.nonlocal_forces(
+                    local_pos, st.wf, st.occupations, kb=st.kb
+                )
+                for row, atom in enumerate(st.atom_indices):
+                    f[atom] += f_nl[row]
+        return f
+
+    # ------------------------------------------------------------------ #
+    def md_step(self) -> MDStepRecord:
+        """Advance the coupled system by one Delta_MD."""
+        cfg = self.config
+        ts = cfg.timescale
+        prev = self.dc
+
+        # 1. QXMD: adiabatic states at the current positions.
+        self.dc = self._solve_qxmd(warm=prev)
+        for st_new, st_old in zip(self.dc.states, prev.states):
+            if st_new.wf.norb == st_old.wf.norb:
+                st_new.occupations = st_old.occupations.copy()
+
+        # 2. Surface hopping (U_SH of Eq. 3).
+        hops = 0
+        if cfg.use_surface_hopping and self.carriers and self.step_count > 0:
+            hops = self._surface_hopping(prev)
+
+        # 3. Scissor shifts (Eq. 8), once per MD step.
+        scissors = []
+        for st in self.dc.states:
+            if cfg.use_scissor and st.kb is not None:
+                from repro.qxmd.hamiltonian import KSHamiltonian
+
+                ham = KSHamiltonian(st.domain.local_grid, st.vloc, kb=st.kb)
+                scissors.append(scissor_shift(ham, st.wf, st.occupations))
+            else:
+                scissors.append(0.0)
+
+        # 4. LFD: laser-driven propagation + occupation remap (shadow).
+        handshake = self._run_lfd(scissors)
+
+        # 5. Excited-state forces + velocity Verlet.
+        forces = self._forces()
+        m = self.md_state.masses[:, None]
+        f0 = self._prev_forces if self._prev_forces is not None else forces
+        dt = ts.dt_md
+        self.md_state.velocities = self.md_state.velocities + 0.5 * (f0 + forces) / m * dt
+        self.md_state.positions = (
+            self.md_state.positions
+            + self.md_state.velocities * dt
+            + 0.5 * forces / m * dt * dt
+        )
+        self._prev_forces = forces
+
+        self.time += dt
+        self.step_count += 1
+        a_now = (
+            self.laser.vector_potential(self.time)
+            if self.laser is not None
+            else np.zeros(3)
+        )
+        record = MDStepRecord(
+            step=self.step_count,
+            time=self.time,
+            temperature=temperature(self.md_state),
+            band_energy=self.dc.band_sum(),
+            excited_population=self.excited_population(),
+            scissor_shifts=scissors,
+            hops=hops,
+            handshake_bytes=handshake,
+            vector_potential=np.asarray(a_now),
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, nsteps: int) -> List[MDStepRecord]:
+        """Run ``nsteps`` MD steps; returns their records."""
+        if nsteps < 0:
+            raise ValueError("nsteps must be non-negative")
+        return [self.md_step() for _ in range(nsteps)]

@@ -1,0 +1,110 @@
+"""Shadow-dynamics handshake accounting.
+
+The point of shadow dynamics (Fig. 1b) is that the GPU-resident LFD proxy
+communicates with CPU-resident QXMD through *occupation numbers only*:
+per MD step, the CPU sends the refreshed local potential, scissor shift
+and starting occupations down, and receives remapped occupations back.
+The wave-function matrices Psi(t), Psi(0) never cross the PCIe bus after
+their one-time upload.  :class:`ShadowLedger` records every handshake so
+tests and benchmarks can assert both properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.device.transfer import TransferEngine
+
+
+@dataclass(frozen=True)
+class HandshakeRecord:
+    """One MD step's CPU<->GPU traffic."""
+
+    md_step: int
+    bytes_down: int     # potential + scissor + occupations to the device
+    bytes_up: int       # remapped occupations back to the host
+    psi_bytes_resident: int  # device-resident wave-function footprint
+
+    @property
+    def total(self) -> int:
+        return self.bytes_down + self.bytes_up
+
+
+class ShadowLedger:
+    """Accumulates handshake records and enforces the shadow contract."""
+
+    def __init__(self, transfer: Optional[TransferEngine] = None) -> None:
+        self.records: List[HandshakeRecord] = []
+        self.transfer = transfer
+        self.psi_uploads = 0
+
+    def record_psi_upload(self, nbytes: int, pinned: bool = False) -> None:
+        """The one-time Psi(0) upload at simulation start."""
+        self.psi_uploads += 1
+        if self.transfer is not None:
+            self.transfer.h2d(nbytes, pinned=pinned, tag="psi_initial_upload")
+
+    def record_handshake(
+        self,
+        md_step: int,
+        vloc_bytes: int,
+        occ_count: int,
+        psi_bytes_resident: int,
+        pinned: bool = False,
+    ) -> HandshakeRecord:
+        """Record one MD step's handshake and charge the transfer model."""
+        bytes_down = int(vloc_bytes) + 8 * (int(occ_count) + 1)  # + scissor
+        bytes_up = 8 * int(occ_count)
+        rec = HandshakeRecord(
+            md_step=md_step,
+            bytes_down=bytes_down,
+            bytes_up=bytes_up,
+            psi_bytes_resident=int(psi_bytes_resident),
+        )
+        self.records.append(rec)
+        if self.transfer is not None:
+            self.transfer.h2d(bytes_down, pinned=pinned, tag="shadow_down")
+            self.transfer.d2h(bytes_up, pinned=pinned, tag="shadow_up")
+        return rec
+
+    # ------------------------------------------------------------------ #
+    def steady_state_bytes_per_step(self) -> float:
+        """Mean handshake bytes per MD step (excludes the initial upload)."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.total for r in self.records]))
+
+    def traffic_ratio(self) -> float:
+        """Handshake bytes relative to the resident Psi footprint.
+
+        Shadow dynamics promises this to be << 1; the paper calls the
+        occupations 'negligible compared to the large memory footprint of
+        many KS wave functions'.
+        """
+        if not self.records:
+            return 0.0
+        resident = max(r.psi_bytes_resident for r in self.records)
+        if resident == 0:
+            return float("inf")
+        return self.steady_state_bytes_per_step() / resident
+
+    def assert_no_psi_traffic(self) -> None:
+        """Raise if wave functions were re-transferred after the upload."""
+        if self.psi_uploads > 1:
+            raise AssertionError(
+                f"wave functions uploaded {self.psi_uploads} times; shadow "
+                f"dynamics allows exactly one initial upload"
+            )
+        if self.transfer is not None:
+            bad = [
+                r for r in self.transfer.ledger
+                if r.tag not in ("psi_initial_upload", "shadow_down", "shadow_up")
+            ]
+            if bad:
+                raise AssertionError(
+                    f"unexpected transfers outside the shadow contract: "
+                    f"{[r.tag for r in bad]}"
+                )

@@ -1,0 +1,55 @@
+"""Multiple time-scale splitting (Eqs. 3-4).
+
+Electrons evolve with Delta_QD ~ attoseconds while atoms move with
+Delta_MD ~ femtoseconds; N_QD = Delta_MD / Delta_QD quantum sub-steps
+(10^2..10^3 in the paper) are taken per MD step, with the surface-hopping
+factor U_SH applied once per MD step (Eq. 3) and the Suzuki-Trotter
+product of Eq. (4) filling the interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import fs_to_aut
+
+
+@dataclass(frozen=True)
+class TimescaleSplit:
+    """Consistent (Delta_MD, N_QD, Delta_QD) triple in atomic units."""
+
+    dt_md: float
+    n_qd: int
+
+    def __post_init__(self) -> None:
+        if self.dt_md <= 0:
+            raise ValueError("dt_md must be positive")
+        if self.n_qd < 1:
+            raise ValueError("n_qd must be at least 1")
+
+    @property
+    def dt_qd(self) -> float:
+        """The electronic sub-step Delta_QD = Delta_MD / N_QD."""
+        return self.dt_md / self.n_qd
+
+    @classmethod
+    def from_physical(cls, dt_md_fs: float, dt_qd_as: float) -> "TimescaleSplit":
+        """Build from Delta_MD in femtoseconds and Delta_QD in attoseconds.
+
+        N_QD is rounded to the nearest integer >= 1; the realized dt_qd is
+        then exactly dt_md / n_qd (the splitting must tile the MD step).
+        """
+        if dt_md_fs <= 0 or dt_qd_as <= 0:
+            raise ValueError("time steps must be positive")
+        dt_md = fs_to_aut(dt_md_fs)
+        dt_qd = fs_to_aut(dt_qd_as / 1000.0)
+        n_qd = max(1, round(dt_md / dt_qd))
+        return cls(dt_md=dt_md, n_qd=n_qd)
+
+    def midpoints(self) -> list[float]:
+        """The Suzuki-Trotter evaluation times (n + 1/2) dt_qd of Eq. (4)."""
+        return [(n + 0.5) * self.dt_qd for n in range(self.n_qd)]
+
+    def amortization_ratio(self) -> float:
+        """How many QD sub-steps amortize each per-MD-step nonlocal setup."""
+        return float(self.n_qd)

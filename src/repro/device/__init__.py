@@ -1,0 +1,51 @@
+"""Virtual GPU substrate.
+
+The paper runs the LFD subprogram on Nvidia A100 GPUs via OpenMP target
+offload.  This container has no GPU, so the device package provides a
+*virtual GPU*: it executes the identical NumPy kernel payloads (so every
+offloaded code path is exercised for real) while charging wall-clock time
+on a simulated clock from a roofline cost model built from datasheet
+numbers (HBM2 bandwidth, SP/DP peak throughput, kernel-launch latency,
+PCIe pageable/pinned transfer rates, stream overlap).  DESIGN.md section 2
+documents this substitution.
+"""
+
+from repro.device.spec import (
+    DeviceSpec,
+    LinkSpec,
+    A100,
+    A100_PCIE,
+    EPYC_7543_CORE,
+    EPYC_7543_SOCKET,
+    PCIE_GEN4,
+)
+from repro.device.clock import SimClock, ClockEvent
+from repro.device.allocator import DeviceAllocator, DeviceArray, DeviceMemoryError
+from repro.device.transfer import TransferEngine, TransferRecord
+from repro.device.streams import Stream
+from repro.device.kernels import KernelCostModel, KernelLauncher, KernelRecord
+from repro.device.blas import DeviceBLAS
+from repro.device.gpu import VirtualGPU
+
+__all__ = [
+    "DeviceSpec",
+    "LinkSpec",
+    "A100",
+    "A100_PCIE",
+    "EPYC_7543_CORE",
+    "EPYC_7543_SOCKET",
+    "PCIE_GEN4",
+    "SimClock",
+    "ClockEvent",
+    "DeviceAllocator",
+    "DeviceArray",
+    "DeviceMemoryError",
+    "TransferEngine",
+    "TransferRecord",
+    "Stream",
+    "KernelCostModel",
+    "KernelLauncher",
+    "KernelRecord",
+    "DeviceBLAS",
+    "VirtualGPU",
+]

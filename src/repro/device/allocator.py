@@ -1,0 +1,154 @@
+"""GPU-resident arrays with RAII semantics (Algorithm 6, ``OMPallocator``).
+
+The paper keeps the large wave-function matrices Psi(t) and Psi(0)
+persistently GPU-resident via a custom allocator whose constructor issues
+``#pragma omp target enter data map(alloc)`` and whose destructor issues
+``exit data map(delete)``.  :class:`DeviceArray` reproduces that contract:
+creation allocates device memory (tracked against capacity), explicit
+``update_to_device``/``update_from_device`` calls move data across the
+modeled link, and ``free()``/context-manager exit releases the device
+allocation.  A transfer ledger lets tests assert the shadow-dynamics
+property: *zero* steady-state wave-function traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.device.clock import SimClock
+from repro.device.spec import DeviceSpec, LinkSpec
+from repro.device.transfer import TransferEngine
+
+
+class DeviceMemoryError(RuntimeError):
+    """Raised on device out-of-memory, double free or use-after-free."""
+
+
+class DeviceAllocator:
+    """Tracks device-memory allocations against the device capacity."""
+
+    def __init__(self, spec: DeviceSpec, clock: Optional[SimClock] = None,
+                 link: Optional[LinkSpec] = None) -> None:
+        self.spec = spec
+        self.clock = clock if clock is not None else SimClock()
+        self.transfer = TransferEngine(link, self.clock) if link is not None else None
+        self.bytes_allocated = 0
+        self.peak_bytes = 0
+        self.total_allocs = 0
+        self._live: Set[int] = set()
+
+    def allocate(self, nbytes: int, tag: str = "") -> int:
+        """Reserve ``nbytes`` of device memory; returns an allocation id."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.bytes_allocated + nbytes > self.spec.mem_capacity:
+            raise DeviceMemoryError(
+                f"device OOM on {self.spec.name}: requested {nbytes} bytes with "
+                f"{self.bytes_allocated} already allocated "
+                f"(capacity {self.spec.mem_capacity:.3g})"
+            )
+        self.total_allocs += 1
+        alloc_id = self.total_allocs
+        self._live.add(alloc_id)
+        self.bytes_allocated += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.bytes_allocated)
+        return alloc_id
+
+    def deallocate(self, alloc_id: int, nbytes: int) -> None:
+        """Release a previous allocation."""
+        if alloc_id not in self._live:
+            raise DeviceMemoryError(f"double free or invalid allocation id {alloc_id}")
+        self._live.remove(alloc_id)
+        self.bytes_allocated -= nbytes
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+
+class DeviceArray:
+    """A host array with a persistent device mirror (``OMPallocator`` analogue).
+
+    Parameters
+    ----------
+    host:
+        The host NumPy array; the "device image" is this same storage (we
+        have one physical memory), but residency, capacity accounting and
+        transfer costs are modeled faithfully.
+    allocator:
+        The owning :class:`DeviceAllocator`.
+    pinned:
+        Whether the host buffer is pinned (faster transfers; Table II's
+        final row).
+    tag:
+        Name used in the event log.
+    """
+
+    def __init__(
+        self,
+        host: np.ndarray,
+        allocator: DeviceAllocator,
+        pinned: bool = False,
+        tag: str = "array",
+    ) -> None:
+        self.host = host
+        self.allocator = allocator
+        self.pinned = bool(pinned)
+        self.tag = tag
+        self.h2d_count = 0
+        self.d2h_count = 0
+        self._alloc_id: Optional[int] = allocator.allocate(host.nbytes, tag=tag)
+
+    # -- residency ------------------------------------------------------ #
+    @property
+    def on_device(self) -> bool:
+        return self._alloc_id is not None
+
+    def _require_live(self) -> None:
+        if self._alloc_id is None:
+            raise DeviceMemoryError(f"use after free of device array {self.tag!r}")
+
+    @property
+    def data(self) -> np.ndarray:
+        """The device-resident data (kernels operate on this)."""
+        self._require_live()
+        return self.host
+
+    @property
+    def nbytes(self) -> int:
+        return self.host.nbytes
+
+    # -- transfers (``omp target update``) ------------------------------ #
+    def update_to_device(self) -> float:
+        """Model a host-to-device update of the full buffer; returns time."""
+        self._require_live()
+        self.h2d_count += 1
+        if self.allocator.transfer is None:
+            return 0.0
+        return self.allocator.transfer.h2d(self.host.nbytes, pinned=self.pinned,
+                                           tag=self.tag)
+
+    def update_from_device(self) -> float:
+        """Model a device-to-host update of the full buffer; returns time."""
+        self._require_live()
+        self.d2h_count += 1
+        if self.allocator.transfer is None:
+            return 0.0
+        return self.allocator.transfer.d2h(self.host.nbytes, pinned=self.pinned,
+                                           tag=self.tag)
+
+    # -- lifetime (``enter/exit data``) ---------------------------------- #
+    def free(self) -> None:
+        """Release the device mirror (the destructor of Algorithm 6)."""
+        self._require_live()
+        self.allocator.deallocate(self._alloc_id, self.host.nbytes)
+        self._alloc_id = None
+
+    def __enter__(self) -> "DeviceArray":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._alloc_id is not None:
+            self.free()

@@ -1,0 +1,82 @@
+"""Simulated clock and event log for the virtual device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ClockEvent:
+    """One charged interval on the simulated timeline."""
+
+    name: str
+    category: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class SimClock:
+    """A monotonically advancing simulated clock with an event log.
+
+    All modeled costs (kernels, transfers, synchronizations) advance this
+    clock; analysis code slices the event log by category to produce the
+    per-kernel breakdowns of Table II and Fig. 5.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self.events: List[ClockEvent] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, duration: float, name: str = "", category: str = "other") -> ClockEvent:
+        """Charge ``duration`` seconds and record the event."""
+        if duration < 0.0:
+            raise ValueError("cannot advance the clock backwards")
+        ev = ClockEvent(name=name, category=category, start=self._now, duration=duration)
+        self._now += duration
+        self.events.append(ev)
+        return ev
+
+    def advance_to(self, t: float, name: str = "", category: str = "wait") -> float:
+        """Advance to an absolute time (no-op if already past it).
+
+        Returns the wait duration actually charged.
+        """
+        if t <= self._now:
+            return 0.0
+        wait = t - self._now
+        self.advance(wait, name=name, category=category)
+        return wait
+
+    def total(self, category: str | None = None) -> float:
+        """Total charged time, optionally restricted to one category."""
+        if category is None:
+            return self._now
+        return sum(ev.duration for ev in self.events if ev.category == category)
+
+    def by_category(self) -> Dict[str, float]:
+        """Charged time per category."""
+        out: Dict[str, float] = {}
+        for ev in self.events:
+            out[ev.category] = out.get(ev.category, 0.0) + ev.duration
+        return out
+
+    def by_name(self) -> Dict[str, float]:
+        """Charged time per event name."""
+        out: Dict[str, float] = {}
+        for ev in self.events:
+            out[ev.name] = out.get(ev.name, 0.0) + ev.duration
+        return out
+
+    def reset(self) -> None:
+        """Zero the clock and clear the log."""
+        self._now = 0.0
+        self.events.clear()

@@ -1,0 +1,89 @@
+"""Energy-to-solution modeling.
+
+The paper targets "ultrafast and ultralow-power" applications; the
+HPC-side counterpart is energy-to-solution.  This module attaches TDP
+figures to the device specs and converts modeled step times into node
+energy, reproducing the standard GPU-era argument: offloading costs more
+*power* but much less *energy* because the run finishes so much sooner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.device.spec import (
+    A100,
+    EPYC_7543_CORE,
+    EPYC_7543_SOCKET,
+    PVC_MAX_1550,
+    DeviceSpec,
+)
+
+#: Thermal design power (W) by device name -- datasheet values.
+TDP_WATTS: Dict[str, float] = {
+    A100.name: 400.0,
+    EPYC_7543_CORE.name: 225.0 / 32.0,   # socket share
+    EPYC_7543_SOCKET.name: 225.0,
+    PVC_MAX_1550.name: 600.0,
+}
+
+#: Node-level overhead (DRAM, NICs, fans, VRs) in W.
+NODE_OVERHEAD_WATTS = 300.0
+
+
+def device_power(spec: DeviceSpec) -> float:
+    """TDP of a device; raises for devices without a power figure."""
+    try:
+        return TDP_WATTS[spec.name]
+    except KeyError:
+        raise KeyError(
+            f"no TDP registered for {spec.name!r}; known: {sorted(TDP_WATTS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class NodeEnergyModel:
+    """Power/energy accounting for one node configuration.
+
+    Parameters
+    ----------
+    ngpus:
+        Accelerators per node (0 for the CPU-only configuration).
+    gpu:
+        Accelerator spec (ignored when ngpus = 0).
+    cpu_sockets:
+        Host CPU sockets.
+    cpu:
+        Socket-level CPU spec.
+    """
+
+    ngpus: int = 4
+    gpu: DeviceSpec = A100
+    cpu_sockets: int = 1
+    cpu: DeviceSpec = EPYC_7543_SOCKET
+
+    def __post_init__(self) -> None:
+        if self.ngpus < 0 or self.cpu_sockets < 1:
+            raise ValueError("ngpus must be >= 0 and cpu_sockets >= 1")
+
+    @property
+    def node_power(self) -> float:
+        """Sustained node power draw (W)."""
+        p = self.cpu_sockets * device_power(self.cpu) + NODE_OVERHEAD_WATTS
+        if self.ngpus:
+            p += self.ngpus * device_power(self.gpu)
+        return p
+
+    def energy_to_solution(self, step_time_s: float, nsteps: int = 1) -> float:
+        """Node energy (J) for ``nsteps`` MD steps of ``step_time_s`` each."""
+        if step_time_s <= 0 or nsteps < 0:
+            raise ValueError("step_time_s must be positive, nsteps >= 0")
+        return self.node_power * step_time_s * nsteps
+
+    def energy_per_atom_step(self, step_time_s: float, natoms: int) -> float:
+        """J per (atom x MD step) -- the energy analogue of the paper's
+        'speed' metric."""
+        if natoms < 1:
+            raise ValueError("natoms must be positive")
+        return self.energy_to_solution(step_time_s) / natoms

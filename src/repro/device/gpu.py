@@ -1,0 +1,74 @@
+"""The virtual GPU facade: clock + allocator + transfers + streams + BLAS."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.device.allocator import DeviceAllocator, DeviceArray
+from repro.device.blas import DeviceBLAS
+from repro.device.clock import SimClock
+from repro.device.kernels import KernelLauncher
+from repro.device.spec import A100, PCIE_GEN4, DeviceSpec, LinkSpec
+from repro.device.streams import Stream
+from repro.device.transfer import TransferEngine
+
+
+class VirtualGPU:
+    """One simulated accelerator with a shared clock across subsystems.
+
+    Typical use::
+
+        gpu = VirtualGPU()
+        psi_dev = gpu.array(psi_host, pinned=True, tag="psi")   # enter data
+        psi_dev.update_to_device()                              # one-time upload
+        gpu.launch("kin_prop", flops=..., bytes_moved=..., payload=fn,
+                   nowait=True)
+        gpu.synchronize()
+        print(gpu.elapsed)                                      # modeled seconds
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec = A100,
+        link: LinkSpec = PCIE_GEN4,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.spec = spec
+        self.clock = clock if clock is not None else SimClock()
+        self.transfer = TransferEngine(link, self.clock)
+        self.allocator = DeviceAllocator(spec, self.clock)
+        self.allocator.transfer = self.transfer
+        self.launcher = KernelLauncher(spec, self.clock)
+        self.stream = Stream(self.clock, name="stream0")
+        self.blas = DeviceBLAS(self.launcher, stream=self.stream)
+
+    def array(self, host: np.ndarray, pinned: bool = False, tag: str = "array") -> DeviceArray:
+        """Create a persistent device-resident mirror of a host array."""
+        return DeviceArray(host, self.allocator, pinned=pinned, tag=tag)
+
+    def launch(self, name: str, flops: float, bytes_moved: float, **kwargs) -> float:
+        """Launch a kernel on the default stream (see KernelLauncher.launch)."""
+        kwargs.setdefault("stream", self.stream)
+        return self.launcher.launch(name, flops, bytes_moved, **kwargs)
+
+    def gemm(self, a: np.ndarray, b: np.ndarray, **kwargs) -> np.ndarray:
+        """Timed GEMM on the default stream."""
+        return self.blas.gemm(a, b, **kwargs)
+
+    def synchronize(self) -> float:
+        """Wait for the default stream; returns the wait charged."""
+        return self.stream.synchronize()
+
+    @property
+    def elapsed(self) -> float:
+        """Modeled wall-clock so far (host timeline)."""
+        return self.clock.now
+
+    def reset(self) -> None:
+        """Zero the clock/event log (keeps allocations)."""
+        self.clock.reset()
+        self.stream.busy_until = 0.0
+        self.transfer.reset()
+        self.launcher.records.clear()

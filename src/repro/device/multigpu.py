@@ -1,0 +1,126 @@
+"""Multi-GPU node model: 4 A100s on an NVLink'd HGX board.
+
+One Polaris node hosts four GPUs (one per MPI rank in the paper's
+configuration); this module models the node-level picture: independent
+per-GPU clocks, NVLink peer-to-peer transfers, and a work scheduler that
+maps DC domains onto GPUs and reports the node makespan (max over GPU
+timelines) -- the quantity behind Fig. 4's node throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.device.gpu import VirtualGPU
+from repro.device.spec import A100, NVLINK, DeviceSpec, LinkSpec, PCIE_GEN4
+
+
+class MultiGPUNode:
+    """A node with ``ngpus`` virtual GPUs and an NVLink fabric.
+
+    Parameters
+    ----------
+    ngpus:
+        GPUs on the board (Polaris: 4).
+    spec, host_link, peer_link:
+        Hardware models; defaults are the Polaris A100 HGX numbers.
+    """
+
+    def __init__(
+        self,
+        ngpus: int = 4,
+        spec: DeviceSpec = A100,
+        host_link: LinkSpec = PCIE_GEN4,
+        peer_link: LinkSpec = NVLINK,
+    ) -> None:
+        if ngpus < 1:
+            raise ValueError("need at least one GPU")
+        self.gpus = [VirtualGPU(spec=spec, link=host_link) for _ in range(ngpus)]
+        self.peer_link = peer_link
+        self.peer_transfers: List[Tuple[int, int, int, float]] = []
+
+    @property
+    def ngpus(self) -> int:
+        return len(self.gpus)
+
+    def _check(self, idx: int) -> None:
+        if not (0 <= idx < self.ngpus):
+            raise ValueError(f"GPU index {idx} out of range [0, {self.ngpus})")
+
+    # ------------------------------------------------------------------ #
+    def peer_transfer(self, src: int, dst: int, nbytes: int) -> float:
+        """Device-to-device copy over NVLink; charges both GPU clocks."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise ValueError("source and destination GPU are the same")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        t = self.peer_link.transfer_time(nbytes)
+        # Both endpoints participate; the copy completes when both are free.
+        start = max(self.gpus[src].clock.now, self.gpus[dst].clock.now)
+        for g in (self.gpus[src], self.gpus[dst]):
+            g.clock.advance_to(start, name="p2p-wait")
+            g.clock.advance(t, name=f"p2p:{src}->{dst}", category="transfer")
+        self.peer_transfers.append((src, dst, nbytes, t))
+        return t
+
+    # ------------------------------------------------------------------ #
+    def schedule_domains(
+        self,
+        domain_costs: Sequence[Tuple[float, float]],
+        itemsize: int = 8,
+        payloads: Optional[Sequence[Callable[[], None]]] = None,
+    ) -> Dict[int, List[int]]:
+        """Assign domain kernels to GPUs (longest-processing-time greedy).
+
+        ``domain_costs`` is a list of (flops, bytes) per domain.  Returns
+        the GPU -> domain-indices mapping; kernel times are charged to the
+        owning GPU (async + one sync at the end, the steady-state LFD
+        pattern).
+        """
+        if payloads is not None and len(payloads) != len(domain_costs):
+            raise ValueError("one payload per domain required")
+        # LPT greedy on modeled kernel time.
+        times = [
+            self.gpus[0].launcher.model.kernel_time(f, b, itemsize=itemsize)
+            for f, b in domain_costs
+        ]
+        order = sorted(range(len(times)), key=lambda i: -times[i])
+        assignment: Dict[int, List[int]] = {g: [] for g in range(self.ngpus)}
+        loads = [0.0] * self.ngpus
+        for i in order:
+            g = loads.index(min(loads))
+            assignment[g].append(i)
+            loads[g] += times[i]
+        for g, domains in assignment.items():
+            gpu = self.gpus[g]
+            for i in domains:
+                f, b = domain_costs[i]
+                gpu.launch(
+                    f"domain{i}", flops=f, bytes_moved=b, itemsize=itemsize,
+                    payload=None if payloads is None else payloads[i],
+                    nowait=True,
+                )
+            gpu.synchronize()
+        return assignment
+
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Node completion time: the slowest GPU's clock."""
+        return max(g.elapsed for g in self.gpus)
+
+    def load_imbalance(self) -> float:
+        """max/mean GPU busy time (1.0 = perfect balance)."""
+        times = [g.elapsed for g in self.gpus]
+        mean = sum(times) / len(times)
+        if mean == 0.0:
+            return 1.0
+        return max(times) / mean
+
+    def reset(self) -> None:
+        """Zero every GPU clock and drop the peer-transfer log."""
+        for g in self.gpus:
+            g.reset()
+        self.peer_transfers.clear()

@@ -1,0 +1,166 @@
+"""Hardware specifications of the Polaris node components.
+
+All numbers are datasheet / paper values (Section IV), not fitted:
+
+* Nvidia A100 (HGX, 40 GB PCIe variant also listed): 9.7 DP / 19.5 SP
+  TFLOP/s, 1,555 GB/s HBM2 bandwidth.
+* AMD EPYC Milan 7543P: 32 cores at 2.8 GHz; one core sustains roughly
+  2.8 GHz x 16 DP flops/cycle = 44.8 GFLOP/s DP peak and ~20 GB/s of
+  the shared DDR4 bandwidth.
+* PCIe Gen4 x16: 64 GB/s bidirectional peak (paper's number); sustained
+  pageable copies reach ~40% of peak, pinned ~70%.
+
+One documented fudge factor exists: ``SCALAR_EFFICIENCY`` models how far
+below peak a *scalar, layout-hostile* loop nest runs (the Algorithm 1
+baseline); vectorized kernels are charged via the roofline directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Efficiency of un-vectorized, cache-hostile scalar code relative to the
+#: core's peak flop rate.  This is the single CPU-side fudge factor; it is
+#: shared by every modeled table (not tuned per experiment).
+SCALAR_EFFICIENCY = 0.04
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A compute device (GPU or CPU core/socket) for the roofline model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    peak_flops_sp, peak_flops_dp:
+        Peak single/double-precision throughput (flop/s).
+    mem_bandwidth:
+        Sustained main-memory bandwidth (bytes/s).
+    mem_capacity:
+        Device memory capacity (bytes).
+    launch_latency:
+        Per-kernel launch latency (s); zero for host execution.
+    sync_overhead:
+        Extra host-side cost of a blocking (synchronous) launch (s).
+    is_gpu:
+        True for accelerator devices.
+    """
+
+    name: str
+    peak_flops_sp: float
+    peak_flops_dp: float
+    mem_bandwidth: float
+    mem_capacity: float
+    launch_latency: float = 0.0
+    sync_overhead: float = 0.0
+    is_gpu: bool = False
+
+    def peak_flops(self, itemsize: int) -> float:
+        """Peak flop rate for a given scalar size (4 -> SP, 8 -> DP)."""
+        return self.peak_flops_sp if itemsize <= 4 else self.peak_flops_dp
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A host-device (or device-device) link.
+
+    ``bandwidth_pageable``/``bandwidth_pinned`` are the sustained copy
+    rates for pageable and pinned host buffers; ``latency`` is the
+    per-transfer setup cost.
+    """
+
+    name: str
+    bandwidth_pageable: float
+    bandwidth_pinned: float
+    latency: float
+
+    def transfer_time(self, nbytes: float, pinned: bool = False) -> float:
+        """Modeled time of one transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        bw = self.bandwidth_pinned if pinned else self.bandwidth_pageable
+        return self.latency + nbytes / bw
+
+
+#: Nvidia A100 on the HGX baseboard (Polaris): 60 GB HBM2 variant.
+A100 = DeviceSpec(
+    name="NVIDIA A100 (HGX)",
+    peak_flops_sp=19.5e12,
+    peak_flops_dp=9.7e12,
+    mem_bandwidth=1.555e12,
+    mem_capacity=60e9,
+    launch_latency=6e-6,
+    sync_overhead=4e-6,
+    is_gpu=True,
+)
+
+#: Nvidia A100 PCIe variant (40 GB).
+A100_PCIE = DeviceSpec(
+    name="NVIDIA A100 (PCIe)",
+    peak_flops_sp=19.5e12,
+    peak_flops_dp=9.7e12,
+    mem_bandwidth=1.555e12,
+    mem_capacity=40e9,
+    launch_latency=6e-6,
+    sync_overhead=4e-6,
+    is_gpu=True,
+)
+
+#: One core of the AMD EPYC Milan 7543P (paper's single-thread CPU baseline).
+EPYC_7543_CORE = DeviceSpec(
+    name="AMD EPYC 7543P (1 core)",
+    peak_flops_sp=89.6e9,
+    peak_flops_dp=44.8e9,
+    mem_bandwidth=20e9,
+    mem_capacity=512e9,
+)
+
+#: The full 32-core EPYC 7543P socket (for node-level comparisons, Fig. 4).
+EPYC_7543_SOCKET = DeviceSpec(
+    name="AMD EPYC 7543P (32 cores)",
+    peak_flops_sp=2.87e12,
+    peak_flops_dp=1.43e12,
+    mem_bandwidth=204.8e9,
+    mem_capacity=512e9,
+)
+
+#: PCIe Gen4 x16 host-device link (paper: 64 GB/s peak).
+PCIE_GEN4 = LinkSpec(
+    name="PCIe Gen4 x16",
+    bandwidth_pageable=0.40 * 64e9 / 2.0,  # one direction, pageable sustained
+    bandwidth_pinned=0.70 * 64e9 / 2.0,    # one direction, pinned sustained
+    latency=10e-6,
+)
+
+#: NVLink between A100s on the HGX baseboard (600 GB/s aggregate).
+NVLINK = LinkSpec(
+    name="NVLink (A100 HGX)",
+    bandwidth_pageable=600e9 / 2.0,
+    bandwidth_pinned=600e9 / 2.0,
+    latency=2e-6,
+)
+
+
+#: Intel Data Center GPU Max 1550 ("Ponte Vecchio"), the Aurora GPU the
+#: paper's conclusion reports porting to (datasheet values; 2 stacks).
+PVC_MAX_1550 = DeviceSpec(
+    name="Intel Max 1550 (PVC)",
+    peak_flops_sp=104e12,
+    peak_flops_dp=52e12,
+    mem_bandwidth=3.2768e12,
+    mem_capacity=128e9,
+    launch_latency=8e-6,
+    sync_overhead=5e-6,
+    is_gpu=True,
+)
+
+#: One core of the Aurora Xeon Max 9470 host CPU.
+XEON_MAX_CORE = DeviceSpec(
+    name="Intel Xeon Max 9470 (1 core)",
+    peak_flops_sp=76.8e9,
+    peak_flops_dp=38.4e9,
+    mem_bandwidth=25e9,
+    mem_capacity=512e9,
+)

@@ -1,0 +1,50 @@
+"""Execution streams for asynchronous kernel launches.
+
+Models the ``nowait`` ablation of Table I: a synchronous launch makes the
+host wait for launch latency + kernel + sync overhead per kernel, while an
+asynchronous launch only pays a small enqueue cost on the host and lets
+consecutive kernels pipeline on the device; the host pays the remaining
+device time at the next synchronization point.
+"""
+
+from __future__ import annotations
+
+from repro.device.clock import SimClock
+
+
+#: Host-side cost of enqueuing an asynchronous kernel (s).
+ENQUEUE_COST = 1.5e-6
+
+
+class Stream:
+    """One in-order device execution stream."""
+
+    def __init__(self, clock: SimClock, name: str = "stream0") -> None:
+        self.clock = clock
+        self.name = name
+        self.busy_until = 0.0
+        self.kernels_enqueued = 0
+
+    def enqueue(self, duration: float, launch_latency: float, name: str = "") -> None:
+        """Enqueue a kernel of modeled ``duration`` without blocking the host.
+
+        The host clock advances only by the enqueue cost; the device-side
+        completion time accumulates on ``busy_until``.
+        """
+        if duration < 0.0:
+            raise ValueError("duration must be non-negative")
+        self.clock.advance(ENQUEUE_COST, name=f"enqueue:{name}", category="launch")
+        start = max(self.busy_until, self.clock.now + launch_latency)
+        self.busy_until = start + duration
+        self.kernels_enqueued += 1
+
+    def synchronize(self, name: str = "sync") -> float:
+        """Block the host until all enqueued work completes.
+
+        Returns the wait time charged.
+        """
+        return self.clock.advance_to(self.busy_until, name=name, category="sync")
+
+    @property
+    def idle(self) -> bool:
+        return self.clock.now >= self.busy_until

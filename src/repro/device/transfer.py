@@ -1,0 +1,67 @@
+"""Host-device transfer engine with a ledger.
+
+Transfers are the quantity shadow dynamics is designed to eliminate; the
+ledger records every modeled copy so tests and benchmarks can assert the
+steady-state transfer volume (occupation numbers only) and quantify the
+pinned-memory speedup of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.device.clock import SimClock
+from repro.device.spec import LinkSpec, PCIE_GEN4
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One modeled host-device copy."""
+
+    direction: str  # "h2d" or "d2h"
+    nbytes: int
+    pinned: bool
+    time: float
+    tag: str
+
+
+class TransferEngine:
+    """Models copies over one host-device link and keeps a ledger."""
+
+    def __init__(self, link: Optional[LinkSpec] = None, clock: Optional[SimClock] = None) -> None:
+        self.link = link if link is not None else PCIE_GEN4
+        self.clock = clock if clock is not None else SimClock()
+        self.ledger: List[TransferRecord] = []
+
+    def _copy(self, direction: str, nbytes: int, pinned: bool, tag: str) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        t = self.link.transfer_time(nbytes, pinned=pinned)
+        self.clock.advance(t, name=f"{direction}:{tag}", category="transfer")
+        self.ledger.append(
+            TransferRecord(direction=direction, nbytes=nbytes, pinned=pinned, time=t, tag=tag)
+        )
+        return t
+
+    def h2d(self, nbytes: int, pinned: bool = False, tag: str = "") -> float:
+        """Host-to-device copy; returns the modeled time."""
+        return self._copy("h2d", nbytes, pinned, tag)
+
+    def d2h(self, nbytes: int, pinned: bool = False, tag: str = "") -> float:
+        """Device-to-host copy; returns the modeled time."""
+        return self._copy("d2h", nbytes, pinned, tag)
+
+    def total_bytes(self, direction: Optional[str] = None) -> int:
+        """Total bytes moved (optionally one direction only)."""
+        return sum(
+            r.nbytes for r in self.ledger if direction is None or r.direction == direction
+        )
+
+    def total_time(self) -> float:
+        """Total modeled transfer time."""
+        return sum(r.time for r in self.ledger)
+
+    def reset(self) -> None:
+        """Clear the transfer ledger."""
+        self.ledger.clear()

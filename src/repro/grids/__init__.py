@@ -1,0 +1,22 @@
+"""Real-space grids, divide-and-conquer domains, and stencil coefficients."""
+
+from repro.grids.grid import Grid3D
+from repro.grids.stencil import (
+    PairSplitCoefficients,
+    kinetic_diagonal,
+    kinetic_offdiagonal,
+    kinetic_matrix_1d,
+    pair_split_coefficients,
+)
+from repro.grids.domain import Domain, DomainDecomposition
+
+__all__ = [
+    "Grid3D",
+    "Domain",
+    "DomainDecomposition",
+    "PairSplitCoefficients",
+    "kinetic_diagonal",
+    "kinetic_offdiagonal",
+    "kinetic_matrix_1d",
+    "pair_split_coefficients",
+]

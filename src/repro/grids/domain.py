@@ -1,0 +1,262 @@
+"""Divide-and-conquer spatial domains (Fig. 1a of the paper).
+
+The global cell Omega is subdivided into non-overlapping *cores*
+Omega_alpha whose union tiles the grid exactly; each domain additionally
+carries a *buffer* (periphery) of ``buffer_width`` mesh points on every
+side.  Local Kohn-Sham problems are solved on core+buffer with the
+globally informed potential as boundary condition (the lean
+divide-and-conquer, LDC, density-adaptive boundary), while global
+quantities (density, Hartree potential) are recombined from the disjoint
+cores only, which makes the recombination an exact partition of unity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.grids.grid import Grid3D
+
+
+def _wrap_take(field: np.ndarray, start: int, length: int, axis: int) -> np.ndarray:
+    """Extract ``length`` entries starting at ``start`` with periodic wrap."""
+    n = field.shape[axis]
+    idx = (np.arange(start, start + length)) % n
+    return np.take(field, idx, axis=axis)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One DC domain: a core block plus periodic buffer layers.
+
+    Attributes
+    ----------
+    alpha:
+        Flat domain index (0 <= alpha < prod(ndomains)).
+    cell_index:
+        Position (ix, iy, iz) of this domain in the domain lattice.
+    core_start:
+        Global-grid index of the first core point along each axis.
+    core_shape:
+        Number of core points along each axis.
+    buffer_width:
+        Buffer layers added on each side of the core.
+    local_grid:
+        The core+buffer grid on which local problems are solved.
+    global_grid:
+        The parent grid (for wrap arithmetic).
+    """
+
+    alpha: int
+    cell_index: Tuple[int, int, int]
+    core_start: Tuple[int, int, int]
+    core_shape: Tuple[int, int, int]
+    buffer_width: int
+    local_grid: Grid3D
+    global_grid: Grid3D
+
+    @property
+    def local_shape(self) -> Tuple[int, int, int]:
+        return self.local_grid.shape
+
+    @property
+    def core_slices_local(self) -> Tuple[slice, slice, slice]:
+        """Slices selecting the core region inside the local array."""
+        b = self.buffer_width
+        return tuple(slice(b, b + c) for c in self.core_shape)
+
+    def gather(self, global_field: np.ndarray) -> np.ndarray:
+        """Extract the core+buffer region of a global field (periodic wrap)."""
+        if global_field.shape != self.global_grid.shape:
+            raise ValueError(
+                f"field shape {global_field.shape} does not match global grid "
+                f"{self.global_grid.shape}"
+            )
+        b = self.buffer_width
+        out = global_field
+        for axis in range(3):
+            out = _wrap_take(
+                out, self.core_start[axis] - b, self.core_shape[axis] + 2 * b, axis
+            )
+        return out
+
+    def scatter_core(self, local_field: np.ndarray, global_field: np.ndarray) -> None:
+        """Write the core part of a local field into the global field in place.
+
+        Cores are disjoint, so recombining densities domain by domain via
+        this method is an exact partition of unity.
+        """
+        if local_field.shape[:3] != self.local_shape:
+            raise ValueError(
+                f"local field shape {local_field.shape} does not match "
+                f"domain local grid {self.local_shape}"
+            )
+        core = local_field[self.core_slices_local]
+        sl = tuple(
+            slice(s, s + c) for s, c in zip(self.core_start, self.core_shape)
+        )
+        global_field[sl] = core
+
+    def add_core(self, local_field: np.ndarray, global_field: np.ndarray) -> None:
+        """Accumulate (+=) the core part of a local field into the global field."""
+        core = local_field[self.core_slices_local]
+        sl = tuple(
+            slice(s, s + c) for s, c in zip(self.core_start, self.core_shape)
+        )
+        global_field[sl] += core
+
+    def contains_position(self, r: Sequence[float]) -> bool:
+        """True if the (wrapped) Cartesian position lies in this domain's core."""
+        g = self.global_grid
+        r = g.wrap_position(r)
+        for axis in range(3):
+            lo = g.origin[axis] + self.core_start[axis] * g.spacing[axis]
+            hi = lo + self.core_shape[axis] * g.spacing[axis]
+            if not (lo <= r[axis] < hi):
+                return False
+        return True
+
+    def core_center(self) -> np.ndarray:
+        """Cartesian centre X(alpha) of the domain core (bohr).
+
+        The vector potential A_{X(alpha)}(t) of Eq. (2) is sampled at this
+        point (dipole approximation within a domain).
+        """
+        g = self.global_grid
+        return np.array(
+            [
+                g.origin[axis]
+                + (self.core_start[axis] + 0.5 * self.core_shape[axis])
+                * g.spacing[axis]
+                for axis in range(3)
+            ]
+        )
+
+
+class DomainDecomposition:
+    """Partition a global grid into a lattice of DC domains.
+
+    Parameters
+    ----------
+    global_grid:
+        The full periodic simulation grid.
+    ndomains:
+        Number of domains along (x, y, z); each must divide the grid shape.
+    buffer_width:
+        Buffer (periphery) layers per side, in mesh points.  Must leave the
+        local grids even-sized along every axis if the local grids are to be
+        used with the pair-splitting kinetic propagator.
+    """
+
+    def __init__(
+        self,
+        global_grid: Grid3D,
+        ndomains: Tuple[int, int, int],
+        buffer_width: int = 2,
+    ) -> None:
+        if len(ndomains) != 3 or any(int(d) < 1 for d in ndomains):
+            raise ValueError("ndomains must be three positive integers")
+        ndomains = tuple(int(d) for d in ndomains)
+        for axis in range(3):
+            if global_grid.shape[axis] % ndomains[axis] != 0:
+                raise ValueError(
+                    f"grid shape {global_grid.shape} not divisible by "
+                    f"domain counts {ndomains}"
+                )
+        if buffer_width < 0:
+            raise ValueError("buffer_width must be non-negative")
+        core_shape = tuple(
+            global_grid.shape[a] // ndomains[a] for a in range(3)
+        )
+        if buffer_width >= min(core_shape):
+            raise ValueError(
+                f"buffer_width {buffer_width} too large for core shape {core_shape}"
+            )
+        self.global_grid = global_grid
+        self.ndomains = ndomains
+        self.buffer_width = int(buffer_width)
+        self.core_shape = core_shape
+        self._domains: List[Domain] = []
+        alpha = 0
+        for ix in range(ndomains[0]):
+            for iy in range(ndomains[1]):
+                for iz in range(ndomains[2]):
+                    start = (
+                        ix * core_shape[0],
+                        iy * core_shape[1],
+                        iz * core_shape[2],
+                    )
+                    local_shape = tuple(c + 2 * buffer_width for c in core_shape)
+                    origin = tuple(
+                        global_grid.origin[a]
+                        + (start[a] - buffer_width) * global_grid.spacing[a]
+                        for a in range(3)
+                    )
+                    local_grid = Grid3D(local_shape, global_grid.spacing, origin)
+                    self._domains.append(
+                        Domain(
+                            alpha=alpha,
+                            cell_index=(ix, iy, iz),
+                            core_start=start,
+                            core_shape=core_shape,
+                            buffer_width=buffer_width,
+                            local_grid=local_grid,
+                            global_grid=global_grid,
+                        )
+                    )
+                    alpha += 1
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def __iter__(self) -> Iterator[Domain]:
+        return iter(self._domains)
+
+    def __getitem__(self, alpha: int) -> Domain:
+        return self._domains[alpha]
+
+    @property
+    def domains(self) -> List[Domain]:
+        return list(self._domains)
+
+    def recombine(self, local_fields: Sequence[np.ndarray]) -> np.ndarray:
+        """Assemble a global field from per-domain local fields (cores only)."""
+        if len(local_fields) != len(self):
+            raise ValueError("need exactly one local field per domain")
+        out = self.global_grid.zeros(dtype=np.result_type(*[f.dtype for f in local_fields]))
+        for dom, f in zip(self._domains, local_fields):
+            dom.scatter_core(f, out)
+        return out
+
+    def assign_atoms(self, positions: np.ndarray) -> List[List[int]]:
+        """Assign atoms to domains by core containment.
+
+        Returns, for each domain, the list of atom indices whose wrapped
+        position falls inside that domain's core.  Every atom is assigned
+        to exactly one domain (cores tile the cell).
+        """
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError("positions must have shape (natoms, 3)")
+        g = self.global_grid
+        owners: List[List[int]] = [[] for _ in self._domains]
+        nd = self.ndomains
+        for i, r in enumerate(positions):
+            rw = g.wrap_position(r)
+            idx = []
+            for axis in range(3):
+                frac = (rw[axis] - g.origin[axis]) / (
+                    self.core_shape[axis] * g.spacing[axis]
+                )
+                idx.append(min(int(frac), nd[axis] - 1))
+            alpha = (idx[0] * nd[1] + idx[1]) * nd[2] + idx[2]
+            owners[alpha].append(i)
+        return owners
+
+    def check_local_grids_even(self) -> bool:
+        """True if every local grid is even-sized (pair splitting closes)."""
+        return all(
+            all(n % 2 == 0 for n in dom.local_shape) for dom in self._domains
+        )

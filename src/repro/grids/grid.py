@@ -1,0 +1,160 @@
+"""Uniform 3-D real-space grids.
+
+Each DC domain carries a :class:`Grid3D` on which the Kohn-Sham wave
+functions are represented as finite-difference meshes (the paper uses
+70x70x72 points per domain).  The grid is periodic; spacings may differ
+per axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A periodic, uniform 3-D grid.
+
+    Parameters
+    ----------
+    shape:
+        Number of mesh points along (x, y, z).
+    spacing:
+        Mesh spacing along (x, y, z), in bohr.
+    origin:
+        Cartesian coordinates of point (0, 0, 0), in bohr.
+    """
+
+    shape: Tuple[int, int, int]
+    spacing: Tuple[float, float, float]
+    origin: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or len(self.spacing) != 3:
+            raise ValueError("shape and spacing must have length 3")
+        if any(int(n) < 2 for n in self.shape):
+            raise ValueError("grid needs at least 2 points per axis")
+        if any(h <= 0.0 for h in self.spacing):
+            raise ValueError("grid spacing must be positive")
+        object.__setattr__(self, "shape", tuple(int(n) for n in self.shape))
+        object.__setattr__(self, "spacing", tuple(float(h) for h in self.spacing))
+        object.__setattr__(self, "origin", tuple(float(o) for o in self.origin))
+
+    @classmethod
+    def cubic(cls, n: int, h: float, origin: Sequence[float] = (0.0, 0.0, 0.0)) -> "Grid3D":
+        """A cube of ``n``^3 points with isotropic spacing ``h``."""
+        return cls((n, n, n), (h, h, h), tuple(origin))
+
+    @property
+    def npoints(self) -> int:
+        """Total number of mesh points."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def dvol(self) -> float:
+        """Volume element h_x * h_y * h_z (bohr^3)."""
+        hx, hy, hz = self.spacing
+        return hx * hy * hz
+
+    @property
+    def lengths(self) -> Tuple[float, float, float]:
+        """Periodic box lengths L_d = N_d * h_d along each axis."""
+        return tuple(n * h for n, h in zip(self.shape, self.spacing))
+
+    @property
+    def volume(self) -> float:
+        """Total periodic cell volume (bohr^3)."""
+        lx, ly, lz = self.lengths
+        return lx * ly * lz
+
+    def axis_coords(self, axis: int) -> np.ndarray:
+        """Coordinates of mesh points along one axis (bohr)."""
+        if axis not in (0, 1, 2):
+            raise ValueError("axis must be 0, 1 or 2")
+        n = self.shape[axis]
+        return self.origin[axis] + self.spacing[axis] * np.arange(n)
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full 3-D coordinate arrays (X, Y, Z), each of ``self.shape``."""
+        return np.meshgrid(
+            self.axis_coords(0), self.axis_coords(1), self.axis_coords(2), indexing="ij"
+        )
+
+    def integrate(self, f: np.ndarray) -> complex | float:
+        """Trapezoidal (= rectangle rule on a periodic grid) integral of a field."""
+        f = np.asarray(f)
+        if f.shape[:3] != self.shape:
+            raise ValueError(f"field shape {f.shape} does not match grid {self.shape}")
+        return f.sum(axis=(0, 1, 2)) * self.dvol
+
+    def inner(self, f: np.ndarray, g: np.ndarray) -> complex:
+        """L2 inner product <f|g> = integral conj(f) g dV."""
+        f = np.asarray(f)
+        g = np.asarray(g)
+        if f.shape != g.shape:
+            raise ValueError("fields must have the same shape")
+        return complex(np.vdot(f, g) * self.dvol)
+
+    def norm(self, f: np.ndarray) -> float:
+        """L2 norm sqrt(<f|f>)."""
+        return float(np.sqrt(np.real(self.inner(f, f))))
+
+    def wrap_index(self, idx: Sequence[int]) -> Tuple[int, int, int]:
+        """Wrap an integer index triple into the periodic grid."""
+        return tuple(int(i) % n for i, n in zip(idx, self.shape))
+
+    def wrap_position(self, r: Sequence[float]) -> np.ndarray:
+        """Wrap a Cartesian position into the periodic cell."""
+        r = np.asarray(r, dtype=float)
+        lengths = np.asarray(self.lengths)
+        origin = np.asarray(self.origin)
+        return origin + np.mod(r - origin, lengths)
+
+    def minimum_image(self, dr: np.ndarray) -> np.ndarray:
+        """Minimum-image convention displacement(s) for this periodic cell."""
+        dr = np.asarray(dr, dtype=float)
+        lengths = np.asarray(self.lengths)
+        return dr - lengths * np.round(dr / lengths)
+
+    def nearest_index(self, r: Sequence[float]) -> Tuple[int, int, int]:
+        """Grid index of the mesh point nearest a Cartesian position."""
+        r = self.wrap_position(r)
+        idx = [
+            int(round((r[d] - self.origin[d]) / self.spacing[d])) % self.shape[d]
+            for d in range(3)
+        ]
+        return tuple(idx)
+
+    def zeros(self, dtype=np.float64) -> np.ndarray:
+        """A zero-initialized field on this grid."""
+        return np.zeros(self.shape, dtype=dtype)
+
+    def iter_points(self) -> Iterator[Tuple[Tuple[int, int, int], Tuple[float, float, float]]]:
+        """Iterate over (index, coordinate) pairs; intended for small grids."""
+        xs = self.axis_coords(0)
+        ys = self.axis_coords(1)
+        zs = self.axis_coords(2)
+        for i in range(self.shape[0]):
+            for j in range(self.shape[1]):
+                for k in range(self.shape[2]):
+                    yield (i, j, k), (float(xs[i]), float(ys[j]), float(zs[k]))
+
+    def coarsen(self) -> "Grid3D":
+        """The next-coarser multigrid level (half the points, double spacing)."""
+        if any(n % 2 != 0 for n in self.shape):
+            raise ValueError(f"cannot coarsen odd-sized grid {self.shape}")
+        shape = tuple(n // 2 for n in self.shape)
+        spacing = tuple(2.0 * h for h in self.spacing)
+        return Grid3D(shape, spacing, self.origin)
+
+    def compatible(self, other: "Grid3D") -> bool:
+        """True if two grids share shape and spacing (fields interchangeable)."""
+        return (
+            self.shape == other.shape
+            and np.allclose(self.spacing, other.spacing)
+            and np.allclose(self.origin, other.origin)
+        )

@@ -1,0 +1,131 @@
+"""Trajectory and field output writers.
+
+Production NAQMD runs stream atomic trajectories and observables to disk
+for visualization (VMD/OVITO-style extended XYZ) and post-processing.
+Lengths are written in angstroms (the de-facto XYZ convention); the
+reader converts back to bohr.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Sequence, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.constants import BOHR_ANGSTROM
+
+
+class XYZTrajectoryWriter:
+    """Extended-XYZ trajectory writer (append-per-frame).
+
+    Usage::
+
+        with XYZTrajectoryWriter("run.xyz", symbols) as traj:
+            for step in ...:
+                traj.write_frame(positions_bohr, comment=f"t={t:.2f}")
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        symbols: Sequence[str],
+        box_bohr: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not symbols:
+            raise ValueError("need at least one atom")
+        self.path = pathlib.Path(path)
+        self.symbols = list(symbols)
+        self.box = None if box_bohr is None else tuple(float(b) for b in box_bohr)
+        self.frames_written = 0
+        self._fh: Optional[TextIO] = None
+
+    def __enter__(self) -> "XYZTrajectoryWriter":
+        self._fh = self.path.open("w")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the output file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def write_frame(self, positions_bohr: np.ndarray, comment: str = "") -> None:
+        """Append one frame (positions in bohr, written in angstrom)."""
+        if self._fh is None:
+            raise RuntimeError("writer is not open (use it as a context manager)")
+        pos = np.asarray(positions_bohr, dtype=float)
+        if pos.shape != (len(self.symbols), 3):
+            raise ValueError(
+                f"positions shape {pos.shape} != ({len(self.symbols)}, 3)"
+            )
+        header = comment.replace("\n", " ")
+        if self.box is not None:
+            lx, ly, lz = (b * BOHR_ANGSTROM for b in self.box)
+            lattice = (
+                f'Lattice="{lx:.6f} 0 0 0 {ly:.6f} 0 0 0 {lz:.6f}" '
+            )
+            header = lattice + header
+        self._fh.write(f"{len(self.symbols)}\n{header}\n")
+        for sym, r in zip(self.symbols, pos * BOHR_ANGSTROM):
+            self._fh.write(f"{sym:<3s} {r[0]:16.8f} {r[1]:16.8f} {r[2]:16.8f}\n")
+        self.frames_written += 1
+        self._fh.flush()
+
+
+def read_xyz_trajectory(
+    path: Union[str, pathlib.Path],
+) -> List[Tuple[List[str], np.ndarray, str]]:
+    """Read every frame of an (extended-)XYZ file.
+
+    Returns a list of (symbols, positions_bohr, comment) triples.
+    """
+    path = pathlib.Path(path)
+    frames: List[Tuple[List[str], np.ndarray, str]] = []
+    lines = path.read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        if not lines[i].strip():
+            i += 1
+            continue
+        try:
+            natoms = int(lines[i].strip())
+        except ValueError as exc:
+            raise ValueError(f"malformed XYZ frame header at line {i + 1}") from exc
+        if i + 1 + natoms >= len(lines) + 1:
+            raise ValueError("truncated XYZ frame")
+        comment = lines[i + 1]
+        symbols: List[str] = []
+        pos = np.zeros((natoms, 3))
+        for k in range(natoms):
+            parts = lines[i + 2 + k].split()
+            if len(parts) < 4:
+                raise ValueError(f"malformed atom line {i + 3 + k}")
+            symbols.append(parts[0])
+            pos[k] = [float(x) for x in parts[1:4]]
+        frames.append((symbols, pos / BOHR_ANGSTROM, comment))
+        i += 2 + natoms
+    return frames
+
+
+def write_field_profile(
+    path: Union[str, pathlib.Path],
+    coordinates: np.ndarray,
+    values: np.ndarray,
+    header: str = "",
+) -> pathlib.Path:
+    """Two-column text dump of a 1-D field (e.g. the FDTD A(z) profile)."""
+    coordinates = np.asarray(coordinates, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if coordinates.shape != values.shape or coordinates.ndim != 1:
+        raise ValueError("coordinates and values must be equal-length 1-D")
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        if header:
+            fh.write(f"# {header}\n")
+        for x, v in zip(coordinates, values):
+            fh.write(f"{x:18.10e} {v:18.10e}\n")
+    return path

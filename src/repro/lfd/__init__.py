@@ -1,0 +1,63 @@
+"""LFD (Local Field Dynamics): the GPU-resident TDDFT subprogram.
+
+This package mirrors the C++/OpenMP LFD subprogram of DC-MESH: real-time
+propagation of the Kohn-Sham wave functions of one DC domain under the
+Suzuki-Trotter split propagator of Eq. (6), with the stencil kinetic
+kernel of Algorithms 1-5, the BLASified nonlocal correction of
+Eqs. (7)-(9), energy evaluation and occupation remapping.
+"""
+
+from repro.lfd.wavefunction import WaveFunctionSet
+from repro.lfd.kin_prop import (
+    KIN_PROP_VARIANTS,
+    kin_prop_baseline,
+    kin_prop_interchange,
+    kin_prop_blocked,
+    kin_prop_collapsed,
+    kinetic_step,
+)
+from repro.lfd.pot_prop import potential_phase_step
+from repro.lfd.nonlocal_corr import (
+    nonlocal_correction_naive,
+    nonlocal_correction_blas,
+    NonlocalCorrector,
+)
+from repro.lfd.propagator import QDPropagator, PropagatorConfig
+from repro.lfd.energy import calc_energy, band_energies
+from repro.lfd.occupations import remap_occ
+from repro.lfd.observables import (
+    density,
+    dipole_moment,
+    norms,
+    current_expectation,
+    kinetic_gauge_gradient,
+    absorbed_power,
+)
+from repro.lfd.cap import cos2_absorber, ionization_yield
+
+__all__ = [
+    "WaveFunctionSet",
+    "KIN_PROP_VARIANTS",
+    "kin_prop_baseline",
+    "kin_prop_interchange",
+    "kin_prop_blocked",
+    "kin_prop_collapsed",
+    "kinetic_step",
+    "potential_phase_step",
+    "nonlocal_correction_naive",
+    "nonlocal_correction_blas",
+    "NonlocalCorrector",
+    "QDPropagator",
+    "PropagatorConfig",
+    "calc_energy",
+    "band_energies",
+    "remap_occ",
+    "density",
+    "dipole_moment",
+    "norms",
+    "current_expectation",
+    "kinetic_gauge_gradient",
+    "absorbed_power",
+    "cos2_absorber",
+    "ionization_yield",
+]

@@ -1,0 +1,172 @@
+"""Flop/byte inventory of the LFD kernels.
+
+The modeled (paper-scale) entries of Tables I-II and Figs. 4-6, and the
+per-rank compute times of the scaling studies, are derived from this
+inventory plus the device roofline.  Counts follow the pair-split kernel
+actually implemented (14 real flops per point-orbital per pass: two
+complex multiplies and one add) and streaming memory-traffic estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.device.blas import gemm_bytes, gemm_flops
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Aggregate flops and bytes of one kernel invocation."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        return KernelCost(self.name, self.flops + other.flops,
+                          self.bytes_moved + other.bytes_moved)
+
+
+@dataclass(frozen=True)
+class LFDWorkload:
+    """One domain's LFD workload for a single MD step.
+
+    Parameters
+    ----------
+    ngrid:
+        Mesh points per domain (paper: 70*70*72 = 352,800).
+    norb:
+        Propagated KS orbitals (paper kernel benchmark: 64).
+    nunocc:
+        Unoccupied reference orbitals in the nonlocal projector.
+    itemsize:
+        Bytes per complex scalar: 8 (SP) or 16 (DP).
+    nqd:
+        QD sub-steps per MD step (paper: 1,000).
+    """
+
+    ngrid: int
+    norb: int
+    nunocc: int
+    itemsize: int = 16
+    nqd: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.itemsize not in (8, 16):
+            raise ValueError("itemsize must be 8 (complex64) or 16 (complex128)")
+        if min(self.ngrid, self.norb, self.nqd) < 1 or self.nunocc < 0:
+            raise ValueError("workload sizes must be positive")
+
+    @property
+    def real_itemsize(self) -> int:
+        """Bytes of the underlying real scalar (selects SP/DP peak)."""
+        return self.itemsize // 2
+
+    @property
+    def psi_bytes(self) -> int:
+        """Device-resident footprint of Psi(t) (one wave-function matrix)."""
+        return self.ngrid * self.norb * self.itemsize
+
+    # ----------------------------------------------------------------- #
+    # per-QD-step kernels
+    # ----------------------------------------------------------------- #
+    def kin_prop_pass(self) -> KernelCost:
+        """One even/odd splitting pass over all orbitals."""
+        pts = self.ngrid * self.norb
+        return KernelCost("kin_prop_pass", flops=14.0 * pts,
+                          bytes_moved=3.0 * self.itemsize * pts)
+
+    def kin_prop_step(self) -> KernelCost:
+        """Full kinetic step: 3 Strang passes per direction, 3 directions."""
+        p = self.kin_prop_pass()
+        return KernelCost("kin_prop", 9.0 * p.flops, 9.0 * p.bytes_moved)
+
+    def pot_prop_half(self) -> KernelCost:
+        """One local-potential phase half-step (one complex multiply/point)."""
+        pts = self.ngrid * self.norb
+        return KernelCost("pot_prop_half", flops=6.0 * pts,
+                          bytes_moved=2.0 * self.itemsize * pts)
+
+    def nonlocal_half(self) -> KernelCost:
+        """One scissor-projected nonlocal half-factor: 2 GEMMs + normalize."""
+        f = gemm_flops(self.nunocc, self.norb, self.ngrid) + gemm_flops(
+            self.ngrid, self.norb, self.nunocc
+        )
+        b = gemm_bytes(self.nunocc, self.norb, self.ngrid, self.itemsize) + gemm_bytes(
+            self.ngrid, self.norb, self.nunocc, self.itemsize
+        )
+        f += 8.0 * self.ngrid * self.norb  # norms + scale
+        b += 2.0 * self.itemsize * self.ngrid * self.norb
+        return KernelCost("nonlocal_half", f, b)
+
+    def nonlocal_half_naive(self) -> KernelCost:
+        """Same math as per-orbital loops (identical flops, worse traffic)."""
+        blas = self.nonlocal_half()
+        # Every (u, s) pair re-reads both full orbitals: no blocking reuse.
+        b = 2.0 * self.itemsize * self.ngrid * self.nunocc * self.norb
+        return KernelCost("nonlocal_half_naive", blas.flops, b)
+
+    def qd_step(self, nonlocal_variant: str = "blas") -> List[KernelCost]:
+        """All kernels of one QD sub-step (Eq. 6): NL V/2 T V/2 NL."""
+        nl = (self.nonlocal_half() if nonlocal_variant == "blas"
+              else self.nonlocal_half_naive())
+        return [nl, self.pot_prop_half(), self.kin_prop_step(),
+                self.pot_prop_half(), nl]
+
+    # ----------------------------------------------------------------- #
+    # per-MD-step kernels
+    # ----------------------------------------------------------------- #
+    def calc_energy(self) -> KernelCost:
+        """Band-energy kernel: fused T+V expectation + one nonlocal GEMM."""
+        pts = self.ngrid * self.norb
+        f = (3 * 14.0 + 6.0 + 8.0) * pts + gemm_flops(self.nunocc, self.norb, self.ngrid)
+        b = 4.0 * self.itemsize * pts + gemm_bytes(
+            self.nunocc, self.norb, self.ngrid, self.itemsize
+        )
+        return KernelCost("calc_energy", f, b)
+
+    def remap_occ(self) -> KernelCost:
+        """Occupation remap: one (Norb+Nunocc) x Norb projection GEMM."""
+        nbasis = self.norb + self.nunocc
+        f = gemm_flops(nbasis, self.norb, self.ngrid) + 3.0 * nbasis * self.norb
+        b = gemm_bytes(nbasis, self.norb, self.ngrid, self.itemsize)
+        return KernelCost("remap_occ", f, b)
+
+    def md_step_totals(self, nonlocal_variant: str = "blas") -> Dict[str, KernelCost]:
+        """Aggregated cost groups of one MD step's worth of LFD work.
+
+        Groups match Table II's rows: ``electron_propagation`` (potential +
+        kinetic + nonlinear propagation), ``nonlocal_correction`` (the
+        Eq. 7 factors), plus the once-per-MD-step ``calc_energy`` and
+        ``remap_occ``.
+        """
+        kin = self.kin_prop_step()
+        pot = self.pot_prop_half()
+        nl = (self.nonlocal_half() if nonlocal_variant == "blas"
+              else self.nonlocal_half_naive())
+        n = float(self.nqd)
+        return {
+            "electron_propagation": KernelCost(
+                "electron_propagation",
+                n * (kin.flops + 2.0 * pot.flops),
+                n * (kin.bytes_moved + 2.0 * pot.bytes_moved),
+            ),
+            "nonlocal_correction": KernelCost(
+                "nonlocal_correction", 2.0 * n * nl.flops, 2.0 * n * nl.bytes_moved
+            ),
+            "calc_energy": self.calc_energy(),
+            "remap_occ": self.remap_occ(),
+        }
+
+    def shadow_handshake_bytes(self) -> int:
+        """Per-MD-step CPU<->GPU traffic under shadow dynamics.
+
+        Down: the refreshed local potential and nonlocal reference data
+        (scissor shift + occupations); up: occupation numbers.  Crucially
+        independent of N_QD and *tiny* next to the resident Psi matrices.
+        """
+        down = self.ngrid * self.real_itemsize          # v_loc field
+        down += (self.norb + self.nunocc) * 8 + 8       # occupations + shift
+        up = (self.norb + self.nunocc) * 8              # remapped occupations
+        return int(down + up)

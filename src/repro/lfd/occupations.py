@@ -1,0 +1,72 @@
+"""Occupation remapping (the ``remap_occ()`` function of the paper).
+
+At the end of the N_QD quantum sub-steps of one MD step, the propagated
+orbitals are projected back onto the adiabatic Kohn-Sham basis of the
+domain to extract updated occupation numbers
+
+    f_u(t + D_MD) = sum_s f_s(t) |<phi_u | psi_s(t + D_MD)>|^2 .
+
+These occupations are the *only* data the shadow-dynamics handshake sends
+back from the GPU-resident LFD to the CPU-resident QXMD (Fig. 1b), where
+they reshape the excited-state energy landscape for surface hopping.
+BLASified, the projection is a single GEMM followed by an elementwise
+square and a matrix-vector product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lfd.wavefunction import WaveFunctionSet
+
+
+def remap_occ(
+    wf_t: WaveFunctionSet,
+    basis: WaveFunctionSet,
+    occupations: np.ndarray,
+) -> np.ndarray:
+    """Project propagated orbitals onto an adiabatic basis (BLASified).
+
+    Parameters
+    ----------
+    wf_t:
+        Propagated orbitals psi_s(t).
+    basis:
+        Adiabatic reference orbitals phi_u (typically the full occupied +
+        unoccupied set at the start of the MD step).
+    occupations:
+        Occupations f_s carried by the propagated orbitals.
+
+    Returns
+    -------
+    New occupations f_u, one per basis orbital.  If the propagated
+    orbitals remain inside the span of the basis, total occupation is
+    conserved exactly.
+    """
+    occupations = np.asarray(occupations, dtype=float)
+    if occupations.shape != (wf_t.norb,):
+        raise ValueError("need one occupation per propagated orbital")
+    if basis.grid.shape != wf_t.grid.shape:
+        raise ValueError("basis lives on a different grid")
+    phi = basis.as_matrix()
+    psi = wf_t.as_matrix()
+    ovl = (phi.conj().T @ psi) * wf_t.grid.dvol      # GEMM: (Nbasis, Norb)
+    weights = np.abs(ovl) ** 2
+    return weights @ occupations
+
+
+def remap_occ_naive(
+    wf_t: WaveFunctionSet,
+    basis: WaveFunctionSet,
+    occupations: np.ndarray,
+) -> np.ndarray:
+    """Per-orbital-loop reference implementation of :func:`remap_occ`."""
+    occupations = np.asarray(occupations, dtype=float)
+    dvol = wf_t.grid.dvol
+    f_new = np.zeros(basis.norb)
+    for u in range(basis.norb):
+        phi_u = basis.orbital(u)
+        for s in range(wf_t.norb):
+            ovl = np.vdot(phi_u, wf_t.orbital(s)) * dvol
+            f_new[u] += occupations[s] * np.abs(ovl) ** 2
+    return f_new

@@ -1,0 +1,59 @@
+"""Local-potential phase propagator.
+
+The local part of the split Hamiltonian (Eq. 5) -- local pseudopotential,
+Hartree and local exchange-correlation -- is diagonal in real space, so
+``exp(-i dt v_loc(r) / hbar)`` is a pointwise phase multiplication.  This
+is the memory-bandwidth-bound partner of the kinetic stencil in the
+electron-propagation kernel of Table II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import HBAR
+from repro.lfd.wavefunction import WaveFunctionSet
+
+
+def potential_phase(vloc: np.ndarray, dt: float) -> np.ndarray:
+    """The diagonal phase field exp(-i dt v_loc / hbar)."""
+    return np.exp(-1j * (dt / HBAR) * np.asarray(vloc, dtype=float))
+
+
+def potential_phase_step(
+    wf: WaveFunctionSet,
+    vloc: np.ndarray,
+    dt: float,
+    phase: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply exp(-i dt v_loc / hbar) to every orbital in place.
+
+    Parameters
+    ----------
+    wf:
+        The wave-function set to propagate.
+    vloc:
+        Real local potential on the grid (ignored if ``phase`` is given).
+    dt:
+        Time step (use dt/2 for the outer Strang halves of Eq. 6).
+    phase:
+        Optional precomputed phase field (re-used across orbital sets and
+        QD sub-steps while the potential is frozen -- the shadow-dynamics
+        amortization).
+
+    Returns
+    -------
+    The phase field actually used, so callers can cache it.
+    """
+    if phase is None:
+        if vloc.shape != wf.grid.shape:
+            raise ValueError(
+                f"potential shape {vloc.shape} != grid shape {wf.grid.shape}"
+            )
+        phase = potential_phase(vloc, dt)
+    if wf.dtype == np.complex64:
+        phase_cast = phase.astype(np.complex64)
+    else:
+        phase_cast = phase
+    wf.psi *= phase_cast[..., None]
+    return phase

@@ -1,0 +1,44 @@
+"""Velocity-gauge coupling of the electromagnetic vector potential.
+
+Within a DC domain the dipole approximation holds and the vector potential
+``A_{X(alpha)}(t)`` of Eq. (2) is spatially uniform.  Minimal coupling
+``(p + e A / c)^2 / 2m`` is realized on the finite-difference mesh through
+Peierls phases on the stencil hoppings: a bond of length ``h_d`` along
+direction ``d`` acquires the phase
+
+    theta_d = e * h_d * A_d / (hbar c).
+
+This reproduces the kinetic-momentum operator to the same order as the
+stencil itself and keeps the propagator exactly unitary.  The uniform
+``A^2/2mc^2`` term contributes only a global, orbital-independent phase
+and is dropped (it cancels in every observable).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import C_LIGHT, E_CHARGE, HBAR
+from repro.grids.grid import Grid3D
+
+
+def peierls_phases(grid: Grid3D, a_field: Sequence[float]) -> Tuple[float, float, float]:
+    """Per-axis Peierls phases theta_d = e h_d A_d / (hbar c)."""
+    a_field = np.asarray(a_field, dtype=float)
+    if a_field.shape != (3,):
+        raise ValueError("vector potential must be a 3-vector")
+    return tuple(
+        float(E_CHARGE * grid.spacing[d] * a_field[d] / (HBAR * C_LIGHT))
+        for d in range(3)
+    )
+
+
+def field_from_vector_potential(a_prev: np.ndarray, a_next: np.ndarray, dt: float) -> np.ndarray:
+    """Electric field E = -(1/c) dA/dt by central difference (diagnostics)."""
+    if dt <= 0.0:
+        raise ValueError("dt must be positive")
+    return -(np.asarray(a_next, dtype=float) - np.asarray(a_prev, dtype=float)) / (
+        C_LIGHT * dt
+    )

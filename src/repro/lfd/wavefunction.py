@@ -1,0 +1,170 @@
+"""Kohn-Sham wave-function containers with AoS and SoA layouts.
+
+The paper's key data-layout optimization (Section III-A) converts the
+wave-function storage from array-of-structures (AoS: orbital index first,
+``psi[n][i][j][k]``) to structure-of-arrays (SoA: orbital index last and
+unit-stride, ``psi[i][j][k][n]``).  :class:`WaveFunctionSet` keeps the SoA
+layout canonical -- it is what the optimized kernels and the BLASified
+nonlocal correction consume -- and provides explicit conversions for the
+baseline kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.grids.grid import Grid3D
+
+
+class WaveFunctionSet:
+    """A set of complex Kohn-Sham orbitals on a 3-D grid.
+
+    Parameters
+    ----------
+    grid:
+        The real-space grid of one DC domain.
+    norb:
+        Number of Kohn-Sham orbitals.
+    dtype:
+        ``numpy.complex64`` (SP) or ``numpy.complex128`` (DP); Table II of
+        the paper compares both.
+    data:
+        Optional initial SoA data of shape ``grid.shape + (norb,)``.
+    """
+
+    def __init__(
+        self,
+        grid: Grid3D,
+        norb: int,
+        dtype=np.complex128,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if norb < 1:
+            raise ValueError("need at least one orbital")
+        if dtype not in (np.complex64, np.complex128):
+            raise ValueError("dtype must be complex64 or complex128")
+        self.grid = grid
+        self.norb = int(norb)
+        self.dtype = np.dtype(dtype)
+        shape = grid.shape + (self.norb,)
+        if data is None:
+            self.psi = np.zeros(shape, dtype=self.dtype)
+        else:
+            data = np.asarray(data)
+            if data.shape != shape:
+                raise ValueError(f"data shape {data.shape} != expected {shape}")
+            self.psi = data.astype(self.dtype, copy=True)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        grid: Grid3D,
+        norb: int,
+        rng: np.random.Generator,
+        dtype=np.complex128,
+        orthonormal: bool = True,
+    ) -> "WaveFunctionSet":
+        """Random (optionally orthonormalized) orbitals; reproducible via rng."""
+        shape = grid.shape + (norb,)
+        data = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        wf = cls(grid, norb, dtype=dtype, data=data.astype(dtype))
+        if orthonormal:
+            wf.orthonormalize()
+        else:
+            wf.normalize()
+        return wf
+
+    def copy(self) -> "WaveFunctionSet":
+        """Deep copy."""
+        return WaveFunctionSet(self.grid, self.norb, dtype=self.dtype, data=self.psi)
+
+    def astype(self, dtype) -> "WaveFunctionSet":
+        """Precision-converted copy (SP <-> DP, cf. Table II)."""
+        return WaveFunctionSet(
+            self.grid, self.norb, dtype=dtype, data=self.psi.astype(dtype)
+        )
+
+    # ------------------------------------------------------------------ #
+    # layout conversions
+    # ------------------------------------------------------------------ #
+    def to_aos(self) -> np.ndarray:
+        """AoS copy of shape (norb, nx, ny, nz) -- the baseline layout."""
+        return np.ascontiguousarray(np.moveaxis(self.psi, -1, 0))
+
+    def from_aos(self, aos: np.ndarray) -> None:
+        """Overwrite the orbitals from an AoS array."""
+        expected = (self.norb,) + self.grid.shape
+        if aos.shape != expected:
+            raise ValueError(f"AoS shape {aos.shape} != expected {expected}")
+        self.psi[...] = np.moveaxis(aos, 0, -1)
+
+    def as_matrix(self) -> np.ndarray:
+        """(Ngrid x Norb) matrix view Psi used by the BLASified kernels (Eq. 9).
+
+        The returned array shares memory with the SoA storage whenever the
+        storage is contiguous.
+        """
+        return self.psi.reshape(self.grid.npoints, self.norb)
+
+    # ------------------------------------------------------------------ #
+    # inner products and norms
+    # ------------------------------------------------------------------ #
+    def overlap_matrix(self, other: Optional["WaveFunctionSet"] = None) -> np.ndarray:
+        """Overlap matrix S_su = <psi_s | phi_u> (BLAS-3: one GEMM)."""
+        other = self if other is None else other
+        if other.grid.shape != self.grid.shape:
+            raise ValueError("wave-function sets live on different grids")
+        a = self.as_matrix()
+        b = other.as_matrix()
+        return (a.conj().T @ b) * self.grid.dvol
+
+    def norms(self) -> np.ndarray:
+        """Per-orbital L2 norms."""
+        m = self.as_matrix()
+        return np.sqrt(np.real(np.einsum("gs,gs->s", m.conj(), m)) * self.grid.dvol)
+
+    def normalize(self) -> None:
+        """Scale each orbital to unit norm."""
+        n = self.norms()
+        if np.any(n == 0.0):
+            raise ZeroDivisionError("cannot normalize a zero orbital")
+        self.psi /= n.astype(self.dtype)
+
+    def orthonormalize(self) -> None:
+        """Lowdin-stable orthonormalization via thin QR on the Psi matrix."""
+        m = self.as_matrix()
+        q, r = np.linalg.qr(m.astype(np.complex128))
+        # Fix the gauge so the diagonal of R is positive (deterministic).
+        phases = np.sign(np.real(np.diag(r)))
+        phases[phases == 0.0] = 1.0
+        q = q * phases
+        self.psi[...] = (q / np.sqrt(self.grid.dvol)).reshape(self.psi.shape).astype(
+            self.dtype
+        )
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the orbital storage in bytes."""
+        return self.psi.nbytes
+
+    def orbital(self, s: int) -> np.ndarray:
+        """3-D view of orbital ``s``."""
+        return self.psi[..., s]
+
+    def set_orbital(self, s: int, field: np.ndarray) -> None:
+        """Overwrite orbital ``s`` with a 3-D field."""
+        if field.shape != self.grid.shape:
+            raise ValueError("field shape does not match grid")
+        self.psi[..., s] = field
+
+    def max_abs_diff(self, other: "WaveFunctionSet") -> float:
+        """Max |psi - psi'| across all orbitals and points."""
+        return float(np.abs(self.psi - other.psi).max())

@@ -1,0 +1,39 @@
+"""PbTiO3 materials models: lattices, effective Hamiltonian, NNFF, topology."""
+
+from repro.materials.perovskite import PerovskiteCell, build_supercell, PBTIO3
+from repro.materials.effective_ham import EffectiveHamiltonian, LandauParameters
+from repro.materials.polarization import local_polarization, mean_polarization
+from repro.materials.topology import (
+    flux_closure_modes,
+    uniform_modes,
+    vorticity_field,
+    winding_number,
+    domain_fraction,
+)
+from repro.materials.nnff import Descriptors, NeuralForceField, train_nnff
+from repro.materials.bridge import (
+    modes_to_positions,
+    positions_to_modes,
+    roundtrip_alignment,
+)
+
+__all__ = [
+    "PerovskiteCell",
+    "build_supercell",
+    "PBTIO3",
+    "EffectiveHamiltonian",
+    "LandauParameters",
+    "local_polarization",
+    "mean_polarization",
+    "flux_closure_modes",
+    "uniform_modes",
+    "vorticity_field",
+    "winding_number",
+    "domain_fraction",
+    "Descriptors",
+    "NeuralForceField",
+    "train_nnff",
+    "modes_to_positions",
+    "positions_to_modes",
+    "roundtrip_alignment",
+]

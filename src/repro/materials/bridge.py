@@ -1,0 +1,109 @@
+"""Bridge between the local-mode picture and atomistic coordinates.
+
+The multiscale pipeline of Section V prepares a polar topology with the
+coarse-grained (NNFF/effective-Hamiltonian) model and then hands the
+*atomic configuration* to DC-MESH.  This module performs that handoff:
+a local-mode field p_i becomes per-cell Ti/O off-centring displacements
+of a PbTiO3 supercell (the same polar pattern ``build_supercell`` applies
+uniformly), and the inverse map recovers the mode directions from atomic
+positions through the Born-charge polarization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.materials.perovskite import PerovskiteCell, build_supercell
+from repro.materials.polarization import local_polarization
+from repro.pseudo.elements import PseudoSpecies
+
+
+def modes_to_positions(
+    cell: PerovskiteCell,
+    reps: Tuple[int, int, int],
+    modes: np.ndarray,
+    amplitude: float = 0.25,
+) -> Tuple[np.ndarray, List[PseudoSpecies], Tuple[float, float, float]]:
+    """Displace a supercell according to a local-mode field.
+
+    Per cell, the Ti ion moves by ``amplitude * p`` (bohr) and the three
+    O ions by half that in the opposite direction -- the soft-mode
+    pattern of the ferroelectric distortion, applied cell-by-cell with
+    the mode's own direction.
+
+    Parameters
+    ----------
+    cell, reps:
+        Supercell specification (atom ordering matches
+        :func:`repro.materials.perovskite.build_supercell`).
+    modes:
+        Local-mode field of shape ``reps + (3,)`` (e.g. a flux closure
+        from :func:`repro.materials.topology.flux_closure_modes`).
+    amplitude:
+        Ti displacement in bohr per unit mode amplitude.
+
+    Returns
+    -------
+    (positions, species, box): the displaced atomistic configuration.
+    """
+    modes = np.asarray(modes, dtype=float)
+    expected = tuple(int(r) for r in reps) + (3,)
+    if modes.shape != expected:
+        raise ValueError(f"modes shape {modes.shape} != expected {expected}")
+    positions, species, box = build_supercell(cell, reps)
+    idx = 0
+    for ix in range(int(reps[0])):
+        for iy in range(int(reps[1])):
+            for iz in range(int(reps[2])):
+                p = modes[ix, iy, iz]
+                for sym in cell.symbols:
+                    if sym == "Ti":
+                        positions[idx] += amplitude * p
+                    elif sym == "O":
+                        positions[idx] -= 0.5 * amplitude * p
+                    idx += 1
+    return positions, species, box
+
+
+def positions_to_modes(
+    positions: np.ndarray,
+    cell: PerovskiteCell,
+    reps: Tuple[int, int, int],
+    symbols: Sequence[str],
+) -> np.ndarray:
+    """Recover a normalized local-mode field from atomic positions.
+
+    The per-cell Born-charge polarization direction is the mode
+    direction; magnitudes are normalized to the largest cell so the
+    output is comparable to effective-Hamiltonian mode fields.
+    """
+    ideal, _, _ = build_supercell(cell, reps)
+    pol = local_polarization(positions, ideal, symbols, cell, reps)
+    pmax = float(np.linalg.norm(pol, axis=-1).max())
+    if pmax == 0.0:
+        return np.zeros_like(pol)
+    return pol / pmax
+
+
+def roundtrip_alignment(
+    modes: np.ndarray,
+    cell: PerovskiteCell,
+    reps: Tuple[int, int, int],
+    amplitude: float = 0.25,
+) -> float:
+    """Mean cosine between input modes and the mode field recovered from
+    the displaced lattice (1.0 = the bridge preserves the texture)."""
+    positions, species, _ = modes_to_positions(cell, reps, modes, amplitude)
+    symbols = [sp.symbol for sp in species]
+    recovered = positions_to_modes(positions, cell, reps, symbols)
+    m = np.asarray(modes, dtype=float).reshape(-1, 3)
+    r = recovered.reshape(-1, 3)
+    mn = np.linalg.norm(m, axis=1)
+    rn = np.linalg.norm(r, axis=1)
+    sel = (mn > 1e-6 * mn.max()) & (rn > 0)
+    if not np.any(sel):
+        raise ValueError("no polarized cells to compare")
+    cos = np.einsum("ij,ij->i", m[sel], r[sel]) / (mn[sel] * rn[sel])
+    return float(cos.mean())

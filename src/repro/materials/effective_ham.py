@@ -1,0 +1,224 @@
+"""Landau-Devonshire effective Hamiltonian for PbTiO3 local modes.
+
+The ferroelectric state is described by one local-mode vector p_i per
+perovskite cell on an (nx, ny, nz) lattice (the standard effective-
+Hamiltonian coarse-graining of Refs. 12/35).  The energy is
+
+    E = sum_i [ a2 |p_i|^2 + a4 |p_i|^4 + aniso * sum_d p_{i,d}^4 ]
+      + (j/2) sum_<ij> |p_i - p_j|^2
+      + c_div sum_i (div p)_i^2
+      - sum_i E_ext . p_i,
+
+with a2 < 0 < a4 giving the double well, the cubic anisotropy selecting
+<100> easy axes (so 90/180-degree domain walls are locally stable, which
+is what stabilizes flux-closure textures), the gradient term penalizing
+walls, and the divergence term the electrostatic depolarization penalty.
+
+**Light coupling (the DC-MESH handshake):** photoexcited carriers screen
+the ferroelectric instability; an excitation fraction n_exc renormalizes
+the quadratic coefficient a2 -> a2 (1 - kappa n_exc).  Above threshold
+(n_exc > 1/kappa) the well inverts and the polar texture collapses --
+the light-induced switching of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LandauParameters:
+    """Model coefficients (dimensionless reduced units; |p|~1 at minimum)."""
+
+    a2: float = -1.0
+    a4: float = 0.5
+    aniso: float = 0.15
+    coupling: float = 0.35
+    c_div: float = 0.25
+    exc_coupling: float = 2.0
+    misfit_strain: float = 0.0
+    strain_coupling: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.a4 <= 0:
+            raise ValueError("a4 must be positive (bounded double well)")
+        if self.coupling < 0 or self.c_div < 0 or self.aniso < 0:
+            raise ValueError("coupling, c_div and aniso must be non-negative")
+        if self.strain_coupling < 0:
+            raise ValueError("strain_coupling must be non-negative")
+
+    @property
+    def p_min(self) -> float:
+        """Well-bottom mode amplitude for the isotropic part."""
+        if self.a2 >= 0:
+            return 0.0
+        return float(np.sqrt(-self.a2 / (2.0 * self.a4)))
+
+    @property
+    def switching_threshold(self) -> float:
+        """Excitation fraction at which the double well inverts."""
+        return 1.0 / self.exc_coupling if self.exc_coupling > 0 else np.inf
+
+
+class EffectiveHamiltonian:
+    """Energy/forces/dynamics of the local-mode field.
+
+    Mode fields have shape (nx, ny, nz, 3) with periodic boundaries.
+    """
+
+    def __init__(self, shape: Tuple[int, int, int],
+                 params: Optional[LandauParameters] = None) -> None:
+        if len(shape) != 3 or any(int(n) < 1 for n in shape):
+            raise ValueError("shape must be three positive integers")
+        self.shape = tuple(int(n) for n in shape)
+        self.params = params if params is not None else LandauParameters()
+
+    def _check(self, modes: np.ndarray) -> np.ndarray:
+        modes = np.asarray(modes, dtype=float)
+        if modes.shape != self.shape + (3,):
+            raise ValueError(
+                f"modes shape {modes.shape} != expected {self.shape + (3,)}"
+            )
+        return modes
+
+    def effective_a2(self, n_exc: float = 0.0) -> float:
+        """Excitation-renormalized quadratic coefficient."""
+        if n_exc < 0:
+            raise ValueError("excitation fraction must be non-negative")
+        return self.params.a2 * (1.0 - self.params.exc_coupling * n_exc)
+
+    def divergence(self, modes: np.ndarray) -> np.ndarray:
+        """Central-difference lattice divergence of the mode field."""
+        modes = self._check(modes)
+        div = np.zeros(self.shape)
+        for d in range(3):
+            div += 0.5 * (
+                np.roll(modes[..., d], -1, axis=d) - np.roll(modes[..., d], 1, axis=d)
+            )
+        return div
+
+    # ------------------------------------------------------------------ #
+    def energy(
+        self,
+        modes: np.ndarray,
+        n_exc: float = 0.0,
+        e_field: Optional[np.ndarray] = None,
+    ) -> float:
+        """Total Landau energy of a mode configuration."""
+        modes = self._check(modes)
+        prm = self.params
+        a2 = self.effective_a2(n_exc)
+        p2 = np.sum(modes ** 2, axis=-1)
+        e = float(np.sum(a2 * p2 + prm.a4 * p2 ** 2))
+        e += prm.aniso * float(np.sum(modes ** 4))
+        if prm.misfit_strain != 0.0:
+            # Epitaxial misfit: E = q eta sum_i (2 p_z^2 - p_x^2 - p_y^2);
+            # compressive (eta < 0) substrates favour out-of-plane P, the
+            # mechanism that stabilizes flux closures in strained PbTiO3
+            # (Ref. 35 of the paper).
+            e += prm.strain_coupling * prm.misfit_strain * float(
+                np.sum(2.0 * modes[..., 2] ** 2
+                       - modes[..., 0] ** 2 - modes[..., 1] ** 2)
+            )
+        for d in range(3):
+            diff = modes - np.roll(modes, 1, axis=d)
+            e += 0.5 * prm.coupling * float(np.sum(diff ** 2))
+        div = self.divergence(modes)
+        e += prm.c_div * float(np.sum(div ** 2))
+        if e_field is not None:
+            e_field = np.asarray(e_field, dtype=float)
+            e -= float(np.sum(modes @ e_field))
+        return e
+
+    def forces(
+        self,
+        modes: np.ndarray,
+        n_exc: float = 0.0,
+        e_field: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """-dE/dp, analytically (validated against numerical gradients)."""
+        modes = self._check(modes)
+        prm = self.params
+        a2 = self.effective_a2(n_exc)
+        p2 = np.sum(modes ** 2, axis=-1, keepdims=True)
+        grad = 2.0 * a2 * modes + 4.0 * prm.a4 * p2 * modes
+        grad += 4.0 * prm.aniso * modes ** 3
+        if prm.misfit_strain != 0.0:
+            qe = prm.strain_coupling * prm.misfit_strain
+            grad[..., 0] += -2.0 * qe * modes[..., 0]
+            grad[..., 1] += -2.0 * qe * modes[..., 1]
+            grad[..., 2] += 4.0 * qe * modes[..., 2]
+        for d in range(3):
+            grad += prm.coupling * (
+                2.0 * modes
+                - np.roll(modes, 1, axis=d)
+                - np.roll(modes, -1, axis=d)
+            )
+        div = self.divergence(modes)
+        for d in range(3):
+            # d/dp_d[k] sum_i div_i^2 = div[k - e_d] - div[k + e_d].
+            grad[..., d] += prm.c_div * (
+                np.roll(div, 1, axis=d) - np.roll(div, -1, axis=d)
+            )
+        if e_field is not None:
+            grad -= np.asarray(e_field, dtype=float)
+        return -grad
+
+    # ------------------------------------------------------------------ #
+    def relax(
+        self,
+        modes: np.ndarray,
+        nsteps: int = 500,
+        step_size: float = 0.05,
+        n_exc: float = 0.0,
+        e_field: Optional[np.ndarray] = None,
+        tol: float = 1e-8,
+    ) -> Tuple[np.ndarray, float]:
+        """Overdamped relaxation (gradient descent with backtracking).
+
+        Returns the relaxed modes and the final energy.
+        """
+        modes = self._check(modes).copy()
+        e = self.energy(modes, n_exc, e_field)
+        step = step_size
+        for _ in range(nsteps):
+            f = self.forces(modes, n_exc, e_field)
+            trial = modes + step * f
+            e_trial = self.energy(trial, n_exc, e_field)
+            if e_trial <= e:
+                gain = e - e_trial
+                modes = trial
+                e = e_trial
+                step = min(step * 1.1, 10.0 * step_size)
+                if gain < tol * max(abs(e), 1.0):
+                    break
+            else:
+                step *= 0.5
+                if step < 1e-12:
+                    break
+        return modes, e
+
+    def dynamics_step(
+        self,
+        modes: np.ndarray,
+        velocities: np.ndarray,
+        dt: float,
+        mass: float = 1.0,
+        damping: float = 0.1,
+        n_exc: float = 0.0,
+        e_field: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One damped-Verlet step of mode dynamics (laser-driven switching)."""
+        if dt <= 0 or mass <= 0 or damping < 0:
+            raise ValueError("dt/mass must be positive, damping non-negative")
+        modes = self._check(modes)
+        velocities = self._check(velocities)
+        f = self.forces(modes, n_exc, e_field) - damping * mass * velocities
+        v_half = velocities + 0.5 * dt * f / mass
+        new_modes = modes + dt * v_half
+        f_new = self.forces(new_modes, n_exc, e_field) - damping * mass * v_half
+        new_vel = v_half + 0.5 * dt * f_new / mass
+        return new_modes, new_vel

@@ -1,0 +1,179 @@
+"""Neural-network force field for the local-mode dynamics (Ref. 35 stand-in).
+
+The paper's multiscale pipeline prepares ground-state polar topologies
+with a neural-network force field trained on quantum MD data; here the
+training data comes from the in-repo effective Hamiltonian (the honest
+substitution documented in DESIGN.md).  The model is a small NumPy MLP
+mapping per-cell descriptors (own mode, neighbour mean, invariants) to
+the force on that cell's mode, trained with Adam on randomly sampled
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.materials.effective_ham import EffectiveHamiltonian
+
+
+class Descriptors:
+    """Per-cell descriptor extraction.
+
+    Features (8): own mode p (3), neighbour-mean mode (3), |p|^2 (1),
+    local divergence (1).
+    """
+
+    NFEATURES = 8
+
+    @staticmethod
+    def compute(modes: np.ndarray) -> np.ndarray:
+        """Descriptor array of shape (ncells, 8) from an (nx,ny,nz,3) field."""
+        modes = np.asarray(modes, dtype=float)
+        if modes.ndim != 4 or modes.shape[-1] != 3:
+            raise ValueError("modes must have shape (nx, ny, nz, 3)")
+        nb = np.zeros_like(modes)
+        for d in range(3):
+            nb += np.roll(modes, 1, axis=d) + np.roll(modes, -1, axis=d)
+        nb /= 6.0
+        p2 = np.sum(modes ** 2, axis=-1, keepdims=True)
+        div = np.zeros(modes.shape[:3])
+        for d in range(3):
+            div += 0.5 * (
+                np.roll(modes[..., d], -1, axis=d) - np.roll(modes[..., d], 1, axis=d)
+            )
+        feats = np.concatenate([modes, nb, p2, div[..., None]], axis=-1)
+        return feats.reshape(-1, Descriptors.NFEATURES)
+
+
+@dataclass
+class NeuralForceField:
+    """Two-layer MLP: descriptors -> per-cell mode force.
+
+    Weights are NumPy arrays; ``predict_forces`` reshapes back to the
+    lattice.  Use :func:`train_nnff` to fit against an effective
+    Hamiltonian.
+    """
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: np.ndarray
+    feat_mean: np.ndarray
+    feat_std: np.ndarray
+
+    @classmethod
+    def initialize(cls, hidden: int = 32, rng: Optional[np.random.Generator] = None
+                   ) -> "NeuralForceField":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        nf = Descriptors.NFEATURES
+        return cls(
+            w1=rng.standard_normal((nf, hidden)) * np.sqrt(2.0 / nf),
+            b1=np.zeros(hidden),
+            w2=rng.standard_normal((hidden, 3)) * np.sqrt(2.0 / hidden),
+            b2=np.zeros(3),
+            feat_mean=np.zeros(nf),
+            feat_std=np.ones(nf),
+        )
+
+    # -- forward --------------------------------------------------------- #
+    def _forward(self, feats: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x = (feats - self.feat_mean) / self.feat_std
+        h = np.tanh(x @ self.w1 + self.b1)
+        return h @ self.w2 + self.b2, h
+
+    def predict(self, feats: np.ndarray) -> np.ndarray:
+        """Forces for a (ncells, 8) descriptor batch."""
+        out, _ = self._forward(np.asarray(feats, dtype=float))
+        return out
+
+    def predict_forces(self, modes: np.ndarray) -> np.ndarray:
+        """Forces on an (nx,ny,nz,3) mode field."""
+        feats = Descriptors.compute(modes)
+        return self.predict(feats).reshape(modes.shape)
+
+    # -- training -------------------------------------------------------- #
+    def loss_and_grads(
+        self, feats: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """MSE loss and analytic gradients (backprop by hand)."""
+        x = (feats - self.feat_mean) / self.feat_std
+        z1 = x @ self.w1 + self.b1
+        h = np.tanh(z1)
+        pred = h @ self.w2 + self.b2
+        diff = pred - targets
+        n = feats.shape[0]
+        loss = float(np.mean(diff ** 2))
+        dout = 2.0 * diff / (n * diff.shape[1])
+        grads = {
+            "w2": h.T @ dout,
+            "b2": dout.sum(axis=0),
+        }
+        dh = dout @ self.w2.T
+        dz1 = dh * (1.0 - h ** 2)
+        grads["w1"] = x.T @ dz1
+        grads["b1"] = dz1.sum(axis=0)
+        return loss, grads
+
+
+def train_nnff(
+    ham: EffectiveHamiltonian,
+    rng: np.random.Generator,
+    hidden: int = 32,
+    nconfigs: int = 60,
+    epochs: int = 300,
+    lr: float = 3e-3,
+    amplitude: float = 1.5,
+) -> Tuple[NeuralForceField, List[float]]:
+    """Fit an MLP force field to the effective Hamiltonian's forces.
+
+    Training configurations mix random fields, noisy uniform domains and
+    noisy flux closures so the model sees the textures it will be used on.
+    Returns the model and the per-epoch loss history.
+    """
+    from repro.materials.topology import flux_closure_modes, uniform_modes
+
+    shape = ham.shape
+    feats_list = []
+    targets_list = []
+    p0 = max(ham.params.p_min, 0.5)
+    for i in range(nconfigs):
+        kind = i % 3
+        if kind == 0:
+            modes = amplitude * rng.uniform(-1, 1, size=shape + (3,))
+        elif kind == 1:
+            axis = int(rng.integers(0, 3))
+            modes = uniform_modes(shape, p0, axis=axis)
+            modes += 0.3 * rng.standard_normal(modes.shape)
+        else:
+            modes = flux_closure_modes(shape, p0)
+            modes += 0.3 * rng.standard_normal(modes.shape)
+        feats_list.append(Descriptors.compute(modes))
+        targets_list.append(ham.forces(modes).reshape(-1, 3))
+    feats = np.concatenate(feats_list, axis=0)
+    targets = np.concatenate(targets_list, axis=0)
+
+    model = NeuralForceField.initialize(hidden=hidden, rng=rng)
+    model.feat_mean = feats.mean(axis=0)
+    model.feat_std = feats.std(axis=0) + 1e-8
+
+    # Adam optimizer state.
+    params = {"w1": model.w1, "b1": model.b1, "w2": model.w2, "b2": model.b2}
+    m = {k: np.zeros_like(v) for k, v in params.items()}
+    v = {k: np.zeros_like(vv) for k, vv in params.items()}
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+    history: List[float] = []
+    nbatch = min(4096, feats.shape[0])
+    for epoch in range(1, epochs + 1):
+        sel = rng.choice(feats.shape[0], size=nbatch, replace=False)
+        loss, grads = model.loss_and_grads(feats[sel], targets[sel])
+        history.append(loss)
+        for k in params:
+            m[k] = beta1 * m[k] + (1 - beta1) * grads[k]
+            v[k] = beta2 * v[k] + (1 - beta2) * grads[k] ** 2
+            mhat = m[k] / (1 - beta1 ** epoch)
+            vhat = v[k] / (1 - beta2 ** epoch)
+            params[k] -= lr * mhat / (np.sqrt(vhat) + eps)
+    return model, history

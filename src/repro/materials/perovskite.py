@@ -1,0 +1,120 @@
+"""PbTiO3 perovskite lattices.
+
+The paper's benchmark material is PbTiO3, a 5-atom-per-cell ABO3
+perovskite (Pb at the corner, Ti at the body centre, O at the three face
+centres).  The weak-scaling granule of 40 atoms corresponds to a 2x2x2
+supercell.  A polar (tetragonal-like) distortion displaces Ti against
+the O cage along the polarization axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import angstrom_to_bohr
+from repro.pseudo.elements import PseudoSpecies, get_species
+
+
+@dataclass(frozen=True)
+class PerovskiteCell:
+    """One cubic ABO3 cell.
+
+    Attributes
+    ----------
+    a:
+        Lattice constant (bohr).
+    symbols:
+        The five site species, A B O O O.
+    fractional:
+        Fractional coordinates of the five sites.
+    """
+
+    a: float
+    symbols: Tuple[str, ...] = ("Pb", "Ti", "O", "O", "O")
+    fractional: Tuple[Tuple[float, float, float], ...] = (
+        (0.0, 0.0, 0.0),       # A site (corner)
+        (0.5, 0.5, 0.5),       # B site (body centre)
+        (0.5, 0.5, 0.0),       # O (face centres)
+        (0.5, 0.0, 0.5),
+        (0.0, 0.5, 0.5),
+    )
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ValueError("lattice constant must be positive")
+        if len(self.symbols) != len(self.fractional):
+            raise ValueError("one symbol per site required")
+
+    @property
+    def natoms(self) -> int:
+        return len(self.symbols)
+
+
+#: Cubic PbTiO3 at the experimental lattice constant a = 3.97 A.
+PBTIO3 = PerovskiteCell(a=angstrom_to_bohr(3.97))
+
+
+def build_supercell(
+    cell: PerovskiteCell,
+    reps: Tuple[int, int, int],
+    polar_displacement: float = 0.0,
+    polar_axis: int = 2,
+) -> Tuple[np.ndarray, List[PseudoSpecies], Tuple[float, float, float]]:
+    """Build an (nx, ny, nz) supercell.
+
+    Parameters
+    ----------
+    cell:
+        The unit cell.
+    reps:
+        Repetitions along each axis.
+    polar_displacement:
+        Ti off-centring along ``polar_axis`` in bohr (positive = +axis);
+        the O cage moves opposite at half the amplitude, giving a net
+        polar mode per cell.
+    polar_axis:
+        Cartesian polarization axis.
+
+    Returns
+    -------
+    (positions, species, box_lengths):
+        Cartesian positions (natoms, 3) in bohr, the matching species
+        list, and the periodic box lengths.
+    """
+    if any(int(r) < 1 for r in reps):
+        raise ValueError("repetitions must be positive")
+    if polar_axis not in (0, 1, 2):
+        raise ValueError("polar_axis must be 0, 1 or 2")
+    reps = tuple(int(r) for r in reps)
+    positions = []
+    species: List[PseudoSpecies] = []
+    for ix in range(reps[0]):
+        for iy in range(reps[1]):
+            for iz in range(reps[2]):
+                origin = np.array([ix, iy, iz], dtype=float) * cell.a
+                for sym, frac in zip(cell.symbols, cell.fractional):
+                    r = origin + np.asarray(frac) * cell.a
+                    if polar_displacement != 0.0:
+                        if sym == "Ti":
+                            r[polar_axis] += polar_displacement
+                        elif sym == "O":
+                            r[polar_axis] -= 0.5 * polar_displacement
+                    positions.append(r)
+                    species.append(get_species(sym))
+    box = tuple(r * cell.a for r in reps)
+    return np.asarray(positions), species, box
+
+
+def cell_centers(cell: PerovskiteCell, reps: Tuple[int, int, int]) -> np.ndarray:
+    """Cartesian centres (the Ti ideal sites) of every cell in a supercell."""
+    centers = []
+    for ix in range(int(reps[0])):
+        for iy in range(int(reps[1])):
+            for iz in range(int(reps[2])):
+                centers.append(
+                    (np.array([ix, iy, iz], dtype=float) + 0.5) * cell.a
+                )
+    return np.asarray(centers)

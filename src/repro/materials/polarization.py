@@ -1,0 +1,75 @@
+"""Local polarization fields from atomic displacements (Born charges).
+
+Connects the atomistic representation (QXMD positions) to the
+coarse-grained local-mode picture used for the Fig. 7 topology analysis.
+Nominal Born effective charges for PbTiO3 are used; they sum to zero per
+cell (acoustic sum rule) by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.materials.perovskite import PerovskiteCell
+
+#: Nominal Born effective charges (isotropic scalars, ASR-corrected).
+BORN_CHARGES: Dict[str, float] = {"Pb": 3.90, "Ti": 7.10, "O": -(3.90 + 7.10) / 3.0}
+
+
+def local_polarization(
+    positions: np.ndarray,
+    ideal_positions: np.ndarray,
+    symbols: Sequence[str],
+    cell: PerovskiteCell,
+    reps: Tuple[int, int, int],
+) -> np.ndarray:
+    """Per-cell polarization P_c = sum_a Z*_a u_a / V_cell.
+
+    Atoms are grouped by construction order (5 per cell, matching
+    :func:`repro.materials.perovskite.build_supercell`); displacements are
+    taken relative to the ideal lattice with minimum-image wrapping.
+
+    Returns an array of shape ``reps + (3,)``.
+    """
+    positions = np.asarray(positions, dtype=float)
+    ideal_positions = np.asarray(ideal_positions, dtype=float)
+    if positions.shape != ideal_positions.shape:
+        raise ValueError("positions and ideal_positions must match in shape")
+    natoms_cell = cell.natoms
+    ncells = int(np.prod(reps))
+    if positions.shape[0] != ncells * natoms_cell:
+        raise ValueError(
+            f"{positions.shape[0]} atoms does not match {ncells} cells "
+            f"of {natoms_cell} atoms"
+        )
+    box = np.asarray([r * cell.a for r in reps])
+    disp = positions - ideal_positions
+    disp -= box * np.round(disp / box)
+    vol = cell.a ** 3
+    out = np.zeros(tuple(int(r) for r in reps) + (3,))
+    idx = 0
+    for ix in range(int(reps[0])):
+        for iy in range(int(reps[1])):
+            for iz in range(int(reps[2])):
+                p = np.zeros(3)
+                for a in range(natoms_cell):
+                    z = BORN_CHARGES[symbols[idx]]
+                    p += z * disp[idx]
+                    idx += 1
+                out[ix, iy, iz] = p / vol
+    return out
+
+
+def mean_polarization(pol_field: np.ndarray) -> np.ndarray:
+    """Cell-averaged polarization vector."""
+    pol_field = np.asarray(pol_field, dtype=float)
+    if pol_field.ndim != 4 or pol_field.shape[-1] != 3:
+        raise ValueError("polarization field must have shape (nx, ny, nz, 3)")
+    return pol_field.mean(axis=(0, 1, 2))
+
+
+def polarization_magnitude(pol_field: np.ndarray) -> np.ndarray:
+    """Per-cell |P|."""
+    return np.linalg.norm(np.asarray(pol_field, dtype=float), axis=-1)

@@ -1,0 +1,14 @@
+"""Maxwell solvers: laser pulses, vector-potential FDTD, scalar-potential PDE."""
+
+from repro.maxwell.laser import LaserPulse, GaussianPulse, Cos2Pulse, CWField
+from repro.maxwell.vector_potential import VectorPotentialFDTD
+from repro.maxwell.scalar_potential import ScalarPotentialSolver
+
+__all__ = [
+    "LaserPulse",
+    "GaussianPulse",
+    "Cos2Pulse",
+    "CWField",
+    "VectorPotentialFDTD",
+    "ScalarPotentialSolver",
+]

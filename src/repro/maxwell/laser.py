@@ -1,0 +1,139 @@
+"""Laser pulse shapes (the LCLS-II / fs-laser stand-ins of the application).
+
+All pulses are specified through their vector potential A(t) so that the
+velocity-gauge coupling of the LFD propagator is exact; the electric
+field follows as E = -(1/c) dA/dt.  Amplitudes are in atomic units; use
+:func:`repro.constants.laser_intensity_to_field` to convert from W/cm^2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import C_LIGHT
+
+
+@dataclass(frozen=True)
+class LaserPulse:
+    """Base class: a polarized vector-potential waveform.
+
+    Attributes
+    ----------
+    e0:
+        Peak electric-field amplitude (a.u.).
+    omega:
+        Carrier angular frequency (a.u.).
+    polarization:
+        Unit polarization vector.
+    """
+
+    e0: float
+    omega: float
+    polarization: Sequence[float] = (1.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.omega <= 0:
+            raise ValueError("omega must be positive")
+        pol = np.asarray(self.polarization, dtype=float)
+        n = np.linalg.norm(pol)
+        if n == 0:
+            raise ValueError("polarization must be non-zero")
+        object.__setattr__(self, "polarization", tuple(pol / n))
+
+    @property
+    def a0(self) -> float:
+        """Peak vector-potential amplitude c E0 / omega."""
+        return C_LIGHT * self.e0 / self.omega
+
+    def envelope(self, t: float) -> float:
+        """Dimensionless envelope in [0, 1]; overridden by subclasses."""
+        raise NotImplementedError
+
+    def vector_potential(self, t: float) -> np.ndarray:
+        """A(t) = A0 * envelope(t) * cos(omega t) * polarization."""
+        amp = self.a0 * self.envelope(t) * math.cos(self.omega * t)
+        return amp * np.asarray(self.polarization)
+
+    def electric_field(self, t: float, dt: float = 1e-3) -> np.ndarray:
+        """E(t) = -(1/c) dA/dt, central difference."""
+        a_p = self.vector_potential(t + dt)
+        a_m = self.vector_potential(t - dt)
+        return -(a_p - a_m) / (2.0 * dt * C_LIGHT)
+
+    def fluence(self, t_end: float, nsamples: int = 2000) -> float:
+        """Time-integrated |E|^2 (a.u.; proportional to the pulse fluence)."""
+        ts = np.linspace(0.0, t_end, nsamples)
+        e2 = [float(np.dot(self.electric_field(t), self.electric_field(t)))
+              for t in ts]
+        return float(np.trapezoid(e2, ts))
+
+
+@dataclass(frozen=True)
+class GaussianPulse(LaserPulse):
+    """Gaussian envelope centred at ``t0`` with RMS duration ``sigma``."""
+
+    t0: float = 0.0
+    sigma: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+    def envelope(self, t: float) -> float:
+        x = (t - self.t0) / self.sigma
+        return math.exp(-0.5 * x * x)
+
+
+@dataclass(frozen=True)
+class Cos2Pulse(LaserPulse):
+    """cos^2 envelope of total duration ``duration`` starting at t = 0."""
+
+    duration: float = 100.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def envelope(self, t: float) -> float:
+        if t < 0.0 or t > self.duration:
+            return 0.0
+        return math.cos(math.pi * (t - self.duration / 2.0) / self.duration) ** 2
+
+
+@dataclass(frozen=True)
+class CWField(LaserPulse):
+    """Continuous wave (envelope = 1); useful for linear-response tests."""
+
+    def envelope(self, t: float) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class DeltaKick:
+    """An impulsive kick A(t >= 0) = -c * k0 * polarization.
+
+    The standard probe for absorption spectra: a step in A imparts
+    momentum hbar k0 to every electron at t = 0.
+    """
+
+    k0: float
+    polarization: Sequence[float] = (1.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        pol = np.asarray(self.polarization, dtype=float)
+        n = np.linalg.norm(pol)
+        if n == 0:
+            raise ValueError("polarization must be non-zero")
+        object.__setattr__(self, "polarization", tuple(pol / n))
+
+    def vector_potential(self, t: float) -> np.ndarray:
+        """Step vector potential: zero before the kick, constant after."""
+        if t < 0.0:
+            return np.zeros(3)
+        return -C_LIGHT * self.k0 * np.asarray(self.polarization)

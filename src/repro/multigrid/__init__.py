@@ -1,0 +1,21 @@
+"""O(N) multigrid Poisson solver for the global Hartree potential.
+
+The DC-DFT algorithm computes the mean electrostatic (Hartree) field
+globally with a scalable multigrid method while higher-order correlations
+are treated locally in each DC domain (Section II of the paper).
+"""
+
+from repro.multigrid.transfer import restrict_full_weighting, prolong_trilinear
+from repro.multigrid.smoothers import weighted_jacobi, red_black_gauss_seidel, laplacian_periodic
+from repro.multigrid.poisson import PoissonMultigrid, solve_poisson_fft, MultigridStats
+
+__all__ = [
+    "restrict_full_weighting",
+    "prolong_trilinear",
+    "weighted_jacobi",
+    "red_black_gauss_seidel",
+    "laplacian_periodic",
+    "PoissonMultigrid",
+    "solve_poisson_fft",
+    "MultigridStats",
+]

@@ -1,0 +1,62 @@
+"""Inter-grid transfer operators for the periodic multigrid hierarchy.
+
+Restriction is full weighting (separable [1/4, 1/2, 1/4] per axis followed
+by subsampling on even points); prolongation is its adjoint-scaled
+trilinear interpolation.  Both assume even grid sizes and periodic wrap,
+matching the vertex-centred hierarchy produced by :meth:`Grid3D.coarsen`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _axis_full_weight(f: np.ndarray, axis: int) -> np.ndarray:
+    """Apply the 1-D full-weighting filter [1/4, 1/2, 1/4] along ``axis``."""
+    return 0.5 * f + 0.25 * (np.roll(f, 1, axis=axis) + np.roll(f, -1, axis=axis))
+
+
+def restrict_full_weighting(fine: np.ndarray) -> np.ndarray:
+    """Restrict a fine-grid field to the next coarser periodic grid.
+
+    The coarse point ``i`` coincides with fine point ``2 i``; its value is
+    the 27-point full-weighted average of the fine field around that point.
+    """
+    fine = np.asarray(fine)
+    if fine.ndim != 3:
+        raise ValueError("expected a 3-D field")
+    if any(n % 2 != 0 for n in fine.shape):
+        raise ValueError(f"cannot restrict odd-sized field {fine.shape}")
+    out = fine
+    for axis in range(3):
+        out = _axis_full_weight(out, axis)
+    return out[::2, ::2, ::2].copy()
+
+
+def prolong_trilinear(coarse: np.ndarray, fine_shape: tuple[int, int, int]) -> np.ndarray:
+    """Trilinear interpolation of a coarse field onto the doubled fine grid.
+
+    Fine even points copy the coarse value, odd points average the two
+    flanking coarse points; tensor product over the three axes.
+    """
+    coarse = np.asarray(coarse)
+    if coarse.ndim != 3:
+        raise ValueError("expected a 3-D field")
+    if tuple(2 * n for n in coarse.shape) != tuple(fine_shape):
+        raise ValueError(
+            f"fine shape {fine_shape} is not double the coarse shape {coarse.shape}"
+        )
+    out = coarse
+    for axis in range(3):
+        n = out.shape[axis]
+        new_shape = list(out.shape)
+        new_shape[axis] = 2 * n
+        up = np.empty(new_shape, dtype=out.dtype)
+        even = [slice(None)] * 3
+        odd = [slice(None)] * 3
+        even[axis] = slice(0, 2 * n, 2)
+        odd[axis] = slice(1, 2 * n, 2)
+        up[tuple(even)] = out
+        up[tuple(odd)] = 0.5 * (out + np.roll(out, -1, axis=axis))
+        out = up
+    return out

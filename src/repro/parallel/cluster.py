@@ -1,0 +1,144 @@
+"""The Polaris machine model (ALCF, Section IV of the paper).
+
+560 HPE Apollo 6500 Gen10+ nodes; per node one 32-core AMD EPYC Milan
+7543P, four Nvidia A100s on an HGX board (NVLink 600 GB/s), two Slingshot
+endpoints (200 GB/s node injection).  DC-MESH runs 4 MPI ranks per node,
+one GPU per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.device.spec import A100, EPYC_7543_CORE, DeviceSpec
+from repro.parallel.network import NVLINK_NET, SLINGSHOT, NetworkSpec, dragonfly_hops
+
+
+@dataclass(frozen=True)
+class PolarisModel:
+    """Topology and hardware of a Polaris allocation.
+
+    Parameters
+    ----------
+    nnodes:
+        Number of allocated nodes (<= 560).
+    ranks_per_node:
+        MPI ranks per node (the paper uses 4, one per GPU).
+    """
+
+    nnodes: int
+    ranks_per_node: int = 4
+    nodes_per_group: int = 16
+    gpu: DeviceSpec = A100
+    cpu_core: DeviceSpec = EPYC_7543_CORE
+    inter_node: NetworkSpec = SLINGSHOT
+    intra_node: NetworkSpec = NVLINK_NET
+
+    MAX_NODES = 560
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.nnodes <= self.MAX_NODES):
+            raise ValueError(f"Polaris has 1..{self.MAX_NODES} nodes, got {self.nnodes}")
+        if self.ranks_per_node < 1 or self.ranks_per_node > 4:
+            raise ValueError("Polaris runs 1..4 ranks per node (one GPU each)")
+
+    @classmethod
+    def for_ranks(cls, nranks: int, ranks_per_node: int = 4) -> "PolarisModel":
+        """Smallest allocation hosting ``nranks`` ranks."""
+        nnodes = (nranks + ranks_per_node - 1) // ranks_per_node
+        return cls(nnodes=nnodes, ranks_per_node=ranks_per_node)
+
+    @property
+    def nranks(self) -> int:
+        return self.nnodes * self.ranks_per_node
+
+    @property
+    def ngpus(self) -> int:
+        return self.nranks
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting a rank."""
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.ranks_per_node
+
+    def gpu_of(self, rank: int) -> Tuple[int, int]:
+        """(node, local GPU index) of a rank."""
+        return self.node_of(rank), rank % self.ranks_per_node
+
+    def link_between(self, rank_a: int, rank_b: int) -> NetworkSpec:
+        """Interconnect tier between two ranks."""
+        if self.node_of(rank_a) == self.node_of(rank_b):
+            return self.intra_node
+        return self.inter_node
+
+    def hops_between(self, rank_a: int, rank_b: int) -> int:
+        """Dragonfly switch hops between two ranks' nodes."""
+        return dragonfly_hops(
+            self.node_of(rank_a), self.node_of(rank_b), self.nodes_per_group
+        )
+
+    def peak_flops_dp(self) -> float:
+        """Aggregate DP peak of the allocation (GPUs + CPU cores)."""
+        per_node = self.ranks_per_node * self.gpu.peak_flops_dp + 32 * self.cpu_core.peak_flops_dp
+        return self.nnodes * per_node
+
+
+@dataclass(frozen=True)
+class AuroraModel:
+    """The Aurora machine model (ALCF) -- the paper's conclusion notes the
+    DC-MESH port to Aurora 'to be presented elsewhere'; this model makes
+    that forward prediction reproducible.
+
+    Each node: 6 Intel Max 1550 GPUs, 2 Xeon Max 9470 CPUs, 8 Slingshot
+    NICs.  DC-MESH maps one MPI rank per GPU (6 ranks/node).
+    """
+
+    nnodes: int
+    ranks_per_node: int = 6
+    nodes_per_group: int = 16
+    gpu: DeviceSpec = None  # set in __post_init__ (frozen dataclass)
+    cpu_core: DeviceSpec = None
+    inter_node: NetworkSpec = SLINGSHOT
+    intra_node: NetworkSpec = NVLINK_NET  # Xe-Link, comparable tier
+
+    MAX_NODES = 10624
+
+    def __post_init__(self) -> None:
+        from repro.device.spec import PVC_MAX_1550, XEON_MAX_CORE
+
+        if not (1 <= self.nnodes <= self.MAX_NODES):
+            raise ValueError(
+                f"Aurora has 1..{self.MAX_NODES} nodes, got {self.nnodes}"
+            )
+        if not (1 <= self.ranks_per_node <= 12):
+            raise ValueError("Aurora runs 1..12 ranks per node (tile mode)")
+        if self.gpu is None:
+            object.__setattr__(self, "gpu", PVC_MAX_1550)
+        if self.cpu_core is None:
+            object.__setattr__(self, "cpu_core", XEON_MAX_CORE)
+
+    @property
+    def nranks(self) -> int:
+        return self.nnodes * self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting a rank."""
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.ranks_per_node
+
+    def link_between(self, rank_a: int, rank_b: int) -> NetworkSpec:
+        """Interconnect tier between two ranks (Xe-Link vs Slingshot)."""
+        if self.node_of(rank_a) == self.node_of(rank_b):
+            return self.intra_node
+        return self.inter_node
+
+    def peak_flops_dp(self) -> float:
+        """Aggregate DP peak of the allocation (GPUs + CPU cores)."""
+        per_node = (
+            self.ranks_per_node * self.gpu.peak_flops_dp
+            + 104 * self.cpu_core.peak_flops_dp
+        )
+        return self.nnodes * per_node

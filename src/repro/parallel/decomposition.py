@@ -1,0 +1,122 @@
+"""Hybrid space-band decomposition of DC domains over MPI ranks.
+
+The LDC-DFT algorithm distributes work in two dimensions: *space* (DC
+domains are spread over rank groups) and *band* (the Kohn-Sham orbitals
+of one domain are split within a group).  This module computes and
+validates such mappings; the scaling studies use them to derive per-rank
+workloads and communication partners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class RankAssignment:
+    """The work owned by one rank."""
+
+    rank: int
+    space_group: int
+    band_group: int
+    domains: Tuple[int, ...]
+    band_range: Tuple[int, int]  # half-open orbital interval [lo, hi)
+
+    @property
+    def nbands(self) -> int:
+        return self.band_range[1] - self.band_range[0]
+
+
+class SpaceBandDecomposition:
+    """Distribute ``ndomains`` domains x ``nbands`` orbitals over P ranks.
+
+    Parameters
+    ----------
+    ndomains:
+        Total DC domains.
+    nbands:
+        Orbitals per domain.
+    p_space:
+        Ranks along the spatial axis (domains are block-distributed over
+        these groups).
+    p_band:
+        Ranks along the band axis (orbitals of each domain are
+        block-distributed within a spatial group).  ``p_space * p_band``
+        is the world size.
+    """
+
+    def __init__(self, ndomains: int, nbands: int, p_space: int, p_band: int = 1) -> None:
+        if min(ndomains, nbands, p_space, p_band) < 1:
+            raise ValueError("all decomposition sizes must be positive")
+        if p_space > ndomains:
+            raise ValueError(
+                f"more spatial groups ({p_space}) than domains ({ndomains})"
+            )
+        if p_band > nbands:
+            raise ValueError(f"more band groups ({p_band}) than bands ({nbands})")
+        self.ndomains = ndomains
+        self.nbands = nbands
+        self.p_space = p_space
+        self.p_band = p_band
+
+    @property
+    def nranks(self) -> int:
+        return self.p_space * self.p_band
+
+    @staticmethod
+    def _block_range(total: int, parts: int, idx: int) -> Tuple[int, int]:
+        """Contiguous block [lo, hi) of part ``idx`` out of ``parts``."""
+        base, rem = divmod(total, parts)
+        lo = idx * base + min(idx, rem)
+        hi = lo + base + (1 if idx < rem else 0)
+        return lo, hi
+
+    def assignment(self, rank: int) -> RankAssignment:
+        """The domains and band range owned by ``rank``."""
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        space_group, band_group = divmod(rank, self.p_band)
+        d_lo, d_hi = self._block_range(self.ndomains, self.p_space, space_group)
+        b_lo, b_hi = self._block_range(self.nbands, self.p_band, band_group)
+        return RankAssignment(
+            rank=rank,
+            space_group=space_group,
+            band_group=band_group,
+            domains=tuple(range(d_lo, d_hi)),
+            band_range=(b_lo, b_hi),
+        )
+
+    def all_assignments(self) -> List[RankAssignment]:
+        """Assignments for every rank, in rank order."""
+        return [self.assignment(r) for r in range(self.nranks)]
+
+    def validate(self) -> None:
+        """Check the mapping is a partition: every (domain, band) owned once."""
+        seen: Dict[Tuple[int, int], int] = {}
+        for a in self.all_assignments():
+            for d in a.domains:
+                for b in range(*a.band_range):
+                    key = (d, b)
+                    if key in seen:
+                        raise AssertionError(
+                            f"(domain {d}, band {b}) owned by ranks {seen[key]} and {a.rank}"
+                        )
+                    seen[key] = a.rank
+        expected = self.ndomains * self.nbands
+        if len(seen) != expected:
+            raise AssertionError(
+                f"covered {len(seen)} (domain, band) pairs, expected {expected}"
+            )
+
+    def max_domains_per_rank(self) -> int:
+        """Load-balance metric: the largest spatial share."""
+        return max(len(a.domains) for a in self.all_assignments())
+
+    def band_partners(self, rank: int) -> List[int]:
+        """Ranks sharing this rank's domains (the band-reduction group)."""
+        a = self.assignment(rank)
+        return [
+            a.space_group * self.p_band + g for g in range(self.p_band) if
+            a.space_group * self.p_band + g != rank
+        ]

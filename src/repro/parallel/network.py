@@ -1,0 +1,105 @@
+"""Alpha-beta network cost model for Slingshot and NVLink.
+
+Polaris (Section IV): Slingshot 11 with 200 GB/s node-injection bandwidth
+shared by 4 ranks, dragonfly topology of high-radix 64-port switches;
+NVLink connects the 4 A100s of a node at 600 GB/s aggregate.  Collective
+costs use standard algorithm models (binomial-tree broadcast,
+Rabenseifner all-reduce).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Per-rank alpha-beta parameters of one interconnect tier.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency (s).
+    beta:
+        Inverse bandwidth per rank (s/byte).
+    hop_latency:
+        Additional latency per switch hop (dragonfly: 1 hop within a
+        group, up to 3 across groups).
+    """
+
+    name: str
+    alpha: float
+    beta: float
+    hop_latency: float = 0.0
+
+
+#: Slingshot 11: 200 GB/s per node shared by 4 ranks => 50 GB/s per rank.
+SLINGSHOT = NetworkSpec(
+    name="Slingshot 11 (dragonfly)",
+    alpha=2.0e-6,
+    beta=1.0 / 50e9,
+    hop_latency=0.3e-6,
+)
+
+#: NVLink on the A100 HGX board: 600 GB/s aggregate / 4 peers.
+NVLINK_NET = NetworkSpec(
+    name="NVLink (intra-node)",
+    alpha=1.0e-6,
+    beta=1.0 / 150e9,
+)
+
+
+def dragonfly_hops(node_a: int, node_b: int, nodes_per_group: int = 16) -> int:
+    """Switch hops between two nodes in a dragonfly (minimal routing).
+
+    Same node: 0; same group: 1 (one switch); different groups: 3
+    (local, global, local).
+    """
+    if node_a == node_b:
+        return 0
+    if node_a // nodes_per_group == node_b // nodes_per_group:
+        return 1
+    return 3
+
+
+def point_to_point_time(nbytes: float, net: NetworkSpec, hops: int = 1) -> float:
+    """One message of ``nbytes`` over ``hops`` switch hops."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    return net.alpha + hops * net.hop_latency + nbytes * net.beta
+
+
+def bcast_time(nbytes: float, nranks: int, net: NetworkSpec) -> float:
+    """Binomial-tree broadcast."""
+    if nranks < 2:
+        return 0.0
+    stages = math.ceil(math.log2(nranks))
+    return stages * (net.alpha + nbytes * net.beta)
+
+
+def allreduce_time(nbytes: float, nranks: int, net: NetworkSpec) -> float:
+    """Rabenseifner all-reduce: 2 log2(P) latency + 2 (P-1)/P bandwidth terms."""
+    if nranks < 2:
+        return 0.0
+    stages = math.ceil(math.log2(nranks))
+    return 2.0 * stages * net.alpha + 2.0 * (nranks - 1) / nranks * nbytes * net.beta
+
+
+def tree_reduce_time(nbytes: float, nranks: int, net: NetworkSpec) -> float:
+    """One-way reduction tree (the multigrid coarse-level gather)."""
+    if nranks < 2:
+        return 0.0
+    stages = math.ceil(math.log2(nranks))
+    return stages * (net.alpha + nbytes * net.beta)
+
+
+def halo_exchange_time(
+    face_bytes: float, net: NetworkSpec, nneighbors: int = 6
+) -> float:
+    """Nearest-neighbour halo exchange (6 faces, overlapping pairs)."""
+    if face_bytes < 0:
+        raise ValueError("face_bytes must be non-negative")
+    # Sends proceed pairwise in 3 phases (one per axis), 2 faces per phase.
+    phases = max(1, nneighbors // 2)
+    return phases * (net.alpha + 2.0 * face_bytes * net.beta)

@@ -1,0 +1,74 @@
+"""Per-rank event timeline for bulk-synchronous performance modeling.
+
+DC-MESH is bulk-synchronous at the MD-step level: every rank computes its
+domains, participates in the global-potential reduction, then all ranks
+synchronize.  The step time is the maximum over ranks of accumulated
+compute + communication time; :meth:`barrier` realizes that maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class RankTimeline:
+    """Accumulates compute/communication time per rank."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be positive")
+        self.nranks = int(nranks)
+        self.times = [0.0] * self.nranks
+        self.compute_total = [0.0] * self.nranks
+        self.comm_total = [0.0] * self.nranks
+        self.barriers = 0
+        self.categories: Dict[str, float] = {}
+
+    def _check(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range")
+
+    def add_compute(self, rank: int, t: float, name: str = "compute") -> None:
+        """Charge compute time to one rank."""
+        self._check(rank)
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        self.times[rank] += t
+        self.compute_total[rank] += t
+        self.categories[name] = self.categories.get(name, 0.0) + t
+
+    def add_comm(self, rank: int, t: float, name: str = "comm") -> None:
+        """Charge communication time to one rank."""
+        self._check(rank)
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        self.times[rank] += t
+        self.comm_total[rank] += t
+        self.categories[name] = self.categories.get(name, 0.0) + t
+
+    def barrier(self) -> float:
+        """Synchronize all ranks to the slowest; returns the new common time."""
+        t_max = max(self.times)
+        self.times = [t_max] * self.nranks
+        self.barriers += 1
+        return t_max
+
+    @property
+    def elapsed(self) -> float:
+        """Current makespan (time of the slowest rank)."""
+        return max(self.times)
+
+    def load_imbalance(self) -> float:
+        """max/mean compute-time ratio (1.0 = perfectly balanced)."""
+        mean = sum(self.compute_total) / self.nranks
+        if mean == 0.0:
+            return 1.0
+        return max(self.compute_total) / mean
+
+    def comm_fraction(self) -> float:
+        """Fraction of the critical path spent in communication (slowest rank)."""
+        worst = max(range(self.nranks), key=lambda r: self.times[r])
+        total = self.compute_total[worst] + self.comm_total[worst]
+        if total == 0.0:
+            return 0.0
+        return self.comm_total[worst] / total

@@ -1,0 +1,47 @@
+"""Flop/byte counter aggregation across kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CounterSet:
+    """Accumulates operation counts per named kernel."""
+
+    flops: Dict[str, float] = field(default_factory=dict)
+    bytes_moved: Dict[str, float] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, flops: float, bytes_moved: float) -> None:
+        """Record one kernel invocation."""
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("counts must be non-negative")
+        self.flops[name] = self.flops.get(name, 0.0) + flops
+        self.bytes_moved[name] = self.bytes_moved.get(name, 0.0) + bytes_moved
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def total_flops(self) -> float:
+        """Sum of flops over all kernels."""
+        return sum(self.flops.values())
+
+    def total_bytes(self) -> float:
+        """Sum of memory traffic over all kernels."""
+        return sum(self.bytes_moved.values())
+
+    def arithmetic_intensity(self, name: str) -> float:
+        """Flops per byte for one kernel (roofline x-axis)."""
+        b = self.bytes_moved.get(name, 0.0)
+        if b == 0.0:
+            return float("inf")
+        return self.flops.get(name, 0.0) / b
+
+    def merge(self, other: "CounterSet") -> None:
+        """Fold another counter set into this one."""
+        for name in other.calls:
+            self.flops[name] = self.flops.get(name, 0.0) + other.flops[name]
+            self.bytes_moved[name] = (
+                self.bytes_moved.get(name, 0.0) + other.bytes_moved[name]
+            )
+            self.calls[name] = self.calls.get(name, 0) + other.calls[name]

@@ -1,0 +1,69 @@
+"""Paper-style text tables for the benchmark harnesses.
+
+Every bench prints a table of the paper's reported values next to our
+measured (real wall-clock at documented reduced scale) and modeled
+(roofline at paper scale) values, so EXPERIMENTS.md rows can be generated
+directly from bench output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_seconds(t: Optional[float]) -> str:
+    """Human-scaled seconds."""
+    if t is None:
+        return "-"
+    if t >= 100.0:
+        return f"{t:.1f} s"
+    if t >= 0.1:
+        return f"{t:.3f} s"
+    if t >= 1e-4:
+        return f"{t * 1e3:.3f} ms"
+    return f"{t * 1e6:.1f} us"
+
+
+def format_speedup(x: Optional[float]) -> str:
+    """Format a speedup factor as e.g. 3.14x."""
+    if x is None:
+        return "-"
+    return f"{x:.2f}x"
+
+
+class Table:
+    """Minimal aligned-text table builder."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cell count must match the headers)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the aligned text table."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

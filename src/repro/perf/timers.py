@@ -1,0 +1,101 @@
+"""Wall-clock timers with named-region aggregation."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class Timer:
+    """A simple start/stop wall-clock timer."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed = 0.0
+        self.calls = 0
+
+    def start(self) -> None:
+        """Start timing; raises if already running."""
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop timing; returns this interval and accumulates it."""
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        dt = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += dt
+        self.calls += 1
+        return dt
+
+    def reset(self) -> None:
+        """Zero the accumulated time and call count."""
+        self._start = None
+        self.elapsed = 0.0
+        self.calls = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean time per start/stop cycle."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+
+class RegionTimer:
+    """Named-region timing with nesting support.
+
+    Usage::
+
+        rt = RegionTimer()
+        with rt.region("electron_propagation"):
+            ...
+        print(rt.report())
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self._stack: List[Tuple[str, float]] = []
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Context manager timing one named (possibly nested) region."""
+        self._stack.append((name, time.perf_counter()))
+        try:
+            yield
+        finally:
+            n, t0 = self._stack.pop()
+            dt = time.perf_counter() - t0
+            self.totals[n] = self.totals.get(n, 0.0) + dt
+            self.counts[n] = self.counts.get(n, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds in a region (0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def report(self) -> str:
+        """Aligned text report sorted by descending total time."""
+        if not self.totals:
+            return "(no regions timed)"
+        width = max(len(k) for k in self.totals)
+        lines = []
+        for name, t in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"{name:<{width}}  {t:10.4f} s  x{self.counts[name]}"
+            )
+        return "\n".join(lines)
+
+
+def timed(fn: Callable, *args, repeat: int = 1, **kwargs) -> Tuple[float, object]:
+    """Best-of-``repeat`` wall time of a callable; returns (seconds, result)."""
+    if repeat < 1:
+        raise ValueError("repeat must be positive")
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result

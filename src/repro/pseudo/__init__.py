@@ -1,0 +1,21 @@
+"""Pseudopotentials: Gaussian local parts and Kleinman-Bylander projectors."""
+
+from repro.pseudo.elements import PseudoSpecies, SPECIES, get_species
+from repro.pseudo.local import (
+    gaussian_ion_density,
+    ionic_density,
+    core_repulsion_potential,
+    core_repulsion_pair_energy,
+)
+from repro.pseudo.kb import KBProjectorSet
+
+__all__ = [
+    "PseudoSpecies",
+    "SPECIES",
+    "get_species",
+    "gaussian_ion_density",
+    "ionic_density",
+    "core_repulsion_potential",
+    "core_repulsion_pair_energy",
+    "KBProjectorSet",
+]

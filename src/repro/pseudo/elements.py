@@ -1,0 +1,113 @@
+"""Pseudo-atom parameter sets for the species used in this reproduction.
+
+The paper's production runs use norm-conserving pseudopotentials for
+PbTiO3.  This reproduction uses a soft, analytically differentiable model
+of the same structure: a Gaussian-smeared ionic point charge (the local
+long-range part), a repulsive Gaussian core (the local short-range part)
+and Gaussian Kleinman-Bylander projectors (the separable nonlocal part).
+Parameters are physically plausible (valences, relative core sizes) but
+*not* quantitatively transferable -- DESIGN.md records this substitution.
+All quantities are in Hartree atomic units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.constants import ATOMIC_MASS, VALENCE_CHARGE
+
+
+@dataclass(frozen=True)
+class PseudoSpecies:
+    """One pseudo-atom species.
+
+    Attributes
+    ----------
+    symbol:
+        Chemical symbol.
+    zval:
+        Valence charge (the smeared ionic charge).
+    mass:
+        Atomic mass in electron masses.
+    gauss_width:
+        Width (bohr) of the Gaussian ionic charge distribution.
+    core_strength:
+        Height (Ha) of the repulsive Gaussian core potential.
+    core_width:
+        Width (bohr) of the repulsive core.
+    kb_energies:
+        Kleinman-Bylander channel strengths (Ha), one per projector
+        channel (s, then the three p components if present).
+    kb_width:
+        Radial width (bohr) of the Gaussian KB projectors.
+    """
+
+    symbol: str
+    zval: float
+    mass: float
+    gauss_width: float
+    core_strength: float
+    core_width: float
+    kb_energies: Tuple[float, ...] = ()
+    kb_width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.zval <= 0 or self.mass <= 0:
+            raise ValueError("zval and mass must be positive")
+        if self.gauss_width <= 0 or self.core_width <= 0 or self.kb_width <= 0:
+            raise ValueError("widths must be positive")
+
+
+SPECIES: Dict[str, PseudoSpecies] = {
+    "Pb": PseudoSpecies(
+        symbol="Pb",
+        zval=VALENCE_CHARGE["Pb"],
+        mass=ATOMIC_MASS["Pb"],
+        gauss_width=1.10,
+        core_strength=6.0,
+        core_width=1.35,
+        kb_energies=(0.9, 0.35),
+        kb_width=1.2,
+    ),
+    "Ti": PseudoSpecies(
+        symbol="Ti",
+        zval=VALENCE_CHARGE["Ti"],
+        mass=ATOMIC_MASS["Ti"],
+        gauss_width=0.90,
+        core_strength=8.0,
+        core_width=1.05,
+        kb_energies=(1.1, 0.45),
+        kb_width=1.0,
+    ),
+    "O": PseudoSpecies(
+        symbol="O",
+        zval=VALENCE_CHARGE["O"],
+        mass=ATOMIC_MASS["O"],
+        gauss_width=0.55,
+        core_strength=12.0,
+        core_width=0.55,
+        kb_energies=(1.4,),
+        kb_width=0.7,
+    ),
+    "H": PseudoSpecies(
+        symbol="H",
+        zval=VALENCE_CHARGE["H"],
+        mass=ATOMIC_MASS["H"],
+        gauss_width=0.45,
+        core_strength=0.0,
+        core_width=0.5,
+        kb_energies=(),
+        kb_width=0.6,
+    ),
+}
+
+
+def get_species(symbol: str) -> PseudoSpecies:
+    """Look up a species; raises KeyError with the known set on miss."""
+    try:
+        return SPECIES[symbol]
+    except KeyError:
+        raise KeyError(
+            f"unknown species {symbol!r}; available: {sorted(SPECIES)}"
+        ) from None

@@ -1,0 +1,155 @@
+"""Molecular dynamics: velocity Verlet with optional Berendsen thermostat.
+
+Atoms advance with the slow time step Delta_MD ~ fs while electrons take
+N_QD = 10^2..10^3 sub-steps in between (Eqs. 3-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.constants import KB_HA
+
+
+@dataclass
+class MDState:
+    """Positions, velocities and masses of the nuclei (a.u.)."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    masses: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float)
+        self.velocities = np.asarray(self.velocities, dtype=float)
+        self.masses = np.asarray(self.masses, dtype=float)
+        n = self.positions.shape[0]
+        if self.positions.shape != (n, 3) or self.velocities.shape != (n, 3):
+            raise ValueError("positions/velocities must have shape (natoms, 3)")
+        if self.masses.shape != (n,):
+            raise ValueError("need one mass per atom")
+        if np.any(self.masses <= 0):
+            raise ValueError("masses must be positive")
+
+    @property
+    def natoms(self) -> int:
+        return self.positions.shape[0]
+
+    def copy(self) -> "MDState":
+        """Deep copy of the nuclear state."""
+        return MDState(
+            self.positions.copy(), self.velocities.copy(), self.masses.copy()
+        )
+
+
+def kinetic_energy(state: MDState) -> float:
+    """Total nuclear kinetic energy (Ha)."""
+    return 0.5 * float(np.sum(state.masses[:, None] * state.velocities ** 2))
+
+
+def temperature(state: MDState) -> float:
+    """Instantaneous temperature (K) from equipartition."""
+    dof = 3 * state.natoms
+    if dof == 0:
+        return 0.0
+    return 2.0 * kinetic_energy(state) / (dof * KB_HA)
+
+
+def maxwell_boltzmann_velocities(
+    masses: np.ndarray, temp_k: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample velocities at a target temperature, with zero net momentum."""
+    masses = np.asarray(masses, dtype=float)
+    sigma = np.sqrt(KB_HA * temp_k / masses)
+    v = rng.standard_normal((masses.size, 3)) * sigma[:, None]
+    # Remove the centre-of-mass drift.
+    p = (masses[:, None] * v).sum(axis=0)
+    v -= p / masses.sum()
+    return v
+
+
+class VelocityVerlet:
+    """Velocity-Verlet integrator with a pluggable force callback.
+
+    Parameters
+    ----------
+    force_fn:
+        positions -> forces, shape (natoms, 3), in Ha/bohr.
+    dt:
+        MD time step Delta_MD (a.u.).
+    thermostat_tau:
+        Berendsen time constant (a.u.); ``None`` disables the thermostat.
+    target_temp:
+        Thermostat set point (K).
+    """
+
+    def __init__(
+        self,
+        force_fn: Callable[[np.ndarray], np.ndarray],
+        dt: float,
+        thermostat_tau: Optional[float] = None,
+        target_temp: float = 300.0,
+    ) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if thermostat_tau is not None and thermostat_tau <= 0:
+            raise ValueError("thermostat_tau must be positive")
+        self.force_fn = force_fn
+        self.dt = dt
+        self.thermostat_tau = thermostat_tau
+        self.target_temp = target_temp
+        self._cached_forces: Optional[np.ndarray] = None
+
+    def _forces(self, positions: np.ndarray) -> np.ndarray:
+        f = np.asarray(self.force_fn(positions), dtype=float)
+        if f.shape != positions.shape:
+            raise ValueError("force callback returned a wrong shape")
+        return f
+
+    def step(self, state: MDState) -> None:
+        """Advance the state by one Delta_MD in place."""
+        dt = self.dt
+        m = state.masses[:, None]
+        f0 = (
+            self._cached_forces
+            if self._cached_forces is not None
+            else self._forces(state.positions)
+        )
+        state.positions = state.positions + state.velocities * dt + 0.5 * f0 / m * dt * dt
+        f1 = self._forces(state.positions)
+        state.velocities = state.velocities + 0.5 * (f0 + f1) / m * dt
+        self._cached_forces = f1
+        if self.thermostat_tau is not None:
+            t_now = temperature(state)
+            if t_now > 0:
+                lam = np.sqrt(
+                    1.0
+                    + (dt / self.thermostat_tau) * (self.target_temp / t_now - 1.0)
+                )
+                state.velocities *= lam
+
+    def rescale_velocities(self, state: MDState, scale: float) -> None:
+        """Apply the surface-hopping velocity rescale factor."""
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        state.velocities *= scale
+        self._cached_forces = self._cached_forces  # forces unchanged
+
+    def invalidate_forces(self) -> None:
+        """Drop cached forces (occupations changed between steps)."""
+        self._cached_forces = None
+
+    def run(
+        self,
+        state: MDState,
+        nsteps: int,
+        observer: Optional[Callable[[int, MDState], None]] = None,
+    ) -> None:
+        """Run ``nsteps`` MD steps."""
+        for i in range(nsteps):
+            self.step(state)
+            if observer is not None:
+                observer(i, state)

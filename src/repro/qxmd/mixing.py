@@ -1,0 +1,130 @@
+"""Density/potential mixing schemes for SCF acceleration.
+
+Linear mixing (the default in :mod:`repro.qxmd.scf`) is robust but slow;
+Anderson/Pulay (DIIS) mixing extrapolates over the residual history and
+typically converges metallic/ionic systems in far fewer SCF cycles -- a
+standard ingredient of production DFT codes like the paper's QXMD.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class LinearMixer:
+    """x_{n+1} = (1 - beta) x_n + beta x_new."""
+
+    def __init__(self, beta: float = 0.4) -> None:
+        if not (0.0 < beta <= 1.0):
+            raise ValueError("beta must be in (0, 1]")
+        self.beta = beta
+        self._prev: Optional[np.ndarray] = None
+
+    def mix(self, x_new: np.ndarray) -> np.ndarray:
+        """Blend the new iterate with the stored history."""
+        x_new = np.asarray(x_new, dtype=float)
+        if self._prev is None:
+            self._prev = x_new.copy()
+            return x_new.copy()
+        out = (1.0 - self.beta) * self._prev + self.beta * x_new
+        self._prev = out.copy()
+        return out
+
+    def reset(self) -> None:
+        """Forget the mixing history."""
+        self._prev = None
+
+
+class PulayMixer:
+    """Pulay (DIIS) mixing over a bounded residual history.
+
+    Given input/output pairs (x_in, x_out) with residuals
+    r = x_out - x_in, the next input minimizes ||sum_i c_i r_i||^2 under
+    sum_i c_i = 1, then applies a damped step along the extrapolated
+    residual:
+
+        x_next = sum_i c_i (x_in_i + beta r_i).
+
+    Parameters
+    ----------
+    beta:
+        Damping of the residual step.
+    history:
+        Maximum stored iterations (older entries are dropped).
+    regularization:
+        Tikhonov term on the DIIS matrix (guards near-singular histories).
+    """
+
+    def __init__(self, beta: float = 0.4, history: int = 6,
+                 regularization: float = 1e-12) -> None:
+        if not (0.0 < beta <= 1.0):
+            raise ValueError("beta must be in (0, 1]")
+        if history < 2:
+            raise ValueError("history must be at least 2")
+        self.beta = beta
+        self.history = history
+        self.regularization = regularization
+        self._inputs: List[np.ndarray] = []
+        self._residuals: List[np.ndarray] = []
+        self._last_input: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        """Forget the DIIS history."""
+        self._inputs.clear()
+        self._residuals.clear()
+        self._last_input = None
+
+    @property
+    def depth(self) -> int:
+        return len(self._inputs)
+
+    def mix(self, x_out: np.ndarray) -> np.ndarray:
+        """Feed the latest SCF output; returns the next SCF input."""
+        x_out = np.asarray(x_out, dtype=float)
+        if self._last_input is None:
+            # First call: take the output as-is (also seeds the history).
+            self._last_input = x_out.copy()
+            return x_out.copy()
+        residual = x_out - self._last_input
+        self._inputs.append(self._last_input.copy())
+        self._residuals.append(residual)
+        if len(self._inputs) > self.history:
+            self._inputs.pop(0)
+            self._residuals.pop(0)
+
+        n = len(self._residuals)
+        if n == 1:
+            x_next = self._last_input + self.beta * residual
+        else:
+            r = np.stack([res.ravel() for res in self._residuals])
+            a = r @ r.T
+            a += self.regularization * np.trace(a) / n * np.eye(n)
+            # Solve the constrained least squares via the bordered system.
+            m = np.zeros((n + 1, n + 1))
+            m[:n, :n] = a
+            m[:n, n] = 1.0
+            m[n, :n] = 1.0
+            rhs = np.zeros(n + 1)
+            rhs[n] = 1.0
+            try:
+                sol = np.linalg.solve(m, rhs)
+                coeff = sol[:n]
+            except np.linalg.LinAlgError:
+                coeff = np.zeros(n)
+                coeff[-1] = 1.0
+            x_next = np.zeros_like(x_out)
+            for c, x_in, res in zip(coeff, self._inputs, self._residuals):
+                x_next += c * (x_in + self.beta * res)
+        self._last_input = x_next.copy()
+        return x_next
+
+
+def make_mixer(kind: str, beta: float = 0.4, history: int = 6):
+    """Factory: ``"linear"`` or ``"pulay"``."""
+    if kind == "linear":
+        return LinearMixer(beta=beta)
+    if kind == "pulay":
+        return PulayMixer(beta=beta, history=history)
+    raise ValueError(f"unknown mixer {kind!r}; options: linear, pulay")

@@ -1,0 +1,59 @@
+"""Nonadiabatic couplings (NAC) from finite-difference orbital overlaps.
+
+The surface-hopping operator U_SH of Eq. (3) updates occupations
+according to NAC arising from slow atomic motions.  The couplings are
+evaluated with the standard Hammes-Schiffer/Tully finite-difference
+overlap formula between adiabatic orbitals at consecutive MD steps,
+
+    d_jk(t + dt/2) = [ <phi_j(t)|phi_k(t+dt)> - <phi_j(t+dt)|phi_k(t)> ] / (2 dt),
+
+after aligning the arbitrary gauge phases of the eigensolver output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lfd.wavefunction import WaveFunctionSet
+
+
+def align_phases(prev: WaveFunctionSet, curr: WaveFunctionSet) -> None:
+    """Fix the gauge of ``curr`` so that <prev_s|curr_s> is real positive.
+
+    Adiabatic eigenvectors carry an arbitrary phase per SCF solve; NAC
+    values are only meaningful after this alignment.  Modifies ``curr``
+    in place.
+    """
+    if prev.norb != curr.norb:
+        raise ValueError("orbital counts differ")
+    s = prev.overlap_matrix(curr)
+    diag = np.diag(s)
+    phases = np.ones(curr.norb, dtype=np.complex128)
+    nonzero = np.abs(diag) > 1e-12
+    phases[nonzero] = diag[nonzero].conj() / np.abs(diag[nonzero])
+    curr.psi *= phases.astype(curr.dtype)
+
+
+def nonadiabatic_couplings(
+    prev: WaveFunctionSet,
+    curr: WaveFunctionSet,
+    dt: float,
+    align: bool = True,
+) -> np.ndarray:
+    """NAC matrix d_jk at the midpoint of an MD step (anti-Hermitian).
+
+    Parameters
+    ----------
+    prev, curr:
+        Adiabatic orbital sets at t and t+dt (``curr`` is phase-aligned in
+        place when ``align`` is set).
+    dt:
+        The MD time step.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if align:
+        align_phases(prev, curr)
+    s_fwd = prev.overlap_matrix(curr)   # <phi_j(t)|phi_k(t+dt)>
+    d = (s_fwd - s_fwd.conj().T) / (2.0 * dt)
+    return d

@@ -1,0 +1,250 @@
+"""Fewest-switches surface hopping (FSSH) on Kohn-Sham orbitals.
+
+Implements the U_SH factor of Eq. (3): quantum amplitudes over the
+adiabatic Kohn-Sham states are propagated under the instantaneous
+energies and nonadiabatic couplings, hop probabilities follow Tully's
+fewest-switches prescription, and accepted hops update the orbital
+occupation numbers that shape the excited-state energy landscape.  Hops
+upward in energy are accepted only when the nuclear kinetic energy can
+pay for them (velocity-rescaling criterion); the rescale factor is
+returned to the MD driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import HBAR
+
+
+@dataclass
+class SurfaceHoppingState:
+    """Quantum amplitudes and current active state of one FSSH carrier."""
+
+    amplitudes: np.ndarray   # complex coefficients over adiabatic states
+    active: int              # index of the occupied (active) state
+
+    def __post_init__(self) -> None:
+        self.amplitudes = np.asarray(self.amplitudes, dtype=np.complex128)
+        n = self.amplitudes.size
+        if not (0 <= self.active < n):
+            raise ValueError("active state out of range")
+        norm = np.linalg.norm(self.amplitudes)
+        if norm == 0:
+            raise ValueError("zero amplitude vector")
+        self.amplitudes = self.amplitudes / norm
+
+    @property
+    def nstates(self) -> int:
+        return self.amplitudes.size
+
+    @property
+    def populations(self) -> np.ndarray:
+        return np.abs(self.amplitudes) ** 2
+
+    @classmethod
+    def on_state(cls, nstates: int, active: int) -> "SurfaceHoppingState":
+        amps = np.zeros(nstates, dtype=np.complex128)
+        amps[active] = 1.0
+        return cls(amplitudes=amps, active=active)
+
+
+@dataclass
+class HopEvent:
+    """One accepted or rejected (frustrated) hop."""
+
+    step: int
+    source: int
+    target: int
+    accepted: bool
+    energy_change: float
+
+
+class FSSH:
+    """Fewest-switches surface-hopping propagator.
+
+    Parameters
+    ----------
+    rng:
+        Random generator for hop decisions (explicit for reproducibility).
+    substeps:
+        Electronic sub-steps per MD step for amplitude integration (RK4).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        substeps: int = 20,
+        decoherence_c: Optional[float] = None,
+    ) -> None:
+        """``decoherence_c``: energy-based decoherence constant (Ha) of
+        the Granucci-Persico correction; ``None`` disables it.  The
+        conventional value is 0.1 Ha."""
+        if substeps < 1:
+            raise ValueError("substeps must be positive")
+        if decoherence_c is not None and decoherence_c < 0:
+            raise ValueError("decoherence_c must be non-negative")
+        self.rng = rng
+        self.substeps = substeps
+        self.decoherence_c = decoherence_c
+        self.events: List[HopEvent] = []
+        self._step_count = 0
+
+    # ------------------------------------------------------------------ #
+    def _derivative(
+        self, c: np.ndarray, energies: np.ndarray, nac: np.ndarray
+    ) -> np.ndarray:
+        """dc/dt = -(i/hbar) E c - D c (D = NAC matrix, anti-Hermitian)."""
+        return (-1j / HBAR) * energies * c - nac @ c
+
+    def propagate_amplitudes(
+        self,
+        state: SurfaceHoppingState,
+        energies: np.ndarray,
+        nac: np.ndarray,
+        dt: float,
+    ) -> None:
+        """RK4 integration of the amplitude equation over one MD step."""
+        energies = np.asarray(energies, dtype=float)
+        nac = np.asarray(nac, dtype=np.complex128)
+        n = state.nstates
+        if energies.shape != (n,) or nac.shape != (n, n):
+            raise ValueError("energies/NAC dimensions do not match the state")
+        h = dt / self.substeps
+        c = state.amplitudes
+        for _ in range(self.substeps):
+            k1 = self._derivative(c, energies, nac)
+            k2 = self._derivative(c + 0.5 * h * k1, energies, nac)
+            k3 = self._derivative(c + 0.5 * h * k2, energies, nac)
+            k4 = self._derivative(c + h * k3, energies, nac)
+            c = c + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        # Anti-Hermitian NAC keeps the norm; renormalize the RK4 residual.
+        state.amplitudes = c / np.linalg.norm(c)
+
+    def hop_probabilities(
+        self, state: SurfaceHoppingState, nac: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """Tully's fewest-switches probabilities g_{active -> j}."""
+        c = state.amplitudes
+        a = state.active
+        pop_a = float(np.abs(c[a]) ** 2)
+        if pop_a < 1e-12:
+            return np.zeros(state.nstates)
+        # b_ja = 2 Re( c_a c_j^* d_ja );  g_j = dt * b_ja / |c_a|^2.
+        b = 2.0 * np.real(c[a] * np.conj(c) * nac[:, a])
+        g = np.clip(dt * b / pop_a, 0.0, 1.0)
+        g[a] = 0.0
+        return g
+
+    def attempt_hop(
+        self,
+        state: SurfaceHoppingState,
+        energies: np.ndarray,
+        nac: np.ndarray,
+        dt: float,
+        kinetic_energy: float,
+    ) -> Tuple[bool, float]:
+        """One stochastic hop attempt.
+
+        Returns (hopped, velocity_scale): the factor by which nuclear
+        velocities must be rescaled to conserve total energy (1.0 when no
+        hop happened).  Upward hops exceeding the available kinetic energy
+        are frustrated (rejected, logged).
+        """
+        self._step_count += 1
+        g = self.hop_probabilities(state, nac, dt)
+        xi = self.rng.random()
+        cumulative = 0.0
+        for j in np.argsort(-g):
+            if g[j] <= 0.0:
+                break
+            cumulative += g[j]
+            if xi < cumulative:
+                de = float(energies[j] - energies[state.active])
+                if de > kinetic_energy:
+                    self.events.append(
+                        HopEvent(self._step_count, state.active, int(j), False, de)
+                    )
+                    return False, 1.0
+                scale = np.sqrt(max(0.0, 1.0 - de / max(kinetic_energy, 1e-30)))
+                self.events.append(
+                    HopEvent(self._step_count, state.active, int(j), True, de)
+                )
+                state.active = int(j)
+                return True, float(scale)
+        return False, 1.0
+
+    def apply_decoherence(
+        self,
+        state: SurfaceHoppingState,
+        energies: np.ndarray,
+        dt: float,
+        kinetic_energy: float,
+    ) -> None:
+        """Granucci-Persico energy-based decoherence correction.
+
+        Non-active amplitudes decay with the lifetime
+        tau_j = (hbar / |E_j - E_a|) * (1 + C / E_kin); the active
+        amplitude is rescaled to restore the norm.  Counteracts the
+        well-known FSSH overcoherence that biases hop statistics.
+        """
+        if self.decoherence_c is None:
+            return
+        energies = np.asarray(energies, dtype=float)
+        a = state.active
+        c = state.amplitudes
+        ekin = max(kinetic_energy, 1e-12)
+        factor = 1.0 + self.decoherence_c / ekin
+        other_pop = 0.0
+        for j in range(state.nstates):
+            if j == a:
+                continue
+            gap = abs(energies[j] - energies[a])
+            if gap < 1e-12:
+                continue
+            tau = HBAR / gap * factor
+            c[j] *= np.exp(-dt / tau)
+        other_pop = float(np.sum(np.abs(np.delete(c, a)) ** 2))
+        pop_a = float(np.abs(c[a]) ** 2)
+        if pop_a > 0.0:
+            c[a] *= np.sqrt(max(0.0, 1.0 - other_pop) / pop_a)
+        state.amplitudes = c / np.linalg.norm(c)
+
+    def step(
+        self,
+        state: SurfaceHoppingState,
+        energies: np.ndarray,
+        nac: np.ndarray,
+        dt: float,
+        kinetic_energy: float,
+    ) -> Tuple[bool, float]:
+        """Full U_SH update: propagate amplitudes, decohere, attempt a hop."""
+        self.propagate_amplitudes(state, energies, nac, dt)
+        self.apply_decoherence(state, energies, dt, kinetic_energy)
+        return self.attempt_hop(state, energies, nac, dt, kinetic_energy)
+
+
+def occupations_from_states(
+    carriers: List[SurfaceHoppingState], norb: int, base_filling: np.ndarray
+) -> np.ndarray:
+    """Occupations from FSSH carriers layered on a closed-shell filling.
+
+    Each carrier represents one electron promoted out of the HOMO of the
+    base filling into its active state.
+    """
+    f = np.array(base_filling, dtype=float, copy=True)
+    if f.shape != (norb,):
+        raise ValueError("base filling length mismatch")
+    homo = int(np.nonzero(f > 1e-8)[0][-1])
+    for carrier in carriers:
+        if carrier.active >= norb:
+            raise ValueError("carrier active state outside the orbital set")
+        if carrier.active != homo:
+            f[homo] -= 1.0
+            f[carrier.active] += 1.0
+    if np.any(f < -1e-9) or np.any(f > 2.0 + 1e-9):
+        raise ValueError("occupations left the physical range [0, 2]")
+    return np.clip(f, 0.0, 2.0)

@@ -1,0 +1,63 @@
+"""Efficiency/speedup definition tests."""
+
+import pytest
+
+from repro.analysis import (
+    cumulative_speedup,
+    speedup,
+    strong_scaling_efficiency,
+    throughput,
+    weak_scaling_efficiency,
+)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+class TestWeak:
+    def test_perfect_scaling(self):
+        # Same per-rank speed at 4 and 1024 ranks -> efficiency 1.
+        assert weak_scaling_efficiency(256.0, 1.0, 1024, 4) == pytest.approx(1.0)
+
+    def test_paper_fig2_value(self):
+        """Reconstruct eta = 0.9673: speed ratio 247.6 at P ratio 256."""
+        eta = weak_scaling_efficiency(0.9673 * 256.0, 1.0, 1024, 4)
+        assert eta == pytest.approx(0.9673)
+
+
+class TestStrong:
+    def test_ideal(self):
+        assert strong_scaling_efficiency(4.0, 1.0, 64, 256) == pytest.approx(1.0)
+
+    def test_paper_fig3_value(self):
+        """5,120 atoms: t(64)/t(256) = 2.654 -> eta = 0.6634."""
+        eta = strong_scaling_efficiency(2.654, 1.0, 64, 256)
+        assert eta == pytest.approx(0.6634, abs=1e-3)
+
+
+class TestThroughput:
+    def test_definition(self):
+        assert throughput(4, 2.0) == pytest.approx(2.0)
+
+    def test_fig4_shape(self):
+        """CPU+GPU completes 19x more ranks per unit time (Fig. 4)."""
+        t_gpu = throughput(4, 1.0)
+        t_cpu = throughput(4, 19.0)
+        assert t_gpu / t_cpu == pytest.approx(19.0)
+
+
+class TestCumulative:
+    def test_fig6_chain(self):
+        """25.2 x 18.6 x 1.376 ~ 644 (the paper's cumulative speedup)."""
+        total = cumulative_speedup([25.2, 18.6, 1.376])
+        assert total == pytest.approx(644.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cumulative_speedup([2.0, 0.0])

@@ -1,0 +1,103 @@
+"""High-harmonic-generation analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hhg import (
+    harmonic_peak_intensities,
+    harmonic_spectrum,
+    odd_even_contrast,
+)
+
+
+class TestSpectrumExtraction:
+    def test_synthetic_harmonics_located(self):
+        """A signal with known 1st/3rd/5th harmonic content peaks there."""
+        omega0 = 0.5
+        t = np.arange(0, 600.0, 0.1)
+        d = (
+            np.cos(omega0 * t)
+            + 0.1 * np.cos(3 * omega0 * t)
+            + 0.01 * np.cos(5 * omega0 * t)
+        )
+        orders, intensity = harmonic_spectrum(t, d, omega0)
+        peaks = harmonic_peak_intensities(orders, intensity,
+                                          harmonics=(1, 2, 3, 4, 5))
+        assert peaks[3] > 100 * peaks[2]
+        assert peaks[5] > 100 * peaks[4]
+        assert odd_even_contrast(peaks) > 2.0
+
+    def test_omega_squared_weighting(self):
+        """Emission ~ |omega^2 d|^2: equal dipole amplitudes at 1 and 3
+        give a 3^4 = 81x stronger 3rd-harmonic emission."""
+        omega0 = 0.4
+        t = np.arange(0, 800.0, 0.1)
+        d = np.cos(omega0 * t) + np.cos(3 * omega0 * t)
+        orders, intensity = harmonic_spectrum(t, d, omega0)
+        peaks = harmonic_peak_intensities(orders, intensity, harmonics=(1, 3))
+        assert peaks[3] / peaks[1] == pytest.approx(81.0, rel=0.1)
+
+    def test_validation(self):
+        t = np.arange(0, 10.0, 0.1)
+        with pytest.raises(ValueError):
+            harmonic_spectrum(t, np.zeros(5), 0.5)
+        with pytest.raises(ValueError):
+            harmonic_spectrum(t, np.zeros_like(t), -1.0)
+        with pytest.raises(ValueError):
+            harmonic_spectrum(t ** 1.1, np.zeros_like(t), 0.5)
+
+    def test_contrast_needs_both_parities(self):
+        with pytest.raises(ValueError):
+            odd_even_contrast({1: 1.0, 3: 1.0})
+
+
+class TestPhysicalHHG:
+    def test_centrosymmetric_medium_suppresses_even_harmonics(self):
+        """Real-time LFD in an inversion-symmetric potential under a CW
+        driver emits odd harmonics only -- the attosecond-physics
+        signature the paper's introduction leads with."""
+        from repro.grids import Grid3D
+        from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+        from repro.lfd.observables import dipole_moment
+        from repro.maxwell.laser import CWField
+        from repro.qxmd import KSHamiltonian, cg_eigensolve
+
+        g = Grid3D.cubic(10, 0.5)
+        c = (10 - 1) * 0.5 / 2.0
+        xs, ys, zs = g.meshgrid()
+        # Inversion-symmetric about the cell centre.
+        vloc = -2.0 * np.exp(
+            -((xs - c) ** 2 + (ys - c) ** 2 + (zs - c) ** 2) / 2.0
+        )
+        ham = KSHamiltonian(g, vloc)
+        wf = WaveFunctionSet.random(g, 2, np.random.default_rng(0))
+        cg_eigensolve(ham, wf, ncg=25)
+        occ = np.array([2.0, 0.0])
+        omega0 = 0.35
+        driver = CWField(e0=0.08, omega=omega0)
+        dt = 0.1
+        prop = QDPropagator(
+            wf, vloc, PropagatorConfig(dt=dt),
+            a_of_t=lambda t: driver.vector_potential(t),
+        )
+        times, dips = [], []
+
+        def observe(p):
+            times.append(p.time)
+            dips.append(dipole_moment(p.wf, occ)[0])
+
+        ncycles = 14
+        nsteps = int(ncycles * 2 * np.pi / omega0 / dt)
+        prop.run(nsteps, observer=observe)
+        orders, intensity = harmonic_spectrum(
+            np.array(times), np.array(dips), omega0
+        )
+        # The 5th harmonic sits below the hard-turn-on transient noise at
+        # this short run length; judge the symmetry rule on 2/3/4.
+        peaks = harmonic_peak_intensities(orders, intensity,
+                                          harmonics=(2, 3, 4),
+                                          half_width=0.3)
+        # The odd 3rd harmonic dominates both flanking even harmonics by
+        # an order of magnitude.
+        assert odd_even_contrast(peaks) > 0.8
+        assert peaks[3] > 5 * max(peaks[2], peaks[4])

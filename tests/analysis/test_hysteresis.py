@@ -1,0 +1,80 @@
+"""Ferroelectric hysteresis analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hysteresis import (
+    HysteresisLoop,
+    excitation_softening,
+    sweep_hysteresis,
+)
+from repro.materials import EffectiveHamiltonian, LandauParameters
+
+
+@pytest.fixture(scope="module")
+def ham():
+    # Weak intersite coupling so the loop is cheap to sweep.
+    return EffectiveHamiltonian(
+        (4, 4, 4), LandauParameters(coupling=0.1, c_div=0.05)
+    )
+
+
+@pytest.fixture(scope="module")
+def loop(ham):
+    return sweep_hysteresis(ham, e_max=1.5, nsteps=13)
+
+
+class TestSweep:
+    def test_loop_is_hysteretic(self, loop):
+        assert loop.is_hysteretic
+        assert loop.loop_area() > 0.1
+
+    def test_saturation_at_strong_field(self, loop, ham):
+        p_sat = np.abs(loop.polarizations).max()
+        # Saturated polarization near (or beyond) the zero-field well.
+        assert p_sat > 0.8 * ham.params.p_min
+
+    def test_remanent_polarization_finite(self, loop, ham):
+        assert loop.remanent_polarization > 0.5 * ham.params.p_min
+
+    def test_coercive_field_positive(self, loop):
+        assert loop.coercive_field > 0.0
+
+    def test_validation(self, ham):
+        with pytest.raises(ValueError):
+            sweep_hysteresis(ham, e_max=0.0)
+        with pytest.raises(ValueError):
+            sweep_hysteresis(ham, e_max=1.0, nsteps=2)
+        with pytest.raises(ValueError):
+            sweep_hysteresis(ham, e_max=1.0, axis=3)
+
+
+class TestExcitationSoftening:
+    def test_coercive_field_shrinks_with_excitation(self, ham):
+        pairs = excitation_softening(ham, e_max=1.5,
+                                     excitations=(0.0, 0.3), nsteps=11)
+        ec = dict(pairs)
+        assert ec[0.3] < ec[0.0]
+
+    def test_above_threshold_loop_closes(self, ham):
+        """Beyond the Landau threshold the paraelectric state has no loop."""
+        loop = sweep_hysteresis(ham, e_max=1.5, nsteps=11, n_exc=0.8)
+        assert loop.remanent_polarization < 0.1
+
+
+class TestLoopObject:
+    def test_no_zero_crossing_raises(self):
+        loop = HysteresisLoop(
+            fields=np.array([0.5, 1.0]), polarizations=np.array([1.0, 1.0]),
+            axis=2,
+        )
+        with pytest.raises(ValueError):
+            _ = loop.remanent_polarization
+
+    def test_non_switching_loop_zero_coercive(self):
+        loop = HysteresisLoop(
+            fields=np.array([-1.0, 0.0, 1.0]),
+            polarizations=np.array([0.5, 0.5, 0.5]),
+            axis=2,
+        )
+        assert loop.coercive_field == 0.0

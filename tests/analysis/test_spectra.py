@@ -1,0 +1,46 @@
+"""Absorption-spectrum analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import absorption_peaks, dipole_to_spectrum
+
+
+class TestSpectrum:
+    def test_single_mode_peak_position(self):
+        """A damped cosine dipole gives one peak at its frequency."""
+        omega0 = 0.8
+        t = np.arange(0, 400.0, 0.2)
+        dip = 0.01 * (np.cos(omega0 * t) - 1.0)
+        omega, s = dipole_to_spectrum(t, dip, kick_strength=0.01, damping=0.01)
+        peaks = absorption_peaks(omega, s, min_height=0.5)
+        assert len(peaks) >= 1
+        assert min(abs(p - omega0) for p in peaks) < 0.05
+
+    def test_two_modes_resolved(self):
+        t = np.arange(0, 600.0, 0.2)
+        dip = 0.01 * (np.cos(0.5 * t) + 0.5 * np.cos(1.2 * t) - 1.5)
+        omega, s = dipole_to_spectrum(t, dip, kick_strength=0.01, damping=0.005)
+        peaks = absorption_peaks(omega, s, min_height=0.2)
+        assert min(abs(p - 0.5) for p in peaks) < 0.05
+        assert min(abs(p - 1.2) for p in peaks) < 0.05
+
+    def test_validation(self):
+        t = np.arange(0, 10.0, 0.1)
+        with pytest.raises(ValueError):
+            dipole_to_spectrum(t, np.zeros(5), 0.01)
+        with pytest.raises(ValueError):
+            dipole_to_spectrum(t, np.zeros_like(t), 0.0)
+        with pytest.raises(ValueError):
+            dipole_to_spectrum(t ** 2, np.zeros_like(t), 0.01)  # non-uniform
+
+    def test_peak_threshold(self):
+        omega = np.linspace(0, 2, 100)
+        s = np.zeros(100)
+        s[30] = 1.0
+        s[60] = 0.01
+        peaks = absorption_peaks(omega, s, min_height=0.05)
+        assert len(peaks) == 1
+
+    def test_empty_strength(self):
+        assert absorption_peaks(np.zeros(5), np.zeros(5)).size == 0

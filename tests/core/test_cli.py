@@ -1,0 +1,66 @@
+"""CLI subcommand tests (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.grid == 16
+        assert args.steps == 5
+
+
+class TestInfo:
+    def test_info_prints_models(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out
+        assert "Polaris" in out
+
+
+class TestRun:
+    def test_short_run(self, capsys):
+        code = main(["run", "--steps", "1", "--n-qd", "5", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E_band" in out
+
+    def test_run_with_checkpoint_and_restart(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "c.npz")
+        assert main(["run", "--steps", "1", "--n-qd", "5",
+                     "--checkpoint", ckpt]) == 0
+        assert main(["run", "--steps", "1", "--n-qd", "5",
+                     "--restart", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "restarted" in out
+
+    def test_excite_flag(self, capsys):
+        assert main(["run", "--steps", "1", "--n-qd", "5", "--excite"]) == 0
+
+
+class TestScaling:
+    def test_weak_only(self, capsys):
+        assert main(["scaling", "--mode", "weak"]) == 0
+        out = capsys.readouterr().out
+        assert "weak scaling" in out
+        assert "strong" not in out
+
+    def test_both(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "5120" in out
+
+
+class TestSpectrum:
+    def test_spectrum_runs(self, capsys):
+        assert main(["spectrum", "--grid", "8", "--steps", "200",
+                     "--norb", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "KS levels" in out
+        assert "absorption peaks" in out

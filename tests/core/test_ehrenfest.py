@@ -1,0 +1,95 @@
+"""Ehrenfest-dynamics driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ehrenfest import EhrenfestDynamics
+from repro.maxwell import GaussianPulse
+from repro.qxmd import SCFConfig, scf_solve
+
+
+@pytest.fixture(scope="module")
+def ground_state(request):
+    from repro.grids import Grid3D
+    from repro.pseudo import get_species
+
+    grid = Grid3D.cubic(12, 0.6)
+    L = grid.lengths[0]
+    pos = np.array([[L / 2 - 0.7, L / 2, L / 2], [L / 2 + 0.7, L / 2, L / 2]])
+    sp = [get_species("H"), get_species("H")]
+    res = scf_solve(grid, pos, sp, norb=3, config=SCFConfig(nscf=3, ncg=4))
+    return grid, pos, sp, res
+
+
+def make_dynamics(ground_state, laser=None, **kwargs):
+    grid, pos, sp, res = ground_state
+    defaults = dict(dt_md=1.0, n_qd=10, refresh_potential_every=5)
+    defaults.update(kwargs)
+    return EhrenfestDynamics(
+        grid, pos, sp, res.wf.copy(), res.occupations, laser=laser, **defaults
+    )
+
+
+class TestConstruction:
+    def test_validation(self, ground_state):
+        with pytest.raises(ValueError):
+            make_dynamics(ground_state, dt_md=-1.0)
+        with pytest.raises(ValueError):
+            make_dynamics(ground_state, n_qd=0)
+
+    def test_occupation_check(self, ground_state):
+        grid, pos, sp, res = ground_state
+        with pytest.raises(ValueError):
+            EhrenfestDynamics(grid, pos, sp, res.wf.copy(), np.ones(5))
+
+
+class TestDynamics:
+    def test_charge_conserved(self, ground_state):
+        dyn = make_dynamics(ground_state)
+        recs = dyn.run(3)
+        for r in recs:
+            assert r.electron_count == pytest.approx(2.0, rel=1e-9)
+
+    def test_orbitals_stay_normalized(self, ground_state):
+        dyn = make_dynamics(ground_state)
+        dyn.run(3)
+        assert np.abs(dyn.wf.norms() - 1.0).max() < 1e-9
+
+    def test_ground_state_nearly_stationary(self, ground_state):
+        """Without a laser the SCF ground state barely moves the nuclei."""
+        dyn = make_dynamics(ground_state)
+        x0 = dyn.md_state.positions.copy()
+        dyn.run(2)
+        drift = np.abs(dyn.md_state.positions - x0).max()
+        assert drift < 0.2  # bohr; residual SCF force only
+
+    def test_laser_drives_dipole(self, ground_state):
+        laser = GaussianPulse(e0=0.05, omega=0.4, t0=5.0, sigma=3.0)
+        quiet = make_dynamics(ground_state)
+        driven = make_dynamics(ground_state, laser=laser)
+        quiet.run(4)
+        driven.run(4)
+        d_quiet = np.array([r.dipole for r in quiet.history])
+        d_driven = np.array([r.dipole for r in driven.history])
+        assert np.abs(d_driven - d_quiet).max() > 1e-5
+
+    def test_time_bookkeeping(self, ground_state):
+        dyn = make_dynamics(ground_state)
+        dyn.run(3)
+        assert dyn.time == pytest.approx(3.0)
+        assert [r.step for r in dyn.history] == [1, 2, 3]
+
+    def test_refresh_potential_changes_trajectory(self, ground_state):
+        laser = GaussianPulse(e0=0.08, omega=0.4, t0=3.0, sigma=2.0)
+        frozen = make_dynamics(ground_state, laser=laser,
+                               refresh_potential_every=0)
+        live = make_dynamics(ground_state, laser=laser,
+                             refresh_potential_every=1)
+        frozen.run(2)
+        live.run(2)
+        assert frozen.wf.max_abs_diff(live.wf) > 1e-10
+
+    def test_negative_steps(self, ground_state):
+        dyn = make_dynamics(ground_state)
+        with pytest.raises(ValueError):
+            dyn.run(-1)

@@ -1,0 +1,130 @@
+"""Maxwell-TDDFT lockstep coupling tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import C_LIGHT
+from repro.core.maxwell_coupling import CoupledDomain, MaxwellCoupledLFD
+from repro.grids import Grid3D
+from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+from repro.maxwell import GaussianPulse, VectorPotentialFDTD
+
+
+DT = 0.05
+DZ = 40.0  # CFL: c dt = 6.85 < 40
+
+
+def make_domain(z, rng, norb=2, dt=DT):
+    grid = Grid3D.cubic(8, 0.5)
+    wf = WaveFunctionSet.random(grid, norb, rng)
+    vloc = 0.2 * rng.standard_normal(grid.shape)
+    prop = QDPropagator(wf, vloc, PropagatorConfig(dt=dt))
+    return CoupledDomain(
+        propagator=prop,
+        occupations=np.full(norb, 2.0),
+        z_position=z,
+        volume=grid.volume,
+    )
+
+
+@pytest.fixture
+def coupled(rng):
+    pulse = GaussianPulse(e0=0.01, omega=0.4, t0=6.0, sigma=2.0)
+    fdtd = VectorPotentialFDTD(nz=128, dz=DZ, dt=DT, source=pulse)
+    domains = [make_domain(20 * DZ, rng), make_domain(80 * DZ, rng)]
+    return MaxwellCoupledLFD(fdtd, domains)
+
+
+class TestConstruction:
+    def test_lockstep_enforced(self, rng):
+        fdtd = VectorPotentialFDTD(nz=64, dz=DZ, dt=DT)
+        with pytest.raises(ValueError, match="lockstep"):
+            MaxwellCoupledLFD(fdtd, [make_domain(100.0, rng, dt=2 * DT)])
+
+    def test_needs_domains(self):
+        fdtd = VectorPotentialFDTD(nz=64, dz=DZ, dt=DT)
+        with pytest.raises(ValueError):
+            MaxwellCoupledLFD(fdtd, [])
+
+    def test_occupation_shape(self, rng):
+        with pytest.raises(ValueError):
+            dom = make_domain(0.0, rng)
+            CoupledDomain(dom.propagator, np.ones(5), 0.0, 1.0)
+
+
+class TestLockstep:
+    def test_clocks_advance_together(self, coupled):
+        coupled.run(10)
+        assert coupled.steps_taken == 10
+        assert coupled.fdtd.time == pytest.approx(10 * DT)
+        for d in coupled.domains:
+            assert d.propagator.time == pytest.approx(10 * DT)
+
+    def test_field_history_recording(self, coupled):
+        coupled.run(10, record_every=5)
+        assert len(coupled.field_history) == 2
+        assert coupled.field_history[0].shape == (128,)
+
+    def test_negative_steps(self, coupled):
+        with pytest.raises(ValueError):
+            coupled.run(-1)
+
+
+class TestRetardation:
+    def test_near_domain_sees_pulse_first(self, rng):
+        """The injected pulse reaches the upstream domain earlier."""
+        pulse = GaussianPulse(e0=0.02, omega=0.4, t0=4.0, sigma=1.5)
+        fdtd = VectorPotentialFDTD(nz=256, dz=DZ, dt=DT, source=pulse)
+        near = make_domain(30 * DZ, rng)
+        far = make_domain(120 * DZ, rng)
+        coupled = MaxwellCoupledLFD(fdtd, [near, far], feedback=False)
+        t_near, t_far = None, None
+        threshold = 1e-4
+        for step in range(1200):
+            coupled.step()
+            a = coupled.sampled_fields()
+            if t_near is None and abs(a[0]) > threshold:
+                t_near = step
+            if t_far is None and abs(a[1]) > threshold:
+                t_far = step
+            if t_far is not None:
+                break
+        assert t_near is not None and t_far is not None
+        delay = coupled.arrival_delay_cells(near.z_position, far.z_position)
+        assert (t_far - t_near) == pytest.approx(delay, rel=0.2)
+
+    def test_norms_conserved_through_coupling(self, coupled):
+        coupled.run(50)
+        for d in coupled.domains:
+            assert np.abs(d.propagator.wf.norms() - 1.0).max() < 1e-10
+
+
+class TestFeedback:
+    def test_feedback_changes_field(self, rng):
+        """Domains with feedback reshape the field vs the ablation."""
+        def build(feedback):
+            pulse = GaussianPulse(e0=0.05, omega=0.4, t0=4.0, sigma=1.5)
+            fdtd = VectorPotentialFDTD(nz=96, dz=DZ, dt=DT, source=pulse)
+            d = make_domain(40 * DZ, np.random.default_rng(0), norb=3)
+            return MaxwellCoupledLFD(
+                fdtd, [d], feedback=feedback, current_scale=50.0
+            )
+
+        on = build(True)
+        off = build(False)
+        for _ in range(400):
+            on.step()
+            off.step()
+        assert np.abs(on.fdtd.a - off.fdtd.a).max() > 1e-8
+
+    def test_no_feedback_matches_free_fdtd(self, rng):
+        pulse = GaussianPulse(e0=0.02, omega=0.4, t0=4.0, sigma=1.5)
+        fdtd_a = VectorPotentialFDTD(nz=64, dz=DZ, dt=DT, source=pulse)
+        fdtd_b = VectorPotentialFDTD(nz=64, dz=DZ, dt=DT, source=pulse)
+        coupled = MaxwellCoupledLFD(
+            fdtd_a, [make_domain(30 * DZ, rng)], feedback=False
+        )
+        for _ in range(100):
+            coupled.step()
+            fdtd_b.step()
+        assert np.abs(fdtd_a.a - fdtd_b.a).max() < 1e-14

@@ -1,0 +1,81 @@
+"""Scissor shift (Eq. 8) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import scissor_shift
+from repro.core.scissor import homo_lumo_gap
+from repro.lfd import WaveFunctionSet
+from repro.pseudo import KBProjectorSet, get_species
+from repro.qxmd import KSHamiltonian
+
+
+class TestHomoLumo:
+    def test_basic(self):
+        gap, homo, lumo = homo_lumo_gap(
+            np.array([-1.0, -0.5, 0.2, 0.4]), np.array([2.0, 2.0, 0.0, 0.0])
+        )
+        assert (homo, lumo) == (1, 2)
+        assert gap == pytest.approx(0.7)
+
+    def test_fractional_occupations_use_aufbau(self):
+        """Small LFD-remap tails must not move the HOMO definition."""
+        gap, homo, lumo = homo_lumo_gap(
+            np.array([-1.0, -0.5, 0.2, 0.4]),
+            np.array([1.96, 1.9, 0.1, 0.04]),
+        )
+        assert (homo, lumo) == (1, 2)
+
+    def test_no_electrons(self):
+        with pytest.raises(ValueError):
+            homo_lumo_gap(np.zeros(3), np.zeros(3))
+
+    def test_no_unoccupied(self):
+        with pytest.raises(ValueError):
+            homo_lumo_gap(np.array([-1.0]), np.array([2.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            homo_lumo_gap(np.zeros(3), np.zeros(4))
+
+
+class TestScissorShift:
+    @pytest.fixture
+    def system(self, grid16, rng):
+        pos = np.array([[4.8, 4.8, 4.8]])
+        species = [get_species("Ti")]
+        kb = KBProjectorSet(grid16, pos, species)
+        vloc = -1.5 * np.exp(
+            -sum((x - 4.8) ** 2 for x in grid16.meshgrid()) / 2.0
+        )
+        ham = KSHamiltonian(grid16, vloc, kb=kb)
+        from repro.qxmd import cg_eigensolve
+
+        wf = WaveFunctionSet.random(grid16, 4, rng)
+        cg_eigensolve(ham, wf, ncg=8)
+        occ = np.array([2.0, 2.0, 0.0, 0.0])
+        return ham, wf, occ
+
+    def test_no_kb_zero_shift(self, grid16, rng):
+        ham = KSHamiltonian(grid16, np.zeros(grid16.shape))
+        wf = WaveFunctionSet.random(grid16, 3, rng)
+        assert scissor_shift(ham, wf, np.array([2.0, 0, 0])) == 0.0
+
+    def test_shift_is_gap_difference(self, system):
+        import scipy.linalg as sla
+
+        ham, wf, occ = system
+        dsci = scissor_shift(ham, wf, occ)
+        ssub = wf.overlap_matrix()
+        e_nl = sla.eigh(ham.subspace_matrix(wf), ssub, eigvals_only=True)
+        e_loc = sla.eigh(
+            ham.without_nonlocal().subspace_matrix(wf), ssub, eigvals_only=True
+        )
+        expected = (e_nl[2] - e_nl[1]) - (e_loc[2] - e_loc[1])
+        assert dsci == pytest.approx(expected)
+
+    def test_shift_finite_and_reasonable(self, system):
+        ham, wf, occ = system
+        dsci = scissor_shift(ham, wf, occ)
+        assert np.isfinite(dsci)
+        assert abs(dsci) < 5.0  # a fraction of a hartree, not huge

@@ -1,0 +1,65 @@
+"""Shadow-dynamics ledger tests."""
+
+import pytest
+
+from repro.core import ShadowLedger
+from repro.device import SimClock, TransferEngine
+from repro.device.spec import PCIE_GEN4
+
+
+class TestLedger:
+    def test_handshake_record(self):
+        ledger = ShadowLedger()
+        rec = ledger.record_handshake(
+            md_step=1, vloc_bytes=1000, occ_count=64, psi_bytes_resident=10 ** 7
+        )
+        assert rec.bytes_down == 1000 + 8 * 65
+        assert rec.bytes_up == 8 * 64
+        assert rec.total == rec.bytes_down + rec.bytes_up
+
+    def test_traffic_ratio_small(self):
+        ledger = ShadowLedger()
+        for step in range(5):
+            ledger.record_handshake(step, 1000, 64, psi_bytes_resident=10 ** 8)
+        assert ledger.traffic_ratio() < 1e-4
+
+    def test_steady_state_mean(self):
+        ledger = ShadowLedger()
+        ledger.record_handshake(0, 1000, 10, 10 ** 6)
+        ledger.record_handshake(1, 1000, 10, 10 ** 6)
+        assert ledger.steady_state_bytes_per_step() == pytest.approx(
+            ledger.records[0].total
+        )
+
+    def test_empty_ledger(self):
+        ledger = ShadowLedger()
+        assert ledger.steady_state_bytes_per_step() == 0.0
+        assert ledger.traffic_ratio() == 0.0
+
+
+class TestContract:
+    def test_single_upload_allowed(self):
+        ledger = ShadowLedger()
+        ledger.record_psi_upload(10 ** 8)
+        ledger.assert_no_psi_traffic()
+
+    def test_double_upload_rejected(self):
+        ledger = ShadowLedger()
+        ledger.record_psi_upload(10 ** 8)
+        ledger.record_psi_upload(10 ** 8)
+        with pytest.raises(AssertionError, match="shadow"):
+            ledger.assert_no_psi_traffic()
+
+    def test_foreign_transfers_detected(self):
+        engine = TransferEngine(PCIE_GEN4, SimClock())
+        ledger = ShadowLedger(engine)
+        ledger.record_psi_upload(100, pinned=True)
+        engine.h2d(10 ** 6, tag="sneaky_psi_copy")
+        with pytest.raises(AssertionError, match="sneaky"):
+            ledger.assert_no_psi_traffic()
+
+    def test_transfer_engine_charged(self):
+        engine = TransferEngine(PCIE_GEN4, SimClock())
+        ledger = ShadowLedger(engine)
+        ledger.record_handshake(0, 1000, 8, 10 ** 6, pinned=True)
+        assert engine.total_bytes() == ledger.records[0].total

@@ -1,0 +1,37 @@
+"""Multiple time-scale splitting tests."""
+
+import pytest
+
+from repro.constants import AUT_FS
+from repro.core import TimescaleSplit
+
+
+class TestSplit:
+    def test_dt_qd(self):
+        ts = TimescaleSplit(dt_md=20.0, n_qd=100)
+        assert ts.dt_qd == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimescaleSplit(dt_md=0.0, n_qd=10)
+        with pytest.raises(ValueError):
+            TimescaleSplit(dt_md=1.0, n_qd=0)
+
+    def test_from_physical_paper_scales(self):
+        """Delta_MD ~ fs, Delta_QD ~ as gives N_QD ~ 10^2-10^3 (paper)."""
+        ts = TimescaleSplit.from_physical(dt_md_fs=1.0, dt_qd_as=2.0)
+        assert 100 <= ts.n_qd <= 1000
+        assert ts.dt_md == pytest.approx(1.0 / AUT_FS)
+        # The realized dt_qd exactly tiles the MD step.
+        assert ts.n_qd * ts.dt_qd == pytest.approx(ts.dt_md)
+
+    def test_from_physical_validation(self):
+        with pytest.raises(ValueError):
+            TimescaleSplit.from_physical(-1.0, 1.0)
+
+    def test_midpoints(self):
+        ts = TimescaleSplit(dt_md=1.0, n_qd=4)
+        assert ts.midpoints() == pytest.approx([0.125, 0.375, 0.625, 0.875])
+
+    def test_amortization(self):
+        assert TimescaleSplit(dt_md=1.0, n_qd=500).amortization_ratio() == 500.0

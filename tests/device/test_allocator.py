@@ -1,0 +1,92 @@
+"""Device allocator / DeviceArray (OMPallocator analogue) tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    A100,
+    DeviceAllocator,
+    DeviceArray,
+    DeviceMemoryError,
+    SimClock,
+    PCIE_GEN4,
+)
+from repro.device.spec import DeviceSpec
+
+
+@pytest.fixture
+def allocator():
+    return DeviceAllocator(A100, SimClock(), link=PCIE_GEN4)
+
+
+class TestAllocator:
+    def test_tracks_bytes(self, allocator):
+        a = allocator.allocate(1000)
+        allocator.allocate(500)
+        assert allocator.bytes_allocated == 1500
+        allocator.deallocate(a, 1000)
+        assert allocator.bytes_allocated == 500
+        assert allocator.peak_bytes == 1500
+
+    def test_oom(self):
+        tiny = DeviceSpec("tiny", 1, 1, 1, mem_capacity=100)
+        alloc = DeviceAllocator(tiny)
+        alloc.allocate(90)
+        with pytest.raises(DeviceMemoryError, match="OOM"):
+            alloc.allocate(20)
+
+    def test_double_free(self, allocator):
+        a = allocator.allocate(10)
+        allocator.deallocate(a, 10)
+        with pytest.raises(DeviceMemoryError):
+            allocator.deallocate(a, 10)
+
+    def test_live_count(self, allocator):
+        allocator.allocate(1)
+        allocator.allocate(2)
+        assert allocator.live_allocations == 2
+
+
+class TestDeviceArray:
+    def test_raii_lifecycle(self, allocator):
+        host = np.zeros(1000)
+        with DeviceArray(host, allocator, tag="psi") as arr:
+            assert arr.on_device
+            assert allocator.bytes_allocated == host.nbytes
+        assert allocator.bytes_allocated == 0
+
+    def test_use_after_free(self, allocator):
+        arr = DeviceArray(np.zeros(10), allocator)
+        arr.free()
+        with pytest.raises(DeviceMemoryError, match="use after free"):
+            _ = arr.data
+        with pytest.raises(DeviceMemoryError):
+            arr.update_to_device()
+        with pytest.raises(DeviceMemoryError):
+            arr.free()  # double free
+
+    def test_transfers_charged(self, allocator):
+        arr = DeviceArray(np.zeros(2 ** 20), allocator, pinned=False)
+        t_pageable = arr.update_to_device()
+        pinned = DeviceArray(np.zeros(2 ** 20), allocator, pinned=True)
+        t_pinned = pinned.update_to_device()
+        assert t_pinned < t_pageable
+        assert allocator.transfer.total_bytes("h2d") == 2 * 2 ** 20 * 8
+        assert arr.h2d_count == 1
+
+    def test_d2h(self, allocator):
+        arr = DeviceArray(np.zeros(100), allocator)
+        arr.update_from_device()
+        assert arr.d2h_count == 1
+        assert allocator.transfer.total_bytes("d2h") == 800
+
+    def test_data_is_host_buffer(self, allocator):
+        host = np.arange(5.0)
+        arr = DeviceArray(host, allocator)
+        arr.data[0] = 42.0
+        assert host[0] == 42.0
+
+    def test_no_transfer_engine(self):
+        alloc = DeviceAllocator(A100)  # no link
+        arr = DeviceArray(np.zeros(10), alloc)
+        assert arr.update_to_device() == 0.0

@@ -1,0 +1,60 @@
+"""Device BLAS (cuBLAS stand-in) tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import A100, DeviceBLAS, KernelLauncher, SimClock
+from repro.device.blas import gemm_bytes, gemm_flops
+
+
+class TestCounts:
+    def test_complex_gemm_flops(self):
+        assert gemm_flops(4, 5, 6) == 8 * 4 * 5 * 6
+
+    def test_real_gemm_flops(self):
+        assert gemm_flops(4, 5, 6, complex_data=False) == 2 * 4 * 5 * 6
+
+    def test_gemm_bytes(self):
+        assert gemm_bytes(2, 3, 4, 16) == 16 * (8 + 12 + 6)
+
+
+class TestGemm:
+    @pytest.fixture
+    def blas(self):
+        return DeviceBLAS(KernelLauncher(A100, SimClock()))
+
+    def test_result_correct(self, blas, rng):
+        a = rng.standard_normal((6, 4)) + 1j * rng.standard_normal((6, 4))
+        b = rng.standard_normal((6, 5)) + 1j * rng.standard_normal((6, 5))
+        c = blas.gemm(a, b, conj_a=True)
+        assert np.allclose(c, a.conj().T @ b)
+
+    def test_plain_product(self, blas, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        assert np.allclose(blas.gemm(a, b), a @ b)
+
+    def test_time_charged(self, rng):
+        clock = SimClock()
+        blas = DeviceBLAS(KernelLauncher(A100, clock))
+        a = rng.standard_normal((32, 32))
+        blas.gemm(a, a)
+        assert clock.now > 0.0
+
+    def test_bigger_gemm_costs_more(self, rng):
+        times = []
+        for n in (64, 128):
+            clock = SimClock()
+            blas = DeviceBLAS(KernelLauncher(A100, clock))
+            a = rng.standard_normal((n, n))
+            blas.gemm(a, a)
+            times.append(clock.now)
+        assert times[1] > times[0]
+
+    def test_shape_mismatch(self, blas, rng):
+        with pytest.raises(ValueError):
+            blas.gemm(rng.standard_normal((3, 4)), rng.standard_normal((3, 4)))
+
+    def test_rank_check(self, blas, rng):
+        with pytest.raises(ValueError):
+            blas.gemm(rng.standard_normal(4), rng.standard_normal((4, 2)))

@@ -1,0 +1,56 @@
+"""Simulated clock tests."""
+
+import pytest
+
+from repro.device import SimClock
+
+
+class TestClock:
+    def test_advance(self):
+        c = SimClock()
+        c.advance(1.5, "a", "kernel")
+        c.advance(0.5, "b", "transfer")
+        assert c.now == pytest.approx(2.0)
+        assert len(c.events) == 2
+
+    def test_no_backwards(self):
+        c = SimClock()
+        with pytest.raises(ValueError):
+            c.advance(-1.0)
+
+    def test_advance_to(self):
+        c = SimClock()
+        c.advance(1.0)
+        assert c.advance_to(3.0) == pytest.approx(2.0)
+        assert c.advance_to(2.0) == 0.0  # already past
+        assert c.now == pytest.approx(3.0)
+
+    def test_category_totals(self):
+        c = SimClock()
+        c.advance(1.0, "k1", "kernel")
+        c.advance(2.0, "t1", "transfer")
+        c.advance(3.0, "k2", "kernel")
+        assert c.total("kernel") == pytest.approx(4.0)
+        assert c.total() == pytest.approx(6.0)
+        assert c.by_category() == {"kernel": pytest.approx(4.0),
+                                   "transfer": pytest.approx(2.0)}
+
+    def test_by_name(self):
+        c = SimClock()
+        c.advance(1.0, "gemm", "kernel")
+        c.advance(2.0, "gemm", "kernel")
+        assert c.by_name()["gemm"] == pytest.approx(3.0)
+
+    def test_reset(self):
+        c = SimClock()
+        c.advance(5.0)
+        c.reset()
+        assert c.now == 0.0
+        assert c.events == []
+
+    def test_event_end(self):
+        c = SimClock()
+        ev = c.advance(2.0, "x")
+        assert ev.end == pytest.approx(2.0)
+        ev2 = c.advance(1.0, "y")
+        assert ev2.start == pytest.approx(2.0)

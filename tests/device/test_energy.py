@@ -1,0 +1,68 @@
+"""Energy-to-solution model tests."""
+
+import pytest
+
+from repro.device.energy import (
+    NODE_OVERHEAD_WATTS,
+    NodeEnergyModel,
+    device_power,
+)
+from repro.device.spec import A100, EPYC_7543_SOCKET, PVC_MAX_1550
+
+
+class TestPower:
+    def test_datasheet_tdps(self):
+        assert device_power(A100) == 400.0
+        assert device_power(PVC_MAX_1550) == 600.0
+
+    def test_unknown_device(self):
+        from repro.device.spec import DeviceSpec
+
+        mystery = DeviceSpec("mystery", 1, 1, 1, 1)
+        with pytest.raises(KeyError, match="mystery"):
+            device_power(mystery)
+
+    def test_node_power_composition(self):
+        node = NodeEnergyModel(ngpus=4)
+        expected = 4 * 400.0 + 225.0 + NODE_OVERHEAD_WATTS
+        assert node.node_power == pytest.approx(expected)
+
+    def test_cpu_only_node_draws_less_power(self):
+        gpu_node = NodeEnergyModel(ngpus=4)
+        cpu_node = NodeEnergyModel(ngpus=0)
+        assert cpu_node.node_power < 0.4 * gpu_node.node_power
+
+
+class TestEnergyToSolution:
+    def test_energy_linear_in_time_and_steps(self):
+        node = NodeEnergyModel()
+        e1 = node.energy_to_solution(10.0, nsteps=1)
+        assert node.energy_to_solution(20.0, nsteps=1) == pytest.approx(2 * e1)
+        assert node.energy_to_solution(10.0, nsteps=3) == pytest.approx(3 * e1)
+
+    def test_gpu_offload_saves_energy_despite_higher_power(self):
+        """The paper-scale argument: 19x faster at ~4x the power is a
+        large net energy win."""
+        from repro.parallel.scaling import calibrated_model
+
+        model = calibrated_model()
+        t_gpu = model.step_time(4, use_gpu=True)
+        t_cpu = model.step_time(4, use_gpu=False)
+        e_gpu = NodeEnergyModel(ngpus=4).energy_to_solution(t_gpu)
+        e_cpu = NodeEnergyModel(ngpus=0).energy_to_solution(t_cpu)
+        assert e_gpu < 0.3 * e_cpu
+
+    def test_energy_per_atom_step(self):
+        node = NodeEnergyModel()
+        assert node.energy_per_atom_step(10.0, natoms=160) == pytest.approx(
+            node.node_power * 10.0 / 160.0
+        )
+
+    def test_validation(self):
+        node = NodeEnergyModel()
+        with pytest.raises(ValueError):
+            node.energy_to_solution(0.0)
+        with pytest.raises(ValueError):
+            node.energy_per_atom_step(1.0, natoms=0)
+        with pytest.raises(ValueError):
+            NodeEnergyModel(ngpus=-1)

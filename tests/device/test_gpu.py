@@ -1,0 +1,39 @@
+"""VirtualGPU facade tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import VirtualGPU
+
+
+class TestFacade:
+    def test_shared_clock(self):
+        gpu = VirtualGPU()
+        arr = gpu.array(np.zeros(2 ** 16), pinned=True)
+        arr.update_to_device()
+        t_after_transfer = gpu.elapsed
+        gpu.launch("k", flops=1e9, bytes_moved=1e6, nowait=True)
+        gpu.synchronize()
+        assert gpu.elapsed > t_after_transfer > 0.0
+
+    def test_gemm_on_device(self, rng):
+        gpu = VirtualGPU()
+        a = rng.standard_normal((16, 8))
+        c = gpu.gemm(a, a, conj_a=True)
+        gpu.synchronize()
+        assert np.allclose(c, a.T @ a)
+        assert gpu.elapsed > 0.0
+
+    def test_reset_keeps_allocations(self):
+        gpu = VirtualGPU()
+        arr = gpu.array(np.zeros(100))
+        gpu.launch("k", 1e6, 1e6)
+        gpu.reset()
+        assert gpu.elapsed == 0.0
+        assert arr.on_device
+        assert gpu.allocator.bytes_allocated == 800
+
+    def test_default_stream_used(self):
+        gpu = VirtualGPU()
+        gpu.launch("k", 1e9, 1e6, nowait=True)
+        assert gpu.stream.kernels_enqueued == 1

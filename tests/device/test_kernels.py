@@ -1,0 +1,110 @@
+"""Roofline kernel cost model and launcher tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    A100,
+    EPYC_7543_CORE,
+    KernelCostModel,
+    KernelLauncher,
+    SimClock,
+    Stream,
+)
+from repro.device.spec import SCALAR_EFFICIENCY
+
+
+class TestCostModel:
+    def test_memory_bound_kernel(self):
+        """Low arithmetic intensity -> bandwidth-limited time."""
+        m = KernelCostModel(A100)
+        t = m.kernel_time(flops=1e6, bytes_moved=1e9)
+        assert t == pytest.approx(1e9 / A100.mem_bandwidth)
+
+    def test_compute_bound_kernel(self):
+        m = KernelCostModel(A100)
+        t = m.kernel_time(flops=1e15, bytes_moved=1e3, itemsize=8)
+        assert t == pytest.approx(1e15 / A100.peak_flops_dp)
+
+    def test_sp_faster_than_dp_when_compute_bound(self):
+        m = KernelCostModel(A100)
+        t_dp = m.kernel_time(1e15, 1e3, itemsize=8)
+        t_sp = m.kernel_time(1e15, 1e3, itemsize=4)
+        assert t_sp == pytest.approx(
+            t_dp * A100.peak_flops_dp / A100.peak_flops_sp
+        )
+
+    def test_scalar_derating(self):
+        m = KernelCostModel(EPYC_7543_CORE)
+        t_vec = m.kernel_time(1e12, 1e3, vectorized=True)
+        t_scalar = m.kernel_time(1e12, 1e3, vectorized=False)
+        assert t_scalar == pytest.approx(t_vec / SCALAR_EFFICIENCY)
+
+    def test_efficiency_knob(self):
+        m = KernelCostModel(A100)
+        t1 = m.kernel_time(1e12, 1e3, efficiency=1.0)
+        t2 = m.kernel_time(1e12, 1e3, efficiency=0.5)
+        assert t2 == pytest.approx(2 * t1)
+        with pytest.raises(ValueError):
+            m.kernel_time(1e12, 1e3, efficiency=0.0)
+
+    def test_ridge_point(self):
+        m = KernelCostModel(A100)
+        assert m.arithmetic_intensity_break(8) == pytest.approx(
+            A100.peak_flops_dp / A100.mem_bandwidth
+        )
+
+    def test_negative_counts(self):
+        m = KernelCostModel(A100)
+        with pytest.raises(ValueError):
+            m.kernel_time(-1, 0)
+
+
+class TestLauncher:
+    def test_sync_launch_charges_latency(self):
+        clock = SimClock()
+        launcher = KernelLauncher(A100, clock)
+        t_kernel = launcher.launch("k", flops=1e9, bytes_moved=1e6)
+        assert clock.now == pytest.approx(
+            A100.launch_latency + t_kernel + A100.sync_overhead
+        )
+
+    def test_payload_executed(self):
+        launcher = KernelLauncher(A100, SimClock())
+        out = []
+        launcher.launch("k", 1e3, 1e3, payload=lambda: out.append(1))
+        assert out == [1]
+
+    def test_async_hides_launch_gap(self):
+        """N async launches + 1 sync beat N sync launches (Table I nowait)."""
+        n = 50
+        flops, byts = 1e8, 1e6
+
+        sync_clock = SimClock()
+        sync_launcher = KernelLauncher(A100, sync_clock)
+        for i in range(n):
+            sync_launcher.launch(f"k{i}", flops, byts)
+
+        async_clock = SimClock()
+        async_launcher = KernelLauncher(A100, async_clock)
+        stream = Stream(async_clock)
+        for i in range(n):
+            async_launcher.launch(f"k{i}", flops, byts, stream=stream, nowait=True)
+        stream.synchronize()
+
+        assert async_clock.now < sync_clock.now
+        # Both executed the same device work.
+        assert async_launcher.total_kernel_time() == pytest.approx(
+            sync_launcher.total_kernel_time()
+        )
+
+    def test_nowait_requires_stream(self):
+        launcher = KernelLauncher(A100)
+        with pytest.raises(ValueError):
+            launcher.launch("k", 1e3, 1e3, nowait=True)
+
+    def test_records_kept(self):
+        launcher = KernelLauncher(A100)
+        launcher.launch("a", 1e3, 1e3)
+        launcher.launch("b", 1e3, 1e3)
+        assert [r.name for r in launcher.records] == ["a", "b"]

@@ -1,0 +1,100 @@
+"""Multi-GPU node model tests."""
+
+import numpy as np
+import pytest
+
+from repro.device.multigpu import MultiGPUNode
+
+
+class TestConstruction:
+    def test_polaris_default(self):
+        node = MultiGPUNode()
+        assert node.ngpus == 4
+        assert node.makespan == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiGPUNode(ngpus=0)
+
+
+class TestPeerTransfers:
+    def test_nvlink_faster_than_pcie(self):
+        node = MultiGPUNode()
+        t_peer = node.peer_transfer(0, 1, 10 ** 9)
+        t_host = node.gpus[2].transfer.h2d(10 ** 9, pinned=True)
+        assert t_peer < t_host
+
+    def test_both_clocks_charged(self):
+        node = MultiGPUNode()
+        node.peer_transfer(0, 3, 10 ** 6)
+        assert node.gpus[0].elapsed > 0.0
+        assert node.gpus[3].elapsed == pytest.approx(node.gpus[0].elapsed)
+        assert node.gpus[1].elapsed == 0.0
+
+    def test_rendezvous_semantics(self):
+        """A busy destination delays the copy start for both ends."""
+        node = MultiGPUNode()
+        node.gpus[1].clock.advance(1.0, "busy")
+        node.peer_transfer(0, 1, 10 ** 6)
+        assert node.gpus[0].elapsed >= 1.0
+
+    def test_validation(self):
+        node = MultiGPUNode()
+        with pytest.raises(ValueError):
+            node.peer_transfer(0, 0, 10)
+        with pytest.raises(ValueError):
+            node.peer_transfer(0, 9, 10)
+        with pytest.raises(ValueError):
+            node.peer_transfer(0, 1, -1)
+
+
+class TestScheduling:
+    def test_all_domains_assigned_once(self):
+        node = MultiGPUNode()
+        costs = [(1e9, 1e6)] * 10
+        assignment = node.schedule_domains(costs)
+        assigned = sorted(i for lst in assignment.values() for i in lst)
+        assert assigned == list(range(10))
+
+    def test_uniform_domains_balance(self):
+        node = MultiGPUNode()
+        node.schedule_domains([(1e10, 1e7)] * 8)
+        assert node.load_imbalance() < 1.05
+
+    def test_lpt_beats_worst_case_for_skewed_work(self):
+        """One huge + several small domains: LPT puts the huge one alone."""
+        node = MultiGPUNode()
+        costs = [(8e10, 1e6)] + [(1e10, 1e6)] * 6
+        assignment = node.schedule_domains(costs)
+        owner = [g for g, lst in assignment.items() if 0 in lst][0]
+        assert len(assignment[owner]) == 1
+
+    def test_payloads_executed(self):
+        node = MultiGPUNode()
+        hits = []
+        node.schedule_domains(
+            [(1e6, 1e3)] * 3,
+            payloads=[lambda i=i: hits.append(i) for i in range(3)],
+        )
+        assert sorted(hits) == [0, 1, 2]
+
+    def test_payload_count_check(self):
+        node = MultiGPUNode()
+        with pytest.raises(ValueError):
+            node.schedule_domains([(1e6, 1e3)] * 2, payloads=[lambda: None])
+
+    def test_more_gpus_shorter_makespan(self):
+        costs = [(1e11, 1e8)] * 8
+        one = MultiGPUNode(ngpus=1)
+        one.schedule_domains(costs)
+        four = MultiGPUNode(ngpus=4)
+        four.schedule_domains(costs)
+        assert four.makespan < 0.3 * one.makespan
+
+    def test_reset(self):
+        node = MultiGPUNode()
+        node.schedule_domains([(1e9, 1e6)] * 4)
+        node.peer_transfer(0, 1, 100)
+        node.reset()
+        assert node.makespan == 0.0
+        assert node.peer_transfers == []

@@ -1,0 +1,47 @@
+"""Hardware spec tests."""
+
+import pytest
+
+from repro.device import A100, EPYC_7543_CORE, EPYC_7543_SOCKET, PCIE_GEN4
+from repro.device.spec import NVLINK, DeviceSpec, LinkSpec
+
+
+class TestDeviceSpecs:
+    def test_a100_datasheet(self):
+        assert A100.peak_flops_dp == pytest.approx(9.7e12)
+        assert A100.peak_flops_sp == pytest.approx(19.5e12)
+        assert A100.mem_bandwidth == pytest.approx(1.555e12)
+        assert A100.is_gpu
+
+    def test_cpu_core_not_gpu(self):
+        assert not EPYC_7543_CORE.is_gpu
+        assert EPYC_7543_CORE.launch_latency == 0.0
+
+    def test_socket_is_32_cores(self):
+        ratio = EPYC_7543_SOCKET.peak_flops_dp / EPYC_7543_CORE.peak_flops_dp
+        assert ratio == pytest.approx(32.0, rel=0.01)
+
+    def test_peak_flops_selector(self):
+        assert A100.peak_flops(4) == A100.peak_flops_sp
+        assert A100.peak_flops(8) == A100.peak_flops_dp
+
+    def test_gpu_sp_is_double_dp(self):
+        assert A100.peak_flops_sp == pytest.approx(2 * A100.peak_flops_dp, rel=0.01)
+
+
+class TestLinkSpecs:
+    def test_pinned_faster_than_pageable(self):
+        t_pageable = PCIE_GEN4.transfer_time(1e9, pinned=False)
+        t_pinned = PCIE_GEN4.transfer_time(1e9, pinned=True)
+        assert t_pinned < t_pageable
+
+    def test_latency_dominates_small_transfers(self):
+        t = PCIE_GEN4.transfer_time(1, pinned=True)
+        assert t == pytest.approx(PCIE_GEN4.latency, rel=1e-3)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_GEN4.transfer_time(-1)
+
+    def test_nvlink_faster_than_pcie(self):
+        assert NVLINK.transfer_time(1e9) < PCIE_GEN4.transfer_time(1e9, pinned=True)

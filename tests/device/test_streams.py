@@ -1,0 +1,45 @@
+"""Stream / async-launch model tests."""
+
+import pytest
+
+from repro.device import SimClock, Stream
+from repro.device.streams import ENQUEUE_COST
+
+
+class TestStream:
+    def test_enqueue_advances_host_minimally(self):
+        clock = SimClock()
+        s = Stream(clock)
+        s.enqueue(1.0, launch_latency=1e-5)
+        assert clock.now == pytest.approx(ENQUEUE_COST)
+        assert not s.idle
+
+    def test_kernels_pipeline_in_order(self):
+        clock = SimClock()
+        s = Stream(clock)
+        s.enqueue(1.0, 1e-5)
+        s.enqueue(2.0, 1e-5)
+        s.synchronize()
+        # Device time ~ 3 s plus one launch latency, not 2x latency stalls.
+        assert clock.now == pytest.approx(3.0 + 1e-5 + 2 * ENQUEUE_COST, rel=1e-3)
+
+    def test_synchronize_idempotent(self):
+        clock = SimClock()
+        s = Stream(clock)
+        s.enqueue(0.5, 0.0)
+        w1 = s.synchronize()
+        w2 = s.synchronize()
+        assert w1 > 0.0
+        assert w2 == 0.0
+        assert s.idle
+
+    def test_negative_duration(self):
+        s = Stream(SimClock())
+        with pytest.raises(ValueError):
+            s.enqueue(-1.0, 0.0)
+
+    def test_kernel_count(self):
+        s = Stream(SimClock())
+        for _ in range(3):
+            s.enqueue(0.1, 0.0)
+        assert s.kernels_enqueued == 3

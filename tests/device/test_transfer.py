@@ -1,0 +1,41 @@
+"""Transfer engine / ledger tests."""
+
+import pytest
+
+from repro.device import SimClock, TransferEngine
+from repro.device.spec import PCIE_GEN4
+
+
+class TestTransfers:
+    def test_ledger_records(self):
+        eng = TransferEngine(PCIE_GEN4, SimClock())
+        eng.h2d(1000, tag="a")
+        eng.d2h(500, pinned=True, tag="b")
+        assert len(eng.ledger) == 2
+        assert eng.total_bytes() == 1500
+        assert eng.total_bytes("h2d") == 1000
+        assert eng.total_bytes("d2h") == 500
+
+    def test_time_accumulates_on_clock(self):
+        clock = SimClock()
+        eng = TransferEngine(PCIE_GEN4, clock)
+        eng.h2d(10 ** 9)
+        assert clock.now == pytest.approx(eng.total_time())
+        assert clock.total("transfer") == pytest.approx(clock.now)
+
+    def test_pinned_recorded(self):
+        eng = TransferEngine(PCIE_GEN4, SimClock())
+        eng.h2d(100, pinned=True)
+        assert eng.ledger[0].pinned
+
+    def test_negative_bytes(self):
+        eng = TransferEngine()
+        with pytest.raises(ValueError):
+            eng.h2d(-1)
+
+    def test_reset(self):
+        eng = TransferEngine(PCIE_GEN4, SimClock())
+        eng.h2d(100)
+        eng.reset()
+        assert eng.ledger == []
+        assert eng.total_bytes() == 0

@@ -1,0 +1,130 @@
+"""DC domain decomposition tests: tiling, gather/scatter, atom assignment."""
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D, DomainDecomposition
+
+
+@pytest.fixture
+def grid() -> Grid3D:
+    return Grid3D((12, 12, 12), (0.5, 0.5, 0.5))
+
+
+@pytest.fixture
+def decomp(grid) -> DomainDecomposition:
+    return DomainDecomposition(grid, (2, 2, 1), buffer_width=2)
+
+
+class TestConstruction:
+    def test_domain_count(self, decomp):
+        assert len(decomp) == 4
+        assert decomp.core_shape == (6, 6, 12)
+
+    def test_local_grid_shape(self, decomp):
+        for dom in decomp:
+            assert dom.local_shape == (10, 10, 16)
+
+    def test_indivisible_raises(self, grid):
+        with pytest.raises(ValueError):
+            DomainDecomposition(grid, (5, 1, 1))
+
+    def test_buffer_too_large_raises(self, grid):
+        with pytest.raises(ValueError):
+            DomainDecomposition(grid, (2, 2, 1), buffer_width=6)
+
+    def test_negative_buffer_raises(self, grid):
+        with pytest.raises(ValueError):
+            DomainDecomposition(grid, (2, 2, 1), buffer_width=-1)
+
+    def test_even_local_grids_check(self, grid):
+        assert DomainDecomposition(grid, (2, 2, 1), buffer_width=2).check_local_grids_even()
+        # An odd core (12/4 = 3) makes the local grids odd for any buffer.
+        assert not DomainDecomposition(grid, (4, 2, 1), buffer_width=1).check_local_grids_even()
+
+
+class TestGatherScatter:
+    def test_gather_core_matches_global(self, decomp, grid, rng):
+        f = rng.standard_normal(grid.shape)
+        dom = decomp[0]
+        local = dom.gather(f)
+        core = local[dom.core_slices_local]
+        sl = tuple(slice(s, s + c) for s, c in zip(dom.core_start, dom.core_shape))
+        assert np.array_equal(core, f[sl])
+
+    def test_gather_periodic_wrap(self, grid, rng):
+        decomp = DomainDecomposition(grid, (2, 2, 1), buffer_width=2)
+        f = rng.standard_normal(grid.shape)
+        dom = decomp[0]  # core starts at 0 -> buffer wraps to the far side
+        local = dom.gather(f)
+        assert local[0, 2, 2] == f[-2, 0, 0]
+
+    def test_gather_shape_mismatch(self, decomp):
+        with pytest.raises(ValueError):
+            decomp[0].gather(np.zeros((4, 4, 4)))
+
+    def test_recombine_partition_of_unity(self, decomp, grid, rng):
+        f = rng.standard_normal(grid.shape)
+        locals_ = [dom.gather(f) for dom in decomp]
+        rebuilt = decomp.recombine(locals_)
+        assert np.allclose(rebuilt, f)
+
+    def test_recombine_wrong_count(self, decomp, grid):
+        with pytest.raises(ValueError):
+            decomp.recombine([grid.zeros()])
+
+    def test_scatter_core_writes_only_core(self, decomp, grid):
+        dom = decomp[1]
+        out = grid.zeros()
+        local = np.ones(dom.local_shape)
+        dom.scatter_core(local, out)
+        assert out.sum() == pytest.approx(np.prod(dom.core_shape))
+
+    def test_add_core_accumulates(self, decomp, grid):
+        dom = decomp[0]
+        out = grid.zeros()
+        local = np.ones(dom.local_shape)
+        dom.add_core(local, out)
+        dom.add_core(local, out)
+        sl = tuple(slice(s, s + c) for s, c in zip(dom.core_start, dom.core_shape))
+        assert np.all(out[sl] == 2.0)
+
+
+class TestAtoms:
+    def test_every_atom_assigned_once(self, decomp, rng):
+        pos = rng.uniform(0.0, 6.0, size=(20, 3))
+        owners = decomp.assign_atoms(pos)
+        counts = sum(len(o) for o in owners)
+        assert counts == 20
+
+    def test_assignment_matches_containment(self, decomp, rng):
+        pos = rng.uniform(0.0, 6.0, size=(10, 3))
+        owners = decomp.assign_atoms(pos)
+        for alpha, idx_list in enumerate(owners):
+            for i in idx_list:
+                assert decomp[alpha].contains_position(pos[i])
+
+    def test_wrapped_atom_assignment(self, decomp):
+        owners = decomp.assign_atoms(np.array([[-0.1, 0.1, 0.1]]))
+        # x = -0.1 wraps to 5.9 -> second x-slab (ix = 1 -> alphas 2 and 3).
+        assert len(owners[2]) + len(owners[3]) == 1
+
+    def test_bad_positions_shape(self, decomp):
+        with pytest.raises(ValueError):
+            decomp.assign_atoms(np.zeros((3, 2)))
+
+
+class TestGeometry:
+    def test_core_center(self, decomp):
+        dom = decomp[0]
+        assert np.allclose(dom.core_center(), [1.5, 1.5, 3.0])
+
+    def test_local_grid_origin_offset(self, decomp, grid):
+        dom = decomp[0]
+        # Buffer of 2 points shifts the origin by -2 h.
+        assert dom.local_grid.origin[0] == pytest.approx(-1.0)
+
+    def test_domains_list_copy(self, decomp):
+        lst = decomp.domains
+        lst.clear()
+        assert len(decomp) == 4

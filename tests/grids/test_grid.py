@@ -1,0 +1,112 @@
+"""Grid3D unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D
+
+
+class TestConstruction:
+    def test_cubic(self):
+        g = Grid3D.cubic(8, 0.5)
+        assert g.shape == (8, 8, 8)
+        assert g.spacing == (0.5, 0.5, 0.5)
+        assert g.npoints == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid3D((0, 8, 8), (0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            Grid3D((8, 8, 8), (0.5, -0.5, 0.5))
+        with pytest.raises(ValueError):
+            Grid3D((8, 8), (0.5, 0.5))
+
+    def test_lengths_volume(self, aniso_grid):
+        assert aniso_grid.lengths == pytest.approx((4.0, 4.5, 4.8))
+        assert aniso_grid.volume == pytest.approx(4.0 * 4.5 * 4.8)
+        assert aniso_grid.dvol == pytest.approx(0.5 * 0.45 * 0.4)
+
+
+class TestCoordinates:
+    def test_axis_coords(self, grid8):
+        x = grid8.axis_coords(0)
+        assert x[0] == 0.0
+        assert x[-1] == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            grid8.axis_coords(3)
+
+    def test_meshgrid_shapes(self, aniso_grid):
+        xs, ys, zs = aniso_grid.meshgrid()
+        assert xs.shape == aniso_grid.shape
+        assert ys[0, 1, 0] - ys[0, 0, 0] == pytest.approx(0.45)
+
+    def test_origin_offset(self):
+        g = Grid3D((4, 4, 4), (1.0, 1.0, 1.0), origin=(10.0, 0.0, 0.0))
+        assert g.axis_coords(0)[0] == 10.0
+
+
+class TestIntegration:
+    def test_integrate_constant(self, grid8):
+        f = np.ones(grid8.shape)
+        assert grid8.integrate(f) == pytest.approx(grid8.volume)
+
+    def test_inner_product_hermitian(self, grid8, rng):
+        f = rng.standard_normal(grid8.shape) + 1j * rng.standard_normal(grid8.shape)
+        g = rng.standard_normal(grid8.shape) + 1j * rng.standard_normal(grid8.shape)
+        assert grid8.inner(f, g) == pytest.approx(np.conj(grid8.inner(g, f)))
+
+    def test_norm_matches_inner(self, grid8, rng):
+        f = rng.standard_normal(grid8.shape)
+        assert grid8.norm(f) ** 2 == pytest.approx(np.real(grid8.inner(f, f)))
+
+    def test_shape_mismatch_raises(self, grid8):
+        with pytest.raises(ValueError):
+            grid8.integrate(np.ones((4, 4, 4)))
+
+
+class TestPeriodicity:
+    def test_wrap_index(self, grid8):
+        assert grid8.wrap_index((-1, 8, 9)) == (7, 0, 1)
+
+    def test_wrap_position(self, grid8):
+        r = grid8.wrap_position([4.1, -0.2, 0.0])
+        assert 0.0 <= r[0] < 4.0
+        assert r[1] == pytest.approx(3.8)
+
+    def test_minimum_image(self, grid8):
+        dr = grid8.minimum_image(np.array([3.9, 0.0, 0.0]))
+        assert dr[0] == pytest.approx(-0.1)
+
+    def test_nearest_index(self, grid8):
+        assert grid8.nearest_index([0.24, 0.26, 3.99]) == (0, 1, 0)
+
+
+class TestHierarchy:
+    def test_coarsen(self, grid8):
+        c = grid8.coarsen()
+        assert c.shape == (4, 4, 4)
+        assert c.spacing == (1.0, 1.0, 1.0)
+        assert c.volume == pytest.approx(grid8.volume)
+
+    def test_coarsen_odd_raises(self):
+        g = Grid3D((6, 7, 8), (0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            g.coarsen()
+
+    def test_compatible(self, grid8):
+        assert grid8.compatible(Grid3D.cubic(8, 0.5))
+        assert not grid8.compatible(grid8.coarsen())
+
+
+def test_iter_points_count():
+    g = Grid3D.cubic(2, 1.0)
+    pts = list(g.iter_points())
+    assert len(pts) == 8
+    assert pts[0] == ((0, 0, 0), (0.0, 0.0, 0.0))
+    assert pts[-1][1] == (1.0, 1.0, 1.0)
+
+
+def test_zeros_dtype(grid8):
+    z = grid8.zeros(dtype=np.complex64)
+    assert z.shape == grid8.shape
+    assert z.dtype == np.complex64

@@ -1,0 +1,123 @@
+"""Failure-injection tests: the system fails loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    A100,
+    DeviceAllocator,
+    DeviceArray,
+    DeviceMemoryError,
+    VirtualGPU,
+)
+from repro.device.spec import DeviceSpec
+from repro.grids import Grid3D, DomainDecomposition
+from repro.lfd import WaveFunctionSet
+
+
+class TestDeviceFailures:
+    def test_oversized_wavefunction_oom(self):
+        """A Psi matrix beyond device memory raises, with context."""
+        tiny_gpu = DeviceSpec(
+            name="tiny", peak_flops_sp=1e12, peak_flops_dp=5e11,
+            mem_bandwidth=1e11, mem_capacity=10 ** 6, is_gpu=True,
+        )
+        alloc = DeviceAllocator(tiny_gpu)
+        big = np.zeros(10 ** 6, dtype=np.complex128)  # 16 MB > 1 MB capacity
+        with pytest.raises(DeviceMemoryError, match="OOM"):
+            DeviceArray(big, alloc)
+
+    def test_paper_scale_psi_fits_a100(self):
+        """The real workload (70x70x72 x 64 DP orbitals x 2 copies) fits."""
+        alloc = DeviceAllocator(A100)
+        nbytes = 70 * 70 * 72 * 64 * 16
+        a = alloc.allocate(nbytes)
+        b = alloc.allocate(nbytes)
+        assert alloc.bytes_allocated == 2 * nbytes
+        assert alloc.bytes_allocated < A100.mem_capacity
+
+    def test_leaked_arrays_detected(self):
+        gpu = VirtualGPU()
+        arr = gpu.array(np.zeros(100), tag="leak")
+        # Scope ends without free(): the allocator still counts it live.
+        assert gpu.allocator.live_allocations == 1
+        arr.free()
+        assert gpu.allocator.live_allocations == 0
+
+
+class TestShapeMismatches:
+    def test_propagator_rejects_wrong_potential(self, grid8, rng):
+        from repro.lfd import PropagatorConfig, QDPropagator
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        with pytest.raises(ValueError):
+            QDPropagator(wf, np.zeros((4, 4, 4)), PropagatorConfig(dt=0.05))
+
+    def test_corrector_rejects_cross_grid_reference(self, grid8, grid12, rng):
+        from repro.lfd import NonlocalCorrector
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        ref = WaveFunctionSet.random(grid12, 2, rng)
+        corr = NonlocalCorrector(ref, 0.1)
+        with pytest.raises(ValueError):
+            corr.apply(wf, 0.05)
+
+    def test_simulation_rejects_odd_local_grids(self):
+        """Pair splitting needs even local grids; the decomposition check
+        catches a bad buffer choice before any physics runs."""
+        grid = Grid3D((12, 12, 12), (0.6, 0.6, 0.6))
+        dec = DomainDecomposition(grid, (4, 2, 1), buffer_width=1)
+        assert not dec.check_local_grids_even()
+
+    def test_domain_solver_species_mismatch(self):
+        from repro.pseudo import get_species
+        from repro.qxmd import GlobalDCSolver
+
+        grid = Grid3D((16, 16, 16), (0.6, 0.6, 0.6))
+        dec = DomainDecomposition(grid, (2, 1, 1), buffer_width=3)
+        with pytest.raises(ValueError):
+            GlobalDCSolver(grid, dec, np.zeros((3, 3)),
+                           [get_species("H")] * 2)
+
+
+class TestNumericalGuards:
+    def test_cg_recovers_degenerate_start(self, rng):
+        """Duplicate starting bands are sanitized by the initial
+        orthonormalization instead of collapsing mid-solve."""
+        from repro.qxmd import KSHamiltonian
+        from repro.qxmd.cg import cg_eigensolve
+
+        g = Grid3D.cubic(6, 0.7)
+        ham = KSHamiltonian(g, -np.ones(g.shape))
+        wf = WaveFunctionSet.random(g, 2, rng)
+        wf.psi[..., 1] = wf.psi[..., 0]  # rank-deficient start
+        evals = cg_eigensolve(ham, wf, ncg=3)
+        s = wf.overlap_matrix()
+        assert np.abs(s - np.eye(2)).max() < 1e-8
+        assert np.all(np.isfinite(evals))
+
+    def test_multigrid_nonconvergence_reported(self, grid16, rng):
+        from repro.qxmd.hartree import hartree_potential
+
+        rho = rng.standard_normal(grid16.shape)
+        with pytest.raises(RuntimeError, match="converge"):
+            # Impossible tolerance within one cycle must raise, not return
+            # a silently wrong potential.
+            from repro.multigrid import PoissonMultigrid
+
+            solver = PoissonMultigrid(grid16, pre_sweeps=0, post_sweeps=0,
+                                      smoother="jacobi")
+            v, stats = solver.solve(rho, tol=1e-30, max_cycles=1)
+            if not stats.converged:
+                raise RuntimeError("did not converge")
+
+    def test_normalize_zero_orbital(self, grid8):
+        wf = WaveFunctionSet(grid8, 2)
+        with pytest.raises(ZeroDivisionError):
+            wf.normalize()
+
+    def test_fdtd_cfl_guard(self):
+        from repro.maxwell import VectorPotentialFDTD
+
+        with pytest.raises(ValueError, match="CFL"):
+            VectorPotentialFDTD(nz=100, dz=1.0, dt=0.05)  # c dt = 6.9 > 1

@@ -1,0 +1,82 @@
+"""LFD flop/byte inventory tests."""
+
+import pytest
+
+from repro.lfd.costs import KernelCost, LFDWorkload
+
+
+@pytest.fixture
+def workload():
+    return LFDWorkload(ngrid=70 * 70 * 72, norb=64, nunocc=32, itemsize=16, nqd=1000)
+
+
+class TestValidation:
+    def test_bad_itemsize(self):
+        with pytest.raises(ValueError):
+            LFDWorkload(ngrid=100, norb=4, nunocc=2, itemsize=4)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LFDWorkload(ngrid=0, norb=4, nunocc=2)
+
+    def test_real_itemsize(self, workload):
+        assert workload.real_itemsize == 8
+        sp = LFDWorkload(ngrid=10, norb=2, nunocc=1, itemsize=8)
+        assert sp.real_itemsize == 4
+
+
+class TestScaling:
+    def test_kin_prop_linear_in_orbitals(self):
+        a = LFDWorkload(ngrid=1000, norb=8, nunocc=4)
+        b = LFDWorkload(ngrid=1000, norb=16, nunocc=4)
+        assert b.kin_prop_step().flops == pytest.approx(2 * a.kin_prop_step().flops)
+
+    def test_nine_passes_per_step(self, workload):
+        assert workload.kin_prop_step().flops == pytest.approx(
+            9 * workload.kin_prop_pass().flops
+        )
+
+    def test_nonlocal_naive_moves_more_bytes(self, workload):
+        blas = workload.nonlocal_half()
+        naive = workload.nonlocal_half_naive()
+        assert naive.flops == pytest.approx(blas.flops)
+        assert naive.bytes_moved > 10 * blas.bytes_moved
+
+    def test_sp_halves_bytes(self):
+        dp = LFDWorkload(ngrid=1000, norb=8, nunocc=4, itemsize=16)
+        sp = LFDWorkload(ngrid=1000, norb=8, nunocc=4, itemsize=8)
+        assert sp.kin_prop_step().bytes_moved == pytest.approx(
+            dp.kin_prop_step().bytes_moved / 2
+        )
+
+    def test_qd_step_kernel_list(self, workload):
+        steps = workload.qd_step()
+        names = [k.name for k in steps]
+        assert names == [
+            "nonlocal_half", "pot_prop_half", "kin_prop",
+            "pot_prop_half", "nonlocal_half",
+        ]
+
+
+class TestMDStep:
+    def test_totals_groups(self, workload):
+        tot = workload.md_step_totals()
+        assert set(tot) == {
+            "electron_propagation", "nonlocal_correction",
+            "calc_energy", "remap_occ",
+        }
+        # Per-MD-step work dominated by the N_QD amortized kernels.
+        assert tot["electron_propagation"].flops > 100 * tot["calc_energy"].flops
+
+    def test_shadow_handshake_tiny(self, workload):
+        hs = workload.shadow_handshake_bytes()
+        assert hs < 0.01 * workload.psi_bytes
+        # And independent of N_QD.
+        w2 = LFDWorkload(ngrid=workload.ngrid, norb=64, nunocc=32, nqd=10)
+        assert w2.shadow_handshake_bytes() == hs
+
+    def test_kernel_cost_addition(self):
+        a = KernelCost("x", 10.0, 20.0)
+        b = KernelCost("x", 1.0, 2.0)
+        c = a + b
+        assert (c.flops, c.bytes_moved) == (11.0, 22.0)

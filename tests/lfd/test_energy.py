@@ -1,0 +1,68 @@
+"""Energy kernel tests (calc_energy / band_energies)."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import NonlocalCorrector, WaveFunctionSet, band_energies, calc_energy
+from repro.lfd.energy import apply_kinetic, band_energies_naive
+
+
+class TestKineticApply:
+    def test_plane_wave_eigenvalue(self, grid8):
+        k = 2 * np.pi * 2 / 8
+        xs = np.arange(8)
+        plane = np.exp(1j * k * xs)[:, None, None] * np.ones((8, 8, 8))
+        wf = WaveFunctionSet(grid8, 1, data=plane[..., None])
+        tpsi = apply_kinetic(wf)
+        lam = (1.0 - np.cos(k)) / (0.5 ** 2)
+        assert np.abs(tpsi[..., 0] - lam * wf.orbital(0)).max() < 1e-12
+
+    def test_kinetic_positive(self, wf_small):
+        e = band_energies(wf_small, np.zeros(wf_small.grid.shape))
+        assert np.all(e > 0)
+
+
+class TestBandEnergies:
+    def test_blas_matches_naive(self, wf_small, rng):
+        vloc = rng.standard_normal(wf_small.grid.shape)
+        ref = WaveFunctionSet.random(wf_small.grid, 2, rng)
+        corr = NonlocalCorrector(ref, 0.23)
+        e_blas = band_energies(wf_small, vloc, corrector=corr)
+        e_naive = band_energies_naive(wf_small, vloc, corrector=corr)
+        assert np.abs(e_blas - e_naive).max() < 1e-12
+
+    def test_constant_potential_shift(self, wf_small):
+        v0 = np.zeros(wf_small.grid.shape)
+        v1 = np.full(wf_small.grid.shape, 1.3)
+        e0 = band_energies(wf_small, v0)
+        e1 = band_energies(wf_small, v1)
+        assert np.allclose(e1 - e0, 1.3)
+
+    def test_scissor_term_nonnegative(self, wf_small, rng):
+        ref = WaveFunctionSet.random(wf_small.grid, 3, rng)
+        vloc = np.zeros(wf_small.grid.shape)
+        e_no = band_energies(wf_small, vloc)
+        e_sci = band_energies(wf_small, vloc, corrector=NonlocalCorrector(ref, 0.5))
+        # Positive scissor shift can only raise energies.
+        assert np.all(e_sci >= e_no - 1e-12)
+
+    def test_shape_mismatch(self, wf_small):
+        with pytest.raises(ValueError):
+            band_energies(wf_small, np.zeros((3, 3, 3)))
+
+
+class TestTotalEnergy:
+    def test_weighted_sum(self, wf_small, rng):
+        vloc = rng.standard_normal(wf_small.grid.shape)
+        f = np.array([2.0, 2.0, 1.0, 0.0])
+        e = band_energies(wf_small, vloc)
+        assert calc_energy(wf_small, vloc, f) == pytest.approx(float(f @ e))
+
+    def test_occupation_shape_check(self, wf_small, rng):
+        vloc = rng.standard_normal(wf_small.grid.shape)
+        with pytest.raises(ValueError):
+            calc_energy(wf_small, vloc, np.ones(3))
+
+    def test_empty_occupations_zero(self, wf_small, rng):
+        vloc = rng.standard_normal(wf_small.grid.shape)
+        assert calc_energy(wf_small, vloc, np.zeros(4)) == 0.0

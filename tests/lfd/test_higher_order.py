@@ -1,0 +1,117 @@
+"""4th-order Suzuki composition and CAP tests."""
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D
+from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+from repro.lfd.cap import cos2_absorber, ionization_yield
+
+
+@pytest.fixture
+def system(grid8, rng):
+    wf = WaveFunctionSet.random(grid8, 2, rng)
+    vloc = 0.5 * rng.standard_normal(grid8.shape)
+    return wf, vloc
+
+
+class TestSuzukiOrder4:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PropagatorConfig(order=3)
+
+    def test_convergence_orders(self, system):
+        """Order 2 halving-error ratio ~4; order 4 ratio ~16."""
+        wf0, vloc = system
+        T = 0.8
+        ref = wf0.copy()
+        QDPropagator(ref, vloc, PropagatorConfig(dt=T / 512, order=4)).run(512)
+        ratios = {}
+        for order in (2, 4):
+            errs = []
+            for nsteps in (8, 16):
+                w = wf0.copy()
+                QDPropagator(
+                    w, vloc, PropagatorConfig(dt=T / nsteps, order=order)
+                ).run(nsteps)
+                errs.append(ref.max_abs_diff(w))
+            ratios[order] = errs[0] / errs[1]
+        assert ratios[2] == pytest.approx(4.0, rel=0.3)
+        assert ratios[4] == pytest.approx(16.0, rel=0.4)
+
+    def test_order4_more_accurate_at_same_dt(self, system):
+        wf0, vloc = system
+        ref = wf0.copy()
+        QDPropagator(ref, vloc, PropagatorConfig(dt=0.4 / 512, order=4)).run(512)
+        w2, w4 = wf0.copy(), wf0.copy()
+        QDPropagator(w2, vloc, PropagatorConfig(dt=0.1, order=2)).run(4)
+        QDPropagator(w4, vloc, PropagatorConfig(dt=0.1, order=4)).run(4)
+        assert ref.max_abs_diff(w4) < 0.05 * ref.max_abs_diff(w2)
+
+    def test_order4_unitary(self, system):
+        wf, vloc = system
+        QDPropagator(wf, vloc, PropagatorConfig(dt=0.1, order=4)).run(20)
+        assert np.abs(wf.norms() - 1.0).max() < 1e-11
+
+    def test_order4_with_laser_runs(self, system):
+        wf, vloc = system
+        prop = QDPropagator(
+            wf, vloc, PropagatorConfig(dt=0.1, order=4),
+            a_of_t=lambda t: (3.0 * np.sin(0.5 * t), 0.0, 0.0),
+        )
+        prop.run(10)
+        assert prop.time == pytest.approx(1.0)
+
+
+class TestCAP:
+    def test_absorber_profile(self, grid12):
+        w = cos2_absorber(grid12, width_points=3, strength=0.5, axes=(0,))
+        assert w.max() == pytest.approx(0.5)
+        # Interior untouched.
+        assert np.all(w[3:-3, :, :] == 0.0)
+        # Symmetric ramps.
+        assert np.allclose(w[0, 0, 0], w[-1, 0, 0])
+
+    def test_absorber_validation(self, grid8):
+        with pytest.raises(ValueError):
+            cos2_absorber(grid8, width_points=0, strength=1.0)
+        with pytest.raises(ValueError):
+            cos2_absorber(grid8, width_points=4, strength=1.0)  # no interior
+        with pytest.raises(ValueError):
+            cos2_absorber(grid8, width_points=2, strength=-1.0)
+
+    def test_no_cap_norm_conserved(self, system):
+        wf, vloc = system
+        QDPropagator(wf, vloc, PropagatorConfig(dt=0.05)).run(40)
+        assert np.abs(wf.norms() - 1.0).max() < 1e-11
+
+    def test_cap_absorbs_driven_electrons(self, grid12, rng):
+        """A strong laser drives flux into the absorber: norm decays and
+        the ionization yield is positive."""
+        wf = WaveFunctionSet.random(grid12, 2, rng)
+        vloc = np.zeros(grid12.shape)
+        cap = cos2_absorber(grid12, width_points=3, strength=1.0, axes=(0,))
+        n0 = wf.norms().copy()
+        occ = np.array([2.0, 2.0])
+        prop = QDPropagator(
+            wf, vloc, PropagatorConfig(dt=0.05), cap=cap,
+            a_of_t=lambda t: (30.0 * np.sin(0.4 * t), 0.0, 0.0),
+        )
+        prop.run(100)
+        y = ionization_yield(n0, wf, occ)
+        assert y > 0.01
+        assert np.all(wf.norms() < 1.0)
+
+    def test_cap_shape_and_sign_validation(self, system):
+        wf, vloc = system
+        with pytest.raises(ValueError):
+            QDPropagator(wf, vloc, PropagatorConfig(dt=0.05),
+                         cap=np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            QDPropagator(wf, vloc, PropagatorConfig(dt=0.05),
+                         cap=-np.ones(wf.grid.shape))
+
+    def test_yield_validation(self, system):
+        wf, _ = system
+        with pytest.raises(ValueError):
+            ionization_yield(np.ones(3), wf, np.ones(2))

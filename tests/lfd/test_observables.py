@@ -1,0 +1,77 @@
+"""Density, dipole, current observables."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import WaveFunctionSet, current_expectation, density, dipole_moment
+
+
+class TestDensity:
+    def test_integrates_to_electron_count(self, wf_small):
+        f = np.array([2.0, 2.0, 1.0, 0.0])
+        rho = density(wf_small, f)
+        n = rho.sum() * wf_small.grid.dvol
+        assert n == pytest.approx(f.sum(), rel=1e-12)
+
+    def test_nonnegative(self, wf_small):
+        rho = density(wf_small, np.ones(4))
+        assert np.all(rho >= 0.0)
+
+    def test_occupation_shape_check(self, wf_small):
+        with pytest.raises(ValueError):
+            density(wf_small, np.ones(2))
+
+
+class TestDipole:
+    def test_gaussian_dipole_at_minus_center(self, grid8):
+        """Dipole of a localized electron is -e times its centroid."""
+        xs, ys, zs = grid8.meshgrid()
+        c = 1.75  # centre of the 8 x 0.5 cell
+        g = np.exp(-((xs - c) ** 2 + (ys - c) ** 2 + (zs - c) ** 2))
+        wf = WaveFunctionSet(grid8, 1, data=g[..., None].astype(complex))
+        wf.normalize()
+        d = dipole_moment(wf, np.array([1.0]))
+        assert np.allclose(d, -c, atol=1e-6)
+
+    def test_offset_gaussian_shifts_dipole(self, grid8):
+        xs, ys, zs = grid8.meshgrid()
+        c = 1.75
+        g0 = np.exp(-((xs - c) ** 2 + (ys - c) ** 2 + (zs - c) ** 2) / 0.25)
+        g1 = np.exp(-((xs - c - 0.5) ** 2 + (ys - c) ** 2 + (zs - c) ** 2) / 0.25)
+        d = []
+        for g in (g0, g1):
+            wf = WaveFunctionSet(grid8, 1, data=g[..., None].astype(complex))
+            wf.normalize()
+            d.append(dipole_moment(wf, np.array([1.0])))
+        # Electron displaced by +0.5 along x lowers the dipole by ~0.5.
+        assert d[1][0] - d[0][0] == pytest.approx(-0.5, rel=0.05)
+        assert d[1][1] == pytest.approx(d[0][1], abs=1e-8)
+
+
+class TestCurrent:
+    def test_real_wavefunction_zero_paramagnetic_current(self, grid8, rng):
+        data = rng.standard_normal(grid8.shape + (2,)).astype(complex)
+        wf = WaveFunctionSet(grid8, 2, data=data)
+        wf.normalize()
+        j = current_expectation(wf, np.ones(2))
+        assert np.abs(j).max() < 1e-12
+
+    def test_plane_wave_carries_momentum(self, grid8):
+        k = 2 * np.pi * 1 / (8 * 0.5)
+        xs, _, _ = grid8.meshgrid()
+        psi = np.exp(1j * k * xs)
+        wf = WaveFunctionSet(grid8, 1, data=psi[..., None])
+        wf.normalize()
+        j = current_expectation(wf, np.array([1.0]))
+        # Discrete sin(k h)/h instead of k.
+        assert j[0] == pytest.approx(np.sin(k * 0.5) / 0.5, rel=1e-10)
+
+    def test_diamagnetic_term(self, grid8, rng):
+        data = rng.standard_normal(grid8.shape + (1,)).astype(complex)
+        wf = WaveFunctionSet(grid8, 1, data=data)
+        wf.normalize()
+        from repro.constants import C_LIGHT
+
+        a = (C_LIGHT * 0.4, 0.0, 0.0)
+        j = current_expectation(wf, np.array([1.0]), a_field=a)
+        assert j[0] == pytest.approx(0.4, rel=1e-10)

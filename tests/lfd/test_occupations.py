@@ -1,0 +1,59 @@
+"""Occupation remapping (remap_occ) tests."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import WaveFunctionSet, remap_occ
+from repro.lfd.occupations import remap_occ_naive
+
+
+class TestRemap:
+    def test_identity_basis(self, wf_small):
+        f = np.array([2.0, 2.0, 1.0, 0.0])
+        f_new = remap_occ(wf_small, wf_small, f)
+        assert np.abs(f_new - f).max() < 1e-12
+
+    def test_naive_matches_blas(self, wf_small, grid8, rng):
+        basis = WaveFunctionSet.random(grid8, 5, rng)
+        f = np.array([2.0, 1.5, 1.0, 0.5])
+        a = remap_occ(wf_small, basis, f)
+        b = remap_occ_naive(wf_small, basis, f)
+        assert np.abs(a - b).max() < 1e-12
+
+    def test_conservation_within_span(self, grid8, rng):
+        """If psi(t) stays in span(basis), total occupation is conserved."""
+        basis = WaveFunctionSet.random(grid8, 6, rng)
+        # Build psi as a unitary mix of the basis.
+        q, _ = np.linalg.qr(rng.standard_normal((6, 4))
+                            + 1j * rng.standard_normal((6, 4)))
+        m = basis.as_matrix() @ q
+        wf_t = WaveFunctionSet(grid8, 4, data=m.reshape(grid8.shape + (4,)))
+        f = np.array([2.0, 2.0, 1.0, 0.5])
+        f_new = remap_occ(wf_t, basis, f)
+        assert f_new.sum() == pytest.approx(f.sum(), rel=1e-10)
+        assert np.all(f_new >= -1e-12)
+
+    def test_population_never_created(self, grid8, rng):
+        """Remapping cannot create occupation (projection is contractive)."""
+        basis = WaveFunctionSet.random(grid8, 3, rng)
+        wf_t = WaveFunctionSet.random(grid8, 4, rng)
+        f = np.array([2.0, 2.0, 2.0, 2.0])
+        f_new = remap_occ(wf_t, basis, f)
+        assert f_new.sum() <= f.sum() + 1e-10
+
+    def test_swapped_orbitals_swap_occupations(self, grid8, rng):
+        basis = WaveFunctionSet.random(grid8, 4, rng)
+        swapped = basis.copy()
+        swapped.psi = swapped.psi[..., [1, 0, 2, 3]]
+        f = np.array([2.0, 0.0, 1.0, 0.0])
+        f_new = remap_occ(swapped, basis, f)
+        assert f_new == pytest.approx([0.0, 2.0, 1.0, 0.0], abs=1e-12)
+
+    def test_bad_occupations(self, wf_small):
+        with pytest.raises(ValueError):
+            remap_occ(wf_small, wf_small, np.ones(3))
+
+    def test_grid_mismatch(self, wf_small, grid12, rng):
+        basis = WaveFunctionSet.random(grid12, 4, rng)
+        with pytest.raises(ValueError):
+            remap_occ(wf_small, basis, np.ones(4))

@@ -1,0 +1,67 @@
+"""Local-potential phase propagator tests."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import WaveFunctionSet, potential_phase_step
+from repro.lfd.pot_prop import potential_phase
+
+
+class TestPhaseField:
+    def test_unit_modulus(self, grid8, rng):
+        v = rng.standard_normal(grid8.shape)
+        ph = potential_phase(v, 0.1)
+        assert np.allclose(np.abs(ph), 1.0)
+
+    def test_zero_potential_identity(self, grid8):
+        ph = potential_phase(np.zeros(grid8.shape), 0.5)
+        assert np.allclose(ph, 1.0)
+
+    def test_additivity_in_time(self, grid8, rng):
+        v = rng.standard_normal(grid8.shape)
+        assert np.allclose(
+            potential_phase(v, 0.3), potential_phase(v, 0.1) * potential_phase(v, 0.2)
+        )
+
+
+class TestStep:
+    def test_norm_conserved(self, wf_small, rng):
+        v = rng.standard_normal(wf_small.grid.shape)
+        potential_phase_step(wf_small, v, 0.2)
+        assert np.abs(wf_small.norms() - 1.0).max() < 1e-12
+
+    def test_density_unchanged(self, wf_small, rng):
+        """A diagonal phase cannot change |psi|^2."""
+        from repro.lfd.observables import density
+
+        v = rng.standard_normal(wf_small.grid.shape)
+        f = np.ones(wf_small.norb)
+        rho0 = density(wf_small, f)
+        potential_phase_step(wf_small, v, 0.7)
+        assert np.abs(density(wf_small, f) - rho0).max() < 1e-12
+
+    def test_constant_potential_global_phase(self, wf_small):
+        v = np.full(wf_small.grid.shape, 2.0)
+        before = wf_small.psi.copy()
+        potential_phase_step(wf_small, v, 0.25)
+        expected = before * np.exp(-1j * 2.0 * 0.25)
+        assert np.abs(wf_small.psi - expected).max() < 1e-12
+
+    def test_cached_phase_reused(self, wf_small, rng):
+        """Passing the returned phase must give identical results."""
+        v = rng.standard_normal(wf_small.grid.shape)
+        twin = wf_small.copy()
+        phase = potential_phase_step(wf_small, v, 0.1)
+        potential_phase_step(twin, v, 0.1, phase=phase)
+        assert wf_small.max_abs_diff(twin) == 0.0
+
+    def test_shape_mismatch(self, wf_small):
+        with pytest.raises(ValueError):
+            potential_phase_step(wf_small, np.zeros((2, 2, 2)), 0.1)
+
+    def test_single_precision_path(self, grid8, rng):
+        wf = WaveFunctionSet.random(grid8, 2, rng, dtype=np.complex64)
+        v = rng.standard_normal(grid8.shape)
+        potential_phase_step(wf, v, 0.1)
+        assert wf.dtype == np.complex64
+        assert np.abs(wf.norms() - 1.0).max() < 1e-5

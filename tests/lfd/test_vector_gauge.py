@@ -1,0 +1,38 @@
+"""Velocity-gauge coupling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.constants import C_LIGHT
+from repro.lfd.vector_gauge import field_from_vector_potential, peierls_phases
+
+
+class TestPeierls:
+    def test_zero_field_zero_phase(self, grid8):
+        assert peierls_phases(grid8, (0.0, 0.0, 0.0)) == (0.0, 0.0, 0.0)
+
+    def test_scaling_with_spacing(self, aniso_grid):
+        th = peierls_phases(aniso_grid, (C_LIGHT, C_LIGHT, C_LIGHT))
+        assert th == pytest.approx(aniso_grid.spacing)
+
+    def test_linear_in_field(self, grid8):
+        a = np.array([1.0, -2.0, 3.0])
+        t1 = np.array(peierls_phases(grid8, a))
+        t2 = np.array(peierls_phases(grid8, 2 * a))
+        assert np.allclose(t2, 2 * t1)
+
+    def test_bad_shape(self, grid8):
+        with pytest.raises(ValueError):
+            peierls_phases(grid8, (1.0, 2.0))
+
+
+class TestField:
+    def test_central_difference(self):
+        a0 = np.array([0.0, 0.0, 0.0])
+        a1 = np.array([2.0 * C_LIGHT, 0.0, 0.0])
+        e = field_from_vector_potential(a0, a1, dt=2.0)
+        assert e[0] == pytest.approx(-1.0)
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            field_from_vector_potential(np.zeros(3), np.ones(3), 0.0)

@@ -1,0 +1,107 @@
+"""WaveFunctionSet: layouts, norms, orthonormalization, precision."""
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D
+from repro.lfd import WaveFunctionSet
+
+
+class TestConstruction:
+    def test_zero_init(self, grid8):
+        wf = WaveFunctionSet(grid8, 3)
+        assert wf.psi.shape == grid8.shape + (3,)
+        assert np.all(wf.psi == 0)
+
+    def test_bad_norb(self, grid8):
+        with pytest.raises(ValueError):
+            WaveFunctionSet(grid8, 0)
+
+    def test_bad_dtype(self, grid8):
+        with pytest.raises(ValueError):
+            WaveFunctionSet(grid8, 2, dtype=np.float64)
+
+    def test_data_shape_check(self, grid8):
+        with pytest.raises(ValueError):
+            WaveFunctionSet(grid8, 2, data=np.zeros((2,) + grid8.shape))
+
+    def test_random_reproducible(self, grid8):
+        a = WaveFunctionSet.random(grid8, 3, np.random.default_rng(7))
+        b = WaveFunctionSet.random(grid8, 3, np.random.default_rng(7))
+        assert a.max_abs_diff(b) == 0.0
+
+
+class TestLayouts:
+    def test_aos_roundtrip(self, wf_small):
+        aos = wf_small.to_aos()
+        assert aos.shape == (4,) + wf_small.grid.shape
+        copy = wf_small.copy()
+        copy.psi[:] = 0
+        copy.from_aos(aos)
+        assert copy.max_abs_diff(wf_small) == 0.0
+
+    def test_aos_is_contiguous(self, wf_small):
+        assert wf_small.to_aos().flags["C_CONTIGUOUS"]
+
+    def test_from_aos_shape_check(self, wf_small):
+        with pytest.raises(ValueError):
+            wf_small.from_aos(np.zeros((5,) + wf_small.grid.shape))
+
+    def test_as_matrix_view_shares_memory(self, wf_small):
+        m = wf_small.as_matrix()
+        m[0, 0] = 123.0
+        assert wf_small.psi[0, 0, 0, 0] == 123.0
+
+    def test_orbital_view(self, wf_small):
+        orb = wf_small.orbital(2)
+        assert orb.shape == wf_small.grid.shape
+        wf_small.set_orbital(2, np.zeros(wf_small.grid.shape))
+        assert np.all(wf_small.orbital(2) == 0)
+
+
+class TestNorms:
+    def test_random_is_orthonormal(self, wf_medium):
+        s = wf_medium.overlap_matrix()
+        assert np.abs(s - np.eye(wf_medium.norb)).max() < 1e-12
+
+    def test_normalize(self, grid8, rng):
+        wf = WaveFunctionSet.random(grid8, 3, rng, orthonormal=False)
+        wf.psi *= 3.7
+        wf.normalize()
+        assert np.allclose(wf.norms(), 1.0)
+
+    def test_normalize_zero_orbital_raises(self, grid8):
+        wf = WaveFunctionSet(grid8, 2)
+        with pytest.raises(ZeroDivisionError):
+            wf.normalize()
+
+    def test_orthonormalize_idempotent(self, wf_small):
+        before = wf_small.psi.copy()
+        wf_small.orthonormalize()
+        assert np.abs(wf_small.psi - before).max() < 1e-10
+
+    def test_overlap_cross_set(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 3, rng)
+        b = WaveFunctionSet.random(grid8, 2, rng)
+        s = a.overlap_matrix(b)
+        assert s.shape == (3, 2)
+        # Completeness bound: |<a_i|b_j>| <= 1.
+        assert np.abs(s).max() <= 1.0 + 1e-12
+
+    def test_overlap_grid_mismatch(self, grid8, grid12, rng):
+        a = WaveFunctionSet.random(grid8, 2, rng)
+        b = WaveFunctionSet.random(grid12, 2, rng)
+        with pytest.raises(ValueError):
+            a.overlap_matrix(b)
+
+
+class TestPrecision:
+    def test_astype_sp(self, wf_small):
+        sp = wf_small.astype(np.complex64)
+        assert sp.dtype == np.complex64
+        assert sp.max_abs_diff(wf_small.astype(np.complex64)) == 0.0
+        # SP representation error is ~1e-7 relative.
+        assert wf_small.max_abs_diff(sp.astype(np.complex128)) < 1e-6
+
+    def test_nbytes_halves_in_sp(self, wf_small):
+        assert wf_small.astype(np.complex64).nbytes * 2 == wf_small.nbytes

@@ -1,0 +1,160 @@
+"""Landau-Devonshire effective Hamiltonian tests."""
+
+import numpy as np
+import pytest
+
+from repro.materials import EffectiveHamiltonian, LandauParameters
+from repro.materials.topology import flux_closure_modes, uniform_modes
+
+
+@pytest.fixture
+def ham() -> EffectiveHamiltonian:
+    return EffectiveHamiltonian((6, 4, 6))
+
+
+class TestParameters:
+    def test_well_minimum(self):
+        p = LandauParameters(a2=-1.0, a4=0.5)
+        assert p.p_min == pytest.approx(1.0)
+
+    def test_paraelectric_no_minimum(self):
+        assert LandauParameters(a2=1.0).p_min == 0.0
+
+    def test_switching_threshold(self):
+        assert LandauParameters(exc_coupling=2.0).switching_threshold == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LandauParameters(a4=-1.0)
+        with pytest.raises(ValueError):
+            LandauParameters(coupling=-0.1)
+
+
+class TestEnergetics:
+    def test_forces_match_numerical_gradient(self, ham, rng):
+        modes = rng.standard_normal(ham.shape + (3,))
+        f = ham.forces(modes, n_exc=0.15)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (3, 2, 4, 1), (5, 3, 5, 2)]:
+            mp = modes.copy()
+            mp[idx] += eps
+            mm = modes.copy()
+            mm[idx] -= eps
+            num = -(ham.energy(mp, 0.15) - ham.energy(mm, 0.15)) / (2 * eps)
+            assert f[idx] == pytest.approx(num, rel=1e-5, abs=1e-8)
+
+    def test_uniform_polar_beats_paraelectric(self, ham):
+        p0 = ham.params.p_min
+        e_polar = ham.energy(uniform_modes(ham.shape, p0, axis=2))
+        e_para = ham.energy(np.zeros(ham.shape + (3,)))
+        assert e_polar < e_para
+
+    def test_excitation_renormalizes_well(self, ham):
+        p0 = ham.params.p_min
+        modes = uniform_modes(ham.shape, p0, axis=2)
+        e_ground = ham.energy(modes, n_exc=0.0)
+        e_excited = ham.energy(modes, n_exc=0.6)  # above threshold
+        # Above threshold the polar state costs energy relative to p = 0.
+        e_para_exc = ham.energy(np.zeros_like(modes), n_exc=0.6)
+        assert e_excited > e_para_exc
+        assert e_ground < e_excited
+
+    def test_external_field_tilts_well(self, ham):
+        p0 = ham.params.p_min
+        up = uniform_modes(ham.shape, p0, axis=2)
+        down = -up
+        e_field = np.array([0.0, 0.0, 0.1])
+        assert ham.energy(up, e_field=e_field) < ham.energy(down, e_field=e_field)
+
+    def test_negative_excitation_rejected(self, ham):
+        with pytest.raises(ValueError):
+            ham.effective_a2(-0.1)
+
+    def test_shape_check(self, ham):
+        with pytest.raises(ValueError):
+            ham.energy(np.zeros((3, 3, 3, 3)))
+
+
+class TestRelaxation:
+    def test_energy_monotone(self, ham, rng):
+        modes = 0.5 * rng.standard_normal(ham.shape + (3,))
+        e0 = ham.energy(modes)
+        relaxed, e1 = ham.relax(modes, nsteps=100)
+        assert e1 <= e0
+
+    def test_relaxed_amplitude_near_well(self, ham, rng):
+        modes = 0.8 * rng.standard_normal(ham.shape + (3,))
+        relaxed, _ = ham.relax(modes, nsteps=800)
+        mags = np.linalg.norm(relaxed, axis=-1)
+        # Most cells settle near a well bottom (anisotropy shifts |p|).
+        assert 0.4 < np.median(mags) < 1.6
+
+    def test_above_threshold_collapses_polarization(self, ham):
+        p0 = ham.params.p_min
+        fc = flux_closure_modes(ham.shape, p0)
+        collapsed, _ = ham.relax(fc, nsteps=600, n_exc=0.8)
+        assert np.linalg.norm(collapsed, axis=-1).mean() < 0.05 * p0
+
+
+class TestDynamics:
+    def test_damped_dynamics_loses_energy(self, ham, rng):
+        modes = 0.5 * rng.standard_normal(ham.shape + (3,))
+        vel = np.zeros_like(modes)
+        e0 = ham.energy(modes)
+        for _ in range(100):
+            modes, vel = ham.dynamics_step(modes, vel, dt=0.05, damping=0.3)
+        assert ham.energy(modes) < e0
+
+    def test_validation(self, ham):
+        modes = np.zeros(ham.shape + (3,))
+        with pytest.raises(ValueError):
+            ham.dynamics_step(modes, modes, dt=-1.0)
+
+
+class TestStrainCoupling:
+    def test_forces_consistent_with_strained_energy(self, rng):
+        prm = LandauParameters(misfit_strain=-0.05)
+        ham = EffectiveHamiltonian((4, 4, 4), prm)
+        modes = rng.standard_normal((4, 4, 4, 3))
+        f = ham.forces(modes)
+        eps = 1e-6
+        for idx in [(1, 2, 3, 0), (0, 0, 0, 2)]:
+            mp = modes.copy(); mp[idx] += eps
+            mm = modes.copy(); mm[idx] -= eps
+            num = -(ham.energy(mp) - ham.energy(mm)) / (2 * eps)
+            assert f[idx] == pytest.approx(num, rel=1e-5, abs=1e-8)
+
+    def test_compressive_strain_favors_out_of_plane(self, rng):
+        """eta < 0 (compressive substrate): relaxation selects P || z."""
+        from repro.materials.topology import domain_fraction
+
+        prm = LandauParameters(misfit_strain=-0.3, c_div=0.0, coupling=0.2)
+        ham = EffectiveHamiltonian((6, 6, 6), prm)
+        modes = 0.5 * rng.standard_normal((6, 6, 6, 3))
+        relaxed, _ = ham.relax(modes, nsteps=1500)
+        out_of_plane = np.abs(relaxed[..., 2]).mean()
+        in_plane = np.abs(relaxed[..., :2]).mean()
+        assert out_of_plane > 3 * in_plane
+
+    def test_tensile_strain_favors_in_plane(self, rng):
+        prm = LandauParameters(misfit_strain=+0.3, c_div=0.0, coupling=0.2)
+        ham = EffectiveHamiltonian((6, 6, 6), prm)
+        modes = 0.5 * rng.standard_normal((6, 6, 6, 3))
+        relaxed, _ = ham.relax(modes, nsteps=1500)
+        out_of_plane = np.abs(relaxed[..., 2]).mean()
+        in_plane = np.abs(relaxed[..., :2]).mean()
+        assert in_plane > 3 * out_of_plane
+
+    def test_unstrained_unchanged(self, rng):
+        """misfit_strain = 0 reproduces the original model exactly."""
+        base = EffectiveHamiltonian((4, 4, 4))
+        strained0 = EffectiveHamiltonian(
+            (4, 4, 4), LandauParameters(misfit_strain=0.0)
+        )
+        modes = rng.standard_normal((4, 4, 4, 3))
+        assert base.energy(modes) == strained0.energy(modes)
+        assert np.array_equal(base.forces(modes), strained0.forces(modes))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LandauParameters(strain_coupling=-1.0)

@@ -1,0 +1,86 @@
+"""Neural-network force field tests."""
+
+import numpy as np
+import pytest
+
+from repro.materials import (
+    Descriptors,
+    EffectiveHamiltonian,
+    NeuralForceField,
+    flux_closure_modes,
+    train_nnff,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ham = EffectiveHamiltonian((6, 2, 6))
+    rng = np.random.default_rng(42)
+    model, history = train_nnff(ham, rng, hidden=24, nconfigs=36, epochs=250)
+    return ham, model, history
+
+
+class TestDescriptors:
+    def test_shape(self, rng):
+        modes = rng.standard_normal((4, 4, 4, 3))
+        feats = Descriptors.compute(modes)
+        assert feats.shape == (64, Descriptors.NFEATURES)
+
+    def test_translation_invariance(self, rng):
+        """Rolling the lattice permutes descriptors but keeps their set."""
+        modes = rng.standard_normal((4, 4, 4, 3))
+        f1 = Descriptors.compute(modes)
+        f2 = Descriptors.compute(np.roll(modes, 1, axis=0))
+        assert np.allclose(np.sort(f1.ravel()), np.sort(f2.ravel()))
+
+    def test_uniform_field_descriptors(self):
+        modes = np.zeros((3, 3, 3, 3))
+        modes[..., 2] = 0.7
+        feats = Descriptors.compute(modes)
+        # Own mode = neighbour mean for a uniform field; divergence zero.
+        assert np.allclose(feats[:, :3], feats[:, 3:6])
+        assert np.allclose(feats[:, 7], 0.0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            Descriptors.compute(np.zeros((4, 4, 3)))
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _, _, history = trained
+        assert history[-1] < 0.5 * history[0]
+
+    def test_forces_correlate(self, trained):
+        ham, model, _ = trained
+        test = flux_closure_modes(ham.shape, max(ham.params.p_min, 0.5))
+        pred = model.predict_forces(test)
+        target = ham.forces(test)
+        corr = np.corrcoef(pred.ravel(), target.ravel())[0, 1]
+        assert corr > 0.7
+
+    def test_prediction_shapes(self, trained):
+        ham, model, _ = trained
+        modes = np.zeros(ham.shape + (3,))
+        f = model.predict_forces(modes)
+        assert f.shape == modes.shape
+
+
+class TestModel:
+    def test_initialize_deterministic(self):
+        a = NeuralForceField.initialize(hidden=8, rng=np.random.default_rng(3))
+        b = NeuralForceField.initialize(hidden=8, rng=np.random.default_rng(3))
+        assert np.array_equal(a.w1, b.w1)
+
+    def test_gradients_match_numerical(self, rng):
+        model = NeuralForceField.initialize(hidden=6, rng=rng)
+        feats = rng.standard_normal((10, Descriptors.NFEATURES))
+        targets = rng.standard_normal((10, 3))
+        loss, grads = model.loss_and_grads(feats, targets)
+        eps = 1e-6
+        model.w2[2, 1] += eps
+        loss_p, _ = model.loss_and_grads(feats, targets)
+        model.w2[2, 1] -= 2 * eps
+        loss_m, _ = model.loss_and_grads(feats, targets)
+        num = (loss_p - loss_m) / (2 * eps)
+        assert grads["w2"][2, 1] == pytest.approx(num, rel=1e-4)

@@ -1,0 +1,75 @@
+"""PbTiO3 lattice builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.materials import PBTIO3, PerovskiteCell, build_supercell
+from repro.materials.perovskite import cell_centers
+
+
+class TestUnitCell:
+    def test_five_atoms(self):
+        assert PBTIO3.natoms == 5
+        assert PBTIO3.symbols == ("Pb", "Ti", "O", "O", "O")
+
+    def test_lattice_constant_bohr(self):
+        # 3.97 A ~ 7.50 bohr.
+        assert PBTIO3.a == pytest.approx(7.502, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerovskiteCell(a=-1.0)
+
+
+class TestSupercell:
+    def test_atom_count_40_atom_granule(self):
+        """The paper's weak-scaling granule: 2x2x2 cells = 40 atoms."""
+        pos, species, box = build_supercell(PBTIO3, (2, 2, 2))
+        assert pos.shape == (40, 3)
+        assert len(species) == 40
+        assert box == pytest.approx((2 * PBTIO3.a,) * 3)
+
+    def test_stoichiometry(self):
+        _, species, _ = build_supercell(PBTIO3, (2, 1, 1))
+        syms = [sp.symbol for sp in species]
+        assert syms.count("Pb") == 2
+        assert syms.count("Ti") == 2
+        assert syms.count("O") == 6
+
+    def test_charge_neutrality(self):
+        _, species, _ = build_supercell(PBTIO3, (2, 2, 2))
+        assert sum(sp.zval for sp in species) == pytest.approx(8 * 26.0)
+
+    def test_polar_displacement_moves_ti(self):
+        p0, _, _ = build_supercell(PBTIO3, (1, 1, 1))
+        p1, _, _ = build_supercell(PBTIO3, (1, 1, 1), polar_displacement=0.3)
+        # Atom order: Pb, Ti, O, O, O.
+        assert p1[1, 2] - p0[1, 2] == pytest.approx(0.3)
+        assert p1[2, 2] - p0[2, 2] == pytest.approx(-0.15)
+        assert np.allclose(p1[0], p0[0])  # Pb untouched
+
+    def test_polar_axis_selection(self):
+        p0, _, _ = build_supercell(PBTIO3, (1, 1, 1))
+        p1, _, _ = build_supercell(
+            PBTIO3, (1, 1, 1), polar_displacement=0.2, polar_axis=0
+        )
+        assert p1[1, 0] - p0[1, 0] == pytest.approx(0.2)
+        assert p1[1, 2] == p0[1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_supercell(PBTIO3, (0, 1, 1))
+        with pytest.raises(ValueError):
+            build_supercell(PBTIO3, (1, 1, 1), polar_axis=5)
+
+    def test_positions_inside_box(self):
+        pos, _, box = build_supercell(PBTIO3, (3, 2, 1))
+        assert np.all(pos >= 0.0)
+        assert np.all(pos < np.asarray(box))
+
+
+def test_cell_centers():
+    centers = cell_centers(PBTIO3, (2, 1, 1))
+    assert centers.shape == (2, 3)
+    assert centers[0] == pytest.approx([0.5 * PBTIO3.a] * 3)
+    assert centers[1, 0] == pytest.approx(1.5 * PBTIO3.a)

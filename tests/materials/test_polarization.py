@@ -1,0 +1,76 @@
+"""Born-charge polarization field tests."""
+
+import numpy as np
+import pytest
+
+from repro.materials import PBTIO3, build_supercell, local_polarization, mean_polarization
+from repro.materials.polarization import BORN_CHARGES, polarization_magnitude
+
+
+class TestBornCharges:
+    def test_acoustic_sum_rule(self):
+        total = BORN_CHARGES["Pb"] + BORN_CHARGES["Ti"] + 3 * BORN_CHARGES["O"]
+        assert total == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLocalPolarization:
+    def test_undistorted_lattice_zero(self):
+        pos, species, _ = build_supercell(PBTIO3, (2, 2, 2))
+        syms = [sp.symbol for sp in species]
+        p = local_polarization(pos, pos, syms, PBTIO3, (2, 2, 2))
+        assert p.shape == (2, 2, 2, 3)
+        assert np.abs(p).max() == 0.0
+
+    def test_polar_distortion_gives_uniform_p(self):
+        ideal, species, _ = build_supercell(PBTIO3, (2, 2, 2))
+        disp, _, _ = build_supercell(PBTIO3, (2, 2, 2), polar_displacement=0.3)
+        syms = [sp.symbol for sp in species]
+        p = local_polarization(disp, ideal, syms, PBTIO3, (2, 2, 2))
+        # All cells identical, along +z, positive (Ti moves +z).
+        assert np.allclose(p[..., 2], p[0, 0, 0, 2])
+        assert p[0, 0, 0, 2] > 0.0
+        assert np.abs(p[..., :2]).max() < 1e-14
+
+    def test_magnitude_scales_with_displacement(self):
+        ideal, species, _ = build_supercell(PBTIO3, (1, 1, 1))
+        syms = [sp.symbol for sp in species]
+        ps = []
+        for d in (0.1, 0.2):
+            disp, _, _ = build_supercell(PBTIO3, (1, 1, 1), polar_displacement=d)
+            p = local_polarization(disp, ideal, syms, PBTIO3, (1, 1, 1))
+            ps.append(p[0, 0, 0, 2])
+        assert ps[1] == pytest.approx(2 * ps[0], rel=1e-10)
+
+    def test_wrapped_displacements(self):
+        """Displacements across the periodic boundary are minimum-imaged."""
+        ideal, species, box = build_supercell(PBTIO3, (1, 1, 1))
+        syms = [sp.symbol for sp in species]
+        moved = ideal.copy()
+        moved[1, 2] += box[2] + 0.3  # full box + 0.3: same physical state
+        ref, _, _ = build_supercell(PBTIO3, (1, 1, 1))
+        ref[1, 2] += 0.3
+        p_wrapped = local_polarization(moved, ideal, syms, PBTIO3, (1, 1, 1))
+        p_direct = local_polarization(ref, ideal, syms, PBTIO3, (1, 1, 1))
+        assert np.allclose(p_wrapped, p_direct)
+
+    def test_shape_validation(self):
+        pos, species, _ = build_supercell(PBTIO3, (1, 1, 1))
+        syms = [sp.symbol for sp in species]
+        with pytest.raises(ValueError):
+            local_polarization(pos[:3], pos[:3], syms, PBTIO3, (1, 1, 1))
+
+
+class TestAggregates:
+    def test_mean_polarization(self):
+        field = np.zeros((2, 2, 2, 3))
+        field[..., 2] = 1.5
+        assert np.allclose(mean_polarization(field), [0, 0, 1.5])
+
+    def test_magnitude(self):
+        field = np.zeros((1, 1, 1, 3))
+        field[0, 0, 0] = [3.0, 4.0, 0.0]
+        assert polarization_magnitude(field)[0, 0, 0] == pytest.approx(5.0)
+
+    def test_mean_validation(self):
+        with pytest.raises(ValueError):
+            mean_polarization(np.zeros((2, 2, 3)))

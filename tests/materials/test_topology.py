@@ -1,0 +1,116 @@
+"""Polar-topology (flux closure) tests."""
+
+import numpy as np
+import pytest
+
+from repro.materials import (
+    domain_fraction,
+    flux_closure_modes,
+    uniform_modes,
+    vorticity_field,
+    winding_number,
+)
+
+
+SHAPE = (16, 2, 16)
+
+
+class TestTextures:
+    def test_uniform_modes(self):
+        m = uniform_modes(SHAPE, 0.8, axis=1)
+        assert m.shape == SHAPE + (3,)
+        assert np.all(m[..., 1] == 0.8)
+        assert np.all(m[..., 0] == 0.0)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_modes(SHAPE, -1.0)
+        with pytest.raises(ValueError):
+            uniform_modes(SHAPE, 1.0, axis=4)
+
+    def test_flux_closure_amplitude(self):
+        m = flux_closure_modes(SHAPE, 1.0)
+        mags = np.linalg.norm(m, axis=-1)
+        # Away from the core the amplitude approaches p0.
+        assert mags.max() == pytest.approx(1.0, rel=0.05)
+        # The core is depolarized.
+        ic = (SHAPE[0] - 1) // 2
+        assert mags[ic, 0, ic] < 0.5
+
+    def test_flux_closure_in_plane(self):
+        m = flux_closure_modes(SHAPE, 1.0, plane=(0, 2))
+        assert np.abs(m[..., 1]).max() == 0.0
+
+    def test_sense_flips_direction(self):
+        ccw = flux_closure_modes(SHAPE, 1.0, sense=+1)
+        cw = flux_closure_modes(SHAPE, 1.0, sense=-1)
+        assert np.allclose(ccw, -cw)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flux_closure_modes(SHAPE, 1.0, sense=0)
+        with pytest.raises(ValueError):
+            flux_closure_modes(SHAPE, 1.0, plane=(1, 1))
+
+
+class TestInvariants:
+    def test_winding_of_flux_closure_is_one(self):
+        assert winding_number(flux_closure_modes(SHAPE, 1.0)) == pytest.approx(1.0)
+
+    def test_reversed_sense_keeps_winding(self):
+        """Negating the polarization (sense flip) rotates every vector by
+        pi but does NOT change the winding number."""
+        m = flux_closure_modes(SHAPE, 1.0, sense=-1)
+        assert winding_number(m) == pytest.approx(1.0)
+
+    def test_antivortex_has_winding_minus_one(self):
+        """Mirroring one in-plane component creates the w = -1 texture."""
+        m = flux_closure_modes(SHAPE, 1.0)
+        anti = m.copy()
+        anti[..., 0], anti[..., 2] = m[..., 2].copy(), m[..., 0].copy()
+        assert winding_number(anti) == pytest.approx(-1.0)
+
+    def test_winding_of_uniform_is_zero(self):
+        assert winding_number(uniform_modes(SHAPE, 1.0, axis=0)) == pytest.approx(0.0)
+
+    def test_winding_robust_to_noise(self, rng):
+        m = flux_closure_modes(SHAPE, 1.0)
+        m += 0.1 * rng.standard_normal(m.shape)
+        assert winding_number(m) == pytest.approx(1.0)
+
+    def test_vorticity_sign(self):
+        m = flux_closure_modes(SHAPE, 1.0, sense=+1)
+        vort = vorticity_field(m)
+        ic = (SHAPE[0] - 1) // 2
+        assert vort[ic, 0, ic] > 0.0
+
+    def test_vorticity_of_uniform_zero(self):
+        vort = vorticity_field(uniform_modes(SHAPE, 1.0, axis=0))
+        assert np.abs(vort).max() < 1e-14
+
+    def test_winding_needs_room(self):
+        with pytest.raises(ValueError):
+            winding_number(flux_closure_modes((2, 2, 2), 1.0))
+
+
+class TestDomainFraction:
+    def test_uniform_domain(self):
+        m = uniform_modes(SHAPE, 1.0, axis=2)
+        assert domain_fraction(m, axis=2, sign=+1) == pytest.approx(1.0)
+        assert domain_fraction(m, axis=2, sign=-1) == 0.0
+
+    def test_flux_closure_four_domains(self):
+        m = flux_closure_modes(SHAPE, 1.0)
+        fractions = [
+            domain_fraction(m, axis=a, sign=s)
+            for a in (0, 2) for s in (+1, -1)
+        ]
+        # Four roughly equal quadrants.
+        assert all(0.1 < f < 0.4 for f in fractions)
+
+    def test_zero_field(self):
+        assert domain_fraction(np.zeros(SHAPE + (3,)), axis=0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            domain_fraction(np.zeros(SHAPE + (3,)), axis=0, sign=2)

@@ -1,0 +1,111 @@
+"""1-D vector-potential FDTD tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import C_LIGHT
+from repro.maxwell import GaussianPulse, VectorPotentialFDTD
+
+
+def gaussian_initial(solver, center, width):
+    z = np.arange(solver.nz)
+    solver.a[:] = np.exp(-((z - center) ** 2) / (2 * width ** 2))
+    solver.a_prev[:] = solver.a
+
+
+class TestStability:
+    def test_cfl_enforced(self):
+        with pytest.raises(ValueError):
+            VectorPotentialFDTD(nz=100, dz=1.0, dt=1.0)  # c dt >> dz
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorPotentialFDTD(nz=2, dz=1.0, dt=1e-4)
+        with pytest.raises(ValueError):
+            VectorPotentialFDTD(nz=100, dz=10.0, dt=0.05, polarization_axis=3)
+
+
+class TestPropagation:
+    def test_pulse_splits_and_propagates(self):
+        """A static initial hump splits into left/right movers at speed c."""
+        solver = VectorPotentialFDTD(nz=400, dz=10.0, dt=0.05)
+        gaussian_initial(solver, 200, 8.0)
+        nsteps = 100
+        for _ in range(nsteps):
+            solver.step()
+        # Expect peaks displaced by ~ c t / dz mesh points either way.
+        shift = C_LIGHT * nsteps * 0.05 / 10.0
+        peaks = np.argsort(solver.a)[-2:]
+        expected = {(200 - shift) % 400, (200 + shift) % 400}
+        for e in expected:
+            assert min(abs(p - e) for p in peaks) < 4.0
+        # Each mover carries roughly half the initial amplitude.
+        assert solver.a.max() == pytest.approx(0.5, abs=0.1)
+
+    def test_energy_approximately_conserved(self):
+        solver = VectorPotentialFDTD(nz=200, dz=10.0, dt=0.05)
+        gaussian_initial(solver, 100, 6.0)
+        for _ in range(10):
+            solver.step()
+        e0 = solver.energy()
+        for _ in range(300):
+            solver.step()
+        assert solver.energy() == pytest.approx(e0, rel=0.1)
+
+    def test_current_source_creates_field(self):
+        solver = VectorPotentialFDTD(nz=100, dz=10.0, dt=0.05)
+        j = np.zeros(100)
+        j[50] = 1.0
+        for _ in range(20):
+            solver.step(current=j)
+        assert np.abs(solver.a).max() > 0.0
+        assert np.abs(solver.a[50]) == pytest.approx(np.abs(solver.a).max())
+
+    def test_boundary_source_injects(self):
+        pulse = GaussianPulse(e0=0.01, omega=0.5, t0=5.0, sigma=2.0)
+        solver = VectorPotentialFDTD(nz=100, dz=10.0, dt=0.05, source=pulse)
+        for _ in range(100):
+            solver.step()
+        assert np.abs(solver.a).max() > 0.0
+
+    def test_current_shape_check(self):
+        solver = VectorPotentialFDTD(nz=100, dz=10.0, dt=0.05)
+        with pytest.raises(ValueError):
+            solver.step(current=np.zeros(50))
+
+
+class TestSampling:
+    def test_sample_interpolates(self):
+        solver = VectorPotentialFDTD(nz=10, dz=1.0, dt=1e-3)
+        solver.a[:] = np.arange(10, dtype=float)
+        assert solver.sample(3.5) == pytest.approx(3.5)
+
+    def test_sample_periodic(self):
+        solver = VectorPotentialFDTD(nz=10, dz=1.0, dt=1e-3)
+        solver.a[:] = np.arange(10, dtype=float)
+        assert solver.sample(10.0) == pytest.approx(solver.a[0])
+
+    def test_sample_vector_axis(self):
+        solver = VectorPotentialFDTD(nz=10, dz=1.0, dt=1e-3, polarization_axis=1)
+        solver.a[:] = 2.0
+        v = solver.sample_vector(0.0)
+        assert v[1] == 2.0 and v[0] == 0.0 and v[2] == 0.0
+
+
+class TestPlasmaResponse:
+    def test_free_carrier_current_gives_bounded_oscillation(self):
+        """j = -omega_p^2/(4 pi c) A yields a stable plasma oscillation."""
+        solver = VectorPotentialFDTD(nz=64, dz=10.0, dt=0.05)
+        solver.a[:] = 1.0
+        solver.a_prev[:] = 1.0
+        omega_p2 = 4.0
+        amps = []
+        for _ in range(2000):
+            j = -omega_p2 / (4.0 * np.pi * C_LIGHT) * solver.a
+            solver.step(current=j)
+            amps.append(np.abs(solver.a).max())
+        a_trace = np.array(amps)
+        # Bounded (no anti-damping blow-up)...
+        assert a_trace.max() < 1.5
+        # ...and genuinely oscillating (amplitude passes through near-zero).
+        assert a_trace.min() < 0.2

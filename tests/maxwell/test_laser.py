@@ -1,0 +1,70 @@
+"""Laser pulse tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import C_LIGHT
+from repro.maxwell import Cos2Pulse, CWField, GaussianPulse
+from repro.maxwell.laser import DeltaKick
+
+
+class TestGaussianPulse:
+    def test_peak_vector_potential(self):
+        p = GaussianPulse(e0=0.01, omega=0.5, t0=0.0, sigma=10.0)
+        assert p.a0 == pytest.approx(C_LIGHT * 0.01 / 0.5)
+        a = p.vector_potential(0.0)
+        assert a[0] == pytest.approx(p.a0)
+
+    def test_envelope_decays(self):
+        p = GaussianPulse(e0=0.01, omega=0.5, t0=50.0, sigma=5.0)
+        assert p.envelope(50.0) == 1.0
+        assert p.envelope(80.0) < 1e-7
+
+    def test_polarization_normalized(self):
+        p = GaussianPulse(e0=0.01, omega=0.5, polarization=(3.0, 4.0, 0.0))
+        assert np.allclose(p.polarization, (0.6, 0.8, 0.0))
+
+    def test_electric_field_amplitude(self):
+        """Near the envelope peak, |E| ~ e0 at field maxima."""
+        p = GaussianPulse(e0=0.02, omega=1.0, t0=100.0, sigma=50.0)
+        ts = np.linspace(90, 110, 500)
+        emax = max(abs(p.electric_field(t)[0]) for t in ts)
+        assert emax == pytest.approx(0.02, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianPulse(e0=0.01, omega=0.0)
+        with pytest.raises(ValueError):
+            GaussianPulse(e0=0.01, omega=0.5, sigma=-1.0)
+        with pytest.raises(ValueError):
+            GaussianPulse(e0=0.01, omega=0.5, polarization=(0, 0, 0))
+
+
+class TestCos2Pulse:
+    def test_compact_support(self):
+        p = Cos2Pulse(e0=0.01, omega=0.5, duration=100.0)
+        assert p.envelope(-1.0) == 0.0
+        assert p.envelope(101.0) == 0.0
+        assert p.envelope(50.0) == pytest.approx(1.0)
+
+    def test_fluence_scales_with_e0_squared(self):
+        p1 = Cos2Pulse(e0=0.01, omega=1.0, duration=50.0)
+        p2 = Cos2Pulse(e0=0.02, omega=1.0, duration=50.0)
+        assert p2.fluence(50.0) == pytest.approx(4 * p1.fluence(50.0), rel=1e-6)
+
+
+class TestCWField:
+    def test_constant_envelope(self):
+        p = CWField(e0=0.01, omega=0.3)
+        assert p.envelope(0.0) == p.envelope(1000.0) == 1.0
+
+
+class TestDeltaKick:
+    def test_step_in_vector_potential(self):
+        k = DeltaKick(k0=0.001)
+        assert np.all(k.vector_potential(-0.1) == 0.0)
+        assert k.vector_potential(0.0)[0] == pytest.approx(-C_LIGHT * 0.001)
+
+    def test_polarization_validation(self):
+        with pytest.raises(ValueError):
+            DeltaKick(k0=0.001, polarization=(0, 0, 0))

@@ -1,0 +1,66 @@
+"""Scalar-potential auxiliary-PDE solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D
+from repro.maxwell import ScalarPotentialSolver
+from repro.multigrid import solve_poisson_fft
+
+
+@pytest.fixture
+def grid() -> Grid3D:
+    return Grid3D.cubic(12, 0.5)
+
+
+class TestValidation:
+    def test_cfl(self, grid):
+        with pytest.raises(ValueError):
+            ScalarPotentialSolver(grid, cs=1.0, dt=10.0)
+
+    def test_bad_cs(self, grid):
+        with pytest.raises(ValueError):
+            ScalarPotentialSolver(grid, cs=0.0)
+
+    def test_density_shape(self, grid):
+        s = ScalarPotentialSolver(grid)
+        with pytest.raises(ValueError):
+            s.step(np.zeros((4, 4, 4)))
+
+
+class TestRelaxation:
+    def test_relaxes_to_poisson_solution(self, grid, rng):
+        rho = rng.standard_normal(grid.shape)
+        rho -= rho.mean()
+        solver = ScalarPotentialSolver(grid)
+        steps = solver.relax(rho, tol=1e-6)
+        ref = solve_poisson_fft(rho, grid)
+        assert np.abs(solver.phi - ref).max() < 1e-4 * np.abs(ref).max()
+        assert steps > 0
+
+    def test_residual_decreases(self, grid, rng):
+        rho = rng.standard_normal(grid.shape)
+        solver = ScalarPotentialSolver(grid)
+        r0 = solver.residual_norm(rho)
+        for _ in range(200):
+            solver.step(rho)
+        assert solver.residual_norm(rho) < r0
+
+    def test_mean_free_solution(self, grid, rng):
+        rho = rng.standard_normal(grid.shape)
+        solver = ScalarPotentialSolver(grid)
+        for _ in range(50):
+            solver.step(rho)
+        assert abs(solver.phi.mean()) < 1e-12
+
+    def test_zero_density_stays_zero(self, grid):
+        solver = ScalarPotentialSolver(grid)
+        for _ in range(10):
+            solver.step(np.zeros(grid.shape))
+        assert np.all(solver.phi == 0.0)
+
+    def test_relax_raises_on_no_convergence(self, grid, rng):
+        rho = rng.standard_normal(grid.shape)
+        solver = ScalarPotentialSolver(grid, gamma=0.0)  # undamped: never settles
+        with pytest.raises(RuntimeError):
+            solver.relax(rho, tol=1e-14, max_steps=50)

@@ -1,0 +1,68 @@
+"""Restriction/prolongation operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.multigrid import prolong_trilinear, restrict_full_weighting
+
+
+class TestRestriction:
+    def test_constant_preserved(self):
+        f = np.full((8, 8, 8), 3.5)
+        c = restrict_full_weighting(f)
+        assert c.shape == (4, 4, 4)
+        assert np.allclose(c, 3.5)
+
+    def test_linear_ramp_sampled(self, rng):
+        # A smooth (low-frequency) field restricts to its sample values.
+        x = np.cos(2 * np.pi * np.arange(16) / 16)
+        f = np.broadcast_to(x[:, None, None], (16, 16, 16)).copy()
+        c = restrict_full_weighting(f)
+        # Full weighting slightly damps the mode but keeps its shape.
+        assert np.corrcoef(c[:, 0, 0], x[::2])[0, 1] > 0.999
+
+    def test_odd_shape_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_full_weighting(np.zeros((7, 8, 8)))
+
+    def test_non3d_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_full_weighting(np.zeros((8, 8)))
+
+    def test_highest_frequency_killed(self):
+        """The Nyquist mode (+1/-1 checkerboard along x) restricts to ~0."""
+        x = (-1.0) ** np.arange(8)
+        f = np.broadcast_to(x[:, None, None], (8, 8, 8)).copy()
+        c = restrict_full_weighting(f)
+        assert np.abs(c).max() < 1e-14
+
+
+class TestProlongation:
+    def test_constant_preserved(self):
+        c = np.full((4, 4, 4), 2.0)
+        f = prolong_trilinear(c, (8, 8, 8))
+        assert f.shape == (8, 8, 8)
+        assert np.allclose(f, 2.0)
+
+    def test_even_points_copied(self, rng):
+        c = rng.standard_normal((4, 4, 4))
+        f = prolong_trilinear(c, (8, 8, 8))
+        assert np.allclose(f[::2, ::2, ::2], c)
+
+    def test_odd_points_average(self, rng):
+        c = rng.standard_normal((4, 4, 4))
+        f = prolong_trilinear(c, (8, 8, 8))
+        expected = 0.5 * (c[0, 0, 0] + c[1, 0, 0])
+        assert f[1, 0, 0] == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prolong_trilinear(np.zeros((4, 4, 4)), (8, 8, 10))
+
+    def test_adjointness(self, rng):
+        """<R f, c> = const * <f, P c> (transfer operators are adjoint)."""
+        f = rng.standard_normal((8, 8, 8))
+        c = rng.standard_normal((4, 4, 4))
+        lhs = np.sum(restrict_full_weighting(f) * c)
+        rhs = np.sum(f * prolong_trilinear(c, (8, 8, 8)))
+        assert lhs == pytest.approx(rhs / 8.0, rel=1e-10)

@@ -1,0 +1,97 @@
+"""Polaris machine model tests."""
+
+import pytest
+
+from repro.parallel import PolarisModel
+from repro.parallel.network import NVLINK_NET, SLINGSHOT
+
+
+class TestTopology:
+    def test_rank_mapping(self):
+        m = PolarisModel(nnodes=2)
+        assert m.nranks == 8
+        assert m.node_of(0) == 0
+        assert m.node_of(5) == 1
+        assert m.gpu_of(6) == (1, 2)
+
+    def test_for_ranks_rounds_up(self):
+        m = PolarisModel.for_ranks(10)
+        assert m.nnodes == 3
+        assert m.nranks >= 10
+
+    def test_paper_configuration(self):
+        """256 nodes host the paper's 1,024 GPUs / MPI ranks."""
+        m = PolarisModel(nnodes=256)
+        assert m.nranks == 1024
+        assert m.ngpus == 1024
+
+    def test_machine_bounds(self):
+        with pytest.raises(ValueError):
+            PolarisModel(nnodes=0)
+        with pytest.raises(ValueError):
+            PolarisModel(nnodes=561)
+        with pytest.raises(ValueError):
+            PolarisModel(nnodes=1, ranks_per_node=5)
+
+    def test_rank_out_of_range(self):
+        m = PolarisModel(nnodes=1)
+        with pytest.raises(ValueError):
+            m.node_of(4)
+
+
+class TestLinks:
+    def test_intra_node_nvlink(self):
+        m = PolarisModel(nnodes=2)
+        assert m.link_between(0, 3) is NVLINK_NET
+        assert m.link_between(0, 4) is SLINGSHOT
+
+    def test_hops(self):
+        m = PolarisModel(nnodes=40)
+        assert m.hops_between(0, 1) == 0        # same node
+        assert m.hops_between(0, 4) == 1        # same group (node 1)
+        assert m.hops_between(0, 17 * 4) == 3   # node 17: different group
+
+
+class TestPerformance:
+    def test_aggregate_flops_scale_with_nodes(self):
+        small = PolarisModel(nnodes=1).peak_flops_dp()
+        large = PolarisModel(nnodes=10).peak_flops_dp()
+        assert large == pytest.approx(10 * small)
+
+    def test_node_level_performance_order(self):
+        """Node peak ~ 40+ DP TFLOP/s (paper: 78 TF including tensor ops)."""
+        per_node = PolarisModel(nnodes=1).peak_flops_dp()
+        assert 30e12 < per_node < 100e12
+
+
+class TestAurora:
+    def test_aurora_topology(self):
+        from repro.parallel.cluster import AuroraModel
+
+        m = AuroraModel(nnodes=2)
+        assert m.nranks == 12
+        assert m.node_of(7) == 1
+        assert m.gpu.name.startswith("Intel Max")
+
+    def test_aurora_bounds(self):
+        from repro.parallel.cluster import AuroraModel
+
+        with pytest.raises(ValueError):
+            AuroraModel(nnodes=0)
+        with pytest.raises(ValueError):
+            AuroraModel(nnodes=10625)
+        with pytest.raises(ValueError):
+            AuroraModel(nnodes=1, ranks_per_node=13)
+
+    def test_aurora_node_outruns_polaris_node(self):
+        from repro.parallel.cluster import AuroraModel
+
+        aurora = AuroraModel(nnodes=1).peak_flops_dp()
+        polaris = PolarisModel(nnodes=1).peak_flops_dp()
+        assert aurora > 3 * polaris
+
+    def test_aurora_intra_node_link(self):
+        from repro.parallel.cluster import AuroraModel
+
+        m = AuroraModel(nnodes=2)
+        assert m.link_between(0, 5) is not m.link_between(0, 6)

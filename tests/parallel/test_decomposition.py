@@ -1,0 +1,55 @@
+"""Hybrid space-band decomposition tests."""
+
+import pytest
+
+from repro.parallel import SpaceBandDecomposition
+
+
+class TestPartition:
+    @pytest.mark.parametrize(
+        "ndomains,nbands,p_space,p_band",
+        [(8, 16, 4, 2), (5, 7, 3, 2), (1, 16, 1, 4), (16, 1, 16, 1)],
+    )
+    def test_every_pair_owned_once(self, ndomains, nbands, p_space, p_band):
+        dec = SpaceBandDecomposition(ndomains, nbands, p_space, p_band)
+        dec.validate()  # raises on double ownership or gaps
+
+    def test_world_size(self):
+        dec = SpaceBandDecomposition(8, 16, 4, 2)
+        assert dec.nranks == 8
+
+    def test_block_distribution_balanced(self):
+        dec = SpaceBandDecomposition(10, 12, 4, 3)
+        sizes = [len(a.domains) * a.nbands for a in dec.all_assignments()]
+        assert max(sizes) - min(sizes) <= 4 + 3  # within one block each way
+
+    def test_max_domains_per_rank(self):
+        dec = SpaceBandDecomposition(10, 4, 4, 1)
+        assert dec.max_domains_per_rank() == 3
+
+    def test_band_partners_share_domains(self):
+        dec = SpaceBandDecomposition(4, 16, 2, 4)
+        a0 = dec.assignment(0)
+        for partner in dec.band_partners(0):
+            ap = dec.assignment(partner)
+            assert ap.domains == a0.domains
+            assert ap.band_range != a0.band_range
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceBandDecomposition(2, 4, 3, 1)  # more groups than domains
+        with pytest.raises(ValueError):
+            SpaceBandDecomposition(2, 4, 1, 5)  # more groups than bands
+        with pytest.raises(ValueError):
+            SpaceBandDecomposition(0, 4, 1, 1)
+
+    def test_rank_out_of_range(self):
+        dec = SpaceBandDecomposition(4, 4, 2, 2)
+        with pytest.raises(ValueError):
+            dec.assignment(4)
+
+    def test_rank_ordering_is_space_major(self):
+        dec = SpaceBandDecomposition(4, 8, 2, 2)
+        assert dec.assignment(0).space_group == 0
+        assert dec.assignment(1).space_group == 0
+        assert dec.assignment(2).space_group == 1

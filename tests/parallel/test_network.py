@@ -1,0 +1,90 @@
+"""Network cost model tests."""
+
+import pytest
+
+from repro.parallel import (
+    NVLINK_NET,
+    SLINGSHOT,
+    allreduce_time,
+    bcast_time,
+    point_to_point_time,
+    tree_reduce_time,
+)
+from repro.parallel.network import dragonfly_hops, halo_exchange_time
+
+
+class TestAlphaBeta:
+    def test_latency_floor(self):
+        assert point_to_point_time(0, SLINGSHOT, hops=0) == pytest.approx(
+            SLINGSHOT.alpha
+        )
+
+    def test_bandwidth_term(self):
+        t1 = point_to_point_time(1e6, SLINGSHOT)
+        t2 = point_to_point_time(2e6, SLINGSHOT)
+        assert t2 - t1 == pytest.approx(1e6 * SLINGSHOT.beta)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            point_to_point_time(-1, SLINGSHOT)
+
+    def test_nvlink_faster(self):
+        assert point_to_point_time(1e8, NVLINK_NET) < point_to_point_time(
+            1e8, SLINGSHOT
+        )
+
+
+class TestCollectives:
+    def test_single_rank_free(self):
+        assert allreduce_time(1e6, 1, SLINGSHOT) == 0.0
+        assert bcast_time(1e6, 1, SLINGSHOT) == 0.0
+        assert tree_reduce_time(1e6, 1, SLINGSHOT) == 0.0
+
+    def test_logarithmic_latency_scaling(self):
+        """Doubling P adds one latency stage, not a proportional cost."""
+        t64 = allreduce_time(8, 64, SLINGSHOT)
+        t128 = allreduce_time(8, 128, SLINGSHOT)
+        assert t128 - t64 == pytest.approx(2 * SLINGSHOT.alpha, rel=0.01)
+
+    def test_allreduce_bandwidth_saturates(self):
+        """The Rabenseifner bandwidth term approaches 2x message size."""
+        t = allreduce_time(1e9, 1024, SLINGSHOT)
+        bw_term = 2.0 * (1023 / 1024) * 1e9 * SLINGSHOT.beta
+        assert t == pytest.approx(bw_term, rel=0.01)
+
+    def test_tree_cheaper_for_small_messages(self):
+        """A one-way tree beats all-reduce in the latency-bound regime
+        (large messages flip this: the tree re-sends the full payload
+        every stage)."""
+        assert tree_reduce_time(8, 256, SLINGSHOT) < allreduce_time(
+            8, 256, SLINGSHOT
+        )
+        assert tree_reduce_time(1e8, 256, SLINGSHOT) > allreduce_time(
+            1e8, 256, SLINGSHOT
+        )
+
+
+class TestDragonfly:
+    def test_same_node(self):
+        assert dragonfly_hops(5, 5) == 0
+
+    def test_same_group(self):
+        assert dragonfly_hops(0, 15, nodes_per_group=16) == 1
+
+    def test_cross_group(self):
+        assert dragonfly_hops(0, 16, nodes_per_group=16) == 3
+
+    def test_hop_latency_added(self):
+        t1 = point_to_point_time(0, SLINGSHOT, hops=1)
+        t3 = point_to_point_time(0, SLINGSHOT, hops=3)
+        assert t3 - t1 == pytest.approx(2 * SLINGSHOT.hop_latency)
+
+
+class TestHalo:
+    def test_three_phases(self):
+        t = halo_exchange_time(1000, SLINGSHOT)
+        assert t == pytest.approx(3 * (SLINGSHOT.alpha + 2000 * SLINGSHOT.beta))
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            halo_exchange_time(-1, SLINGSHOT)

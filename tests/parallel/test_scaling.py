@@ -1,0 +1,121 @@
+"""Scaling-model tests (Figs. 2-3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    DCMeshStepModel,
+    fit_strong_efficiency_law,
+    fit_weak_efficiency_law,
+    strong_scaling_study,
+    weak_scaling_study,
+)
+from repro.parallel.scaling import (
+    calibrate_fixed_overhead,
+    calibrate_tree_factor,
+    calibrated_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return calibrated_model()
+
+
+class TestStepModel:
+    def test_linear_scaling_in_domains(self):
+        """The DC property: 2x atoms/rank -> 2x compute (no fixed part)."""
+        base = DCMeshStepModel(fixed_step_overhead=0.0, jitter=0.0)
+        t1 = base.compute_time()
+        t2 = base.with_atoms_per_rank(80.0).compute_time()
+        assert t2 == pytest.approx(2 * t1, rel=1e-12)
+
+    def test_gpu_faster_than_cpu_lfd(self):
+        m = DCMeshStepModel()
+        assert m.lfd_domain_time(use_gpu=True) < m.lfd_domain_time(use_gpu=False)
+
+    def test_comm_grows_with_ranks(self):
+        m = DCMeshStepModel()
+        assert m.comm_time(1024) > m.comm_time(4)
+        assert m.comm_time(1) == 0.0
+
+    def test_step_time_positive(self, model):
+        assert model.step_time(4) > 0.0
+        with pytest.raises(ValueError):
+            model.step_time(0)
+
+
+class TestCalibration:
+    def test_weak_anchor_hit(self, model):
+        pts = weak_scaling_study(model)
+        eta_1024 = [p for p in pts if p.nranks == 1024][0].efficiency
+        assert eta_1024 == pytest.approx(0.9673, abs=2e-3)
+
+    def test_strong_anchor_hit(self, model):
+        pts = strong_scaling_study(model, 5120.0, (64, 128, 256))
+        eta_256 = [p for p in pts if p.nranks == 256][0].efficiency
+        assert eta_256 == pytest.approx(0.6634, abs=0.02)
+
+    def test_calibrations_are_deterministic(self):
+        a = calibrated_model()
+        b = calibrated_model()
+        assert a.tree_levels_factor == pytest.approx(b.tree_levels_factor)
+        assert a.fixed_step_overhead == pytest.approx(b.fixed_step_overhead)
+
+    def test_bad_targets(self, model):
+        with pytest.raises(ValueError):
+            calibrate_tree_factor(model, target_efficiency=1.5)
+        with pytest.raises(ValueError):
+            calibrate_fixed_overhead(model, target_efficiency=0.0)
+
+
+class TestWeakScaling:
+    def test_efficiency_monotonically_decreasing(self, model):
+        pts = weak_scaling_study(model)
+        effs = [p.efficiency for p in pts]
+        assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_reference_efficiency_is_one(self, model):
+        pts = weak_scaling_study(model)
+        assert pts[0].efficiency == pytest.approx(1.0)
+
+    def test_speed_definition(self, model):
+        """speed = atoms * MD steps / second (paper definition)."""
+        pts = weak_scaling_study(model)
+        for p in pts:
+            assert p.speed == pytest.approx(p.natoms / p.step_time)
+
+    def test_reference_must_be_in_list(self, model):
+        with pytest.raises(ValueError):
+            weak_scaling_study(model, p_list=(8, 16), p_ref=4)
+
+    def test_law_fit_has_positive_log_slope(self, model):
+        pts = weak_scaling_study(model)
+        _, beta = fit_weak_efficiency_law(pts)
+        assert beta > 0.0
+
+
+class TestStrongScaling:
+    def test_bigger_p_faster_but_less_efficient(self, model):
+        pts = strong_scaling_study(model, 5120.0, (64, 128, 256))
+        times = [p.step_time for p in pts]
+        effs = [p.efficiency for p in pts]
+        assert times[0] > times[1] > times[2]
+        assert effs[0] > effs[1] > effs[2]
+
+    def test_strong_worse_than_weak(self, model):
+        """The paper's central scaling observation (Section IV-A)."""
+        weak = weak_scaling_study(model)
+        eta_weak = [p for p in weak if p.nranks == 256][0].efficiency
+        strong = strong_scaling_study(model, 5120.0, (64, 128, 256))
+        eta_strong = [p for p in strong if p.nranks == 256][0].efficiency
+        assert eta_strong < eta_weak
+
+    def test_law_fit_runs(self, model):
+        pts = strong_scaling_study(model, 5120.0, (64, 128, 256))
+        alpha, beta = fit_strong_efficiency_law(pts)
+        assert np.isfinite(alpha) and np.isfinite(beta)
+
+    def test_needs_two_points(self, model):
+        with pytest.raises(ValueError):
+            strong_scaling_study(model, 5120.0, (64,))

@@ -1,0 +1,62 @@
+"""Rank timeline tests."""
+
+import pytest
+
+from repro.parallel import RankTimeline
+
+
+class TestTimeline:
+    def test_accumulation(self):
+        tl = RankTimeline(3)
+        tl.add_compute(0, 1.0)
+        tl.add_comm(0, 0.5)
+        tl.add_compute(1, 2.0)
+        assert tl.times[0] == pytest.approx(1.5)
+        assert tl.elapsed == pytest.approx(2.0)
+
+    def test_barrier_synchronizes(self):
+        tl = RankTimeline(3)
+        tl.add_compute(0, 1.0)
+        tl.add_compute(2, 4.0)
+        t = tl.barrier()
+        assert t == pytest.approx(4.0)
+        assert tl.times == [4.0, 4.0, 4.0]
+        assert tl.barriers == 1
+
+    def test_load_imbalance(self):
+        tl = RankTimeline(2)
+        tl.add_compute(0, 1.0)
+        tl.add_compute(1, 3.0)
+        assert tl.load_imbalance() == pytest.approx(1.5)
+
+    def test_balanced_is_one(self):
+        tl = RankTimeline(4)
+        for r in range(4):
+            tl.add_compute(r, 2.0)
+        assert tl.load_imbalance() == pytest.approx(1.0)
+
+    def test_comm_fraction(self):
+        tl = RankTimeline(2)
+        tl.add_compute(0, 3.0)
+        tl.add_comm(0, 1.0)
+        assert tl.comm_fraction() == pytest.approx(0.25)
+
+    def test_empty_comm_fraction(self):
+        assert RankTimeline(2).comm_fraction() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankTimeline(0)
+        tl = RankTimeline(2)
+        with pytest.raises(ValueError):
+            tl.add_compute(2, 1.0)
+        with pytest.raises(ValueError):
+            tl.add_compute(0, -1.0)
+
+    def test_categories(self):
+        tl = RankTimeline(2)
+        tl.add_compute(0, 1.0, "qxmd")
+        tl.add_compute(1, 2.0, "qxmd")
+        tl.add_comm(0, 0.5, "halo")
+        assert tl.categories["qxmd"] == pytest.approx(3.0)
+        assert tl.categories["halo"] == pytest.approx(0.5)

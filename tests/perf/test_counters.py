@@ -1,0 +1,40 @@
+"""Counter aggregation tests."""
+
+import pytest
+
+from repro.perf import CounterSet
+
+
+class TestCounterSet:
+    def test_add_and_totals(self):
+        c = CounterSet()
+        c.add("kin", 100.0, 50.0)
+        c.add("kin", 100.0, 50.0)
+        c.add("nl", 300.0, 10.0)
+        assert c.total_flops() == 500.0
+        assert c.total_bytes() == 110.0
+        assert c.calls == {"kin": 2, "nl": 1}
+
+    def test_arithmetic_intensity(self):
+        c = CounterSet()
+        c.add("gemm", 800.0, 100.0)
+        assert c.arithmetic_intensity("gemm") == pytest.approx(8.0)
+
+    def test_intensity_no_bytes(self):
+        c = CounterSet()
+        c.add("phase", 10.0, 0.0)
+        assert c.arithmetic_intensity("phase") == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().add("x", -1.0, 0.0)
+
+    def test_merge(self):
+        a = CounterSet()
+        a.add("k", 1.0, 2.0)
+        b = CounterSet()
+        b.add("k", 3.0, 4.0)
+        b.add("j", 5.0, 6.0)
+        a.merge(b)
+        assert a.flops == {"k": 4.0, "j": 5.0}
+        assert a.calls == {"k": 2, "j": 1}

@@ -1,0 +1,45 @@
+"""Report formatting tests."""
+
+import pytest
+
+from repro.perf import Table, format_seconds, format_speedup
+
+
+class TestFormat:
+    def test_seconds_scales(self):
+        assert format_seconds(150.0) == "150.0 s"
+        assert format_seconds(1.5) == "1.500 s"
+        assert format_seconds(0.002) == "2.000 ms"
+        assert format_seconds(5e-6) == "5.0 us"
+        assert format_seconds(None) == "-"
+
+    def test_speedup(self):
+        assert format_speedup(3.14159) == "3.14x"
+        assert format_speedup(None) == "-"
+
+
+class TestTable:
+    def test_render_aligned(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("a", 1)
+        t.add_row("longer-name", 22)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        # All data lines share the same separator column position.
+        assert lines[3].index("|") == lines[4].index("|")
+
+    def test_wrong_cell_count(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_str_matches_render(self):
+        t = Table(["x"])
+        t.add_row(5)
+        assert str(t) == t.render()

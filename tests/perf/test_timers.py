@@ -1,0 +1,79 @@
+"""Timer utility tests."""
+
+import time
+
+import pytest
+
+from repro.perf import RegionTimer, Timer, timed
+
+
+class TestTimer:
+    def test_elapsed_accumulates(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.01)
+        dt = t.stop()
+        assert dt > 0.005
+        assert t.elapsed == pytest.approx(dt)
+        assert t.calls == 1
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_mean(self):
+        t = Timer()
+        for _ in range(3):
+            t.start()
+            t.stop()
+        assert t.mean == pytest.approx(t.elapsed / 3)
+
+    def test_reset(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        t.reset()
+        assert t.elapsed == 0.0 and t.calls == 0
+
+
+class TestRegionTimer:
+    def test_nesting(self):
+        rt = RegionTimer()
+        with rt.region("outer"):
+            with rt.region("inner"):
+                time.sleep(0.005)
+        assert rt.total("outer") >= rt.total("inner") > 0.0
+        assert rt.counts == {"outer": 1, "inner": 1}
+
+    def test_report_sorted(self):
+        rt = RegionTimer()
+        with rt.region("fast"):
+            pass
+        with rt.region("slow"):
+            time.sleep(0.01)
+        lines = rt.report().splitlines()
+        assert lines[0].startswith("slow")
+
+    def test_empty_report(self):
+        assert "no regions" in RegionTimer().report()
+
+
+class TestTimed:
+    def test_returns_result(self):
+        dt, result = timed(lambda x: x * 2, 21)
+        assert result == 42
+        assert dt >= 0.0
+
+    def test_repeat_takes_best(self):
+        dt, _ = timed(time.sleep, 0.002, repeat=3)
+        assert dt >= 0.002
+
+    def test_bad_repeat(self):
+        with pytest.raises(ValueError):
+            timed(lambda: None, repeat=0)

@@ -1,0 +1,65 @@
+"""Property-based tests: SimComm collectives match NumPy reductions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.parallel import SimComm
+
+world_sizes = st.integers(min_value=1, max_value=8)
+payloads = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 16),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=world_sizes, data=st.data())
+def test_allreduce_equals_numpy_sum(n, data):
+    comm = SimComm(n)
+    shape = data.draw(st.integers(1, 8))
+    vals = [
+        data.draw(
+            hnp.arrays(np.float64, shape, elements=st.floats(-50, 50,
+                                                             allow_nan=False))
+        )
+        for _ in range(n)
+    ]
+    out = comm.allreduce(vals)
+    expected = np.sum(np.stack(vals), axis=0)
+    for v in out:
+        assert np.allclose(v, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=world_sizes, payload=payloads, root=st.integers(0, 7))
+def test_bcast_delivers_identical_copies(n, payload, root):
+    root = root % n
+    comm = SimComm(n)
+    out = comm.bcast(payload, root=root)
+    assert len(out) == n
+    for v in out:
+        assert np.array_equal(v, payload)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 6), data=st.data())
+def test_alltoall_is_transpose(n, data):
+    comm = SimComm(n)
+    matrix = [[data.draw(st.integers(-5, 5)) for _ in range(n)] for _ in range(n)]
+    out = comm.alltoall(matrix)
+    for src in range(n):
+        for dst in range(n):
+            assert out[dst][src] == matrix[src][dst]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=world_sizes, data=st.data())
+def test_gather_scatter_roundtrip(n, data):
+    comm = SimComm(n)
+    vals = [data.draw(st.integers(-100, 100)) for _ in range(n)]
+    gathered = comm.gather(vals, root=0)
+    scattered = comm.scatter(gathered, root=0)
+    assert scattered == vals

@@ -1,0 +1,57 @@
+"""Property-based tests of the DC domain decomposition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids import Grid3D, DomainDecomposition
+
+
+def make_decomposition(data):
+    nd = data.draw(st.sampled_from([(1, 1, 1), (2, 1, 1), (2, 2, 1),
+                                    (2, 2, 2), (3, 1, 1)]))
+    base = data.draw(st.integers(2, 4))
+    shape = tuple(n * base * 2 for n in nd)  # divisible, even cores
+    grid = Grid3D(shape, (0.5, 0.5, 0.5))
+    max_buffer = min(s // n for s, n in zip(shape, nd)) - 1
+    buffer = data.draw(st.integers(0, min(3, max_buffer)))
+    return grid, DomainDecomposition(grid, nd, buffer_width=buffer)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), seed=st.integers(0, 10_000))
+def test_gather_recombine_roundtrip(data, seed):
+    """recombine(gather(f)) == f for every decomposition geometry."""
+    grid, dec = make_decomposition(data)
+    f = np.random.default_rng(seed).standard_normal(grid.shape)
+    rebuilt = dec.recombine([dom.gather(f) for dom in dec])
+    assert np.array_equal(rebuilt, f)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), seed=st.integers(0, 10_000))
+def test_core_sums_preserve_integrals(data, seed):
+    """Summing per-domain core integrals equals the global integral."""
+    grid, dec = make_decomposition(data)
+    f = np.abs(np.random.default_rng(seed).standard_normal(grid.shape))
+    total = f.sum()
+    partial = 0.0
+    for dom in dec:
+        local = dom.gather(f)
+        partial += local[dom.core_slices_local].sum()
+    assert abs(partial - total) < 1e-9 * total
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), seed=st.integers(0, 10_000), natoms=st.integers(1, 12))
+def test_atom_assignment_is_partition(data, seed, natoms):
+    grid, dec = make_decomposition(data)
+    rng = np.random.default_rng(seed)
+    # Positions may lie outside the box (wrapping must handle them).
+    pos = rng.uniform(-10.0, 20.0, size=(natoms, 3))
+    owners = dec.assign_atoms(pos)
+    assigned = [i for lst in owners for i in lst]
+    assert sorted(assigned) == list(range(natoms))
+    for alpha, lst in enumerate(owners):
+        for i in lst:
+            assert dec[alpha].contains_position(pos[i])

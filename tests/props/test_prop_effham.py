@@ -1,0 +1,79 @@
+"""Property-based tests of the effective Hamiltonian and device model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import A100, EPYC_7543_CORE, KernelCostModel
+from repro.materials import EffectiveHamiltonian
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_exc=st.floats(0.0, 1.0),
+    scale=st.floats(0.1, 2.0),
+)
+def test_forces_are_gradient_of_energy(seed, n_exc, scale):
+    ham = EffectiveHamiltonian((4, 4, 4))
+    rng = np.random.default_rng(seed)
+    modes = scale * rng.standard_normal((4, 4, 4, 3))
+    f = ham.forces(modes, n_exc=n_exc)
+    idx = tuple(rng.integers(0, 4, size=3)) + (int(rng.integers(0, 3)),)
+    eps = 1e-6
+    mp = modes.copy()
+    mp[idx] += eps
+    mm = modes.copy()
+    mm[idx] -= eps
+    num = -(ham.energy(mp, n_exc) - ham.energy(mm, n_exc)) / (2 * eps)
+    assert abs(f[idx] - num) < 1e-4 * (1.0 + abs(num))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_energy_invariant_under_lattice_translation(seed):
+    ham = EffectiveHamiltonian((4, 4, 4))
+    rng = np.random.default_rng(seed)
+    modes = rng.standard_normal((4, 4, 4, 3))
+    e0 = ham.energy(modes)
+    for axis in range(3):
+        assert abs(ham.energy(np.roll(modes, 1, axis=axis)) - e0) < 1e-9 * (
+            1 + abs(e0)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_energy_invariant_under_global_inversion(seed):
+    """E(-p) = E(p) without external field (inversion symmetry)."""
+    ham = EffectiveHamiltonian((4, 4, 4))
+    rng = np.random.default_rng(seed)
+    modes = rng.standard_normal((4, 4, 4, 3))
+    assert abs(ham.energy(-modes) - ham.energy(modes)) < 1e-9 * (
+        1 + abs(ham.energy(modes))
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    flops=st.floats(1.0, 1e16),
+    byts=st.floats(1.0, 1e13),
+    itemsize=st.sampled_from([4, 8]),
+)
+def test_roofline_monotone_and_bounded(flops, byts, itemsize):
+    """Kernel time never drops when work grows; GPU never slower than
+    its own roofline bounds."""
+    m = KernelCostModel(A100)
+    t = m.kernel_time(flops, byts, itemsize=itemsize)
+    assert t >= flops / A100.peak_flops(itemsize) - 1e-15
+    assert t >= byts / A100.mem_bandwidth - 1e-15
+    assert m.kernel_time(2 * flops, byts, itemsize=itemsize) >= t
+    assert m.kernel_time(flops, 2 * byts, itemsize=itemsize) >= t
+
+
+@settings(max_examples=30, deadline=None)
+@given(flops=st.floats(1e3, 1e15), byts=st.floats(1e3, 1e12))
+def test_gpu_roofline_beats_cpu_core(flops, byts):
+    gpu = KernelCostModel(A100)
+    cpu = KernelCostModel(EPYC_7543_CORE)
+    assert gpu.kernel_time(flops, byts) <= cpu.kernel_time(flops, byts)

@@ -1,0 +1,96 @@
+"""Property-based tests of surface hopping and the KB projectors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qxmd import FSSH, SurfaceHoppingState
+
+
+def antihermitian(rng, n, scale):
+    m = scale * (rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)))
+    return 0.5 * (m - m.conj().T)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 8),
+    dt=st.floats(0.01, 2.0),
+    scale=st.floats(0.01, 0.5),
+)
+def test_amplitude_propagation_preserves_norm(seed, n, dt, scale):
+    rng = np.random.default_rng(seed)
+    fssh = FSSH(rng)
+    state = SurfaceHoppingState(
+        amplitudes=rng.standard_normal(n) + 1j * rng.standard_normal(n),
+        active=int(rng.integers(0, n)),
+    )
+    energies = np.sort(rng.standard_normal(n))
+    nac = antihermitian(rng, n, scale)
+    fssh.propagate_amplitudes(state, energies, nac, dt)
+    assert abs(np.linalg.norm(state.amplitudes) - 1.0) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 8),
+    dt=st.floats(0.01, 1.0),
+)
+def test_hop_probabilities_always_valid(seed, n, dt):
+    rng = np.random.default_rng(seed)
+    fssh = FSSH(rng)
+    state = SurfaceHoppingState(
+        amplitudes=rng.standard_normal(n) + 1j * rng.standard_normal(n),
+        active=int(rng.integers(0, n)),
+    )
+    nac = antihermitian(rng, n, 2.0)
+    g = fssh.hop_probabilities(state, nac, dt)
+    assert np.all(g >= 0.0)
+    assert np.all(g <= 1.0)
+    assert g[state.active] == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 6),
+    ekin=st.floats(1e-4, 10.0),
+    c=st.floats(0.0, 1.0),
+)
+def test_decoherence_keeps_unit_norm_and_active_grows(seed, n, ekin, c):
+    rng = np.random.default_rng(seed)
+    fssh = FSSH(rng, decoherence_c=c)
+    state = SurfaceHoppingState(
+        amplitudes=rng.standard_normal(n) + 1j * rng.standard_normal(n),
+        active=int(rng.integers(0, n)),
+    )
+    energies = np.sort(rng.standard_normal(n))
+    p_active_before = state.populations[state.active]
+    fssh.apply_decoherence(state, energies, dt=0.5, kinetic_energy=ekin)
+    assert abs(np.linalg.norm(state.amplitudes) - 1.0) < 1e-9
+    assert state.populations[state.active] >= p_active_before - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ekin=st.floats(1e-3, 100.0),
+)
+def test_energy_conservation_at_hops(seed, ekin):
+    """Accepted hops conserve total (kinetic + electronic) energy via the
+    velocity rescale factor."""
+    rng = np.random.default_rng(seed)
+    fssh = FSSH(rng)
+    de = float(rng.uniform(-0.5 * ekin, 0.9 * ekin))
+    energies = np.array([0.0, de])
+    nac = np.array([[0.0, -50.0], [50.0, 0.0]], dtype=complex)  # certain hop
+    state = SurfaceHoppingState(
+        amplitudes=np.array([1.0, 1.0], dtype=complex), active=0
+    )
+    hopped, scale = fssh.attempt_hop(state, energies, nac, dt=1.0,
+                                     kinetic_energy=ekin)
+    if hopped:
+        ekin_after = ekin * scale ** 2
+        assert abs((ekin_after + de) - ekin) < 1e-9 * max(1.0, ekin)

@@ -1,0 +1,81 @@
+"""Property-based tests of the LFD propagation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids import Grid3D
+from repro.lfd import (
+    WaveFunctionSet,
+    kinetic_step,
+    nonlocal_correction_blas,
+    potential_phase_step,
+    remap_occ,
+)
+
+
+def make_wf(norb, seed, n=6, h=0.5):
+    g = Grid3D.cubic(n, h)
+    return WaveFunctionSet.random(g, norb, np.random.default_rng(seed))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    norb=st.integers(1, 6),
+    dt=st.floats(1e-3, 0.3),
+    theta=st.floats(-1.0, 1.0),
+)
+def test_kinetic_step_preserves_gram_matrix(seed, norb, dt, theta):
+    """Unitarity preserves ALL inner products, not just norms."""
+    wf = make_wf(norb, seed)
+    s0 = wf.overlap_matrix()
+    kinetic_step(wf, dt, theta=(theta, -theta, 0.3 * theta))
+    s1 = wf.overlap_matrix()
+    assert np.abs(s1 - s0).max() < 1e-11
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), dt=st.floats(1e-3, 1.0), v0=st.floats(-5, 5))
+def test_potential_step_preserves_gram_matrix(seed, dt, v0):
+    wf = make_wf(3, seed)
+    v = np.full(wf.grid.shape, v0) + 0.3 * np.sin(
+        np.arange(wf.grid.npoints).reshape(wf.grid.shape)
+    )
+    s0 = wf.overlap_matrix()
+    potential_phase_step(wf, v, dt)
+    assert np.abs(wf.overlap_matrix() - s0).max() < 1e-11
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    dsci=st.floats(-0.5, 0.5),
+    dt=st.floats(1e-3, 0.2),
+)
+def test_nonlocal_correction_keeps_unit_norms(seed, dsci, dt):
+    wf = make_wf(3, seed)
+    ref = make_wf(2, seed + 1)
+    nonlocal_correction_blas(wf, ref, dsci, dt, normalize=True)
+    assert np.abs(wf.norms() - 1.0).max() < 1e-10
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), norb=st.integers(1, 5))
+def test_remap_occ_never_negative_never_inflates(seed, norb):
+    wf = make_wf(norb, seed)
+    basis = make_wf(norb + 1, seed + 7)
+    f = np.linspace(2.0, 0.0, norb)
+    f_new = remap_occ(wf, basis, f)
+    assert np.all(f_new >= -1e-12)
+    assert f_new.sum() <= f.sum() + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), dt=st.floats(1e-3, 0.2))
+def test_kinetic_variants_agree_for_random_inputs(seed, dt):
+    wf_a = make_wf(4, seed, n=8)
+    wf_b = wf_a.copy()
+    kinetic_step(wf_a, dt, variant="interchange")
+    kinetic_step(wf_b, dt, variant="collapsed")
+    assert wf_a.max_abs_diff(wf_b) < 1e-13

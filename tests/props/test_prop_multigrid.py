@@ -1,0 +1,61 @@
+"""Property-based tests of the multigrid solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.grids import Grid3D
+from repro.multigrid import PoissonMultigrid, solve_poisson_fft
+from repro.multigrid.smoothers import laplacian_periodic
+from repro.multigrid.transfer import prolong_trilinear, restrict_full_weighting
+
+
+densities = hnp.arrays(
+    dtype=np.float64,
+    shape=(8, 8, 8),
+    elements=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rho=densities)
+def test_fft_solution_satisfies_discrete_poisson(rho):
+    g = Grid3D.cubic(8, 0.5)
+    v = solve_poisson_fft(rho, g)
+    target = -4.0 * np.pi * (rho - rho.mean())
+    assert np.abs(laplacian_periodic(v, g.spacing) - target).max() < 1e-8 * (
+        1.0 + np.abs(target).max()
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(rho=densities)
+def test_multigrid_matches_fft_for_any_density(rho):
+    g = Grid3D.cubic(8, 0.5)
+    mg = PoissonMultigrid(g)
+    v, stats = mg.solve(rho, tol=1e-10, max_cycles=60)
+    ref = solve_poisson_fft(rho, g)
+    scale = np.abs(ref).max() + 1e-12
+    assert np.abs(v - ref).max() < 1e-6 * scale + 1e-10
+
+
+@settings(max_examples=25, deadline=None)
+@given(f=densities)
+def test_restrict_prolong_contract(f):
+    """P(R(f)) preserves constants and never amplifies the range."""
+    c = restrict_full_weighting(f)
+    back = prolong_trilinear(c, f.shape)
+    assert back.min() >= f.min() - 1e-12
+    assert back.max() <= f.max() + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    f=densities,
+    a=st.floats(min_value=-3, max_value=3, allow_nan=False),
+)
+def test_transfer_linearity(f, a):
+    assert np.allclose(
+        restrict_full_weighting(a * f), a * restrict_full_weighting(f)
+    )

@@ -1,0 +1,59 @@
+"""Property-based tests of the stencil/pair-splitting machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids.stencil import (
+    pair_split_coefficients,
+    pair_split_matrix,
+    strang_passes,
+)
+
+even_sizes = st.integers(min_value=2, max_value=12).map(lambda k: 2 * k)
+spacings = st.floats(min_value=0.2, max_value=2.0)
+timesteps = st.floats(min_value=1e-4, max_value=0.5)
+phases = st.floats(min_value=-np.pi, max_value=np.pi)
+parities = st.sampled_from([0, 1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=even_sizes, h=spacings, dt=timesteps, theta=phases, parity=parities)
+def test_pass_always_unitary(n, h, dt, theta, parity):
+    """Every splitting pass is exactly unitary for any parameters."""
+    c = pair_split_coefficients(n, h, dt, parity, theta=theta)
+    m = pair_split_matrix(c)
+    assert np.abs(m @ m.conj().T - np.eye(n)).max() < 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=even_sizes, h=spacings, dt=timesteps, theta=phases)
+def test_strang_passes_compose_unitarily(n, h, dt, theta):
+    a, b, c = strang_passes(n, h, dt, theta=theta)
+    u = pair_split_matrix(a) @ pair_split_matrix(b) @ pair_split_matrix(c)
+    assert np.abs(u @ u.conj().T - np.eye(n)).max() < 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=even_sizes, h=spacings, dt=timesteps, parity=parities)
+def test_exactly_one_neighbor_coupling(n, h, dt, parity):
+    c = pair_split_coefficients(n, h, dt, parity)
+    count = (np.abs(c.bl) > 0).astype(int) + (np.abs(c.bu) > 0).astype(int)
+    assert np.all(count == 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=even_sizes, h=spacings, dt=timesteps, parity=parities, theta=phases)
+def test_time_reversal_symmetry(n, h, dt, parity, theta):
+    """U(-dt) = U(dt)^dagger: the splitting is time-reversible."""
+    fwd = pair_split_matrix(pair_split_coefficients(n, h, dt, parity, theta))
+    bwd = pair_split_matrix(pair_split_coefficients(n, h, -dt, parity, theta))
+    assert np.abs(bwd - fwd.conj().T).max() < 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=even_sizes, h=spacings, dt=timesteps, parity=parities)
+def test_zero_field_pass_is_symmetric(n, h, dt, parity):
+    """Without a Peierls phase the pass matrix is complex-symmetric."""
+    m = pair_split_matrix(pair_split_coefficients(n, h, dt, parity))
+    assert np.abs(m - m.T).max() < 1e-14

@@ -1,0 +1,46 @@
+"""Pseudo-species parameter tests."""
+
+import pytest
+
+from repro.pseudo import SPECIES, PseudoSpecies, get_species
+
+
+def test_all_pbtio3_species_present():
+    for sym in ("Pb", "Ti", "O"):
+        sp = get_species(sym)
+        assert sp.symbol == sym
+
+
+def test_unknown_species_raises_with_catalog():
+    with pytest.raises(KeyError, match="Pb"):
+        get_species("Xx")
+
+
+def test_valences():
+    assert get_species("Pb").zval == 4.0
+    assert get_species("Ti").zval == 4.0
+    assert get_species("O").zval == 6.0
+
+
+def test_masses_ordered():
+    assert get_species("O").mass < get_species("Ti").mass < get_species("Pb").mass
+
+
+def test_kb_channels():
+    # Pb and Ti carry s+p projectors, O only s, H none.
+    assert len(get_species("Pb").kb_energies) == 2
+    assert len(get_species("O").kb_energies) == 1
+    assert len(get_species("H").kb_energies) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PseudoSpecies("X", zval=-1.0, mass=1.0, gauss_width=1.0,
+                      core_strength=0.0, core_width=1.0)
+    with pytest.raises(ValueError):
+        PseudoSpecies("X", zval=1.0, mass=1.0, gauss_width=0.0,
+                      core_strength=0.0, core_width=1.0)
+
+
+def test_registry_is_complete():
+    assert set(SPECIES) >= {"Pb", "Ti", "O", "H"}

@@ -1,0 +1,93 @@
+"""Kleinman-Bylander projector tests."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import WaveFunctionSet
+from repro.pseudo import KBProjectorSet, get_species
+
+
+@pytest.fixture
+def kb_o2(o2_system):
+    grid, pos, species = o2_system
+    return grid, KBProjectorSet(grid, pos, species)
+
+
+class TestConstruction:
+    def test_projector_count(self, kb_o2):
+        _, kb = kb_o2
+        # Each O carries one s projector only.
+        assert kb.nproj == 2
+
+    def test_ti_has_s_and_p(self, grid16):
+        kb = KBProjectorSet(
+            grid16, np.array([[4.8, 4.8, 4.8]]), [get_species("Ti")]
+        )
+        assert kb.nproj == 4  # s + 3 p components
+        assert list(kb.owners) == [0, 0, 0, 0]
+
+    def test_projectors_normalized(self, kb_o2):
+        grid, kb = kb_o2
+        norms = np.einsum("gp,gp->p", kb.projectors, kb.projectors) * grid.dvol
+        assert np.allclose(norms, 1.0)
+
+    def test_hydrogen_empty(self, h2_system):
+        grid, pos, species = h2_system
+        kb = KBProjectorSet(grid, pos, species)
+        assert kb.nproj == 0
+        psi = np.zeros(grid.shape + (2,), dtype=complex)
+        assert np.all(kb.apply(psi) == 0)
+
+    def test_bad_positions(self, grid16):
+        with pytest.raises(ValueError):
+            KBProjectorSet(grid16, np.zeros((2, 2)), [get_species("O")] * 2)
+
+
+class TestApplication:
+    def test_hermitian(self, kb_o2, rng):
+        """<f| v_nl g> = <v_nl f| g>."""
+        grid, kb = kb_o2
+        f = rng.standard_normal(grid.shape + (1,)) + 1j * rng.standard_normal(
+            grid.shape + (1,)
+        )
+        g = rng.standard_normal(grid.shape + (1,)) + 1j * rng.standard_normal(
+            grid.shape + (1,)
+        )
+        lhs = np.vdot(f, kb.apply(g)) * grid.dvol
+        rhs = np.vdot(kb.apply(f), g) * grid.dvol
+        assert lhs == pytest.approx(rhs)
+
+    def test_separable_rank(self, kb_o2, rng):
+        """v_nl has rank <= nproj: applying to a projector-orthogonal
+        function gives zero."""
+        grid, kb = kb_o2
+        f = rng.standard_normal(grid.shape).astype(complex)
+        # Project out the full (non-orthogonal) projector span at once.
+        flat = f.ravel()
+        p_mat = kb.projectors
+        gram = (p_mat.T @ p_mat) * grid.dvol
+        coeff = np.linalg.solve(gram, (p_mat.T @ flat) * grid.dvol)
+        flat = flat - p_mat @ coeff
+        out = kb.apply(flat.reshape(grid.shape + ())[..., None])
+        assert np.abs(out).max() < 1e-10 * np.abs(f).max()
+
+    def test_expectation_nonnegative_for_positive_channels(self, kb_o2, rng):
+        grid, kb = kb_o2
+        wf = WaveFunctionSet.random(grid, 3, rng)
+        exp = kb.expectation(wf)
+        assert np.all(exp >= -1e-14)  # O channel strengths are positive
+
+    def test_energy_weighted_sum(self, kb_o2, rng):
+        grid, kb = kb_o2
+        wf = WaveFunctionSet.random(grid, 3, rng)
+        f = np.array([2.0, 1.0, 0.0])
+        assert kb.energy(wf, f) == pytest.approx(
+            float(f @ kb.expectation(wf))
+        )
+
+    def test_apply_wf_matches_apply(self, kb_o2, rng):
+        grid, kb = kb_o2
+        wf = WaveFunctionSet.random(grid, 2, rng)
+        a = kb.apply_wf(wf)
+        b = kb.apply(wf.psi.astype(np.complex128))
+        assert np.abs(a - b).max() == 0.0

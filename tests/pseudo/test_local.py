@@ -1,0 +1,161 @@
+"""Local pseudopotential pieces: ionic densities and core repulsion."""
+
+import numpy as np
+import pytest
+
+from repro.pseudo import (
+    core_repulsion_pair_energy,
+    core_repulsion_potential,
+    gaussian_ion_density,
+    get_species,
+    ionic_density,
+)
+from repro.pseudo.local import core_repulsion_pair_forces
+
+
+class TestIonDensity:
+    def test_integrates_to_valence(self, grid16):
+        rho = gaussian_ion_density(grid16, [4.8, 4.8, 4.8], 6.0, 0.6)
+        assert rho.sum() * grid16.dvol == pytest.approx(6.0, rel=1e-12)
+
+    def test_peak_at_center(self, grid16):
+        rho = gaussian_ion_density(grid16, [4.8, 4.8, 4.8], 4.0, 0.6)
+        assert np.unravel_index(rho.argmax(), rho.shape) == (8, 8, 8)
+
+    def test_periodic_wrap(self, grid16):
+        """An ion at the cell corner must be spread across all 8 corners."""
+        rho = gaussian_ion_density(grid16, [0.0, 0.0, 0.0], 4.0, 0.6)
+        assert rho[0, 0, 0] == pytest.approx(rho.max())
+        assert rho[-1, -1, -1] == pytest.approx(
+            rho[1, 1, 1], rel=1e-10
+        )
+
+    def test_bad_width(self, grid16):
+        with pytest.raises(ValueError):
+            gaussian_ion_density(grid16, [0, 0, 0], 1.0, -0.5)
+
+    def test_total_ionic_charge(self, o2_system):
+        grid, pos, species = o2_system
+        rho = ionic_density(grid, pos, species)
+        assert rho.sum() * grid.dvol == pytest.approx(12.0, rel=1e-12)
+
+    def test_species_count_mismatch(self, o2_system):
+        grid, pos, species = o2_system
+        with pytest.raises(ValueError):
+            ionic_density(grid, pos, species[:1])
+
+
+class TestCorePotential:
+    def test_positive_repulsive(self, o2_system):
+        grid, pos, species = o2_system
+        v = core_repulsion_potential(grid, pos, species)
+        assert v.min() >= 0.0
+        assert v.max() > 1.0
+
+    def test_hydrogen_has_no_core(self, h2_system):
+        grid, pos, species = h2_system
+        v = core_repulsion_potential(grid, pos, species)
+        assert np.all(v == 0.0)
+
+
+class TestPairRepulsion:
+    def test_energy_decreases_with_distance(self, grid16):
+        sp = [get_species("O"), get_species("O")]
+        e_close = core_repulsion_pair_energy(
+            grid16, np.array([[4.0, 4.8, 4.8], [5.0, 4.8, 4.8]]), sp
+        )
+        e_far = core_repulsion_pair_energy(
+            grid16, np.array([[3.0, 4.8, 4.8], [6.6, 4.8, 4.8]]), sp
+        )
+        assert e_close > e_far > 0.0
+
+    def test_forces_match_energy_gradient(self, grid16):
+        sp = [get_species("O"), get_species("Ti")]
+        pos = np.array([[4.0, 4.8, 4.8], [5.4, 5.0, 4.6]])
+        f = core_repulsion_pair_forces(grid16, pos, sp)
+        eps = 1e-6
+        for axis in range(3):
+            p_plus = pos.copy()
+            p_plus[0, axis] += eps
+            p_minus = pos.copy()
+            p_minus[0, axis] -= eps
+            num = -(
+                core_repulsion_pair_energy(grid16, p_plus, sp)
+                - core_repulsion_pair_energy(grid16, p_minus, sp)
+            ) / (2 * eps)
+            assert f[0, axis] == pytest.approx(num, abs=1e-8)
+
+    def test_newton_third_law(self, grid16):
+        sp = [get_species("O"), get_species("O"), get_species("Ti")]
+        pos = np.array([[4.0, 4.8, 4.8], [5.0, 4.8, 4.8], [4.5, 5.5, 4.8]])
+        f = core_repulsion_pair_forces(grid16, pos, sp)
+        assert np.abs(f.sum(axis=0)).max() < 1e-12
+
+    def test_minimum_image_used(self, grid16):
+        """Atoms near opposite faces interact through the boundary."""
+        sp = [get_species("O"), get_species("O")]
+        pos = np.array([[0.2, 4.8, 4.8], [9.4, 4.8, 4.8]])  # 0.4 apart wrapped
+        e_wrapped = core_repulsion_pair_energy(grid16, pos, sp)
+        pos_direct = np.array([[4.6, 4.8, 4.8], [5.0, 4.8, 4.8]])
+        e_direct = core_repulsion_pair_energy(grid16, pos_direct, sp)
+        assert e_wrapped == pytest.approx(e_direct, rel=1e-10)
+
+
+class TestFourierIonDensity:
+    def test_charge_exact(self, grid16):
+        from repro.pseudo.local import gaussian_ion_density_fourier
+
+        rho = gaussian_ion_density_fourier(grid16, [3.3, 4.8, 5.1], 6.0, 0.8)
+        assert rho.sum() * grid16.dvol == pytest.approx(6.0, abs=1e-10)
+
+    def test_matches_realspace_when_resolved(self, grid16):
+        """For a wide, well-resolved Gaussian the two builds agree."""
+        from repro.pseudo.local import (
+            gaussian_ion_density,
+            gaussian_ion_density_fourier,
+        )
+
+        center = [4.8, 4.8, 4.8]
+        a = gaussian_ion_density(grid16, center, 4.0, 1.2)
+        b = gaussian_ion_density_fourier(grid16, center, 4.0, 1.2)
+        assert np.abs(a - b).max() < 1e-3 * a.max()
+
+    def test_translation_exactness(self, grid16):
+        """Shifting by a non-grid displacement shifts the density field
+        exactly in the band-limited sense (peak value invariant)."""
+        from repro.pseudo.local import gaussian_ion_density_fourier
+
+        a = gaussian_ion_density_fourier(grid16, [4.8, 4.8, 4.8], 4.0, 0.9)
+        b = gaussian_ion_density_fourier(grid16, [5.05, 4.8, 4.8], 4.0, 0.9)
+        # Same total charge (no normalization wobble)...
+        assert a.sum() == pytest.approx(b.sum(), rel=1e-12)
+        # ...and b equals a spectrally shifted by exactly 0.25 bohr.
+        dx = 0.25
+        k = 2 * np.pi * np.fft.fftfreq(16, d=0.6)
+        shift = np.exp(-1j * k * dx)[:, None, None]
+        a_shifted = np.real(np.fft.ifftn(np.fft.fftn(a) * shift))
+        assert np.abs(a_shifted - b).max() < 1e-10
+
+    def test_grid_shift_is_roll(self, grid16):
+        """Displacing by exactly one grid spacing rolls the array."""
+        from repro.pseudo.local import gaussian_ion_density_fourier
+
+        h = grid16.spacing[0]
+        a = gaussian_ion_density_fourier(grid16, [4.8, 4.8, 4.8], 4.0, 0.9)
+        b = gaussian_ion_density_fourier(grid16, [4.8 + h, 4.8, 4.8], 4.0, 0.9)
+        assert np.abs(np.roll(a, 1, axis=0) - b).max() < 1e-10
+
+    def test_total_ionic_density_fourier(self, o2_system):
+        from repro.pseudo.local import ionic_density_fourier
+
+        grid, pos, species = o2_system
+        rho = ionic_density_fourier(grid, pos, species)
+        assert rho.sum() * grid.dvol == pytest.approx(12.0, abs=1e-9)
+
+    def test_validation(self, grid16):
+        from repro.pseudo.local import ion_structure_fourier
+
+        with pytest.raises(ValueError):
+            ion_structure_fourier(grid16, np.zeros((2, 2)), [1.0], [1.0])
+        with pytest.raises(ValueError):
+            ion_structure_fourier(grid16, np.zeros((2, 3)), [1.0], [1.0, 1.0])

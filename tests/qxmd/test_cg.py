@@ -1,0 +1,88 @@
+"""CG eigensolver tests against dense diagonalization."""
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D
+from repro.lfd import WaveFunctionSet
+from repro.qxmd import KSHamiltonian, cg_eigensolve, rayleigh_quotients
+from repro.qxmd.cg import subspace_rotate
+
+
+@pytest.fixture
+def small_problem(rng):
+    g = Grid3D.cubic(6, 0.7)
+    vloc = -2.0 * np.exp(
+        -sum((x - 2.1) ** 2 for x in g.meshgrid()) / 1.5
+    )
+    ham = KSHamiltonian(g, vloc)
+    return g, ham
+
+
+class TestConvergence:
+    def test_approaches_dense_eigenvalues(self, small_problem, rng):
+        g, ham = small_problem
+        exact = np.linalg.eigvalsh(ham.dense_matrix())
+        wf = WaveFunctionSet.random(g, 3, rng)
+        evals = cg_eigensolve(ham, wf, ncg=25)
+        assert np.abs(evals - exact[:3]).max() < 2e-2
+
+    def test_eigenvalues_ascending(self, small_problem, rng):
+        g, ham = small_problem
+        wf = WaveFunctionSet.random(g, 4, rng)
+        evals = cg_eigensolve(ham, wf, ncg=5)
+        assert np.all(np.diff(evals) >= -1e-10)
+
+    def test_energy_decreases_with_iterations(self, small_problem, rng):
+        g, ham = small_problem
+        wf3 = WaveFunctionSet.random(g, 3, np.random.default_rng(11))
+        wf10 = WaveFunctionSet.random(g, 3, np.random.default_rng(11))
+        e3 = cg_eigensolve(ham, wf3, ncg=3).sum()
+        e10 = cg_eigensolve(ham, wf10, ncg=10).sum()
+        assert e10 <= e3 + 1e-10
+
+    def test_orbitals_stay_orthonormal(self, small_problem, rng):
+        g, ham = small_problem
+        wf = WaveFunctionSet.random(g, 4, rng)
+        cg_eigensolve(ham, wf, ncg=6)
+        s = wf.overlap_matrix()
+        assert np.abs(s - np.eye(4)).max() < 1e-8
+
+    def test_zero_iterations_is_rayleigh_ritz_only(self, small_problem, rng):
+        g, ham = small_problem
+        wf = WaveFunctionSet.random(g, 3, rng)
+        evals = cg_eigensolve(ham, wf, ncg=0)
+        assert evals.shape == (3,)
+
+    def test_negative_ncg_rejected(self, small_problem, rng):
+        g, ham = small_problem
+        wf = WaveFunctionSet.random(g, 2, rng)
+        with pytest.raises(ValueError):
+            cg_eigensolve(ham, wf, ncg=-1)
+
+
+class TestRayleighRitz:
+    def test_rotation_diagonalizes_subspace(self, small_problem, rng):
+        g, ham = small_problem
+        wf = WaveFunctionSet.random(g, 4, rng)
+        subspace_rotate(ham, wf)
+        h = ham.subspace_matrix(wf)
+        off = h - np.diag(np.diag(h))
+        assert np.abs(off).max() < 1e-10
+
+    def test_rayleigh_quotients_match_expectations(self, small_problem, rng):
+        g, ham = small_problem
+        wf = WaveFunctionSet.random(g, 3, rng)
+        r = rayleigh_quotients(ham, wf)
+        assert np.allclose(r, ham.expectation(wf))
+
+    def test_paper_configuration_3cg(self, small_problem, rng):
+        """Three CG iterations (the paper's per-SCF budget) already
+        remove most of the random-start energy."""
+        g, ham = small_problem
+        wf = WaveFunctionSet.random(g, 2, rng)
+        e_start = rayleigh_quotients(ham, wf)[0]
+        evals = cg_eigensolve(ham, wf, ncg=3)
+        exact = np.linalg.eigvalsh(ham.dense_matrix())[0]
+        # At least 80% of the distance to the exact ground state covered.
+        assert (evals[0] - exact) < 0.2 * (e_start - exact)

@@ -1,0 +1,97 @@
+"""Force calculator tests."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import WaveFunctionSet
+from repro.lfd.observables import density
+from repro.pseudo import KBProjectorSet, get_species
+from repro.qxmd import ForceCalculator
+
+
+@pytest.fixture
+def o2_forces_setup(o2_system, rng):
+    grid, pos, species = o2_system
+    wf = WaveFunctionSet.random(grid, 7, rng)
+    occ = np.array([2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 0.0])
+    calc = ForceCalculator(grid, species)
+    return grid, pos, species, wf, occ, calc
+
+
+class TestElectrostatic:
+    def test_symmetric_dimer_forces_mirror(self, o2_forces_setup):
+        grid, pos, species, wf, occ, calc = o2_forces_setup
+        # Use a symmetric (uniform) electron density.
+        rho = np.full(grid.shape, 12.0 / grid.volume)
+        f = calc.electrostatic_forces(pos, rho)
+        # Equal ions in a uniform sea: forces are opposite along the axis.
+        assert f[0, 0] == pytest.approx(-f[1, 0], abs=1e-8)
+        # and repulsive (ion-ion): atom 0 (left) pushed to -x.
+        assert f[0, 0] < 0.0
+
+    def test_zero_force_at_symmetric_point(self, grid16):
+        """A single ion with its own symmetric density feels no force."""
+        sp = [get_species("O")]
+        pos = np.array([[4.8, 4.8, 4.8]])
+        calc = ForceCalculator(grid16, sp)
+        rho = np.full(grid16.shape, 6.0 / grid16.volume)
+        f = calc.electrostatic_forces(pos, rho)
+        assert np.abs(f).max() < 1e-8
+
+    def test_electron_cloud_attracts_ion(self, grid16):
+        """An ion is pulled toward an off-centre electron cloud."""
+        sp = [get_species("O")]
+        pos = np.array([[4.8, 4.8, 4.8]])
+        calc = ForceCalculator(grid16, sp)
+        xs, ys, zs = grid16.meshgrid()
+        cloud = np.exp(-((xs - 6.5) ** 2 + (ys - 4.8) ** 2 + (zs - 4.8) ** 2))
+        cloud *= 6.0 / (cloud.sum() * grid16.dvol)
+        f = calc.electrostatic_forces(pos, cloud)
+        assert f[0, 0] > 1e-3  # pulled toward +x
+
+
+class TestNonlocal:
+    def test_translationally_invariant_state_zero_force(self, o2_forces_setup):
+        """A constant orbital gives zero net nonlocal force (the projector
+        gradient integrates to zero against it)."""
+        grid, pos, species, _, _, calc = o2_forces_setup
+        wf = WaveFunctionSet(grid, 1)
+        wf.psi[..., 0] = 1.0
+        wf.normalize()
+        f = calc.nonlocal_forces(pos, wf, np.array([2.0]))
+        assert np.abs(f).max() < 1e-8
+
+    def test_nonzero_for_localized_state(self, o2_forces_setup):
+        grid, pos, species, _, _, calc = o2_forces_setup
+        xs, ys, zs = grid16_mesh = grid.meshgrid()
+        # Electron lump displaced from atom 0 -> finite projector force.
+        lump = np.exp(
+            -((xs - pos[0, 0] - 0.8) ** 2 + (ys - pos[0, 1]) ** 2
+              + (zs - pos[0, 2]) ** 2)
+        ).astype(complex)
+        wf = WaveFunctionSet(grid, 1, data=lump[..., None])
+        wf.normalize()
+        f = calc.nonlocal_forces(pos, wf, np.array([2.0]))
+        assert np.abs(f[0]).max() > 1e-6
+
+    def test_no_projectors_zero(self, h2_system, rng):
+        grid, pos, species = h2_system
+        calc = ForceCalculator(grid, species)
+        wf = WaveFunctionSet.random(grid, 2, rng)
+        f = calc.nonlocal_forces(pos, wf, np.ones(2))
+        assert np.all(f == 0.0)
+
+
+class TestBreakdown:
+    def test_compute_totals(self, o2_forces_setup):
+        grid, pos, species, wf, occ, calc = o2_forces_setup
+        bd = calc.compute(pos, wf, occ)
+        assert bd.total.shape == (2, 3)
+        assert np.allclose(
+            bd.total, bd.electrostatic + bd.core_pair + bd.nonlocal_
+        )
+
+    def test_exclude_nonlocal(self, o2_forces_setup):
+        grid, pos, species, wf, occ, calc = o2_forces_setup
+        bd = calc.compute(pos, wf, occ, include_nonlocal=False)
+        assert np.all(bd.nonlocal_ == 0.0)

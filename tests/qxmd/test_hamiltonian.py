@@ -1,0 +1,95 @@
+"""KS Hamiltonian apply tests."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import WaveFunctionSet
+from repro.pseudo import KBProjectorSet, get_species
+from repro.qxmd import KSHamiltonian
+
+
+@pytest.fixture
+def ham(grid8, rng):
+    vloc = 0.4 * rng.standard_normal(grid8.shape)
+    return KSHamiltonian(grid8, vloc)
+
+
+class TestApply:
+    def test_hermitian(self, ham, grid8, rng):
+        f = rng.standard_normal(grid8.shape) + 1j * rng.standard_normal(grid8.shape)
+        g = rng.standard_normal(grid8.shape) + 1j * rng.standard_normal(grid8.shape)
+        lhs = np.vdot(f, ham.apply(g)) * grid8.dvol
+        rhs = np.vdot(ham.apply(f), g) * grid8.dvol
+        assert lhs == pytest.approx(rhs)
+
+    def test_soa_matches_per_orbital(self, ham, grid8, rng):
+        wf = WaveFunctionSet.random(grid8, 3, rng)
+        soa = ham.apply_wf(wf)
+        for s in range(3):
+            single = ham.apply(wf.orbital(s).astype(complex))
+            assert np.abs(soa[..., s] - single).max() < 1e-13
+
+    def test_with_kb_projectors(self, grid16, rng):
+        pos = np.array([[4.8, 4.8, 4.8]])
+        kb = KBProjectorSet(grid16, pos, [get_species("Ti")])
+        ham = KSHamiltonian(grid16, np.zeros(grid16.shape), kb=kb)
+        wf = WaveFunctionSet.random(grid16, 2, rng)
+        full = ham.apply_wf(wf)
+        loc = ham.without_nonlocal().apply_wf(wf)
+        assert np.abs(full - loc).max() > 1e-6
+
+    def test_bad_rank(self, ham):
+        with pytest.raises(ValueError):
+            ham.apply(np.zeros((8, 8)))
+
+    def test_vloc_shape_check(self, grid8):
+        with pytest.raises(ValueError):
+            KSHamiltonian(grid8, np.zeros((4, 4, 4)))
+
+
+class TestExpectations:
+    def test_expectation_real(self, ham, grid8, rng):
+        wf = WaveFunctionSet.random(grid8, 3, rng)
+        e = ham.expectation(wf)
+        assert e.shape == (3,)
+        assert e.dtype == np.float64
+
+    def test_subspace_matrix_hermitian(self, ham, grid8, rng):
+        wf = WaveFunctionSet.random(grid8, 4, rng)
+        h = ham.subspace_matrix(wf)
+        assert np.abs(h - h.conj().T).max() < 1e-12
+
+    def test_expectation_is_subspace_diagonal(self, ham, grid8, rng):
+        wf = WaveFunctionSet.random(grid8, 3, rng)
+        e = ham.expectation(wf)
+        h = ham.subspace_matrix(wf)
+        assert np.allclose(e, np.real(np.diag(h)))
+
+
+class TestDense:
+    def test_dense_matches_apply(self, rng):
+        from repro.grids import Grid3D
+
+        g = Grid3D.cubic(4, 0.6)
+        vloc = rng.standard_normal(g.shape)
+        ham = KSHamiltonian(g, vloc)
+        mat = ham.dense_matrix()
+        assert np.abs(mat - mat.conj().T).max() < 1e-12
+        f = rng.standard_normal(g.shape).astype(complex)
+        assert np.allclose((mat @ f.ravel()).reshape(g.shape), ham.apply(f))
+
+    def test_dense_refuses_large(self, grid16):
+        ham = KSHamiltonian(grid16, np.zeros(grid16.shape))
+        with pytest.raises(MemoryError):
+            ham.dense_matrix()
+
+    def test_ground_state_below_band_mean(self, rng):
+        """The dense spectrum bottom is below any Rayleigh quotient."""
+        from repro.grids import Grid3D
+
+        g = Grid3D.cubic(4, 0.7)
+        vloc = rng.standard_normal(g.shape)
+        ham = KSHamiltonian(g, vloc)
+        evals = np.linalg.eigvalsh(ham.dense_matrix())
+        wf = WaveFunctionSet.random(g, 2, rng)
+        assert np.all(ham.expectation(wf) >= evals[0] - 1e-10)

@@ -1,0 +1,46 @@
+"""Hartree potential/energy wrapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.qxmd import hartree_energy, hartree_potential
+from repro.multigrid import PoissonMultigrid
+
+
+class TestPotential:
+    def test_multigrid_matches_fft(self, grid16, rng):
+        rho = rng.standard_normal(grid16.shape)
+        v_mg = hartree_potential(rho, grid16, method="multigrid", tol=1e-10)
+        v_fft = hartree_potential(rho, grid16, method="fft")
+        assert np.abs(v_mg - v_fft).max() < 1e-6
+
+    def test_solver_reuse(self, grid16, rng):
+        solver = PoissonMultigrid(grid16)
+        rho = rng.standard_normal(grid16.shape)
+        v1 = hartree_potential(rho, grid16, solver=solver)
+        v2 = hartree_potential(rho, grid16, solver=solver)
+        assert np.allclose(v1, v2)
+
+    def test_unknown_method(self, grid16):
+        with pytest.raises(ValueError):
+            hartree_potential(np.zeros(grid16.shape), grid16, method="direct")
+
+
+class TestEnergy:
+    def test_positive_for_self_interaction(self, grid16, rng):
+        rho = np.abs(rng.standard_normal(grid16.shape))
+        rho -= rho.mean()
+        v = hartree_potential(rho, grid16, method="fft")
+        assert hartree_energy(rho, v, grid16) > 0.0
+
+    def test_scales_quadratically(self, grid16, rng):
+        rho = rng.standard_normal(grid16.shape)
+        v = hartree_potential(rho, grid16, method="fft")
+        e1 = hartree_energy(rho, v, grid16)
+        v2 = hartree_potential(2 * rho, grid16, method="fft")
+        e2 = hartree_energy(2 * rho, v2, grid16)
+        assert e2 == pytest.approx(4 * e1, rel=1e-10)
+
+    def test_shape_check(self, grid16):
+        with pytest.raises(ValueError):
+            hartree_energy(np.zeros((2, 2, 2)), np.zeros((2, 2, 2)), grid16)

@@ -1,0 +1,70 @@
+"""Imaginary-time propagation ground-state solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.grids import Grid3D
+from repro.lfd import WaveFunctionSet
+from repro.qxmd import KSHamiltonian, cg_eigensolve
+from repro.qxmd.itp import imaginary_time_ground_state
+
+
+@pytest.fixture
+def well(rng):
+    g = Grid3D.cubic(8, 0.6)
+    c = 2.1
+    xs, ys, zs = g.meshgrid()
+    vloc = -2.5 * np.exp(-((xs - c) ** 2 + (ys - c) ** 2 + (zs - c) ** 2) / 1.5)
+    return g, KSHamiltonian(g, vloc)
+
+
+class TestITP:
+    def test_matches_dense_spectrum(self, well, rng):
+        g, ham = well
+        wf = WaveFunctionSet.random(g, 3, rng)
+        evals, steps = imaginary_time_ground_state(ham, wf, dtau=0.1,
+                                                   nsteps=400, tol=1e-10)
+        exact = np.linalg.eigvalsh(ham.dense_matrix())[:3]
+        assert np.abs(evals - exact).max() < 2e-3
+
+    def test_agrees_with_cg(self, well, rng):
+        g, ham = well
+        wf_itp = WaveFunctionSet.random(g, 2, np.random.default_rng(1))
+        wf_cg = WaveFunctionSet.random(g, 2, np.random.default_rng(2))
+        e_itp, _ = imaginary_time_ground_state(ham, wf_itp, dtau=0.1,
+                                               nsteps=400, tol=1e-10)
+        e_cg = cg_eigensolve(ham, wf_cg, ncg=30)
+        assert np.abs(e_itp - e_cg).max() < 5e-3
+
+    def test_orthonormal_output(self, well, rng):
+        g, ham = well
+        wf = WaveFunctionSet.random(g, 3, rng)
+        imaginary_time_ground_state(ham, wf, dtau=0.1, nsteps=50)
+        s = wf.overlap_matrix()
+        assert np.abs(s - np.eye(3)).max() < 1e-10
+
+    def test_early_stop(self, well, rng):
+        g, ham = well
+        wf = WaveFunctionSet.random(g, 2, rng)
+        _, steps = imaginary_time_ground_state(ham, wf, dtau=0.1,
+                                               nsteps=1000, tol=1e-9)
+        assert steps < 1000  # converged before the cap
+
+    def test_monotone_energy_filtering(self, well, rng):
+        """Each ITP step lowers (or keeps) the band-energy sum."""
+        g, ham = well
+        wf = WaveFunctionSet.random(g, 2, rng)
+        e_prev = float(np.sum(ham.expectation(wf)))
+        for _ in range(5):
+            imaginary_time_ground_state(ham, wf, dtau=0.1, nsteps=1, tol=0.0)
+            e_now = float(np.sum(ham.expectation(wf)))
+            assert e_now <= e_prev + 1e-10
+            e_prev = e_now
+
+    def test_validation(self, well, rng):
+        g, ham = well
+        wf = WaveFunctionSet.random(g, 2, rng)
+        with pytest.raises(ValueError):
+            imaginary_time_ground_state(ham, wf, dtau=0.0)
+        with pytest.raises(ValueError):
+            imaginary_time_ground_state(ham, wf, nsteps=0)

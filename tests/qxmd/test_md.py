@@ -1,0 +1,135 @@
+"""Velocity-Verlet MD integrator tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KB_HA
+from repro.qxmd import MDState, VelocityVerlet, kinetic_energy, temperature
+from repro.qxmd.md import maxwell_boltzmann_velocities
+
+
+def harmonic_forces(k=1.0, center=None):
+    def f(x):
+        c = center if center is not None else np.zeros_like(x)
+        return -k * (x - c)
+
+    return f
+
+
+@pytest.fixture
+def oscillator():
+    state = MDState(
+        positions=np.array([[1.0, 0.0, 0.0]]),
+        velocities=np.zeros((1, 3)),
+        masses=np.array([1.0]),
+    )
+    return state
+
+
+class TestState:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MDState(np.zeros((2, 3)), np.zeros((3, 3)), np.ones(2))
+        with pytest.raises(ValueError):
+            MDState(np.zeros((2, 3)), np.zeros((2, 3)), np.array([1.0, -1.0]))
+
+    def test_kinetic_energy_and_temperature(self):
+        state = MDState(
+            positions=np.zeros((2, 3)),
+            velocities=np.array([[1.0, 0, 0], [0, 1.0, 0]]),
+            masses=np.array([2.0, 4.0]),
+        )
+        assert kinetic_energy(state) == pytest.approx(3.0)
+        assert temperature(state) == pytest.approx(2 * 3.0 / (6 * KB_HA))
+
+    def test_copy_independent(self, oscillator):
+        c = oscillator.copy()
+        c.positions[0, 0] = 99.0
+        assert oscillator.positions[0, 0] == 1.0
+
+
+class TestIntegration:
+    def test_harmonic_period(self, oscillator):
+        """One period of a unit harmonic oscillator is 2 pi."""
+        vv = VelocityVerlet(harmonic_forces(), dt=0.01)
+        nsteps = int(round(2 * np.pi / 0.01))
+        vv.run(oscillator, nsteps)
+        assert oscillator.positions[0, 0] == pytest.approx(1.0, abs=1e-3)
+        assert oscillator.velocities[0, 0] == pytest.approx(0.0, abs=1e-2)
+
+    def test_energy_conservation(self, oscillator):
+        vv = VelocityVerlet(harmonic_forces(), dt=0.01)
+        e0 = kinetic_energy(oscillator) + 0.5 * 1.0
+        vv.run(oscillator, 2000)
+        e1 = (
+            kinetic_energy(oscillator)
+            + 0.5 * float(np.sum(oscillator.positions ** 2))
+        )
+        # Velocity Verlet conserves a shadow energy; the true energy
+        # oscillates at O(dt^2) amplitude.
+        assert e1 == pytest.approx(e0, rel=1e-4)
+
+    def test_free_particle_drift(self):
+        state = MDState(
+            positions=np.zeros((1, 3)),
+            velocities=np.array([[0.5, 0.0, 0.0]]),
+            masses=np.array([3.0]),
+        )
+        vv = VelocityVerlet(lambda x: np.zeros_like(x), dt=0.1)
+        vv.run(state, 10)
+        assert state.positions[0, 0] == pytest.approx(0.5)
+
+    def test_force_shape_validation(self, oscillator):
+        vv = VelocityVerlet(lambda x: np.zeros((2, 3)), dt=0.1)
+        with pytest.raises(ValueError):
+            vv.step(oscillator)
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            VelocityVerlet(harmonic_forces(), dt=0.0)
+
+    def test_observer_called_each_step(self, oscillator):
+        vv = VelocityVerlet(harmonic_forces(), dt=0.05)
+        seen = []
+        vv.run(oscillator, 5, observer=lambda i, s: seen.append(i))
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestThermostat:
+    def test_berendsen_approaches_target(self, rng):
+        n = 16
+        masses = np.full(n, 100.0)
+        state = MDState(
+            positions=rng.standard_normal((n, 3)),
+            velocities=maxwell_boltzmann_velocities(masses, 50.0, rng),
+            masses=masses,
+        )
+        vv = VelocityVerlet(
+            harmonic_forces(k=0.01), dt=0.5, thermostat_tau=10.0,
+            target_temp=300.0,
+        )
+        vv.run(state, 400)
+        assert temperature(state) == pytest.approx(300.0, rel=0.5)
+
+    def test_velocity_rescale(self, oscillator):
+        oscillator.velocities[0, 0] = 2.0
+        vv = VelocityVerlet(harmonic_forces(), dt=0.1)
+        vv.rescale_velocities(oscillator, 0.5)
+        assert oscillator.velocities[0, 0] == 1.0
+        with pytest.raises(ValueError):
+            vv.rescale_velocities(oscillator, -1.0)
+
+
+class TestMaxwellBoltzmann:
+    def test_zero_net_momentum(self, rng):
+        masses = np.array([1.0, 2.0, 5.0, 10.0])
+        v = maxwell_boltzmann_velocities(masses, 300.0, rng)
+        p = (masses[:, None] * v).sum(axis=0)
+        assert np.abs(p).max() < 1e-12
+
+    def test_temperature_statistics(self):
+        rng = np.random.default_rng(0)
+        masses = np.full(500, 1836.0)
+        v = maxwell_boltzmann_velocities(masses, 300.0, rng)
+        state = MDState(np.zeros((500, 3)), v, masses)
+        assert temperature(state) == pytest.approx(300.0, rel=0.1)

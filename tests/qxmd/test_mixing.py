@@ -1,0 +1,130 @@
+"""Density/potential mixer tests."""
+
+import numpy as np
+import pytest
+
+from repro.qxmd.mixing import LinearMixer, PulayMixer, make_mixer
+
+
+def fixed_point_map(x, target, jacobian=0.6):
+    """A linear contraction x -> target + J (x - target)."""
+    return target + jacobian * (x - target)
+
+
+def iterate(mixer, x0, target, n, jacobian=0.6):
+    """Run n SCF-like iterations; returns per-iteration residual norms."""
+    x = mixer.mix(x0)
+    residuals = []
+    for _ in range(n):
+        x_out = fixed_point_map(x, target, jacobian)
+        residuals.append(float(np.linalg.norm(x_out - x)))
+        x = mixer.mix(x_out)
+    return residuals
+
+
+@pytest.fixture
+def problem(rng):
+    target = rng.standard_normal(50)
+    x0 = rng.standard_normal(50)
+    return x0, target
+
+
+class TestLinear:
+    def test_converges_contraction(self, problem):
+        x0, target = problem
+        res = iterate(LinearMixer(beta=0.5), x0, target, 80)
+        assert res[-1] < 1e-6 * res[0]
+
+    def test_first_call_passthrough(self, rng):
+        m = LinearMixer()
+        x = rng.standard_normal(5)
+        assert np.array_equal(m.mix(x), x)
+
+    def test_mixing_formula(self):
+        m = LinearMixer(beta=0.25)
+        m.mix(np.array([0.0]))
+        out = m.mix(np.array([4.0]))
+        assert out[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearMixer(beta=0.0)
+
+    def test_reset(self, rng):
+        m = LinearMixer()
+        m.mix(rng.standard_normal(3))
+        m.reset()
+        x = rng.standard_normal(3)
+        assert np.array_equal(m.mix(x), x)
+
+
+class TestPulay:
+    def test_converges_contraction(self, problem):
+        x0, target = problem
+        res = iterate(PulayMixer(beta=0.5), x0, target, 30)
+        assert res[-1] < 1e-8 * res[0]
+
+    def test_faster_than_linear(self, problem):
+        """On a stiff linear problem DIIS needs far fewer iterations."""
+        x0, target = problem
+        n = 15
+        res_lin = iterate(LinearMixer(beta=0.3), x0, target, n, jacobian=0.9)
+        res_pulay = iterate(PulayMixer(beta=0.3), x0, target, n, jacobian=0.9)
+        assert res_pulay[-1] < 0.1 * res_lin[-1]
+
+    def test_linear_problem_solved_exactly_in_history(self, rng):
+        """For an exactly linear map, DIIS converges once the history
+        spans the residual space."""
+        target = rng.standard_normal(4)
+        x0 = rng.standard_normal(4)
+        mixer = PulayMixer(beta=0.5, history=6)
+        res = iterate(mixer, x0, target, 8, jacobian=0.95)
+        assert res[-1] < 1e-10
+
+    def test_history_bounded(self, rng):
+        m = PulayMixer(history=3)
+        x = m.mix(rng.standard_normal(4))
+        for _ in range(10):
+            x = m.mix(x + rng.standard_normal(4) * 0.1)
+        assert m.depth <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PulayMixer(beta=1.5)
+        with pytest.raises(ValueError):
+            PulayMixer(history=1)
+
+    def test_reset(self, rng):
+        m = PulayMixer()
+        m.mix(rng.standard_normal(3))
+        m.mix(rng.standard_normal(3))
+        m.reset()
+        assert m.depth == 0
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_mixer("linear"), LinearMixer)
+        assert isinstance(make_mixer("pulay"), PulayMixer)
+        with pytest.raises(ValueError):
+            make_mixer("broyden")
+
+
+class TestSCFIntegration:
+    def test_pulay_scf_runs_and_matches_linear_energy(self, h2_system):
+        from repro.qxmd import SCFConfig, scf_solve
+
+        grid, pos, sp = h2_system
+        lin = scf_solve(grid, pos, sp, norb=3,
+                        config=SCFConfig(nscf=4, ncg=3, mixer="linear"))
+        pul = scf_solve(grid, pos, sp, norb=3,
+                        config=SCFConfig(nscf=4, ncg=3, mixer="pulay"))
+        assert pul.energies["total"] == pytest.approx(
+            lin.energies["total"], abs=0.05
+        )
+
+    def test_bad_mixer_rejected(self):
+        from repro.qxmd import SCFConfig
+
+        with pytest.raises(ValueError):
+            SCFConfig(mixer="anderson")

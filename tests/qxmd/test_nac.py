@@ -1,0 +1,75 @@
+"""Nonadiabatic coupling tests."""
+
+import numpy as np
+import pytest
+
+from repro.lfd import WaveFunctionSet
+from repro.qxmd import align_phases, nonadiabatic_couplings
+
+
+class TestPhaseAlignment:
+    def test_alignment_fixes_sign_flip(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 3, rng)
+        b = a.copy()
+        b.psi[..., 1] *= -1.0  # eigensolver gauge flip
+        align_phases(a, b)
+        assert a.max_abs_diff(b) < 1e-12
+
+    def test_alignment_fixes_complex_phase(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 2, rng)
+        b = a.copy()
+        b.psi[..., 0] *= np.exp(1j * 1.234)
+        align_phases(a, b)
+        assert a.max_abs_diff(b) < 1e-12
+
+    def test_mismatched_norb(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 2, rng)
+        b = WaveFunctionSet.random(grid8, 3, rng)
+        with pytest.raises(ValueError):
+            align_phases(a, b)
+
+
+class TestCouplings:
+    def test_anti_hermitian(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 4, rng)
+        b = a.copy()
+        b.psi += 0.05 * (
+            rng.standard_normal(b.psi.shape) + 1j * rng.standard_normal(b.psi.shape)
+        )
+        b.orthonormalize()
+        d = nonadiabatic_couplings(a, b, dt=0.5)
+        assert np.abs(d + d.conj().T).max() < 1e-12
+
+    def test_identical_sets_zero_coupling(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 3, rng)
+        d = nonadiabatic_couplings(a, a.copy(), dt=1.0)
+        assert np.abs(d).max() < 1e-12
+
+    def test_scales_inversely_with_dt(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 3, rng)
+        b = a.copy()
+        b.psi += 0.02 * rng.standard_normal(b.psi.shape)
+        b.orthonormalize()
+        d1 = nonadiabatic_couplings(a, b.copy(), dt=1.0)
+        d2 = nonadiabatic_couplings(a, b.copy(), dt=2.0)
+        assert np.allclose(d1, 2.0 * d2, atol=1e-12)
+
+    def test_known_rotation(self, grid8, rng):
+        """A small rotation between orbitals 0 and 1 gives d_01 ~ angle/dt."""
+        a = WaveFunctionSet.random(grid8, 2, rng)
+        theta = 0.01
+        b = a.copy()
+        m = a.as_matrix()
+        rot = m @ np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        b.psi[...] = rot.reshape(b.psi.shape)
+        dt = 0.5
+        d = nonadiabatic_couplings(a, b, dt=dt, align=False)
+        # Column 0 rotates toward phi_1: <phi_0|phi_1'> = -sin(theta).
+        assert np.real(d[0, 1]) == pytest.approx(-theta / dt, rel=1e-3)
+
+    def test_bad_dt(self, grid8, rng):
+        a = WaveFunctionSet.random(grid8, 2, rng)
+        with pytest.raises(ValueError):
+            nonadiabatic_couplings(a, a.copy(), dt=0.0)

@@ -1,0 +1,83 @@
+"""Self-consistent-field solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.qxmd import SCFConfig, scf_solve
+from repro.qxmd.scf import default_occupations
+
+
+class TestOccupations:
+    def test_aufbau(self):
+        f = default_occupations(5.0, 4)
+        assert list(f) == [2.0, 2.0, 1.0, 0.0]
+
+    def test_overfull_raises(self):
+        with pytest.raises(ValueError):
+            default_occupations(10.0, 3)
+
+    def test_zero_electrons(self):
+        assert np.all(default_occupations(0.0, 3) == 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            default_occupations(-2.0, 3)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SCFConfig(nscf=0)
+        with pytest.raises(ValueError):
+            SCFConfig(mixing=0.0)
+        with pytest.raises(ValueError):
+            SCFConfig(mixing=1.5)
+
+
+class TestSCF:
+    @pytest.fixture(scope="class")
+    def h2_result(self):
+        from repro.grids import Grid3D
+        from repro.pseudo import get_species
+
+        g = Grid3D.cubic(16, 0.6)
+        L = g.lengths[0]
+        pos = np.array([[L / 2 - 0.7, L / 2, L / 2], [L / 2 + 0.7, L / 2, L / 2]])
+        sp = [get_species("H"), get_species("H")]
+        return scf_solve(g, pos, sp, norb=4, config=SCFConfig(nscf=4, ncg=4))
+
+    def test_energy_history_stabilizes(self, h2_result):
+        h = h2_result.history
+        assert len(h) == 4
+        # Later iterations change the energy much less than early ones.
+        assert abs(h[-1] - h[-2]) < 0.2 * abs(h[1] - h[0]) + 1e-8
+
+    def test_bound_ground_state(self, h2_result):
+        assert h2_result.eigenvalues[0] < 0.0
+
+    def test_occupations_sum_to_electrons(self, h2_result):
+        assert h2_result.occupations.sum() == pytest.approx(2.0)
+
+    def test_density_integrates_to_electrons(self, h2_result):
+        g = h2_result.wf.grid
+        assert h2_result.rho.sum() * g.dvol == pytest.approx(2.0, rel=1e-6)
+
+    def test_gap_positive(self, h2_result):
+        assert h2_result.gap > 0.0
+        assert h2_result.homo_index == 0
+        assert h2_result.lumo_index == 1
+
+    def test_energy_breakdown_signs(self, h2_result):
+        e = h2_result.energies
+        assert e["kinetic"] > 0.0
+        assert e["external"] < 0.0  # electron-ion attraction
+        assert e["hartree"] > 0.0
+        assert e["xc"] < 0.0
+        assert e["total"] == pytest.approx(
+            sum(v for k, v in e.items() if k != "total"), rel=1e-12
+        )
+
+    def test_occupation_shape_validation(self, h2_system):
+        grid, pos, sp = h2_system
+        with pytest.raises(ValueError):
+            scf_solve(grid, pos, sp, norb=4, occupations=np.ones(3))

@@ -1,0 +1,155 @@
+"""LSDA functional and spin-polarized SCF tests."""
+
+import numpy as np
+import pytest
+
+from repro.qxmd.xc import lda_exchange_correlation
+from repro.qxmd.xc_spin import lsda_exchange_correlation
+from repro.qxmd.scf_spin import scf_solve_spin, spin_occupations
+from repro.qxmd.scf import SCFConfig
+
+
+class TestLSDAFunctional:
+    def test_unpolarized_limit_matches_lda(self, rng):
+        """zeta = 0: LSDA potentials reduce to the restricted LDA."""
+        rho = np.abs(rng.standard_normal((6, 6, 6))) + 0.01
+        v_up, v_dn, e_spin = lsda_exchange_correlation(rho / 2, rho / 2)
+        v_lda, e_lda = lda_exchange_correlation(rho)
+        assert np.abs(v_up - v_dn).max() < 1e-14
+        assert np.abs(v_up - v_lda).max() < 1e-10
+        assert e_spin == pytest.approx(e_lda, rel=1e-10)
+
+    def test_potentials_are_functional_derivatives(self):
+        """v_sigma = d(rho eps_xc)/d rho_sigma by finite differences."""
+        for ru, rd in ((0.3, 0.1), (0.05, 0.2), (0.4, 0.4), (0.7, 0.01)):
+            up = np.array([[[ru]]])
+            dn = np.array([[[rd]]])
+            v_up, v_dn, _ = lsda_exchange_correlation(up, dn)
+            eps = 1e-6
+            for which, v in (("up", v_up), ("dn", v_dn)):
+                du = eps if which == "up" else 0.0
+                dd = eps if which == "dn" else 0.0
+                _, _, ep = lsda_exchange_correlation(up + du, dn + dd)
+                _, _, em = lsda_exchange_correlation(up - du, dn - dd)
+                num = (ep - em) / (2 * eps)
+                assert v[0, 0, 0] == pytest.approx(num, rel=1e-4), (ru, rd, which)
+
+    def test_polarization_lowers_exchange_energy(self):
+        """At fixed total density, full polarization lowers E_x (the
+        2^(1/3) spin-scaling gain)."""
+        rho = np.full((2, 2, 2), 0.4)
+        _, _, e_unpol = lsda_exchange_correlation(rho / 2, rho / 2)
+        _, _, e_pol = lsda_exchange_correlation(rho, np.zeros_like(rho))
+        assert e_pol < e_unpol
+
+    def test_spin_symmetry(self, rng):
+        """Swapping the channels swaps the potentials."""
+        a = np.abs(rng.standard_normal((4, 4, 4))) + 0.01
+        b = np.abs(rng.standard_normal((4, 4, 4))) + 0.01
+        vu1, vd1, e1 = lsda_exchange_correlation(a, b)
+        vu2, vd2, e2 = lsda_exchange_correlation(b, a)
+        assert np.allclose(vu1, vd2)
+        assert np.allclose(vd1, vu2)
+        assert e1 == pytest.approx(e2)
+
+    def test_vacuum_zero(self):
+        v_up, v_dn, e = lsda_exchange_correlation(
+            np.zeros((2, 2, 2)), np.zeros((2, 2, 2))
+        )
+        assert np.all(v_up == 0.0) and np.all(v_dn == 0.0)
+        assert e == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            lsda_exchange_correlation(np.zeros((2, 2, 2)), np.zeros((3, 3, 3)))
+
+
+class TestSpinOccupations:
+    def test_hydrogen_doublet(self):
+        up, dn = spin_occupations(1.0, 3, magnetization=1.0)
+        assert up.sum() == 1.0 and dn.sum() == 0.0
+
+    def test_closed_shell(self):
+        up, dn = spin_occupations(4.0, 3, magnetization=0.0)
+        assert np.array_equal(up, dn)
+        assert up.sum() == 2.0
+
+    def test_one_electron_per_spin_orbital(self):
+        up, _ = spin_occupations(3.0, 4, magnetization=3.0)
+        assert up.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spin_occupations(1.0, 3, magnetization=3.0)
+        with pytest.raises(ValueError):
+            spin_occupations(10.0, 2, magnetization=0.0)
+
+
+class TestSpinSCF:
+    @pytest.fixture(scope="class")
+    def h_atom(self):
+        from repro.grids import Grid3D
+        from repro.pseudo import get_species
+
+        grid = Grid3D.cubic(14, 0.6)
+        c = grid.lengths[0] / 2
+        pos = np.array([[c, c, c]])
+        return grid, pos, [get_species("H")]
+
+    def test_hydrogen_polarized(self, h_atom):
+        grid, pos, sp = h_atom
+        res = scf_solve_spin(grid, pos, sp, norb=2, magnetization=1.0,
+                             config=SCFConfig(nscf=3, ncg=4))
+        assert res.total_magnetization(grid) == pytest.approx(1.0, rel=1e-6)
+        # The occupied up level is bound.
+        assert res.eigenvalues_up[0] < 0.0
+        # Band energy settles.
+        h = res.band_energy_history
+        assert abs(h[-1] - h[-2]) < 0.5 * abs(h[1] - h[0]) + 1e-8
+
+    def test_spin_channels_differ_for_open_shell(self, h_atom):
+        grid, pos, sp = h_atom
+        res = scf_solve_spin(grid, pos, sp, norb=2, magnetization=1.0,
+                             config=SCFConfig(nscf=3, ncg=4))
+        # The occupied (up) channel sees a deeper XC potential.
+        assert res.eigenvalues_up[0] < res.eigenvalues_dn[0]
+
+    def test_charge_accounting(self, h_atom):
+        grid, pos, sp = h_atom
+        res = scf_solve_spin(grid, pos, sp, norb=2, magnetization=1.0,
+                             config=SCFConfig(nscf=2, ncg=3))
+        n = res.rho.sum() * grid.dvol
+        assert n == pytest.approx(1.0, rel=1e-9)
+
+
+class TestSpinDynamics:
+    def test_spin_resolved_propagation_conserves_magnetization(self):
+        """Propagating up/down sets under their spin-resolved potentials
+        (spin-diagonal dynamics) conserves the net magnetization."""
+        from repro.grids import Grid3D
+        from repro.lfd import PropagatorConfig, QDPropagator
+        from repro.pseudo import get_species
+
+        grid = Grid3D.cubic(12, 0.6)
+        c = grid.lengths[0] / 2
+        pos = np.array([[c, c, c]])
+        res = scf_solve_spin(grid, pos, [get_species("H")], norb=2,
+                             magnetization=1.0,
+                             config=SCFConfig(nscf=2, ncg=3))
+        m0 = res.total_magnetization(grid)
+        prop_up = QDPropagator(res.wf_up, res.vloc_up,
+                               PropagatorConfig(dt=0.05),
+                               a_of_t=lambda t: (2.0 * np.sin(0.4 * t), 0, 0))
+        prop_dn = QDPropagator(res.wf_dn, res.vloc_dn,
+                               PropagatorConfig(dt=0.05),
+                               a_of_t=lambda t: (2.0 * np.sin(0.4 * t), 0, 0))
+        for _ in range(40):
+            prop_up.step()
+            prop_dn.step()
+        from repro.lfd.observables import density
+
+        m1 = float(
+            (density(res.wf_up, res.occ_up)
+             - density(res.wf_dn, res.occ_dn)).sum()
+        ) * grid.dvol
+        assert m1 == pytest.approx(m0, rel=1e-9)

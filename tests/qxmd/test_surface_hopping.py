@@ -1,0 +1,222 @@
+"""Fewest-switches surface hopping tests."""
+
+import numpy as np
+import pytest
+
+from repro.qxmd import FSSH, SurfaceHoppingState
+from repro.qxmd.surface_hopping import occupations_from_states
+
+
+def antihermitian_nac(rng, n, scale=0.1):
+    m = scale * (rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)))
+    return 0.5 * (m - m.conj().T)
+
+
+class TestState:
+    def test_on_state(self):
+        s = SurfaceHoppingState.on_state(4, 2)
+        assert s.active == 2
+        assert s.populations[2] == pytest.approx(1.0)
+
+    def test_normalization_enforced(self):
+        s = SurfaceHoppingState(amplitudes=np.array([3.0, 4.0]), active=0)
+        assert np.linalg.norm(s.amplitudes) == pytest.approx(1.0)
+
+    def test_zero_amplitudes_rejected(self):
+        with pytest.raises(ValueError):
+            SurfaceHoppingState(amplitudes=np.zeros(3), active=0)
+
+    def test_active_range(self):
+        with pytest.raises(ValueError):
+            SurfaceHoppingState(amplitudes=np.ones(3), active=3)
+
+
+class TestAmplitudePropagation:
+    def test_norm_preserved(self, rng):
+        fssh = FSSH(rng)
+        state = SurfaceHoppingState.on_state(4, 1)
+        e = np.array([0.0, 0.1, 0.25, 0.4])
+        nac = antihermitian_nac(rng, 4)
+        fssh.propagate_amplitudes(state, e, nac, dt=0.5)
+        assert np.linalg.norm(state.amplitudes) == pytest.approx(1.0)
+
+    def test_no_coupling_populations_static(self, rng):
+        fssh = FSSH(rng)
+        state = SurfaceHoppingState(
+            amplitudes=np.array([0.6, 0.8], dtype=complex), active=0
+        )
+        e = np.array([0.0, 0.3])
+        fssh.propagate_amplitudes(state, e, np.zeros((2, 2)), dt=1.0)
+        assert state.populations == pytest.approx([0.36, 0.64])
+
+    def test_coupling_transfers_population(self, rng):
+        fssh = FSSH(rng, substeps=50)
+        state = SurfaceHoppingState.on_state(2, 0)
+        e = np.array([0.0, 0.0])  # degenerate: pure Rabi transfer
+        nac = np.array([[0.0, 0.2], [-0.2, 0.0]], dtype=complex)
+        fssh.propagate_amplitudes(state, e, nac, dt=2.0)
+        # Rabi angle 0.2 * 2 = 0.4 rad -> P1 = sin^2(0.4).
+        assert state.populations[1] == pytest.approx(np.sin(0.4) ** 2, rel=1e-3)
+
+    def test_dimension_mismatch(self, rng):
+        fssh = FSSH(rng)
+        state = SurfaceHoppingState.on_state(3, 0)
+        with pytest.raises(ValueError):
+            fssh.propagate_amplitudes(state, np.zeros(2), np.zeros((2, 2)), 0.1)
+
+
+class TestHops:
+    def test_probabilities_in_range(self, rng):
+        fssh = FSSH(rng)
+        state = SurfaceHoppingState(
+            amplitudes=(rng.standard_normal(4) + 1j * rng.standard_normal(4)),
+            active=1,
+        )
+        g = fssh.hop_probabilities(state, antihermitian_nac(rng, 4, 1.0), dt=0.3)
+        assert np.all(g >= 0.0) and np.all(g <= 1.0)
+        assert g[1] == 0.0  # no self-hop
+
+    def test_frustrated_hop_rejected(self, rng):
+        """An upward hop with insufficient kinetic energy must not happen."""
+        fssh = FSSH(np.random.default_rng(0))
+        state = SurfaceHoppingState(
+            amplitudes=np.array([1.0, 1.0], dtype=complex), active=0
+        )
+        e = np.array([0.0, 10.0])  # huge gap
+        # Orientation chosen so g_{0 -> 1} saturates at 1 (certain attempt).
+        nac = np.array([[0.0, -5.0], [5.0, 0.0]], dtype=complex)
+        hopped, scale = fssh.attempt_hop(state, e, nac, dt=1.0, kinetic_energy=0.01)
+        assert not hopped
+        assert scale == 1.0
+        assert state.active == 0
+        assert any(not ev.accepted for ev in fssh.events)
+
+    def test_downward_hop_speeds_nuclei(self, rng):
+        """A downhill hop returns a rescale factor > 1 (energy to nuclei)."""
+        found = False
+        for seed in range(40):
+            fssh = FSSH(np.random.default_rng(seed))
+            state = SurfaceHoppingState(
+                amplitudes=np.array([1.0, 1.0], dtype=complex), active=1
+            )
+            e = np.array([-0.5, 0.0])
+            nac = np.array([[0.0, 2.0], [-2.0, 0.0]], dtype=complex)
+            hopped, scale = fssh.attempt_hop(
+                state, e, nac, dt=1.0, kinetic_energy=1.0
+            )
+            if hopped:
+                assert state.active == 0
+                assert scale > 1.0
+                found = True
+                break
+        assert found, "no downward hop observed over 40 seeds"
+
+    def test_hop_statistics_match_probability(self):
+        """Monte-Carlo hop rate approximates g over many seeds."""
+        e = np.array([0.0, 0.0])
+        nac = np.array([[0.0, 0.3], [-0.3, 0.0]], dtype=complex)
+        hops = 0
+        trials = 400
+        for seed in range(trials):
+            fssh = FSSH(np.random.default_rng(seed))
+            state = SurfaceHoppingState(
+                amplitudes=np.array([1.0, 0.3], dtype=complex), active=0
+            )
+            g = fssh.hop_probabilities(state, nac, dt=0.5)
+            hopped, _ = fssh.attempt_hop(state, e, nac, dt=0.5, kinetic_energy=10.0)
+            hops += int(hopped)
+        rate = hops / trials
+        assert rate == pytest.approx(float(g.sum()), abs=0.07)
+
+
+class TestOccupationLayering:
+    def test_ground_carrier_no_change(self):
+        base = np.array([2.0, 2.0, 0.0, 0.0])
+        carriers = [SurfaceHoppingState.on_state(4, 1)]  # HOMO = index 1
+        f = occupations_from_states(carriers, 4, base)
+        assert np.allclose(f, base)
+
+    def test_excited_carrier_moves_electron(self):
+        base = np.array([2.0, 2.0, 0.0, 0.0])
+        carriers = [SurfaceHoppingState.on_state(4, 2)]
+        f = occupations_from_states(carriers, 4, base)
+        assert np.allclose(f, [2.0, 1.0, 1.0, 0.0])
+
+    def test_total_conserved(self):
+        base = np.array([2.0, 2.0, 0.0, 0.0])
+        carriers = [
+            SurfaceHoppingState.on_state(4, 2),
+            SurfaceHoppingState.on_state(4, 3),
+        ]
+        f = occupations_from_states(carriers, 4, base)
+        assert f.sum() == pytest.approx(base.sum())
+
+    def test_out_of_range_carrier(self):
+        with pytest.raises(ValueError):
+            occupations_from_states(
+                [SurfaceHoppingState.on_state(5, 4)], 4, np.array([2.0, 0, 0, 0])
+            )
+
+
+class TestDecoherence:
+    def test_off_by_default(self, rng):
+        fssh = FSSH(rng)
+        state = SurfaceHoppingState(
+            amplitudes=np.array([0.6, 0.8], dtype=complex), active=0
+        )
+        before = state.amplitudes.copy()
+        fssh.apply_decoherence(state, np.array([0.0, 0.5]), dt=1.0,
+                               kinetic_energy=0.1)
+        assert np.array_equal(state.amplitudes, before)
+
+    def test_collapses_toward_active(self):
+        fssh = FSSH(np.random.default_rng(0), decoherence_c=0.1)
+        state = SurfaceHoppingState(
+            amplitudes=np.array([0.6, 0.8], dtype=complex), active=0
+        )
+        p_other_before = state.populations[1]
+        for _ in range(50):
+            fssh.apply_decoherence(state, np.array([0.0, 0.5]), dt=1.0,
+                                   kinetic_energy=0.1)
+        assert state.populations[1] < 0.05 * p_other_before
+        assert state.populations[0] > 0.95
+
+    def test_norm_preserved(self):
+        fssh = FSSH(np.random.default_rng(0), decoherence_c=0.1)
+        state = SurfaceHoppingState(
+            amplitudes=np.array([0.5, 0.5, 0.5, 0.5], dtype=complex), active=2
+        )
+        fssh.apply_decoherence(
+            state, np.array([0.0, 0.2, 0.4, 0.9]), dt=0.5, kinetic_energy=0.2
+        )
+        assert np.linalg.norm(state.amplitudes) == pytest.approx(1.0)
+
+    def test_degenerate_states_untouched(self):
+        """States degenerate with the active one never decohere."""
+        fssh = FSSH(np.random.default_rng(0), decoherence_c=0.1)
+        state = SurfaceHoppingState(
+            amplitudes=np.array([0.6, 0.8], dtype=complex), active=0
+        )
+        pops = state.populations.copy()
+        fssh.apply_decoherence(state, np.array([0.3, 0.3]), dt=1.0,
+                               kinetic_energy=0.1)
+        assert np.allclose(state.populations, pops)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            FSSH(rng, decoherence_c=-0.1)
+
+    def test_slower_nuclei_decohere_faster(self):
+        """Smaller kinetic energy -> shorter coherence lifetime factor...
+        actually the GP factor (1 + C/Ekin) grows at small Ekin, meaning
+        a LONGER lifetime; verify the implemented direction."""
+        def run(ekin):
+            fssh = FSSH(np.random.default_rng(0), decoherence_c=0.1)
+            state = SurfaceHoppingState(
+                amplitudes=np.array([0.6, 0.8], dtype=complex), active=0
+            )
+            fssh.apply_decoherence(state, np.array([0.0, 0.5]), dt=1.0,
+                                   kinetic_energy=ekin)
+            return state.populations[1]
+
+        assert run(10.0) < run(0.01)  # fast nuclei decohere more per step

@@ -1,0 +1,73 @@
+"""LDA exchange-correlation tests (Perdew-Zunger)."""
+
+import numpy as np
+import pytest
+
+from repro.qxmd import lda_exchange_correlation, xc_energy_density
+
+
+class TestExchange:
+    def test_zero_density(self):
+        v, e = lda_exchange_correlation(np.zeros((4, 4, 4)))
+        assert np.all(v == 0.0)
+        assert e == 0.0
+
+    def test_negative_density_clamped(self):
+        v, _ = lda_exchange_correlation(np.full((2, 2, 2), -1.0))
+        assert np.all(np.isfinite(v))
+
+    def test_potential_negative(self):
+        rho = np.full((2, 2, 2), 0.5)
+        v, _ = lda_exchange_correlation(rho)
+        assert np.all(v < 0.0)
+
+    def test_scaling_rho_to_third(self):
+        """Slater exchange scales as rho^(1/3); check it dominates at
+        high density."""
+        v1, _ = lda_exchange_correlation(np.full((1, 1, 1), 1000.0))
+        v2, _ = lda_exchange_correlation(np.full((1, 1, 1), 8000.0))
+        assert v2[0, 0, 0] / v1[0, 0, 0] == pytest.approx(2.0, rel=0.02)
+
+
+class TestCorrelation:
+    def test_known_value_rs1(self):
+        """At rs = 1 the PZ correlation energy is about -0.060 Ha."""
+        rho = 3.0 / (4.0 * np.pi)  # rs = 1
+        eps = xc_energy_density(np.full((1, 1, 1), rho))
+        ex = -(3.0 / 4.0) * (3.0 / np.pi) ** (1.0 / 3.0) * rho ** (1.0 / 3.0)
+        ec = eps[0, 0, 0] - ex
+        assert ec == pytest.approx(-0.060, abs=0.005)
+
+    def test_branch_continuity_at_rs1(self):
+        """The PZ parametrization is continuous across rs = 1."""
+        rho_hi = 3.0 / (4.0 * np.pi * 0.999 ** 3)
+        rho_lo = 3.0 / (4.0 * np.pi * 1.001 ** 3)
+        e_hi = xc_energy_density(np.full((1, 1, 1), rho_hi))[0, 0, 0]
+        e_lo = xc_energy_density(np.full((1, 1, 1), rho_lo))[0, 0, 0]
+        assert e_hi == pytest.approx(e_lo, rel=5e-3)
+
+    def test_energy_integrand_negative(self, rng):
+        rho = np.abs(rng.standard_normal((4, 4, 4)))
+        _, e = lda_exchange_correlation(rho)
+        assert e < 0.0
+
+
+class TestVariationalConsistency:
+    def test_potential_is_functional_derivative(self):
+        """v_xc = d(rho eps_xc)/d rho, checked by finite differences."""
+        rho0 = 0.37
+        eps = 1e-6
+        e_plus = float(xc_energy_density(np.array([[[rho0 + eps]]]))[0, 0, 0]) * (rho0 + eps)
+        e_minus = float(xc_energy_density(np.array([[[rho0 - eps]]]))[0, 0, 0]) * (rho0 - eps)
+        v_num = (e_plus - e_minus) / (2 * eps)
+        v, _ = lda_exchange_correlation(np.array([[[rho0]]]))
+        assert v[0, 0, 0] == pytest.approx(v_num, rel=1e-4)
+
+    @pytest.mark.parametrize("rho0", [1e-3, 0.05, 0.8, 15.0])
+    def test_derivative_across_densities(self, rho0):
+        eps = rho0 * 1e-5
+        e_plus = float(xc_energy_density(np.array([[[rho0 + eps]]]))[0, 0, 0]) * (rho0 + eps)
+        e_minus = float(xc_energy_density(np.array([[[rho0 - eps]]]))[0, 0, 0]) * (rho0 - eps)
+        v_num = (e_plus - e_minus) / (2 * eps)
+        v, _ = lda_exchange_correlation(np.array([[[rho0]]]))
+        assert v[0, 0, 0] == pytest.approx(v_num, rel=1e-3)

@@ -1,0 +1,59 @@
+"""Unit-conversion sanity checks."""
+
+import math
+
+import pytest
+
+from repro import constants as C
+
+
+def test_speed_of_light_is_inverse_fine_structure():
+    assert C.C_LIGHT == pytest.approx(1.0 / C.ALPHA_FS)
+    assert C.C_LIGHT == pytest.approx(137.036, rel=1e-4)
+
+
+def test_energy_roundtrip():
+    assert C.hartree_to_ev(C.ev_to_hartree(13.6)) == pytest.approx(13.6)
+    assert C.ev_to_hartree(C.HARTREE_EV) == pytest.approx(1.0)
+
+
+def test_time_roundtrip():
+    assert C.aut_to_fs(C.fs_to_aut(2.5)) == pytest.approx(2.5)
+    # One a.u. of time is about 24.2 attoseconds.
+    assert C.AUT_AS == pytest.approx(24.19, rel=1e-3)
+
+
+def test_length_roundtrip():
+    assert C.bohr_to_angstrom(C.angstrom_to_bohr(3.97)) == pytest.approx(3.97)
+    assert C.angstrom_to_bohr(C.BOHR_ANGSTROM) == pytest.approx(1.0)
+
+
+def test_atomic_masses_positive_and_ordered():
+    assert C.ATOMIC_MASS["O"] < C.ATOMIC_MASS["Ti"] < C.ATOMIC_MASS["Pb"]
+    assert all(m > 1000.0 for m in C.ATOMIC_MASS.values())
+
+
+def test_intensity_to_field_atomic_unit():
+    # The atomic unit of intensity corresponds to E0 = 1 a.u.
+    assert C.laser_intensity_to_field(3.50944758e16) == pytest.approx(1.0)
+    assert C.laser_intensity_to_field(0.0) == 0.0
+    with pytest.raises(ValueError):
+        C.laser_intensity_to_field(-1.0)
+
+
+def test_wavelength_to_omega_800nm():
+    # 800 nm Ti:sapphire ~ 1.55 eV.
+    omega = C.wavelength_nm_to_omega(800.0)
+    assert C.hartree_to_ev(omega) == pytest.approx(1.55, rel=1e-2)
+    with pytest.raises(ValueError):
+        C.wavelength_nm_to_omega(0.0)
+
+
+def test_pbtio3_valences_neutral_cell():
+    # Pb + Ti + 3 O valences = 4 + 4 + 18 = 26 electrons per formula unit.
+    n = (
+        C.VALENCE_CHARGE["Pb"]
+        + C.VALENCE_CHARGE["Ti"]
+        + 3 * C.VALENCE_CHARGE["O"]
+    )
+    assert n == pytest.approx(26.0)

@@ -1,0 +1,87 @@
+"""Trajectory/field I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BOHR_ANGSTROM
+from repro.io import XYZTrajectoryWriter, read_xyz_trajectory, write_field_profile
+
+
+class TestXYZRoundtrip:
+    def test_write_read_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "traj.xyz"
+        symbols = ["Pb", "Ti", "O"]
+        frames_in = [rng.uniform(0, 10, size=(3, 3)) for _ in range(4)]
+        with XYZTrajectoryWriter(path, symbols, box_bohr=(10, 10, 10)) as w:
+            for i, pos in enumerate(frames_in):
+                w.write_frame(pos, comment=f"step={i}")
+            assert w.frames_written == 4
+        frames_out = read_xyz_trajectory(path)
+        assert len(frames_out) == 4
+        for (syms, pos, comment), ref in zip(frames_out, frames_in):
+            assert syms == symbols
+            assert np.allclose(pos, ref, atol=1e-7)
+        assert "step=2" in frames_out[2][2]
+        assert "Lattice=" in frames_out[0][2]
+
+    def test_units_are_angstrom_on_disk(self, tmp_path):
+        path = tmp_path / "t.xyz"
+        with XYZTrajectoryWriter(path, ["H"]) as w:
+            w.write_frame(np.array([[1.0, 0.0, 0.0]]))
+        line = path.read_text().splitlines()[2]
+        assert float(line.split()[1]) == pytest.approx(BOHR_ANGSTROM)
+
+    def test_shape_validation(self, tmp_path):
+        with XYZTrajectoryWriter(tmp_path / "t.xyz", ["H", "H"]) as w:
+            with pytest.raises(ValueError):
+                w.write_frame(np.zeros((3, 3)))
+
+    def test_write_without_open(self, tmp_path):
+        w = XYZTrajectoryWriter(tmp_path / "t.xyz", ["H"])
+        with pytest.raises(RuntimeError):
+            w.write_frame(np.zeros((1, 3)))
+
+    def test_empty_symbols(self, tmp_path):
+        with pytest.raises(ValueError):
+            XYZTrajectoryWriter(tmp_path / "t.xyz", [])
+
+    def test_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.xyz"
+        bad.write_text("notanumber\ncomment\n")
+        with pytest.raises(ValueError):
+            read_xyz_trajectory(bad)
+
+
+class TestFieldProfile:
+    def test_write_and_parse(self, tmp_path):
+        z = np.linspace(0, 10, 11)
+        a = np.sin(z)
+        path = write_field_profile(tmp_path / "a.dat", z, a, header="A(z)")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# A(z)"
+        parsed = np.loadtxt(path)
+        assert np.allclose(parsed[:, 0], z)
+        assert np.allclose(parsed[:, 1], a)
+
+    def test_shape_check(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_field_profile(tmp_path / "x.dat", np.zeros(3), np.zeros(4))
+
+
+class TestSimulationIntegration:
+    def test_md_trajectory_export(self, tmp_path):
+        """A DC-MESH run streams frames that read back consistently."""
+        from tests.core.test_mesh import make_sim
+
+        sim = make_sim(seed=1)
+        symbols = [sp.symbol for sp in sim.species]
+        path = tmp_path / "run.xyz"
+        with XYZTrajectoryWriter(path, symbols,
+                                 box_bohr=sim.grid.lengths) as w:
+            w.write_frame(sim.md_state.positions, comment="t=0")
+            for rec in sim.run(2):
+                w.write_frame(sim.md_state.positions,
+                              comment=f"t={rec.time:.3f}")
+        frames = read_xyz_trajectory(path)
+        assert len(frames) == 3
+        assert np.allclose(frames[-1][1], sim.md_state.positions, atol=1e-7)
