@@ -48,6 +48,14 @@ from repro.lfd import (
 )
 from repro.device import VirtualGPU
 from repro.parallel import SimComm, PolarisModel
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    GuardConfig,
+    HealthGuard,
+    RunSupervisor,
+    SupervisorConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +86,11 @@ __all__ = [
     "VirtualGPU",
     "SimComm",
     "PolarisModel",
+    "FaultPlan",
+    "FaultSpec",
+    "GuardConfig",
+    "HealthGuard",
+    "RunSupervisor",
+    "SupervisorConfig",
     "__version__",
 ]

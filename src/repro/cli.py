@@ -76,14 +76,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"restarted from {args.restart} at step {sim.step_count}")
     if args.excite:
         sim.excite_carrier(0)
+
+    supervisor = None
+    if args.checkpoint_every > 0:
+        from repro.resilience.supervisor import RunSupervisor, SupervisorConfig
+
+        supervisor = RunSupervisor(
+            sim,
+            args.checkpoint_dir,
+            SupervisorConfig(
+                checkpoint_every=args.checkpoint_every,
+                max_retries=args.max_retries,
+                log_path=args.resilience_log,
+            ),
+        )
+        print(
+            f"supervised run: checkpoint every {args.checkpoint_every} "
+            f"step(s) -> {args.checkpoint_dir}, max {args.max_retries} "
+            f"retries/segment"
+        )
+
+    records = supervisor.run(args.steps) if supervisor else sim.run(args.steps)
     print("step    t[fs]     T[K]   E_band[Ha]   n_exc  hops")
-    for rec in sim.run(args.steps):
+    for rec in records:
         print(
             f"{rec.step:4d}  {aut_to_fs(rec.time):8.4f}  {rec.temperature:7.1f}"
             f"  {rec.band_energy:11.4f}  {rec.excited_population:6.2f}"
             f"  {rec.hops:4d}"
         )
     sim.ledger.assert_no_psi_traffic()
+    if supervisor is not None:
+        faults = supervisor.log.count("fault")
+        print(
+            f"resilience: {faults} fault(s), "
+            f"{supervisor.total_retries} retry(ies), "
+            f"{supervisor.log.count('checkpoint')} checkpoint(s)"
+        )
+        if args.resilience_log:
+            print(f"resilience events logged to {args.resilience_log}")
     if args.checkpoint:
         path = save_checkpoint(sim, args.checkpoint)
         print(f"checkpoint written to {path}")
@@ -175,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=11)
     run.add_argument("--checkpoint", help="write a checkpoint after the run")
     run.add_argument("--restart", help="restore this checkpoint first")
+    run.add_argument("--checkpoint-every", type=int, default=0,
+                     help="supervise the run, checkpointing every N MD "
+                          "steps (0 = unsupervised)")
+    run.add_argument("--max-retries", type=int, default=3,
+                     help="max replays of a failed segment before aborting")
+    run.add_argument("--checkpoint-dir", default="checkpoints",
+                     help="directory for rotating supervised checkpoints")
+    run.add_argument("--resilience-log",
+                     help="write supervisor events to this JSON-lines file")
     run.set_defaults(func=_cmd_run)
 
     scaling = sub.add_parser("scaling", help="Figs. 2-3 scaling tables")

@@ -72,6 +72,10 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
     """
     path = pathlib.Path(path)
     with np.load(path, allow_pickle=False) as data:
+        # ---- phase 1: validate EVERYTHING before touching ``sim``. ----
+        # A mid-load failure must not leave the simulation half-restored,
+        # so every array is shape-checked (and the RNG state parsed)
+        # first; only then is any state applied.
         meta = json.loads(bytes(data["meta"].tobytes()).decode())
         if meta["version"] != CHECKPOINT_VERSION:
             raise ValueError(
@@ -85,7 +89,53 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
             )
         if data["positions"].shape != sim.md_state.positions.shape:
             raise ValueError("atom count mismatch with the checkpoint")
+        for name in ("velocities", "masses"):
+            want = getattr(sim.md_state, name).shape
+            if data[name].shape != want:
+                raise ValueError(
+                    f"{name} shape mismatch {data[name].shape} vs {want}"
+                )
+        if meta["has_prev_forces"]:
+            if "prev_forces" not in data.files:
+                raise ValueError("checkpoint is missing prev_forces")
+            if data["prev_forces"].shape != sim.md_state.positions.shape:
+                raise ValueError("prev_forces shape mismatch")
+        for st in sim.dc.states:
+            a = st.domain.alpha
+            for key in (f"psi_{a}", f"occ_{a}", f"eig_{a}", f"vloc_{a}"):
+                if key not in data.files:
+                    raise ValueError(f"checkpoint is missing array {key!r}")
+            if data[f"psi_{a}"].shape != st.wf.psi.shape:
+                raise ValueError(
+                    f"domain {a}: orbital shape mismatch "
+                    f"{data[f'psi_{a}'].shape} vs {st.wf.psi.shape}"
+                )
+            if data[f"occ_{a}"].shape != (st.wf.norb,):
+                raise ValueError(f"domain {a}: occupation shape mismatch")
+            if data[f"eig_{a}"].shape != (st.wf.norb,):
+                raise ValueError(f"domain {a}: eigenvalue shape mismatch")
+            if data[f"vloc_{a}"].shape != st.domain.local_grid.shape:
+                raise ValueError(f"domain {a}: potential shape mismatch")
+        for alpha_str, actives in meta["carriers"].items():
+            alpha = int(alpha_str)
+            if not (0 <= alpha < len(sim.dc.states)):
+                raise ValueError(f"carrier domain {alpha} out of range")
+            norb = sim.dc.states[alpha].wf.norb
+            for i, active in enumerate(actives):
+                key = f"carrier_{alpha}_{i}"
+                if key not in data.files:
+                    raise ValueError(f"checkpoint is missing array {key!r}")
+                if data[key].shape != (norb,):
+                    raise ValueError(
+                        f"carrier {alpha}/{i}: amplitude shape mismatch"
+                    )
+                if not (0 <= int(active) < norb):
+                    raise ValueError(
+                        f"carrier {alpha}/{i}: active state out of range"
+                    )
+        rng_state = json.loads(bytes(data["rng_state"].tobytes()).decode())
 
+        # ---- phase 2: apply (cannot fail on shape grounds anymore). ----
         sim.md_state.positions = data["positions"].copy()
         sim.md_state.velocities = data["velocities"].copy()
         sim.md_state.masses = data["masses"].copy()
@@ -96,13 +146,7 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
         )
         for st in sim.dc.states:
             a = st.domain.alpha
-            psi = data[f"psi_{a}"]
-            if psi.shape != st.wf.psi.shape:
-                raise ValueError(
-                    f"domain {a}: orbital shape mismatch "
-                    f"{psi.shape} vs {st.wf.psi.shape}"
-                )
-            st.wf.psi[...] = psi
+            st.wf.psi[...] = data[f"psi_{a}"]
             st.occupations = data[f"occ_{a}"].copy()
             st.eigenvalues = data[f"eig_{a}"].copy()
             st.vloc = data[f"vloc_{a}"].copy()
@@ -116,5 +160,4 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
                     SurfaceHoppingState(amplitudes=amps, active=int(active))
                 )
             sim.carriers[alpha] = carriers
-        rng_state = json.loads(bytes(data["rng_state"].tobytes()).decode())
         sim.rng.bit_generator.state = rng_state

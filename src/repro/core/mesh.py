@@ -66,6 +66,15 @@ class DCMESHConfig:
     def __post_init__(self) -> None:
         if self.nscf < 1 or self.ncg < 0 or self.norb_extra < 1:
             raise ValueError("nscf >= 1, ncg >= 0, norb_extra >= 1 required")
+        if not (0.0 < self.mixing <= 1.0):
+            raise ValueError("mixing must be in (0, 1]")
+        from repro.lfd.kin_prop import KIN_PROP_VARIANTS
+
+        if self.kin_variant not in KIN_PROP_VARIANTS:
+            raise ValueError(
+                f"unknown kin_variant {self.kin_variant!r}; "
+                f"options: {sorted(KIN_PROP_VARIANTS)}"
+            )
 
 
 @dataclass
@@ -138,6 +147,11 @@ class DCMESHSimulation:
         self.step_count = 0
         self.history: List[MDStepRecord] = []
         self._prev_forces: Optional[np.ndarray] = None
+        # Optional numerical health guard (repro.resilience.guards).
+        # Guards only read state, so a sim with no guard installed is
+        # bit-identical to one running under a RunSupervisor that never
+        # trips a check.
+        self.health_guard = None
 
         # Initial electronic structure.
         self.dc: DCResult = self._solve_qxmd(warm=None)
@@ -231,6 +245,7 @@ class DCMESHSimulation:
                 PropagatorConfig(dt=ts.dt_qd, kin_variant=self.config.kin_variant),
                 corrector=corrector,
                 a_of_t=self._domain_a_of_t(st.domain.alpha),
+                guard=self.health_guard,
             )
             prop.run(ts.n_qd)
             nelec = float(st.occupations.sum())
@@ -242,6 +257,15 @@ class DCMESHSimulation:
                 total = float(st.occupations.sum())
                 if total > 0.0:
                     st.occupations *= nelec / total
+            if self.device is not None:
+                # The per-step handshake stages vloc/occupations through a
+                # transient device buffer (enter data / exit data around the
+                # LFD call); modeling the allocation keeps the allocator --
+                # and its OOM path -- on the per-MD-step hot path.
+                staging = self.device.array(
+                    st.occupations, pinned=True, tag="handshake_staging"
+                )
+                staging.free()
             rec = self.ledger.record_handshake(
                 md_step=self.step_count,
                 vloc_bytes=st.vloc.nbytes,
@@ -364,6 +388,10 @@ class DCMESHSimulation:
             handshake_bytes=handshake,
             vector_potential=np.asarray(a_now),
         )
+        if self.health_guard is not None:
+            # May raise a typed NumericalHealthError *before* the record
+            # is committed; the supervisor then replays from a checkpoint.
+            self.health_guard.check_md_step(self, record)
         self.history.append(record)
         return record
 

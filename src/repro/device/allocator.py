@@ -20,6 +20,7 @@ import numpy as np
 from repro.device.clock import SimClock
 from repro.device.spec import DeviceSpec, LinkSpec
 from repro.device.transfer import TransferEngine
+from repro.resilience.faults import fault_point
 
 
 class DeviceMemoryError(RuntimeError):
@@ -43,6 +44,11 @@ class DeviceAllocator:
         """Reserve ``nbytes`` of device memory; returns an allocation id."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if fault_point("device.oom") is not None:
+            raise DeviceMemoryError(
+                f"injected device OOM on {self.spec.name}: requested {nbytes} "
+                f"bytes with {self.bytes_allocated} already allocated"
+            )
         if self.bytes_allocated + nbytes > self.spec.mem_capacity:
             raise DeviceMemoryError(
                 f"device OOM on {self.spec.name}: requested {nbytes} bytes with "

@@ -25,6 +25,7 @@ from repro.lfd.nonlocal_corr import NonlocalCorrector
 from repro.lfd.pot_prop import potential_phase, potential_phase_step
 from repro.lfd.vector_gauge import peierls_phases
 from repro.lfd.wavefunction import WaveFunctionSet
+from repro.resilience.faults import fault_point
 
 
 @dataclass
@@ -78,6 +79,10 @@ class QDPropagator:
     a_of_t:
         Callable t -> 3-vector A(t) at the domain centre; ``None`` means
         no field.
+    guard:
+        Optional :class:`~repro.resilience.guards.HealthGuard`; when set,
+        the orbitals are health-checked every ``guard.config.check_every``
+        sub-steps of :meth:`run` (guards only read state).
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class QDPropagator:
         corrector: Optional[NonlocalCorrector] = None,
         a_of_t: Optional[Callable[[float], Sequence[float]]] = None,
         cap: Optional[np.ndarray] = None,
+        guard=None,
     ) -> None:
         if vloc.shape != wf.grid.shape:
             raise ValueError("potential shape does not match grid")
@@ -96,6 +102,7 @@ class QDPropagator:
         self.config = config
         self.corrector = corrector
         self.a_of_t = a_of_t
+        self.guard = guard
         self.time = 0.0
         self.steps_taken = 0
         # Shadow-dynamics amortization: the half-step phase is frozen.
@@ -186,6 +193,10 @@ class QDPropagator:
                 t += frac * dt
         if self._cap_factor is not None:
             self.wf.psi *= self._cap_factor[..., None].astype(self.wf.dtype)
+        spec = fault_point("lfd.nan")
+        if spec is not None:
+            orb = int(spec.payload.get("orbital", 0)) % self.wf.norb
+            self.wf.psi[..., orb] = np.nan
         self.time += dt
         self.steps_taken += 1
         if cfg.renormalize_every and self.steps_taken % cfg.renormalize_every == 0:
@@ -202,5 +213,11 @@ class QDPropagator:
             raise ValueError("nsteps must be non-negative")
         for i in range(nsteps):
             self.step()
+            if self.guard is not None and (
+                (i + 1) % self.guard.config.check_every == 0 or i + 1 == nsteps
+            ):
+                self.guard.check_wavefunction(
+                    self.wf, where=f"QD sub-step {self.steps_taken}"
+                )
             if observer is not None and (i + 1) % max(observe_every, 1) == 0:
                 observer(self)

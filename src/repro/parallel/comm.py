@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.parallel.network import NetworkSpec, allreduce_time, bcast_time, point_to_point_time
 from repro.parallel.timeline import RankTimeline
+from repro.resilience.faults import RankFailure, fault_point
 
 
 def _nbytes(value: Any) -> int:
@@ -70,11 +71,18 @@ class SimComm:
                 f"expected one value per rank ({self.nranks}), got {len(values)}"
             )
 
+    def _maybe_rank_fail(self, op: str) -> None:
+        """``comm.rank_fail`` fault site shared by every collective."""
+        spec = fault_point("comm.rank_fail")
+        if spec is not None:
+            raise RankFailure(int(spec.payload.get("rank", 0)), op)
+
     # ------------------------------------------------------------------ #
     # collectives
     # ------------------------------------------------------------------ #
     def bcast(self, value: Any, root: int = 0) -> List[Any]:
         """Broadcast: every rank receives a copy of root's value."""
+        self._maybe_rank_fail("bcast")
         self._check_rank(root)
         out = []
         for r in range(self.nranks):
@@ -90,6 +98,7 @@ class SimComm:
         self, values: Sequence[Any], op: Callable[[Any, Any], Any] = np.add
     ) -> List[Any]:
         """All-reduce: every rank receives op-reduction of all contributions."""
+        self._maybe_rank_fail("allreduce")
         self._check_world(values)
         total = values[0]
         if isinstance(total, np.ndarray):
@@ -109,6 +118,7 @@ class SimComm:
         op: Callable[[Any, Any], Any] = np.add,
     ) -> Any:
         """Reduce to root; other ranks conceptually receive None."""
+        self._maybe_rank_fail("reduce")
         self._check_world(values)
         self._check_rank(root)
         total = values[0]
@@ -125,6 +135,7 @@ class SimComm:
 
     def gather(self, values: Sequence[Any], root: int = 0) -> List[Any]:
         """Gather every rank's value to root (returned as a list)."""
+        self._maybe_rank_fail("gather")
         self._check_world(values)
         self._check_rank(root)
         if self.network is not None:
@@ -137,6 +148,7 @@ class SimComm:
 
     def allgather(self, values: Sequence[Any]) -> List[List[Any]]:
         """All-gather: every rank receives the full list."""
+        self._maybe_rank_fail("allgather")
         self._check_world(values)
         if self.network is not None:
             nb = sum(_nbytes(v) for v in values)
@@ -147,6 +159,7 @@ class SimComm:
 
     def scatter(self, values: Sequence[Any], root: int = 0) -> List[Any]:
         """Scatter a root-resident list, one element per rank."""
+        self._maybe_rank_fail("scatter")
         self._check_world(values)
         self._check_rank(root)
         if self.network is not None:
@@ -159,6 +172,7 @@ class SimComm:
 
     def alltoall(self, matrix: Sequence[Sequence[Any]]) -> List[List[Any]]:
         """All-to-all: matrix[src][dst] -> result[dst][src]."""
+        self._maybe_rank_fail("alltoall")
         self._check_world(matrix)
         for row in matrix:
             self._check_world(row)
@@ -178,7 +192,11 @@ class SimComm:
         """Post a message from src to dst (buffered, FIFO per (src,dst,tag))."""
         self._check_rank(src)
         self._check_rank(dst)
-        self._mailbox.setdefault((src, dst, tag), []).append(value)
+        if fault_point("comm.drop") is not None:
+            return  # message lost in flight; recv will fail loudly
+        copies = 2 if fault_point("comm.dup") is not None else 1
+        for _ in range(copies):
+            self._mailbox.setdefault((src, dst, tag), []).append(value)
         if self.network is not None and self.timeline is not None:
             t = point_to_point_time(_nbytes(value), self.network)
             self.timeline.add_comm(src, t, "send")

@@ -30,6 +30,8 @@ from repro.qxmd.hamiltonian import KSHamiltonian
 from repro.qxmd.hartree import hartree_potential
 from repro.qxmd.scf import default_occupations
 from repro.qxmd.xc import lda_exchange_correlation
+from repro.resilience.faults import fault_point
+from repro.resilience.guards import SCFDivergenceError
 
 
 @dataclass
@@ -192,6 +194,11 @@ class GlobalDCSolver:
         v_global = grid.zeros()
         history: List[float] = []
         for it in range(self.nscf):
+            if fault_point("qxmd.scf_diverge") is not None:
+                raise SCFDivergenceError(
+                    f"injected global-local SCF divergence at cycle "
+                    f"{it + 1}/{self.nscf}"
+                )
             # --- global phase: one O(N) multigrid solve on the full grid.
             phi = hartree_potential(
                 rho_ion - rho_e, grid, method="multigrid", solver=self.poisson

@@ -30,6 +30,8 @@ from repro.qxmd.cg import cg_eigensolve
 from repro.qxmd.hamiltonian import KSHamiltonian
 from repro.qxmd.hartree import hartree_potential
 from repro.qxmd.xc import lda_exchange_correlation
+from repro.resilience.faults import fault_point
+from repro.resilience.guards import SCFDivergenceError
 
 
 @dataclass
@@ -174,7 +176,11 @@ def scf_solve(
 
     history: List[float] = []
     eigenvalues = np.zeros(norb)
-    for _ in range(config.nscf):
+    for it in range(config.nscf):
+        if fault_point("qxmd.scf_diverge") is not None:
+            raise SCFDivergenceError(
+                f"injected SCF divergence at cycle {it + 1}/{config.nscf}"
+            )
         ham = KSHamiltonian(grid, vloc, kb=kb)
         eigenvalues = cg_eigensolve(ham, wf, ncg=config.ncg)
         rho_e = density(wf, occupations)

@@ -1,0 +1,88 @@
+"""Resilience layer: fault injection, health guards, supervised runs.
+
+Three cooperating sub-modules:
+
+* :mod:`repro.resilience.faults` -- seeded deterministic fault injection
+  with named sites wired into the SCF, propagator, allocator, SimComm
+  and checkpoint hot paths (no-ops unless a plan is armed);
+* :mod:`repro.resilience.guards` -- typed numerical health guards
+  (finiteness, norm drift, energy drift) for the QD loop and MD step;
+* :mod:`repro.resilience.supervisor` -- checkpointed segment execution
+  with bounded retries, graceful degradation, corrupt-checkpoint
+  fallback and a structured JSON event log, on top of the hardened
+  atomic/digest/rotating writer in
+  :mod:`repro.resilience.checkpointing`.
+
+``faults`` and ``guards`` are dependency-free (NumPy only) and imported
+eagerly -- instrumented hot paths may import them during ``repro.core``
+initialization.  ``checkpointing`` and ``supervisor`` depend on
+``repro.core`` and are loaded lazily (PEP 562) to keep the import graph
+acyclic.
+"""
+
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    RankFailure,
+    active_plan,
+    arm,
+    armed,
+    disarm,
+    fault_point,
+)
+from repro.resilience.guards import (
+    EnergyDriftError,
+    GuardConfig,
+    HealthGuard,
+    NormDriftError,
+    NumericalDivergenceError,
+    NumericalHealthError,
+    SCFDivergenceError,
+)
+
+_LAZY = {
+    "CheckpointCorruptError": "repro.resilience.checkpointing",
+    "checkpoint_path": "repro.resilience.checkpointing",
+    "list_checkpoints": "repro.resilience.checkpointing",
+    "load_verified": "repro.resilience.checkpointing",
+    "verify_checkpoint": "repro.resilience.checkpointing",
+    "write_checkpoint": "repro.resilience.checkpointing",
+    "RECOVERABLE": "repro.resilience.supervisor",
+    "ResilienceLog": "repro.resilience.supervisor",
+    "RunSupervisor": "repro.resilience.supervisor",
+    "SupervisorAbort": "repro.resilience.supervisor",
+    "SupervisorConfig": "repro.resilience.supervisor",
+}
+
+__all__ = [
+    "KNOWN_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "RankFailure",
+    "active_plan",
+    "arm",
+    "armed",
+    "disarm",
+    "fault_point",
+    "EnergyDriftError",
+    "GuardConfig",
+    "HealthGuard",
+    "NormDriftError",
+    "NumericalDivergenceError",
+    "NumericalHealthError",
+    "SCFDivergenceError",
+] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(__all__)

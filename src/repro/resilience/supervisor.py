@@ -1,0 +1,306 @@
+"""RunSupervisor: fault-tolerant execution of DC-MESH trajectories.
+
+The supervisor wraps a :class:`~repro.core.mesh.DCMESHSimulation` and
+runs it in checkpointed *segments* of ``checkpoint_every`` MD steps.
+When a segment raises a recoverable fault -- a numerical health guard
+(:mod:`repro.resilience.guards`), a device OOM, a simulated rank
+failure, or a corrupt checkpoint -- the supervisor:
+
+1. records a structured JSON event (fault class, message, step, retry
+   count, wall time) and counts it in a :class:`~repro.perf.CounterSet`;
+2. backs off exponentially in the retry count (``backoff_base`` seconds,
+   0 disables sleeping -- the default for tests);
+3. optionally degrades gracefully on repeated numerical divergence by
+   halving ``dt_md`` or doubling ``n_qd`` (both halve the electronic
+   sub-step);
+4. restores the newest *verified* checkpoint, falling back to the
+   previous generation when the newest fails its integrity check;
+5. replays the segment, up to ``max_retries`` times before raising
+   :class:`SupervisorAbort`.
+
+Checkpoints are written with the hardened atomic/digest/rotating writer
+of :mod:`repro.resilience.checkpointing`, so a crash mid-write or bit
+rot on disk degrades a run instead of ending it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.mesh import DCMESHSimulation, MDStepRecord
+from repro.core.timescale import TimescaleSplit
+from repro.device.allocator import DeviceMemoryError
+from repro.perf.counters import CounterSet
+from repro.perf.timers import Timer
+from repro.resilience.checkpointing import (
+    _CKPT_RE,
+    CheckpointCorruptError,
+    list_checkpoints,
+    load_verified,
+    sidecar_path,
+    write_checkpoint,
+)
+from repro.resilience.faults import RankFailure
+from repro.resilience.guards import (
+    GuardConfig,
+    HealthGuard,
+    NumericalHealthError,
+)
+
+#: Exception classes the supervisor retries from a checkpoint.
+RECOVERABLE = (
+    NumericalHealthError,
+    DeviceMemoryError,
+    RankFailure,
+    CheckpointCorruptError,
+)
+
+
+class SupervisorAbort(RuntimeError):
+    """Raised when recovery is exhausted (retries or checkpoints ran out)."""
+
+
+@dataclass
+class SupervisorConfig:
+    """Checkpoint cadence, retry policy and degradation knobs.
+
+    Attributes
+    ----------
+    checkpoint_every:
+        MD steps per checkpointed segment (the paper's production runs
+        checkpoint every few hundred of their ~50k steps).
+    max_retries:
+        Consecutive failed replays of one segment before aborting.
+    keep_checkpoints:
+        Checkpoint generations retained by the rotation.
+    backoff_base:
+        Base of the exponential retry backoff in seconds
+        (``backoff_base * 2**(retry-1)``); 0 disables sleeping.
+    degrade_after:
+        Retry count at which graceful degradation kicks in (only for
+        numerical-health faults).
+    degrade_mode:
+        ``"none"``, ``"halve_dt"`` (halve ``dt_md``) or ``"double_nqd"``
+        (double ``n_qd``); both halve the electronic sub-step.
+    log_path:
+        Optional JSON-lines file receiving every event as it happens.
+    guard:
+        Tolerances/cadence of the installed :class:`HealthGuard`.
+    """
+
+    checkpoint_every: int = 5
+    max_retries: int = 3
+    keep_checkpoints: int = 3
+    backoff_base: float = 0.0
+    degrade_after: int = 2
+    degrade_mode: str = "none"
+    log_path: Optional[Union[str, pathlib.Path]] = None
+    guard: GuardConfig = field(default_factory=GuardConfig)
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be at least 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.degrade_after < 1:
+            raise ValueError("degrade_after must be at least 1")
+        if self.degrade_mode not in ("none", "halve_dt", "double_nqd"):
+            raise ValueError(
+                "degrade_mode must be 'none', 'halve_dt' or 'double_nqd'"
+            )
+
+
+class ResilienceLog:
+    """Structured event log backed by the perf counter machinery.
+
+    Every event is a plain dict (JSON-serializable); event kinds are
+    additionally tallied in a :class:`CounterSet` under ``event.<kind>``
+    so existing perf reporting sees resilience activity for free.
+    """
+
+    def __init__(self, path: Optional[Union[str, pathlib.Path]] = None) -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self.events: List[Dict] = []
+        self.counters = CounterSet()
+        self._t0 = time.perf_counter()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+
+    def record(self, kind: str, **fields) -> Dict:
+        """Append one event; mirrors it to the JSON-lines file if set."""
+        event = {"event": kind, "wall_time": time.perf_counter() - self._t0}
+        event.update(fields)
+        self.events.append(event)
+        self.counters.add(f"event.{kind}", 0.0, 0.0)
+        if self.path is not None:
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(event) + "\n")
+        return event
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind recorded so far."""
+        return self.counters.calls.get(f"event.{kind}", 0)
+
+    def to_json(self) -> str:
+        """The full event list as a JSON array."""
+        return json.dumps(self.events, indent=1)
+
+
+class RunSupervisor:
+    """Checkpointed, self-healing driver around one DC-MESH simulation."""
+
+    def __init__(
+        self,
+        sim: DCMESHSimulation,
+        checkpoint_dir: Union[str, pathlib.Path],
+        config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.checkpoint_dir = pathlib.Path(checkpoint_dir)
+        self.config = config if config is not None else SupervisorConfig()
+        self.guard = HealthGuard(self.config.guard)
+        sim.health_guard = self.guard
+        self.log = ResilienceLog(self.config.log_path)
+        self.total_retries = 0
+        self.recovery_timer = Timer()
+
+    # ------------------------------------------------------------------ #
+    def _checkpoint(self) -> None:
+        path = write_checkpoint(
+            self.sim, self.checkpoint_dir, keep=self.config.keep_checkpoints
+        )
+        self.log.record(
+            "checkpoint", step=self.sim.step_count, path=str(path.name)
+        )
+
+    def _backoff(self, retry: int) -> float:
+        delay = self.config.backoff_base * (2.0 ** (retry - 1))
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def _maybe_degrade(self, retry: int, exc: Exception) -> None:
+        cfg = self.config
+        if cfg.degrade_mode == "none" or retry < cfg.degrade_after:
+            return
+        if not isinstance(exc, NumericalHealthError):
+            return
+        ts = self.sim.config.timescale
+        if cfg.degrade_mode == "halve_dt":
+            new_ts = TimescaleSplit(dt_md=ts.dt_md / 2.0, n_qd=ts.n_qd)
+        else:
+            new_ts = TimescaleSplit(dt_md=ts.dt_md, n_qd=ts.n_qd * 2)
+        self.sim.config.timescale = new_ts
+        self.log.record(
+            "degrade",
+            mode=cfg.degrade_mode,
+            dt_md=new_ts.dt_md,
+            n_qd=new_ts.n_qd,
+            dt_qd=new_ts.dt_qd,
+        )
+
+    def _restore(self) -> None:
+        """Load the newest verified checkpoint, falling back on corruption."""
+        generations = list_checkpoints(self.checkpoint_dir)
+        for path in reversed(generations):
+            try:
+                meta = load_verified(self.sim, path)
+            except CheckpointCorruptError as exc:
+                self.log.record(
+                    "corrupt_checkpoint", path=str(path.name), error=str(exc)
+                )
+                continue
+            # Drop history beyond the restored step so records stay
+            # consistent with the replayed trajectory.
+            self.sim.history[:] = [
+                r for r in self.sim.history if r.step <= self.sim.step_count
+            ]
+            self.guard.reset_energy_reference()
+            self.log.record(
+                "restore", step=self.sim.step_count, path=str(path.name),
+                checkpoint_time=meta["time"],
+            )
+            return
+        raise SupervisorAbort(
+            f"no usable checkpoint among {len(generations)} generation(s) "
+            f"in {self.checkpoint_dir}"
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, nsteps: int) -> List[MDStepRecord]:
+        """Advance ``nsteps`` MD steps with checkpointing and recovery.
+
+        Returns the records of the steps taken by this call (replayed
+        segments appear once, with their final successful values).
+        """
+        if nsteps < 0:
+            raise ValueError("nsteps must be non-negative")
+        sim = self.sim
+        cfg = self.config
+        start_step = sim.step_count
+        target = start_step + nsteps
+        # Prune generations from a previous run of this directory that lie
+        # ahead of the current trajectory: restoring one would teleport the
+        # simulation into a *different* run's future.
+        for path in list_checkpoints(self.checkpoint_dir):
+            step = int(_CKPT_RE.match(path.name).group(1))
+            if step > start_step:
+                path.unlink()
+                sidecar = sidecar_path(path)
+                if sidecar.exists():
+                    sidecar.unlink()
+                self.log.record(
+                    "stale_checkpoint", path=str(path.name), step=step
+                )
+        if not list_checkpoints(self.checkpoint_dir):
+            self._checkpoint()  # generation 0: the pre-run state
+        retries = 0
+        while sim.step_count < target:
+            seg_end = min(sim.step_count + cfg.checkpoint_every, target)
+            try:
+                while sim.step_count < seg_end:
+                    sim.md_step()
+                self._checkpoint()
+                retries = 0
+            except RECOVERABLE as exc:
+                retries += 1
+                self.total_retries += 1
+                self.log.record(
+                    "fault",
+                    error=type(exc).__name__,
+                    message=str(exc),
+                    step=sim.step_count,
+                    retry=retries,
+                )
+                if retries > cfg.max_retries:
+                    self.log.record(
+                        "abort", step=sim.step_count, retries=retries
+                    )
+                    raise SupervisorAbort(
+                        f"segment ending at step {seg_end} failed "
+                        f"{retries} time(s): {exc}"
+                    ) from exc
+                self.recovery_timer.start()
+                delay = self._backoff(retries)
+                self._maybe_degrade(retries, exc)
+                try:
+                    self._restore()
+                finally:
+                    recovery_s = self.recovery_timer.stop()
+                self.log.record(
+                    "recovered",
+                    step=sim.step_count,
+                    retry=retries,
+                    backoff_s=delay,
+                    recovery_s=recovery_s,
+                )
+        return [r for r in sim.history if r.step > start_step]

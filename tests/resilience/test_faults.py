@@ -1,0 +1,171 @@
+"""Fault-injection registry tests: deterministic, no-op when disarmed."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    RankFailure,
+    active_plan,
+    arm,
+    armed,
+    disarm,
+    fault_point,
+)
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    """No test may leak an armed plan into the rest of the suite."""
+    disarm()
+    yield
+    disarm()
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("not.a.site")
+
+    def test_negative_at_call_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("lfd.nan", at_call=-1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("lfd.nan", count=0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("lfd.nan", probability=1.5)
+
+    def test_all_known_sites_constructible(self):
+        for site in KNOWN_SITES:
+            assert FaultSpec(site).site == site
+
+
+class TestPlanSemantics:
+    def test_disarmed_is_noop(self):
+        assert active_plan() is None
+        assert fault_point("lfd.nan") is None
+
+    def test_fires_on_exact_call_window(self):
+        plan = FaultPlan([FaultSpec("lfd.nan", at_call=2, count=2)])
+        arm(plan)
+        hits = [fault_point("lfd.nan") is not None for _ in range(6)]
+        assert hits == [False, False, True, True, False, False]
+        assert plan.fired == [("lfd.nan", 2), ("lfd.nan", 3)]
+        assert plan.calls("lfd.nan") == 6
+
+    def test_sites_count_independently(self):
+        plan = arm(FaultPlan([FaultSpec("device.oom", at_call=0)]))
+        assert fault_point("lfd.nan") is None  # does not consume device.oom
+        assert fault_point("device.oom") is not None
+        assert plan.calls("lfd.nan") == 1
+        assert plan.calls("device.oom") == 1
+
+    def test_probability_is_seed_deterministic(self):
+        def firings(seed):
+            plan = FaultPlan(
+                [FaultSpec("comm.drop", probability=0.3)], seed=seed
+            )
+            arm(plan)
+            out = [fault_point("comm.drop") is not None for _ in range(50)]
+            disarm()
+            return out
+
+        assert firings(7) == firings(7)
+        assert firings(7) != firings(8)
+
+    def test_reset_rewinds_counters_and_rng(self):
+        plan = arm(FaultPlan([FaultSpec("lfd.nan", at_call=0)]))
+        assert fault_point("lfd.nan") is not None
+        plan.reset()
+        assert plan.calls("lfd.nan") == 0
+        assert plan.fired == []
+        assert fault_point("lfd.nan") is not None
+
+    def test_armed_context_restores_previous(self):
+        outer = arm(FaultPlan())
+        with armed(FaultPlan([FaultSpec("lfd.nan")])) as inner:
+            assert active_plan() is inner
+        assert active_plan() is outer
+
+    def test_add_is_chainable(self):
+        plan = FaultPlan().add("lfd.nan", at_call=1).add("device.oom")
+        assert [s.site for s in plan.specs] == ["lfd.nan", "device.oom"]
+
+
+class TestWiredSites:
+    def test_device_oom_burst(self):
+        from repro.device import A100, DeviceAllocator, DeviceMemoryError
+
+        alloc = DeviceAllocator(A100)
+        with armed(FaultPlan([FaultSpec("device.oom", at_call=1, count=2)])):
+            alloc.allocate(64)  # arrival 0: fine
+            with pytest.raises(DeviceMemoryError, match="injected"):
+                alloc.allocate(64)
+            with pytest.raises(DeviceMemoryError, match="injected"):
+                alloc.allocate(64)
+            alloc.allocate(64)  # burst over
+
+    def test_comm_drop_loses_message(self):
+        from repro.parallel import SimComm
+
+        comm = SimComm(2)
+        with armed(FaultPlan([FaultSpec("comm.drop", at_call=0)])):
+            comm.send(np.arange(3), 0, 1)
+        assert comm.pending() == 0
+        with pytest.raises(RuntimeError, match="no pending message"):
+            comm.recv(0, 1)
+
+    def test_comm_dup_duplicates_message(self):
+        from repro.parallel import SimComm
+
+        comm = SimComm(2)
+        with armed(FaultPlan([FaultSpec("comm.dup", at_call=0)])):
+            comm.send(42, 0, 1)
+        assert comm.pending() == 2
+        assert comm.recv(0, 1) == 42
+        assert comm.recv(0, 1) == 42
+
+    def test_comm_rank_failure_in_collectives(self):
+        from repro.parallel import SimComm
+
+        comm = SimComm(4)
+        plan = FaultPlan([
+            FaultSpec("comm.rank_fail", count=2, payload={"rank": 3}),
+        ])
+        with armed(plan):
+            with pytest.raises(RankFailure, match="rank 3.*bcast"):
+                comm.bcast(1.0)
+            with pytest.raises(RankFailure, match="allreduce"):
+                comm.allreduce([1.0, 2.0, 3.0, 4.0])
+            # Window consumed: collectives work again.
+            assert comm.allreduce([1.0, 2.0, 3.0, 4.0]) == [10.0] * 4
+
+    def test_scf_divergence_site(self, grid8):
+        from repro.pseudo import get_species
+        from repro.qxmd.scf import scf_solve
+        from repro.resilience.guards import SCFDivergenceError
+
+        pos = np.array([[2.4, 2.4, 2.4]])
+        species = [get_species("H")]
+        with armed(FaultPlan([FaultSpec("qxmd.scf_diverge", at_call=1)])):
+            with pytest.raises(SCFDivergenceError, match="cycle 2"):
+                scf_solve(grid8, pos, species, norb=2)
+
+    def test_lfd_nan_site_poisons_chosen_orbital(self, grid8, rng):
+        from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+
+        wf = WaveFunctionSet.random(grid8, 3, rng)
+        prop = QDPropagator(wf, np.zeros(grid8.shape), PropagatorConfig(dt=0.05))
+        plan = FaultPlan([
+            FaultSpec("lfd.nan", at_call=2, payload={"orbital": 1}),
+        ])
+        with armed(plan):
+            prop.run(3)
+        assert np.all(np.isfinite(wf.psi[..., 0]))
+        assert np.all(np.isnan(wf.psi[..., 1]))

@@ -1,0 +1,155 @@
+"""Numerical health-guard tests: typed failures, configurable cadence."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.guards import (
+    EnergyDriftError,
+    GuardConfig,
+    HealthGuard,
+    NormDriftError,
+    NumericalDivergenceError,
+    NumericalHealthError,
+    SCFDivergenceError,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        HealthGuard(GuardConfig())
+
+    def test_bad_cadence(self):
+        with pytest.raises(ValueError):
+            GuardConfig(check_every=0)
+
+    def test_bad_tolerances(self):
+        with pytest.raises(ValueError):
+            GuardConfig(norm_tol=0.0)
+        with pytest.raises(ValueError):
+            GuardConfig(energy_rel_tol=-1.0)
+        with pytest.raises(ValueError):
+            GuardConfig(max_abs_energy=0.0)
+
+    def test_exception_taxonomy(self):
+        for exc in (NumericalDivergenceError, NormDriftError,
+                    EnergyDriftError, SCFDivergenceError):
+            assert issubclass(exc, NumericalHealthError)
+            assert issubclass(exc, RuntimeError)
+
+
+class TestArrayChecks:
+    def test_finite_array_passes(self):
+        HealthGuard().check_array(np.ones(8), "x")
+
+    def test_nan_raises_divergence(self):
+        with pytest.raises(NumericalDivergenceError, match="positions"):
+            HealthGuard().check_array(np.array([1.0, np.nan]), "positions")
+
+    def test_inf_raises_divergence(self):
+        with pytest.raises(NumericalDivergenceError):
+            HealthGuard().check_array(np.array([np.inf]), "v")
+
+    def test_complex_nan_detected(self):
+        arr = np.ones(4, dtype=np.complex128)
+        arr[2] = complex(0.0, np.nan)
+        with pytest.raises(NumericalDivergenceError):
+            HealthGuard().check_array(arr, "psi")
+
+
+class TestWavefunctionChecks:
+    def test_normalized_wf_passes(self, grid8, rng):
+        from repro.lfd import WaveFunctionSet
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        HealthGuard().check_wavefunction(wf)
+
+    def test_nan_orbital_detected(self, grid8, rng):
+        from repro.lfd import WaveFunctionSet
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        wf.psi[0, 0, 0, 1] = np.nan
+        with pytest.raises(NumericalDivergenceError, match="orbitals"):
+            HealthGuard().check_wavefunction(wf, where="QD sub-step 3")
+
+    def test_norm_drift_detected(self, grid8, rng):
+        from repro.lfd import WaveFunctionSet
+
+        wf = WaveFunctionSet.random(grid8, 3, rng)
+        wf.psi[..., 2] *= 1.1  # 10% norm drift on the last orbital
+        with pytest.raises(NormDriftError, match="orbital 2"):
+            HealthGuard(GuardConfig(norm_tol=1e-3)).check_wavefunction(wf)
+
+    def test_norm_check_can_be_disabled(self, grid8, rng):
+        from repro.lfd import WaveFunctionSet
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        wf.psi *= 2.0
+        HealthGuard(GuardConfig(check_norms=False)).check_wavefunction(wf)
+
+
+class TestEnergyChecks:
+    def test_steady_energy_passes(self):
+        g = HealthGuard()
+        for step, e in enumerate((-3.0, -3.01, -2.99)):
+            g.check_energy(e, step)
+
+    def test_nonfinite_energy(self):
+        with pytest.raises(EnergyDriftError, match="non-finite"):
+            HealthGuard().check_energy(float("nan"), 1)
+
+    def test_absolute_cap(self):
+        with pytest.raises(EnergyDriftError, match="exceeds"):
+            HealthGuard(GuardConfig(max_abs_energy=10.0)).check_energy(11.0, 1)
+
+    def test_relative_jump(self):
+        g = HealthGuard(GuardConfig(energy_rel_tol=0.5))
+        g.check_energy(-2.0, 1)
+        with pytest.raises(EnergyDriftError, match="jumped"):
+            g.check_energy(-8.0, 2)
+
+    def test_reset_forgets_reference(self):
+        g = HealthGuard(GuardConfig(energy_rel_tol=0.5))
+        g.check_energy(-2.0, 1)
+        g.reset_energy_reference()
+        g.check_energy(-8.0, 2)  # no previous value -> no jump check
+
+
+class TestPropagatorIntegration:
+    def test_guard_trips_inside_qd_loop(self, grid8, rng):
+        from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+        from repro.resilience.faults import FaultPlan, FaultSpec, armed
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        guard = HealthGuard(GuardConfig(check_every=1))
+        prop = QDPropagator(
+            wf, np.zeros(grid8.shape), PropagatorConfig(dt=0.05), guard=guard
+        )
+        with armed(FaultPlan([FaultSpec("lfd.nan", at_call=4)])):
+            with pytest.raises(NumericalDivergenceError, match="sub-step 5"):
+                prop.run(10)
+        assert prop.steps_taken == 5  # failed fast, not at the end
+
+    def test_cadence_defers_detection(self, grid8, rng):
+        from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+        from repro.resilience.faults import FaultPlan, FaultSpec, armed
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        guard = HealthGuard(GuardConfig(check_every=5))
+        prop = QDPropagator(
+            wf, np.zeros(grid8.shape), PropagatorConfig(dt=0.05), guard=guard
+        )
+        with armed(FaultPlan([FaultSpec("lfd.nan", at_call=0)])):
+            with pytest.raises(NumericalDivergenceError):
+                prop.run(10)
+        assert prop.steps_taken == 5  # first check at the cadence boundary
+
+    def test_guard_checks_counted(self, grid8, rng):
+        from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
+
+        wf = WaveFunctionSet.random(grid8, 2, rng)
+        guard = HealthGuard(GuardConfig(check_every=2))
+        prop = QDPropagator(
+            wf, np.zeros(grid8.shape), PropagatorConfig(dt=0.05), guard=guard
+        )
+        prop.run(10)
+        assert guard.checks_run > 0
