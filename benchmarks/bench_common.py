@@ -9,8 +9,11 @@ scale.  See DESIGN.md section 2 for the substitution policy.
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Optional
+import platform
+import time
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -19,6 +22,12 @@ from repro.lfd import WaveFunctionSet
 from repro.lfd.costs import LFDWorkload
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: Schema tag of the machine-readable bench telemetry files.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Per-kernel entry kinds: real wall time vs roofline-model time.
+BENCH_KINDS = ("measured", "modeled")
 
 #: The paper's LFD kernel-benchmark workload (Tables I-II):
 #: 1,000 QD steps, 64 KS orbitals, 70 x 70 x 72 mesh.
@@ -59,3 +68,81 @@ def ratio_note(ours: float, paper: float) -> str:
     if paper == 0:
         return "-"
     return f"{ours / paper:.2f}x of paper"
+
+
+# --------------------------------------------------------------------- #
+# machine-readable telemetry (BENCH_<name>.json)
+# --------------------------------------------------------------------- #
+def bench_json_path(name: str) -> pathlib.Path:
+    """Location of one bench's JSON telemetry file."""
+    return REPORT_DIR / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    name: str,
+    kernels: Dict[str, Dict],
+    workload: Optional[Dict] = None,
+    extra: Optional[Dict] = None,
+    total_s: Optional[float] = None,
+) -> pathlib.Path:
+    """Persist one bench's machine-readable telemetry.
+
+    ``kernels`` maps kernel name to an entry holding at least ``time_s``
+    (seconds) and ``kind`` (``"measured"`` for real wall time at the
+    documented reduced scale, ``"modeled"`` for deterministic roofline
+    time).  Optional per-kernel fields (``paper_time_s``, ``calls``,
+    ``flops``, ``bytes``, ...) ride along untouched; when a paper value
+    is present the ours-vs-paper ratio is filled in.  ``total_s``
+    defaults to the sum of the per-kernel times so the file is
+    self-consistent by construction.  The result is the diffable unit
+    the :mod:`benchmarks.regression` gate compares.
+    """
+    clean: Dict[str, Dict] = {}
+    for kname, entry in kernels.items():
+        entry = dict(entry)
+        if "time_s" not in entry or "kind" not in entry:
+            raise ValueError(f"kernel {kname!r} needs 'time_s' and 'kind'")
+        if entry["kind"] not in BENCH_KINDS:
+            raise ValueError(
+                f"kernel {kname!r} kind must be one of {BENCH_KINDS}"
+            )
+        entry["time_s"] = float(entry["time_s"])
+        paper = entry.get("paper_time_s")
+        if paper:
+            entry["vs_paper"] = entry["time_s"] / float(paper)
+        clean[kname] = entry
+    if total_s is None:
+        total_s = sum(e["time_s"] for e in clean.values())
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "created_unix": time.time(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workload": workload or {},
+        "kernels": clean,
+        "total_s": float(total_s),
+    }
+    if extra:
+        doc["extra"] = extra
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = bench_json_path(name)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: Union[str, pathlib.Path]) -> Dict:
+    """Load and structurally validate one BENCH_*.json file."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA} telemetry file")
+    for key in ("name", "kernels", "total_s"):
+        if key not in doc:
+            raise ValueError(f"{path}: missing {key!r}")
+    for kname, entry in doc["kernels"].items():
+        if "time_s" not in entry or entry.get("kind") not in BENCH_KINDS:
+            raise ValueError(f"{path}: malformed kernel entry {kname!r}")
+    return doc

@@ -16,7 +16,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.bench_common import write_report
+from benchmarks.bench_common import write_bench_json, write_report
 from benchmarks.bench_table2_builds import _measured_cpu_build, _modeled_build
 from repro.analysis import cumulative_speedup
 from repro.perf import Table, format_speedup
@@ -30,17 +30,35 @@ def test_fig6_report(benchmark):
         # Stage 1 (measured): naive-loop LFD step vs BLASified step.
         loops = sum(_measured_cpu_build(False, np.complex128))
         blas = sum(_measured_cpu_build(True, np.complex128))
-        s1 = loops / blas
         # Stages 2-3 (modeled at paper scale, DP totals).
         t_cpu_blas = sum(_modeled_build("cpu_blas", 16))
         t_gpu = sum(_modeled_build("gpu_cublas", 16))
         t_pinned = sum(_modeled_build("gpu_cublas_pinned", 16))
-        s2 = t_cpu_blas / t_gpu
-        s3 = t_gpu / t_pinned
-        return s1, s2, s3
+        return loops, blas, t_cpu_blas, t_gpu, t_pinned
 
-    s1, s2, s3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    loops, blas, t_cpu_blas, t_gpu, t_pinned = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    s1 = loops / blas
+    s2 = t_cpu_blas / t_gpu
+    s3 = t_gpu / t_pinned
     total = cumulative_speedup([s1, s2, s3])
+    write_bench_json(
+        "fig6_cumulative",
+        {
+            "cpu_loops": {"time_s": loops, "kind": "measured"},
+            "cpu_blas": {"time_s": blas, "kind": "measured"},
+            "modeled_cpu_blas": {"time_s": t_cpu_blas, "kind": "modeled"},
+            "modeled_gpu_cublas": {"time_s": t_gpu, "kind": "modeled"},
+            "modeled_gpu_pinned": {"time_s": t_pinned, "kind": "modeled"},
+        },
+        extra={
+            "stage_speedups": {"blas_on_cpu": s1, "gpu_offload": s2,
+                               "pinned": s3},
+            "cumulative": total,
+            "paper_cumulative": PAPER_TOTAL,
+        },
+    )
     table = Table(
         ["stage", "paper speedup", "ours", "note"],
         title="Fig. 6 -- cumulative DC-MESH speedup",

@@ -27,7 +27,12 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.bench_common import paper_workload, write_report
+from benchmarks.bench_common import (
+    PAPER_WORKLOAD,
+    paper_workload,
+    write_bench_json,
+    write_report,
+)
 from repro.device import (
     A100,
     EPYC_7543_CORE,
@@ -180,6 +185,35 @@ def test_cpu_build(benchmark, blas, precision):
     benchmark.extra_info["measured_nonlocal_s"] = nl
 
 
+def emit_table2_json(modeled, measured):
+    """One kernel entry per (build, precision) total + the measured CPU rows."""
+    kernels = {}
+    for (build, precision), (prop, nl) in modeled.items():
+        paper = (PAPER_SP if precision == "sp" else PAPER_DP)[build]
+        kernels[f"{build}_{precision}"] = {
+            "time_s": prop + nl,
+            "kind": "modeled",
+            "prop_s": prop,
+            "nonlocal_s": nl,
+            "paper_time_s": paper[2],
+        }
+    for (build, precision), (prop, nl) in measured.items():
+        kernels[f"measured_{build}_{precision}"] = {
+            "time_s": prop + nl,
+            "kind": "measured",
+            "prop_s": prop,
+            "nonlocal_s": nl,
+        }
+    return write_bench_json(
+        "table2_builds",
+        kernels,
+        workload=dict(
+            PAPER_WORKLOAD,
+            measured_scale="16^3 mesh, 12 orbitals, 1 QD step",
+        ),
+    )
+
+
 def test_table2_report(benchmark):
     """Full Table II reproduction: measured CPU + modeled GPU builds."""
 
@@ -229,6 +263,7 @@ def test_table2_report(benchmark):
         f"{1167.0 / 65.93:.1f}x)"
     )
     write_report("table2_builds", text)
+    emit_table2_json(modeled, measured)
     print("\n" + text)
 
     # Shape: modeled build sequence strictly monotone per precision,

@@ -1,0 +1,181 @@
+"""Performance-regression gate over BENCH_*.json telemetry files.
+
+Compares a *current* telemetry file against a committed *baseline* and
+fails (exit code 1) when any kernel regressed:
+
+- ``modeled`` entries are deterministic roofline arithmetic, so any
+  drift beyond ``--modeled-rtol`` (default 1e-6) means the cost model
+  itself changed and the baseline must be regenerated deliberately.
+- ``measured`` entries carry machine noise, so they gate on a ratio:
+  current/baseline above ``--max-ratio`` (default 1.5) is a regression,
+  and entries faster than ``--min-time`` seconds are skipped entirely
+  (interpreter jitter dominates below that).  CI passes a generous
+  ``--max-ratio`` because baseline and runner hardware differ.
+
+Usage::
+
+    python -m benchmarks.regression BASELINE.json CURRENT.json \
+        [--max-ratio 1.5] [--min-time 1e-4] [--modeled-rtol 1e-6] \
+        [--allow-missing]
+
+A current file compared against itself always passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from benchmarks.bench_common import load_bench_json
+
+#: Measured entries may be this many times slower than baseline.
+DEFAULT_MAX_RATIO = 1.5
+
+#: Measured entries faster than this are pure noise; skip them.
+DEFAULT_MIN_TIME_S = 1e-4
+
+#: Modeled entries are deterministic; allow only float round-off drift.
+DEFAULT_MODELED_RTOL = 1e-6
+
+
+@dataclass
+class Verdict:
+    """Outcome of one kernel comparison."""
+
+    kernel: str
+    kind: str
+    baseline_s: float
+    current_s: float
+    status: str  # "ok" | "regressed" | "skipped" | "missing" | "new"
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regressed", "missing")
+
+
+def compare_bench(
+    baseline: Union[str, Dict],
+    current: Union[str, Dict],
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    min_time_s: float = DEFAULT_MIN_TIME_S,
+    modeled_rtol: float = DEFAULT_MODELED_RTOL,
+    allow_missing: bool = False,
+) -> List[Verdict]:
+    """Compare two telemetry documents kernel by kernel.
+
+    Accepts loaded documents or paths.  Returns one :class:`Verdict`
+    per baseline kernel (plus ``new`` verdicts for kernels only in the
+    current file, which never fail).  The run regresses iff any verdict
+    has ``failed``.
+    """
+    if not isinstance(baseline, dict):
+        baseline = load_bench_json(baseline)
+    if not isinstance(current, dict):
+        current = load_bench_json(current)
+    base_k = baseline["kernels"]
+    cur_k = current["kernels"]
+    verdicts: List[Verdict] = []
+    for name, b in sorted(base_k.items()):
+        bt = float(b["time_s"])
+        c = cur_k.get(name)
+        if c is None:
+            status = "skipped" if allow_missing else "missing"
+            verdicts.append(Verdict(name, b["kind"], bt, float("nan"),
+                                    status, "absent from current file"))
+            continue
+        ct = float(c["time_s"])
+        kind = c.get("kind", b["kind"])
+        if kind == "modeled":
+            scale = max(abs(bt), abs(ct), 1e-300)
+            drift = abs(ct - bt) / scale
+            if drift > modeled_rtol:
+                verdicts.append(Verdict(
+                    name, kind, bt, ct, "regressed",
+                    f"modeled drift {drift:.2e} > rtol {modeled_rtol:.0e} "
+                    f"(cost model changed?)"))
+            else:
+                verdicts.append(Verdict(name, kind, bt, ct, "ok",
+                                        f"drift {drift:.2e}"))
+            continue
+        if bt < min_time_s and ct < min_time_s:
+            verdicts.append(Verdict(name, kind, bt, ct, "skipped",
+                                    f"both below {min_time_s:g}s noise floor"))
+            continue
+        ratio = ct / bt if bt > 0 else float("inf")
+        if ratio > max_ratio:
+            verdicts.append(Verdict(
+                name, kind, bt, ct, "regressed",
+                f"{ratio:.2f}x slower (limit {max_ratio:g}x)"))
+        else:
+            verdicts.append(Verdict(name, kind, bt, ct, "ok",
+                                    f"{ratio:.2f}x"))
+    for name, c in sorted(cur_k.items()):
+        if name not in base_k:
+            verdicts.append(Verdict(name, c["kind"], float("nan"),
+                                    float(c["time_s"]), "new",
+                                    "not in baseline"))
+    return verdicts
+
+
+def render_verdicts(verdicts: List[Verdict]) -> str:
+    """Aligned text table of the comparison outcome."""
+    if not verdicts:
+        return "(no kernels compared)"
+    width = max(len(v.kernel) for v in verdicts)
+    lines = []
+    for v in verdicts:
+        mark = "FAIL" if v.failed else ("SKIP" if v.status in
+                                        ("skipped", "new") else "ok")
+        lines.append(
+            f"{mark:<4}  {v.kernel:<{width}}  {v.kind:<8}  "
+            f"base {v.baseline_s:12.6g}s  cur {v.current_s:12.6g}s  "
+            f"{v.detail}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit code 1 on any regression."""
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.regression",
+        description="Gate a BENCH_*.json file against a committed baseline",
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--max-ratio", type=float,
+                        default=DEFAULT_MAX_RATIO,
+                        help="max measured current/baseline slowdown "
+                             "(default %(default)s)")
+    parser.add_argument("--min-time", type=float,
+                        default=DEFAULT_MIN_TIME_S,
+                        help="measured noise floor in seconds "
+                             "(default %(default)s)")
+    parser.add_argument("--modeled-rtol", type=float,
+                        default=DEFAULT_MODELED_RTOL,
+                        help="relative tolerance for modeled entries "
+                             "(default %(default)s)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="kernels absent from the current file are "
+                             "skipped instead of failing")
+    args = parser.parse_args(argv)
+    verdicts = compare_bench(
+        args.baseline, args.current,
+        max_ratio=args.max_ratio,
+        min_time_s=args.min_time,
+        modeled_rtol=args.modeled_rtol,
+        allow_missing=args.allow_missing,
+    )
+    print(render_verdicts(verdicts))
+    nfail = sum(v.failed for v in verdicts)
+    if nfail:
+        print(f"REGRESSION: {nfail} kernel(s) failed the gate")
+        return 1
+    print(f"ok: {len(verdicts)} kernel(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

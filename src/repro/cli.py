@@ -37,7 +37,37 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_tracer(args: argparse.Namespace):
+    """Install a global tracer when ``--trace-out`` was given."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.obs import Tracer, set_tracer
+
+    return set_tracer(Tracer())
+
+
+def _finish_tracer(args: argparse.Namespace, tracer) -> None:
+    """Write the Chrome trace and per-phase summary; restore null tracing."""
+    if tracer is None:
+        return
+    from repro.obs import phase_report, set_tracer, write_chrome_trace
+
+    set_tracer(None)
+    path = write_chrome_trace(args.trace_out, tracer)
+    print(f"trace: {len(tracer.records)} spans -> {path} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    print(phase_report(tracer.records))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    tracer = _install_tracer(args)
+    try:
+        return _run_body(args)
+    finally:
+        _finish_tracer(args, tracer)
+
+
+def _run_body(args: argparse.Namespace) -> int:
     from repro import (
         DCMESHConfig,
         DCMESHSimulation,
@@ -141,6 +171,14 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_spectrum(args: argparse.Namespace) -> int:
+    tracer = _install_tracer(args)
+    try:
+        return _spectrum_body(args)
+    finally:
+        _finish_tracer(args, tracer)
+
+
+def _spectrum_body(args: argparse.Namespace) -> int:
     from repro import PropagatorConfig, QDPropagator, WaveFunctionSet
     from repro.analysis import absorption_peaks, dipole_to_spectrum
     from repro.grids import Grid3D
@@ -214,6 +252,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for rotating supervised checkpoints")
     run.add_argument("--resilience-log",
                      help="write supervisor events to this JSON-lines file")
+    run.add_argument("--trace-out",
+                     help="write a Chrome trace-event JSON of this run")
     run.set_defaults(func=_cmd_run)
 
     scaling = sub.add_parser("scaling", help="Figs. 2-3 scaling tables")
@@ -228,6 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="model-well depth (Ha)")
     spectrum.add_argument("--steps", type=int, default=800)
     spectrum.add_argument("--seed", type=int, default=0)
+    spectrum.add_argument("--trace-out",
+                          help="write a Chrome trace-event JSON of this run")
     spectrum.set_defaults(func=_cmd_spectrum)
     return parser
 

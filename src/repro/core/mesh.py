@@ -35,6 +35,7 @@ from repro.lfd.occupations import remap_occ
 from repro.lfd.propagator import PropagatorConfig, QDPropagator
 from repro.lfd.wavefunction import WaveFunctionSet
 from repro.maxwell.laser import LaserPulse
+from repro.obs import trace_span
 from repro.pseudo.elements import PseudoSpecies
 from repro.qxmd.dftsolver import DCResult, GlobalDCSolver
 from repro.qxmd.forces import ForceCalculator
@@ -332,43 +333,51 @@ class DCMESHSimulation:
         ts = cfg.timescale
         prev = self.dc
 
-        # 1. QXMD: adiabatic states at the current positions.
-        self.dc = self._solve_qxmd(warm=prev)
-        for st_new, st_old in zip(self.dc.states, prev.states):
-            if st_new.wf.norb == st_old.wf.norb:
-                st_new.occupations = st_old.occupations.copy()
+        with trace_span("md.step", "md", step=self.step_count + 1):
+            # 1. QXMD: adiabatic states at the current positions.
+            with trace_span("qxmd.refresh", "scf"):
+                self.dc = self._solve_qxmd(warm=prev)
+            for st_new, st_old in zip(self.dc.states, prev.states):
+                if st_new.wf.norb == st_old.wf.norb:
+                    st_new.occupations = st_old.occupations.copy()
 
-        # 2. Surface hopping (U_SH of Eq. 3).
-        hops = 0
-        if cfg.use_surface_hopping and self.carriers and self.step_count > 0:
-            hops = self._surface_hopping(prev)
+            # 2. Surface hopping (U_SH of Eq. 3).
+            hops = 0
+            if cfg.use_surface_hopping and self.carriers and self.step_count > 0:
+                with trace_span("surface_hopping", "md"):
+                    hops = self._surface_hopping(prev)
 
-        # 3. Scissor shifts (Eq. 8), once per MD step.
-        scissors = []
-        for st in self.dc.states:
-            if cfg.use_scissor and st.kb is not None:
-                from repro.qxmd.hamiltonian import KSHamiltonian
+            # 3. Scissor shifts (Eq. 8), once per MD step.
+            scissors = []
+            with trace_span("scissor_setup", "scf"):
+                for st in self.dc.states:
+                    if cfg.use_scissor and st.kb is not None:
+                        from repro.qxmd.hamiltonian import KSHamiltonian
 
-                ham = KSHamiltonian(st.domain.local_grid, st.vloc, kb=st.kb)
-                scissors.append(scissor_shift(ham, st.wf, st.occupations))
-            else:
-                scissors.append(0.0)
+                        ham = KSHamiltonian(st.domain.local_grid, st.vloc, kb=st.kb)
+                        scissors.append(scissor_shift(ham, st.wf, st.occupations))
+                    else:
+                        scissors.append(0.0)
 
-        # 4. LFD: laser-driven propagation + occupation remap (shadow).
-        handshake = self._run_lfd(scissors)
+            # 4. LFD: laser-driven propagation + occupation remap (shadow).
+            with trace_span("lfd.domains", "lfd", ndomains=len(self.dc.states)):
+                handshake = self._run_lfd(scissors)
 
-        # 5. Excited-state forces + velocity Verlet.
-        forces = self._forces()
-        m = self.md_state.masses[:, None]
-        f0 = self._prev_forces if self._prev_forces is not None else forces
-        dt = ts.dt_md
-        self.md_state.velocities = self.md_state.velocities + 0.5 * (f0 + forces) / m * dt
-        self.md_state.positions = (
-            self.md_state.positions
-            + self.md_state.velocities * dt
-            + 0.5 * forces / m * dt * dt
-        )
-        self._prev_forces = forces
+            # 5. Excited-state forces + velocity Verlet.
+            with trace_span("forces", "forces"):
+                forces = self._forces()
+            m = self.md_state.masses[:, None]
+            f0 = self._prev_forces if self._prev_forces is not None else forces
+            dt = ts.dt_md
+            self.md_state.velocities = (
+                self.md_state.velocities + 0.5 * (f0 + forces) / m * dt
+            )
+            self.md_state.positions = (
+                self.md_state.positions
+                + self.md_state.velocities * dt
+                + 0.5 * forces / m * dt * dt
+            )
+            self._prev_forces = forces
 
         self.time += dt
         self.step_count += 1

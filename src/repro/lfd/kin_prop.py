@@ -46,6 +46,7 @@ import numpy as np
 from repro.constants import HBAR, M_ELECTRON
 from repro.grids.stencil import PairSplitCoefficients, strang_passes
 from repro.lfd.wavefunction import WaveFunctionSet
+from repro.obs import trace_charge, trace_span
 
 
 def _pair_indices(n: int, parity: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -221,21 +222,26 @@ def kinetic_step(
     """
     if variant not in KIN_PROP_VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; options: {sorted(KIN_PROP_VARIANTS)}")
-    if variant == "baseline":
-        data = wf.to_aos()
+    with trace_span("kin_prop", "kinetic", variant=variant):
+        # 9 pair-split passes, 14 real flops and 3 complex-word streams
+        # per point-orbital per pass (see repro.lfd.costs.kin_prop_pass).
+        pts = wf.grid.npoints * wf.norb
+        trace_charge(9.0 * 14.0 * pts, 9.0 * 3.0 * wf.psi.itemsize * pts)
+        if variant == "baseline":
+            data = wf.to_aos()
+            for axis in range(3):
+                n = wf.grid.shape[axis]
+                h = wf.grid.spacing[axis]
+                for coeff in strang_passes(n, h, dt, theta=theta[axis], mass=mass):
+                    kin_prop_baseline(data, coeff, axis)
+            wf.from_aos(data)
+            return
+        kernel = KIN_PROP_VARIANTS[variant]
         for axis in range(3):
             n = wf.grid.shape[axis]
             h = wf.grid.spacing[axis]
             for coeff in strang_passes(n, h, dt, theta=theta[axis], mass=mass):
-                kin_prop_baseline(data, coeff, axis)
-        wf.from_aos(data)
-        return
-    kernel = KIN_PROP_VARIANTS[variant]
-    for axis in range(3):
-        n = wf.grid.shape[axis]
-        h = wf.grid.spacing[axis]
-        for coeff in strang_passes(n, h, dt, theta=theta[axis], mass=mass):
-            if variant == "blocked":
-                kernel(wf.psi, coeff, axis, block_size=block_size)
-            else:
-                kernel(wf.psi, coeff, axis)
+                if variant == "blocked":
+                    kernel(wf.psi, coeff, axis, block_size=block_size)
+                else:
+                    kernel(wf.psi, coeff, axis)

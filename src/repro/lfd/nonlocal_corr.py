@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.constants import HBAR
 from repro.lfd.wavefunction import WaveFunctionSet
+from repro.obs import trace_charge, trace_span
 
 
 def nonlocal_correction_naive(
@@ -112,14 +113,20 @@ class NonlocalCorrector:
 
     def apply(self, wf: WaveFunctionSet, dt: float, normalize: bool = True) -> None:
         """One nonlocal half-factor of Eq. (6) applied in place."""
-        if self.variant == "blas":
-            nonlocal_correction_blas(
-                wf, self.ref_unocc, self.scissor_shift, dt, normalize=normalize
+        with trace_span("nonlocal_corr", "nonlocal", variant=self.variant):
+            ngrid = wf.grid.npoints
+            trace_charge(
+                self.flop_count(wf.norb, ngrid),
+                self.byte_count(wf.norb, ngrid, wf.psi.itemsize),
             )
-        else:
-            nonlocal_correction_naive(
-                wf, self.ref_unocc, self.scissor_shift, dt, normalize=normalize
-            )
+            if self.variant == "blas":
+                nonlocal_correction_blas(
+                    wf, self.ref_unocc, self.scissor_shift, dt, normalize=normalize
+                )
+            else:
+                nonlocal_correction_naive(
+                    wf, self.ref_unocc, self.scissor_shift, dt, normalize=normalize
+                )
 
     def flop_count(self, norb: int, ngrid: int) -> float:
         """Complex flops of one BLASified application (two GEMMs)."""

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.constants import HBAR
 from repro.lfd.wavefunction import WaveFunctionSet
+from repro.obs import trace_charge, trace_span
 
 
 def potential_phase(vloc: np.ndarray, dt: float) -> np.ndarray:
@@ -51,9 +52,13 @@ def potential_phase_step(
                 f"potential shape {vloc.shape} != grid shape {wf.grid.shape}"
             )
         phase = potential_phase(vloc, dt)
-    if wf.dtype == np.complex64:
-        phase_cast = phase.astype(np.complex64)
-    else:
-        phase_cast = phase
-    wf.psi *= phase_cast[..., None]
+    with trace_span("pot_prop", "potential"):
+        # One complex multiply per point-orbital (see costs.pot_prop_half).
+        pts = wf.grid.npoints * wf.norb
+        trace_charge(6.0 * pts, 2.0 * wf.psi.itemsize * pts)
+        if wf.dtype == np.complex64:
+            phase_cast = phase.astype(np.complex64)
+        else:
+            phase_cast = phase
+        wf.psi *= phase_cast[..., None]
     return phase

@@ -25,6 +25,7 @@ from repro.lfd.nonlocal_corr import NonlocalCorrector
 from repro.lfd.pot_prop import potential_phase, potential_phase_step
 from repro.lfd.vector_gauge import peierls_phases
 from repro.lfd.wavefunction import WaveFunctionSet
+from repro.obs import trace_span
 from repro.resilience.faults import fault_point
 
 
@@ -183,16 +184,17 @@ class QDPropagator:
         """
         cfg = self.config
         dt = cfg.dt
-        if cfg.order == 2:
-            self._strang_substep(dt, self.time)
-        else:
-            p = self._SUZUKI_P
-            t = self.time
-            for frac in (p, p, 1.0 - 4.0 * p, p, p):
-                self._strang_substep(frac * dt, t)
-                t += frac * dt
-        if self._cap_factor is not None:
-            self.wf.psi *= self._cap_factor[..., None].astype(self.wf.dtype)
+        with trace_span("qd.step", "lfd", order=cfg.order):
+            if cfg.order == 2:
+                self._strang_substep(dt, self.time)
+            else:
+                p = self._SUZUKI_P
+                t = self.time
+                for frac in (p, p, 1.0 - 4.0 * p, p, p):
+                    self._strang_substep(frac * dt, t)
+                    t += frac * dt
+            if self._cap_factor is not None:
+                self.wf.psi *= self._cap_factor[..., None].astype(self.wf.dtype)
         spec = fault_point("lfd.nan")
         if spec is not None:
             orb = int(spec.payload.get("orbital", 0)) % self.wf.norb
@@ -211,13 +213,14 @@ class QDPropagator:
         """Run ``nsteps`` QD sub-steps, optionally calling an observer."""
         if nsteps < 0:
             raise ValueError("nsteps must be non-negative")
-        for i in range(nsteps):
-            self.step()
-            if self.guard is not None and (
-                (i + 1) % self.guard.config.check_every == 0 or i + 1 == nsteps
-            ):
-                self.guard.check_wavefunction(
-                    self.wf, where=f"QD sub-step {self.steps_taken}"
-                )
-            if observer is not None and (i + 1) % max(observe_every, 1) == 0:
-                observer(self)
+        with trace_span("qd.run", "lfd", nsteps=nsteps, norb=self.wf.norb):
+            for i in range(nsteps):
+                self.step()
+                if self.guard is not None and (
+                    (i + 1) % self.guard.config.check_every == 0 or i + 1 == nsteps
+                ):
+                    self.guard.check_wavefunction(
+                        self.wf, where=f"QD sub-step {self.steps_taken}"
+                    )
+                if observer is not None and (i + 1) % max(observe_every, 1) == 0:
+                    observer(self)

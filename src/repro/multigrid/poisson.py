@@ -19,6 +19,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.grids.grid import Grid3D
+from repro.obs import trace_span
 from repro.multigrid.smoothers import (
     laplacian_periodic,
     residual,
@@ -165,15 +166,18 @@ class PoissonMultigrid:
             return u, stats
         r0 = float(np.linalg.norm(residual(u, f, grid.spacing)))
         stats.residual_norms.append(r0)
-        for cycle in range(max_cycles):
-            u = self._vcycle(u, f, 0)
-            u -= u.mean()
-            r = float(np.linalg.norm(residual(u, f, grid.spacing)))
-            stats.cycles = cycle + 1
-            stats.residual_norms.append(r)
-            if r <= tol * f_norm:
-                stats.converged = True
-                break
+        with trace_span("poisson.solve", "hartree", npoints=grid.npoints,
+                        nlevels=self.nlevels):
+            for cycle in range(max_cycles):
+                with trace_span("poisson.vcycle", "hartree", cycle=cycle + 1):
+                    u = self._vcycle(u, f, 0)
+                u -= u.mean()
+                r = float(np.linalg.norm(residual(u, f, grid.spacing)))
+                stats.cycles = cycle + 1
+                stats.residual_norms.append(r)
+                if r <= tol * f_norm:
+                    stats.converged = True
+                    break
         return u, stats
 
     def work_units(self) -> float:

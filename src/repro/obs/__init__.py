@@ -1,0 +1,53 @@
+"""Observability: hierarchical tracing, phase aggregation, trace export.
+
+The instrumented hot paths (LFD kernels, SCF/multigrid loops, SimComm,
+the run supervisor) open spans on the process-global tracer, which is
+the zero-overhead :data:`NULL_TRACER` unless a run installs a real
+:class:`Tracer` (e.g. via ``repro-mesh run --trace-out trace.json``).
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_charge,
+    trace_span,
+    tracing,
+)
+from repro.obs.phases import (
+    PHASES,
+    PhaseStats,
+    aggregate_by_name,
+    aggregate_by_phase,
+    normalize_phase,
+    phase_report,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    load_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "trace_charge",
+    "trace_span",
+    "tracing",
+    "PHASES",
+    "PhaseStats",
+    "aggregate_by_name",
+    "aggregate_by_phase",
+    "normalize_phase",
+    "phase_report",
+    "chrome_trace_events",
+    "load_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,120 @@
+"""The paper's kernel taxonomy and per-phase span aggregation.
+
+Tables I-II and Fig. 5 of the paper break one MD step into a fixed set
+of cost groups; every instrumented span carries one of these *phases* as
+its category so traces from any layer (LFD kernels, QXMD solvers,
+communication, resilience) aggregate into the same paper-aligned
+breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.obs.tracer import SpanRecord
+from repro.perf.report import Table
+
+#: Canonical phase names, in report order.  ``kinetic`` .. ``checkpoint``
+#: are the paper's kernel taxonomy; ``md``/``lfd``/``forces``/``other``
+#: hold the orchestration layers around them.
+PHASES = (
+    "kinetic",
+    "potential",
+    "nonlocal",
+    "hartree",
+    "scf",
+    "comm",
+    "checkpoint",
+    "lfd",
+    "md",
+    "forces",
+    "other",
+)
+
+
+def normalize_phase(category: str) -> str:
+    """Map an arbitrary category string onto the canonical taxonomy."""
+    return category if category in PHASES else "other"
+
+
+@dataclass
+class PhaseStats:
+    """Aggregated timing/counter totals of one phase."""
+
+    phase: str
+    calls: int = 0
+    total_s: float = 0.0        # sum of span durations (inclusive)
+    self_s: float = 0.0         # sum of span self-times (exclusive)
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    names: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte charged to this phase (inf when traffic-free)."""
+        if self.bytes_moved == 0.0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+
+def aggregate_by_phase(records: Iterable[SpanRecord]) -> Dict[str, PhaseStats]:
+    """Fold finished spans into per-phase totals.
+
+    Inclusive time (``total_s``) double-counts nested same-phase spans,
+    so cross-phase comparisons should use ``self_s``, which partitions
+    the wall time exactly.
+    """
+    out: Dict[str, PhaseStats] = {}
+    for r in records:
+        phase = normalize_phase(r.category)
+        stats = out.get(phase)
+        if stats is None:
+            stats = out[phase] = PhaseStats(phase)
+        stats.calls += 1
+        stats.total_s += r.duration
+        stats.self_s += r.self_time
+        stats.flops += r.flops
+        stats.bytes_moved += r.bytes_moved
+        stats.names[r.name] = stats.names.get(r.name, 0) + 1
+    return out
+
+
+def aggregate_by_name(records: Iterable[SpanRecord]) -> Dict[str, PhaseStats]:
+    """Fold finished spans into per-span-name totals."""
+    out: Dict[str, PhaseStats] = {}
+    for r in records:
+        stats = out.get(r.name)
+        if stats is None:
+            stats = out[r.name] = PhaseStats(normalize_phase(r.category))
+        stats.calls += 1
+        stats.total_s += r.duration
+        stats.self_s += r.self_time
+        stats.flops += r.flops
+        stats.bytes_moved += r.bytes_moved
+    return out
+
+
+def phase_report(records: Iterable[SpanRecord]) -> str:
+    """Paper-taxonomy text table of one trace (sorted by self time)."""
+    stats = aggregate_by_phase(records)
+    if not stats:
+        return "(no spans recorded)"
+    table = Table(
+        ["phase", "self time", "incl. time", "spans", "GFLOP", "GB"],
+        title="per-phase trace breakdown (paper kernel taxonomy)",
+    )
+    ordered = sorted(PHASES, key=lambda p: -stats[p].self_s if p in stats else 0.0)
+    for phase in ordered:
+        if phase not in stats:
+            continue
+        s = stats[phase]
+        table.add_row(
+            phase,
+            f"{s.self_s:.4f} s",
+            f"{s.total_s:.4f} s",
+            str(s.calls),
+            f"{s.flops / 1e9:.3f}",
+            f"{s.bytes_moved / 1e9:.3f}",
+        )
+    return table.render()

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import trace_span
 from repro.parallel.network import NetworkSpec, allreduce_time, bcast_time, point_to_point_time
 from repro.parallel.timeline import RankTimeline
 from repro.resilience.faults import RankFailure, fault_point
@@ -82,133 +83,142 @@ class SimComm:
     # ------------------------------------------------------------------ #
     def bcast(self, value: Any, root: int = 0) -> List[Any]:
         """Broadcast: every rank receives a copy of root's value."""
-        self._maybe_rank_fail("bcast")
-        self._check_rank(root)
-        out = []
-        for r in range(self.nranks):
-            if isinstance(value, np.ndarray):
-                out.append(value if r == root else value.copy())
-            else:
-                out.append(value)
-        if self.network is not None:
-            self._charge_all(bcast_time(_nbytes(value), self.nranks, self.network), "bcast")
-        return out
+        with trace_span("comm.bcast", "comm", nranks=self.nranks):
+            self._maybe_rank_fail("bcast")
+            self._check_rank(root)
+            out = []
+            for r in range(self.nranks):
+                if isinstance(value, np.ndarray):
+                    out.append(value if r == root else value.copy())
+                else:
+                    out.append(value)
+            if self.network is not None:
+                self._charge_all(bcast_time(_nbytes(value), self.nranks, self.network), "bcast")
+            return out
 
     def allreduce(
         self, values: Sequence[Any], op: Callable[[Any, Any], Any] = np.add
     ) -> List[Any]:
         """All-reduce: every rank receives op-reduction of all contributions."""
-        self._maybe_rank_fail("allreduce")
-        self._check_world(values)
-        total = values[0]
-        if isinstance(total, np.ndarray):
-            total = total.copy()
-        for v in values[1:]:
-            total = op(total, v)
-        out = [total.copy() if isinstance(total, np.ndarray) else total
-               for _ in range(self.nranks)]
-        if self.network is not None:
-            self._charge_all(
-                allreduce_time(_nbytes(values[0]), self.nranks, self.network), "allreduce"
-            )
-        return out
+        with trace_span("comm.allreduce", "comm", nranks=self.nranks):
+            self._maybe_rank_fail("allreduce")
+            self._check_world(values)
+            total = values[0]
+            if isinstance(total, np.ndarray):
+                total = total.copy()
+            for v in values[1:]:
+                total = op(total, v)
+            out = [total.copy() if isinstance(total, np.ndarray) else total
+                   for _ in range(self.nranks)]
+            if self.network is not None:
+                self._charge_all(
+                    allreduce_time(_nbytes(values[0]), self.nranks, self.network), "allreduce"
+                )
+            return out
 
     def reduce(
         self, values: Sequence[Any], root: int = 0,
         op: Callable[[Any, Any], Any] = np.add,
     ) -> Any:
         """Reduce to root; other ranks conceptually receive None."""
-        self._maybe_rank_fail("reduce")
-        self._check_world(values)
-        self._check_rank(root)
-        total = values[0]
-        if isinstance(total, np.ndarray):
-            total = total.copy()
-        for v in values[1:]:
-            total = op(total, v)
-        if self.network is not None:
-            self._charge_all(
-                allreduce_time(_nbytes(values[0]), self.nranks, self.network) / 2.0,
-                "reduce",
-            )
-        return total
+        with trace_span("comm.reduce", "comm", nranks=self.nranks):
+            self._maybe_rank_fail("reduce")
+            self._check_world(values)
+            self._check_rank(root)
+            total = values[0]
+            if isinstance(total, np.ndarray):
+                total = total.copy()
+            for v in values[1:]:
+                total = op(total, v)
+            if self.network is not None:
+                self._charge_all(
+                    allreduce_time(_nbytes(values[0]), self.nranks, self.network) / 2.0,
+                    "reduce",
+                )
+            return total
 
     def gather(self, values: Sequence[Any], root: int = 0) -> List[Any]:
         """Gather every rank's value to root (returned as a list)."""
-        self._maybe_rank_fail("gather")
-        self._check_world(values)
-        self._check_rank(root)
-        if self.network is not None:
-            nb = max(_nbytes(v) for v in values)
-            self._charge_all(
-                point_to_point_time(nb, self.network) * np.log2(max(self.nranks, 2)),
-                "gather",
-            )
-        return list(values)
+        with trace_span("comm.gather", "comm", nranks=self.nranks):
+            self._maybe_rank_fail("gather")
+            self._check_world(values)
+            self._check_rank(root)
+            if self.network is not None:
+                nb = max(_nbytes(v) for v in values)
+                self._charge_all(
+                    point_to_point_time(nb, self.network) * np.log2(max(self.nranks, 2)),
+                    "gather",
+                )
+            return list(values)
 
     def allgather(self, values: Sequence[Any]) -> List[List[Any]]:
         """All-gather: every rank receives the full list."""
-        self._maybe_rank_fail("allgather")
-        self._check_world(values)
-        if self.network is not None:
-            nb = sum(_nbytes(v) for v in values)
-            self._charge_all(
-                allreduce_time(nb, self.nranks, self.network), "allgather"
-            )
-        return [list(values) for _ in range(self.nranks)]
+        with trace_span("comm.allgather", "comm", nranks=self.nranks):
+            self._maybe_rank_fail("allgather")
+            self._check_world(values)
+            if self.network is not None:
+                nb = sum(_nbytes(v) for v in values)
+                self._charge_all(
+                    allreduce_time(nb, self.nranks, self.network), "allgather"
+                )
+            return [list(values) for _ in range(self.nranks)]
 
     def scatter(self, values: Sequence[Any], root: int = 0) -> List[Any]:
         """Scatter a root-resident list, one element per rank."""
-        self._maybe_rank_fail("scatter")
-        self._check_world(values)
-        self._check_rank(root)
-        if self.network is not None:
-            nb = max(_nbytes(v) for v in values)
-            self._charge_all(
-                point_to_point_time(nb, self.network) * np.log2(max(self.nranks, 2)),
-                "scatter",
-            )
-        return list(values)
+        with trace_span("comm.scatter", "comm", nranks=self.nranks):
+            self._maybe_rank_fail("scatter")
+            self._check_world(values)
+            self._check_rank(root)
+            if self.network is not None:
+                nb = max(_nbytes(v) for v in values)
+                self._charge_all(
+                    point_to_point_time(nb, self.network) * np.log2(max(self.nranks, 2)),
+                    "scatter",
+                )
+            return list(values)
 
     def alltoall(self, matrix: Sequence[Sequence[Any]]) -> List[List[Any]]:
         """All-to-all: matrix[src][dst] -> result[dst][src]."""
-        self._maybe_rank_fail("alltoall")
-        self._check_world(matrix)
-        for row in matrix:
-            self._check_world(row)
-        out = [[matrix[src][dst] for src in range(self.nranks)]
-               for dst in range(self.nranks)]
-        if self.network is not None:
-            nb = max(_nbytes(v) for row in matrix for v in row)
-            self._charge_all(
-                point_to_point_time(nb, self.network) * (self.nranks - 1), "alltoall"
-            )
-        return out
+        with trace_span("comm.alltoall", "comm", nranks=self.nranks):
+            self._maybe_rank_fail("alltoall")
+            self._check_world(matrix)
+            for row in matrix:
+                self._check_world(row)
+            out = [[matrix[src][dst] for src in range(self.nranks)]
+                   for dst in range(self.nranks)]
+            if self.network is not None:
+                nb = max(_nbytes(v) for row in matrix for v in row)
+                self._charge_all(
+                    point_to_point_time(nb, self.network) * (self.nranks - 1), "alltoall"
+                )
+            return out
 
     # ------------------------------------------------------------------ #
     # point-to-point
     # ------------------------------------------------------------------ #
     def send(self, value: Any, src: int, dst: int, tag: int = 0) -> None:
         """Post a message from src to dst (buffered, FIFO per (src,dst,tag))."""
-        self._check_rank(src)
-        self._check_rank(dst)
-        if fault_point("comm.drop") is not None:
-            return  # message lost in flight; recv will fail loudly
-        copies = 2 if fault_point("comm.dup") is not None else 1
-        for _ in range(copies):
-            self._mailbox.setdefault((src, dst, tag), []).append(value)
-        if self.network is not None and self.timeline is not None:
-            t = point_to_point_time(_nbytes(value), self.network)
-            self.timeline.add_comm(src, t, "send")
-            self.timeline.add_comm(dst, t, "recv")
+        with trace_span("comm.send", "comm", nranks=self.nranks):
+            self._check_rank(src)
+            self._check_rank(dst)
+            if fault_point("comm.drop") is not None:
+                return  # message lost in flight; recv will fail loudly
+            copies = 2 if fault_point("comm.dup") is not None else 1
+            for _ in range(copies):
+                self._mailbox.setdefault((src, dst, tag), []).append(value)
+            if self.network is not None and self.timeline is not None:
+                t = point_to_point_time(_nbytes(value), self.network)
+                self.timeline.add_comm(src, t, "send")
+                self.timeline.add_comm(dst, t, "recv")
 
     def recv(self, src: int, dst: int, tag: int = 0) -> Any:
         """Receive the oldest pending message for (src, dst, tag)."""
-        key = (src, dst, tag)
-        queue = self._mailbox.get(key)
-        if not queue:
-            raise RuntimeError(f"no pending message for src={src} dst={dst} tag={tag}")
-        return queue.pop(0)
+        with trace_span("comm.recv", "comm", nranks=self.nranks):
+            key = (src, dst, tag)
+            queue = self._mailbox.get(key)
+            if not queue:
+                raise RuntimeError(f"no pending message for src={src} dst={dst} tag={tag}")
+            return queue.pop(0)
 
     def pending(self) -> int:
         """Number of posted-but-unreceived messages (should be 0 at barrier)."""
@@ -216,7 +226,8 @@ class SimComm:
 
     def barrier(self) -> None:
         """Barrier; raises if messages are still in flight."""
-        if self.pending():
-            raise RuntimeError(f"barrier with {self.pending()} undelivered messages")
-        if self.timeline is not None:
-            self.timeline.barrier()
+        with trace_span("comm.barrier", "comm", nranks=self.nranks):
+            if self.pending():
+                raise RuntimeError(f"barrier with {self.pending()} undelivered messages")
+            if self.timeline is not None:
+                self.timeline.barrier()

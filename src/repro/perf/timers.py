@@ -61,15 +61,26 @@ class RegionTimer:
 
     @contextmanager
     def region(self, name: str) -> Iterator[None]:
-        """Context manager timing one named (possibly nested) region."""
-        self._stack.append((name, time.perf_counter()))
+        """Context manager timing one named (possibly nested) region.
+
+        Exception-safe: a region whose body raises still records its
+        elapsed time and leaves the stack exactly as it found it.  The
+        entry is removed by identity (not a blind ``pop``), so even a
+        child region that leaked its stack entry cannot make this region
+        account its time under the wrong name.
+        """
+        entry = (name, time.perf_counter())
+        self._stack.append(entry)
         try:
             yield
         finally:
-            n, t0 = self._stack.pop()
-            dt = time.perf_counter() - t0
-            self.totals[n] = self.totals.get(n, 0.0) + dt
-            self.counts[n] = self.counts.get(n, 0) + 1
+            for i in range(len(self._stack) - 1, -1, -1):
+                if self._stack[i] is entry:
+                    del self._stack[i]
+                    break
+            dt = time.perf_counter() - entry[1]
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
 
     def total(self, name: str) -> float:
         """Accumulated seconds in a region (0 if never entered)."""

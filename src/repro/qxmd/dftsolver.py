@@ -22,6 +22,7 @@ from repro.grids.grid import Grid3D
 from repro.lfd.observables import density
 from repro.lfd.wavefunction import WaveFunctionSet
 from repro.multigrid.poisson import PoissonMultigrid
+from repro.obs import trace_span
 from repro.pseudo.elements import PseudoSpecies
 from repro.pseudo.kb import KBProjectorSet
 from repro.pseudo.local import core_repulsion_potential, ionic_density
@@ -199,33 +200,35 @@ class GlobalDCSolver:
                     f"injected global-local SCF divergence at cycle "
                     f"{it + 1}/{self.nscf}"
                 )
-            # --- global phase: one O(N) multigrid solve on the full grid.
-            phi = hartree_potential(
-                rho_ion - rho_e, grid, method="multigrid", solver=self.poisson
-            )
-            v_xc, _ = lda_exchange_correlation(rho_e)
-            v_new = -phi + v_xc + v_core
-            v_global = (
-                v_new if it == 0 else (1.0 - self.mixing) * v_global + self.mixing * v_new
-            )
-            # --- local phase: every domain refines against the gathered
-            #     (LDC boundary-informed) potential.
-            local_rhos = []
-            for st in states:
-                st.vloc = st.domain.gather(v_global)
-                solver = DomainSolver(st.domain, st.wf.norb, seed=self.seed)
-                st.eigenvalues = solver.refine(st.wf, st.vloc, st.kb, self.ncg)
-                local_rhos.append(density(st.wf, st.occupations))
-            # --- recombine: disjoint cores tile the global density.
-            rho_new = self.decomposition.recombine(local_rhos)
-            # Renormalize to the exact electron count (buffer truncation).
-            total = float(rho_new.sum()) * grid.dvol
-            if total > 0:
-                rho_new *= nelec_total / total
-            rho_e = rho_new
-            history.append(
-                float(sum(np.dot(s.occupations, s.eigenvalues) for s in states))
-            )
+            with trace_span("scf.cycle", "scf", cycle=it + 1,
+                            ndomains=len(states)):
+                # --- global phase: one O(N) multigrid solve on the full grid.
+                phi = hartree_potential(
+                    rho_ion - rho_e, grid, method="multigrid", solver=self.poisson
+                )
+                v_xc, _ = lda_exchange_correlation(rho_e)
+                v_new = -phi + v_xc + v_core
+                v_global = (
+                    v_new if it == 0 else (1.0 - self.mixing) * v_global + self.mixing * v_new
+                )
+                # --- local phase: every domain refines against the gathered
+                #     (LDC boundary-informed) potential.
+                local_rhos = []
+                for st in states:
+                    st.vloc = st.domain.gather(v_global)
+                    solver = DomainSolver(st.domain, st.wf.norb, seed=self.seed)
+                    st.eigenvalues = solver.refine(st.wf, st.vloc, st.kb, self.ncg)
+                    local_rhos.append(density(st.wf, st.occupations))
+                # --- recombine: disjoint cores tile the global density.
+                rho_new = self.decomposition.recombine(local_rhos)
+                # Renormalize to the exact electron count (buffer truncation).
+                total = float(rho_new.sum()) * grid.dvol
+                if total > 0:
+                    rho_new *= nelec_total / total
+                rho_e = rho_new
+                history.append(
+                    float(sum(np.dot(s.occupations, s.eigenvalues) for s in states))
+                )
         return DCResult(
             states=states,
             rho_global=rho_e,

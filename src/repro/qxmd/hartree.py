@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.grids.grid import Grid3D
 from repro.multigrid.poisson import PoissonMultigrid, solve_poisson_fft
+from repro.obs import trace_span
 
 
 def hartree_potential(
@@ -25,12 +26,14 @@ def hartree_potential(
     multigrid hierarchy across SCF iterations.
     """
     if method == "fft":
-        return solve_poisson_fft(rho, grid)
+        with trace_span("hartree.fft", "hartree"):
+            return solve_poisson_fft(rho, grid)
     if method != "multigrid":
         raise ValueError("method must be 'multigrid' or 'fft'")
     if solver is None:
         solver = PoissonMultigrid(grid)
-    v, stats = solver.solve(rho, tol=tol)
+    with trace_span("hartree.multigrid", "hartree"):
+        v, stats = solver.solve(rho, tol=tol)
     if not stats.converged:
         raise RuntimeError(
             f"multigrid failed to converge: residual {stats.final_residual:.3e} "

@@ -19,6 +19,7 @@ from repro.grids.grid import Grid3D
 from repro.lfd.observables import density
 from repro.lfd.wavefunction import WaveFunctionSet
 from repro.multigrid.poisson import PoissonMultigrid
+from repro.obs import trace_span
 from repro.pseudo.elements import PseudoSpecies
 from repro.pseudo.kb import KBProjectorSet
 from repro.pseudo.local import (
@@ -176,24 +177,28 @@ def scf_solve(
 
     history: List[float] = []
     eigenvalues = np.zeros(norb)
-    for it in range(config.nscf):
-        if fault_point("qxmd.scf_diverge") is not None:
-            raise SCFDivergenceError(
-                f"injected SCF divergence at cycle {it + 1}/{config.nscf}"
-            )
-        ham = KSHamiltonian(grid, vloc, kb=kb)
-        eigenvalues = cg_eigensolve(ham, wf, ncg=config.ncg)
-        rho_e = density(wf, occupations)
-        vloc_new = build_local_potential(
-            grid, rho_e, rho_ion, v_core,
-            config.poisson_method, solver, config.poisson_tol,
-        )
-        vloc = mixer.mix(vloc_new)
-        energies = total_energy(
-            grid, wf, occupations, rho_e, rho_ion, v_core, species, positions, kb,
-            method=config.poisson_method, solver=solver, tol=config.poisson_tol,
-        )
-        history.append(energies["total"])
+    with trace_span("scf.solve", "scf", nscf=config.nscf, ncg=config.ncg):
+        for it in range(config.nscf):
+            if fault_point("qxmd.scf_diverge") is not None:
+                raise SCFDivergenceError(
+                    f"injected SCF divergence at cycle {it + 1}/{config.nscf}"
+                )
+            with trace_span("scf.cycle", "scf", cycle=it + 1):
+                ham = KSHamiltonian(grid, vloc, kb=kb)
+                eigenvalues = cg_eigensolve(ham, wf, ncg=config.ncg)
+                rho_e = density(wf, occupations)
+                vloc_new = build_local_potential(
+                    grid, rho_e, rho_ion, v_core,
+                    config.poisson_method, solver, config.poisson_tol,
+                )
+                vloc = mixer.mix(vloc_new)
+                energies = total_energy(
+                    grid, wf, occupations, rho_e, rho_ion, v_core, species,
+                    positions, kb,
+                    method=config.poisson_method, solver=solver,
+                    tol=config.poisson_tol,
+                )
+                history.append(energies["total"])
 
     return SCFResult(
         wf=wf,

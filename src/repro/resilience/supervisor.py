@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Union
 from repro.core.mesh import DCMESHSimulation, MDStepRecord
 from repro.core.timescale import TimescaleSplit
 from repro.device.allocator import DeviceMemoryError
+from repro.obs import trace_span
 from repro.perf.counters import CounterSet
 from repro.perf.timers import Timer
 from repro.resilience.checkpointing import (
@@ -175,9 +176,11 @@ class RunSupervisor:
 
     # ------------------------------------------------------------------ #
     def _checkpoint(self) -> None:
-        path = write_checkpoint(
-            self.sim, self.checkpoint_dir, keep=self.config.keep_checkpoints
-        )
+        with trace_span("checkpoint.write", "checkpoint",
+                        step=self.sim.step_count):
+            path = write_checkpoint(
+                self.sim, self.checkpoint_dir, keep=self.config.keep_checkpoints
+            )
         self.log.record(
             "checkpoint", step=self.sim.step_count, path=str(path.name)
         )
@@ -210,6 +213,10 @@ class RunSupervisor:
 
     def _restore(self) -> None:
         """Load the newest verified checkpoint, falling back on corruption."""
+        with trace_span("checkpoint.restore", "checkpoint"):
+            self._restore_inner()
+
+    def _restore_inner(self) -> None:
         generations = list_checkpoints(self.checkpoint_dir)
         for path in reversed(generations):
             try:
@@ -267,9 +274,11 @@ class RunSupervisor:
         while sim.step_count < target:
             seg_end = min(sim.step_count + cfg.checkpoint_every, target)
             try:
-                while sim.step_count < seg_end:
-                    sim.md_step()
-                self._checkpoint()
+                with trace_span("supervisor.segment", "md",
+                                start=sim.step_count, end=seg_end):
+                    while sim.step_count < seg_end:
+                        sim.md_step()
+                    self._checkpoint()
                 retries = 0
             except RECOVERABLE as exc:
                 retries += 1

@@ -58,6 +58,40 @@ class TestCostModel:
         m = KernelCostModel(A100)
         with pytest.raises(ValueError):
             m.kernel_time(-1, 0)
+        with pytest.raises(ValueError):
+            m.kernel_time(0, -1)
+
+    def test_zero_byte_kernel_is_compute_bound(self):
+        """A traffic-free kernel is charged pure compute time."""
+        m = KernelCostModel(A100)
+        t = m.kernel_time(flops=1e12, bytes_moved=0.0, itemsize=8)
+        assert t == pytest.approx(1e12 / A100.peak_flops_dp)
+
+    def test_zero_flop_kernel_is_memory_bound(self):
+        """A pure data-movement kernel is charged pure bandwidth time."""
+        m = KernelCostModel(A100)
+        t = m.kernel_time(flops=0.0, bytes_moved=1e9)
+        assert t == pytest.approx(1e9 / A100.mem_bandwidth)
+
+    def test_empty_kernel_costs_nothing(self):
+        assert KernelCostModel(A100).kernel_time(0.0, 0.0) == 0.0
+
+    def test_scalar_derating_moves_ridge_point(self):
+        """Derated peak pushes memory-bound work into compute-bound."""
+        m = KernelCostModel(EPYC_7543_CORE)
+        ai = m.arithmetic_intensity_break(8)  # ridge of vectorized code
+        flops, byts = ai * 0.5 * 1e9, 1e9     # just memory-bound vectorized
+        t_vec = m.kernel_time(flops, byts)
+        assert t_vec == pytest.approx(byts / EPYC_7543_CORE.mem_bandwidth)
+        # The same kernel run as scalar code becomes compute-bound.
+        t_scalar = m.kernel_time(flops, byts, vectorized=False)
+        peak = EPYC_7543_CORE.peak_flops_dp * SCALAR_EFFICIENCY
+        assert t_scalar == pytest.approx(flops / peak)
+        assert t_scalar > t_vec
+
+    def test_efficiency_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCostModel(A100).kernel_time(1e9, 1e6, efficiency=1.5)
 
 
 class TestLauncher:

@@ -1,0 +1,115 @@
+"""Golden-trajectory regression test for the coupled DC-MESH loop.
+
+A tiny fixed-seed run (two O atoms, 12^3 mesh, 3 MD steps with a laser
+and an excited carrier) exercises the whole stack -- global-local SCF,
+surface hopping, scissor setup, LFD propagation, forces, velocity
+Verlet -- and its observables are pinned against a committed ``.npz``.
+Any unintended change to the numerics anywhere in that stack shows up
+here as a trajectory diff.
+
+On the platform that generated the golden file the run is bit-exact
+(set ``REPRO_GOLDEN_EXACT=1`` to enforce that); across BLAS builds and
+architectures reduction orders differ, so the default gate is a
+``1e-10`` absolute tolerance -- far below any physical signal in these
+observables but far above accumulated round-off differences.
+
+Regenerate (after a *deliberate* numerics change) with::
+
+    PYTHONPATH=src:. python -m tests.integration.test_golden_trajectory
+"""
+
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import DCMESHConfig, DCMESHSimulation, TimescaleSplit
+from repro.grids import Grid3D
+from repro.maxwell import GaussianPulse
+from repro.pseudo import get_species
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "data" / "golden_dcmesh.npz"
+)
+
+#: Cross-platform gate; REPRO_GOLDEN_EXACT=1 demands bit-identity.
+GOLDEN_ATOL = 1e-10
+
+NSTEPS = 3
+
+
+def golden_run():
+    """The pinned scenario; returns arrays keyed like the golden file."""
+    grid = Grid3D((12, 12, 12), (0.6, 0.6, 0.6))
+    pos = np.array([[1.8, 3.6, 3.6], [5.4, 3.6, 3.6]])
+    species = [get_species("O"), get_species("O")]
+    laser = GaussianPulse(e0=0.02, omega=0.3, t0=10.0, sigma=6.0)
+    config = DCMESHConfig(
+        timescale=TimescaleSplit(dt_md=2.0, n_qd=5),
+        nscf=2,
+        ncg=2,
+        norb_extra=2,
+        seed=13,
+    )
+    sim = DCMESHSimulation(
+        grid, (2, 1, 1), pos, species, laser=laser, config=config,
+        buffer_width=3,
+    )
+    sim.excite_carrier(0)
+    records = sim.run(NSTEPS)
+    return {
+        "time": np.array([r.time for r in records]),
+        "temperature": np.array([r.temperature for r in records]),
+        "band_energy": np.array([r.band_energy for r in records]),
+        "excited_population": np.array(
+            [r.excited_population for r in records]
+        ),
+        "hops": np.array([r.hops for r in records], dtype=float),
+        "scissor_shifts": np.array([r.scissor_shifts for r in records]),
+        "positions": sim.md_state.positions.copy(),
+        "velocities": sim.md_state.velocities.copy(),
+    }
+
+
+def regenerate(path=GOLDEN_PATH):
+    """Write a fresh golden file (deliberate-change workflow)."""
+    data = golden_run()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **data)
+    return path, data
+
+
+class TestGoldenTrajectory:
+    def test_matches_committed_golden(self):
+        assert GOLDEN_PATH.exists(), (
+            f"golden file missing: {GOLDEN_PATH}; regenerate with "
+            f"python -m tests.integration.test_golden_trajectory"
+        )
+        golden = np.load(GOLDEN_PATH)
+        current = golden_run()
+        assert set(golden.files) == set(current)
+        exact = os.environ.get("REPRO_GOLDEN_EXACT") == "1"
+        for key in golden.files:
+            want, got = golden[key], current[key]
+            assert want.shape == got.shape, key
+            if exact:
+                assert np.array_equal(want, got), f"{key} not bit-exact"
+            else:
+                diff = np.max(np.abs(want - got)) if want.size else 0.0
+                assert diff <= GOLDEN_ATOL, (
+                    f"{key}: max|diff| = {diff:.3e} > {GOLDEN_ATOL}"
+                )
+
+    def test_run_is_deterministic(self):
+        """Two in-process runs of the scenario are bit-identical."""
+        a, b = golden_run(), golden_run()
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+
+
+if __name__ == "__main__":
+    p, data = regenerate()
+    print(f"golden trajectory written to {p}")
+    for key, val in data.items():
+        print(f"  {key}: shape {val.shape}")

@@ -1,0 +1,1 @@
+"""Tracing/observability tests."""

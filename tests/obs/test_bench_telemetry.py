@@ -1,0 +1,178 @@
+"""BENCH_*.json telemetry schema and regression-gate tests."""
+
+import json
+
+import pytest
+
+from benchmarks.bench_common import (
+    BENCH_SCHEMA,
+    bench_json_path,
+    load_bench_json,
+    write_bench_json,
+)
+from benchmarks.regression import compare_bench, main, render_verdicts
+
+
+def kernels(**overrides):
+    base = {
+        "kin": {"time_s": 1.0, "kind": "measured"},
+        "nl": {"time_s": 0.5, "kind": "measured"},
+        "gpu": {"time_s": 0.001, "kind": "modeled"},
+    }
+    base.update(overrides)
+    return base
+
+
+def write_doc(tmp_path, name, ks):
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "kernels": ks,
+        "total_s": sum(e["time_s"] for e in ks.values()),
+    }
+    p = tmp_path / f"BENCH_{name}.json"
+    p.write_text(json.dumps(doc))
+    return p
+
+
+class TestBenchJson:
+    def test_roundtrip_and_total_is_sum(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "benchmarks.bench_common.REPORT_DIR", tmp_path
+        )
+        path = write_bench_json(
+            "demo", kernels(), workload={"ngrid": 1000},
+            extra={"note": "x"},
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        doc = load_bench_json(path)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["workload"] == {"ngrid": 1000}
+        assert doc["extra"] == {"note": "x"}
+        assert doc["total_s"] == pytest.approx(
+            sum(e["time_s"] for e in doc["kernels"].values())
+        )
+
+    def test_paper_ratio_filled_in(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("benchmarks.bench_common.REPORT_DIR", tmp_path)
+        path = write_bench_json("demo", {
+            "kin": {"time_s": 2.0, "kind": "measured", "paper_time_s": 8.0},
+        })
+        doc = load_bench_json(path)
+        assert doc["kernels"]["kin"]["vs_paper"] == pytest.approx(0.25)
+
+    def test_rejects_missing_fields(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("benchmarks.bench_common.REPORT_DIR", tmp_path)
+        with pytest.raises(ValueError):
+            write_bench_json("bad", {"k": {"time_s": 1.0}})
+        with pytest.raises(ValueError):
+            write_bench_json("bad", {"k": {"time_s": 1.0, "kind": "guess"}})
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(ValueError):
+            load_bench_json(p)
+        p.write_text(json.dumps(
+            {"schema": BENCH_SCHEMA, "name": "x", "total_s": 0.0,
+             "kernels": {"k": {"time_s": 1.0, "kind": "nonsense"}}}
+        ))
+        with pytest.raises(ValueError):
+            load_bench_json(p)
+
+    def test_bench_json_path_naming(self):
+        assert bench_json_path("t1").name == "BENCH_t1.json"
+
+
+class TestCompareBench:
+    def test_self_comparison_passes(self, tmp_path):
+        p = write_doc(tmp_path, "a", kernels())
+        verdicts = compare_bench(p, p)
+        assert not any(v.failed for v in verdicts)
+
+    def test_2x_measured_slowdown_fails(self, tmp_path):
+        base = write_doc(tmp_path, "base", kernels())
+        slow = write_doc(tmp_path, "slow", kernels(
+            kin={"time_s": 2.0, "kind": "measured"},
+        ))
+        verdicts = compare_bench(base, slow)
+        bad = [v for v in verdicts if v.failed]
+        assert [v.kernel for v in bad] == ["kin"]
+        assert "2.00x" in bad[0].detail
+
+    def test_speedup_never_fails(self, tmp_path):
+        base = write_doc(tmp_path, "base", kernels())
+        fast = write_doc(tmp_path, "fast", kernels(
+            kin={"time_s": 0.01, "kind": "measured"},
+        ))
+        assert not any(v.failed for v in compare_bench(base, fast))
+
+    def test_modeled_drift_fails_tightly(self, tmp_path):
+        base = write_doc(tmp_path, "base", kernels())
+        drift = write_doc(tmp_path, "drift", kernels(
+            gpu={"time_s": 0.0010001, "kind": "modeled"},
+        ))
+        verdicts = compare_bench(base, drift)
+        bad = [v for v in verdicts if v.failed]
+        assert [v.kernel for v in bad] == ["gpu"]
+        # The same drift on a measured kernel would pass (1.0001x < 1.5x).
+
+    def test_noise_floor_skips_tiny_measured(self, tmp_path):
+        base = write_doc(tmp_path, "base", {
+            "tiny": {"time_s": 1e-6, "kind": "measured"},
+        })
+        cur = write_doc(tmp_path, "cur", {
+            "tiny": {"time_s": 5e-5, "kind": "measured"},  # 50x but tiny
+        })
+        (v,) = compare_bench(base, cur)
+        assert v.status == "skipped"
+
+    def test_missing_kernel_fails_unless_allowed(self, tmp_path):
+        base = write_doc(tmp_path, "base", kernels())
+        cur = write_doc(tmp_path, "cur", {
+            "kin": {"time_s": 1.0, "kind": "measured"},
+        })
+        assert any(v.failed for v in compare_bench(base, cur))
+        assert not any(
+            v.failed for v in compare_bench(base, cur, allow_missing=True)
+        )
+
+    def test_new_kernel_reported_but_passes(self, tmp_path):
+        base = write_doc(tmp_path, "base", {
+            "kin": {"time_s": 1.0, "kind": "measured"},
+        })
+        cur = write_doc(tmp_path, "cur", kernels())
+        verdicts = compare_bench(base, cur)
+        assert not any(v.failed for v in verdicts)
+        assert {v.status for v in verdicts} >= {"ok", "new"}
+
+    def test_custom_ratio(self, tmp_path):
+        base = write_doc(tmp_path, "base", kernels())
+        slow = write_doc(tmp_path, "slow", kernels(
+            kin={"time_s": 2.0, "kind": "measured"},
+        ))
+        assert not any(
+            v.failed for v in compare_bench(base, slow, max_ratio=3.0)
+        )
+
+    def test_render_mentions_failures(self, tmp_path):
+        base = write_doc(tmp_path, "base", kernels())
+        slow = write_doc(tmp_path, "slow", kernels(
+            kin={"time_s": 2.0, "kind": "measured"},
+        ))
+        text = render_verdicts(compare_bench(base, slow))
+        assert "FAIL" in text and "kin" in text
+        assert render_verdicts([]) == "(no kernels compared)"
+
+
+class TestCliGate:
+    def test_exit_codes(self, tmp_path, capsys):
+        base = write_doc(tmp_path, "base", kernels())
+        slow = write_doc(tmp_path, "slow", kernels(
+            kin={"time_s": 2.0, "kind": "measured"},
+        ))
+        assert main([str(base), str(base)]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+        assert main([str(base), str(slow)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main([str(base), str(slow), "--max-ratio", "3"]) == 0

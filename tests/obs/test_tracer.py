@@ -1,0 +1,225 @@
+"""Tracer core tests: nesting, self-time, charging, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_charge,
+    trace_span,
+    tracing,
+)
+
+
+class FakeClock:
+    """Deterministic clock advancing only when told to."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestSpans:
+    def test_single_span_duration(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("work", "kinetic"):
+            clock.advance(2.0)
+        (r,) = tr.records
+        assert r.name == "work"
+        assert r.category == "kinetic"
+        assert r.duration == pytest.approx(2.0)
+        assert r.self_time == pytest.approx(2.0)
+        assert r.depth == 0
+        assert r.start == pytest.approx(0.0)
+
+    def test_nested_self_time_partitions(self):
+        """Parent self-time excludes child time; totals partition exactly."""
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("outer"):
+            clock.advance(1.0)
+            with tr.span("inner"):
+                clock.advance(3.0)
+            clock.advance(0.5)
+        by_name = {r.name: r for r in tr.records}
+        assert by_name["inner"].duration == pytest.approx(3.0)
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].duration == pytest.approx(4.5)
+        assert by_name["outer"].self_time == pytest.approx(1.5)
+        assert sum(r.self_time for r in tr.records) == pytest.approx(4.5)
+
+    def test_sibling_children_both_subtracted(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("outer"):
+            with tr.span("a"):
+                clock.advance(1.0)
+            with tr.span("b"):
+                clock.advance(2.0)
+        outer = [r for r in tr.records if r.name == "outer"][0]
+        assert outer.self_time == pytest.approx(0.0)
+        assert outer.duration == pytest.approx(3.0)
+
+    def test_children_recorded_before_parent(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        assert [r.name for r in tr.records] == ["inner", "outer"]
+
+    def test_exception_still_records_and_unwinds(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    clock.advance(1.0)
+                    raise RuntimeError("kernel blew up")
+        assert [r.name for r in tr.records] == ["inner", "outer"]
+        assert tr.depth == 0
+        # A fresh span after the raise nests at depth 0 again.
+        with tr.span("after"):
+            pass
+        assert tr.records[-1].depth == 0
+
+    def test_total_and_calls(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        for _ in range(3):
+            with tr.span("k"):
+                clock.advance(0.5)
+        assert tr.calls("k") == 3
+        assert tr.total("k") == pytest.approx(1.5)
+        assert tr.calls("absent") == 0
+        assert tr.total("absent") == 0.0
+
+    def test_span_args_recorded(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("scf.cycle", "scf", cycle=3):
+            pass
+        assert tr.records[0].args == {"cycle": 3}
+
+
+class TestCharging:
+    def test_charge_inside_span(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("kin", "kinetic"):
+            tr.charge(100.0, 40.0)
+            tr.charge(50.0, 10.0)
+        (r,) = tr.records
+        assert r.flops == 150.0
+        assert r.bytes_moved == 50.0
+        assert tr.counters.flops["kin"] == 150.0
+        assert tr.counters.arithmetic_intensity("kin") == pytest.approx(3.0)
+
+    def test_charge_goes_to_innermost(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                tr.charge(7.0, 3.0)
+        by_name = {r.name: r for r in tr.records}
+        assert by_name["inner"].flops == 7.0
+        assert by_name["outer"].flops == 0.0
+
+    def test_charge_outside_any_span(self):
+        tr = Tracer(clock=FakeClock())
+        tr.charge(5.0, 2.0)
+        assert tr.counters.flops == {"untraced": 5.0}
+        assert tr.records == []
+
+
+class TestThreads:
+    def test_threads_keep_separate_stacks(self):
+        tr = Tracer()
+        errors = []
+
+        def worker(name):
+            try:
+                with tr.span(name, "comm"):
+                    with tr.span(f"{name}.child", "comm"):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        with tr.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert len(tr.records) == 9
+        # Each worker's child nests under its own root, not under "main".
+        for i in range(4):
+            child = [r for r in tr.records if r.name == f"t{i}.child"][0]
+            root = [r for r in tr.records if r.name == f"t{i}"][0]
+            assert child.depth == 1
+            assert root.depth == 0
+            assert child.thread == root.thread
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_span_is_shared_noop(self):
+        s1 = NULL_TRACER.span("a")
+        s2 = NULL_TRACER.span("b", "kinetic", arg=1)
+        assert s1 is s2
+        with s1:
+            pass
+        NULL_TRACER.charge(1e9, 1e9)
+        assert NULL_TRACER.enabled is False
+
+    def test_set_and_restore(self):
+        tr = Tracer()
+        assert set_tracer(tr) is tr
+        try:
+            assert get_tracer() is tr
+            with trace_span("x", "kinetic"):
+                trace_charge(2.0, 1.0)
+            assert tr.calls("x") == 1
+            assert tr.counters.flops["x"] == 2.0
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_trace_span_noop_when_disabled(self):
+        with trace_span("ignored", "kinetic"):
+            trace_charge(1.0, 1.0)
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_context_restores_previous(self):
+        outer = Tracer()
+        set_tracer(outer)
+        try:
+            with tracing() as inner:
+                assert get_tracer() is inner
+                assert inner is not outer
+                with trace_span("in"):
+                    pass
+            assert get_tracer() is outer
+            assert inner.calls("in") == 1
+            assert outer.calls("in") == 0
+        finally:
+            set_tracer(None)
+
+    def test_tracing_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with tracing():
+                raise ValueError
+        assert get_tracer() is NULL_TRACER

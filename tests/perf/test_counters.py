@@ -38,3 +38,46 @@ class TestCounterSet:
         a.merge(b)
         assert a.flops == {"k": 4.0, "j": 5.0}
         assert a.calls == {"k": 2, "j": 1}
+
+    def test_merge_empty_is_identity(self):
+        a = CounterSet()
+        a.add("k", 1.0, 2.0)
+        a.merge(CounterSet())
+        assert a.flops == {"k": 1.0}
+        CounterSet().merge(a)  # merging into empty must not mutate a
+        assert a.calls == {"k": 1}
+
+    def test_merge_disjoint_names(self):
+        a = CounterSet()
+        a.add("only_a", 1.0, 1.0)
+        b = CounterSet()
+        b.add("only_b", 2.0, 2.0)
+        a.merge(b)
+        assert a.flops == {"only_a": 1.0, "only_b": 2.0}
+        assert a.bytes_moved == {"only_a": 1.0, "only_b": 2.0}
+
+    def test_merge_leaves_other_untouched(self):
+        a = CounterSet()
+        b = CounterSet()
+        b.add("k", 3.0, 4.0)
+        a.merge(b)
+        a.add("k", 1.0, 1.0)
+        assert b.flops == {"k": 3.0}
+        assert b.calls == {"k": 1}
+
+    def test_zero_counts_allowed(self):
+        """Zero-flop/zero-byte invocations still count calls."""
+        c = CounterSet()
+        c.add("sync", 0.0, 0.0)
+        c.add("sync", 0.0, 0.0)
+        assert c.calls == {"sync": 2}
+        assert c.total_flops() == 0.0
+        assert c.arithmetic_intensity("sync") == float("inf")
+
+    def test_intensity_of_unknown_kernel(self):
+        """Unknown names read as 0 flops / 0 bytes -> inf, not KeyError."""
+        assert CounterSet().arithmetic_intensity("ghost") == float("inf")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().add("x", 0.0, -1.0)

@@ -63,6 +63,47 @@ class TestRegionTimer:
     def test_empty_report(self):
         assert "no regions" in RegionTimer().report()
 
+    def test_exception_still_records_time(self):
+        """A raising region body records its elapsed time and count."""
+        rt = RegionTimer()
+        with pytest.raises(RuntimeError):
+            with rt.region("doomed"):
+                time.sleep(0.005)
+                raise RuntimeError("solver diverged")
+        assert rt.total("doomed") >= 0.005
+        assert rt.counts == {"doomed": 1}
+        assert rt._stack == []
+
+    def test_exception_unwinds_nested_stack(self):
+        """A raise deep in a nest leaves the stack clean and every level
+        recorded under its own name."""
+        rt = RegionTimer()
+        with pytest.raises(ValueError):
+            with rt.region("outer"):
+                with rt.region("mid"):
+                    with rt.region("inner"):
+                        raise ValueError
+        assert rt.counts == {"outer": 1, "mid": 1, "inner": 1}
+        assert rt._stack == []
+        assert rt.total("outer") >= rt.total("mid") >= rt.total("inner")
+
+    def test_reentrant_same_name(self):
+        """Recursive use of one region name attributes each level once."""
+        rt = RegionTimer()
+        with rt.region("r"):
+            with rt.region("r"):
+                time.sleep(0.002)
+        assert rt.counts == {"r": 2}
+
+    def test_usable_after_exception(self):
+        rt = RegionTimer()
+        with pytest.raises(RuntimeError):
+            with rt.region("a"):
+                raise RuntimeError
+        with rt.region("b"):
+            pass
+        assert rt.counts == {"a": 1, "b": 1}
+
 
 class TestTimed:
     def test_returns_result(self):
