@@ -18,7 +18,6 @@ import pytest
 from benchmarks.bench_common import write_report
 from repro.device.spec import PVC_MAX_1550, XEON_MAX_CORE
 from repro.parallel import weak_scaling_study
-from repro.parallel.cluster import AuroraModel, PolarisModel
 from repro.parallel.scaling import calibrated_model
 from repro.perf import Table
 

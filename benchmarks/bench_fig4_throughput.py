@@ -15,7 +15,6 @@ import pytest
 
 from benchmarks.bench_common import write_report
 from repro.analysis import throughput
-from repro.parallel import DCMeshStepModel
 from repro.parallel.scaling import calibrated_model
 from repro.perf import Table
 

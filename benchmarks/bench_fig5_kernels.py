@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.bench_common import measured_setup, paper_workload, write_report
@@ -26,7 +25,6 @@ from repro.lfd import (
     WaveFunctionSet,
     band_energies,
     kinetic_step,
-    nonlocal_correction_blas,
     potential_phase_step,
 )
 from repro.lfd.energy import band_energies_naive

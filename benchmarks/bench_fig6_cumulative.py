@@ -11,10 +11,8 @@ is compared against 644x.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_common import write_bench_json, write_report
 from benchmarks.bench_table2_builds import _measured_cpu_build, _modeled_build

@@ -25,7 +25,6 @@ import pytest
 
 from benchmarks.bench_common import (
     MEASURED_GRID_N,
-    MEASURED_NORB,
     MEASURED_NUNOCC,
     measured_setup,
     write_bench_json,

@@ -12,7 +12,7 @@ propagated orbitals, and the mean-field forces follow from it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -31,7 +31,7 @@ from repro.pseudo.local import (
 )
 from repro.qxmd.forces import ForceCalculator
 from repro.qxmd.hartree import hartree_potential
-from repro.qxmd.md import MDState, kinetic_energy, temperature
+from repro.qxmd.md import MDState, temperature
 from repro.qxmd.xc import lda_exchange_correlation
 
 

@@ -11,7 +11,7 @@ Delta_QD, realizing the retarded, absorbing light-matter feedback loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np

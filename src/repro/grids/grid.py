@@ -8,10 +8,11 @@ per axis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,7 @@ class Grid3D:
         ]
         return tuple(idx)
 
-    def zeros(self, dtype=np.float64) -> np.ndarray:
+    def zeros(self, dtype: DTypeLike = np.float64) -> np.ndarray:
         """A zero-initialized field on this grid."""
         return np.zeros(self.shape, dtype=dtype)
 

@@ -12,7 +12,7 @@ exp(-dt W(r)) once per QD step (exact for the CAP term of the split).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

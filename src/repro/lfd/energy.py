@@ -50,7 +50,9 @@ def band_energies(
     dvol = wf.grid.dvol
     hpsi = apply_kinetic(wf, mass=mass)
     hpsi += vloc[..., None] * wf.psi
-    m = wf.as_matrix().astype(np.complex128)
+    # copy=False: a view when the set already stores complex128 (the
+    # kernel dtype contract), so no per-call O(Ngrid*Norb) copy.
+    m = wf.as_matrix().astype(np.complex128, copy=False)
     hm = hpsi.reshape(m.shape)
     e = np.real(np.einsum("gs,gs->s", m.conj(), hm)) * dvol
     if corrector is not None:
@@ -69,9 +71,12 @@ def band_energies_naive(
     """Reference per-orbital-loop implementation of :func:`band_energies`."""
     dvol = wf.grid.dvol
     e = np.zeros(wf.norb)
+    tpsi = np.empty(wf.grid.shape, dtype=np.complex128)
     for s in range(wf.norb):
-        psi = wf.orbital(s).astype(np.complex128)
-        tpsi = np.zeros_like(psi)
+        # Read-only view when already complex128; tpsi is the reused
+        # accumulator workspace (cleared per orbital, allocated once).
+        psi = wf.orbital(s).astype(np.complex128, copy=False)
+        tpsi[...] = 0.0
         for axis in range(3):
             h = wf.grid.spacing[axis]
             d = HBAR * HBAR / (mass * h * h)

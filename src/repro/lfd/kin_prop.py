@@ -43,7 +43,7 @@ from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.constants import HBAR, M_ELECTRON
+from repro.constants import M_ELECTRON
 from repro.grids.stencil import PairSplitCoefficients, strang_passes
 from repro.lfd.wavefunction import WaveFunctionSet
 from repro.obs import trace_charge, trace_span
@@ -59,7 +59,9 @@ def _pair_indices(n: int, parity: int) -> Tuple[np.ndarray, np.ndarray]:
 # --------------------------------------------------------------------- #
 # Algorithm 1: baseline (AoS, work array, orbital-outermost)
 # --------------------------------------------------------------------- #
-def kin_prop_baseline(aos: np.ndarray, coeff: PairSplitCoefficients, axis: int) -> None:
+def kin_prop_baseline(  # dclint: disable=DCL006 -- timed by kinetic_step
+    aos: np.ndarray, coeff: PairSplitCoefficients, axis: int
+) -> None:
     """Baseline kernel on AoS data ``psi[n, ix, iy, iz]`` (Algorithm 1).
 
     Loops orbitals outermost, sweeps the full grid writing into a separate
@@ -75,9 +77,11 @@ def kin_prop_baseline(aos: np.ndarray, coeff: PairSplitCoefficients, axis: int) 
     if coeff.n != n:
         raise ValueError("coefficient length does not match grid axis")
     al, bl, bu = coeff.al, coeff.bl, coeff.bu
+    # One O(M^D) work array per call (the temporary Algorithm 2 removes),
+    # shared across orbitals rather than reallocated per orbital.
+    wrk = np.empty_like(np.moveaxis(aos[0], axis, 0))
     for nn in range(norb):
         q = np.moveaxis(aos[nn], axis, 0)  # view: (n, a, b)
-        wrk = np.empty_like(q)
         na = q.shape[1]
         for i in range(n):
             im = (i - 1) % n
@@ -110,7 +114,7 @@ def _apply_pass_block(
 # --------------------------------------------------------------------- #
 # Algorithm 3: loop interchange + in-place update (SoA)
 # --------------------------------------------------------------------- #
-def kin_prop_interchange(
+def kin_prop_interchange(  # dclint: disable=DCL006 -- timed by kinetic_step
     soa: np.ndarray, coeff: PairSplitCoefficients, axis: int
 ) -> None:
     """Loop-interchanged kernel on SoA data ``psi[ix, iy, iz, n]`` (Algorithm 3).
@@ -127,11 +131,15 @@ def kin_prop_interchange(
         raise ValueError("coefficient length does not match grid axis")
     left, right = _pair_indices(n, coeff.parity)
     al = coeff.al
+    # The ``psi_old`` pair buffer is preallocated once per sweep and
+    # refilled in place (Alg. 2 memory reuse); it plays the role of the
+    # register-held old value of the paper's in-place update.
+    psi_old = np.empty(p.shape[-1], dtype=p.dtype)
     for j in range(na):
         for k in range(nb):
             pencil = p[:, j, k, :]  # (n, norb) view
             for l, r in zip(left, right):
-                psi_old = pencil[l].copy()
+                psi_old[:] = pencil[l]
                 pencil[l] = al * psi_old + coeff.bu[l] * pencil[r]
                 pencil[r] = al * pencil[r] + coeff.bl[r] * psi_old
 
@@ -139,7 +147,7 @@ def kin_prop_interchange(
 # --------------------------------------------------------------------- #
 # Algorithm 4: orbital blocking
 # --------------------------------------------------------------------- #
-def kin_prop_blocked(
+def kin_prop_blocked(  # dclint: disable=DCL006 -- timed by kinetic_step
     soa: np.ndarray,
     coeff: PairSplitCoefficients,
     axis: int,
@@ -172,7 +180,7 @@ def kin_prop_blocked(
 # --------------------------------------------------------------------- #
 # Algorithm 5: fully collapsed (the GPU kernel)
 # --------------------------------------------------------------------- #
-def kin_prop_collapsed(
+def kin_prop_collapsed(  # dclint: disable=DCL006 -- timed by kinetic_step
     soa: np.ndarray, coeff: PairSplitCoefficients, axis: int
 ) -> None:
     """Collapsed kernel (Algorithm 5): whole-array pair update.
@@ -192,7 +200,9 @@ def kin_prop_collapsed(
 
 
 #: Registry of kernel variants (name -> callable(soa_or_aos, coeff, axis)).
-KIN_PROP_VARIANTS: Dict[str, Callable] = {
+#: ``blocked`` additionally accepts ``block_size=``; the common calling
+#: convention is positional ``(data, coeff, axis)`` with ``None`` return.
+KIN_PROP_VARIANTS: Dict[str, Callable[..., None]] = {
     "baseline": kin_prop_baseline,
     "interchange": kin_prop_interchange,
     "blocked": kin_prop_blocked,

@@ -21,7 +21,6 @@ are implemented here and are tested to agree to round-off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -30,7 +29,7 @@ from repro.lfd.wavefunction import WaveFunctionSet
 from repro.obs import trace_charge, trace_span
 
 
-def nonlocal_correction_naive(
+def nonlocal_correction_naive(  # dclint: disable=DCL006 -- timed by NonlocalCorrector.apply
     wf: WaveFunctionSet,
     ref_unocc: WaveFunctionSet,
     scissor_shift: float,
@@ -47,9 +46,10 @@ def nonlocal_correction_naive(
         raise ValueError("reference orbitals live on a different grid")
     dvol = wf.grid.dvol
     c0 = -1j * scissor_shift * dt / (2.0 * HBAR)
+    acc = np.empty(wf.grid.shape, dtype=np.complex128)  # reused accumulator
     for s in range(wf.norb):
         psi_s = wf.orbital(s)
-        acc = np.zeros_like(psi_s, dtype=np.complex128)
+        acc[...] = 0.0
         for u in range(ref_unocc.norb):
             psi_u = ref_unocc.orbital(u)
             ovl = np.vdot(psi_u, psi_s) * dvol
@@ -59,10 +59,10 @@ def nonlocal_correction_naive(
             nrm = np.sqrt(np.real(np.vdot(new, new)) * dvol)
             if nrm > 0.0:
                 new = new / nrm
-        wf.set_orbital(s, new.astype(wf.dtype))
+        wf.set_orbital(s, new.astype(wf.dtype, copy=False))
 
 
-def nonlocal_correction_blas(
+def nonlocal_correction_blas(  # dclint: disable=DCL006 -- timed by NonlocalCorrector.apply
     wf: WaveFunctionSet,
     ref_unocc: WaveFunctionSet,
     scissor_shift: float,
@@ -82,7 +82,7 @@ def nonlocal_correction_blas(
         nrm = np.sqrt(np.real(np.einsum("gs,gs->s", psi_new.conj(), psi_new)) * dvol)
         nrm[nrm == 0.0] = 1.0
         psi_new = psi_new / nrm
-    wf.psi[...] = psi_new.reshape(wf.psi.shape).astype(wf.dtype)
+    wf.psi[...] = psi_new.reshape(wf.psi.shape).astype(wf.dtype, copy=False)
 
 
 @dataclass

@@ -26,7 +26,7 @@ def density(wf: WaveFunctionSet, occupations: np.ndarray) -> np.ndarray:
     occupations = np.asarray(occupations, dtype=float)
     if occupations.shape != (wf.norb,):
         raise ValueError("need one occupation per orbital")
-    return np.einsum("xyzs,s->xyz", np.abs(wf.psi.astype(np.complex128)) ** 2, occupations)
+    return np.einsum("xyzs,s->xyz", np.abs(wf.psi.astype(np.complex128, copy=False)) ** 2, occupations)
 
 
 def dipole_moment(wf: WaveFunctionSet, occupations: np.ndarray) -> np.ndarray:
@@ -57,7 +57,7 @@ def current_expectation(
     """
     occupations = np.asarray(occupations, dtype=float)
     a_field = np.asarray(a_field, dtype=float)
-    psi = wf.psi.astype(np.complex128)
+    psi = wf.psi.astype(np.complex128, copy=False)
     dvol = wf.grid.dvol
     current = np.zeros(3)
     for axis in range(3):
@@ -91,7 +91,7 @@ def kinetic_gauge_gradient(
     """
     occupations = np.asarray(occupations, dtype=float)
     a_field = np.asarray(a_field, dtype=float)
-    psi = wf.psi.astype(np.complex128)
+    psi = wf.psi.astype(np.complex128, copy=False)
     dvol = wf.grid.dvol
     out = np.zeros(3)
     for axis in range(3):

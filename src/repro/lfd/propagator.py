@@ -15,8 +15,8 @@ on the GPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.lfd.vector_gauge import peierls_phases
 from repro.lfd.wavefunction import WaveFunctionSet
 from repro.obs import trace_span
 from repro.resilience.faults import fault_point
+
+if TYPE_CHECKING:  # guards are read-only observers; avoid a runtime cycle
+    from repro.resilience.guards import HealthGuard
 
 
 @dataclass
@@ -94,7 +97,7 @@ class QDPropagator:
         corrector: Optional[NonlocalCorrector] = None,
         a_of_t: Optional[Callable[[float], Sequence[float]]] = None,
         cap: Optional[np.ndarray] = None,
-        guard=None,
+        guard: Optional["HealthGuard"] = None,
     ) -> None:
         if vloc.shape != wf.grid.shape:
             raise ValueError("potential shape does not match grid")

@@ -11,7 +11,7 @@ baseline kernel.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -138,7 +138,7 @@ class WaveFunctionSet:
     def orthonormalize(self) -> None:
         """Lowdin-stable orthonormalization via thin QR on the Psi matrix."""
         m = self.as_matrix()
-        q, r = np.linalg.qr(m.astype(np.complex128))
+        q, r = np.linalg.qr(m.astype(np.complex128, copy=False))
         # Fix the gauge so the diagonal of R is positive (deterministic).
         phases = np.sign(np.real(np.diag(r)))
         phases[phases == 0.0] = 1.0

@@ -23,7 +23,7 @@ the light-induced switching of Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

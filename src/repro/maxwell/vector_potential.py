@@ -17,7 +17,7 @@ Discretization: explicit central differences in both time and space
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -20,12 +20,7 @@ import numpy as np
 
 from repro.grids.grid import Grid3D
 from repro.obs import trace_span
-from repro.multigrid.smoothers import (
-    laplacian_periodic,
-    residual,
-    weighted_jacobi,
-    red_black_gauss_seidel,
-)
+from repro.multigrid.smoothers import residual, weighted_jacobi, red_black_gauss_seidel
 from repro.multigrid.transfer import prolong_trilinear, restrict_full_weighting
 
 

@@ -10,7 +10,7 @@ breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 from repro.obs.tracer import SpanRecord
 from repro.perf.report import Table

@@ -27,7 +27,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, ContextManager, Dict, Iterator, List, Optional
 
 from repro.perf.counters import CounterSet
 
@@ -79,7 +79,7 @@ class _NullSpan:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -93,7 +93,7 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, category: str = "other", **args) -> _NullSpan:
+    def span(self, name: str, category: str = "other", **args: object) -> _NullSpan:
         """Return the shared no-op context manager (records nothing)."""
         return _NULL_SPAN
 
@@ -139,7 +139,7 @@ class Tracer:
         return len(self._stack())
 
     @contextmanager
-    def span(self, name: str, category: str = "other", **args) -> Iterator[_OpenSpan]:
+    def span(self, name: str, category: str = "other", **args: object) -> Iterator[_OpenSpan]:
         """Open one span; always closed and recorded, even on raise."""
         stack = self._stack()
         open_span = _OpenSpan(name, category, self._clock(), args)
@@ -202,19 +202,19 @@ class Tracer:
 _CURRENT: Any = NULL_TRACER
 
 
-def get_tracer():
+def get_tracer() -> Any:
     """The currently installed tracer (the null tracer by default)."""
     return _CURRENT
 
 
-def set_tracer(tracer: Optional[Any]):
+def set_tracer(tracer: Optional[Any]) -> Any:
     """Install ``tracer`` globally (``None`` restores the null tracer)."""
     global _CURRENT
     _CURRENT = tracer if tracer is not None else NULL_TRACER
     return _CURRENT
 
 
-def trace_span(name: str, category: str = "other", **args):
+def trace_span(name: str, category: str = "other", **args: object) -> ContextManager[Any]:
     """Open a span on the current tracer (no-op when tracing is off)."""
     return _CURRENT.span(name, category, **args)
 

@@ -8,7 +8,7 @@ compute + communication time; :meth:`barrier` realizes that maximum.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 
 class RankTimeline:

@@ -12,7 +12,7 @@ All quantities are in Hartree atomic units.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.constants import ATOMIC_MASS, VALENCE_CHARGE

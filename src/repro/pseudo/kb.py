@@ -96,11 +96,11 @@ class KBProjectorSet:
 
     def apply_wf(self, wf: WaveFunctionSet) -> np.ndarray:
         """v_nl applied to a WaveFunctionSet (SoA result)."""
-        return self.apply(wf.psi.astype(np.complex128))
+        return self.apply(wf.psi.astype(np.complex128, copy=False))
 
     def expectation(self, wf: WaveFunctionSet) -> np.ndarray:
         """Per-orbital <psi_s| v_nl |psi_s> (real)."""
-        flat = wf.as_matrix().astype(np.complex128)
+        flat = wf.as_matrix().astype(np.complex128, copy=False)
         coeff = (self.projectors.T @ flat) * self.grid.dvol
         return np.real(np.einsum("ps,p,ps->s", coeff.conj(), self.energies, coeff))
 

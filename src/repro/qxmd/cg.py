@@ -9,7 +9,6 @@ Rayleigh-Ritz rotation diagonalizes H in the refined subspace.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -112,7 +111,7 @@ def cg_eigensolve(
             psi = cand
         psi = _orthogonalize_against(psi, lower, dvol)
         psi /= np.sqrt(np.real(np.vdot(psi, psi)) * dvol)
-        wf.set_orbital(s, psi.astype(wf.dtype))
+        wf.set_orbital(s, psi.astype(wf.dtype, copy=False))
         mat = wf.as_matrix()
     if rayleigh_ritz:
         return subspace_rotate(ham, wf)
@@ -130,7 +129,7 @@ def subspace_rotate(ham: KSHamiltonian, wf: WaveFunctionSet) -> np.ndarray:
     import scipy.linalg as sla
 
     vals, vecs = sla.eigh(hsub, ssub)
-    mat = wf.as_matrix().astype(np.complex128)
+    mat = wf.as_matrix().astype(np.complex128, copy=False)
     rotated = mat @ vecs
     wf.psi[...] = rotated.reshape(wf.psi.shape).astype(wf.dtype)
     wf.normalize()

@@ -163,7 +163,7 @@ class ForceCalculator:
         if kb.nproj == 0:
             return forces
         occupations = np.asarray(occupations, dtype=float)
-        psi = wf.as_matrix().astype(np.complex128)   # (Ngrid, Norb)
+        psi = wf.as_matrix().astype(np.complex128, copy=False)   # (Ngrid, Norb)
         dvol = self.grid.dvol
         coeff = (kb.projectors.T @ psi) * dvol       # (Nproj, Norb)
         for axis in range(3):

@@ -71,20 +71,20 @@ class KSHamiltonian:
 
     def apply_wf(self, wf: WaveFunctionSet) -> np.ndarray:
         """H applied to every orbital of a wave-function set (SoA result)."""
-        return self.apply(wf.psi.astype(np.complex128))
+        return self.apply(wf.psi.astype(np.complex128, copy=False))
 
     # ------------------------------------------------------------------ #
     def expectation(self, wf: WaveFunctionSet) -> np.ndarray:
         """Per-orbital <psi_s|H|psi_s> (real for Hermitian H)."""
         hpsi = self.apply_wf(wf)
-        m = wf.as_matrix().astype(np.complex128)
+        m = wf.as_matrix().astype(np.complex128, copy=False)
         hm = hpsi.reshape(m.shape)
         return np.real(np.einsum("gs,gs->s", m.conj(), hm)) * self.grid.dvol
 
     def subspace_matrix(self, wf: WaveFunctionSet) -> np.ndarray:
         """<psi_s|H|psi_u> in the span of the orbital set (one GEMM)."""
         hpsi = self.apply_wf(wf).reshape(self.grid.npoints, wf.norb)
-        m = wf.as_matrix().astype(np.complex128)
+        m = wf.as_matrix().astype(np.complex128, copy=False)
         return (m.conj().T @ hpsi) * self.grid.dvol
 
     def dense_matrix(self) -> np.ndarray:

@@ -11,7 +11,7 @@ and the real-time propagator use (agreement is asserted in the tests).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -63,7 +63,7 @@ def imaginary_time_ground_state(
     evals = np.zeros(wf.norb)
     steps = 0
     for step in range(nsteps):
-        psi = wf.psi.astype(np.complex128)
+        psi = wf.psi.astype(np.complex128, copy=False)
         psi = v_half * psi
         psi = np.fft.ifftn(
             kin_factor * np.fft.fftn(psi, axes=(0, 1, 2)), axes=(0, 1, 2)

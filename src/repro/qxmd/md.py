@@ -6,8 +6,8 @@ N_QD = 10^2..10^3 sub-steps in between (Eqs. 3-4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 

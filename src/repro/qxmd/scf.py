@@ -236,7 +236,7 @@ def total_energy(
     dvol = grid.dvol
     occupations = np.asarray(occupations, dtype=float)
     ham_kin = KSHamiltonian(grid, np.zeros(grid.shape))
-    psi = wf.psi.astype(np.complex128)
+    psi = wf.psi.astype(np.complex128, copy=False)
     tpsi = ham_kin.apply_kinetic(psi)
     e_kin = float(
         np.dot(

@@ -10,7 +10,7 @@ cannot capture; the closed-shell limit reduces to the restricted result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -75,7 +75,7 @@ __all__ = [
 ] + sorted(_LAZY)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -84,5 +84,5 @@ def __getattr__(name: str):
     return getattr(importlib.import_module(module_name), name)
 
 
-def __dir__():
+def __dir__() -> "list[str]":
     return sorted(__all__)

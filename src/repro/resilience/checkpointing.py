@@ -28,7 +28,10 @@ import json
 import os
 import pathlib
 import re
-from typing import Dict, List, Union
+from typing import TYPE_CHECKING, Dict, List, Union
+
+if TYPE_CHECKING:  # layering: resilience never imports core at runtime
+    from repro.core.mesh import DCMESHSimulation
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.resilience.faults import fault_point
@@ -87,7 +90,7 @@ def _corrupt_file(path: pathlib.Path, offset: int, nbytes: int) -> None:
 
 
 def write_checkpoint(
-    sim, directory: Union[str, pathlib.Path], keep: int = 3
+    sim: "DCMESHSimulation", directory: Union[str, pathlib.Path], keep: int = 3
 ) -> pathlib.Path:
     """Atomically write one checkpoint generation; rotate to ``keep``.
 
@@ -151,7 +154,7 @@ def verify_checkpoint(path: Union[str, pathlib.Path]) -> Dict:
     return meta
 
 
-def load_verified(sim, path: Union[str, pathlib.Path]) -> Dict:
+def load_verified(sim: "DCMESHSimulation", path: Union[str, pathlib.Path]) -> Dict:
     """Verify integrity, then restore the checkpoint into ``sim``."""
     meta = verify_checkpoint(path)
     load_checkpoint(sim, path)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,7 +108,7 @@ class FaultPlan:
         #: Chronological (site, arrival_index) record of every firing.
         self.fired: List[Tuple[str, int]] = []
 
-    def add(self, site: str, **kwargs) -> "FaultPlan":
+    def add(self, site: str, **kwargs: Any) -> "FaultPlan":
         """Append a spec (chainable): ``plan.add("lfd.nan", at_call=3)``."""
         self.specs.append(FaultSpec(site, **kwargs))
         return self

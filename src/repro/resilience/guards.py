@@ -26,9 +26,13 @@ is bit-identical to unguarded behavior.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # layering: resilience never imports core/lfd at runtime
+    from repro.core.mesh import DCMESHSimulation, MDStepRecord
+    from repro.lfd.wavefunction import WaveFunctionSet
 
 
 class NumericalHealthError(RuntimeError):
@@ -105,7 +109,7 @@ class HealthGuard:
                 f"{name}: {bad} non-finite value(s) detected"
             )
 
-    def check_wavefunction(self, wf, where: str = "") -> None:
+    def check_wavefunction(self, wf: "WaveFunctionSet", where: str = "") -> None:
         """Finiteness + norm-drift check of one wave-function set."""
         ctx = f" at {where}" if where else ""
         if self.config.check_orbitals:
@@ -149,7 +153,7 @@ class HealthGuard:
         self._e_prev = None
 
     # -- composite checks ------------------------------------------------ #
-    def check_md_step(self, sim, record) -> None:
+    def check_md_step(self, sim: "DCMESHSimulation", record: "MDStepRecord") -> None:
         """Full health check after one MD step of a DC-MESH simulation."""
         step = record.step
         self.check_array(sim.md_state.positions, f"step {step}: positions")

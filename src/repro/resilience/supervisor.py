@@ -136,7 +136,7 @@ class ResilienceLog:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.path.write_text("")
 
-    def record(self, kind: str, **fields) -> Dict:
+    def record(self, kind: str, **fields: object) -> Dict:
         """Append one event; mirrors it to the JSON-lines file if set."""
         event = {"event": kind, "wall_time": time.perf_counter() - self._t0}
         event.update(fields)

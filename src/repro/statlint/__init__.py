@@ -1,0 +1,36 @@
+"""dclint: repo-specific static analysis for numerical-kernel discipline.
+
+The paper's speedup story (Table I, Algorithms 1-6) depends on kernel
+discipline that ordinary linters cannot see: fixed dtypes, preallocated
+buffers reused across the Suzuki-Trotter hot loop, seeded randomness for
+deterministic replay, traced kernels for the paper-taxonomy breakdown,
+and volume-weighted inner products.  ``dclint`` encodes those contracts
+as AST-level rules (DCL001-DCL008) with per-rule severity, inline
+``# dclint: disable=DCLnnn`` suppressions, a committed baseline file so
+legacy findings do not block CI, and text/JSON/SARIF output.
+
+Run it as ``python -m repro.statlint src/ --baseline statlint-baseline.json``.
+"""
+
+from repro.statlint.baseline import Baseline, BaselineEntry
+from repro.statlint.config import LintConfig
+from repro.statlint.engine import Finding, LintResult, lint_paths, lint_source
+from repro.statlint.output import render_json, render_sarif, render_text
+from repro.statlint.rules import ALL_RULES, Rule, get_rule, rule_codes
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rule_codes",
+]

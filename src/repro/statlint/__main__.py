@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.statlint``."""
+
+import os
+import sys
+
+from repro.statlint.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

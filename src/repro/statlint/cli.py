@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro.statlint``.
+
+Exit codes: 0 = clean (or all findings baselined / sub-error severity),
+1 = new error-severity findings, 2 = usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.statlint.baseline import Baseline, apply_baseline
+from repro.statlint.config import LintConfig
+from repro.statlint.engine import LintResult, lint_paths
+from repro.statlint.output import render_json, render_sarif, render_text
+from repro.statlint.rules import ALL_RULES, rule_codes
+
+_FORMATS = ("text", "json", "sarif")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The dclint argument parser (exposed for --help documentation tests)."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro.statlint",
+        description=(
+            "dclint: repo-specific static analysis for numerical-kernel "
+            "discipline (rules DCL001-DCL008)"
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument("--baseline", help="baseline JSON; matching findings pass")
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write all current findings to FILE as the new baseline "
+        "(justifications of surviving entries are preserved) and exit 0",
+    )
+    p.add_argument(
+        "--format", choices=_FORMATS, default="text", help="report format"
+    )
+    p.add_argument("--output", help="write the report here instead of stdout")
+    p.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore", default="", help="comma-separated rule codes to skip"
+    )
+    p.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="DCLnnn=LEVEL",
+        help="override a rule's severity (error|warning|note); repeatable",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    return p
+
+
+def _parse_codes(raw: str) -> tuple:
+    return tuple(c.strip().upper() for c in raw.split(",") if c.strip())
+
+
+def _list_rules() -> str:
+    lines = ["dclint rule set:"]
+    for r in ALL_RULES:
+        scope = getattr(r, "scope_attr", None) or "all files"
+        lines.append(f"  {r.code}  {r.name:<22} {r.summary}")
+        lines.append(f"          scope: {scope}; protects: {r.paper_ref}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run dclint over the given argv; returns the process exit code."""
+    parser = build_parser()
+    ns = parser.parse_args(argv)
+
+    if ns.list_rules:
+        print(_list_rules())
+        return 0
+
+    known = set(rule_codes())
+    select = _parse_codes(ns.select)
+    ignore = _parse_codes(ns.ignore)
+    for code in (*select, *ignore):
+        if code not in known:
+            parser.error(f"unknown rule {code}; known: {', '.join(sorted(known))}")
+    try:
+        severities = LintConfig.parse_severity_overrides(ns.severity)
+    except ValueError as exc:
+        parser.error(str(exc))
+    for code in severities:
+        if code not in known:
+            parser.error(f"unknown rule {code} in --severity")
+
+    config = LintConfig(select=select, ignore=ignore, severities=severities)
+
+    missing = [p for p in ns.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    result: LintResult = lint_paths(ns.paths, config)
+
+    if ns.write_baseline:
+        previous = None
+        prev_path = Path(ns.write_baseline)
+        if prev_path.exists():
+            previous = Baseline.load(prev_path)
+        elif ns.baseline and Path(ns.baseline).exists():
+            previous = Baseline.load(ns.baseline)
+        Baseline.from_findings(result.findings, previous).save(ns.write_baseline)
+        print(
+            f"dclint: wrote {len(result.findings)} finding(s) to "
+            f"{ns.write_baseline}"
+        )
+        return 0
+
+    baseline = None
+    if ns.baseline:
+        try:
+            baseline = Baseline.load(ns.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"dclint: cannot load baseline {ns.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        apply_baseline(result, baseline)
+
+    renderers = {
+        "text": render_text,
+        "json": render_json,
+        "sarif": render_sarif,
+    }
+    report = renderers[ns.format](result, baseline)
+    if ns.output:
+        Path(ns.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

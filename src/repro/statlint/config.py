@@ -1,0 +1,186 @@
+"""Rule scoping and severity configuration for dclint.
+
+Path scopes are substring patterns against the POSIX-style path of each
+linted file (relative to the lint root when possible).  They encode the
+repo's layer map: which modules are *hot-loop* kernels (Algorithm 2
+memory reuse applies), which are *kernel modules* (fixed-dtype
+contract), and which are *phase modules* (every public kernel must open
+a paper-taxonomy tracer span).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+#: Modules whose loops are Suzuki-Trotter / multigrid / CG hot paths: no
+#: hidden array construction inside ``for``/``while`` (paper Alg. 2).
+HOT_LOOP_PATHS: Tuple[str, ...] = (
+    "repro/lfd/",
+    "repro/multigrid/",
+    "repro/qxmd/cg.py",
+)
+
+#: Modules under the fixed-dtype contract: no implicit narrowing casts.
+KERNEL_DTYPE_PATHS: Tuple[str, ...] = (
+    "repro/lfd/",
+    "repro/multigrid/",
+    "repro/qxmd/",
+    "repro/grids/",
+    "repro/device/",
+)
+
+#: Phase modules of the paper kernel taxonomy (cf. repro/obs/phases.py):
+#: public module-level kernels here must open a tracer span so Table I/II
+#: style breakdowns stay complete.
+TRACED_PHASE_PATHS: Tuple[str, ...] = (
+    "repro/lfd/kin_prop.py",
+    "repro/lfd/pot_prop.py",
+    "repro/lfd/nonlocal_corr.py",
+    "repro/qxmd/hartree.py",
+)
+
+#: Modules where conjugate-contraction reductions are grid inner products
+#: and must carry the volume element ``dvol``.
+DVOL_PATHS: Tuple[str, ...] = (
+    "repro/lfd/",
+    "repro/qxmd/",
+)
+
+#: Narrowing dtype names: casting *to* one of these inside a kernel
+#: module silently loses precision (complex128 -> complex64, 64 -> 32).
+NARROWING_DTYPES: Tuple[str, ...] = (
+    "float32",
+    "float16",
+    "complex64",
+    "single",
+    "csingle",
+    "half",
+    "int32",
+    "int16",
+    "int8",
+    "uint32",
+    "uint16",
+    "uint8",
+)
+
+#: numpy.random attributes that are legitimate (seeded-Generator plumbing).
+SEEDED_RNG_OK: Tuple[str, ...] = (
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+)
+
+#: numpy array constructors whose call inside a hot loop allocates.
+ARRAY_CONSTRUCTORS: Tuple[str, ...] = (
+    "empty",
+    "zeros",
+    "ones",
+    "full",
+    "empty_like",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+    "array",
+    "asarray",
+    "ascontiguousarray",
+    "asfortranarray",
+    "copy",
+    "arange",
+    "linspace",
+    "identity",
+    "eye",
+    "tile",
+    "repeat",
+    "concatenate",
+    "stack",
+    "vstack",
+    "hstack",
+    "dstack",
+    "meshgrid",
+)
+
+#: Non-elementwise numpy ops where ``out=`` aliasing an input is a
+#: read-after-write hazard (elementwise ufuncs alias safely).
+NON_ELEMENTWISE_OUT_OPS: Tuple[str, ...] = (
+    "matmul",
+    "dot",
+    "einsum",
+    "tensordot",
+    "inner",
+    "outer",
+    "cross",
+    "convolve",
+    "correlate",
+    "roll",
+    "cumsum",
+    "cumprod",
+    "sort",
+    "take",
+    "mean",
+    "sum",
+)
+
+DEFAULT_SEVERITIES: Mapping[str, str] = {
+    "DCL001": "error",
+    "DCL002": "error",
+    "DCL003": "error",
+    "DCL004": "error",
+    "DCL005": "error",
+    "DCL006": "error",
+    "DCL007": "error",
+    "DCL008": "error",
+}
+
+_VALID_SEVERITIES = ("error", "warning", "note")
+
+
+@dataclass
+class LintConfig:
+    """Which rules run, at what severity, over which path scopes."""
+
+    select: Tuple[str, ...] = ()       # empty = all rules
+    ignore: Tuple[str, ...] = ()
+    severities: Dict[str, str] = field(default_factory=dict)
+    hot_loop_paths: Tuple[str, ...] = HOT_LOOP_PATHS
+    kernel_dtype_paths: Tuple[str, ...] = KERNEL_DTYPE_PATHS
+    traced_phase_paths: Tuple[str, ...] = TRACED_PHASE_PATHS
+    dvol_paths: Tuple[str, ...] = DVOL_PATHS
+
+    def severity_for(self, code: str) -> str:
+        """Effective severity of a rule after CLI overrides."""
+        return self.severities.get(code, DEFAULT_SEVERITIES.get(code, "error"))
+
+    def rule_enabled(self, code: str) -> bool:
+        """Whether --select/--ignore leave this rule active."""
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+    @staticmethod
+    def parse_severity_overrides(specs: Iterable[str]) -> Dict[str, str]:
+        """Parse ``DCLnnn=warning`` CLI specs into a severity map."""
+        out: Dict[str, str] = {}
+        for spec in specs:
+            code, sep, level = spec.partition("=")
+            code = code.strip().upper()
+            level = level.strip().lower()
+            if not sep or level not in _VALID_SEVERITIES:
+                raise ValueError(
+                    f"bad severity spec {spec!r}; expected DCLnnn="
+                    f"{'|'.join(_VALID_SEVERITIES)}"
+                )
+            out[code] = level
+        return out
+
+
+def path_matches(relpath: str, patterns: Iterable[str]) -> bool:
+    """True when the POSIX relpath falls under any substring pattern."""
+    posix = relpath.replace("\\", "/")
+    return any(pat in posix for pat in patterns)

@@ -1,0 +1,373 @@
+"""dclint engine: parse modules, run rules, apply suppressions.
+
+One :class:`ModuleContext` is built per file: the AST plus the shared
+derived facts every rule needs (numpy import aliases, parent links,
+enclosing-function qualnames, loop ancestry, per-line suppressions).
+Rules are pure functions of a context producing raw findings; the engine
+stamps severities, drops suppressed findings, and fingerprints the rest
+so the baseline survives line-number drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.statlint.config import LintConfig
+
+_SUPPRESS_RE = re.compile(r"#\s*dclint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*dclint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # POSIX-style path as reported
+    line: int          # 1-based
+    col: int           # 0-based
+    message: str
+    severity: str      # "error" | "warning" | "note"
+    context: str       # enclosing function qualname, or "<module>"
+    snippet: str       # stripped source line
+    fingerprint: str   # stable across line drift
+    occurrence: int    # disambiguates identical (rule, context, snippet)
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        return (self.fingerprint, self.rule, self.occurrence)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form of this finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+            "context": self.context,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+            "occurrence": self.occurrence,
+        }
+
+
+class ModuleContext:
+    """Parsed module plus the shared facts dclint rules consume."""
+
+    def __init__(self, relpath: str, source: str, config: LintConfig) -> None:
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.config = config
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.relpath)
+        self.parents: Dict[int, ast.AST] = {}
+        self.qualnames: Dict[int, str] = {}
+        self._index_tree()
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.from_numpy_names: Dict[str, str] = {}
+        self._collect_imports()
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        self._collect_suppressions()
+
+    # ------------------------------------------------------------- #
+    # tree indexing
+    # ------------------------------------------------------------- #
+    def _index_tree(self) -> None:
+        def visit(node: ast.AST, parent: Optional[ast.AST], qual: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                self.parents[id(child)] = node
+                child_qual = qual
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    child_qual = f"{qual}.{child.name}" if qual else child.name
+                elif isinstance(child, ast.ClassDef):
+                    child_qual = f"{qual}.{child.name}" if qual else child.name
+                self.qualnames[id(child)] = child_qual or "<module>"
+                visit(child, node, child_qual)
+
+        self.qualnames[id(self.tree)] = "<module>"
+        visit(self.tree, None, "")
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (None for the module root)."""
+        return self.parents.get(id(node))
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted function/class qualname enclosing ``node``."""
+        return self.qualnames.get(id(node), "<module>")
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from the node's parent up to the module root."""
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """The innermost function definition containing ``node``, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def loop_depth(self, node: ast.AST) -> int:
+        """``for``/``while`` ancestors between the node and its function."""
+        depth = 0
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.For, ast.AsyncFor, ast.While)):
+                depth += 1
+            elif isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        return depth
+
+    def statement_of(self, node: ast.AST) -> ast.AST:
+        """The nearest statement ancestor (or the node itself)."""
+        cur: ast.AST = node
+        while not isinstance(cur, ast.stmt):
+            parent = self.parent(cur)
+            if parent is None:
+                return cur
+            cur = parent
+        return cur
+
+    # ------------------------------------------------------------- #
+    # numpy alias resolution
+    # ------------------------------------------------------------- #
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy.random" and alias.asname:
+                        # ``import numpy.random as nr``: nr IS the random
+                        # module.  Plain ``import numpy.random`` binds
+                        # "numpy" (the package), handled below.
+                        self.numpy_random_aliases.add(alias.asname)
+                    elif alias.name == "numpy" or alias.name.startswith("numpy."):
+                        self.numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        if alias.name == "random":
+                            self.numpy_random_aliases.add(local)
+                        else:
+                            self.from_numpy_names[local] = alias.name
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        self.from_numpy_names[local] = f"random.{alias.name}"
+
+    def numpy_call_name(self, func: ast.expr) -> Optional[str]:
+        """Resolve a call's func to its numpy name ("zeros", "random.rand").
+
+        Returns ``None`` when the callee is not (recognizably) numpy.
+        """
+        if isinstance(func, ast.Name):
+            return self.from_numpy_names.get(func.id)
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id in self.numpy_aliases:
+                    return func.attr
+                if value.id in self.numpy_random_aliases:
+                    return f"random.{func.attr}"
+            elif isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+                # np.random.<fn>, np.fft.<fn>, ...
+                if value.value.id in self.numpy_aliases:
+                    return f"{value.attr}.{func.attr}"
+        return None
+
+    # ------------------------------------------------------------- #
+    # suppressions
+    # ------------------------------------------------------------- #
+    def _collect_suppressions(self) -> None:
+        import io
+
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            tokens = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_FILE_RE.search(tok.string)
+            if m:
+                self.file_suppressions.update(_parse_codes(m.group(1)))
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m:
+                codes = _parse_codes(m.group(1))
+                self.line_suppressions.setdefault(tok.start[0], set()).update(codes)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether an inline/file suppression covers ``code`` at ``line``."""
+        if code in self.file_suppressions or "ALL" in self.file_suppressions:
+            return True
+        for probe in (line, line - 1):
+            codes = self.line_suppressions.get(probe)
+            if codes and (code in codes or "ALL" in codes):
+                return True
+        return False
+
+    def source_line(self, line: int) -> str:
+        """Stripped source text of a 1-based line ("" out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+def _parse_codes(raw: str) -> Set[str]:
+    return {c.strip().upper() for c in raw.split(",") if c.strip()}
+
+
+@dataclass
+class LintResult:
+    """All findings of one run, split against an optional baseline."""
+
+    findings: List[Finding] = field(default_factory=list)
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)  # fingerprints
+    errors: List[str] = field(default_factory=list)          # unparsable files
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        if any(f.severity == "error" for f in self.new_findings):
+            return 1
+        return 0
+
+
+def _fingerprint(rule: str, relpath: str, context: str, snippet: str) -> str:
+    payload = f"{rule}|{relpath}|{context}|{snippet}".encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run every enabled rule over one module's source text."""
+    from repro.statlint.rules import ALL_RULES
+
+    config = config or LintConfig()
+    ctx = ModuleContext(relpath, source, config)
+    raw: List[Tuple[str, int, int, str]] = []
+    for rule in ALL_RULES:
+        if not config.rule_enabled(rule.code):
+            continue
+        if not rule.applies_to(ctx.relpath, config):
+            continue
+        for line, col, message in rule.check(ctx):
+            raw.append((rule.code, line, col, message))
+
+    # Stable ordering, then occurrence-number duplicates that share a
+    # fingerprint (identical snippet in the same function).
+    raw.sort(key=lambda item: (item[1], item[2], item[0]))
+    counts: Dict[str, int] = {}
+    findings: List[Finding] = []
+    for code, line, col, message in raw:
+        if ctx.is_suppressed(code, line):
+            continue
+        snippet = ctx.source_line(line)
+        context = _context_at(ctx, line)
+        fp = _fingerprint(code, ctx.relpath, context, snippet)
+        occ = counts.get(fp, 0)
+        counts[fp] = occ + 1
+        findings.append(
+            Finding(
+                rule=code,
+                path=ctx.relpath,
+                line=line,
+                col=col,
+                message=message,
+                severity=config.severity_for(code),
+                context=context,
+                snippet=snippet,
+                fingerprint=fp,
+                occurrence=occ,
+            )
+        )
+    return findings
+
+
+def _context_at(ctx: ModuleContext, line: int) -> str:
+    """Qualname of the innermost function/class whose span covers ``line``."""
+    best = "<module>"
+    best_span = None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if node.lineno <= line <= end:
+            span = end - node.lineno
+            if best_span is None or span <= best_span:
+                best_span = span
+                best = ctx.qualname(node)
+    return best
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield .py files under the given files/directories, sorted."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for c in candidates:
+            rc = c.resolve()
+            if rc not in seen:
+                seen.add(rc)
+                yield c
+
+
+def display_path(path: Path, root: Optional[Path] = None) -> str:
+    """Path as reported in findings: relative to root/cwd when possible."""
+    root = root or Path.cwd()
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``; no baseline applied yet."""
+    config = config or LintConfig()
+    result = LintResult()
+    for path in iter_python_files(paths):
+        relpath = display_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.errors.append(f"{relpath}: unreadable ({exc})")
+            continue
+        try:
+            findings = lint_source(source, relpath, config)
+        except SyntaxError as exc:
+            result.errors.append(f"{relpath}: syntax error ({exc.msg} @ {exc.lineno})")
+            continue
+        result.findings.extend(findings)
+    result.new_findings = list(result.findings)
+    return result

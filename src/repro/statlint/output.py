@@ -1,0 +1,155 @@
+"""Finding renderers: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF output follows the OASIS sarif-2.1.0 schema closely enough for
+GitHub code-scanning upload: one run, one driver with the full DCL rule
+metadata, one result per *new* finding (baselined findings are emitted
+with ``"baselineState": "unchanged"`` so dashboards can still see them).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.statlint.baseline import Baseline
+from repro.statlint.engine import Finding, LintResult
+from repro.statlint.rules import ALL_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "dclint"
+TOOL_VERSION = "1.0.0"
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def render_text(result: LintResult, baseline: Optional[Baseline] = None) -> str:
+    """Grep-friendly ``path:line:col: CODE message`` report + summary."""
+    out: List[str] = []
+    for f in result.new_findings:
+        out.append(
+            f"{f.path}:{f.line}:{f.col + 1}: {f.rule} [{f.severity}] {f.message}"
+        )
+        if f.snippet:
+            out.append(f"    {f.snippet}")
+    if result.baselined:
+        out.append("")
+        out.append(f"{len(result.baselined)} baselined finding(s) suppressed:")
+        for f in result.baselined:
+            just = baseline.justification_for(f) if baseline else ""
+            suffix = f"  -- {just}" if just else ""
+            out.append(f"    {f.path}:{f.line}: {f.rule} ({f.context}){suffix}")
+    if result.stale_baseline:
+        out.append("")
+        out.append(
+            f"note: {len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} no longer "
+            f"match any finding (re-baseline to prune)"
+        )
+    for err in result.errors:
+        out.append(f"ERROR: {err}")
+    out.append("")
+    new_errors = sum(1 for f in result.new_findings if f.severity == "error")
+    new_warn = len(result.new_findings) - new_errors
+    out.append(
+        f"dclint: {new_errors} new error(s), {new_warn} new warning/note(s), "
+        f"{len(result.baselined)} baselined"
+    )
+    return "\n".join(out)
+
+
+def render_json(result: LintResult, baseline: Optional[Baseline] = None) -> str:
+    """Machine-readable JSON report (new + baselined findings, exit code)."""
+    doc = {
+        "tool": TOOL_NAME,
+        "version": TOOL_VERSION,
+        "new_findings": [f.to_dict() for f in result.new_findings],
+        "baselined": [
+            dict(
+                f.to_dict(),
+                justification=(baseline.justification_for(f) if baseline else ""),
+            )
+            for f in result.baselined
+        ],
+        "stale_baseline": list(result.stale_baseline),
+        "errors": list(result.errors),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(doc, indent=2)
+
+
+def _sarif_rules() -> List[Dict[str, object]]:
+    rules = []
+    for r in ALL_RULES:
+        rules.append(
+            {
+                "id": r.code,
+                "name": r.name,
+                "shortDescription": {"text": r.summary},
+                "fullDescription": {
+                    "text": (r.__doc__ or r.summary).strip().splitlines()[0]
+                },
+                "help": {"text": f"Protects: {r.paper_ref}"},
+                "properties": {"paperRef": r.paper_ref},
+            }
+        )
+    return rules
+
+
+def _sarif_result(f: Finding, baseline_state: str) -> Dict[str, object]:
+    return {
+        "ruleId": f.rule,
+        "level": _SARIF_LEVEL.get(f.severity, "warning"),
+        "message": {"text": f.message},
+        "baselineState": baseline_state,
+        "partialFingerprints": {"dclint/v1": f"{f.fingerprint}:{f.occurrence}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path, "uriBaseId": "SRCROOT"},
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col + 1,
+                        "snippet": {"text": f.snippet},
+                    },
+                },
+                "logicalLocations": [
+                    {"fullyQualifiedName": f.context, "kind": "function"}
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult, baseline: Optional[Baseline] = None) -> str:
+    """SARIF 2.1.0 report suitable for GitHub code-scanning upload."""
+    results = [_sarif_result(f, "new") for f in result.new_findings]
+    results += [_sarif_result(f, "unchanged") for f in result.baselined]
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://example.invalid/dclint",
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+                "invocations": [
+                    {
+                        "executionSuccessful": not result.errors,
+                        "exitCode": result.exit_code,
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)

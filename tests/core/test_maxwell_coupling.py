@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.constants import C_LIGHT
 from repro.core.maxwell_coupling import CoupledDomain, MaxwellCoupledLFD
 from repro.grids import Grid3D
 from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet

@@ -7,7 +7,7 @@ from repro.device.energy import (
     NodeEnergyModel,
     device_power,
 )
-from repro.device.spec import A100, EPYC_7543_SOCKET, PVC_MAX_1550
+from repro.device.spec import A100, PVC_MAX_1550
 
 
 class TestPower:

@@ -1,7 +1,6 @@
 """VirtualGPU facade tests."""
 
 import numpy as np
-import pytest
 
 from repro.device import VirtualGPU
 

@@ -1,6 +1,5 @@
 """Roofline kernel cost model and launcher tests."""
 
-import numpy as np
 import pytest
 
 from repro.device import (

@@ -1,6 +1,5 @@
 """Multi-GPU node model tests."""
 
-import numpy as np
 import pytest
 
 from repro.device.multigpu import MultiGPUNode

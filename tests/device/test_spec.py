@@ -3,7 +3,7 @@
 import pytest
 
 from repro.device import A100, EPYC_7543_CORE, EPYC_7543_SOCKET, PCIE_GEN4
-from repro.device.spec import NVLINK, DeviceSpec, LinkSpec
+from repro.device.spec import NVLINK
 
 
 class TestDeviceSpecs:

@@ -97,7 +97,6 @@ class TestNumericalGuards:
         assert np.all(np.isfinite(evals))
 
     def test_multigrid_nonconvergence_reported(self, grid16, rng):
-        from repro.qxmd.hartree import hartree_potential
 
         rho = rng.standard_normal(grid16.shape)
         with pytest.raises(RuntimeError, match="converge"):

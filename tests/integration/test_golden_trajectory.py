@@ -22,7 +22,6 @@ import os
 import pathlib
 
 import numpy as np
-import pytest
 
 from repro.core import DCMESHConfig, DCMESHSimulation, TimescaleSplit
 from repro.grids import Grid3D

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.grids import Grid3D
-from repro.lfd.observables import density, dipole_moment
+from repro.lfd.observables import dipole_moment
 from repro.materials import PBTIO3, build_supercell
 from repro.qxmd import SCFConfig, scf_solve
 

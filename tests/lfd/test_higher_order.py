@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.grids import Grid3D
 from repro.lfd import PropagatorConfig, QDPropagator, WaveFunctionSet
 from repro.lfd.cap import cos2_absorber, ionization_yield
 

@@ -5,7 +5,7 @@ import pytest
 import scipy.linalg as sla
 
 from repro.grids import Grid3D
-from repro.grids.stencil import pair_split_coefficients, strang_passes
+from repro.grids.stencil import pair_split_coefficients
 from repro.lfd import WaveFunctionSet, kinetic_step
 from repro.lfd.kin_prop import (
     KIN_PROP_VARIANTS,

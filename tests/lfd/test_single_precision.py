@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.grids import Grid3D
 from repro.lfd import (
     NonlocalCorrector,
     PropagatorConfig,

@@ -126,7 +126,6 @@ class TestStrainCoupling:
 
     def test_compressive_strain_favors_out_of_plane(self, rng):
         """eta < 0 (compressive substrate): relaxation selects P || z."""
-        from repro.materials.topology import domain_fraction
 
         prm = LandauParameters(misfit_strain=-0.3, c_div=0.0, coupling=0.2)
         ham = EffectiveHamiltonian((6, 6, 6), prm)

@@ -10,7 +10,6 @@ can only ever remove norm.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.lfd import WaveFunctionSet
-from repro.lfd.observables import density
-from repro.pseudo import KBProjectorSet, get_species
+from repro.pseudo import get_species
 from repro.qxmd import ForceCalculator
 
 

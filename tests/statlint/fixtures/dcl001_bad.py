@@ -1,0 +1,21 @@
+"""Hot-loop allocation violations (linted as if under repro/lfd/)."""
+import numpy as np
+
+
+def hot_sweep(psi, coeffs):
+    acc = None
+    for c in coeffs:
+        work = np.zeros(psi.shape)            # DCL001: constructor in loop
+        promoted = psi.astype(np.complex128)  # DCL001: astype copy in loop
+        saved = psi.copy()                    # DCL001: .copy() in loop
+        acc = work + promoted + saved * c
+    return acc
+
+
+def nested_while(psi):
+    i = 0
+    while i < 4:
+        tmp = np.empty_like(psi)              # DCL001: constructor in loop
+        psi = psi + tmp
+        i += 1
+    return psi

@@ -1,0 +1,14 @@
+"""Hot-loop discipline: preallocated workspaces, no in-loop construction."""
+import numpy as np
+
+
+def hot_sweep(psi, coeffs):
+    work = np.zeros(psi.shape)          # hoisted out of the loop
+    promoted = psi.astype(np.complex128)
+    acc = np.zeros_like(psi)
+    for c in coeffs:
+        work[...] = 0.0
+        view = psi.astype(np.complex128, copy=False)  # allocation-free
+        np.multiply(view, c, out=work)
+        acc += work + promoted
+    return acc

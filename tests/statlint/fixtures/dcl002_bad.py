@@ -1,0 +1,10 @@
+"""Narrowing dtype casts in a kernel module."""
+import numpy as np
+
+
+def narrow(psi, field):
+    a = psi.astype(np.complex64)                  # DCL002
+    b = field.astype("float32")                   # DCL002 (string dtype)
+    c = np.asarray(field, dtype=np.float32)       # DCL002 (constructor kw)
+    d = np.float32(field.sum())                   # DCL002 (scalar ctor)
+    return a, b, c, d

@@ -1,0 +1,10 @@
+"""Kernel dtype contract respected: only widening / same-width casts."""
+import numpy as np
+
+
+def keep_wide(psi, field):
+    a = psi.astype(np.complex128)
+    b = field.astype(np.float64)
+    c = np.asarray(field, dtype=np.complex128)
+    d = np.zeros(field.shape, dtype=np.float64)
+    return a, b, c, d

@@ -1,0 +1,11 @@
+"""Global RNG state: invisible to deterministic replay."""
+import numpy as np
+from numpy.random import normal
+
+
+def jitter(x):
+    np.random.seed(0)                  # DCL003
+    a = np.random.rand(*x.shape)       # DCL003
+    b = np.random.standard_normal(3)   # DCL003
+    c = normal(size=3)                 # DCL003 (from-import)
+    return x + a + b.sum() + c.sum()

@@ -1,0 +1,10 @@
+"""All randomness flows through a seeded Generator."""
+import numpy as np
+
+
+def jitter(x, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random(x.shape)
+    ss = np.random.SeedSequence(seed)
+    child = np.random.default_rng(ss.spawn(1)[0])
+    return x + a + child.standard_normal(3).sum()

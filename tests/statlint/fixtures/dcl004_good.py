@@ -1,0 +1,16 @@
+"""Typed or re-raising handlers: guards propagate."""
+
+
+def typed(step):
+    try:
+        return step()
+    except (ValueError, FloatingPointError):
+        return None
+
+
+def reraising(step, log):
+    try:
+        return step()
+    except Exception as exc:
+        log.append(str(exc))
+        raise

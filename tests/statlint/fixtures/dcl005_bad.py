@@ -1,0 +1,21 @@
+"""Mutable default arguments: hidden cross-call state."""
+import numpy as np
+
+
+def append_to(item, bucket=[]):          # DCL005: list literal
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):               # DCL005: dict literal
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def offsets(x, base=np.zeros(3)):        # DCL005: np.array ctor
+    return x + base
+
+
+def collect(x, *, seen=set()):           # DCL005: kw-only set ctor
+    seen.add(x)
+    return seen

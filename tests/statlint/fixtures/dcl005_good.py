@@ -1,0 +1,12 @@
+"""Immutable or None defaults only."""
+import numpy as np
+
+
+def append_to(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def offsets(x, base=(0.0, 0.0, 0.0), scale=1.0, label="x"):
+    return x + scale * np.asarray(base)

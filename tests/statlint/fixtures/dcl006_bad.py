@@ -1,0 +1,16 @@
+"""Phase-module kernels that never open a tracer span."""
+import numpy as np
+
+
+def untraced_kernel(psi, coeff):   # DCL006: public, loops, no span
+    for axis in range(3):
+        psi = psi + coeff * np.roll(psi, 1, axis=axis)
+    return psi
+
+
+def untraced_blas(psi, phi):       # DCL006: numpy-heavy, no loop, no span
+    overlaps = phi.conj().T @ psi
+    correction = phi @ overlaps
+    out = psi + correction
+    norm = np.sqrt(np.abs(out) ** 2)
+    return out / norm

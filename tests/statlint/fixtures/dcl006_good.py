@@ -1,0 +1,34 @@
+"""Phase-module discipline: spans opened, helpers exempt or suppressed."""
+import numpy as np
+
+from repro.obs import trace_span
+
+
+def traced_kernel(psi, coeff):
+    with trace_span("kernel", "kinetic"):
+        for axis in range(3):
+            psi = psi + coeff * np.roll(psi, 1, axis=axis)
+        return psi
+
+
+def _private_helper(psi):
+    for _ in range(3):
+        psi = psi + 1.0
+    return psi
+
+
+def flop_count(norb, ngrid):
+    gemm1 = 8.0 * ngrid * norb
+    gemm2 = 8.0 * ngrid * norb
+    total = gemm1 + gemm2
+    return total
+
+
+def phase_field(vloc, dt):
+    return np.exp(-1j * dt * vloc)
+
+
+def inner_variant(psi, coeff):  # dclint: disable=DCL006 -- timed by traced_kernel
+    for axis in range(3):
+        psi = psi + coeff * np.roll(psi, 1, axis=axis)
+    return psi

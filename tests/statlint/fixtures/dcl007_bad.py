@@ -1,0 +1,17 @@
+"""out= aliasing an input of a non-elementwise op."""
+import numpy as np
+
+
+def bad_gemm(a, b):
+    np.matmul(a, b, out=a)                  # DCL007
+    return a
+
+
+def bad_einsum(a, b):
+    np.einsum("ij,jk->ik", a, b, out=b)     # DCL007
+    return b
+
+
+def bad_dot_nested(a, b, c):
+    np.dot(a + c, b, out=c)                 # DCL007 (aliased inside expr)
+    return c

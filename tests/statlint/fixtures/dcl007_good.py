@@ -1,0 +1,13 @@
+"""out= discipline: distinct buffers, or elementwise ops (alias-safe)."""
+import numpy as np
+
+
+def good_gemm(a, b, work):
+    np.matmul(a, b, out=work)
+    return work
+
+
+def elementwise_alias_ok(a, b):
+    np.multiply(a, b, out=a)   # ufunc: aliasing is well-defined
+    np.add(a, 1.0, out=a)
+    return a

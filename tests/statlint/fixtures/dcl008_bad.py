@@ -1,0 +1,12 @@
+"""Grid inner products missing the volume element."""
+import numpy as np
+
+
+def unweighted_overlap(psi, phi):
+    ovl = np.vdot(phi, psi)                              # DCL008
+    return ovl
+
+
+def unweighted_einsum(psi, phi):
+    e = np.real(np.einsum("gs,gs->s", phi.conj(), psi))  # DCL008
+    return e

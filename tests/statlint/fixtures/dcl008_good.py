@@ -1,0 +1,17 @@
+"""Volume-weighted mesh reductions."""
+import numpy as np
+
+
+def weighted_overlap(psi, phi, dvol):
+    ovl = np.vdot(phi, psi) * dvol
+    return ovl
+
+
+def weighted_einsum(psi, phi, grid):
+    e = np.real(np.einsum("gs,gs->s", phi.conj(), psi)) * grid.dvol
+    return e
+
+
+def coefficient_contraction(coeff, weights):
+    # no conjugate operand: plain einsum over pre-weighted coefficients
+    return np.einsum("ps,s->p", coeff, weights)

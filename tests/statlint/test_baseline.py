@@ -1,0 +1,107 @@
+"""Baseline round-trip, matching, justification preservation, staleness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.statlint import Baseline, LintConfig, lint_source
+from repro.statlint.baseline import apply_baseline
+from repro.statlint.engine import LintResult
+
+BAD = (
+    "import numpy as np\n"
+    "def f(x):\n"
+    "    for _ in range(3):\n"
+    "        t = np.zeros(3)\n"
+    "    return t\n"
+)
+LFD = "src/repro/lfd/mod.py"
+CFG = LintConfig(select=("DCL001",))
+
+
+def findings_of(src=BAD):
+    return lint_source(src, LFD, CFG)
+
+
+def test_round_trip(tmp_path):
+    findings = findings_of()
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert len(loaded.entries) == 1
+    assert loaded.entries[0].to_dict() == baseline.entries[0].to_dict()
+    assert findings[0] in loaded
+
+
+def test_baselined_findings_do_not_fail():
+    findings = findings_of()
+    baseline = Baseline.from_findings(findings)
+    result = apply_baseline(LintResult(findings=list(findings)), baseline)
+    assert result.new_findings == []
+    assert result.baselined == findings
+    assert result.exit_code == 0
+
+
+def test_new_finding_fails_despite_baseline():
+    baseline = Baseline.from_findings(findings_of())
+    two = BAD + BAD.replace("def f", "def g")
+    result = apply_baseline(
+        LintResult(findings=findings_of(two)), baseline
+    )
+    assert len(result.new_findings) == 1
+    assert result.new_findings[0].context == "g"
+    assert result.exit_code == 1
+
+
+def test_stale_entries_detected():
+    baseline = Baseline.from_findings(findings_of())
+    result = apply_baseline(LintResult(findings=[]), baseline)
+    assert result.stale_baseline == [baseline.entries[0].fingerprint]
+    assert result.exit_code == 0
+
+
+def test_baseline_survives_line_drift():
+    baseline = Baseline.from_findings(findings_of())
+    drifted = findings_of("# moved down\n\n\n" + BAD)
+    result = apply_baseline(LintResult(findings=drifted), baseline)
+    assert result.new_findings == []
+
+
+def test_justification_preserved_on_rebaseline(tmp_path):
+    findings = findings_of()
+    baseline = Baseline.from_findings(findings)
+    baseline.entries[0].justification = "intentional: reference path"
+    rebaselined = Baseline.from_findings(findings, previous=baseline)
+    assert rebaselined.entries[0].justification == "intentional: reference path"
+    assert rebaselined.justification_for(findings[0]) == (
+        "intentional: reference path"
+    )
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_saved_document_shape(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings_of()).save(path)
+    doc = json.loads(path.read_text())
+    assert doc["version"] == 1
+    assert doc["tool"] == "dclint"
+    entry = doc["findings"][0]
+    assert set(entry) == {
+        "fingerprint",
+        "rule",
+        "path",
+        "context",
+        "snippet",
+        "occurrence",
+        "line",
+        "justification",
+    }

@@ -1,0 +1,131 @@
+"""CLI behaviour: exit codes, formats, baseline workflow, module entry."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.statlint.cli import main
+
+BAD = (
+    "import numpy as np\n"
+    "def f(x):\n"
+    "    for _ in range(3):\n"
+    "        t = np.zeros(3)\n"
+    "    return t\n"
+)
+
+
+@pytest.fixture()
+def bad_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "lfd"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(BAD)
+    old = Path.cwd()
+    os.chdir(tmp_path)
+    try:
+        yield tmp_path
+    finally:
+        os.chdir(old)
+
+
+def test_exit_1_on_findings(bad_tree, capsys):
+    assert main(["src"]) == 1
+    out = capsys.readouterr().out
+    assert "DCL001" in out
+
+
+def test_exit_0_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("X = 1\n")
+    assert main([str(tmp_path)]) == 0
+
+
+def test_exit_0_with_baseline(bad_tree, capsys):
+    assert main(["src", "--write-baseline", "bl.json"]) == 0
+    assert main(["src", "--baseline", "bl.json"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new error(s)" in out
+
+
+def test_exit_1_when_new_finding_beyond_baseline(bad_tree, capsys):
+    assert main(["src", "--write-baseline", "bl.json"]) == 0
+    mod = bad_tree / "src" / "repro" / "lfd" / "mod.py"
+    mod.write_text(BAD + BAD.replace("def f", "def g"))
+    assert main(["src", "--baseline", "bl.json"]) == 1
+
+
+def test_exit_2_on_corrupt_baseline(bad_tree, capsys):
+    (bad_tree / "bl.json").write_text("{not json")
+    assert main(["src", "--baseline", "bl.json"]) == 2
+
+
+def test_exit_2_on_missing_path(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main([str(tmp_path / "nope")])
+    assert exc.value.code == 2
+
+
+def test_unknown_rule_code_rejected(bad_tree):
+    with pytest.raises(SystemExit) as exc:
+        main(["src", "--select", "DCL999"])
+    assert exc.value.code == 2
+
+
+def test_severity_override_downgrades_exit(bad_tree, capsys):
+    assert main(["src", "--severity", "DCL001=warning"]) == 0
+    assert "warning" in capsys.readouterr().out
+
+
+def test_ignore_rule(bad_tree, capsys):
+    assert main(["src", "--ignore", "DCL001"]) == 0
+
+
+def test_sarif_output_file(bad_tree, capsys):
+    assert main(["src", "--format", "sarif", "--output", "out.sarif"]) == 1
+    doc = json.loads((bad_tree / "out.sarif").read_text())
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"]
+
+
+def test_json_format(bad_tree, capsys):
+    assert main(["src", "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["new_findings"]
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DCL001", "DCL008"):
+        assert code in out
+
+
+def test_write_baseline_preserves_justifications(bad_tree, capsys):
+    assert main(["src", "--write-baseline", "bl.json"]) == 0
+    doc = json.loads((bad_tree / "bl.json").read_text())
+    doc["findings"][0]["justification"] = "kept on purpose"
+    (bad_tree / "bl.json").write_text(json.dumps(doc))
+    assert main(["src", "--write-baseline", "bl.json"]) == 0
+    doc2 = json.loads((bad_tree / "bl.json").read_text())
+    assert doc2["findings"][0]["justification"] == "kept on purpose"
+
+
+def test_python_m_entry_point(bad_tree):
+    """``python -m repro.statlint`` works and propagates the exit code."""
+    src_root = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.statlint", "src"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=bad_tree,
+    )
+    assert proc.returncode == 1, proc.stderr
+    assert "DCL001" in proc.stdout

@@ -1,0 +1,167 @@
+"""Engine mechanics: suppressions, fingerprints, contexts, file walking."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.statlint import LintConfig, lint_paths, lint_source
+from repro.statlint.engine import ModuleContext, iter_python_files
+
+BAD_LOOP = (
+    "import numpy as np\n"
+    "def f(x):\n"
+    "    for _ in range(3):\n"
+    "        t = np.zeros(3)\n"
+    "    return t\n"
+)
+LFD = "src/repro/lfd/mod.py"
+
+
+def only_dcl001():
+    return LintConfig(select=("DCL001",))
+
+
+def test_same_line_suppression():
+    src = BAD_LOOP.replace(
+        "t = np.zeros(3)", "t = np.zeros(3)  # dclint: disable=DCL001"
+    )
+    assert lint_source(src, LFD, only_dcl001()) == []
+
+
+def test_previous_line_suppression():
+    src = BAD_LOOP.replace(
+        "        t = np.zeros(3)",
+        "        # dclint: disable=DCL001\n        t = np.zeros(3)",
+    )
+    assert lint_source(src, LFD, only_dcl001()) == []
+
+
+def test_file_level_suppression():
+    src = "# dclint: disable-file=DCL001\n" + BAD_LOOP
+    assert lint_source(src, LFD, only_dcl001()) == []
+
+
+def test_suppression_of_other_code_does_not_hide():
+    src = BAD_LOOP.replace(
+        "t = np.zeros(3)", "t = np.zeros(3)  # dclint: disable=DCL003"
+    )
+    assert len(lint_source(src, LFD, only_dcl001())) == 1
+
+
+def test_multi_code_suppression():
+    src = BAD_LOOP.replace(
+        "t = np.zeros(3)", "t = np.zeros(3)  # dclint: disable=DCL003, DCL001"
+    )
+    assert lint_source(src, LFD, only_dcl001()) == []
+
+
+def test_fingerprint_stable_under_line_drift():
+    base = lint_source(BAD_LOOP, LFD, only_dcl001())
+    shifted = lint_source("# leading comment\n\n" + BAD_LOOP, LFD, only_dcl001())
+    assert len(base) == len(shifted) == 1
+    assert base[0].fingerprint == shifted[0].fingerprint
+    assert base[0].line != shifted[0].line
+
+
+def test_fingerprint_distinguishes_functions():
+    two = BAD_LOOP + BAD_LOOP.replace("def f", "def g")
+    findings = lint_source(two, LFD, only_dcl001())
+    assert len(findings) == 2
+    assert findings[0].fingerprint != findings[1].fingerprint
+    assert {f.context for f in findings} == {"f", "g"}
+
+
+def test_occurrence_disambiguates_identical_lines():
+    src = (
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    for _ in range(3):\n"
+        "        t = np.zeros(3)\n"
+        "        t = np.zeros(3)\n"
+        "    return t\n"
+    )
+    findings = lint_source(src, LFD, only_dcl001())
+    assert len(findings) == 2
+    assert findings[0].fingerprint == findings[1].fingerprint
+    assert sorted(f.occurrence for f in findings) == [0, 1]
+
+
+def test_context_is_method_qualname():
+    src = (
+        "import numpy as np\n"
+        "class K:\n"
+        "    def m(self, x):\n"
+        "        for _ in range(2):\n"
+        "            t = np.zeros(2)\n"
+        "        return t\n"
+    )
+    (finding,) = lint_source(src, LFD, only_dcl001())
+    assert finding.context == "K.m"
+
+
+def test_severity_override():
+    config = LintConfig(select=("DCL001",), severities={"DCL001": "warning"})
+    (finding,) = lint_source(BAD_LOOP, LFD, config)
+    assert finding.severity == "warning"
+
+
+def test_parse_severity_overrides_rejects_garbage():
+    with pytest.raises(ValueError):
+        LintConfig.parse_severity_overrides(["DCL001"])
+    with pytest.raises(ValueError):
+        LintConfig.parse_severity_overrides(["DCL001=fatal"])
+    assert LintConfig.parse_severity_overrides(["DCL001=warning"]) == {
+        "DCL001": "warning"
+    }
+
+
+def test_numpy_alias_resolution():
+    src = (
+        "import numpy\n"
+        "import numpy as np\n"
+        "import numpy.random as nr\n"
+        "from numpy import zeros as zz\n"
+        "from numpy.random import rand\n"
+    )
+    ctx = ModuleContext("m.py", src, LintConfig())
+    import ast
+
+    def call_name(expr):
+        return ctx.numpy_call_name(ast.parse(expr, mode="eval").body.func)
+
+    assert call_name("np.zeros(3)") == "zeros"
+    assert call_name("numpy.zeros(3)") == "zeros"
+    assert call_name("zz(3)") == "zeros"
+    assert call_name("np.random.rand(3)") == "random.rand"
+    assert call_name("nr.rand(3)") == "random.rand"
+    assert call_name("rand(3)") == "random.rand"
+    assert call_name("other.zeros(3)") is None
+
+
+def test_lint_paths_walks_and_reports_relative(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "lfd"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(BAD_LOOP)
+    (pkg / "clean.py").write_text("X = 1\n")
+    result = lint_paths([str(tmp_path / "src")], only_dcl001(), root=tmp_path)
+    assert len(result.findings) == 1
+    assert result.findings[0].path == "src/repro/lfd/mod.py"
+    assert result.exit_code == 1
+
+
+def test_lint_paths_syntax_error_is_reported(tmp_path):
+    bad = tmp_path / "src" / "repro" / "lfd"
+    bad.mkdir(parents=True)
+    (bad / "broken.py").write_text("def f(:\n")
+    result = lint_paths([str(tmp_path / "src")], only_dcl001(), root=tmp_path)
+    assert result.errors and "syntax error" in result.errors[0]
+    assert result.exit_code == 2
+
+
+def test_iter_python_files_dedups(tmp_path):
+    f = tmp_path / "a.py"
+    f.write_text("X = 1\n")
+    files = list(iter_python_files([str(tmp_path), str(f)]))
+    assert files == [Path(tmp_path / "a.py")]

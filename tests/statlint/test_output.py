@@ -1,0 +1,178 @@
+"""Report formats: text, JSON, and SARIF 2.1.0 structural validity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.statlint import Baseline, LintConfig, lint_source
+from repro.statlint.baseline import apply_baseline
+from repro.statlint.engine import LintResult
+from repro.statlint.output import render_json, render_sarif, render_text
+from repro.statlint.rules import ALL_RULES
+
+BAD = (
+    "import numpy as np\n"
+    "def f(x):\n"
+    "    for _ in range(3):\n"
+    "        t = np.zeros(3)\n"
+    "    return t\n"
+)
+CFG = LintConfig(select=("DCL001",))
+
+
+def make_result(baselined=False):
+    findings = lint_source(BAD, "src/repro/lfd/mod.py", CFG)
+    result = LintResult(findings=list(findings), new_findings=list(findings))
+    baseline = None
+    if baselined:
+        baseline = Baseline.from_findings(findings)
+        baseline.entries[0].justification = "kept: reference path"
+        apply_baseline(result, baseline)
+    return result, baseline
+
+
+def test_text_report_contains_location_and_summary():
+    result, _ = make_result()
+    text = render_text(result)
+    assert "src/repro/lfd/mod.py:4:" in text
+    assert "DCL001" in text
+    assert "1 new error(s)" in text
+
+
+def test_text_report_shows_justifications():
+    result, baseline = make_result(baselined=True)
+    text = render_text(result, baseline)
+    assert "baselined finding(s) suppressed" in text
+    assert "kept: reference path" in text
+    assert "0 new error(s)" in text
+
+
+def test_json_report_round_trips():
+    result, _ = make_result()
+    doc = json.loads(render_json(result))
+    assert doc["tool"] == "dclint"
+    assert doc["exit_code"] == 1
+    (finding,) = doc["new_findings"]
+    assert finding["rule"] == "DCL001"
+    assert finding["line"] == 4
+
+
+# A structural subset of the OASIS sarif-2.1.0 schema: the fields GitHub
+# code scanning requires for ingestion.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": [
+                                                "id",
+                                                "shortDescription",
+                                            ],
+                                        },
+                                    }
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": [
+                                "ruleId",
+                                "level",
+                                "message",
+                                "locations",
+                            ],
+                            "properties": {
+                                "level": {
+                                    "enum": ["error", "warning", "note"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def test_sarif_is_schema_valid():
+    jsonschema = pytest.importorskip("jsonschema")
+    result, _ = make_result()
+    doc = json.loads(render_sarif(result))
+    jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+
+def test_sarif_carries_full_rule_metadata():
+    result, _ = make_result()
+    doc = json.loads(render_sarif(result))
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == [r.code for r in ALL_RULES]
+    for r in rules:
+        assert r["shortDescription"]["text"]
+        assert r["properties"]["paperRef"]
+
+
+def test_sarif_baseline_states():
+    result, baseline = make_result(baselined=True)
+    doc = json.loads(render_sarif(result, baseline))
+    results = doc["runs"][0]["results"]
+    assert {r["baselineState"] for r in results} == {"unchanged"}
+    invocation = doc["runs"][0]["invocations"][0]
+    assert invocation["exitCode"] == 0
+    assert invocation["executionSuccessful"] is True
+
+
+def test_sarif_new_result_location():
+    result, _ = make_result()
+    doc = json.loads(render_sarif(result))
+    (res,) = doc["runs"][0]["results"]
+    assert res["baselineState"] == "new"
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/lfd/mod.py"
+    assert loc["region"]["startLine"] == 4
+    assert res["partialFingerprints"]["dclint/v1"]

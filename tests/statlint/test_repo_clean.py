@@ -1,0 +1,49 @@
+"""Acceptance: the merged tree is dclint-clean against its baseline.
+
+This is the same invocation the CI ``lint`` job runs; a regression that
+introduces a new DCL finding anywhere under ``src/`` or ``benchmarks/``
+fails here first, with the offending file and rule in the assert message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.statlint import Baseline, lint_paths
+from repro.statlint.baseline import apply_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "statlint-baseline.json"
+
+
+def test_repo_is_clean_against_baseline():
+    result = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")],
+        root=REPO_ROOT,
+    )
+    assert not result.errors, result.errors
+    apply_baseline(result, Baseline.load(BASELINE))
+    pretty = [
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.new_findings
+    ]
+    assert result.new_findings == [], "\n".join(pretty)
+
+
+def test_baseline_has_no_stale_entries():
+    result = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")],
+        root=REPO_ROOT,
+    )
+    apply_baseline(result, Baseline.load(BASELINE))
+    assert result.stale_baseline == [], result.stale_baseline
+
+
+def test_every_baselined_finding_is_justified():
+    doc = json.loads(BASELINE.read_text())
+    unjustified = [
+        f"{e['path']}:{e['line']} {e['rule']}"
+        for e in doc["findings"]
+        if not e["justification"].strip()
+    ]
+    assert unjustified == [], unjustified

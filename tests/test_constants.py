@@ -1,6 +1,5 @@
 """Unit-conversion sanity checks."""
 
-import math
 
 import pytest
 
