@@ -146,3 +146,127 @@ def test_distributed_dc_solver(benchmark):
     serial = GlobalDCSolver(grid, dec, pos, sp, norb_extra=2,
                             nscf=2, ncg=2).solve()
     assert np.array_equal(dist.rho_global, serial.rho_global)
+
+
+# --------------------------------------------------------------------- #
+# executor backend scaling (BENCH_backend_scaling.json)
+# --------------------------------------------------------------------- #
+#: Rank counts of the modeled Fig. 3 strong-scaling excerpt.  P = 1 vs
+#: P = 4 is the worker count the process/thread backends target on one
+#: node; the modeled speedup is deterministic roofline arithmetic and
+#: carries the regression gate (modeled rtol pins it bitwise-stable).
+BACKEND_SCALING_P = (1, 2, 4)
+BACKEND_SCALING_NATOMS = 5120.0
+
+#: The modeled P=4 speedup over P=1 must clear this floor (paper Fig. 3
+#: shows near-linear scaling at small P; 1.3x is a deliberately loose
+#: floor so calibration tweaks don't flap the gate).
+MIN_MODELED_SPEEDUP = 1.3
+
+
+def _measure_backend(name: str, workers: int):
+    """Wall-time one small distributed DC solve on a given backend."""
+    import time
+
+    from repro.grids import DomainDecomposition
+    from repro.parallel.distributed import DistributedDCSolver
+    from repro.parallel.executor import make_executor
+
+    grid = Grid3D((12, 12, 12), (0.6, 0.6, 0.6))
+    dec = DomainDecomposition(grid, (2, 2, 1), buffer_width=2)
+    L = grid.lengths[0]
+    pos = np.array(
+        [[L / 4, L / 4, L / 2], [3 * L / 4, L / 4, L / 2],
+         [L / 4, 3 * L / 4, L / 2], [3 * L / 4, 3 * L / 4, L / 2]]
+    )
+    sp = [get_species("H")] * 4
+    with make_executor(name, workers=workers, seed=5) as ex:
+        solver = DistributedDCSolver(
+            grid, dec, pos, sp, nranks=4, norb_extra=1, nscf=2, ncg=1,
+            seed=5, executor=ex,
+        )
+        t0 = time.perf_counter()
+        result = solver.solve()
+        wall = time.perf_counter() - t0
+    assert np.isfinite(result.energy_history[-1])
+    return wall, result
+
+
+def emit_backend_scaling():
+    """Build and persist the backend-scaling telemetry document.
+
+    Modeled entries come from the calibrated Fig. 3 strong-scaling model
+    (deterministic, regression-gated at 1e-6 rtol); measured entries are
+    real wall times of one small distributed DC solve per backend at the
+    documented reduced scale (gated only as a ratio, since worker
+    processes on a single-core runner are slower than serial).
+    """
+    import os
+
+    from benchmarks.bench_common import write_bench_json
+    from repro.parallel import strong_scaling_study
+    from repro.parallel.scaling import calibrated_model
+
+    points = strong_scaling_study(
+        calibrated_model(), BACKEND_SCALING_NATOMS, BACKEND_SCALING_P
+    )
+    by_p = {p.nranks: p for p in points}
+    kernels = {
+        f"dcmesh_step_p{p}_modeled": {
+            "time_s": by_p[p].step_time,
+            "kind": "modeled",
+            "nranks": p,
+        }
+        for p in BACKEND_SCALING_P
+    }
+    measured = {}
+    for name, workers in (("serial", 1), ("thread", 4), ("process", 4)):
+        wall, _ = _measure_backend(name, workers)
+        measured[name] = wall
+        kernels[f"distributed_solve_{name}"] = {
+            "time_s": wall,
+            "kind": "measured",
+            "workers": workers,
+        }
+    modeled_speedup = by_p[1].step_time / by_p[4].step_time
+    extra = {
+        "modeled_speedup_p4_over_p1": modeled_speedup,
+        "measured_speedup_thread": measured["serial"] / measured["thread"],
+        "measured_speedup_process": measured["serial"] / measured["process"],
+        "cpu_count": os.cpu_count(),
+    }
+    path = write_bench_json(
+        "backend_scaling",
+        kernels,
+        workload={
+            "natoms_modeled": BACKEND_SCALING_NATOMS,
+            "p_list": list(BACKEND_SCALING_P),
+            "measured_grid": [12, 12, 12],
+            "measured_natoms": 4,
+        },
+        extra=extra,
+    )
+    return path, modeled_speedup, extra
+
+
+def test_backend_scaling_telemetry():
+    """Emit BENCH_backend_scaling.json; modeled P=4 speedup > 1.3x.
+
+    The measured per-backend times only assert a speedup when the host
+    actually has cores to scale onto -- single-core CI runners pay pure
+    IPC overhead for worker processes and that is expected, documented
+    behaviour, not a regression.
+    """
+    import os
+
+    path, modeled_speedup, extra = emit_backend_scaling()
+    assert path.exists()
+    assert modeled_speedup > MIN_MODELED_SPEEDUP
+    if (os.cpu_count() or 1) >= 4:
+        assert extra["measured_speedup_process"] > 1.0
+
+
+if __name__ == "__main__":
+    out, speedup, info = emit_backend_scaling()
+    print(f"wrote {out} (modeled P=4 speedup {speedup:.2f}x, "
+          f"cpu_count={info['cpu_count']})")

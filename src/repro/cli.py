@@ -68,16 +68,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_body(args: argparse.Namespace) -> int:
-    from repro import (
-        DCMESHConfig,
-        DCMESHSimulation,
-        TimescaleSplit,
-        VirtualGPU,
-        aut_to_fs,
-    )
-    from repro.core.checkpoint import load_checkpoint, save_checkpoint
+    from repro import DCMESHConfig, TimescaleSplit
     from repro.grids import Grid3D
     from repro.maxwell import GaussianPulse
+    from repro.parallel.executor import make_executor
     from repro.pseudo import get_species
 
     n = args.grid
@@ -96,10 +90,24 @@ def _run_body(args: argparse.Namespace) -> int:
         ncg=args.ncg,
         seed=args.seed,
     )
+    executor = make_executor(args.backend, workers=args.workers,
+                             seed=args.seed)
+    print(f"backend: {executor.name} ({executor.workers} worker(s))")
+    try:
+        return _run_sim(args, grid, positions, species, laser, config,
+                        executor)
+    finally:
+        executor.shutdown()
+
+
+def _run_sim(args, grid, positions, species, laser, config, executor) -> int:
+    from repro import DCMESHSimulation, VirtualGPU, aut_to_fs
+    from repro.core.checkpoint import load_checkpoint, save_checkpoint
+
     sim = DCMESHSimulation(
         grid, (2, 1, 1), positions, species,
         laser=laser, config=config, device=VirtualGPU(),
-        buffer_width=args.buffer,
+        buffer_width=args.buffer, executor=executor,
     )
     if args.restart:
         load_checkpoint(sim, args.restart)
@@ -241,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--excite", action="store_true",
                      help="seed a photo-excited carrier")
     run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--backend", choices=("serial", "thread", "process"),
+                     default="serial",
+                     help="domain executor backend (physics is identical "
+                          "on all three)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker count for thread/process backends "
+                          "(default: CPU count)")
     run.add_argument("--checkpoint", help="write a checkpoint after the run")
     run.add_argument("--restart", help="restore this checkpoint first")
     run.add_argument("--checkpoint-every", type=int, default=0,

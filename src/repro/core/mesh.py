@@ -78,6 +78,71 @@ class DCMESHConfig:
             )
 
 
+@dataclass(frozen=True)
+class DomainFieldSampler:
+    """Picklable ``A(t)`` sampler for one domain's LFD window.
+
+    Replaces the old closure over the simulation clock so LFD tasks can
+    cross a process boundary: the window start time is captured as data,
+    and ``t`` is the offset within the current MD step (the dipole
+    approximation samples the pulse identically in every domain).
+    """
+
+    laser: LaserPulse
+    t0: float
+
+    def __call__(self, t: float) -> np.ndarray:
+        return self.laser.vector_potential(self.t0 + t)
+
+
+def _lfd_domain_task(args: tuple) -> np.ndarray:
+    """Executor task: propagate one domain through its N_QD sub-steps.
+
+    ``args`` is ``(local_grid, psi, occupations, vloc, dsci,
+    use_corrector, conserve_charge, kin_variant, dt_qd, n_qd, sampler,
+    guard)``.  The adiabatic orbitals are never modified (shadow
+    dynamics); only the remapped occupations come back.  Read-only
+    shared-memory inputs are copied before use under the process
+    backend.
+    """
+    (local_grid, psi, occupations, vloc, dsci, use_corrector,
+     conserve_charge, kin_variant, dt_qd, n_qd, sampler, guard) = args
+    if not psi.flags.writeable:
+        psi = psi.copy()
+    basis = WaveFunctionSet(local_grid, psi.shape[-1], data=psi, copy=False)
+    prop_wf = basis.copy()
+    corrector = None
+    if use_corrector:
+        lumo = int(np.ceil(float(occupations.sum()) / 2.0 - 1e-9))
+        if lumo < basis.norb:
+            ref = WaveFunctionSet(
+                basis.grid,
+                basis.norb - lumo,
+                dtype=basis.dtype,
+                data=basis.psi[..., lumo:],
+            )
+            corrector = NonlocalCorrector(ref, dsci)
+    prop = QDPropagator(
+        prop_wf,
+        vloc,
+        PropagatorConfig(dt=dt_qd, kin_variant=kin_variant),
+        corrector=corrector,
+        a_of_t=sampler,
+        guard=guard,
+    )
+    prop.run(n_qd)
+    nelec = float(occupations.sum())
+    new_occ = remap_occ(prop.wf, basis, occupations)
+    if conserve_charge:
+        # The finite adiabatic basis cannot capture the whole propagated
+        # state; rescale the remapped occupations so the projection
+        # leakage does not drain charge.
+        total = float(new_occ.sum())
+        if total > 0.0:
+            new_occ *= nelec / total
+    return new_occ
+
+
 @dataclass
 class MDStepRecord:
     """Observables of one completed MD step."""
@@ -113,6 +178,10 @@ class DCMESHSimulation:
     device:
         Optional virtual GPU; when present, LFD transfers and residency
         are charged to its clock and the shadow ledger audits the traffic.
+    executor:
+        Optional :class:`repro.parallel.executor.DomainExecutor` running
+        the per-domain SCF refinements and LFD propagations (None means
+        serial).  Every backend produces the same physics.
     """
 
     def __init__(
@@ -125,7 +194,9 @@ class DCMESHSimulation:
         config: Optional[DCMESHConfig] = None,
         device: Optional[VirtualGPU] = None,
         buffer_width: int = 2,
+        executor=None,
     ) -> None:
+        self.executor = executor
         self.grid = grid
         self.config = config if config is not None else DCMESHConfig()
         self.decomposition = DomainDecomposition(grid, ndomains, buffer_width)
@@ -161,6 +232,14 @@ class DCMESHSimulation:
         self.ledger.record_psi_upload(psi_bytes, pinned=True)
 
     # ------------------------------------------------------------------ #
+    def _executor(self):
+        """The configured executor, defaulting to a fresh serial backend."""
+        if self.executor is None:
+            from repro.parallel.backends.serial import SerialBackend
+
+            self.executor = SerialBackend(seed=self.config.seed)
+        return self.executor
+
     def _solve_qxmd(self, warm: Optional[DCResult]) -> DCResult:
         solver = GlobalDCSolver(
             self.grid,
@@ -173,6 +252,7 @@ class DCMESHSimulation:
             mixing=self.config.mixing,
             include_nonlocal=self.config.include_nonlocal,
             seed=self.config.seed,
+            executor=self._executor(),
         )
         if warm is not None:
             # Warm start: seed each domain with the previous orbitals when
@@ -211,53 +291,29 @@ class DCMESHSimulation:
         return total
 
     # ------------------------------------------------------------------ #
-    def _domain_a_of_t(self, alpha: int):
+    def _domain_a_of_t(self, alpha: int) -> Optional[DomainFieldSampler]:
         if self.laser is None:
             return None
-        center = self.decomposition[alpha].core_center()
-        t0 = self.time
-
-        def a_of_t(t: float, _c=center, _t0=t0) -> np.ndarray:
-            return self.laser.vector_potential(_t0 + t)
-
-        return a_of_t
+        return DomainFieldSampler(laser=self.laser, t0=self.time)
 
     def _run_lfd(self, scissors: List[float]) -> int:
         """Run the N_QD LFD sub-steps in every domain; returns handshake bytes."""
-        ts = self.config.timescale
+        cfg = self.config
+        ts = cfg.timescale
+        use_corrector = cfg.use_scissor and cfg.include_nonlocal
+        items = [
+            (st.domain.local_grid, st.wf.psi, st.occupations, st.vloc,
+             dsci, use_corrector, cfg.conserve_charge, cfg.kin_variant,
+             ts.dt_qd, ts.n_qd, self._domain_a_of_t(st.domain.alpha),
+             self.health_guard)
+            for st, dsci in zip(self.dc.states, scissors)
+        ]
+        new_occs = self._executor().map(
+            _lfd_domain_task, items, label="lfd.domains"
+        )
         handshake_total = 0
-        for st, dsci in zip(self.dc.states, scissors):
-            basis = st.wf
-            prop_wf = basis.copy()
-            corrector = None
-            if self.config.use_scissor and self.config.include_nonlocal:
-                lumo = int(np.ceil(float(st.occupations.sum()) / 2.0 - 1e-9))
-                if lumo < basis.norb:
-                    ref = WaveFunctionSet(
-                        basis.grid,
-                        basis.norb - lumo,
-                        dtype=basis.dtype,
-                        data=basis.psi[..., lumo:],
-                    )
-                    corrector = NonlocalCorrector(ref, dsci)
-            prop = QDPropagator(
-                prop_wf,
-                st.vloc,
-                PropagatorConfig(dt=ts.dt_qd, kin_variant=self.config.kin_variant),
-                corrector=corrector,
-                a_of_t=self._domain_a_of_t(st.domain.alpha),
-                guard=self.health_guard,
-            )
-            prop.run(ts.n_qd)
-            nelec = float(st.occupations.sum())
-            st.occupations = remap_occ(prop.wf, basis, st.occupations)
-            if self.config.conserve_charge:
-                # The finite adiabatic basis cannot capture the whole
-                # propagated state; rescale the remapped occupations so
-                # the projection leakage does not drain charge.
-                total = float(st.occupations.sum())
-                if total > 0.0:
-                    st.occupations *= nelec / total
+        for st, occ in zip(self.dc.states, new_occs):
+            st.occupations = occ
             if self.device is not None:
                 # The per-step handshake stages vloc/occupations through a
                 # transient device buffer (enter data / exit data around the
@@ -271,7 +327,7 @@ class DCMESHSimulation:
                 md_step=self.step_count,
                 vloc_bytes=st.vloc.nbytes,
                 occ_count=st.occupations.size,
-                psi_bytes_resident=basis.nbytes + prop_wf.nbytes,
+                psi_bytes_resident=2 * st.wf.nbytes,
                 pinned=True,
             )
             handshake_total += rec.total

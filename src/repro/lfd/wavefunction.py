@@ -32,6 +32,11 @@ class WaveFunctionSet:
         the paper compares both.
     data:
         Optional initial SoA data of shape ``grid.shape + (norb,)``.
+    copy:
+        When False and ``data`` already has the requested dtype, alias
+        ``data`` instead of copying -- executor task functions use this
+        to mutate the caller's live array in place under the serial and
+        thread backends (bit-identical to the historical inline loops).
     """
 
     def __init__(
@@ -40,6 +45,7 @@ class WaveFunctionSet:
         norb: int,
         dtype=np.complex128,
         data: Optional[np.ndarray] = None,
+        copy: bool = True,
     ) -> None:
         if norb < 1:
             raise ValueError("need at least one orbital")
@@ -55,7 +61,10 @@ class WaveFunctionSet:
             data = np.asarray(data)
             if data.shape != shape:
                 raise ValueError(f"data shape {data.shape} != expected {shape}")
-            self.psi = data.astype(self.dtype, copy=True)
+            if not copy and data.dtype == self.dtype:
+                self.psi = data
+            else:
+                self.psi = data.astype(self.dtype, copy=True)
 
     # ------------------------------------------------------------------ #
     # construction helpers

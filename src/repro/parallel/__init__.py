@@ -10,6 +10,14 @@ into the weak/strong-scaling efficiencies of Figs. 2-3.
 """
 
 from repro.parallel.comm import SimComm
+from repro.parallel.executor import (
+    BACKENDS,
+    DomainExecutor,
+    WorkerCrashError,
+    make_executor,
+    worker_rng,
+)
+from repro.parallel.backends import ProcessBackend, SerialBackend, ThreadBackend
 from repro.parallel.network import (
     NetworkSpec,
     SLINGSHOT,
@@ -34,6 +42,14 @@ from repro.parallel.scaling import (
 
 __all__ = [
     "SimComm",
+    "BACKENDS",
+    "DomainExecutor",
+    "WorkerCrashError",
+    "make_executor",
+    "worker_rng",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "NetworkSpec",
     "SLINGSHOT",
     "NVLINK_NET",

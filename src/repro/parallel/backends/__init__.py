@@ -1,0 +1,14 @@
+"""The three DomainExecutor backends (serial / thread / process).
+
+Every backend honors the :mod:`repro.parallel.executor` contract:
+order-preserving ``map``, per-chunk deterministic :func:`worker_rng`
+seeding, and a ``trace_span("executor.map", "comm", ...)`` around every
+dispatch.  ``SerialBackend`` is the default everywhere and bit-identical
+to the historical inline loops.
+"""
+
+from repro.parallel.backends.process import ProcessBackend
+from repro.parallel.backends.serial import SerialBackend
+from repro.parallel.backends.thread import ThreadBackend
+
+__all__ = ["SerialBackend", "ThreadBackend", "ProcessBackend"]

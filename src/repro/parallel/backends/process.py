@@ -1,0 +1,222 @@
+"""ProcessBackend: spawn-context pool with shm transport and crash healing.
+
+The closest stand-in for the paper's one-rank-per-GPU deployment that a
+single host can offer: each worker is a separate interpreter (spawn
+context, so no inherited state), large arrays travel through
+``multiprocessing.shared_memory`` (:mod:`repro.parallel.backends.shm`),
+and work is dispatched in deterministic chunks whose results the caller
+applies in item order.
+
+Crash handling is *retry-on-survivors*: a worker dying mid-map (real
+crash, OOM kill, or the ``executor.worker_crash`` fault site) breaks the
+pool; the backend keeps the chunks that already finished, rebuilds the
+pool with one fewer worker, and resubmits only the unfinished chunks.
+After ``max_crash_retries`` consecutive pool losses in one map call it
+raises :class:`~repro.parallel.executor.WorkerCrashError`, which the
+PR-1 RunSupervisor treats as a recoverable rank failure (restore the
+newest checkpoint, replay the segment on whatever workers survive).
+
+Observability caveat: worker processes carry the null tracer, so
+per-kernel spans inside tasks are not recorded; the parent-side
+``executor.map`` span absorbs the whole dispatch wall time.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs import trace_span
+from repro.parallel.backends.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    ShmSession,
+    attached,
+)
+from repro.parallel.executor import (
+    DomainExecutor,
+    WorkerCrashError,
+    chunk_rng,
+    chunk_slices,
+    set_worker_rng,
+)
+from repro.resilience.faults import fault_point
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    packed_tasks: List[Any],
+    entropy: Tuple[int, int, int],
+) -> List[Any]:
+    """Worker-side chunk body: seed the RNG, attach shm, run the tasks."""
+    set_worker_rng(chunk_rng(*entropy))
+    try:
+        with attached(packed_tasks) as tasks:
+            return [fn(t) for t in tasks]
+    finally:
+        set_worker_rng(None)
+
+
+def _worker_suicide() -> None:
+    """Fault-injection payload: hard-kill the hosting worker (SIGKILL)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class ProcessBackend(DomainExecutor):
+    """Process-pool execution with shared-memory transport.
+
+    Parameters
+    ----------
+    workers:
+        Pool size at full strength (crashes shrink it, never below 1).
+    seed:
+        Base seed of the per-chunk worker RNG streams.
+    chunk_size:
+        Items per dispatched chunk.  The default of 1 keeps the
+        ``worker_rng`` streams identical to the serial and thread
+        backends; larger chunks amortize dispatch overhead but give each
+        chunk one shared stream.
+    shm_threshold:
+        Minimum array size (bytes) shipped via shared memory; smaller
+        arrays ride the pickle path.  0 disables shm entirely.
+    max_crash_retries:
+        Consecutive pool losses tolerated inside one map call before
+        :class:`WorkerCrashError` escalates to the supervisor.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        seed: int = 0,
+        chunk_size: int = 1,
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        max_crash_retries: int = 2,
+    ) -> None:
+        super().__init__(workers=workers, seed=seed)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if shm_threshold < 0:
+            raise ValueError("shm_threshold must be non-negative")
+        if max_crash_retries < 0:
+            raise ValueError("max_crash_retries must be non-negative")
+        self.chunk_size = int(chunk_size)
+        self.shm_threshold = int(shm_threshold)
+        self.max_crash_retries = int(max_crash_retries)
+        #: Current pool size after crash degradation (>= 1).
+        self.live_workers = self.workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Lazily start the spawn-context pool at ``live_workers`` size."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.live_workers,
+                mp_context=get_context("spawn"),
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool without waiting on it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def reset(self) -> None:
+        """Restore full strength after degradation (drops the live pool)."""
+        self._discard_pool()
+        self.live_workers = self.workers
+
+    def shutdown(self) -> None:
+        """Terminate the pool; a later map() restarts it lazily."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        label: str = "tasks",
+    ) -> List[Any]:
+        """Chunked map over the pool; results in item order.
+
+        Raises whatever a task raises (guard errors unpickle cleanly in
+        the parent), or :class:`WorkerCrashError` once worker crashes
+        exhaust ``max_crash_retries``.
+        """
+        items = list(items)
+        map_index = self._next_map_index()
+        with trace_span("executor.map", "comm", backend=self.name,
+                        workers=self.live_workers, ntasks=len(items),
+                        label=label):
+            if not items:
+                return []
+            session = ShmSession()
+            try:
+                return self._map_chunks(fn, items, label, map_index, session)
+            finally:
+                session.close()
+
+    def _map_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        label: str,
+        map_index: int,
+        session: ShmSession,
+    ) -> List[Any]:
+        """Dispatch chunks, healing broken pools on the way."""
+        slices = chunk_slices(len(items), self.chunk_size)
+        packed = [
+            [session.pack(it, self.shm_threshold) for it in items[lo:hi]]
+            for lo, hi in slices
+        ]
+        chunk_results: List[Optional[List[Any]]] = [None] * len(slices)
+        pending = list(range(len(slices)))
+        crashes = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures: Dict[int, Future] = {}
+            for ci in pending:
+                spec = fault_point("executor.worker_crash")
+                try:
+                    futures[ci] = pool.submit(
+                        _run_chunk, fn, packed[ci],
+                        (self.seed, map_index, ci),
+                    )
+                    if spec is not None:
+                        # Poison every live worker.  The call queue is
+                        # FIFO, so chunks dispatched after this point
+                        # deterministically fail and get resubmitted.
+                        for _ in range(self.live_workers):
+                            pool.submit(_worker_suicide)
+                except BrokenProcessPool:
+                    break  # unsubmitted chunks stay pending for retry
+            still_pending: List[int] = []
+            for ci in pending:
+                fut = futures.get(ci)
+                if fut is None:
+                    still_pending.append(ci)
+                    continue
+                try:
+                    chunk_results[ci] = fut.result()
+                except BrokenProcessPool:
+                    still_pending.append(ci)
+            pending = still_pending
+            if pending:
+                crashes += 1
+                self._discard_pool()
+                self.live_workers = max(1, self.live_workers - 1)
+                if crashes > self.max_crash_retries:
+                    raise WorkerCrashError(label, crashes, self.live_workers)
+        out: List[Any] = []
+        for results in chunk_results:
+            out.extend(results if results is not None else [])
+        return out

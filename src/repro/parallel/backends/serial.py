@@ -1,0 +1,43 @@
+"""SerialBackend: in-process, in-order task execution (the default).
+
+Runs every task in the caller's process in submission order, against the
+caller's live objects -- the refactored hot paths under this backend are
+bit-identical to the historical inline loops (asserted by the golden
+trajectory test and the differential equivalence harness).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List
+
+from repro.obs import trace_span
+from repro.parallel.executor import DomainExecutor, chunk_rng, set_worker_rng
+
+
+class SerialBackend(DomainExecutor):
+    """In-order serial execution; ``workers`` is fixed at 1."""
+
+    name = "serial"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(workers=1, seed=seed)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        label: str = "tasks",
+    ) -> List[Any]:
+        """Apply ``fn`` to every item in order, in the calling thread."""
+        items = list(items)
+        map_index = self._next_map_index()
+        with trace_span("executor.map", "comm", backend=self.name,
+                        workers=self.workers, ntasks=len(items), label=label):
+            out: List[Any] = []
+            try:
+                for i, item in enumerate(items):
+                    set_worker_rng(chunk_rng(self.seed, map_index, i))
+                    out.append(fn(item))
+            finally:
+                set_worker_rng(None)
+            return out

@@ -1,0 +1,148 @@
+"""Shared-memory array transport for the process backend.
+
+Pickling a wavefunction block through a pool pipe copies it twice
+(serialize + deserialize) per task.  Instead, the parent copies each
+large array once into a named ``multiprocessing.shared_memory`` segment
+and ships a tiny :class:`ShmArrayRef`; workers attach the segment and
+hand the task a zero-copy **read-only** view.  Arrays appearing in many
+items (the broadcast global potential) are deduplicated by object
+identity, so they cross the process boundary exactly once per map call.
+
+Lifetime protocol:
+
+* the parent owns the segments: it creates them before dispatch and
+  closes + unlinks them when the map call ends (:class:`ShmSession`);
+* workers attach per chunk via :func:`attached` and close when the chunk
+  ends -- so tasks must never return views of their inputs;
+* tasks that mutate an input must copy it first (the views are marked
+  non-writeable precisely so a forgotten copy fails loudly instead of
+  silently diverging between backends).
+
+On Python < 3.13 every ``SharedMemory`` attach registers with the
+``resource_tracker`` even for non-owning handles (bpo-39959).  Spawned
+pool workers inherit the parent's tracker process, whose name cache is a
+set, so the re-registration is idempotent and the parent's unlink is the
+single cleanup point; workers must NOT unregister their handles, or they
+would strip the parent's own entry from the shared tracker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+#: Arrays at least this large (bytes) travel via shared memory by default.
+DEFAULT_SHM_THRESHOLD = 32768
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """A picklable pointer to an ndarray living in a named shm segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class ShmSession:
+    """Parent-side owner of the segments backing one executor map call."""
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._by_id: Dict[int, ShmArrayRef] = {}
+
+    @property
+    def nsegments(self) -> int:
+        """Number of live segments created by this session."""
+        return len(self._segments)
+
+    def share(self, arr: np.ndarray) -> ShmArrayRef:
+        """Copy one array into a fresh segment (deduplicated by identity)."""
+        ref = self._by_id.get(id(arr))
+        if ref is not None:
+            return ref
+        data = np.ascontiguousarray(arr)
+        seg = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+        view[...] = data
+        ref = ShmArrayRef(name=seg.name, shape=tuple(data.shape),
+                          dtype=np.dtype(data.dtype).str)
+        self._segments.append(seg)
+        self._by_id[id(arr)] = ref
+        return ref
+
+    def pack(self, item: Any, threshold: int = DEFAULT_SHM_THRESHOLD) -> Any:
+        """Replace large arrays in a (possibly nested) tuple/list by refs.
+
+        Only tuples and lists are descended; arrays buried inside other
+        objects (projector sets, dataclasses) are left for pickle, which
+        is the right trade for small per-domain payloads.
+        """
+        if isinstance(item, np.ndarray):
+            if threshold > 0 and item.nbytes >= threshold:
+                return self.share(item)
+            return item
+        if isinstance(item, tuple):
+            return tuple(self.pack(v, threshold) for v in item)
+        if isinstance(item, list):
+            return [self.pack(v, threshold) for v in item]
+        return item
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        for seg in self._segments:
+            seg.close()
+            seg.unlink()
+        self._segments.clear()
+        self._by_id.clear()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach a non-owning handle to a parent-created segment.
+
+    The attach re-registers the name with the (shared, inherited)
+    resource tracker; that is idempotent and must not be undone here --
+    the parent's unlink performs the one true unregister.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _resolve(
+    item: Any,
+    handles: Dict[str, shared_memory.SharedMemory],
+) -> Any:
+    """Inverse of :meth:`ShmSession.pack`: refs become read-only views."""
+    if isinstance(item, ShmArrayRef):
+        seg = handles.get(item.name)
+        if seg is None:
+            seg = _attach(item.name)
+            handles[item.name] = seg
+        view: np.ndarray = np.ndarray(
+            item.shape, dtype=np.dtype(item.dtype), buffer=seg.buf
+        )
+        view.flags.writeable = False
+        return view
+    if isinstance(item, tuple):
+        return tuple(_resolve(v, handles) for v in item)
+    if isinstance(item, list):
+        return [_resolve(v, handles) for v in item]
+    return item
+
+
+@contextmanager
+def attached(packed: Any) -> Iterator[Any]:
+    """Worker-side scope: packed payload in, resolved payload out.
+
+    Segments stay attached for the whole ``with`` body and are closed on
+    exit -- which is why tasks must not return views of their inputs.
+    """
+    handles: Dict[str, shared_memory.SharedMemory] = {}
+    try:
+        yield _resolve(packed, handles)
+    finally:
+        for seg in handles.values():
+            seg.close()

@@ -96,18 +96,50 @@ class SimComm:
                 self._charge_all(bcast_time(_nbytes(value), self.nranks, self.network), "bcast")
             return out
 
+    @staticmethod
+    def reduction_schedule(nranks: int) -> Tuple[int, ...]:
+        """Rank order in which reductions fold contributions.
+
+        **Reduction-order contract.**  Floating-point addition is not
+        associative, so the bitwise result of a reduction depends on the
+        order contributions combine.  Real MPI leaves that order
+        implementation-defined; :class:`SimComm` pins it so results are
+        reproducible and backend-independent: for a given world size the
+        fold order is *fixed* -- a linear left-fold in ascending rank
+        order ``0, 1, ..., nranks-1``.  Every reduction with the same
+        world size and the same per-rank contributions is therefore
+        bit-identical, regardless of which executor backend produced the
+        contributions or how work was chunked across workers.
+        """
+        if nranks < 1:
+            raise ValueError("nranks must be at least 1")
+        return tuple(range(nranks))
+
+    def _ordered_fold(
+        self, values: Sequence[Any], op: Callable[[Any, Any], Any]
+    ) -> Any:
+        """Left-fold the contributions in the pinned schedule order."""
+        schedule = self.reduction_schedule(self.nranks)
+        total = values[schedule[0]]
+        if isinstance(total, np.ndarray):
+            total = total.copy()
+        for r in schedule[1:]:
+            total = op(total, values[r])
+        return total
+
     def allreduce(
         self, values: Sequence[Any], op: Callable[[Any, Any], Any] = np.add
     ) -> List[Any]:
-        """All-reduce: every rank receives op-reduction of all contributions."""
+        """All-reduce: every rank receives op-reduction of all contributions.
+
+        The fold order is pinned by :meth:`reduction_schedule`, so for a
+        fixed world size the result is bit-identical run to run.  Each
+        rank's returned array is an independent copy.
+        """
         with trace_span("comm.allreduce", "comm", nranks=self.nranks):
             self._maybe_rank_fail("allreduce")
             self._check_world(values)
-            total = values[0]
-            if isinstance(total, np.ndarray):
-                total = total.copy()
-            for v in values[1:]:
-                total = op(total, v)
+            total = self._ordered_fold(values, op)
             out = [total.copy() if isinstance(total, np.ndarray) else total
                    for _ in range(self.nranks)]
             if self.network is not None:
@@ -120,16 +152,17 @@ class SimComm:
         self, values: Sequence[Any], root: int = 0,
         op: Callable[[Any, Any], Any] = np.add,
     ) -> Any:
-        """Reduce to root; other ranks conceptually receive None."""
+        """Reduce to root; other ranks conceptually receive None.
+
+        Uses the same pinned fold order as :meth:`allreduce` (see
+        :meth:`reduction_schedule`), so ``reduce`` and ``allreduce`` of
+        the same contributions agree bitwise.
+        """
         with trace_span("comm.reduce", "comm", nranks=self.nranks):
             self._maybe_rank_fail("reduce")
             self._check_world(values)
             self._check_rank(root)
-            total = values[0]
-            if isinstance(total, np.ndarray):
-                total = total.copy()
-            for v in values[1:]:
-                total = op(total, v)
+            total = self._ordered_fold(values, op)
             if self.network is not None:
                 self._charge_all(
                     allreduce_time(_nbytes(values[0]), self.nranks, self.network) / 2.0,

@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.grids.domain import DomainDecomposition
 from repro.grids.grid import Grid3D
-from repro.lfd.observables import density
 from repro.multigrid.poisson import PoissonMultigrid
 from repro.parallel.comm import SimComm
 from repro.parallel.decomposition import SpaceBandDecomposition
@@ -34,7 +33,7 @@ from repro.parallel.network import NetworkSpec
 from repro.parallel.timeline import RankTimeline
 from repro.pseudo.elements import PseudoSpecies
 from repro.pseudo.local import core_repulsion_potential, ionic_density
-from repro.qxmd.dftsolver import DCResult, DomainSolver, GlobalDCSolver
+from repro.qxmd.dftsolver import DCResult, GlobalDCSolver, _domain_refine_task
 from repro.qxmd.hartree import hartree_potential
 from repro.qxmd.xc import lda_exchange_correlation
 
@@ -42,8 +41,12 @@ from repro.qxmd.xc import lda_exchange_correlation
 class DistributedDCSolver:
     """Rank-decomposed global-local SCF (numerically identical to serial).
 
-    Parameters match :class:`GlobalDCSolver` plus the world size and
-    optional network/timeline instrumentation.
+    Parameters match :class:`GlobalDCSolver` plus the world size,
+    optional network/timeline instrumentation, and an optional
+    :class:`repro.parallel.executor.DomainExecutor` that runs the
+    per-(rank, domain) refinements (``SimComm`` stays the cost model and
+    collective semantics; the executor is the physical compute
+    substrate).
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class DistributedDCSolver:
         seed: int = 1234,
         network: Optional[NetworkSpec] = None,
         timeline: Optional[RankTimeline] = None,
+        executor=None,
     ) -> None:
         if nranks < 1:
             raise ValueError("nranks must be positive")
@@ -83,6 +87,15 @@ class DistributedDCSolver:
             ndomains=len(decomposition), nbands=1, p_space=nranks, p_band=1
         )
         self.timeline = timeline
+        self.executor = executor
+
+    def _executor(self):
+        """The configured executor, defaulting to a fresh serial backend."""
+        if self.executor is None:
+            from repro.parallel.backends.serial import SerialBackend
+
+            self.executor = SerialBackend(seed=self._serial.seed)
+        return self.executor
 
     # ------------------------------------------------------------------ #
     def solve(self) -> DCResult:
@@ -124,23 +137,31 @@ class DistributedDCSolver:
             )
             v_everywhere = self.comm.bcast(v_global, root=0)
 
-            # --- local phase: every rank refines its own domains. -------
-            partials = []
-            band_sums = []
+            # --- local phase: every rank refines its own domains, the
+            #     (rank, domain) task list running on the executor. ------
+            items = []
             for r in range(self.nranks):
-                partial = grid.zeros()
-                bsum = 0.0
                 for st in states_by_rank[r]:
-                    st.vloc = st.domain.gather(v_everywhere[r])
-                    solver = DomainSolver(st.domain, st.wf.norb,
-                                          seed=serial.seed)
-                    st.eigenvalues = solver.refine(
-                        st.wf, st.vloc, st.kb, serial.ncg
+                    items.append(
+                        (st.domain, st.wf.psi, st.occupations, st.kb,
+                         v_everywhere[r], serial.ncg, serial.seed)
                     )
-                    st.domain.add_core(density(st.wf, st.occupations), partial)
-                    bsum += float(np.dot(st.occupations, st.eigenvalues))
-                partials.append(partial)
-                band_sums.append(bsum)
+            results = self._executor().map(
+                _domain_refine_task, items, label="scf.rank_domains"
+            )
+            partials = [grid.zeros() for _ in range(self.nranks)]
+            band_sums = [0.0] * self.nranks
+            idx = 0
+            for r in range(self.nranks):
+                for st in states_by_rank[r]:
+                    psi, eig, vloc, rho = results[idx]
+                    idx += 1
+                    if psi is not st.wf.psi:
+                        st.wf.psi[...] = psi
+                    st.eigenvalues = eig
+                    st.vloc = vloc
+                    st.domain.add_core(rho, partials[r])
+                    band_sums[r] += float(np.dot(st.occupations, eig))
 
             # --- recombine: disjoint cores, exact allreduce. -------------
             rho_new = self.comm.allreduce(partials)[0]

@@ -79,6 +79,28 @@ class DomainSolver:
         return cg_eigensolve(ham, wf, ncg=ncg)
 
 
+def _domain_refine_task(args: tuple) -> tuple:
+    """Executor task: refine one domain against the global potential.
+
+    ``args`` is ``(domain, psi, occupations, kb, v_global, ncg, seed)``.
+    Under the serial and thread backends ``psi`` is the caller's live
+    orbital array and is refined in place; under the process backend it
+    arrives as a read-only shared-memory view and is copied first, with
+    the parent writing the returned orbitals back.  Returns
+    ``(psi, eigenvalues, vloc, rho_local)``.
+    """
+    domain, psi, occupations, kb, v_global, ncg, seed = args
+    if not psi.flags.writeable:
+        psi = psi.copy()
+    wf = WaveFunctionSet(domain.local_grid, psi.shape[-1], data=psi, copy=False)
+    vloc = domain.gather(v_global)
+    eigenvalues = DomainSolver(domain, wf.norb, seed=seed).refine(
+        wf, vloc, kb, ncg
+    )
+    rho_local = density(wf, occupations)
+    return wf.psi, eigenvalues, vloc, rho_local
+
+
 @dataclass
 class DCResult:
     """State of a converged (or iteration-limited) global-local SCF."""
@@ -113,6 +135,10 @@ class GlobalDCSolver:
     norb_extra:
         Unoccupied orbitals per domain beyond the Aufbau filling (needed
         by surface hopping and the scissor correction).
+    executor:
+        A :class:`repro.parallel.executor.DomainExecutor` running the
+        per-domain local refinements (None means serial).  All backends
+        produce the same physics; serial and thread are bit-identical.
     """
 
     def __init__(
@@ -127,6 +153,7 @@ class GlobalDCSolver:
         mixing: float = 0.4,
         include_nonlocal: bool = True,
         seed: int = 1234,
+        executor=None,
     ) -> None:
         self.grid = grid
         self.decomposition = decomposition
@@ -142,6 +169,17 @@ class GlobalDCSolver:
         self.seed = seed
         self.poisson = PoissonMultigrid(grid)
         self.owners = decomposition.assign_atoms(self.positions)
+        self.executor = executor
+
+    def _executor(self):
+        """The configured executor, defaulting to a fresh serial backend."""
+        if self.executor is None:
+            # Imported lazily: repro.parallel's package __init__ imports
+            # this module back through DistributedDCSolver.
+            from repro.parallel.backends.serial import SerialBackend
+
+            self.executor = SerialBackend(seed=self.seed)
+        return self.executor
 
     def _domain_setup(self, dom: Domain, atom_idx: List[int]) -> DomainState:
         """Build one domain's orbitals, occupations and projectors."""
@@ -213,12 +251,21 @@ class GlobalDCSolver:
                 )
                 # --- local phase: every domain refines against the gathered
                 #     (LDC boundary-informed) potential.
+                items = [
+                    (st.domain, st.wf.psi, st.occupations, st.kb,
+                     v_global, self.ncg, self.seed)
+                    for st in states
+                ]
+                results = self._executor().map(
+                    _domain_refine_task, items, label="scf.domains"
+                )
                 local_rhos = []
-                for st in states:
-                    st.vloc = st.domain.gather(v_global)
-                    solver = DomainSolver(st.domain, st.wf.norb, seed=self.seed)
-                    st.eigenvalues = solver.refine(st.wf, st.vloc, st.kb, self.ncg)
-                    local_rhos.append(density(st.wf, st.occupations))
+                for st, (psi, eig, vloc, rho) in zip(states, results):
+                    if psi is not st.wf.psi:
+                        st.wf.psi[...] = psi
+                    st.eigenvalues = eig
+                    st.vloc = vloc
+                    local_rhos.append(rho)
                 # --- recombine: disjoint cores tile the global density.
                 rho_new = self.decomposition.recombine(local_rhos)
                 # Renormalize to the exact electron count (buffer truncation).

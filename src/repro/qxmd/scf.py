@@ -212,6 +212,56 @@ def scf_solve(
     )
 
 
+@dataclass
+class SCFTask:
+    """One independent :func:`scf_solve` problem for batch execution.
+
+    Instances are shipped to executor workers, so every field must be
+    picklable (grids, species, and wavefunction sets all are).
+    """
+
+    grid: Grid3D
+    positions: np.ndarray
+    species: Sequence[PseudoSpecies]
+    norb: int
+    occupations: Optional[np.ndarray] = None
+    config: Optional[SCFConfig] = None
+    initial_wf: Optional[WaveFunctionSet] = None
+
+
+def _scf_task_call(task: SCFTask) -> SCFResult:
+    """Executor task wrapper: solve one :class:`SCFTask`."""
+    return scf_solve(
+        task.grid,
+        task.positions,
+        task.species,
+        task.norb,
+        occupations=task.occupations,
+        config=task.config,
+        initial_wf=task.initial_wf,
+    )
+
+
+def scf_solve_batch(
+    tasks: Sequence[SCFTask],
+    executor=None,
+) -> List[SCFResult]:
+    """Solve independent SCF problems on a DomainExecutor backend.
+
+    The problems are embarrassingly parallel (separate grids, separate
+    atoms), which is exactly the executor's contract: results come back
+    in task order and are identical on every backend (bit-identical for
+    serial and thread; the process backend recomputes on copied inputs,
+    which performs the same floating-point program).  With ``executor``
+    None the batch runs on a fresh serial backend.
+    """
+    if executor is None:
+        from repro.parallel.backends.serial import SerialBackend
+
+        executor = SerialBackend()
+    return executor.map(_scf_task_call, list(tasks), label="scf.batch")
+
+
 def total_energy(
     grid: Grid3D,
     wf: WaveFunctionSet,

@@ -53,6 +53,7 @@ KNOWN_SITES: Tuple[str, ...] = (
     "comm.dup",            # SimComm.send message duplicated
     "comm.rank_fail",      # SimComm collective rank failure
     "checkpoint.corrupt",  # resilience.checkpointing post-write corruption
+    "executor.worker_crash",  # ProcessBackend worker SIGKILL mid-map
 )
 
 

@@ -47,6 +47,16 @@ DVOL_PATHS: Tuple[str, ...] = (
     "repro/qxmd/",
 )
 
+#: Modules whose per-domain hot paths must dispatch through the
+#: DomainExecutor abstraction: constructing a DomainSolver or
+#: QDPropagator inside a loop there bypasses the backend-selectable
+#: executor (and its crash healing, tracing and RNG discipline).
+EXECUTOR_PATHS: Tuple[str, ...] = (
+    "repro/parallel/distributed.py",
+    "repro/qxmd/dftsolver.py",
+    "repro/core/mesh.py",
+)
+
 #: Narrowing dtype names: casting *to* one of these inside a kernel
 #: module silently loses precision (complex128 -> complex64, 64 -> 32).
 NARROWING_DTYPES: Tuple[str, ...] = (
@@ -136,6 +146,7 @@ DEFAULT_SEVERITIES: Mapping[str, str] = {
     "DCL006": "error",
     "DCL007": "error",
     "DCL008": "error",
+    "DCL009": "error",
 }
 
 _VALID_SEVERITIES = ("error", "warning", "note")
@@ -152,6 +163,7 @@ class LintConfig:
     kernel_dtype_paths: Tuple[str, ...] = KERNEL_DTYPE_PATHS
     traced_phase_paths: Tuple[str, ...] = TRACED_PHASE_PATHS
     dvol_paths: Tuple[str, ...] = DVOL_PATHS
+    executor_paths: Tuple[str, ...] = EXECUTOR_PATHS
 
     def severity_for(self, code: str) -> str:
         """Effective severity of a rule after CLI overrides."""

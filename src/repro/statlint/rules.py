@@ -1,4 +1,4 @@
-"""The DCL001-DCL008 rule set.
+"""The DCL001-DCL009 rule set.
 
 Each rule is an AST check over one :class:`~repro.statlint.engine.ModuleContext`
 yielding ``(line, col, message)`` triples.  Rules carry the paper
@@ -465,6 +465,51 @@ class MissingDvolWeight(Rule):
         return False
 
 
+class SerialRankLoop(Rule):
+    """DCL009: per-domain solver constructed inside a loop.
+
+    The rank/domain hot paths dispatch per-domain work through the
+    DomainExecutor abstraction (``executor.map`` over a module-level
+    task), which is what makes the serial/thread/process backends
+    interchangeable and gives the crash-healing, tracing and worker-RNG
+    discipline for free.  Building a ``DomainSolver`` or ``QDPropagator``
+    directly inside a ``for``/``while`` loop in these modules reverts to
+    the old inline iteration and silently bypasses all of that.
+    """
+
+    code = "DCL009"
+    name = "executor-bypass"
+    summary = "rank/domain loop builds DomainSolver/QDPropagator inline"
+    paper_ref = "Figs. 2-3 per-rank parallel structure"
+    scope_attr = "executor_paths"
+
+    _SOLVERS = ("DomainSolver", "QDPropagator")
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                called = func.id
+            elif isinstance(func, ast.Attribute):
+                called = func.attr
+            else:
+                continue
+            if called not in self._SOLVERS:
+                continue
+            if ctx.loop_depth(node) < 1:
+                continue
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{called}() constructed inside a loop bypasses the "
+                f"DomainExecutor; move the per-domain body into a "
+                f"module-level task and dispatch it with executor.map "
+                f"({self.paper_ref})",
+            )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     HotLoopAllocation(),
     DtypePromotionHazard(),
@@ -474,6 +519,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UntracedPublicKernel(),
     OutAliasing(),
     MissingDvolWeight(),
+    SerialRankLoop(),
 )
 
 

@@ -65,6 +65,77 @@ class TestCollectives:
             assert out[dst] == [f"{src}->{dst}" for src in range(4)]
 
 
+class TestReductionOrderContract:
+    """allreduce/reduce fold in one pinned order: ascending rank."""
+
+    def test_schedule_is_ascending(self):
+        for n in (1, 2, 5, 64):
+            assert SimComm.reduction_schedule(n) == tuple(range(n))
+
+    def test_schedule_validates_world_size(self):
+        with pytest.raises(ValueError):
+            SimComm.reduction_schedule(0)
+
+    def test_noncommutative_op_exposes_fold_order(self, comm):
+        # left fold in ascending rank order: ((10-1)-2)-3 == 4
+        out = comm.allreduce([10, 1, 2, 3], op=lambda a, b: a - b)
+        assert out == [4, 4, 4, 4]
+        assert comm.reduce([10, 1, 2, 3], op=lambda a, b: a - b) == 4
+
+    def test_reduce_matches_allreduce_bitwise(self, comm):
+        rng = np.random.default_rng(11)
+        vals = [rng.standard_normal(64) for _ in range(4)]
+        red = comm.reduce(vals)
+        allred = comm.allreduce(vals)
+        for v in allred:
+            assert np.array_equal(v, red)
+
+    def test_allreduce_outputs_are_independent_copies(self, comm):
+        out = comm.allreduce([np.ones(3) for _ in range(4)])
+        out[0][0] = -1.0
+        assert out[1][0] == 4.0
+
+    def test_fold_repeatable_bitwise(self, comm):
+        rng = np.random.default_rng(2)
+        vals = [rng.standard_normal(128) * 10.0 ** rng.integers(-8, 8)
+                for _ in range(4)]
+        a = comm.allreduce(vals)[0]
+        b = comm.allreduce(vals)[0]
+        assert np.array_equal(a, b)
+
+
+class TestCollectiveEdgeCases:
+    @pytest.fixture
+    def solo(self):
+        return SimComm(1)
+
+    def test_world_of_one(self, solo):
+        assert solo.allreduce([5]) == [5]
+        assert solo.reduce([np.arange(3)]) is not None
+        assert solo.scatter([7]) == [7]
+        assert solo.allgather(["x"]) == [["x"]]
+        assert solo.alltoall([["a"]]) == [["a"]]
+
+    def test_alltoall_ragged_row_rejected(self, comm):
+        matrix = [[0] * 4, [0] * 4, [0] * 3, [0] * 4]
+        with pytest.raises(ValueError):
+            comm.alltoall(matrix)
+
+    def test_alltoall_involution(self, comm):
+        matrix = [[(src, dst) for dst in range(4)] for src in range(4)]
+        assert comm.alltoall(comm.alltoall(matrix)) == matrix
+
+    def test_scatter_world_size_mismatch(self, comm):
+        with pytest.raises(ValueError):
+            comm.scatter([1, 2])
+
+    def test_empty_array_payloads(self, comm):
+        out = comm.allreduce([np.zeros(0) for _ in range(4)])
+        assert all(v.size == 0 for v in out)
+        gathered = comm.gather([np.zeros(0)] * 4)
+        assert len(gathered) == 4
+
+
 class TestPointToPoint:
     def test_send_recv_fifo(self, comm):
         comm.send("first", src=0, dst=1)

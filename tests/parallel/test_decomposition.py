@@ -1,6 +1,10 @@
 """Hybrid space-band decomposition tests."""
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.parallel import SpaceBandDecomposition
 
@@ -53,3 +57,56 @@ class TestPartition:
         assert dec.assignment(0).space_group == 0
         assert dec.assignment(1).space_group == 0
         assert dec.assignment(2).space_group == 1
+
+
+class TestBlockRangeInvariants:
+    """Property tests: block partition covers, stays disjoint, balances."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(min_value=1, max_value=400),
+        parts=st.integers(min_value=1, max_value=40),
+    )
+    def test_blocks_partition_exactly(self, total, parts):
+        if parts > total:
+            parts = total
+        ranges = [
+            SpaceBandDecomposition._block_range(total, parts, i)
+            for i in range(parts)
+        ]
+        flat = [j for lo, hi in ranges for j in range(lo, hi)]
+        assert flat == list(range(total))  # covers, disjoint, ordered
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(min_value=1, max_value=400),
+        parts=st.integers(min_value=1, max_value=40),
+    )
+    def test_block_sizes_differ_by_at_most_one(self, total, parts):
+        if parts > total:
+            parts = total
+        sizes = [
+            hi - lo
+            for lo, hi in (
+                SpaceBandDecomposition._block_range(total, parts, i)
+                for i in range(parts)
+            )
+        ]
+        assert max(sizes) - min(sizes) <= 1
+        assert max(sizes) == math.ceil(total / parts)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ndomains=st.integers(min_value=1, max_value=40),
+        nbands=st.integers(min_value=1, max_value=40),
+        p_space=st.integers(min_value=1, max_value=8),
+        p_band=st.integers(min_value=1, max_value=8),
+    )
+    def test_random_decompositions_validate(
+        self, ndomains, nbands, p_space, p_band
+    ):
+        p_space = min(p_space, ndomains)
+        p_band = min(p_band, nbands)
+        dec = SpaceBandDecomposition(ndomains, nbands, p_space, p_band)
+        dec.validate()
+        assert dec.max_domains_per_rank() == math.ceil(ndomains / p_space)

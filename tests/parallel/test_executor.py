@@ -1,0 +1,233 @@
+"""DomainExecutor contract tests: ordering, RNG discipline, shm transport.
+
+The task functions live at module level so the process backend can pickle
+them by qualified name into spawn workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Tracer, set_tracer
+from repro.parallel.backends.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    ShmArrayRef,
+    ShmSession,
+    attached,
+)
+from repro.parallel.executor import (
+    BACKENDS,
+    WorkerCrashError,
+    chunk_entropy,
+    chunk_rng,
+    chunk_slices,
+    make_executor,
+    worker_rng,
+)
+from repro.resilience.faults import RankFailure
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(_):
+    return worker_rng().standard_normal(4)
+
+
+def _sum_big(item):
+    tag, arr = item
+    return tag, float(arr.sum())
+
+
+def _writable_flag(arr):
+    return bool(arr.flags.writeable)
+
+
+@pytest.fixture(params=list(BACKENDS))
+def executor(request):
+    ex = make_executor(request.param, workers=2, seed=7)
+    yield ex
+    ex.shutdown()
+
+
+class TestMapContract:
+    def test_order_preserved(self, executor):
+        assert executor.map(_square, list(range(17))) == [
+            i * i for i in range(17)
+        ]
+
+    def test_empty_map(self, executor):
+        assert executor.map(_square, []) == []
+
+    def test_context_manager_shuts_down(self):
+        with make_executor("thread", workers=2) as ex:
+            assert ex.map(_square, [3]) == [9]
+
+    def test_rng_streams_identical_across_backends(self):
+        draws = {}
+        for name in BACKENDS:
+            with make_executor(name, workers=2, seed=123) as ex:
+                draws[name] = ex.map(_draw, list(range(6)))
+        for name in ("thread", "process"):
+            for a, b in zip(draws["serial"], draws[name]):
+                assert np.array_equal(a, b), name
+
+    def test_rng_streams_differ_across_items_and_maps(self):
+        with make_executor("serial", seed=1) as ex:
+            first = ex.map(_draw, [0, 1])
+            second = ex.map(_draw, [0, 1])
+        assert not np.array_equal(first[0], first[1])
+        assert not np.array_equal(first[0], second[0])  # map index advanced
+
+    def test_worker_rng_outside_task_raises(self):
+        with pytest.raises(RuntimeError, match="only available inside"):
+            worker_rng()
+
+
+class TestFactoryValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_executor("gpu")
+
+    def test_serial_workers_fixed(self):
+        assert make_executor("serial").workers == 1
+
+    def test_default_workers_positive(self):
+        for name in ("thread", "process"):
+            ex = make_executor(name)
+            assert ex.workers >= 1
+            ex.shutdown()
+
+    def test_serial_rejects_process_kwargs(self):
+        with pytest.raises(ValueError):
+            make_executor("serial", chunk_size=4)
+
+    def test_process_kwargs_forwarded(self):
+        ex = make_executor("process", workers=3, chunk_size=2,
+                           shm_threshold=0, max_crash_retries=5)
+        assert ex.chunk_size == 2
+        assert ex.shm_threshold == 0
+        assert ex.max_crash_retries == 5
+        ex.shutdown()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            make_executor("thread", workers=0)
+
+
+class TestChunking:
+    def test_chunk_slices_cover_exactly(self):
+        for n in (0, 1, 5, 8):
+            for size in (1, 2, 3, 8):
+                slices = chunk_slices(n, size)
+                flat = [i for lo, hi in slices for i in range(lo, hi)]
+                assert flat == list(range(n))
+                assert all(hi - lo <= size for lo, hi in slices)
+
+    def test_chunk_slices_validation(self):
+        with pytest.raises(ValueError):
+            chunk_slices(-1, 1)
+        with pytest.raises(ValueError):
+            chunk_slices(3, 0)
+
+    def test_chunk_entropy_distinct(self):
+        keys = {chunk_entropy(0, m, c) for m in range(4) for c in range(4)}
+        assert len(keys) == 16
+
+    def test_chunk_rng_deterministic(self):
+        a = chunk_rng(5, 1, 2).standard_normal(3)
+        b = chunk_rng(5, 1, 2).standard_normal(3)
+        assert np.array_equal(a, b)
+
+    def test_process_chunked_map_matches_serial(self):
+        items = list(range(10))
+        with make_executor("serial", seed=0) as s:
+            expect = s.map(_square, items)
+        with make_executor("process", workers=2, chunk_size=3, seed=0) as p:
+            assert p.map(_square, items) == expect
+
+
+class TestSharedMemory:
+    def test_big_arrays_cross_via_shm(self):
+        big = np.arange(8192, dtype=float)  # 64 KiB
+        with make_executor("process", workers=2) as ex:
+            tag, total = ex.map(_sum_big, [("x", big)])[0]
+        assert tag == "x"
+        assert total == float(big.sum())
+
+    def test_shm_views_are_read_only(self):
+        big = np.ones(8192, dtype=float)
+        with make_executor("process", workers=1) as ex:
+            assert ex.map(_writable_flag, [big]) == [False]
+
+    def test_small_arrays_stay_writable_pickles(self):
+        small = np.ones(4, dtype=float)
+        with make_executor("process", workers=1) as ex:
+            assert ex.map(_writable_flag, [small]) == [True]
+
+    def test_session_pack_roundtrip(self):
+        big = np.arange(4096, dtype=np.complex128)  # 64 KiB
+        small = np.ones(3)
+        session = ShmSession()
+        try:
+            packed = session.pack(("tag", big, [small, big]))
+            assert isinstance(packed[1], ShmArrayRef)
+            assert isinstance(packed[2][0], np.ndarray)
+            # identical array object is shared exactly once
+            assert packed[2][1] is packed[1] or packed[2][1] == packed[1]
+            assert session.nsegments == 1
+            with attached(packed) as (tag, view, (sm, view2)):
+                assert tag == "tag"
+                assert np.array_equal(view, big)
+                assert np.array_equal(view2, big)
+                assert not view.flags.writeable
+                assert np.array_equal(sm, small)
+        finally:
+            session.close()
+
+    def test_session_close_idempotent(self):
+        session = ShmSession()
+        session.share(np.ones(10))
+        session.close()
+        session.close()
+        assert session.nsegments == 0
+
+    def test_threshold_zero_disables_shm(self):
+        session = ShmSession()
+        try:
+            packed = session.pack(np.ones(80000), threshold=0)
+            assert isinstance(packed, np.ndarray)
+            assert session.nsegments == 0
+        finally:
+            session.close()
+
+    def test_default_threshold_value(self):
+        assert DEFAULT_SHM_THRESHOLD == 32768
+
+
+class TestTracing:
+    def test_map_emits_comm_span(self, executor):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            executor.map(_square, [1, 2, 3], label="unit")
+        finally:
+            set_tracer(None)
+        spans = [r for r in tracer.records if r.name == "executor.map"]
+        assert len(spans) == 1
+        (span,) = spans
+        assert span.category == "comm"
+        assert span.args["backend"] == executor.name
+        assert span.args["ntasks"] == 3
+        assert span.args["label"] == "unit"
+
+
+class TestCrashErrorType:
+    def test_worker_crash_is_rank_failure(self):
+        err = WorkerCrashError("lfd.domains", 3, 1)
+        assert isinstance(err, RankFailure)
+        assert err.crashes == 3
+        assert err.survivors == 1
+        assert "lfd.domains" in str(err)

@@ -1,0 +1,149 @@
+"""ProcessBackend fault injection: worker crashes heal or escalate cleanly.
+
+The ``executor.worker_crash`` fault site SIGKILLs pool workers mid-map.
+The backend must retry unfinished chunks on the survivors (degraded
+pool), escalate as a :class:`WorkerCrashError` (a ``RankFailure``, hence
+supervisor-recoverable) once retries are exhausted, and never change
+physics either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import DCMESHConfig, DCMESHSimulation
+from repro.core.timescale import TimescaleSplit
+from repro.grids.grid import Grid3D
+from repro.parallel.backends import ProcessBackend
+from repro.parallel.executor import WorkerCrashError
+from repro.pseudo.elements import get_species
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    RankFailure,
+    armed,
+    disarm,
+)
+from repro.resilience.supervisor import RunSupervisor, SupervisorConfig
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+def _cube(x):
+    return x * x * x
+
+
+def _make_sim(executor=None) -> DCMESHSimulation:
+    grid = Grid3D((12, 12, 12), (0.6,) * 3)
+    L = grid.lengths[0]
+    positions = np.array([[L / 4, L / 2, L / 2], [3 * L / 4, L / 2, L / 2]])
+    species = [get_species("H"), get_species("H")]
+    config = DCMESHConfig(
+        timescale=TimescaleSplit(dt_md=2.0, n_qd=4),
+        nscf=1, ncg=1, norb_extra=1, seed=42,
+    )
+    return DCMESHSimulation(
+        grid, (2, 1, 1), positions, species,
+        config=config, buffer_width=2, executor=executor,
+    )
+
+
+def test_site_is_registered():
+    assert "executor.worker_crash" in KNOWN_SITES
+
+
+class TestCrashHealing:
+    def test_single_crash_heals_with_identical_results(self):
+        items = list(range(6))
+        expect = [i ** 3 for i in items]
+        plan = FaultPlan([FaultSpec("executor.worker_crash", at_call=1)])
+        with armed(plan):
+            with ProcessBackend(workers=2, seed=0,
+                                max_crash_retries=2) as ex:
+                assert ex.map(_cube, items, label="heal") == expect
+                assert ex.live_workers == 1  # one pool loss, degraded
+        assert plan.fired == [("executor.worker_crash", 1)]
+
+    def test_two_crashes_still_heal(self):
+        items = list(range(5))
+        plan = FaultPlan([
+            FaultSpec("executor.worker_crash", at_call=1),
+            FaultSpec("executor.worker_crash", at_call=7),
+        ])
+        with armed(plan):
+            with ProcessBackend(workers=3, seed=0,
+                                max_crash_retries=2) as ex:
+                assert ex.map(_cube, items) == [i ** 3 for i in items]
+                assert ex.live_workers >= 1
+
+    def test_exhausted_retries_raise_worker_crash_error(self):
+        plan = FaultPlan(
+            [FaultSpec("executor.worker_crash", at_call=0, count=50)]
+        )
+        with armed(plan):
+            with ProcessBackend(workers=2, seed=0,
+                                max_crash_retries=1) as ex:
+                with pytest.raises(WorkerCrashError) as exc_info:
+                    ex.map(_cube, list(range(6)), label="doomed")
+        err = exc_info.value
+        assert isinstance(err, RankFailure)  # supervisor-recoverable class
+        assert err.crashes == 2
+        assert err.survivors == 1
+        assert "doomed" in str(err)
+
+    def test_reset_restores_full_strength(self):
+        plan = FaultPlan([FaultSpec("executor.worker_crash", at_call=0)])
+        with armed(plan):
+            with ProcessBackend(workers=2, seed=0,
+                                max_crash_retries=2) as ex:
+                ex.map(_cube, list(range(4)))
+                assert ex.live_workers == 1
+                ex.reset()
+                assert ex.live_workers == 2
+                # pool restarts lazily and still computes correctly
+                assert ex.map(_cube, [5]) == [125]
+
+
+class TestSupervisedRecovery:
+    def test_supervisor_replays_after_worker_crash(self, tmp_path):
+        """End to end: crash exhaustion -> checkpoint restore -> replay.
+
+        ``max_crash_retries=0`` makes the first pool loss escalate
+        immediately; the supervisor must classify it as recoverable,
+        restore the newest checkpoint, and replay to a trajectory that
+        matches the fault-free serial run to the process-backend
+        tolerance.
+        """
+        ref = _make_sim()  # serial default, no faults
+        ref_records = ref.run(4)
+
+        with ProcessBackend(workers=2, seed=42, max_crash_retries=0) as ex:
+            sim = _make_sim(ex)
+            sup = RunSupervisor(
+                sim, tmp_path, SupervisorConfig(checkpoint_every=1)
+            )
+            plan = FaultPlan(
+                [FaultSpec("executor.worker_crash", at_call=3)]
+            )
+            with armed(plan):
+                records = sup.run(4)
+        assert plan.fired  # the crash really happened
+        assert sup.total_retries >= 1
+        assert sup.log.count("restore") >= 1
+        assert len(records) == len(ref_records)
+        np.testing.assert_allclose(
+            [r.band_energy for r in records],
+            [r.band_energy for r in ref_records],
+            rtol=0.0, atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            sim.md_state.positions, ref.md_state.positions,
+            rtol=0.0, atol=1e-12,
+        )

@@ -1,0 +1,36 @@
+"""Known-bad fixture for DCL009: per-domain solvers built inside loops."""
+
+import numpy as np
+
+from repro.lfd.propagator import PropagatorConfig, QDPropagator
+from repro.qxmd.dftsolver import DomainSolver
+
+
+def rank_loop_refine(states, v_global, ncg, seed):
+    """Old-style inline rank loop: DomainSolver constructed per domain."""
+    for st in states:
+        vloc = st.domain.gather(v_global)
+        solver = DomainSolver(st.domain, st.wf.norb, seed=seed)  # finding 1
+        st.eigenvalues = solver.refine(st.wf, vloc, st.kb, ncg)
+
+
+def lfd_loop(states, dt_qd, n_qd):
+    """Old-style inline LFD loop: QDPropagator constructed per domain."""
+    out = []
+    for st in states:
+        prop = QDPropagator(  # finding 2
+            st.wf.copy(), st.vloc, PropagatorConfig(dt=dt_qd)
+        )
+        prop.run(n_qd)
+        out.append(prop)
+    return out
+
+
+def nested_while(states, budget):
+    """Solver construction anywhere under a loop still counts."""
+    i = 0
+    while i < budget:
+        if states:
+            DomainSolver(states[i].domain, 4)  # finding 3
+        i += 1
+    return np.zeros(3)

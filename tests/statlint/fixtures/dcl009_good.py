@@ -1,0 +1,28 @@
+"""Known-good fixture for DCL009: per-domain work dispatched via executor."""
+
+from repro.lfd.propagator import PropagatorConfig, QDPropagator
+from repro.qxmd.dftsolver import DomainSolver
+
+
+def _refine_task(args):
+    """Module-level task: solver construction at loop depth zero is fine."""
+    domain, wf, vloc, kb, ncg, seed = args
+    solver = DomainSolver(domain, wf.norb, seed=seed)
+    return solver.refine(wf, vloc, kb, ncg)
+
+
+def _lfd_task(args):
+    """Module-level task: propagator construction outside any loop."""
+    wf, vloc, dt_qd, n_qd = args
+    prop = QDPropagator(wf, vloc, PropagatorConfig(dt=dt_qd))
+    prop.run(n_qd)
+    return prop.wf
+
+
+def run_all(executor, states, v_global, ncg, seed):
+    """The loop only assembles task payloads; dispatch goes via map()."""
+    items = [
+        (st.domain, st.wf, st.domain.gather(v_global), st.kb, ncg, seed)
+        for st in states
+    ]
+    return executor.map(_refine_task, items, label="scf.domains")

@@ -22,6 +22,7 @@ CASES = {
     "DCL006": ("dcl006", "src/repro/lfd/kin_prop.py", 2),
     "DCL007": ("dcl007", "src/repro/device/fixture.py", 3),
     "DCL008": ("dcl008", "src/repro/qxmd/fixture.py", 2),
+    "DCL009": ("dcl009", "src/repro/qxmd/dftsolver.py", 3),
 }
 
 
@@ -63,7 +64,7 @@ def test_scoped_rules_skip_out_of_scope_paths(code):
 
 
 def test_rule_registry_complete():
-    assert rule_codes() == tuple(f"DCL00{i}" for i in range(1, 9))
+    assert rule_codes() == tuple(f"DCL00{i}" for i in range(1, 10))
     for rule in ALL_RULES:
         assert rule.summary
         assert rule.paper_ref
