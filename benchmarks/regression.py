@@ -24,6 +24,7 @@ A current file compared against itself always passes.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
@@ -75,6 +76,12 @@ def compare_bench(
         baseline = load_bench_json(baseline)
     if not isinstance(current, dict):
         current = load_bench_json(current)
+    for label, doc in (("baseline", baseline), ("current", current)):
+        if "kernels" not in doc or not isinstance(doc["kernels"], dict):
+            raise ValueError(
+                f"{label} document has no 'kernels' mapping -- not a "
+                f"repro-bench telemetry file?"
+            )
     base_k = baseline["kernels"]
     cur_k = current["kernels"]
     verdicts: List[Verdict] = []
@@ -88,6 +95,15 @@ def compare_bench(
             continue
         ct = float(c["time_s"])
         kind = c.get("kind", b["kind"])
+        # NaN/inf would sail through every later comparison (NaN > x is
+        # always False), silently turning a corrupt file into "ok" --
+        # fail loudly instead.
+        if not math.isfinite(bt) or not math.isfinite(ct):
+            verdicts.append(Verdict(
+                name, kind, bt, ct, "regressed",
+                f"non-finite time (base {bt!r}, cur {ct!r}) -- corrupt "
+                f"telemetry"))
+            continue
         if kind == "modeled":
             scale = max(abs(bt), abs(ct), 1e-300)
             drift = abs(ct - bt) / scale

@@ -6,6 +6,7 @@ Subcommands::
     repro-mesh run [...]                 # a small coupled DC-MESH run
     repro-mesh scaling [...]             # Figs. 2-3 scaling tables
     repro-mesh spectrum [...]            # delta-kick absorption spectrum
+    repro-mesh tune [...]                # correctness-gated autotuning
 
 Every subcommand is also importable (``from repro.cli import main``) and
 returns a process exit code, so it is unit-testable without spawning
@@ -59,9 +60,22 @@ def _finish_tracer(args: argparse.Namespace, tracer) -> None:
     print(phase_report(tracer.records))
 
 
+def _install_profile(args: argparse.Namespace) -> None:
+    """Activate the ``--tuning-profile`` file, if one was given."""
+    if not getattr(args, "tuning_profile", None):
+        return
+    from repro.tuning import TuningProfile, set_active_profile
+
+    profile = TuningProfile.load(args.tuning_profile)
+    set_active_profile(profile)
+    tuned = ", ".join(profile.tuned_ids) or "none (all defaults)"
+    print(f"tuning profile: {args.tuning_profile} (tuned: {tuned})")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     tracer = _install_tracer(args)
     try:
+        _install_profile(args)
         return _run_body(args)
     finally:
         _finish_tracer(args, tracer)
@@ -181,9 +195,48 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 def _cmd_spectrum(args: argparse.Namespace) -> int:
     tracer = _install_tracer(args)
     try:
+        _install_profile(args)
         return _spectrum_body(args)
     finally:
         _finish_tracer(args, tracer)
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    tracer = _install_tracer(args)
+    try:
+        return _tune_body(args)
+    finally:
+        _finish_tracer(args, tracer)
+
+
+def _tune_body(args: argparse.Namespace) -> int:
+    from repro.tuning import (
+        TuningCache,
+        TuningSession,
+        format_report,
+        write_report_json,
+    )
+
+    cache = TuningCache(args.cache) if args.cache else TuningCache()
+    session = TuningSession(cache=cache)
+    result = session.run(
+        select=args.select or None,
+        force=args.force,
+        strategy=args.search,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(format_report(result))
+    if args.report:
+        path = write_report_json(result, args.report)
+        print(f"report written to {path}")
+    if args.profile_out:
+        profile = result.profile()
+        profile.save(args.profile_out)
+        print(f"profile written to {args.profile_out} "
+              f"(use with --tuning-profile)")
+    return 0
 
 
 def _spectrum_body(args: argparse.Namespace) -> int:
@@ -250,9 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed a photo-excited carrier")
     run.add_argument("--seed", type=int, default=11)
     run.add_argument("--backend", choices=("serial", "thread", "process"),
-                     default="serial",
+                     default=None,
                      help="domain executor backend (physics is identical "
-                          "on all three)")
+                          "on all three; default: resolved from the "
+                          "active tuning profile, serial untuned)")
     run.add_argument("--workers", type=int, default=None,
                      help="worker count for thread/process backends "
                           "(default: CPU count)")
@@ -269,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write supervisor events to this JSON-lines file")
     run.add_argument("--trace-out",
                      help="write a Chrome trace-event JSON of this run")
+    run.add_argument("--tuning-profile",
+                     help="activate a tuned parameter profile written by "
+                          "'tune --profile-out'")
     run.set_defaults(func=_cmd_run)
 
     scaling = sub.add_parser("scaling", help="Figs. 2-3 scaling tables")
@@ -285,7 +342,37 @@ def build_parser() -> argparse.ArgumentParser:
     spectrum.add_argument("--seed", type=int, default=0)
     spectrum.add_argument("--trace-out",
                           help="write a Chrome trace-event JSON of this run")
+    spectrum.add_argument("--tuning-profile",
+                          help="activate a tuned parameter profile written "
+                               "by 'tune --profile-out'")
     spectrum.set_defaults(func=_cmd_spectrum)
+
+    tune = sub.add_parser(
+        "tune", help="correctness-gated autotuning of the hot paths"
+    )
+    tune.add_argument("--select", action="append",
+                      help="tunable id to tune (repeatable; default: all)")
+    tune.add_argument("--cache",
+                      help="tuning cache path (default: "
+                           ".repro-tuning/cache.json)")
+    tune.add_argument("--force", action="store_true",
+                      help="drop cached winners and re-tune from scratch")
+    tune.add_argument("--search", choices=("auto", "exhaustive", "halving"),
+                      default="auto", help="search strategy")
+    tune.add_argument("--warmup", type=int, default=1,
+                      help="unmeasured warmup calls per candidate")
+    tune.add_argument("--repeats", type=int, default=3,
+                      help="timed repeats per candidate (median/MAD)")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="search seed (sub-sampling of huge spaces)")
+    tune.add_argument("--report",
+                      help="write the machine-readable tuning report here")
+    tune.add_argument("--profile-out",
+                      help="write the resolved tuning profile here")
+    tune.add_argument("--trace-out",
+                      help="write a Chrome trace-event JSON of the tuning "
+                           "run")
+    tune.set_defaults(func=_cmd_tune)
     return parser
 
 

@@ -21,6 +21,11 @@ import numpy as np
 
 from repro.core.mesh import DCMESHSimulation
 from repro.qxmd.surface_hopping import SurfaceHoppingState
+from repro.tuning.profile import (
+    TuningProfile,
+    get_active_profile,
+    set_active_profile,
+)
 
 CHECKPOINT_VERSION = 1
 
@@ -43,6 +48,9 @@ def save_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> pa
             str(alpha): [c.active for c in carriers]
             for alpha, carriers in sim.carriers.items()
         },
+        # Active tuning profile: a resumed run must replay the identical
+        # tuned parameters (optional key; version stays 1).
+        "tuning_profile": get_active_profile().to_dict(),
     }
     if sim._prev_forces is not None:
         arrays["prev_forces"] = sim._prev_forces
@@ -134,6 +142,11 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
                         f"carrier {alpha}/{i}: active state out of range"
                     )
         rng_state = json.loads(bytes(data["rng_state"].tobytes()).decode())
+        profile = (
+            TuningProfile.from_dict(meta["tuning_profile"])
+            if "tuning_profile" in meta
+            else None  # pre-tuning checkpoint: leave the active profile
+        )
 
         # ---- phase 2: apply (cannot fail on shape grounds anymore). ----
         sim.md_state.positions = data["positions"].copy()
@@ -161,3 +174,5 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
                 )
             sim.carriers[alpha] = carriers
         sim.rng.bit_generator.state = rng_state
+        if profile is not None:
+            set_active_profile(profile)

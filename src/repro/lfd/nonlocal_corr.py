@@ -21,6 +21,7 @@ are implemented here and are tested to agree to round-off.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -85,6 +86,49 @@ def nonlocal_correction_blas(  # dclint: disable=DCL006 -- timed by NonlocalCorr
     wf.psi[...] = psi_new.reshape(wf.psi.shape).astype(wf.dtype, copy=False)
 
 
+def nonlocal_correction_blas_blocked(  # dclint: disable=DCL006 -- timed by NonlocalCorrector.apply
+    wf: WaveFunctionSet,
+    ref_unocc: WaveFunctionSet,
+    scissor_shift: float,
+    dt: float,
+    normalize: bool = True,
+    orb_block: int = 16,
+) -> None:
+    """Apply Eq. (9) as panel GEMMs over the unoccupied reference block.
+
+    The (Ngrid x Nunocc) reference matrix is split into orbital panels of
+    width ``orb_block``; each panel contributes one GEMM pair whose
+    partial correction is accumulated.  Same arithmetic as
+    :func:`nonlocal_correction_blas` (panel sums only reassociate the
+    unoccupied-orbital reduction), but the panel width controls the
+    BLAS-3 block shape -- the knob the tuning subsystem searches.
+    """
+    if ref_unocc.grid.shape != wf.grid.shape:
+        raise ValueError("reference orbitals live on a different grid")
+    if orb_block < 1:
+        raise ValueError("orb_block must be positive")
+    dvol = wf.grid.dvol
+    c0 = -1j * scissor_shift * dt / (2.0 * HBAR)
+    psi = wf.as_matrix()                  # (Ngrid, Norb)
+    phi = ref_unocc.as_matrix()           # (Ngrid, Nunocc)
+    nun = ref_unocc.norb
+    corr = np.zeros_like(psi)
+    for b0 in range(0, nun, orb_block):
+        panel = phi[:, b0:b0 + orb_block]
+        overlaps = (panel.conj().T @ psi) * dvol      # GEMM 1 (panel)
+        corr += panel @ overlaps                      # GEMM 2 (panel)
+    psi_new = psi + c0 * corr
+    if normalize:
+        nrm = np.sqrt(np.real(np.einsum("gs,gs->s", psi_new.conj(), psi_new)) * dvol)
+        nrm[nrm == 0.0] = 1.0
+        psi_new = psi_new / nrm
+    wf.psi[...] = psi_new.reshape(wf.psi.shape).astype(wf.dtype, copy=False)
+
+
+#: Selectable nonlocal-correction variants (cf. KIN_PROP_VARIANTS).
+NONLOCAL_VARIANTS = ("naive", "blas", "blas_blocked")
+
+
 @dataclass
 class NonlocalCorrector:
     """Holds the frozen t = 0 unoccupied reference block and scissor shift.
@@ -100,16 +144,33 @@ class NonlocalCorrector:
     scissor_shift:
         Dsci of Eq. (8), in hartree.
     variant:
-        ``"blas"`` (Eq. 9) or ``"naive"`` (per-orbital loops).
+        ``"blas"`` (Eq. 9), ``"blas_blocked"`` (panel GEMMs) or
+        ``"naive"`` (per-orbital loops); None resolves from the active
+        :class:`~repro.tuning.profile.TuningProfile`.
+    orb_block:
+        Panel width of the ``blas_blocked`` variant; None resolves from
+        the active tuning profile.
     """
 
     ref_unocc: WaveFunctionSet
     scissor_shift: float
-    variant: str = "blas"
+    variant: Optional[str] = None
+    orb_block: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.variant not in ("blas", "naive"):
-            raise ValueError("variant must be 'blas' or 'naive'")
+        from repro.tuning.profile import get_active_profile
+
+        params = get_active_profile().params_for("lfd.nonlocal")
+        if self.variant is None:
+            self.variant = str(params["variant"])
+        if self.orb_block is None:
+            self.orb_block = int(params["orb_block"])  # type: ignore[arg-type]
+        if self.variant not in NONLOCAL_VARIANTS:
+            raise ValueError(
+                f"variant must be one of {', '.join(NONLOCAL_VARIANTS)}"
+            )
+        if self.orb_block < 1:
+            raise ValueError("orb_block must be positive")
 
     def apply(self, wf: WaveFunctionSet, dt: float, normalize: bool = True) -> None:
         """One nonlocal half-factor of Eq. (6) applied in place."""
@@ -122,6 +183,11 @@ class NonlocalCorrector:
             if self.variant == "blas":
                 nonlocal_correction_blas(
                     wf, self.ref_unocc, self.scissor_shift, dt, normalize=normalize
+                )
+            elif self.variant == "blas_blocked":
+                nonlocal_correction_blas_blocked(
+                    wf, self.ref_unocc, self.scissor_shift, dt,
+                    normalize=normalize, orb_block=int(self.orb_block),
                 )
             else:
                 nonlocal_correction_naive(

@@ -41,9 +41,12 @@ class PropagatorConfig:
     dt:
         QD time step Delta_QD (a.u.; ~1e-3 fs scale, i.e. attoseconds).
     kin_variant:
-        Which ``kin_prop`` kernel to use (Algorithms 1-5).
+        Which ``kin_prop`` kernel to use (Algorithms 1-5); None resolves
+        from the active :class:`~repro.tuning.profile.TuningProfile`
+        (the ``lfd.kin_prop`` tunable).
     block_size:
-        Orbital block size for the ``blocked`` variant.
+        Orbital block size for the ``blocked`` variant; None resolves
+        from the active tuning profile.
     nl_normalize:
         Apply the Eq. (6) normalization of the nonlocal factor.
     renormalize_every:
@@ -53,15 +56,24 @@ class PropagatorConfig:
     """
 
     dt: float = 0.05
-    kin_variant: str = "collapsed"
-    block_size: int = 32
+    kin_variant: Optional[str] = None
+    block_size: Optional[int] = None
     nl_normalize: bool = True
     renormalize_every: int = 0
     order: int = 2
 
     def __post_init__(self) -> None:
+        from repro.tuning.profile import get_active_profile
+
+        params = get_active_profile().params_for("lfd.kin_prop")
+        if self.kin_variant is None:
+            self.kin_variant = str(params["variant"])
+        if self.block_size is None:
+            self.block_size = int(params["block_size"])  # type: ignore[arg-type]
         if self.dt <= 0.0:
             raise ValueError("dt must be positive")
+        if self.block_size < 1:
+            raise ValueError("block_size must be positive")
         if self.order not in (2, 4):
             raise ValueError("order must be 2 (Strang) or 4 (Suzuki)")
 

@@ -78,11 +78,15 @@ class PoissonMultigrid:
     grid:
         The finest grid.
     pre_sweeps, post_sweeps:
-        Relaxation sweeps before/after coarse-grid correction.
+        Relaxation sweeps before/after coarse-grid correction; None
+        resolves from the active
+        :class:`~repro.tuning.profile.TuningProfile` (the
+        ``multigrid.poisson`` tunable).  Explicit 0 is honoured -- only
+        None triggers profile resolution.
     smoother:
         ``"jacobi"`` (damped, omega=2/3) or ``"rbgs"`` (red-black
         Gauss-Seidel; needs even grid sizes, which the hierarchy has by
-        construction).
+        construction); None resolves from the active tuning profile.
     min_points:
         Stop coarsening when any axis would drop below this; the coarsest
         level is solved exactly by FFT.
@@ -91,11 +95,20 @@ class PoissonMultigrid:
     def __init__(
         self,
         grid: Grid3D,
-        pre_sweeps: int = 2,
-        post_sweeps: int = 2,
-        smoother: str = "rbgs",
+        pre_sweeps: int | None = None,
+        post_sweeps: int | None = None,
+        smoother: str | None = None,
         min_points: int = 4,
     ) -> None:
+        from repro.tuning.profile import get_active_profile
+
+        params = get_active_profile().params_for("multigrid.poisson")
+        if pre_sweeps is None:
+            pre_sweeps = int(params["pre_sweeps"])  # type: ignore[arg-type]
+        if post_sweeps is None:
+            post_sweeps = int(params["post_sweeps"])  # type: ignore[arg-type]
+        if smoother is None:
+            smoother = str(params["smoother"])
         if smoother not in ("jacobi", "rbgs"):
             raise ValueError("smoother must be 'jacobi' or 'rbgs'")
         self.pre_sweeps = int(pre_sweeps)

@@ -29,6 +29,7 @@ PHASES = (
     "lfd",
     "md",
     "forces",
+    "tuning",
     "other",
 )
 

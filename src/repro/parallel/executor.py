@@ -187,18 +187,31 @@ class DomainExecutor:
 
 
 def make_executor(
-    backend: str,
+    backend: Optional[str] = None,
     workers: Optional[int] = None,
     seed: int = 0,
     **kwargs: Any,
 ) -> DomainExecutor:
     """Build a backend by name (``serial`` / ``thread`` / ``process``).
 
-    ``workers`` defaults to 1 for serial and :func:`default_workers`
-    otherwise; extra keyword arguments (``chunk_size``,
-    ``shm_threshold``, ``max_crash_retries``) are forwarded to the
-    process backend.
+    ``backend=None`` resolves backend, workers and (for the process
+    backend) ``chunk_size`` from the active
+    :class:`~repro.tuning.profile.TuningProfile` (the
+    ``parallel.executor`` tunable); an explicit backend name leaves the
+    caller in full control.  ``workers`` defaults to 1 for serial and
+    :func:`default_workers` otherwise; extra keyword arguments
+    (``chunk_size``, ``shm_threshold``, ``max_crash_retries``) are
+    forwarded to the process backend.
     """
+    if backend is None:
+        from repro.tuning.profile import get_active_profile
+
+        params = get_active_profile().params_for("parallel.executor")
+        backend = str(params["backend"])
+        if workers is None:
+            workers = int(params["workers"])  # type: ignore[arg-type]
+        if backend == "process":
+            kwargs.setdefault("chunk_size", int(params["chunk_size"]))  # type: ignore[arg-type]
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; options: {', '.join(BACKENDS)}"

@@ -255,6 +255,17 @@ class RunSupervisor:
         cfg = self.config
         start_step = sim.step_count
         target = start_step + nsteps
+        # Record the tuned parameters this run executes under: replayed
+        # segments restore checkpoints that carry the same profile, so
+        # the log documents what a resume will replay.
+        from repro.tuning.profile import get_active_profile
+
+        profile = get_active_profile()
+        self.log.record(
+            "tuning_profile",
+            source=profile.source,
+            tuned=list(profile.tuned_ids),
+        )
         # Prune generations from a previous run of this directory that lie
         # ahead of the current trajectory: restoring one would teleport the
         # simulation into a *different* run's future.

@@ -5,7 +5,7 @@ discipline that ordinary linters cannot see: fixed dtypes, preallocated
 buffers reused across the Suzuki-Trotter hot loop, seeded randomness for
 deterministic replay, traced kernels for the paper-taxonomy breakdown,
 and volume-weighted inner products.  ``dclint`` encodes those contracts
-as AST-level rules (DCL001-DCL009) with per-rule severity, inline
+as AST-level rules (DCL001-DCL010) with per-rule severity, inline
 ``# dclint: disable=DCLnnn`` suppressions, a committed baseline file so
 legacy findings do not block CI, and text/JSON/SARIF output.
 

@@ -26,7 +26,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.statlint",
         description=(
             "dclint: repo-specific static analysis for numerical-kernel "
-            "discipline (rules DCL001-DCL009)"
+            "discipline (rules DCL001-DCL010)"
         ),
     )
     p.add_argument(

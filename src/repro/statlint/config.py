@@ -57,6 +57,28 @@ EXECUTOR_PATHS: Tuple[str, ...] = (
     "repro/core/mesh.py",
 )
 
+#: Modules that *consume* tuning-managed parameters: call sites here
+#: must not pin a tuned block/chunk shape to an integer literal --
+#: that bypasses the TuningProfile (repro.tuning) and the persisted,
+#: machine-fingerprinted winner never takes effect.  The tuning
+#: subsystem itself and the benchmark ablation sweeps are deliberately
+#: out of scope (they enumerate candidate values by design).
+TUNING_LITERAL_PATHS: Tuple[str, ...] = (
+    "repro/lfd/",
+    "repro/qxmd/",
+    "repro/core/",
+    "repro/resilience/",
+    "repro/parallel/distributed.py",
+)
+
+#: Keyword arguments owned by the tuning subsystem: pinning one of
+#: these to an int literal at a call site bypasses the TuningProfile.
+TUNED_LITERAL_KWARGS: Tuple[str, ...] = (
+    "block_size",
+    "chunk_size",
+    "orb_block",
+)
+
 #: Narrowing dtype names: casting *to* one of these inside a kernel
 #: module silently loses precision (complex128 -> complex64, 64 -> 32).
 NARROWING_DTYPES: Tuple[str, ...] = (
@@ -147,6 +169,7 @@ DEFAULT_SEVERITIES: Mapping[str, str] = {
     "DCL007": "error",
     "DCL008": "error",
     "DCL009": "error",
+    "DCL010": "error",
 }
 
 _VALID_SEVERITIES = ("error", "warning", "note")
@@ -164,6 +187,7 @@ class LintConfig:
     traced_phase_paths: Tuple[str, ...] = TRACED_PHASE_PATHS
     dvol_paths: Tuple[str, ...] = DVOL_PATHS
     executor_paths: Tuple[str, ...] = EXECUTOR_PATHS
+    tuning_literal_paths: Tuple[str, ...] = TUNING_LITERAL_PATHS
 
     def severity_for(self, code: str) -> str:
         """Effective severity of a rule after CLI overrides."""

@@ -1,4 +1,4 @@
-"""The DCL001-DCL009 rule set.
+"""The DCL001-DCL010 rule set.
 
 Each rule is an AST check over one :class:`~repro.statlint.engine.ModuleContext`
 yielding ``(line, col, message)`` triples.  Rules carry the paper
@@ -16,6 +16,7 @@ from repro.statlint.config import (
     NARROWING_DTYPES,
     NON_ELEMENTWISE_OUT_OPS,
     SEEDED_RNG_OK,
+    TUNED_LITERAL_KWARGS,
     LintConfig,
     path_matches,
 )
@@ -510,6 +511,50 @@ class SerialRankLoop(Rule):
             )
 
 
+class UntunedLiteral(Rule):
+    """DCL010: tuned parameter pinned to an int literal at a call site.
+
+    The tuning subsystem (``repro.tuning``) owns block/chunk-shape
+    selection: kernels resolve ``block_size`` / ``orb_block`` /
+    ``chunk_size`` from the active :class:`TuningProfile` when the
+    caller leaves them unset (``None``).  A call site on a
+    tuning-managed path that pins one of these keywords to an integer
+    literal silently bypasses the persisted, machine-fingerprinted
+    cache -- the tuned winner never takes effect on that path.  Pass
+    ``None`` (profile resolution) or a value read from the profile.
+    The tuning subsystem itself and the benchmark ablation sweeps
+    enumerate candidate values by design and are out of scope.
+    """
+
+    code = "DCL010"
+    name = "untuned-literal"
+    summary = "tuned block/chunk parameter pinned to an int literal"
+    paper_ref = "Tables I-II block-shape selection (repro.tuning ownership)"
+    scope_attr = "tuning_literal_paths"
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg not in TUNED_LITERAL_KWARGS:
+                    continue
+                v = kw.value
+                if (
+                    isinstance(v, ast.Constant)
+                    and isinstance(v.value, int)
+                    and not isinstance(v.value, bool)
+                ):
+                    yield (
+                        v.lineno,
+                        v.col_offset,
+                        f"{kw.arg}={v.value} hard-codes a tuning-managed "
+                        f"parameter at the call site, bypassing the active "
+                        f"TuningProfile; pass None (profile resolution) or "
+                        f"read it from the profile ({self.paper_ref})",
+                    )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     HotLoopAllocation(),
     DtypePromotionHazard(),
@@ -520,6 +565,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     OutAliasing(),
     MissingDvolWeight(),
     SerialRankLoop(),
+    UntunedLiteral(),
 )
 
 

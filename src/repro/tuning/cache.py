@@ -1,0 +1,220 @@
+"""Persisted tuning cache, keyed by machine + code fingerprint.
+
+A tuned winner is only valid on the machine and code that produced it,
+so every cache entry stores (and every lookup re-checks) three keys:
+
+* the **space hash** -- adding/removing an option re-tunes;
+* the **machine fingerprint** -- platform, CPU count, NumPy version and
+  BLAS vendor; moving the cache file to another host re-tunes;
+* the **code fingerprint** -- a sha256 over the *source text* of every
+  module the tunable declares in ``source_modules``; editing a kernel
+  re-tunes.
+
+The cache file is plain JSON (schema ``repro-tuning/1``) written
+atomically (temp file + ``os.replace``) so a killed tuning run can never
+leave a half-written cache behind, mirroring the checkpointing
+discipline of :mod:`repro.core.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.tuning.registry import Tunable
+from repro.tuning.spaces import Params
+
+SCHEMA = "repro-tuning/1"
+
+#: Default cache location (repo-local, gitignored).
+DEFAULT_CACHE_PATH = Path(".repro-tuning") / "cache.json"
+
+
+def _blas_signature() -> str:
+    """Best-effort BLAS vendor/version string from NumPy's build config."""
+    try:
+        cfg = np.show_config(mode="dicts")  # numpy >= 1.25
+    except TypeError:  # pragma: no cover - older numpy
+        return "unknown"
+    except Exception:  # dclint: disable=DCL004 -- fingerprint probe must never raise; "unknown" is a valid answer  # pragma: no cover
+        return "unknown"
+    deps = (cfg or {}).get("Build Dependencies", {})
+    blas = deps.get("blas", {})
+    name = blas.get("name", "unknown")
+    version = blas.get("version", "unknown")
+    return f"{name}-{version}"
+
+
+def machine_fingerprint() -> str:
+    """Digest of the hardware/software substrate timings depend on."""
+    payload = json.dumps(
+        {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "processor": platform.processor(),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "blas": _blas_signature(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def code_fingerprint(tunable: Tunable) -> str:
+    """Digest over the source text of the tunable's declared modules."""
+    digest = hashlib.sha256()
+    for name, text in tunable.source_texts():
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(text.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One persisted winner plus everything needed to trust it."""
+
+    tunable_id: str
+    params: Params
+    space_hash: str
+    machine: str
+    code: str
+    speedup: float
+    strategy: str
+    gate_error: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable cache-entry record."""
+        return {
+            "params": dict(self.params),
+            "space_hash": self.space_hash,
+            "machine": self.machine,
+            "code": self.code,
+            "speedup": self.speedup,
+            "strategy": self.strategy,
+            "gate_error": self.gate_error,
+        }
+
+    @classmethod
+    def from_dict(cls, tunable_id: str, data: dict) -> "CacheEntry":
+        return cls(
+            tunable_id=tunable_id,
+            params=dict(data["params"]),
+            space_hash=str(data["space_hash"]),
+            machine=str(data["machine"]),
+            code=str(data["code"]),
+            speedup=float(data.get("speedup", 1.0)),
+            strategy=str(data.get("strategy", "unknown")),
+            gate_error=float(data.get("gate_error", 0.0)),
+        )
+
+
+class TuningCache:
+    """Atomic-write JSON store of tuned winners, self-invalidating.
+
+    ``get`` returns None unless the stored entry's space hash, machine
+    fingerprint and code fingerprint all match the current process --
+    a stale entry is treated exactly like a missing one.
+    """
+
+    def __init__(self, path: Path = DEFAULT_CACHE_PATH) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, CacheEntry] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            # A corrupt cache is a missing cache, never a crash.
+            return
+        if data.get("schema") != SCHEMA:
+            return
+        for tid, raw in data.get("entries", {}).items():
+            try:
+                self._entries[tid] = CacheEntry.from_dict(tid, raw)
+            except (KeyError, TypeError, ValueError):
+                continue
+
+    def save(self) -> None:
+        """Write the cache atomically (temp file + rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA,
+            "entries": {tid: e.to_dict() for tid, e in
+                        sorted(self._entries.items())},
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, tunable: Tunable,
+            machine: Optional[str] = None) -> Optional[CacheEntry]:
+        """The stored winner for ``tunable``, or None if any key is stale."""
+        entry = self._entries.get(tunable.tunable_id)
+        if entry is None:
+            return None
+        if entry.space_hash != tunable.space.space_hash():
+            return None
+        if entry.machine != (machine or machine_fingerprint()):
+            return None
+        if entry.code != code_fingerprint(tunable):
+            return None
+        try:
+            tunable.space.validate(entry.params)
+        except ValueError:
+            return None
+        return entry
+
+    def put(self, tunable: Tunable, params: Params, speedup: float,
+            strategy: str, gate_error: float,
+            machine: Optional[str] = None) -> CacheEntry:
+        """Store a winner (validated against the space) and return it."""
+        entry = CacheEntry(
+            tunable_id=tunable.tunable_id,
+            params=tunable.space.validate(params),
+            space_hash=tunable.space.space_hash(),
+            machine=machine or machine_fingerprint(),
+            code=code_fingerprint(tunable),
+            speedup=float(speedup),
+            strategy=strategy,
+            gate_error=float(gate_error),
+        )
+        self._entries[tunable.tunable_id] = entry
+        return entry
+
+    def drop(self, tunable_id: str) -> bool:
+        """Remove one entry (force re-tune); True if it existed."""
+        return self._entries.pop(tunable_id, None) is not None
+
+    def entries(self) -> Dict[str, CacheEntry]:
+        """All stored entries (copies irrelevant; treat as read-only)."""
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

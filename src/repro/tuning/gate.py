@@ -1,0 +1,61 @@
+"""The correctness gate: no candidate wins on wrong numbers.
+
+Autotuning must never trade physics for speed.  Before any candidate
+configuration can be timed into a winner, its output on the fixed probe
+problem is compared element-wise against the output of the *reference*
+(default) configuration; divergence beyond :data:`GATE_TOL` rejects the
+candidate outright.  The tolerance is the repo-wide ``1e-12`` equivalence
+bar the backend differential harness and the propagator invariants
+already enforce, so "tuned" and "untuned" runs stay interchangeable to
+the same standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Maximum allowed normalized divergence of a candidate from the
+#: reference configuration on the probe problem.
+GATE_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """Outcome of one candidate's correctness check."""
+
+    error: float
+    tol: float
+
+    @property
+    def passed(self) -> bool:
+        return self.error <= self.tol
+
+
+def correctness_error(candidate: np.ndarray, reference: np.ndarray) -> float:
+    """Normalized max-abs divergence of ``candidate`` from ``reference``.
+
+    The denominator is ``max(1, max|reference|)`` so the metric is
+    absolute for O(1)-normalized outputs (orbitals, occupations) and
+    relative for large-magnitude ones (potentials), and never divides by
+    zero.  Shape mismatches and non-finite candidate values are infinite
+    error (a candidate that NaNs must never win, whatever the reference
+    looks like).
+    """
+    cand = np.asarray(candidate)
+    ref = np.asarray(reference)
+    if cand.shape != ref.shape:
+        return float("inf")
+    if cand.size == 0:
+        return 0.0
+    if not np.all(np.isfinite(np.abs(cand))):
+        return float("inf")
+    scale = max(float(np.max(np.abs(ref))), 1.0)
+    return float(np.max(np.abs(cand - ref))) / scale
+
+
+def check(candidate: np.ndarray, reference: np.ndarray,
+          tol: float = GATE_TOL) -> GateVerdict:
+    """Gate one candidate output against the reference output."""
+    return GateVerdict(error=correctness_error(candidate, reference), tol=tol)

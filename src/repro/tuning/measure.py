@@ -1,0 +1,96 @@
+"""Robust trial measurement: warmup, repeats, median/MAD aggregation.
+
+Autotuning decisions are only as good as the timings behind them, so
+every candidate is measured the same way: ``warmup`` unmeasured calls
+(cache/JIT/page-fault settling -- the first call also produces the
+output the correctness gate inspects), then ``repeats`` timed calls
+aggregated by **median** and **median absolute deviation** rather than
+mean/stddev, so one preempted repeat cannot crown the wrong winner.
+Every timed call opens a ``tuning.trial`` span on the process tracer and
+charges a call counter, so a traced ``repro-mesh tune`` run shows the
+full trial timeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import trace_span
+
+
+@dataclass(frozen=True)
+class TrialMeasurement:
+    """Aggregated timing of one candidate's measured repeats."""
+
+    median_s: float
+    mad_s: float
+    repeats: int
+    times_s: Tuple[float, ...]
+
+    @property
+    def noise_ratio(self) -> float:
+        """MAD relative to the median (0 for a perfectly quiet trial)."""
+        if self.median_s <= 0.0:
+            return float("inf")
+        return self.mad_s / self.median_s
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (times kept for report drill-down)."""
+        return {
+            "median_s": self.median_s,
+            "mad_s": self.mad_s,
+            "repeats": self.repeats,
+            "times_s": list(self.times_s),
+        }
+
+
+def aggregate(times_s: Tuple[float, ...]) -> TrialMeasurement:
+    """Median/MAD aggregation of raw repeat wall times."""
+    if not times_s:
+        raise ValueError("cannot aggregate zero repeats")
+    arr = np.asarray(times_s, dtype=float)
+    median = float(np.median(arr))
+    mad = float(np.median(np.abs(arr - median)))
+    return TrialMeasurement(
+        median_s=median, mad_s=mad, repeats=len(times_s),
+        times_s=tuple(float(t) for t in arr),
+    )
+
+
+def measure_callable(
+    fn: Callable[[], Any],
+    warmup: int = 1,
+    repeats: int = 3,
+    label: str = "trial",
+    clock: Callable[[], float] = time.perf_counter,
+) -> Tuple[TrialMeasurement, Any]:
+    """Measure ``fn`` robustly; returns (measurement, first output).
+
+    The *first* call (warmup when ``warmup >= 1``, else the first timed
+    repeat) supplies the returned output -- the correctness gate uses it,
+    so gating never costs an extra kernel invocation.  ``clock`` is
+    injectable for deterministic tests.
+    """
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    first_out: Optional[Any] = None
+    have_out = False
+    for i in range(warmup):
+        out = fn()
+        if not have_out:
+            first_out, have_out = out, True
+    times = []
+    for i in range(repeats):
+        with trace_span("tuning.trial", "tuning", label=label, repeat=i):
+            t0 = clock()
+            out = fn()
+            times.append(clock() - t0)
+        if not have_out:
+            first_out, have_out = out, True
+    return aggregate(tuple(times)), first_out

@@ -1,0 +1,152 @@
+"""The Tunable registry: named parameter spaces over real hot paths.
+
+A :class:`Tunable` packages everything the search engine needs to tune
+one hot path *without knowing anything about it*: the declared
+:class:`~repro.tuning.spaces.ParamSpace`, the default (seed-state)
+parameters, a seeded probe-problem factory, a trial runner that applies
+one candidate configuration to a fresh probe and returns its output
+array, and the list of source modules whose content fingerprints the
+code path (so a kernel edit invalidates cached winners).
+
+The registry is a plain ordered mapping; :func:`default_registry`
+returns the process-wide instance populated with the builtin tunables of
+:mod:`repro.tuning.builtin` on first use.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tuning.spaces import Params, ParamSpace
+
+
+@dataclass(frozen=True)
+class Tunable:
+    """One autotunable hot path.
+
+    Attributes
+    ----------
+    tunable_id:
+        Stable dotted identifier (``"lfd.kin_prop"``); the cache key and
+        the :class:`~repro.tuning.profile.TuningProfile` lookup name.
+    space:
+        The declared parameter space.
+    defaults:
+        The untuned parameter point (must lie inside ``space``); always
+        included among the search candidates so a winner can never be
+        slower than the seed-state configuration on the probe.
+    description:
+        One line for reports.
+    paper_ref:
+        The paper counterpart (Algorithms 1-5 / Table I rows) this
+        parameter space reproduces, for the EXPERIMENTS.md mapping.
+    source_modules:
+        Dotted module names whose source content forms the code part of
+        the cache fingerprint.
+    make_probe:
+        Zero-argument factory building the fixed, seeded probe problem.
+        Called once per tuning run; the same probe object is passed to
+        every trial.
+    run_trial:
+        ``(probe, params) -> np.ndarray`` -- apply one candidate to a
+        fresh copy of the probe state and return the output array the
+        correctness gate compares.  Must not mutate ``probe``.
+    prefilter:
+        Optional ``params -> Optional[str]``: a non-None reason skips
+        the candidate without measuring it (used to collapse degenerate
+        points, e.g. ``block_size`` when the variant is not blocked).
+    """
+
+    tunable_id: str
+    space: ParamSpace
+    defaults: Params
+    description: str
+    paper_ref: str
+    source_modules: Tuple[str, ...]
+    make_probe: Callable[[], Any]
+    run_trial: Callable[[Any, Params], np.ndarray]
+    prefilter: Optional[Callable[[Params], Optional[str]]] = None
+
+    def __post_init__(self) -> None:
+        if not self.tunable_id:
+            raise ValueError("tunable_id must be non-empty")
+        # Validates eagerly: a registry with out-of-space defaults is a
+        # configuration bug, not something to discover mid-search.
+        self.space.validate(self.defaults)
+
+    def canonical_defaults(self) -> Params:
+        """The default point, validated and copied."""
+        return self.space.validate(self.defaults)
+
+    def skip_reason(self, params: Params) -> Optional[str]:
+        """Why this candidate need not be measured (None = measure it)."""
+        if self.prefilter is None:
+            return None
+        return self.prefilter(params)
+
+    def source_texts(self) -> List[Tuple[str, str]]:
+        """(module name, source text) of every fingerprinted module."""
+        out: List[Tuple[str, str]] = []
+        for name in self.source_modules:
+            mod = importlib.import_module(name)
+            path = getattr(mod, "__file__", None)
+            if path is None:  # pragma: no cover - builtin/namespace module
+                out.append((name, ""))
+                continue
+            with open(path, "r", encoding="utf-8") as fh:
+                out.append((name, fh.read()))
+        return out
+
+
+@dataclass
+class TunableRegistry:
+    """Ordered collection of tunables, keyed by id."""
+
+    _tunables: Dict[str, Tunable] = field(default_factory=dict)
+
+    def register(self, tunable: Tunable) -> Tunable:
+        """Add one tunable (duplicate ids are an error)."""
+        if tunable.tunable_id in self._tunables:
+            raise ValueError(f"tunable {tunable.tunable_id!r} already registered")
+        self._tunables[tunable.tunable_id] = tunable
+        return tunable
+
+    def get(self, tunable_id: str) -> Tunable:
+        """Look one tunable up by id (KeyError with the known ids)."""
+        try:
+            return self._tunables[tunable_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown tunable {tunable_id!r}; known: "
+                f"{', '.join(self.ids()) or '(none)'}"
+            ) from None
+
+    def ids(self) -> Tuple[str, ...]:
+        """All registered ids, in registration order."""
+        return tuple(self._tunables)
+
+    def __iter__(self) -> Iterator[Tunable]:
+        return iter(self._tunables.values())
+
+    def __len__(self) -> int:
+        return len(self._tunables)
+
+    def __contains__(self, tunable_id: object) -> bool:
+        return tunable_id in self._tunables
+
+
+_DEFAULT: Optional[TunableRegistry] = None
+
+
+def default_registry() -> TunableRegistry:
+    """The process-wide registry, populated with the builtin tunables."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        from repro.tuning.builtin import build_registry
+
+        _DEFAULT = build_registry()
+    return _DEFAULT

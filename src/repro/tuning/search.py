@@ -1,0 +1,280 @@
+"""Seeded search engines: exhaustive and successive-halving.
+
+Small spaces are enumerated exhaustively; product spaces beyond
+``exhaustive_threshold`` points run successive halving -- every gated
+candidate gets a cheap one-repeat measurement, the slower half is pruned
+each rung while the repeat count doubles, and the finalists are timed at
+the full repeat budget.  Two invariants hold for both engines:
+
+* **gate first** -- a candidate's probe output is checked against the
+  reference configuration *before* any timed repeat; a rejected
+  candidate is never measured and can never win;
+* **defaults survive** -- the default configuration is exempt from
+  pruning, so the winner is always compared against it at equal repeat
+  count and the reported speedup is >= 1 by construction.
+
+Everything is deterministic given the seed: candidate order is the
+canonical space order, sub-sampling of oversized spaces uses a seeded
+Generator, and ties break toward the earlier canonical candidate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import trace_span
+from repro.tuning.gate import GATE_TOL, check
+from repro.tuning.measure import TrialMeasurement, measure_callable
+from repro.tuning.registry import Tunable
+from repro.tuning.spaces import Params
+
+#: Spaces at or below this many (post-prefilter) candidates are searched
+#: exhaustively; larger ones run successive halving.
+EXHAUSTIVE_THRESHOLD = 24
+
+#: Hard cap on candidates entering a successive-halving run; larger
+#: spaces are sub-sampled (seeded, defaults always included).
+MAX_HALVING_CANDIDATES = 64
+
+#: Search strategy names accepted by :func:`tune`.
+STRATEGIES = ("auto", "exhaustive", "halving")
+
+
+@dataclass
+class TrialRecord:
+    """One candidate's journey through the search."""
+
+    params: Params
+    encoded: str
+    status: str = "pending"  # ok | gate_rejected | pruned | skipped
+    measurement: Optional[TrialMeasurement] = None
+    gate_error: Optional[float] = None
+    note: str = ""
+
+    @property
+    def median_s(self) -> float:
+        return self.measurement.median_s if self.measurement else float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for reports."""
+        return {
+            "params": dict(self.params),
+            "status": self.status,
+            "gate_error": self.gate_error,
+            "note": self.note,
+            "measurement": (
+                self.measurement.to_dict() if self.measurement else None
+            ),
+        }
+
+
+@dataclass
+class TuningOutcome:
+    """The full result of tuning one tunable."""
+
+    tunable_id: str
+    strategy: str
+    best_params: Params
+    default_params: Params
+    best_median_s: float
+    default_median_s: float
+    gate_tol: float
+    trials: List[TrialRecord] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Default-over-best median ratio (>= 1 by construction)."""
+        if self.best_median_s <= 0.0:
+            return float("inf")
+        return self.default_median_s / self.best_median_s
+
+    @property
+    def non_default(self) -> bool:
+        """Whether the winner differs from the default configuration."""
+        return self.best_params != self.default_params
+
+    @property
+    def measured_trials(self) -> int:
+        """Candidates that received at least one timed repeat."""
+        return sum(1 for t in self.trials if t.measurement is not None)
+
+    @property
+    def gate_rejected(self) -> int:
+        """Candidates rejected by the correctness gate."""
+        return sum(1 for t in self.trials if t.status == "gate_rejected")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for reports."""
+        return {
+            "tunable_id": self.tunable_id,
+            "strategy": self.strategy,
+            "best_params": dict(self.best_params),
+            "default_params": dict(self.default_params),
+            "best_median_s": self.best_median_s,
+            "default_median_s": self.default_median_s,
+            "speedup": self.speedup,
+            "non_default": self.non_default,
+            "measured_trials": self.measured_trials,
+            "gate_rejected": self.gate_rejected,
+            "gate_tol": self.gate_tol,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+
+def _candidates(tunable: Tunable, seed: int,
+                max_candidates: int) -> Tuple[List[TrialRecord], List[TrialRecord]]:
+    """(live, skipped) trial records in canonical order, defaults included."""
+    live: List[TrialRecord] = []
+    skipped: List[TrialRecord] = []
+    defaults_enc = tunable.space.encode(tunable.canonical_defaults())
+    for params in tunable.space.iterate():
+        enc = tunable.space.encode(params)
+        reason = tunable.skip_reason(params)
+        if reason is not None and enc != defaults_enc:
+            skipped.append(TrialRecord(params, enc, status="skipped",
+                                       note=reason))
+        else:
+            live.append(TrialRecord(params, enc))
+    if len(live) > max_candidates:
+        rng = np.random.default_rng(np.random.SeedSequence((seed, 0xA17)))
+        keep = set(rng.choice(len(live), size=max_candidates,
+                              replace=False).tolist())
+        keep.add(next(i for i, t in enumerate(live)
+                      if t.encoded == defaults_enc))
+        sampled = [t for i, t in enumerate(live) if i in keep]
+        for i, t in enumerate(live):
+            if i not in keep:
+                t.status = "skipped"
+                t.note = f"sub-sampled out (cap {max_candidates})"
+                skipped.append(t)
+        live = sampled
+    return live, skipped
+
+
+def _gate_and_first_measure(
+    tunable: Tunable,
+    probe: object,
+    trial: TrialRecord,
+    ref_out: np.ndarray,
+    gate_tol: float,
+    warmup: int,
+    repeats: int,
+    clock: Callable[[], float],
+) -> None:
+    """Run the gate call, then the first timed measurement on pass."""
+    fn = lambda: tunable.run_trial(probe, trial.params)  # noqa: E731
+    with trace_span("tuning.gate", "tuning", tunable=tunable.tunable_id):
+        out = fn()
+    verdict = check(out, ref_out, tol=gate_tol)
+    trial.gate_error = verdict.error
+    if not verdict.passed:
+        trial.status = "gate_rejected"
+        trial.note = (f"output diverged {verdict.error:.3e} > {gate_tol:g} "
+                      f"from the reference configuration")
+        return
+    # The gate call doubles as the first warmup invocation.
+    measurement, _ = measure_callable(
+        fn, warmup=max(0, warmup - 1), repeats=repeats,
+        label=f"{tunable.tunable_id}:{trial.encoded}", clock=clock,
+    )
+    trial.measurement = measurement
+    trial.status = "ok"
+
+
+def _remeasure(
+    tunable: Tunable,
+    probe: object,
+    trial: TrialRecord,
+    repeats: int,
+    clock: Callable[[], float],
+) -> None:
+    """Re-time a surviving candidate at a higher repeat count."""
+    fn = lambda: tunable.run_trial(probe, trial.params)  # noqa: E731
+    measurement, _ = measure_callable(
+        fn, warmup=0, repeats=repeats,
+        label=f"{tunable.tunable_id}:{trial.encoded}", clock=clock,
+    )
+    trial.measurement = measurement
+
+
+def tune(
+    tunable: Tunable,
+    strategy: str = "auto",
+    warmup: int = 1,
+    repeats: int = 3,
+    seed: int = 0,
+    gate_tol: float = GATE_TOL,
+    exhaustive_threshold: int = EXHAUSTIVE_THRESHOLD,
+    clock: Callable[[], float] = time.perf_counter,
+) -> TuningOutcome:
+    """Search one tunable's space; returns the gated, measured outcome."""
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; options: {', '.join(STRATEGIES)}"
+        )
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    live, skipped = _candidates(tunable, seed, MAX_HALVING_CANDIDATES)
+    if strategy == "auto":
+        strategy = ("exhaustive" if len(live) <= exhaustive_threshold
+                    else "halving")
+
+    defaults = tunable.canonical_defaults()
+    defaults_enc = tunable.space.encode(defaults)
+    with trace_span("tuning.search", "tuning", tunable=tunable.tunable_id,
+                    strategy=strategy, candidates=len(live)):
+        probe = tunable.make_probe()
+        with trace_span("tuning.reference", "tuning",
+                        tunable=tunable.tunable_id):
+            ref_out = np.asarray(tunable.run_trial(probe, defaults))
+
+        if strategy == "exhaustive":
+            for trial in live:
+                _gate_and_first_measure(tunable, probe, trial, ref_out,
+                                        gate_tol, warmup, repeats, clock)
+        else:
+            # Rung 0: everyone gets the gate plus one timed repeat.
+            for trial in live:
+                _gate_and_first_measure(tunable, probe, trial, ref_out,
+                                        gate_tol, warmup, 1, clock)
+            survivors = [t for t in live if t.status == "ok"]
+            rung_repeats = 1
+            while len(survivors) > 2 and rung_repeats < repeats:
+                survivors.sort(key=lambda t: t.median_s)
+                half = max(2, math.ceil(len(survivors) / 2))
+                for loser in survivors[half:]:
+                    if loser.encoded != defaults_enc:
+                        loser.status = "pruned"
+                        loser.note = f"pruned at {rung_repeats} repeat(s)"
+                # Defaults keep "ok" status even when slow, so they ride
+                # every rung and the final comparison is apples-to-apples.
+                survivors = [t for t in live if t.status == "ok"]
+                rung_repeats = min(rung_repeats * 2, repeats)
+                for trial in survivors:
+                    _remeasure(tunable, probe, trial, rung_repeats, clock)
+
+    trials = live + skipped
+    ok = [t for t in live if t.status == "ok"]
+    if not ok:
+        raise RuntimeError(
+            f"tuning {tunable.tunable_id!r}: no candidate passed the "
+            f"correctness gate (tol {gate_tol:g}); the reference "
+            f"configuration itself should always pass -- probe is broken"
+        )
+    default_trial = next(t for t in ok if t.encoded == defaults_enc)
+    best = min(ok, key=lambda t: t.median_s)
+    return TuningOutcome(
+        tunable_id=tunable.tunable_id,
+        strategy=strategy,
+        best_params=dict(best.params),
+        default_params=dict(defaults),
+        best_median_s=best.median_s,
+        default_median_s=default_trial.median_s,
+        gate_tol=gate_tol,
+        trials=trials,
+    )

@@ -1,0 +1,173 @@
+"""Declarative parameter spaces with deterministic encoding.
+
+A :class:`ParamSpace` is an ordered set of named dimensions -- each a
+:class:`Choice` over explicit options or an :class:`IntRange` -- whose
+full product can be enumerated in one canonical order.  Determinism is
+the load-bearing property: the search engine, the persisted cache and
+the correctness gate all identify a candidate by its canonical encoding,
+and the cache key includes a hash of the space itself so adding or
+removing an option invalidates stale winners automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Tuple, Union
+
+import numpy as np
+
+ParamValue = Union[str, int]
+Params = Dict[str, ParamValue]
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A categorical dimension over an explicit, ordered option tuple."""
+
+    name: str
+    options: Tuple[ParamValue, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dimension name must be non-empty")
+        if len(self.options) == 0:
+            raise ValueError(f"dimension {self.name!r} has no options")
+        if len(set(self.options)) != len(self.options):
+            raise ValueError(f"dimension {self.name!r} has duplicate options")
+
+    def values(self) -> Tuple[ParamValue, ...]:
+        """The option tuple, in declaration order."""
+        return self.options
+
+    def contains(self, value: ParamValue) -> bool:
+        """Whether ``value`` is one of the declared options."""
+        return value in self.options
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-stable declaration of this dimension (feeds the hash)."""
+        return {"kind": "choice", "name": self.name,
+                "options": list(self.options)}
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """An inclusive integer range ``lo..hi`` walked with a fixed step."""
+
+    name: str
+    lo: int
+    hi: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dimension name must be non-empty")
+        if self.step < 1:
+            raise ValueError(f"dimension {self.name!r}: step must be >= 1")
+        if self.hi < self.lo:
+            raise ValueError(f"dimension {self.name!r}: hi < lo")
+
+    def values(self) -> Tuple[int, ...]:
+        """Every value of the range, ascending."""
+        return tuple(range(self.lo, self.hi + 1, self.step))
+
+    def contains(self, value: ParamValue) -> bool:
+        """Whether ``value`` lies on the range lattice."""
+        return (
+            isinstance(value, (int, np.integer))
+            and self.lo <= int(value) <= self.hi
+            and (int(value) - self.lo) % self.step == 0
+        )
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-stable declaration of this dimension (feeds the hash)."""
+        return {"kind": "int_range", "name": self.name,
+                "lo": self.lo, "hi": self.hi, "step": self.step}
+
+
+Dimension = Union[Choice, IntRange]
+
+
+class ParamSpace:
+    """An ordered product of named dimensions.
+
+    Iteration order is the lexicographic product of the per-dimension
+    value orders, with the *first declared dimension varying slowest* --
+    the same order every process, platform and run sees, which is what
+    makes trial indices and cache encodings stable.
+    """
+
+    def __init__(self, dims: Tuple[Dimension, ...]) -> None:
+        if not dims:
+            raise ValueError("a ParamSpace needs at least one dimension")
+        names = [d.name for d in dims]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        self.dims: Tuple[Dimension, ...] = tuple(dims)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Dimension names in declaration order."""
+        return tuple(d.name for d in self.dims)
+
+    @property
+    def size(self) -> int:
+        """Number of points in the full product space."""
+        n = 1
+        for d in self.dims:
+            n *= len(d.values())
+        return n
+
+    def iterate(self) -> Iterator[Params]:
+        """Every point of the space, in canonical order."""
+        for combo in itertools.product(*(d.values() for d in self.dims)):
+            yield dict(zip(self.names, combo))
+
+    def validate(self, params: Mapping[str, ParamValue]) -> Params:
+        """Check a parameter dict against the space; returns a clean copy."""
+        extra = set(params) - set(self.names)
+        if extra:
+            raise ValueError(f"unknown parameter(s): {sorted(extra)}")
+        clean: Params = {}
+        for d in self.dims:
+            if d.name not in params:
+                raise ValueError(f"missing parameter {d.name!r}")
+            value = params[d.name]
+            if isinstance(value, np.integer):
+                value = int(value)
+            if not d.contains(value):
+                raise ValueError(
+                    f"parameter {d.name!r}={value!r} outside the declared "
+                    f"space {d.spec()}"
+                )
+            clean[d.name] = value
+        return clean
+
+    def encode(self, params: Mapping[str, ParamValue]) -> str:
+        """Canonical string encoding of one (validated) point."""
+        clean = self.validate(params)
+        return json.dumps(clean, sort_keys=True, separators=(",", ":"))
+
+    def decode(self, encoded: str) -> Params:
+        """Inverse of :meth:`encode` (validates on the way in)."""
+        return self.validate(json.loads(encoded))
+
+    def spec(self) -> List[Dict[str, object]]:
+        """JSON-stable declaration of the whole space."""
+        return [d.spec() for d in self.dims]
+
+    def space_hash(self) -> str:
+        """Stable digest of the space declaration (part of the cache key)."""
+        payload = json.dumps(self.spec(), sort_keys=True,
+                             separators=(",", ":")).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def sample(self, rng: np.random.Generator) -> Params:
+        """One uniformly random point (seeded caller-side; deterministic)."""
+        out: Params = {}
+        for d in self.dims:
+            values = d.values()
+            out[d.name] = values[int(rng.integers(len(values)))]
+        return out

@@ -43,6 +43,43 @@ class TestCrossVariantEquality:
         assert wf_ref.max_abs_diff(wf_b) < 1e-14
 
 
+class TestTailBlocks:
+    """Blocked kernel with ``norb % block_size != 0``: the ragged final
+    orbital block must reproduce the unblocked arithmetic exactly."""
+
+    NORB = 13  # prime: every block size below leaves a ragged tail
+
+    @pytest.mark.parametrize("block_size", [2, 3, 5, 7, 11])
+    def test_tail_block_bitwise_vs_baseline(self, grid8, rng, block_size):
+        assert self.NORB % block_size != 0
+        wf_ref = WaveFunctionSet.random(grid8, self.NORB, rng)
+        wf_b = wf_ref.copy()
+        kinetic_step(wf_ref, 0.03, theta=(0.1, -0.2, 0.3),
+                     variant="baseline")
+        kinetic_step(wf_b, 0.03, theta=(0.1, -0.2, 0.3),
+                     variant="blocked", block_size=block_size)
+        # Exact equality, not a tolerance: the blocked update performs
+        # the identical scalar operations on every orbital, tail block
+        # included, and the baseline's extra zero-coefficient term
+        # (0 * psi) cannot change any value.
+        assert np.array_equal(wf_ref.psi, wf_b.psi)
+
+    @pytest.mark.parametrize("block_size", [4, 6, 9])
+    def test_tail_block_bitwise_vs_collapsed(self, grid8, rng, block_size):
+        wf_ref = WaveFunctionSet.random(grid8, self.NORB, rng)
+        wf_b = wf_ref.copy()
+        kinetic_step(wf_ref, 0.04, variant="collapsed")
+        kinetic_step(wf_b, 0.04, variant="blocked", block_size=block_size)
+        assert np.array_equal(wf_ref.psi, wf_b.psi)
+
+    def test_block_larger_than_norb(self, grid8, rng):
+        wf_ref = WaveFunctionSet.random(grid8, 3, rng)
+        wf_b = wf_ref.copy()
+        kinetic_step(wf_ref, 0.03, variant="collapsed")
+        kinetic_step(wf_b, 0.03, variant="blocked", block_size=64)
+        assert np.array_equal(wf_ref.psi, wf_b.psi)
+
+
 class TestUnitarity:
     @pytest.mark.parametrize("variant", VARIANTS)
     def test_norm_conserved(self, grid8, rng, variant):

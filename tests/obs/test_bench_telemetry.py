@@ -165,6 +165,74 @@ class TestCompareBench:
         assert render_verdicts([]) == "(no kernels compared)"
 
 
+class TestGateEdgeCases:
+    def test_document_without_kernels_mapping_raises(self, tmp_path):
+        good = write_doc(tmp_path, "good", kernels())
+        with pytest.raises(ValueError, match="kernels"):
+            compare_bench({"schema": BENCH_SCHEMA, "name": "x"}, good)
+        with pytest.raises(ValueError, match="kernels"):
+            compare_bench(good, {"kernels": "not-a-dict"})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nonfinite_baseline_fails_loudly(self, tmp_path, bad):
+        base = write_doc(tmp_path, "base", kernels())
+        base_doc = json.loads(base.read_text())
+        base_doc["kernels"]["kin"]["time_s"] = bad
+        (v,) = [x for x in compare_bench(base_doc, base) if x.kernel == "kin"]
+        assert v.status == "regressed"
+        assert "corrupt" in v.detail
+
+    def test_nonfinite_current_fails_loudly(self, tmp_path):
+        base = write_doc(tmp_path, "base", kernels())
+        cur_doc = json.loads(base.read_text())
+        cur_doc["kernels"]["gpu"]["time_s"] = float("nan")
+        (v,) = [x for x in compare_bench(base, cur_doc) if x.kernel == "gpu"]
+        # NaN on a modeled kernel must not sail past the drift check.
+        assert v.status == "regressed"
+
+    def test_zero_baseline_with_slower_current_regresses(self, tmp_path):
+        base = write_doc(tmp_path, "base", {
+            "k": {"time_s": 0.0, "kind": "measured"},
+        })
+        cur = write_doc(tmp_path, "cur", {
+            "k": {"time_s": 1.0, "kind": "measured"},
+        })
+        (v,) = compare_bench(base, cur)
+        assert v.status == "regressed"
+
+    def test_zero_baseline_zero_current_below_noise_floor(self, tmp_path):
+        base = write_doc(tmp_path, "base", {
+            "k": {"time_s": 0.0, "kind": "measured"},
+        })
+        (v,) = compare_bench(base, base)
+        assert v.status == "skipped"
+
+    def test_kind_falls_back_to_baseline_entry(self, tmp_path):
+        # Current entry omits "kind": the baseline's "modeled" applies,
+        # so a 10% drift fails the tight modeled gate even though it
+        # would pass the 1.5x measured ratio.
+        base = write_doc(tmp_path, "base", {
+            "gpu": {"time_s": 1.0, "kind": "modeled"},
+        })
+        cur_doc = json.loads(base.read_text())
+        del cur_doc["kernels"]["gpu"]["kind"]
+        cur_doc["kernels"]["gpu"]["time_s"] = 1.1
+        (v,) = compare_bench(base, cur_doc)
+        assert v.kind == "modeled"
+        assert v.status == "regressed"
+
+    def test_measured_uses_ratio_not_modeled_rtol(self, tmp_path):
+        # The same 10% drift on a measured kernel is fine (< 1.5x).
+        base = write_doc(tmp_path, "base", {
+            "kin": {"time_s": 1.0, "kind": "measured"},
+        })
+        cur = write_doc(tmp_path, "cur", {
+            "kin": {"time_s": 1.1, "kind": "measured"},
+        })
+        (v,) = compare_bench(base, cur)
+        assert v.status == "ok"
+
+
 class TestCliGate:
     def test_exit_codes(self, tmp_path, capsys):
         base = write_doc(tmp_path, "base", kernels())

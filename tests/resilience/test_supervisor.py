@@ -326,7 +326,10 @@ class TestCLI:
         assert "resilience: 0 fault(s)" in out
         assert list_checkpoints(ckpt_dir)
         events = [json.loads(l) for l in log.read_text().splitlines()]
-        assert all(e["event"] == "checkpoint" for e in events)
+        # A fault-free run logs only the active-tuning-profile stamp
+        # (written at run start for resume provenance) and checkpoints.
+        assert {e["event"] for e in events} == {"tuning_profile", "checkpoint"}
+        assert sum(e["event"] == "checkpoint" for e in events) == len(events) - 1
 
     def test_unsupervised_by_default(self, capsys):
         from repro.cli import main

@@ -1,0 +1,19 @@
+"""Known-bad fixture for DCL010: tuned parameters pinned to literals."""
+
+from repro.lfd import kinetic_step
+from repro.lfd.nonlocal_corr import NonlocalCorrector
+from repro.parallel import make_executor
+
+
+def step_all(wf, dt):
+    """Literal block shape at the call site bypasses the TuningProfile."""
+    kinetic_step(wf, dt, variant="blocked", block_size=8)  # finding 1
+    corr = NonlocalCorrector(orb_block=4)  # finding 2
+    corr.apply(wf, dt)
+    return wf
+
+
+def dispatch(task, items):
+    """Literal chunk size pins the executor shape despite tuning."""
+    ex = make_executor("process", chunk_size=2)  # finding 3
+    return ex.map(task, items)

@@ -1,0 +1,21 @@
+"""Known-good fixture for DCL010: tuned parameters flow via the profile."""
+
+from repro.lfd import kinetic_step
+from repro.lfd.nonlocal_corr import NonlocalCorrector
+from repro.parallel import make_executor
+from repro.tuning.profile import get_active_profile
+
+
+def step_all(wf, dt, block_size=None):
+    """None defers to the active TuningProfile inside the kernel."""
+    kinetic_step(wf, dt, variant="blocked", block_size=block_size)
+    corr = NonlocalCorrector()  # resolves orb_block from the profile
+    corr.apply(wf, dt)
+    return wf
+
+
+def dispatch(task, items):
+    """Executor shape read from the profile, not hard-coded."""
+    params = get_active_profile().params_for("parallel.executor")
+    ex = make_executor("process", chunk_size=params["chunk_size"])
+    return ex.map(task, items)

@@ -23,6 +23,7 @@ CASES = {
     "DCL007": ("dcl007", "src/repro/device/fixture.py", 3),
     "DCL008": ("dcl008", "src/repro/qxmd/fixture.py", 2),
     "DCL009": ("dcl009", "src/repro/qxmd/dftsolver.py", 3),
+    "DCL010": ("dcl010", "src/repro/core/fixture.py", 3),
 }
 
 
@@ -64,7 +65,9 @@ def test_scoped_rules_skip_out_of_scope_paths(code):
 
 
 def test_rule_registry_complete():
-    assert rule_codes() == tuple(f"DCL00{i}" for i in range(1, 10))
+    assert rule_codes() == tuple(f"DCL00{i}" for i in range(1, 10)) + (
+        "DCL010",
+    )
     for rule in ALL_RULES:
         assert rule.summary
         assert rule.paper_ref
@@ -113,6 +116,25 @@ def test_dcl007_distinct_out_ok():
         "    return w\n"
     )
     assert lint_source(src, "anywhere.py", LintConfig(select=("DCL007",))) == []
+
+
+def test_dcl010_none_and_variable_exempt():
+    src = (
+        "def f(step, wf, bs):\n"
+        "    step(wf, block_size=None)\n"   # None = profile resolution
+        "    step(wf, block_size=bs)\n"     # flows from the caller
+        "    step(wf, orb_block=bs)\n"
+    )
+    cfg = LintConfig(select=("DCL010",))
+    assert lint_source(src, "src/repro/lfd/x.py", cfg) == []
+
+
+def test_dcl010_out_of_scope_sweeps_allowed():
+    """Benchmark ablation sweeps enumerate literals by design."""
+    src = "def f(step, wf):\n    step(wf, block_size=8)\n"
+    cfg = LintConfig(select=("DCL010",))
+    assert lint_source(src, "benchmarks/bench_ablations.py", cfg) == []
+    assert len(lint_source(src, "src/repro/lfd/x.py", cfg)) == 1
 
 
 def test_dcl003_numpy_random_submodule_import():

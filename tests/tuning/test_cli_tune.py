@@ -1,0 +1,83 @@
+"""CLI integration: repro-mesh tune and --tuning-profile activation."""
+
+import json
+
+from repro.cli import main
+from repro.tuning.profile import (
+    TuningProfile,
+    get_active_profile,
+    set_active_profile,
+)
+
+
+def tune_args(tmp_path, *extra):
+    return ["tune", "--select", "parallel.executor", "--repeats", "2",
+            "--cache", str(tmp_path / "cache.json"), *extra]
+
+
+class TestTuneCommand:
+    def test_tune_writes_cache_report_and_profile(self, tmp_path, capsys):
+        rc = main(tune_args(
+            tmp_path,
+            "--report", str(tmp_path / "report.json"),
+            "--profile-out", str(tmp_path / "profile.json"),
+        ))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tuned fresh         : 1" in out
+        assert (tmp_path / "cache.json").exists()
+
+        report = json.load(open(tmp_path / "report.json"))
+        assert report["schema"] == "repro-tuning-report/1"
+        assert report["tuned"] == 1
+
+        profile = TuningProfile.load(tmp_path / "profile.json")
+        assert "backend" in profile.params_for("parallel.executor")
+
+    def test_second_invocation_is_pure_cache_hit(self, tmp_path, capsys):
+        assert main(tune_args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(tune_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "cache hits          : 1" in out
+        assert "trials executed     : 0" in out
+
+    def test_force_retunes_despite_cache(self, tmp_path, capsys):
+        assert main(tune_args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(tune_args(tmp_path, "--force")) == 0
+        out = capsys.readouterr().out
+        assert "tuned fresh         : 1" in out
+
+    def test_every_winner_passed_the_gate(self, tmp_path):
+        rc = main(tune_args(tmp_path,
+                            "--report", str(tmp_path / "report.json")))
+        assert rc == 0
+        report = json.load(open(tmp_path / "report.json"))
+        for rec in report["records"]:
+            winner_trials = [
+                t for t in rec["outcome"]["trials"]
+                if t["status"] == "ok" and t["params"] == rec["params"]
+            ]
+            assert winner_trials, "winner must appear among ok trials"
+            assert winner_trials[0]["gate_error"] <= 1e-12
+
+
+class TestProfileActivation:
+    def test_spectrum_installs_profile(self, tmp_path, capsys):
+        before = get_active_profile()
+        try:
+            profile = TuningProfile(
+                {"lfd.kin_prop": {"variant": "interchange"}})
+            path = tmp_path / "p.json"
+            profile.save(path)
+            rc = main(["spectrum", "--grid", "6", "--norb", "2", "--steps",
+                       "8", "--tuning-profile", str(path)])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "tuning profile" in out
+            assert "lfd.kin_prop" in out
+            assert get_active_profile().params_for(
+                "lfd.kin_prop")["variant"] == "interchange"
+        finally:
+            set_active_profile(before)

@@ -1,0 +1,57 @@
+"""Correctness gate: tuned physics must equal untuned physics."""
+
+import numpy as np
+
+from repro.tuning.gate import GATE_TOL, check, correctness_error
+
+
+class TestCorrectnessError:
+    def test_identical_arrays_pass_with_zero_error(self):
+        a = np.random.default_rng(0).standard_normal((4, 4))
+        assert correctness_error(a, a.copy()) == 0.0
+        assert check(a, a.copy()).passed
+
+    def test_small_roundoff_divergence_passes(self):
+        ref = np.ones((8,))
+        cand = ref + 1e-15
+        v = check(cand, ref)
+        assert v.passed
+        assert 0.0 < v.error <= GATE_TOL
+
+    def test_real_divergence_rejects(self):
+        ref = np.ones((8,))
+        cand = ref.copy()
+        cand[3] += 1e-9
+        v = check(cand, ref)
+        assert not v.passed
+        assert v.error > GATE_TOL
+
+    def test_normalization_is_relative_for_large_references(self):
+        # 1e-6 absolute error on a 1e9-magnitude field is round-off.
+        ref = np.full((4,), 1e9)
+        cand = ref + 1e-6
+        assert check(cand, ref).passed
+
+    def test_normalization_is_absolute_for_small_references(self):
+        # The denominator floors at 1: tiny references don't inflate
+        # tiny absolute errors into passes.
+        ref = np.full((4,), 1e-30)
+        cand = ref + 1e-9
+        assert not check(cand, ref).passed
+
+    def test_shape_mismatch_is_infinite_error(self):
+        assert correctness_error(np.ones((3,)), np.ones((4,))) == np.inf
+
+    def test_nan_candidate_never_wins(self):
+        ref = np.ones((4,))
+        cand = ref.copy()
+        cand[0] = np.nan
+        assert correctness_error(cand, ref) == np.inf
+
+    def test_complex_arrays_supported(self):
+        ref = np.array([1.0 + 1.0j, 2.0 - 0.5j])
+        assert check(ref + 1e-16j, ref).passed
+        assert not check(ref + 1e-6j, ref).passed
+
+    def test_empty_arrays_trivially_agree(self):
+        assert correctness_error(np.empty(0), np.empty(0)) == 0.0

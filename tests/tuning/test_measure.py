@@ -1,0 +1,71 @@
+"""Measurement harness: median/MAD robustness and clock injection."""
+
+import pytest
+
+from repro.tuning.measure import aggregate, measure_callable
+
+
+class FakeClock:
+    """Deterministic clock: tasks advance it themselves."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestAggregate:
+    def test_median_and_mad(self):
+        m = aggregate((1.0, 2.0, 10.0))
+        assert m.median_s == 2.0
+        assert m.mad_s == 1.0  # |1-2|, |2-2|, |10-2| -> median 1
+        assert m.repeats == 3
+
+    def test_one_preempted_repeat_does_not_move_the_median(self):
+        quiet = aggregate((1.0, 1.0, 1.0, 1.0, 1.0))
+        noisy = aggregate((1.0, 1.0, 100.0, 1.0, 1.0))
+        assert noisy.median_s == quiet.median_s
+
+    def test_noise_ratio(self):
+        assert aggregate((2.0, 2.0, 2.0)).noise_ratio == 0.0
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate(())
+
+
+class TestMeasureCallable:
+    def test_deterministic_with_injected_clock(self):
+        clock = FakeClock()
+
+        def fn():
+            clock.t += 0.25
+            return "out"
+
+        m, out = measure_callable(fn, warmup=1, repeats=4, clock=clock)
+        assert out == "out"
+        assert m.times_s == (0.25, 0.25, 0.25, 0.25)
+        assert m.median_s == 0.25
+        assert m.mad_s == 0.0
+
+    def test_first_output_comes_from_warmup(self):
+        calls = []
+
+        def fn():
+            calls.append(len(calls))
+            return len(calls)  # 1 on the first call
+
+        _, out = measure_callable(fn, warmup=2, repeats=2)
+        assert out == 1
+        assert len(calls) == 4
+
+    def test_zero_warmup_output_comes_from_first_repeat(self):
+        _, out = measure_callable(lambda: 42, warmup=0, repeats=1)
+        assert out == 42
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            measure_callable(lambda: 0, warmup=-1)
+        with pytest.raises(ValueError):
+            measure_callable(lambda: 0, repeats=0)

@@ -1,0 +1,184 @@
+"""Search engines: gating, defaults-survival, determinism, pruning."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.registry import Tunable
+from repro.tuning.search import tune
+from repro.tuning.spaces import Choice, IntRange, ParamSpace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_tunable(costs, wrong=(), defaults=None, prefilter=None,
+                 clock=None, dims=None):
+    """A synthetic tunable whose per-candidate cost is table-driven.
+
+    ``costs`` maps algo name -> seconds charged to the fake clock per
+    call; names in ``wrong`` return a diverged output (gate must
+    reject them).
+    """
+    dims = dims or (Choice("algo", tuple(costs)),)
+
+    def run_trial(probe, params):
+        if clock is not None:
+            key = params["algo"]
+            clock.t += costs[key]
+        out = np.ones(4)
+        if params["algo"] in wrong:
+            out = out + 1e-6
+        return out
+
+    return Tunable(
+        tunable_id="fake.tunable",
+        space=ParamSpace(dims),
+        defaults=defaults or {"algo": next(iter(costs))},
+        description="synthetic",
+        paper_ref="n/a",
+        source_modules=(),
+        make_probe=lambda: None,
+        run_trial=run_trial,
+        prefilter=prefilter,
+    )
+
+
+class TestExhaustive:
+    def test_fastest_gated_candidate_wins(self):
+        clock = FakeClock()
+        t = make_tunable({"slow": 1.0, "fast": 0.1, "mid": 0.5},
+                         clock=clock)
+        out = tune(t, strategy="exhaustive", repeats=3, clock=clock)
+        assert out.best_params == {"algo": "fast"}
+        assert out.speedup == pytest.approx(10.0)
+        assert out.non_default
+
+    def test_wrong_but_fast_candidate_is_rejected(self):
+        clock = FakeClock()
+        t = make_tunable({"ok": 1.0, "cheat": 0.001}, wrong=("cheat",),
+                         clock=clock)
+        out = tune(t, strategy="exhaustive", repeats=2, clock=clock)
+        assert out.best_params == {"algo": "ok"}
+        assert out.gate_rejected == 1
+        rejected = [tr for tr in out.trials if tr.status == "gate_rejected"]
+        assert rejected[0].params == {"algo": "cheat"}
+        assert rejected[0].measurement is None  # never timed
+
+    def test_defaults_always_candidate_so_speedup_at_least_one(self):
+        clock = FakeClock()
+        t = make_tunable({"best": 0.1, "worse": 0.2}, clock=clock,
+                         defaults={"algo": "best"})
+        out = tune(t, strategy="exhaustive", repeats=2, clock=clock)
+        assert out.best_params == out.default_params
+        assert not out.non_default
+        assert out.speedup >= 1.0
+
+    def test_deterministic_across_runs(self):
+        def run(seed):
+            clock = FakeClock()
+            t = make_tunable({"a": 0.3, "b": 0.1, "c": 0.2}, clock=clock)
+            return tune(t, strategy="exhaustive", seed=seed, clock=clock)
+
+        r1, r2 = run(0), run(0)
+        assert r1.best_params == r2.best_params
+        assert [t.status for t in r1.trials] == [t.status for t in r2.trials]
+
+    def test_prefilter_skips_without_measuring(self):
+        clock = FakeClock()
+        dims = (Choice("algo", ("a", "b")), IntRange("knob", 1, 3))
+
+        def prefilter(params):
+            if params["algo"] == "a" and params["knob"] != 1:
+                return "knob irrelevant for a"
+            return None
+
+        t = make_tunable({"a": 0.2, "b": 0.1}, clock=clock, dims=dims,
+                         defaults={"algo": "a", "knob": 1},
+                         prefilter=prefilter)
+        out = tune(t, strategy="exhaustive", repeats=2, clock=clock)
+        skipped = [tr for tr in out.trials if tr.status == "skipped"]
+        assert len(skipped) == 2  # a/knob=2, a/knob=3
+        assert all(tr.measurement is None for tr in skipped)
+        assert out.measured_trials == 4  # a1, b1, b2, b3
+
+
+class TestSuccessiveHalving:
+    def test_prunes_but_defaults_survive(self):
+        clock = FakeClock()
+        costs = {f"v{i}": 0.1 * (i + 1) for i in range(8)}
+        t = make_tunable(costs, clock=clock, defaults={"algo": "v7"})
+        out = tune(t, strategy="halving", repeats=4, clock=clock)
+        assert out.best_params == {"algo": "v0"}
+        # The default (slowest) was never pruned: it has an "ok" trial.
+        statuses = {tuple(tr.params.values())[0]: tr.status
+                    for tr in out.trials}
+        assert statuses["v7"] == "ok"
+        assert "pruned" in statuses.values()
+        assert out.speedup == pytest.approx(8.0)
+
+    def test_auto_dispatches_on_space_size(self):
+        clock = FakeClock()
+        small = make_tunable({"a": 0.1, "b": 0.2}, clock=clock)
+        out = tune(small, strategy="auto", repeats=2, clock=clock)
+        assert out.strategy == "exhaustive"
+
+        clock2 = FakeClock()
+        costs = {f"v{i:02d}": 0.01 * (i + 1) for i in range(30)}
+        big = make_tunable(costs, clock=clock2, defaults={"algo": "v00"})
+        out2 = tune(big, strategy="auto", repeats=2, clock=clock2)
+        assert out2.strategy == "halving"
+        assert out2.best_params == {"algo": "v00"}
+
+    def test_halving_deterministic(self):
+        def run():
+            clock = FakeClock()
+            costs = {f"v{i}": 0.1 + 0.01 * i for i in range(10)}
+            t = make_tunable(costs, clock=clock, defaults={"algo": "v9"})
+            return tune(t, strategy="halving", repeats=4, seed=3,
+                        clock=clock)
+
+        r1, r2 = run(), run()
+        assert r1.best_params == r2.best_params
+        assert r1.to_dict() == r2.to_dict()
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        t = make_tunable({"a": 0.1})
+        with pytest.raises(ValueError, match="unknown strategy"):
+            tune(t, strategy="genetic")
+
+    def test_all_rejected_raises(self):
+        # Even the defaults diverge from the reference: a broken probe
+        # (non-deterministic run_trial) must be loud, not a silent win.
+        calls = {"n": 0}
+
+        def run_trial(probe, params):
+            calls["n"] += 1
+            return np.full(4, float(calls["n"]))  # different every call
+
+        t = Tunable(
+            tunable_id="fake.broken",
+            space=ParamSpace((Choice("algo", ("a",)),)),
+            defaults={"algo": "a"},
+            description="broken",
+            paper_ref="n/a",
+            source_modules=(),
+            make_probe=lambda: None,
+            run_trial=run_trial,
+        )
+        with pytest.raises(RuntimeError, match="no candidate passed"):
+            tune(t, strategy="exhaustive")
+
+    def test_outcome_to_dict_is_json_ready(self):
+        import json
+
+        clock = FakeClock()
+        t = make_tunable({"a": 0.1, "b": 0.2}, clock=clock)
+        out = tune(t, strategy="exhaustive", repeats=2, clock=clock)
+        json.dumps(out.to_dict())  # must not raise

@@ -1,0 +1,93 @@
+"""Parameter-space primitives: order, validation, encoding, hashing."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.spaces import Choice, IntRange, ParamSpace
+
+
+def make_space():
+    return ParamSpace((
+        Choice("variant", ("a", "b")),
+        IntRange("block", 8, 32, step=8),
+    ))
+
+
+class TestDimensions:
+    def test_choice_values_keep_declaration_order(self):
+        c = Choice("v", ("z", "a", "m"))
+        assert c.values() == ("z", "a", "m")
+
+    def test_choice_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            Choice("v", ("a", "a"))
+        with pytest.raises(ValueError):
+            Choice("v", ())
+
+    def test_int_range_values_and_lattice_membership(self):
+        r = IntRange("b", 8, 32, step=8)
+        assert r.values() == (8, 16, 24, 32)
+        assert r.contains(24)
+        assert not r.contains(12)   # off-lattice
+        assert not r.contains(40)   # out of range
+        assert not r.contains("8")  # wrong type
+
+    def test_int_range_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            IntRange("b", 10, 5)
+        with pytest.raises(ValueError):
+            IntRange("b", 0, 5, step=0)
+
+
+class TestParamSpace:
+    def test_size_is_the_product(self):
+        assert make_space().size == 2 * 4
+
+    def test_iterate_is_canonical_first_dim_slowest(self):
+        pts = list(make_space().iterate())
+        assert pts[0] == {"variant": "a", "block": 8}
+        assert pts[1] == {"variant": "a", "block": 16}
+        assert pts[4] == {"variant": "b", "block": 8}
+        assert len(pts) == 8
+
+    def test_validate_coerces_numpy_integers(self):
+        clean = make_space().validate({"variant": "a",
+                                       "block": np.int64(16)})
+        assert clean["block"] == 16
+        assert type(clean["block"]) is int
+
+    def test_validate_rejects_unknown_missing_and_outside(self):
+        space = make_space()
+        with pytest.raises(ValueError, match="unknown parameter"):
+            space.validate({"variant": "a", "block": 8, "extra": 1})
+        with pytest.raises(ValueError, match="missing parameter"):
+            space.validate({"variant": "a"})
+        with pytest.raises(ValueError, match="outside the declared"):
+            space.validate({"variant": "a", "block": 12})
+
+    def test_encode_decode_round_trip_and_key_order(self):
+        space = make_space()
+        params = {"block": 24, "variant": "b"}
+        enc = space.encode(params)
+        assert enc == '{"block":24,"variant":"b"}'
+        assert space.decode(enc) == {"variant": "b", "block": 24}
+
+    def test_space_hash_stable_and_sensitive(self):
+        h1 = make_space().space_hash()
+        assert h1 == make_space().space_hash()
+        other = ParamSpace((
+            Choice("variant", ("a", "b", "c")),
+            IntRange("block", 8, 32, step=8),
+        ))
+        assert other.space_hash() != h1
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpace((Choice("x", ("a",)), IntRange("x", 0, 1)))
+
+    def test_sample_is_seeded(self):
+        space = make_space()
+        a = space.sample(np.random.default_rng(7))
+        b = space.sample(np.random.default_rng(7))
+        assert a == b
+        space.validate(a)
