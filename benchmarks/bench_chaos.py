@@ -1,0 +1,164 @@
+"""Chaos-machinery overhead benchmark: disarmed hooks must be free.
+
+The hang-aware execution layer threads two hot-path hooks through the
+solver: ``fault_point(site)`` (chaos injection) and ``check_deadline()``
+(liveness budgets).  Both are designed to cost one module-global read
+when disarmed, so a production run that never arms a fault plan or a
+deadline scope pays essentially nothing.  This bench holds that claim
+to a number:
+
+- the per-call disarmed cost of each hook, timed over a tight loop;
+- a short serial DC-mesh solve, plain vs under a generous (armed but
+  never-firing) deadline scope;
+- the *modeled* overhead fraction -- per-call disarmed cost times a
+  pessimistic calls-per-solve budget, over the plain solve wall --
+  which must stay under ``MAX_OVERHEAD_FRACTION`` (1%).
+
+The emitted ``BENCH_chaos.json`` regression-gates the loop timings and
+solve walls against the committed baseline like every other kernel.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: Tight-loop iteration count for per-call hook costs.  Large enough
+#: that the loop wall clears the regression gate's min-time floor.
+HOOK_ITERS = 200_000
+
+#: Best-of repeats for every timed section.
+REPEATS = 5
+
+#: MD steps in the solve comparison (serial backend, test-scale mesh).
+SOLVE_STEPS = 2
+
+#: Pessimistic hook-calls-per-MD-step budget for the modeled overhead:
+#: an instrumented step issues a few dozen hook calls (one per mapped
+#: domain chunk plus per-gather polls), so 500 is ~25x headroom.
+CALLS_PER_STEP = 500
+
+#: Disarmed hooks may cost at most this fraction of the solve wall.
+MAX_OVERHEAD_FRACTION = 0.01
+
+
+def _make_sim():
+    from repro.core.mesh import DCMESHConfig, DCMESHSimulation
+    from repro.core.timescale import TimescaleSplit
+    from repro.grids.grid import Grid3D
+    from repro.pseudo.elements import get_species
+
+    grid = Grid3D((12, 12, 12), (0.6,) * 3)
+    L = grid.lengths[0]
+    positions = np.array([[L / 4, L / 2, L / 2], [3 * L / 4, L / 2, L / 2]])
+    species = [get_species("H"), get_species("H")]
+    config = DCMESHConfig(
+        timescale=TimescaleSplit(dt_md=2.0, n_qd=4),
+        nscf=1, ncg=1, norb_extra=1, seed=42,
+    )
+    return DCMESHSimulation(
+        grid, (2, 1, 1), positions, species,
+        config=config, buffer_width=2,
+    )
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _hook_loop_s(hook) -> float:
+    """Best wall time for HOOK_ITERS disarmed hook calls."""
+    def loop():
+        for _ in range(HOOK_ITERS):
+            hook()
+    loop()  # warm up
+    return _best_of(loop)
+
+
+def emit_chaos():
+    """Time the disarmed hooks and the scoped-vs-plain solve; persist."""
+    from benchmarks.bench_common import write_bench_json
+    from repro.resilience.faults import disarm, fault_point
+    from repro.resilience.liveness import check_deadline, deadline_scope
+
+    disarm()
+
+    check_loop_s = _hook_loop_s(lambda: check_deadline("bench"))
+    fault_loop_s = _hook_loop_s(lambda: fault_point("bench.site"))
+    per_call_check_s = check_loop_s / HOOK_ITERS
+    per_call_fault_s = fault_loop_s / HOOK_ITERS
+
+    def solve_plain():
+        _make_sim().run(SOLVE_STEPS)
+
+    def solve_scoped():
+        with deadline_scope(3600.0, "bench.solve"):
+            _make_sim().run(SOLVE_STEPS)
+
+    solve_plain()  # warm up caches/imports once for both variants
+    plain_s = _best_of(solve_plain, repeats=3)
+    scoped_s = _best_of(solve_scoped, repeats=3)
+
+    per_call_s = per_call_check_s + per_call_fault_s
+    overhead_fraction = per_call_s * CALLS_PER_STEP * SOLVE_STEPS / plain_s
+    extra = {
+        "per_call_check_deadline_s": per_call_check_s,
+        "per_call_fault_point_s": per_call_fault_s,
+        "calls_per_step_budget": CALLS_PER_STEP,
+        "overhead_fraction": overhead_fraction,
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+        "scoped_over_plain": scoped_s / plain_s,
+    }
+    path = write_bench_json(
+        "chaos",
+        {
+            "check_deadline_disarmed_loop": {
+                "time_s": check_loop_s, "kind": "measured",
+                "calls": HOOK_ITERS,
+            },
+            "fault_point_disarmed_loop": {
+                "time_s": fault_loop_s, "kind": "measured",
+                "calls": HOOK_ITERS,
+            },
+            "solve_plain": {"time_s": plain_s, "kind": "measured"},
+            "solve_deadline_scoped": {"time_s": scoped_s, "kind": "measured"},
+        },
+        workload={
+            "hook_iters": HOOK_ITERS,
+            "solve_steps": SOLVE_STEPS,
+            "grid": [12, 12, 12],
+            "natoms": 2,
+        },
+        extra=extra,
+    )
+    return path, extra
+
+
+def test_chaos_telemetry():
+    """Emit BENCH_chaos.json; disarmed hook overhead stays under 1%.
+
+    The gate is modeled, not a raw A/B wall-clock diff: two short solve
+    walls differ by machine noise larger than the hooks' true cost, so
+    the bench gates on per-call disarmed cost times a pessimistic
+    calls-per-solve budget instead, which is orders of magnitude more
+    sensitive than the comparison it replaces.
+    """
+    path, extra = emit_chaos()
+    assert path.exists()
+    assert extra["overhead_fraction"] < MAX_OVERHEAD_FRACTION, extra
+    # Each individual hook must be sub-microsecond when disarmed.
+    assert extra["per_call_check_deadline_s"] < 1e-6, extra
+    assert extra["per_call_fault_point_s"] < 1e-6, extra
+
+
+if __name__ == "__main__":
+    out, info = emit_chaos()
+    print(f"wrote {out} (disarmed overhead fraction "
+          f"{info['overhead_fraction']:.2e}, "
+          f"scoped/plain {info['scoped_over_plain']:.3f}x)")

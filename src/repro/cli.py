@@ -16,6 +16,7 @@ processes.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -104,8 +105,15 @@ def _run_body(args: argparse.Namespace) -> int:
         ncg=args.ncg,
         seed=args.seed,
     )
+    extras = {}
+    if args.hang_timeout is not None:
+        if args.backend == "process":
+            extras["hang_timeout"] = args.hang_timeout
+        else:
+            print(f"note: --hang-timeout only applies to --backend process "
+                  f"(ignored for {args.backend})")
     executor = make_executor(args.backend, workers=args.workers,
-                             seed=args.seed)
+                             seed=args.seed, **extras)
     print(f"backend: {executor.name} ({executor.workers} worker(s))")
     try:
         return _run_sim(args, grid, positions, species, laser, config,
@@ -124,8 +132,19 @@ def _run_sim(args, grid, positions, species, laser, config, executor) -> int:
         buffer_width=args.buffer, executor=executor,
     )
     if args.restart:
-        load_checkpoint(sim, args.restart)
-        print(f"restarted from {args.restart} at step {sim.step_count}")
+        restart = pathlib.Path(args.restart)
+        if restart.is_dir():
+            # A rotation directory: restore the newest generation that
+            # passes its digest check, degrading past torn/corrupt ones.
+            from repro.resilience.checkpointing import restore_newest_verified
+
+            path, _, skipped = restore_newest_verified(sim, restart)
+            for bad in skipped:
+                print(f"warning: skipped corrupt checkpoint {bad.name}")
+            print(f"restarted from {path} at step {sim.step_count}")
+        else:
+            load_checkpoint(sim, restart)
+            print(f"restarted from {args.restart} at step {sim.step_count}")
     if args.excite:
         sim.excite_carrier(0)
 
@@ -140,15 +159,29 @@ def _run_sim(args, grid, positions, species, laser, config, executor) -> int:
                 checkpoint_every=args.checkpoint_every,
                 max_retries=args.max_retries,
                 log_path=args.resilience_log,
+                deadline_s=args.deadline,
+                retry_budget=args.retry_budget,
             ),
         )
         print(
             f"supervised run: checkpoint every {args.checkpoint_every} "
             f"step(s) -> {args.checkpoint_dir}, max {args.max_retries} "
             f"retries/segment"
+            + (f", {args.deadline:g}s deadline/segment"
+               if args.deadline else "")
+            + (f", {args.retry_budget} total retries"
+               if args.retry_budget is not None else "")
         )
 
-    records = supervisor.run(args.steps) if supervisor else sim.run(args.steps)
+    if supervisor is not None:
+        records = supervisor.run(args.steps)
+    else:
+        # Unsupervised: an armed deadline bounds the whole run (there
+        # is no checkpointed segment to replay, so expiry fails fast).
+        from repro.resilience.liveness import deadline_scope
+
+        with deadline_scope(args.deadline, "cli.run"):
+            records = sim.run(args.steps)
     print("step    t[fs]     T[K]   E_band[Ha]   n_exc  hops")
     for rec in records:
         print(
@@ -263,11 +296,18 @@ def _spectrum_body(args: argparse.Namespace) -> int:
     occ[0] = 2.0
     prop = QDPropagator(wf, vloc, PropagatorConfig(dt=0.05))
     times, dips = [], []
-    prop.run(
-        args.steps,
-        observer=lambda p: (times.append(p.time),
-                            dips.append(dipole_moment(p.wf, occ)[0])),
-    )
+
+    def _observe(p) -> None:
+        # The per-step observer doubles as the deadline yield point: an
+        # armed --deadline bounds the propagation loop step by step.
+        check_deadline("spectrum.propagate")
+        times.append(p.time)
+        dips.append(dipole_moment(p.wf, occ)[0])
+
+    from repro.resilience.liveness import check_deadline, deadline_scope
+
+    with deadline_scope(args.deadline, "spectrum.propagate"):
+        prop.run(args.steps, observer=_observe)
     omega, s = dipole_to_spectrum(np.array(times), np.array(dips),
                                   kick_strength=k0, damping=0.01)
     peaks = absorption_peaks(omega, s, min_height=0.3)
@@ -310,8 +350,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="worker count for thread/process backends "
                           "(default: CPU count)")
+    run.add_argument("--hang-timeout", type=float, default=None,
+                     help="seconds a process-backend chunk may go without "
+                          "a heartbeat before its worker is declared "
+                          "wedged and killed (heals like a crash)")
+    run.add_argument("--deadline", type=float, default=None,
+                     help="wall-clock budget in seconds: per checkpointed "
+                          "segment under --checkpoint-every, for the whole "
+                          "run otherwise")
+    run.add_argument("--retry-budget", type=int, default=None,
+                     help="total recoveries allowed across the whole "
+                          "supervised run (default: unbounded)")
     run.add_argument("--checkpoint", help="write a checkpoint after the run")
-    run.add_argument("--restart", help="restore this checkpoint first")
+    run.add_argument("--restart",
+                     help="restore this checkpoint first (a rotation "
+                          "directory restores its newest verified "
+                          "generation)")
     run.add_argument("--checkpoint-every", type=int, default=0,
                      help="supervise the run, checkpointing every N MD "
                           "steps (0 = unsupervised)")
@@ -340,6 +394,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="model-well depth (Ha)")
     spectrum.add_argument("--steps", type=int, default=800)
     spectrum.add_argument("--seed", type=int, default=0)
+    spectrum.add_argument("--deadline", type=float, default=None,
+                          help="wall-clock budget in seconds for the "
+                               "propagation loop")
     spectrum.add_argument("--trace-out",
                           help="write a Chrome trace-event JSON of this run")
     spectrum.add_argument("--tuning-profile",
@@ -378,9 +435,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    from repro.resilience.liveness import DeadlineExceeded
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DeadlineExceeded as exc:
+        # An expired --deadline is an intentional bound, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ structured state (carrier amplitudes, RNG state) via named entries.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Union
 
@@ -68,7 +69,13 @@ def save_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> pa
         json.dumps(sim.rng.bit_generator.state).encode(), dtype=np.uint8
     )
     arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    # Write through an explicit handle so the archive can be fsync'd:
+    # the resilience layer renames this file into place, and a rename
+    # must never publish a name whose blocks are still in flight.
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
     return path
 
 

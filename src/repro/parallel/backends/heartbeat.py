@@ -1,0 +1,104 @@
+"""Shared-memory heartbeat board for hang detection in the process pool.
+
+One float64 slot per dispatched chunk, living in a named
+``multiprocessing.shared_memory`` segment.  A worker writes
+``time.monotonic()`` into its chunk's slot when the chunk starts and
+again after every task; the parent-side watchdog scans the board and
+declares a chunk *stalled* when its slot has started (non-zero) but has
+not advanced for longer than ``hang_timeout``.
+
+``CLOCK_MONOTONIC`` is system-wide on the POSIX platforms the process
+backend targets, so parent and worker timestamps are directly
+comparable.  Slot writes are aligned 8-byte stores -- atomic on every
+platform NumPy supports -- so the watchdog can read without locking;
+the worst a racing read could see is one fresh-vs-stale misjudgement
+that the next poll corrects.
+
+Lifetime mirrors :class:`~repro.parallel.backends.shm.ShmSession`: the
+parent creates and unlinks the segment per map call; workers attach per
+chunk and only close (see the bpo-39959 note in ``shm.py`` -- workers
+must never unregister the parent's segment).
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Iterable, List
+
+_SLOT = struct.Struct("d")
+
+
+class HeartbeatBoard:
+    """Parent-owned shared-memory array of per-chunk heartbeat stamps."""
+
+    def __init__(self, seg: shared_memory.SharedMemory, nslots: int,
+                 owner: bool) -> None:
+        self._seg = seg
+        self.nslots = int(nslots)
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        """The shm segment name workers attach by."""
+        return self._seg.name
+
+    @classmethod
+    def create(cls, nslots: int) -> "HeartbeatBoard":
+        """Parent side: allocate a zeroed board of ``nslots`` stamps."""
+        if nslots < 1:
+            raise ValueError("nslots must be at least 1")
+        seg = shared_memory.SharedMemory(
+            create=True, size=nslots * _SLOT.size
+        )
+        seg.buf[:] = bytes(nslots * _SLOT.size)
+        return cls(seg, nslots, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, nslots: int) -> "HeartbeatBoard":
+        """Worker side: attach an existing board by segment name."""
+        return cls(shared_memory.SharedMemory(name=name), nslots, owner=False)
+
+    def beat(self, slot: int) -> None:
+        """Stamp ``slot`` with the current monotonic time."""
+        _SLOT.pack_into(self._seg.buf, slot * _SLOT.size, time.monotonic())
+
+    def read(self, slot: int) -> float:
+        """The last stamp of ``slot`` (0.0 = never started)."""
+        return float(_SLOT.unpack_from(self._seg.buf, slot * _SLOT.size)[0])
+
+    def clear(self, slot: int) -> None:
+        """Reset ``slot`` to the never-started state.
+
+        The parent clears a chunk's slot before *re*-submitting it after
+        a pool break; a stale stamp from the killed round would otherwise
+        read as an instant hang.
+        """
+        _SLOT.pack_into(self._seg.buf, slot * _SLOT.size, 0.0)
+
+    def stalled_slots(
+        self, candidates: Iterable[int], hang_timeout: float
+    ) -> List[int]:
+        """Candidate slots that started but have not beaten recently.
+
+        A slot that never started (stamp 0.0) is *queued*, not stalled --
+        its chunk is waiting behind others in the pool's FIFO call queue
+        and killing workers for it would be wrong.
+        """
+        now = time.monotonic()
+        out: List[int] = []
+        for slot in candidates:
+            stamp = self.read(slot)
+            if stamp > 0.0 and now - stamp > hang_timeout:
+                out.append(slot)
+        return out
+
+    def close(self) -> None:
+        """Detach (worker side) or detach + unlink (parent side)."""
+        self._seg.close()
+        if self._owner:
+            try:
+                self._seg.unlink()
+            except FileNotFoundError:  # already unlinked (double close)
+                pass

@@ -12,6 +12,7 @@ from typing import Any, Callable, Iterable, List
 
 from repro.obs import trace_span
 from repro.parallel.executor import DomainExecutor, chunk_rng, set_worker_rng
+from repro.resilience.liveness import check_deadline
 
 
 class SerialBackend(DomainExecutor):
@@ -36,6 +37,7 @@ class SerialBackend(DomainExecutor):
             out: List[Any] = []
             try:
                 for i, item in enumerate(items):
+                    check_deadline(f"executor.map({label!r})")
                     set_worker_rng(chunk_rng(self.seed, map_index, i))
                     out.append(fn(item))
             finally:

@@ -16,10 +16,12 @@ results are bit-identical, which the differential harness asserts.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.obs import trace_span
 from repro.parallel.executor import DomainExecutor, chunk_rng, set_worker_rng
+from repro.resilience.liveness import active_deadline, check_deadline
 
 
 class ThreadBackend(DomainExecutor):
@@ -70,7 +72,18 @@ class ThreadBackend(DomainExecutor):
                             (self.seed, map_index, i))
                 for i, item in enumerate(items)
             ]
-            return [f.result() for f in futures]
+            # Poll with a bounded timeout only while a deadline scope is
+            # armed; threads cannot be cancelled, so expiry abandons the
+            # gather (workers finish into discarded futures) and lets
+            # the supervisor replay the segment.
+            if active_deadline() is not None:
+                not_done = set(futures)
+                while not_done:
+                    check_deadline(f"executor.map({label!r})")
+                    _, not_done = futures_wait(not_done, timeout=0.05)
+            else:
+                futures_wait(futures)
+            return [f.result(timeout=0) for f in futures]
 
     def shutdown(self) -> None:
         """Join and discard the pool; a later map() restarts it."""

@@ -58,6 +58,10 @@ BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
 class WorkerCrashError(RankFailure):
     """A process-backend map lost workers beyond its retry budget.
 
+    "Lost" covers both hard crashes (SIGKILL, OOM) and wedged workers
+    the heartbeat watchdog terminated -- hangs heal, and escalate,
+    exactly like crashes.
+
     Subclasses :class:`~repro.resilience.faults.RankFailure`, so the
     PR-1 :class:`~repro.resilience.supervisor.RunSupervisor` treats it as
     recoverable: the supervisor restores the newest checkpoint and
@@ -200,8 +204,8 @@ def make_executor(
     ``parallel.executor`` tunable); an explicit backend name leaves the
     caller in full control.  ``workers`` defaults to 1 for serial and
     :func:`default_workers` otherwise; extra keyword arguments
-    (``chunk_size``, ``shm_threshold``, ``max_crash_retries``) are
-    forwarded to the process backend.
+    (``chunk_size``, ``shm_threshold``, ``max_crash_retries``,
+    ``hang_timeout``) are forwarded to the process backend.
     """
     if backend is None:
         from repro.tuning.profile import get_active_profile

@@ -1,25 +1,35 @@
 """Resilience layer: fault injection, health guards, supervised runs.
 
-Three cooperating sub-modules:
+Cooperating sub-modules:
 
 * :mod:`repro.resilience.faults` -- seeded deterministic fault injection
-  with named sites wired into the SCF, propagator, allocator, SimComm
-  and checkpoint hot paths (no-ops unless a plan is armed);
+  with named sites wired into the SCF, propagator, allocator, SimComm,
+  executor, persistence and checkpoint hot paths (no-ops unless a plan
+  is armed);
 * :mod:`repro.resilience.guards` -- typed numerical health guards
   (finiteness, norm drift, energy drift) for the QD loop and MD step;
+* :mod:`repro.resilience.liveness` -- deadline budgets, run-wide retry
+  budgets and a circuit breaker (the bounded-waiting primitives);
+* :mod:`repro.resilience.atomicio` -- fsync'd same-directory atomic
+  writes shared by every persistence path;
 * :mod:`repro.resilience.supervisor` -- checkpointed segment execution
-  with bounded retries, graceful degradation, corrupt-checkpoint
-  fallback and a structured JSON event log, on top of the hardened
-  atomic/digest/rotating writer in
+  with bounded retries, deadline enforcement, graceful degradation,
+  corrupt-checkpoint fallback and a structured JSON event log, on top
+  of the hardened atomic/digest/rotating writer in
   :mod:`repro.resilience.checkpointing`.
 
-``faults`` and ``guards`` are dependency-free (NumPy only) and imported
-eagerly -- instrumented hot paths may import them during ``repro.core``
-initialization.  ``checkpointing`` and ``supervisor`` depend on
-``repro.core`` and are loaded lazily (PEP 562) to keep the import graph
-acyclic.
+``faults``, ``guards``, ``liveness`` and ``atomicio`` are
+dependency-free (NumPy at most) and imported eagerly -- instrumented
+hot paths may import them during ``repro.core`` initialization.
+``checkpointing`` and ``supervisor`` depend on ``repro.core`` and are
+loaded lazily (PEP 562) to keep the import graph acyclic.
 """
 
+from repro.resilience.atomicio import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+)
 from repro.resilience.faults import (
     KNOWN_SITES,
     FaultPlan,
@@ -40,12 +50,22 @@ from repro.resilience.guards import (
     NumericalHealthError,
     SCFDivergenceError,
 )
+from repro.resilience.liveness import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryBudget,
+    active_deadline,
+    check_deadline,
+    deadline_scope,
+)
 
 _LAZY = {
     "CheckpointCorruptError": "repro.resilience.checkpointing",
     "checkpoint_path": "repro.resilience.checkpointing",
     "list_checkpoints": "repro.resilience.checkpointing",
     "load_verified": "repro.resilience.checkpointing",
+    "restore_newest_verified": "repro.resilience.checkpointing",
     "verify_checkpoint": "repro.resilience.checkpointing",
     "write_checkpoint": "repro.resilience.checkpointing",
     "RECOVERABLE": "repro.resilience.supervisor",
@@ -53,9 +73,20 @@ _LAZY = {
     "RunSupervisor": "repro.resilience.supervisor",
     "SupervisorAbort": "repro.resilience.supervisor",
     "SupervisorConfig": "repro.resilience.supervisor",
+    "read_event_log": "repro.resilience.supervisor",
 }
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryBudget",
+    "active_deadline",
+    "check_deadline",
+    "deadline_scope",
     "KNOWN_SITES",
     "FaultPlan",
     "FaultSpec",

@@ -1,0 +1,104 @@
+"""Torn-write-proof persistence: fsync'd same-directory atomic writes.
+
+Every persistence path in the repo (tuning cache, checkpoint sidecars,
+resilience event log) must survive two failure modes that plain
+``open().write()`` does not:
+
+* **torn writes** -- a crash (or SIGKILL) mid-write leaves a truncated
+  file; ``os.rename`` from another filesystem (``tempfile`` defaults to
+  ``/tmp``) degrades to a copy and can tear the same way;
+* **ENOSPC** -- a full disk fails the write halfway; the *previous*
+  version of the file must survive untouched.
+
+:func:`atomic_write_bytes` provides the full discipline: the temp file
+is created *in the destination directory* (same filesystem, so
+``os.replace`` is a true atomic rename), its contents are flushed and
+``fsync``'d before the rename (so the rename can never publish a name
+pointing at unwritten blocks), and the directory entry itself is
+``fsync``'d after the rename (so the publish survives a power cut).  On
+any failure the temp file is removed and the previous destination bytes
+are left untouched.
+
+Fault injection: callers pass a ``fault_prefix`` naming their subsystem
+(``"cache"``, ``"checkpoint"``, ``"eventlog"``); the writer then honours
+the ``<prefix>.enospc`` site (raise ``OSError(ENOSPC)`` with the old
+file intact) and the ``<prefix>.torn_write`` site (publish deliberately
+truncated bytes, simulating the torn outcome the atomic discipline
+exists to prevent -- so reader-side recovery can be tested).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import pathlib
+from typing import Optional, Union
+
+from repro.resilience.faults import FaultSpec, fault_point
+
+
+def fsync_directory(directory: Union[str, pathlib.Path]) -> None:
+    """Flush a directory entry to disk (best effort on exotic filesystems)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # platform without directory fds (or no permission)
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # some filesystems reject directory fsync; not fatal
+        pass
+    finally:
+        os.close(fd)
+
+
+def _torn_bytes(data: bytes, spec: FaultSpec) -> bytes:
+    """The truncated payload a torn write would have left behind."""
+    frac = float(spec.payload.get("keep_fraction", 0.5))
+    frac = min(max(frac, 0.0), 1.0)
+    return data[: int(len(data) * frac)]
+
+
+def atomic_write_bytes(
+    path: Union[str, pathlib.Path],
+    data: bytes,
+    fault_prefix: Optional[str] = None,
+) -> pathlib.Path:
+    """Atomically publish ``data`` at ``path`` with full fsync discipline.
+
+    Either the destination holds the complete new bytes or it is left
+    exactly as it was -- a crash, kill or ENOSPC mid-write can never
+    tear it.  Returns the destination path.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fault_prefix is not None:
+        spec = fault_point(f"{fault_prefix}.enospc")
+        if spec is not None:
+            raise OSError(
+                errno.ENOSPC, "No space left on device (injected fault)",
+                str(path),
+            )
+        spec = fault_point(f"{fault_prefix}.torn_write")
+        if spec is not None:
+            data = _torn_bytes(data, spec)
+    tmp = path.parent / f".tmp-{path.name}.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, pathlib.Path],
+    text: str,
+    fault_prefix: Optional[str] = None,
+) -> pathlib.Path:
+    """UTF-8 text variant of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fault_prefix)

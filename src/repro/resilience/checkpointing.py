@@ -23,6 +23,7 @@ the failure mode the verification is designed to catch.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -34,6 +35,7 @@ if TYPE_CHECKING:  # layering: resilience never imports core at runtime
     from repro.core.mesh import DCMESHSimulation
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.resilience.atomicio import atomic_write_text, fsync_directory
 from repro.resilience.faults import fault_point
 
 _CKPT_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
@@ -52,9 +54,8 @@ def _sha256(path: pathlib.Path) -> str:
 
 
 def _atomic_write_text(path: pathlib.Path, text: str) -> None:
-    tmp = path.parent / f".tmp-{path.name}"
-    tmp.write_text(text)
-    os.replace(tmp, path)
+    """Sidecar writes ride the fsync'd atomic writer of ``atomicio``."""
+    atomic_write_text(path, text)
 
 
 def checkpoint_path(directory: Union[str, pathlib.Path], step: int) -> pathlib.Path:
@@ -105,16 +106,37 @@ def write_checkpoint(
     directory.mkdir(parents=True, exist_ok=True)
     final = checkpoint_path(directory, sim.step_count)
     tmp = directory / f".tmp-{final.name}"
-    save_checkpoint(sim, tmp)
-    meta: Dict = {
-        "step": int(sim.step_count),
-        "time": float(sim.time),
-        "sha256": _sha256(tmp),
-        "nbytes": tmp.stat().st_size,
-    }
-    os.replace(tmp, final)
+    spec = fault_point("checkpoint.enospc")
+    if spec is not None:
+        # Disk full before a single archive byte lands: the previous
+        # generations (and any existing file at ``final``) stay intact.
+        raise OSError(errno.ENOSPC,
+                      "No space left on device (injected fault)", str(final))
+    try:
+        save_checkpoint(sim, tmp)
+        meta: Dict = {
+            "step": int(sim.step_count),
+            "time": float(sim.time),
+            "sha256": _sha256(tmp),
+            "nbytes": tmp.stat().st_size,
+        }
+        os.replace(tmp, final)
+    except BaseException:
+        # A failed write (real ENOSPC included) never leaves temp litter
+        # and never touches the published generations.
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_directory(directory)
     _atomic_write_text(sidecar_path(final), json.dumps(meta, indent=1))
 
+    spec = fault_point("checkpoint.torn_write")
+    if spec is not None:
+        # A torn archive: published bytes truncated after the sidecar
+        # recorded the intended digest (verification catches this and
+        # falls back a generation).
+        frac = float(spec.payload.get("keep_fraction", 0.5))
+        frac = min(max(frac, 0.0), 1.0)
+        os.truncate(final, int(final.stat().st_size * frac))
     spec = fault_point("checkpoint.corrupt")
     if spec is not None:
         _corrupt_file(
@@ -159,3 +181,30 @@ def load_verified(sim: "DCMESHSimulation", path: Union[str, pathlib.Path]) -> Di
     meta = verify_checkpoint(path)
     load_checkpoint(sim, path)
     return meta
+
+
+def restore_newest_verified(
+    sim: "DCMESHSimulation", directory: Union[str, pathlib.Path]
+) -> "tuple[pathlib.Path, Dict, List[pathlib.Path]]":
+    """Restore the newest generation that passes verification.
+
+    Walks the rotation newest-first, skipping generations that fail
+    their digest check (torn archive, bit rot), and restores the first
+    one that verifies.  Returns ``(path, sidecar metadata, skipped)``
+    where ``skipped`` lists the corrupt newer generations (newest
+    first) so callers can log the degradation.  Raises
+    :class:`CheckpointCorruptError` when no generation is usable.
+    """
+    generations = list_checkpoints(directory)
+    skipped: List[pathlib.Path] = []
+    for path in reversed(generations):
+        try:
+            meta = load_verified(sim, path)
+        except CheckpointCorruptError:
+            skipped.append(path)
+            continue
+        return path, meta, skipped
+    raise CheckpointCorruptError(
+        f"no usable checkpoint among {len(generations)} generation(s) "
+        f"in {directory}"
+    )

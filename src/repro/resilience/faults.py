@@ -54,6 +54,15 @@ KNOWN_SITES: Tuple[str, ...] = (
     "comm.rank_fail",      # SimComm collective rank failure
     "checkpoint.corrupt",  # resilience.checkpointing post-write corruption
     "executor.worker_crash",  # ProcessBackend worker SIGKILL mid-map
+    # hang-aware fault classes (hang / slow / torn_write / enospc):
+    "executor.hang",          # worker wedges mid-chunk (no heartbeats)
+    "executor.slow",          # worker runs its chunk late (still beating)
+    "checkpoint.torn_write",  # checkpoint archive truncated after publish
+    "checkpoint.enospc",      # disk full while writing a checkpoint
+    "cache.torn_write",       # tuning cache JSON published truncated
+    "cache.enospc",           # disk full while saving the tuning cache
+    "eventlog.torn_write",    # resilience event log line torn mid-append
+    "eventlog.enospc",        # disk full while appending an event
 )
 
 

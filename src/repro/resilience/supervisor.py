@@ -25,6 +25,7 @@ rot on disk degrades a run instead of ending it.
 
 from __future__ import annotations
 
+import errno
 import json
 import pathlib
 import time
@@ -45,11 +46,17 @@ from repro.resilience.checkpointing import (
     sidecar_path,
     write_checkpoint,
 )
-from repro.resilience.faults import RankFailure
+from repro.resilience.faults import RankFailure, fault_point
 from repro.resilience.guards import (
     GuardConfig,
     HealthGuard,
     NumericalHealthError,
+)
+from repro.resilience.liveness import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    RetryBudget,
+    deadline_scope,
 )
 
 #: Exception classes the supervisor retries from a checkpoint.
@@ -58,6 +65,7 @@ RECOVERABLE = (
     DeviceMemoryError,
     RankFailure,
     CheckpointCorruptError,
+    DeadlineExceeded,
 )
 
 
@@ -91,6 +99,23 @@ class SupervisorConfig:
         Optional JSON-lines file receiving every event as it happens.
     guard:
         Tolerances/cadence of the installed :class:`HealthGuard`.
+    deadline_s:
+        Wall-clock budget per checkpointed segment (seconds).  An
+        over-budget segment raises
+        :class:`~repro.resilience.liveness.DeadlineExceeded`, which is
+        recovered like any other fault; ``None`` (default) disarms the
+        budget entirely.
+    deadline_growth:
+        Multiplier applied to the segment budget after each deadline
+        fault (>= 1), so a budget that was merely too tight relaxes
+        instead of failing the same way forever.
+    retry_budget:
+        Total recoveries allowed across the whole run (all segments
+        combined); ``None`` keeps the legacy per-segment-only bound.
+    breaker_threshold:
+        Consecutive faults without one completed segment that trip the
+        circuit breaker into a fast :class:`SupervisorAbort`; 0 (the
+        default) disables the breaker.
     """
 
     checkpoint_every: int = 5
@@ -101,6 +126,10 @@ class SupervisorConfig:
     degrade_mode: str = "none"
     log_path: Optional[Union[str, pathlib.Path]] = None
     guard: GuardConfig = field(default_factory=GuardConfig)
+    deadline_s: Optional[float] = None
+    deadline_growth: float = 2.0
+    retry_budget: Optional[int] = None
+    breaker_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
@@ -117,6 +146,14 @@ class SupervisorConfig:
             raise ValueError(
                 "degrade_mode must be 'none', 'halve_dt' or 'double_nqd'"
             )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.deadline_growth < 1.0:
+            raise ValueError("deadline_growth must be at least 1")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative (or None)")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
 
 
 class ResilienceLog:
@@ -125,6 +162,13 @@ class ResilienceLog:
     Every event is a plain dict (JSON-serializable); event kinds are
     additionally tallied in a :class:`CounterSet` under ``event.<kind>``
     so existing perf reporting sees resilience activity for free.
+
+    The file mirror is best-effort: a failed append (ENOSPC, permission
+    loss, or the ``eventlog.enospc`` fault site) records a
+    ``log_write_failed`` event and disables mirroring rather than
+    killing the run -- losing telemetry must never lose physics.  The
+    in-memory list stays complete either way, and
+    :func:`read_event_log` tolerates torn trailing lines on readback.
     """
 
     def __init__(self, path: Optional[Union[str, pathlib.Path]] = None) -> None:
@@ -132,9 +176,30 @@ class ResilienceLog:
         self.events: List[Dict] = []
         self.counters = CounterSet()
         self._t0 = time.perf_counter()
+        self._mirror = self.path is not None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.path.write_text("")
+
+    def _mirror_line(self, event: Dict) -> None:
+        """Best-effort append of one JSON line to the mirror file."""
+        assert self.path is not None
+        line = json.dumps(event) + "\n"
+        spec = fault_point("eventlog.torn_write")
+        if spec is not None:
+            keep = float(spec.payload.get("keep_fraction", 0.5))
+            line = line[: max(0, int(len(line) * keep))]
+        try:
+            if fault_point("eventlog.enospc") is not None:
+                raise OSError(errno.ENOSPC,
+                              "No space left on device (injected fault)",
+                              str(self.path))
+            with open(self.path, "a") as fh:
+                fh.write(line)
+        except OSError as exc:
+            self._mirror = False
+            self.record("log_write_failed", path=str(self.path),
+                        error=str(exc))
 
     def record(self, kind: str, **fields: object) -> Dict:
         """Append one event; mirrors it to the JSON-lines file if set."""
@@ -142,9 +207,8 @@ class ResilienceLog:
         event.update(fields)
         self.events.append(event)
         self.counters.add(f"event.{kind}", 0.0, 0.0)
-        if self.path is not None:
-            with open(self.path, "a") as fh:
-                fh.write(json.dumps(event) + "\n")
+        if self._mirror and self.path is not None:
+            self._mirror_line(event)
         return event
 
     def count(self, kind: str) -> int:
@@ -154,6 +218,31 @@ class ResilienceLog:
     def to_json(self) -> str:
         """The full event list as a JSON array."""
         return json.dumps(self.events, indent=1)
+
+
+def read_event_log(path: Union[str, pathlib.Path]) -> List[Dict]:
+    """Parse a JSON-lines resilience log, skipping torn/corrupt lines.
+
+    A crash mid-append leaves a truncated final line (and the next
+    append may concatenate onto it); such lines fail to decode and are
+    dropped instead of failing the whole readback.  A missing file reads
+    as an empty log.
+    """
+    p = pathlib.Path(path)
+    out: List[Dict] = []
+    if not p.exists():
+        return out
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn by a mid-write crash; the survivors stand
+        if isinstance(event, dict):
+            out.append(event)
+    return out
 
 
 class RunSupervisor:
@@ -173,6 +262,13 @@ class RunSupervisor:
         self.log = ResilienceLog(self.config.log_path)
         self.total_retries = 0
         self.recovery_timer = Timer()
+        #: Run-wide recovery budget (None budget = unbounded).
+        self.retry_budget = RetryBudget(self.config.retry_budget)
+        #: Consecutive-fault breaker (threshold 0 = disabled).
+        self.breaker = CircuitBreaker(self.config.breaker_threshold)
+        #: Live per-segment deadline; grows by ``deadline_growth`` after
+        #: every deadline fault, so it can exceed ``config.deadline_s``.
+        self.deadline_s = self.config.deadline_s
 
     # ------------------------------------------------------------------ #
     def _checkpoint(self) -> None:
@@ -286,14 +382,19 @@ class RunSupervisor:
             seg_end = min(sim.step_count + cfg.checkpoint_every, target)
             try:
                 with trace_span("supervisor.segment", "md",
-                                start=sim.step_count, end=seg_end):
-                    while sim.step_count < seg_end:
-                        sim.md_step()
+                                start=sim.step_count, end=seg_end,
+                                deadline_s=self.deadline_s):
+                    with deadline_scope(self.deadline_s,
+                                        f"supervisor.segment@{seg_end}"):
+                        while sim.step_count < seg_end:
+                            sim.md_step()
                     self._checkpoint()
                 retries = 0
+                self.breaker.record_success()
             except RECOVERABLE as exc:
                 retries += 1
                 self.total_retries += 1
+                self.breaker.record_failure()
                 self.log.record(
                     "fault",
                     error=type(exc).__name__,
@@ -309,6 +410,38 @@ class RunSupervisor:
                         f"segment ending at step {seg_end} failed "
                         f"{retries} time(s): {exc}"
                     ) from exc
+                if not self.retry_budget.consume():
+                    self.log.record(
+                        "retry_budget_exhausted",
+                        step=sim.step_count,
+                        budget=cfg.retry_budget,
+                    )
+                    raise SupervisorAbort(
+                        f"run-wide retry budget of {cfg.retry_budget} "
+                        f"recoveries exhausted at step {sim.step_count}: {exc}"
+                    ) from exc
+                if self.breaker.open:
+                    self.log.record(
+                        "breaker_open",
+                        step=sim.step_count,
+                        consecutive=self.breaker.consecutive_failures,
+                        threshold=cfg.breaker_threshold,
+                    )
+                    raise SupervisorAbort(
+                        f"circuit breaker open after "
+                        f"{self.breaker.consecutive_failures} consecutive "
+                        f"fault(s) without a completed segment: {exc}"
+                    ) from exc
+                if (isinstance(exc, DeadlineExceeded)
+                        and self.deadline_s is not None
+                        and cfg.deadline_growth > 1.0):
+                    relaxed = self.deadline_s * cfg.deadline_growth
+                    self.log.record(
+                        "deadline_relaxed",
+                        budget_s=self.deadline_s,
+                        new_budget_s=relaxed,
+                    )
+                    self.deadline_s = relaxed
                 self.recovery_timer.start()
                 delay = self._backoff(retries)
                 self._maybe_degrade(retries, exc)

@@ -79,6 +79,17 @@ TUNED_LITERAL_KWARGS: Tuple[str, ...] = (
     "orb_block",
 )
 
+#: Modules under the bounded-waiting contract (PR-6 hang-aware
+#: execution): every potentially blocking primitive call must carry a
+#: timeout so a wedged worker can never block the parent forever --
+#: waits poll with a bound and re-check the armed deadline scope.
+LIVENESS_PATHS: Tuple[str, ...] = (
+    "repro/parallel/backends/",
+    "repro/parallel/executor.py",
+    "repro/resilience/liveness.py",
+    "repro/resilience/supervisor.py",
+)
+
 #: Narrowing dtype names: casting *to* one of these inside a kernel
 #: module silently loses precision (complex128 -> complex64, 64 -> 32).
 NARROWING_DTYPES: Tuple[str, ...] = (
@@ -170,6 +181,7 @@ DEFAULT_SEVERITIES: Mapping[str, str] = {
     "DCL008": "error",
     "DCL009": "error",
     "DCL010": "error",
+    "DCL011": "error",
 }
 
 _VALID_SEVERITIES = ("error", "warning", "note")
@@ -188,6 +200,7 @@ class LintConfig:
     dvol_paths: Tuple[str, ...] = DVOL_PATHS
     executor_paths: Tuple[str, ...] = EXECUTOR_PATHS
     tuning_literal_paths: Tuple[str, ...] = TUNING_LITERAL_PATHS
+    liveness_paths: Tuple[str, ...] = LIVENESS_PATHS
 
     def severity_for(self, code: str) -> str:
         """Effective severity of a rule after CLI overrides."""

@@ -555,6 +555,69 @@ class UntunedLiteral(Rule):
                     )
 
 
+class UnboundedBlocking(Rule):
+    """DCL011: blocking primitive call with no timeout on a liveness path.
+
+    The hang-aware execution layer (heartbeat watchdog, deadline
+    scopes) only works if the parent never parks itself in an
+    *unbounded* kernel wait: a bare ``future.result()`` /
+    ``queue.get()`` / ``thread.join()`` / ``event.wait()`` /
+    ``lock.acquire()`` behind a wedged worker blocks forever and no
+    watchdog can preempt it.  On the executor/supervisor/liveness
+    paths every such call must carry a bound (``timeout=`` or a
+    positional argument) and poll, re-checking the armed deadline
+    scope between rounds.  A ``while True:`` loop with no ``break`` or
+    ``return`` in its body is flagged for the same reason.
+    """
+
+    code = "DCL011"
+    name = "unbounded-blocking"
+    summary = "blocking call without a timeout (or while-True with no exit)"
+    paper_ref = "hang-aware execution: slow/stuck ranks dominate at scale"
+    scope_attr = "liveness_paths"
+
+    #: Method names that park the calling thread until an external
+    #: event.  Attribute calls only -- and only with *no* positional
+    #: arguments, which keeps ``d.get(key)`` / ``", ".join(xs)`` out.
+    _BLOCKING = ("acquire", "get", "join", "recv", "result", "wait")
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._BLOCKING
+                    and not node.args
+                    and not any(kw.arg == "timeout" for kw in node.keywords)
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f".{func.attr}() with no timeout blocks forever "
+                        f"behind a wedged worker; pass timeout= and poll, "
+                        f"re-checking check_deadline() between rounds "
+                        f"({self.paper_ref})",
+                    )
+            elif isinstance(node, ast.While):
+                test = node.test
+                if not (isinstance(test, ast.Constant) and test.value is True):
+                    continue
+                body_nodes = [
+                    n for stmt in node.body for n in ast.walk(stmt)
+                ]
+                if any(isinstance(n, (ast.Break, ast.Return))
+                       for n in body_nodes):
+                    continue
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"while True: with no break/return never terminates "
+                    f"on its own; bound the loop on a deadline, stop "
+                    f"event or retry budget ({self.paper_ref})",
+                )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     HotLoopAllocation(),
     DtypePromotionHazard(),
@@ -566,6 +629,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     MissingDvolWeight(),
     SerialRankLoop(),
     UntunedLiteral(),
+    UnboundedBlocking(),
 )
 
 

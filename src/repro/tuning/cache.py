@@ -10,10 +10,16 @@ so every cache entry stores (and every lookup re-checks) three keys:
   module the tunable declares in ``source_modules``; editing a kernel
   re-tunes.
 
-The cache file is plain JSON (schema ``repro-tuning/1``) written
-atomically (temp file + ``os.replace``) so a killed tuning run can never
-leave a half-written cache behind, mirroring the checkpointing
-discipline of :mod:`repro.core.checkpoint`.
+The cache file is plain JSON (schema ``repro-tuning/1``) written with
+the fsync'd same-directory atomic writer of
+:mod:`repro.resilience.atomicio` (honouring the ``cache.enospc`` and
+``cache.torn_write`` fault sites), so a killed tuning run -- or a full
+disk -- can never leave a half-written cache behind.  A cache that is
+nevertheless found truncated or corrupt on load (torn by an unclean
+writer, bit rot) is treated as *missing*: every lookup misses, the
+affected tunables re-tune, and the next ``save`` atomically replaces
+the corrupt file with a good one.  The corruption is surfaced on
+``load_error`` so callers can log it rather than silently re-tuning.
 """
 
 from __future__ import annotations
@@ -22,13 +28,13 @@ import hashlib
 import json
 import os
 import platform
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.resilience.atomicio import atomic_write_text
 from repro.tuning.registry import Tunable
 from repro.tuning.spaces import Params
 
@@ -132,6 +138,10 @@ class TuningCache:
     def __init__(self, path: Path = DEFAULT_CACHE_PATH) -> None:
         self.path = Path(path)
         self._entries: Dict[str, CacheEntry] = {}
+        #: Why the on-disk cache was unusable (None = loaded cleanly or
+        #: absent).  A truncated/corrupt file degrades to an empty cache
+        #: -- affected tunables re-tune and the next save heals the file.
+        self.load_error: Optional[str] = None
         self._load()
 
     def _load(self) -> None:
@@ -140,8 +150,9 @@ class TuningCache:
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (json.JSONDecodeError, OSError):
+        except (json.JSONDecodeError, OSError) as exc:
             # A corrupt cache is a missing cache, never a crash.
+            self.load_error = f"{type(exc).__name__}: {exc}"
             return
         if data.get("schema") != SCHEMA:
             return
@@ -152,26 +163,19 @@ class TuningCache:
                 continue
 
     def save(self) -> None:
-        """Write the cache atomically (temp file + rename)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        """Write the cache atomically (fsync'd same-dir temp + rename).
+
+        Honours the ``cache.enospc`` / ``cache.torn_write`` fault sites;
+        a failed write (disk full) raises ``OSError`` and leaves any
+        previous cache file byte-for-byte intact.
+        """
         payload = {
             "schema": SCHEMA,
             "entries": {tid: e.to_dict() for tid, e in
                         sorted(self._entries.items())},
         }
-        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
-                                   prefix=self.path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.write("\n")
-            os.replace(tmp, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(self.path, text, fault_prefix="cache")
 
     def get(self, tunable: Tunable,
             machine: Optional[str] = None) -> Optional[CacheEntry]:

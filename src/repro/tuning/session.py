@@ -60,6 +60,9 @@ class SessionResult:
     records: List[SessionRecord] = field(default_factory=list)
     machine: str = ""
     cache_path: str = ""
+    #: Why persisting the cache failed (None = saved or nothing to save).
+    #: Tuned winners still apply in-process; only the *next* run re-tunes.
+    cache_save_error: Optional[str] = None
 
     @property
     def cache_hits(self) -> int:
@@ -87,6 +90,7 @@ class SessionResult:
             "cache_hits": self.cache_hits,
             "tuned": self.tuned,
             "total_trials": self.total_trials,
+            "cache_save_error": self.cache_save_error,
             "records": [r.to_dict() for r in self.records],
         }
 
@@ -165,5 +169,11 @@ class TuningSession:
                     outcome=outcome,
                 ))
         if dirty:
-            self.cache.save()
+            try:
+                self.cache.save()
+            except OSError as exc:
+                # A full disk must not void the tuning that already ran:
+                # winners stay active in this process, the failure is
+                # reported, and the next session simply re-tunes.
+                result.cache_save_error = f"{type(exc).__name__}: {exc}"
         return result

@@ -1,0 +1,157 @@
+"""Chaos acceptance harness: mixed seeded faults, exact physics.
+
+One 20-step supervised trajectory on the process backend absorbs, in a
+single run, every fault class this repo can inject -- a worker crash, a
+wedged worker (healed by the heartbeat watchdog), a slow-but-alive
+worker (spared by the watchdog), a torn checkpoint archive (restored
+past via generation fallback), and a torn event-log line -- and must
+still reproduce the fault-free serial trajectory to <= 1e-12.
+
+The fault schedule is deterministic: an *empty* armed plan on the
+fault-free run counts site arrivals (an empty plan counts but never
+fires), and the chaos plan pins ``at_call`` indices inside those
+observed totals, so every injected fault provably fires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import DCMESHConfig, DCMESHSimulation
+from repro.core.timescale import TimescaleSplit
+from repro.grids.grid import Grid3D
+from repro.parallel.backends import ProcessBackend
+from repro.pseudo.elements import get_species
+from repro.resilience.faults import FaultPlan, FaultSpec, armed, disarm
+from repro.resilience.supervisor import RunSupervisor, SupervisorConfig
+
+NSTEPS = 20
+CHECKPOINT_EVERY = 5
+#: Injected wedge: long enough that only the watchdog explains survival.
+WEDGE_S = 30.0
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+def _make_sim(executor=None) -> DCMESHSimulation:
+    grid = Grid3D((12, 12, 12), (0.6,) * 3)
+    L = grid.lengths[0]
+    positions = np.array([[L / 4, L / 2, L / 2], [3 * L / 4, L / 2, L / 2]])
+    species = [get_species("H"), get_species("H")]
+    config = DCMESHConfig(
+        timescale=TimescaleSplit(dt_md=2.0, n_qd=4),
+        nscf=1, ncg=1, norb_extra=1, seed=42,
+    )
+    return DCMESHSimulation(
+        grid, (2, 1, 1), positions, species,
+        config=config, buffer_width=2, executor=executor,
+    )
+
+
+def _supervised_run(tmp_path, subdir, plan, hang_timeout=None,
+                    max_crash_retries=2):
+    with ProcessBackend(workers=2, seed=42,
+                        max_crash_retries=max_crash_retries,
+                        hang_timeout=hang_timeout) as ex:
+        sim = _make_sim(ex)
+        sup = RunSupervisor(
+            sim, tmp_path / subdir,
+            SupervisorConfig(
+                checkpoint_every=CHECKPOINT_EVERY,
+                log_path=tmp_path / f"{subdir}-events.jsonl",
+            ),
+        )
+        with armed(plan):
+            records = sup.run(NSTEPS)
+    return sim, sup, records
+
+
+def test_chaos_trajectory_matches_fault_free(tmp_path):
+    # ---- fault-free references: serial, and process (arrival probe). --
+    ref = _make_sim()
+    ref_records = ref.run(NSTEPS)
+
+    probe = FaultPlan([])  # counts arrivals, never fires
+    _, _, probe_records = _supervised_run(tmp_path, "probe", probe)
+    arrivals = dict(probe._calls)
+    # Sanity: the probe itself matches serial (backend equivalence).
+    np.testing.assert_allclose(
+        [r.band_energy for r in probe_records],
+        [r.band_energy for r in ref_records],
+        rtol=0.0, atol=1e-12,
+    )
+
+    # ---- the chaos schedule, pinned inside observed arrival totals. ---
+    nchunk = arrivals["executor.worker_crash"]  # one arrival per chunk
+    assert nchunk >= 10, arrivals
+    nckpt = arrivals["checkpoint.corrupt"]  # one arrival per write
+    assert nckpt >= NSTEPS // CHECKPOINT_EVERY, arrivals
+    plan = FaultPlan([
+        # A slow worker early: beats through its delay, must survive.
+        FaultSpec("executor.slow", at_call=nchunk // 8,
+                  payload={"seconds": 0.6}),
+        # A wedged worker at ~1/3: killed by the watchdog, chunk healed.
+        FaultSpec("executor.hang", at_call=nchunk // 3,
+                  payload={"seconds": WEDGE_S}),
+        # A hard crash at ~2/3: classic broken-pool heal.
+        FaultSpec("executor.worker_crash", at_call=(2 * nchunk) // 3),
+        # The middle checkpoint generation is published torn ...
+        FaultSpec("checkpoint.torn_write", at_call=nckpt // 2,
+                  payload={"keep_fraction": 0.5}),
+        # ... and a divergence in a later segment forces a restore,
+        # which must fall back past the torn generation.  One arrival
+        # per MD step, so index nckpt//2 * CHECKPOINT_EVERY + 2 lands
+        # in the segment after the torn write.
+        FaultSpec("qxmd.scf_diverge",
+                  at_call=(nckpt // 2) * CHECKPOINT_EVERY + 2),
+        # Telemetry loss must never touch physics.
+        FaultSpec("eventlog.torn_write", at_call=3),
+    ])
+
+    sim, sup, records = _supervised_run(tmp_path, "chaos", plan,
+                                        hang_timeout=1.0)
+
+    # ---- every fault class really fired ... ----
+    fired_sites = {site for site, _ in plan.fired}
+    assert fired_sites == {
+        "executor.slow", "executor.hang", "executor.worker_crash",
+        "checkpoint.torn_write", "qxmd.scf_diverge",
+        "eventlog.torn_write",
+    }, plan.fired
+    # ... and the recovery machinery it targets really engaged.
+    assert sim.executor.hangs_detected >= 1  # watchdog killed the wedge
+    assert sup.log.count("restore") >= 1  # supervisor replayed a segment
+    assert sup.log.count("corrupt_checkpoint") >= 1  # torn gen skipped
+    # The torn log line degrades the *file* mirror only: the in-memory
+    # record is complete and the surviving lines still parse.
+    from repro.resilience.supervisor import read_event_log
+
+    on_disk = read_event_log(tmp_path / "chaos-events.jsonl")
+    assert 0 < len(on_disk) < len(sup.log.events)
+
+    # ---- physics is exactly the fault-free trajectory. ----
+    assert len(records) == len(ref_records)
+    np.testing.assert_allclose(
+        [r.band_energy for r in records],
+        [r.band_energy for r in ref_records],
+        rtol=0.0, atol=1e-12,
+    )
+    np.testing.assert_allclose(
+        [r.temperature for r in records],
+        [r.temperature for r in ref_records],
+        rtol=0.0, atol=1e-12,
+    )
+    np.testing.assert_allclose(
+        sim.md_state.positions, ref.md_state.positions,
+        rtol=0.0, atol=1e-12,
+    )
+    np.testing.assert_allclose(
+        sim.md_state.velocities, ref.md_state.velocities,
+        rtol=0.0, atol=1e-12,
+    )

@@ -1,0 +1,154 @@
+"""Heartbeat watchdog: wedged workers heal like crashes, slow ones live.
+
+The ``executor.hang`` fault site wedges a worker mid-chunk *without*
+heartbeats (the watchdog's prey); ``executor.slow`` sleeps the same way
+but keeps beating (late but alive -- must survive).  A watchdog kill
+surfaces as a broken pool, so the existing crash-heal machinery
+resubmits the chunk and the map completes with correct results in far
+less than the wedge duration; exhaustion escalates as
+:class:`WorkerCrashError` exactly like repeated crashes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.backends import ProcessBackend
+from repro.parallel.backends.heartbeat import HeartbeatBoard
+from repro.parallel.executor import WorkerCrashError
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    armed,
+    disarm,
+)
+
+#: Injected wedge duration: long enough that only a watchdog kill can
+#: explain the map finishing quickly, short enough to bound a failure.
+WEDGE_S = 60.0
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+def _cube(x):
+    return x * x * x
+
+
+def test_hang_sites_registered():
+    assert "executor.hang" in KNOWN_SITES
+    assert "executor.slow" in KNOWN_SITES
+
+
+class TestHeartbeatBoard:
+    def test_beat_read_clear_roundtrip(self):
+        board = HeartbeatBoard.create(3)
+        try:
+            assert board.read(1) == 0.0
+            board.beat(1)
+            assert board.read(1) > 0.0
+            board.clear(1)
+            assert board.read(1) == 0.0
+        finally:
+            board.close()
+
+    def test_stalled_slots_semantics(self):
+        board = HeartbeatBoard.create(4)
+        try:
+            board.beat(0)  # fresh: not stalled
+            # slot 1 never started (queued): never stalled
+            board.beat(2)
+            time.sleep(0.05)
+            assert board.stalled_slots([0, 1, 2], hang_timeout=10.0) == []
+            assert board.stalled_slots([0, 1, 2], hang_timeout=0.02) == [0, 2]
+        finally:
+            board.close()
+
+    def test_attach_sees_owner_beats(self):
+        board = HeartbeatBoard.create(2)
+        try:
+            other = HeartbeatBoard.attach(board.name, 2)
+            other.beat(1)
+            assert board.read(1) > 0.0
+            other.close()  # worker side: detach only, no unlink
+            board.beat(0)  # segment must still be alive
+        finally:
+            board.close()
+
+    def test_create_rejects_empty_board(self):
+        with pytest.raises(ValueError):
+            HeartbeatBoard.create(0)
+
+
+class TestWatchdog:
+    def test_hang_heals_within_timeout_not_wedge(self):
+        """A 60s wedge heals in ~hang_timeout, with correct results."""
+        items = list(range(6))
+        plan = FaultPlan([FaultSpec("executor.hang", at_call=1,
+                                    payload={"seconds": WEDGE_S})])
+        with armed(plan):
+            with ProcessBackend(workers=2, seed=0, max_crash_retries=2,
+                                hang_timeout=1.0) as ex:
+                t0 = time.monotonic()
+                out = ex.map(_cube, items, label="hangmap")
+                wall = time.monotonic() - t0
+        assert out == [i ** 3 for i in items]
+        assert wall < WEDGE_S / 4  # healed by the watchdog, not the wedge
+        assert ex.hangs_detected >= 1
+        assert ex.live_workers >= 1  # degraded like a crash
+        assert plan.fired == [("executor.hang", 1)]
+
+    def test_slow_worker_survives_watchdog(self):
+        """A beating-but-late worker must never be killed."""
+        items = list(range(4))
+        plan = FaultPlan([FaultSpec("executor.slow", at_call=0,
+                                    payload={"seconds": 1.2})])
+        with armed(plan):
+            with ProcessBackend(workers=2, seed=0,
+                                hang_timeout=0.5) as ex:
+                out = ex.map(_cube, items, label="slowmap")
+        assert out == [i ** 3 for i in items]
+        assert ex.hangs_detected == 0
+        assert ex.live_workers == 2  # nobody was killed
+        assert plan.fired == [("executor.slow", 0)]
+
+    def test_repeated_hangs_escalate_as_worker_crash_error(self):
+        """Hangs exhaust the same retry budget as crashes."""
+        plan = FaultPlan([FaultSpec("executor.hang", at_call=0, count=50,
+                                    payload={"seconds": WEDGE_S})])
+        with armed(plan):
+            with ProcessBackend(workers=2, seed=0, max_crash_retries=1,
+                                hang_timeout=0.5) as ex:
+                with pytest.raises(WorkerCrashError) as ei:
+                    ex.map(_cube, list(range(4)), label="doomed")
+        assert ei.value.crashes == 2
+        assert ex.hangs_detected >= 2
+
+    def test_disarmed_watchdog_runs_clean(self):
+        """hang_timeout=None: no board, no thread, identical results."""
+        with ProcessBackend(workers=2, seed=0) as ex:
+            assert ex.map(_cube, list(range(5))) == [i ** 3 for i in range(5)]
+            assert ex.hangs_detected == 0
+
+    def test_hang_timeout_validation(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=2, hang_timeout=0.0)
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=2, hang_timeout=-1.0)
+
+    def test_results_identical_with_and_without_watchdog(self):
+        items = list(range(8))
+        with ProcessBackend(workers=2, seed=7) as plain:
+            ref = plain.map(_cube, items)
+        with ProcessBackend(workers=2, seed=7, hang_timeout=5.0) as armed_ex:
+            out = armed_ex.map(_cube, items)
+        assert out == ref
+        assert armed_ex.hangs_detected == 0

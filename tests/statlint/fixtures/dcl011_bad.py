@@ -1,0 +1,23 @@
+"""Known-bad fixture for DCL011: unbounded blocking on liveness paths."""
+
+import queue
+import threading
+
+
+def drain(q: queue.Queue, worker: threading.Thread):
+    """Bare blocking calls: each parks forever behind a wedged worker."""
+    item = q.get()  # finding 1
+    worker.join()  # finding 2
+    return item
+
+
+def gather(futures, done_event: threading.Event):
+    """Future/event waits with no bound cannot be preempted."""
+    done_event.wait()  # finding 3
+    return [f.result() for f in futures]  # finding 4
+
+
+def spin(board):
+    """A while-True with no break/return never terminates on its own."""
+    while True:  # finding 5
+        board.poll()

@@ -1,0 +1,35 @@
+"""Known-good fixture for DCL011: every wait is bounded, loops can exit."""
+
+import queue
+import threading
+
+from repro.resilience.liveness import check_deadline
+
+
+def drain(q: queue.Queue, worker: threading.Thread):
+    """Bounded waits: a timeout turns a hang into a polled retry."""
+    item = q.get(timeout=1.0)
+    worker.join(timeout=5.0)
+    return item
+
+
+def gather(futures, done_event: threading.Event):
+    """Poll with a bound, re-checking the armed deadline between rounds."""
+    while not done_event.wait(timeout=0.05):
+        check_deadline("gather")
+    return [f.result(timeout=0) for f in futures]
+
+
+def lookups(d, parts):
+    """Positional-argument forms are not blocking primitives."""
+    value = d.get("key")
+    joined = ", ".join(parts)
+    return value, joined
+
+
+def spin(board, stop: threading.Event):
+    """A while-True that can break (or return) bounds itself."""
+    while True:
+        if stop.wait(timeout=0.1):
+            break
+        board.poll()

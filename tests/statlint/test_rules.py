@@ -24,6 +24,7 @@ CASES = {
     "DCL008": ("dcl008", "src/repro/qxmd/fixture.py", 2),
     "DCL009": ("dcl009", "src/repro/qxmd/dftsolver.py", 3),
     "DCL010": ("dcl010", "src/repro/core/fixture.py", 3),
+    "DCL011": ("dcl011", "src/repro/parallel/backends/fixture.py", 5),
 }
 
 
@@ -67,6 +68,7 @@ def test_scoped_rules_skip_out_of_scope_paths(code):
 def test_rule_registry_complete():
     assert rule_codes() == tuple(f"DCL00{i}" for i in range(1, 10)) + (
         "DCL010",
+        "DCL011",
     )
     for rule in ALL_RULES:
         assert rule.summary
