@@ -7,6 +7,7 @@ Subcommands::
     repro-mesh scaling [...]             # Figs. 2-3 scaling tables
     repro-mesh spectrum [...]            # delta-kick absorption spectrum
     repro-mesh tune [...]                # correctness-gated autotuning
+    repro-mesh ensemble [...]            # batched FSSH trajectory swarms
 
 Every subcommand is also importable (``from repro.cli import main``) and
 returns a process exit code, so it is unit-testable without spawning
@@ -315,6 +316,138 @@ def _spectrum_body(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    tracer = _install_tracer(args)
+    try:
+        _install_profile(args)
+        return _ensemble_body(args)
+    finally:
+        _finish_tracer(args, tracer)
+
+
+def _ensemble_body(args: argparse.Namespace) -> int:
+    from repro.ensemble import EnsembleConfig, EnsembleRun, model_path
+    from repro.qxmd.sh_kernels import HopPolicy
+
+    policy = HopPolicy(
+        hop_rescale=args.hop_rescale,
+        hop_reject=args.hop_reject,
+        dec_correction=None if args.decoherence == "none" else args.decoherence,
+        edc_parameter=args.edc_parameter,
+    )
+    path = model_path(nsteps=args.nsteps, nstates=args.nstates,
+                      dt=args.dt, seed=args.path_seed,
+                      coupling=args.coupling)
+    config = EnsembleConfig(
+        ntraj=args.ntraj,
+        istate=args.istate,
+        seed=args.seed,
+        substeps=args.substeps,
+        policy=policy,
+        batch_size=args.batch_size,
+    )
+    extras = {}
+    if args.hang_timeout is not None and args.backend == "process":
+        extras["hang_timeout"] = args.hang_timeout
+    run = EnsembleRun(path, config, backend=args.backend,
+                      workers=args.workers, round_size=args.round_size,
+                      **extras)
+    try:
+        return _ensemble_drive(args, run)
+    finally:
+        run.close()
+
+
+def _ensemble_drive(args: argparse.Namespace, run) -> int:
+    from repro.resilience.liveness import deadline_scope
+
+    print(f"ensemble: {run.config.ntraj} trajectories x "
+          f"{run.path.nsteps} steps, {run.path.nstates} states, "
+          f"batch_size={run.batch_size} "
+          f"({len(run.batches)} batches, round_size={run.round_size})")
+    p = run.config.policy
+    print(f"hop policy: rescale={p.hop_rescale}, reject={p.hop_reject}, "
+          f"decoherence={p.dec_correction or 'off'}"
+          + (f" (C={p.edc_parameter:g} Ha)"
+             if p.dec_correction == "edc" else ""))
+
+    if args.restart:
+        from repro.resilience.checkpointing import (
+            CheckpointCorruptError,
+            restore_newest_verified,
+        )
+
+        try:
+            path, _, skipped = restore_newest_verified(run, args.restart)
+        except CheckpointCorruptError as exc:
+            print(f"error: cannot resume from {args.restart}: {exc}")
+            return 1
+        for bad in skipped:
+            print(f"warning: skipped corrupt checkpoint {bad.name}")
+        print(f"resumed from {path.name}: "
+              f"{int(run.done.sum())}/{len(run.batches)} batches done")
+
+    rounds = run.rounds_remaining
+    if args.stop_after is not None:
+        rounds = min(rounds, args.stop_after)
+
+    if args.checkpoint_every > 0:
+        from repro.resilience.supervisor import RunSupervisor, SupervisorConfig
+
+        supervisor = RunSupervisor(
+            run,
+            args.checkpoint_dir,
+            SupervisorConfig(
+                checkpoint_every=args.checkpoint_every,
+                max_retries=args.max_retries,
+                log_path=args.resilience_log,
+                deadline_s=args.deadline,
+            ),
+        )
+        print(f"supervised: checkpoint every {args.checkpoint_every} "
+              f"round(s) -> {args.checkpoint_dir}")
+        supervisor.run(rounds)
+    else:
+        with deadline_scope(args.deadline, "cli.ensemble"):
+            for _ in range(rounds):
+                run.md_step()
+
+    if not run.complete:
+        print(f"stopped early: {int(run.done.sum())}/{len(run.batches)} "
+              f"batches done (resume with --restart)")
+        return 0
+
+    result = run.result()
+    stats = result.stats
+    every = args.print_every or max(1, run.path.nsteps // 10)
+    hdr = "  ".join(f"p{k}(mean+-se)" for k in range(run.path.nstates))
+    print(f"step  {hdr}  coherence  active-hist")
+    for s in range(0, run.path.nsteps, every):
+        pops = "  ".join(
+            f"{stats.pop_mean[s, k]:.4f}+-{stats.pop_stderr[s, k]:.4f}"
+            for k in range(run.path.nstates)
+        )
+        hist = "/".join(str(int(c)) for c in stats.active_counts[s])
+        print(f"{s:4d}  {pops}  "
+              f"{stats.coherence_mean[s]:.4f}+-{stats.coherence_stderr[s]:.4f}"
+              f"  {hist}")
+    print(f"total hops: {int(result.hops.sum())} "
+          f"(mean {result.hops.mean():.2f}/trajectory)")
+    if args.out:
+        np.savez(
+            args.out,
+            pop_mean=stats.pop_mean,
+            pop_stderr=stats.pop_stderr,
+            active_fraction=stats.active_fraction,
+            active_counts=stats.active_counts,
+            coherence_mean=stats.coherence_mean,
+            coherence_stderr=stats.coherence_stderr,
+            hops=result.hops,
+        )
+        print(f"statistics written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the repro-mesh argument parser (see module doc)."""
     parser = argparse.ArgumentParser(
@@ -430,6 +563,89 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a Chrome trace-event JSON of the tuning "
                            "run")
     tune.set_defaults(func=_cmd_tune)
+
+    ens = sub.add_parser(
+        "ensemble",
+        help="batched FSSH trajectory-swarm ensemble over a classical path",
+    )
+    ens.add_argument("--ntraj", type=int, default=32,
+                     help="ensemble size (trajectories)")
+    ens.add_argument("--nsteps", type=int, default=50,
+                     help="MD steps of the classical path")
+    ens.add_argument("--nstates", type=int, default=4,
+                     help="adiabatic states of the model path")
+    ens.add_argument("--dt", type=float, default=1.0, help="MD step (a.u.)")
+    ens.add_argument("--path-seed", type=int, default=7,
+                     help="seed of the synthetic classical path")
+    ens.add_argument("--coupling", type=float, default=0.08,
+                     help="nonadiabatic coupling scale of the model path")
+    ens.add_argument("--seed", type=int, default=2024,
+                     help="ensemble seed; trajectory i draws from the "
+                          "(seed, i) stream on every backend")
+    ens.add_argument("--istate", type=int, default=None,
+                     help="initial active state (default: highest)")
+    ens.add_argument("--substeps", type=int, default=20,
+                     help="electronic RK4 sub-steps per MD step")
+    ens.add_argument("--batch-size", type=int, default=None,
+                     help="trajectories per swarm batch (default: the "
+                          "ensemble.swarm tunable, 32 untuned)")
+    ens.add_argument("--hop-rescale", choices=("energy", "augment", "none"),
+                     default="energy",
+                     help="velocity handling after accepted hops "
+                          "(unixmd hop_rescale; 'none' = classical-path "
+                          "approximation)")
+    ens.add_argument("--hop-reject", choices=("keep", "reverse"),
+                     default="keep",
+                     help="frustrated-hop velocity policy (unixmd "
+                          "hop_reject)")
+    ens.add_argument("--decoherence", choices=("none", "edc"),
+                     default="none",
+                     help="decoherence correction (unixmd dec_correction)")
+    ens.add_argument("--edc-parameter", type=float, default=0.1,
+                     help="EDC energy constant C in Ha (unixmd default 0.1)")
+    ens.add_argument("--backend", choices=("serial", "thread", "process"),
+                     default=None,
+                     help="executor backend for batch fan-out (results are "
+                          "bit-identical on all three; default: tuning "
+                          "profile, serial untuned)")
+    ens.add_argument("--workers", type=int, default=None,
+                     help="worker count for thread/process backends")
+    ens.add_argument("--round-size", type=int, default=None,
+                     help="batches per supervisable round (default: "
+                          "worker count)")
+    ens.add_argument("--hang-timeout", type=float, default=None,
+                     help="process-backend heartbeat watchdog timeout")
+    ens.add_argument("--deadline", type=float, default=None,
+                     help="wall-clock budget in seconds: per round under "
+                          "--checkpoint-every, whole run otherwise")
+    ens.add_argument("--checkpoint-every", type=int, default=0,
+                     help="supervise the ensemble, checkpointing the "
+                          "partial swarm every N rounds (0 = off)")
+    ens.add_argument("--checkpoint-dir", default="checkpoints",
+                     help="directory for rotating partial-ensemble "
+                          "checkpoints")
+    ens.add_argument("--max-retries", type=int, default=3,
+                     help="max replays of a failed round before aborting")
+    ens.add_argument("--resilience-log",
+                     help="write supervisor events to this JSON-lines file")
+    ens.add_argument("--restart",
+                     help="resume a partial ensemble from this checkpoint "
+                          "rotation directory")
+    ens.add_argument("--stop-after", type=int, default=None,
+                     help="stop after N rounds even if batches remain "
+                          "(checkpointed partial ensembles resume with "
+                          "--restart)")
+    ens.add_argument("--print-every", type=int, default=None,
+                     help="print streaming statistics every N steps "
+                          "(default: ~10 lines)")
+    ens.add_argument("--out", help="write per-step ensemble statistics to "
+                                   "this .npz")
+    ens.add_argument("--trace-out",
+                     help="write a Chrome trace-event JSON of this run")
+    ens.add_argument("--tuning-profile",
+                     help="activate a tuned parameter profile written by "
+                          "'tune --profile-out'")
+    ens.set_defaults(func=_cmd_ensemble)
     return parser
 
 

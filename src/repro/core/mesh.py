@@ -41,6 +41,7 @@ from repro.qxmd.dftsolver import DCResult, GlobalDCSolver
 from repro.qxmd.forces import ForceCalculator
 from repro.qxmd.md import MDState, kinetic_energy, temperature
 from repro.qxmd.nac import nonadiabatic_couplings
+from repro.qxmd.sh_kernels import HopPolicy
 from repro.qxmd.surface_hopping import FSSH, SurfaceHoppingState
 
 
@@ -62,6 +63,7 @@ class DCMESHConfig:
     include_nonlocal_forces: bool = True
     conserve_charge: bool = True
     decoherence_c: Optional[float] = None
+    hop_policy: Optional["HopPolicy"] = None
     seed: int = 1234
 
     def __post_init__(self) -> None:
@@ -206,7 +208,10 @@ class DCMESHSimulation:
         self.device = device
         self.ledger = ShadowLedger(device.transfer if device is not None else None)
         self.rng = np.random.default_rng(self.config.seed)
-        self.fssh = FSSH(self.rng, decoherence_c=self.config.decoherence_c)
+        if self.config.hop_policy is not None:
+            self.fssh = FSSH(self.rng, policy=self.config.hop_policy)
+        else:
+            self.fssh = FSSH(self.rng, decoherence_c=self.config.decoherence_c)
         self.carriers: Dict[int, List[SurfaceHoppingState]] = {}
 
         masses = np.array([sp.mass for sp in self.species])
@@ -353,6 +358,9 @@ class DCMESHSimulation:
                     hops += 1
                     st_new.occupations[old_active] -= 1.0
                     st_new.occupations[carrier.active] += 1.0
+                # The scale also carries frustrated-hop policy: -1.0
+                # reverses the velocities under hop_reject="reverse".
+                if scale != 1.0:
                     self.md_state.velocities *= scale
         return hops
 

@@ -1,0 +1,162 @@
+"""Classical paths: the precomputed nuclear data a swarm rides on.
+
+The classical-path approximation (CPA, ported from unixmd's ``cpa``
+driver family) decouples the stochastic electronic dynamics from the
+nuclear propagation: one representative nuclear trajectory supplies the
+time series of adiabatic energies, nonadiabatic couplings and kinetic
+energy, and every swarm member re-runs only the cheap electronic
+subsystem (amplitudes + hops) on top of it.  That is what makes
+thousand-trajectory ensembles affordable -- and what makes the ensemble
+engine testable, because the nuclear data is bitwise identical for
+every trajectory, batch size and backend.
+
+Two sources of paths:
+
+* :func:`model_path` -- a seeded synthetic avoided-crossing model, used
+  by the test harness, the golden-ensemble fixture and the benchmarks;
+* :func:`path_from_simulation` -- harvested from a live
+  :class:`~repro.core.mesh.DCMESHSimulation`, coupling the ensemble
+  engine to the real DC-MESH electronic structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.mesh import DCMESHSimulation
+
+
+@dataclass(frozen=True)
+class ClassicalPath:
+    """Precomputed per-step electronic/nuclear data for a swarm.
+
+    Attributes
+    ----------
+    energies:
+        Adiabatic state energies, shape ``(nsteps, nstates)``.
+    nac:
+        Nonadiabatic coupling matrices, shape
+        ``(nsteps, nstates, nstates)``, anti-Hermitian per step.
+    kinetic:
+        Nuclear kinetic energy per step, shape ``(nsteps,)``.  Each
+        trajectory sees ``kinetic[s] * ke_factor`` where its private
+        ``ke_factor`` accumulates the velocity rescales of its hops.
+    dt:
+        MD time step (atomic units).
+    """
+
+    energies: np.ndarray
+    nac: np.ndarray
+    kinetic: np.ndarray
+    dt: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "energies",
+                           np.asarray(self.energies, dtype=np.float64))
+        object.__setattr__(self, "nac",
+                           np.asarray(self.nac, dtype=np.complex128))
+        object.__setattr__(self, "kinetic",
+                           np.asarray(self.kinetic, dtype=np.float64))
+        if self.energies.ndim != 2:
+            raise ValueError("energies must have shape (nsteps, nstates)")
+        nsteps, nstates = self.energies.shape
+        if nsteps < 1 or nstates < 2:
+            raise ValueError("a path needs >= 1 step and >= 2 states")
+        if self.nac.shape != (nsteps, nstates, nstates):
+            raise ValueError("nac shape does not match energies")
+        if self.kinetic.shape != (nsteps,):
+            raise ValueError("kinetic shape does not match energies")
+        if np.any(self.kinetic < 0):
+            raise ValueError("kinetic energies must be non-negative")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+
+    @property
+    def nsteps(self) -> int:
+        return self.energies.shape[0]
+
+    @property
+    def nstates(self) -> int:
+        return self.energies.shape[1]
+
+
+def model_path(
+    nsteps: int,
+    nstates: int = 4,
+    dt: float = 1.0,
+    seed: int = 7,
+    coupling: float = 0.02,
+) -> ClassicalPath:
+    """A seeded synthetic path with slowly breathing gaps and couplings.
+
+    State energies oscillate around an evenly spaced ladder (so gaps
+    periodically narrow, avoided-crossing style), the NAC is a smooth
+    real antisymmetric matrix of magnitude ``coupling``, and the kinetic
+    energy undulates around 0.3 Ha -- large enough that downward hops
+    dominate but some upward hops are frustrated, exercising every
+    branch of the hop policies.  Fully determined by the arguments.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence((0x9A7, seed)))
+    t = np.arange(nsteps) * dt
+    ladder = np.linspace(0.0, 0.1 * (nstates - 1), nstates)
+    freq = rng.uniform(0.002, 0.01, size=nstates)
+    phase = rng.uniform(0.0, 2.0 * np.pi, size=nstates)
+    energies = ladder[None, :] + 0.03 * np.sin(
+        freq[None, :] * t[:, None] + phase[None, :]
+    )
+    amp = rng.uniform(0.3, 1.0, size=(nstates, nstates)) * coupling
+    wij = rng.uniform(0.005, 0.02, size=(nstates, nstates))
+    pij = rng.uniform(0.0, 2.0 * np.pi, size=(nstates, nstates))
+    b = amp[None, :, :] * np.sin(
+        wij[None, :, :] * t[:, None, None] + pij[None, :, :]
+    )
+    nac = (b - np.swapaxes(b, 1, 2)).astype(np.complex128)
+    kinetic = 0.3 + 0.1 * np.sin(0.01 * t + rng.uniform(0, 2 * np.pi))
+    return ClassicalPath(energies=energies, nac=nac, kinetic=kinetic, dt=dt)
+
+
+def path_from_simulation(
+    sim: "DCMESHSimulation",
+    nsteps: int,
+    nstates: int,
+    alpha: int = 0,
+) -> ClassicalPath:
+    """Harvest a classical path from ``nsteps`` MD steps of a live sim.
+
+    Advances ``sim`` (mutating it) and records, per step, the lowest
+    ``nstates`` adiabatic eigenvalues of domain ``alpha``, the matching
+    NAC block between consecutive steps, and the nuclear kinetic energy.
+    This is the CPA sampling stage: run the expensive DC-MESH dynamics
+    once, then relax an arbitrarily large swarm on the recorded data.
+    """
+    from repro.qxmd.md import kinetic_energy
+    from repro.qxmd.nac import nonadiabatic_couplings
+
+    if nsteps < 1:
+        raise ValueError("nsteps must be positive")
+    dt = sim.config.timescale.dt_md
+    energies = np.empty((nsteps, nstates), dtype=np.float64)
+    nac = np.empty((nsteps, nstates, nstates), dtype=np.complex128)
+    kinetic = np.empty(nsteps, dtype=np.float64)
+    prev_wf = sim.dc.states[alpha].wf.copy()
+    if prev_wf.norb < nstates:
+        raise ValueError(
+            f"domain {alpha} has {prev_wf.norb} orbitals < {nstates} states"
+        )
+    for s in range(nsteps):
+        sim.md_step()
+        st = sim.dc.states[alpha]
+        if st.wf.norb != prev_wf.norb:
+            raise RuntimeError(
+                "orbital count changed mid-harvest; cannot build NAC"
+            )
+        energies[s] = st.eigenvalues[:nstates]
+        full = nonadiabatic_couplings(prev_wf, st.wf, dt)
+        nac[s] = full[:nstates, :nstates]
+        kinetic[s] = kinetic_energy(sim.md_state)
+        prev_wf = st.wf.copy()
+    return ClassicalPath(energies=energies, nac=nac, kinetic=kinetic, dt=dt)

@@ -1,0 +1,131 @@
+"""Ensemble statistics and the two-sample tests of the validation harness.
+
+The observables the paper's QXMD section averages over trajectories --
+state populations, active-state (surface) fractions, electronic
+coherence -- are computed here from the stacked per-step traces the
+engine assembles, and compared across implementations with a two-sample
+Kolmogorov-Smirnov test plus a stderr-overlap criterion (both
+self-contained; no SciPy dependence on this path).
+
+Coherence is reported as the linear entropy ``1 - sum_k p_k^2`` of each
+trajectory's population vector: 0 for a fully collapsed (pure-state)
+carrier, approaching ``1 - 1/nstates`` for maximal spreading.  The EDC
+correction exists precisely to pull this down between hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EnsembleStats:
+    """Per-step ensemble summary statistics.
+
+    All arrays are indexed by MD step; ``pop_*`` and
+    ``active_fraction`` additionally by adiabatic state.
+    """
+
+    pop_mean: np.ndarray          # (nsteps, nstates)
+    pop_stderr: np.ndarray        # (nsteps, nstates)
+    active_fraction: np.ndarray   # (nsteps, nstates)
+    active_counts: np.ndarray     # (nsteps, nstates) int
+    coherence_mean: np.ndarray    # (nsteps,)
+    coherence_stderr: np.ndarray  # (nsteps,)
+    ntraj: int
+
+
+def compute_stats(populations: np.ndarray, actives: np.ndarray) -> EnsembleStats:
+    """Summarize stacked traces ``(nsteps, ntraj, nstates)`` / ``(nsteps, ntraj)``.
+
+    Deterministic given its inputs; because the engine assembles the
+    stacked traces in trajectory order regardless of batch size or
+    backend, the statistics are invariant to how the swarm was chunked.
+    """
+    populations = np.asarray(populations, dtype=np.float64)
+    actives = np.asarray(actives)
+    if populations.ndim != 3:
+        raise ValueError("populations must have shape (nsteps, ntraj, nstates)")
+    nsteps, ntraj, nstates = populations.shape
+    if actives.shape != (nsteps, ntraj):
+        raise ValueError("actives shape does not match populations")
+    if ntraj < 1:
+        raise ValueError("need at least one trajectory")
+    pop_mean = populations.mean(axis=1)
+    coherence = 1.0 - np.sum(populations**2, axis=2)   # (nsteps, ntraj)
+    coherence_mean = coherence.mean(axis=1)
+    if ntraj > 1:
+        pop_stderr = populations.std(axis=1, ddof=1) / np.sqrt(ntraj)
+        coherence_stderr = coherence.std(axis=1, ddof=1) / np.sqrt(ntraj)
+    else:
+        pop_stderr = np.zeros_like(pop_mean)
+        coherence_stderr = np.zeros_like(coherence_mean)
+    counts = np.zeros((nsteps, nstates), dtype=np.int64)
+    for k in range(nstates):
+        counts[:, k] = np.sum(actives == k, axis=1)
+    return EnsembleStats(
+        pop_mean=pop_mean,
+        pop_stderr=pop_stderr,
+        active_fraction=counts / float(ntraj),
+        active_counts=counts,
+        coherence_mean=coherence_mean,
+        coherence_stderr=coherence_stderr,
+        ntraj=ntraj,
+    )
+
+
+def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic sup |ECDF_a - ECDF_b|."""
+    a = np.sort(np.asarray(a, dtype=np.float64).ravel())
+    b = np.sort(np.asarray(b, dtype=np.float64).ravel())
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def ks_pvalue(d: float, n: int, m: int) -> float:
+    """Asymptotic two-sample KS p-value (Kolmogorov Q with the
+    Stephens small-sample correction)."""
+    if n < 1 or m < 1:
+        raise ValueError("sample sizes must be positive")
+    en = np.sqrt(n * m / float(n + m))
+    lam = (en + 0.12 + 0.11 / en) * d
+    if lam <= 0:
+        return 1.0
+    total = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * np.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return float(min(max(total, 0.0), 1.0))
+
+
+def ks_test(a: np.ndarray, b: np.ndarray) -> "tuple[float, float]":
+    """Two-sample KS statistic and asymptotic p-value."""
+    d = ks_statistic(a, b)
+    return d, ks_pvalue(d, np.asarray(a).size, np.asarray(b).size)
+
+
+def stderr_overlap(
+    mean_a: np.ndarray,
+    stderr_a: np.ndarray,
+    mean_b: np.ndarray,
+    stderr_b: np.ndarray,
+    nsigma: float = 3.0,
+) -> bool:
+    """Whether two mean traces agree within combined standard errors.
+
+    Elementwise ``|mean_a - mean_b| <= nsigma * sqrt(se_a^2 + se_b^2)``
+    (with a tiny absolute floor so identical zero-variance traces pass),
+    reduced over all elements.
+    """
+    tol = nsigma * np.sqrt(
+        np.asarray(stderr_a) ** 2 + np.asarray(stderr_b) ** 2
+    ) + 1e-12
+    return bool(np.all(np.abs(np.asarray(mean_a) - np.asarray(mean_b)) <= tol))

@@ -14,6 +14,7 @@ from repro.qxmd.cg import cg_eigensolve, rayleigh_quotients
 from repro.qxmd.scf import SCFConfig, SCFResult, scf_solve
 from repro.qxmd.dftsolver import DomainSolver, GlobalDCSolver, DCResult
 from repro.qxmd.nac import nonadiabatic_couplings, align_phases
+from repro.qxmd.sh_kernels import HopPolicy
 from repro.qxmd.surface_hopping import FSSH, SurfaceHoppingState
 from repro.qxmd.forces import ForceCalculator, ForceBreakdown
 from repro.qxmd.md import VelocityVerlet, MDState, kinetic_energy, temperature
@@ -39,6 +40,7 @@ __all__ = [
     "nonadiabatic_couplings",
     "align_phases",
     "FSSH",
+    "HopPolicy",
     "SurfaceHoppingState",
     "ForceCalculator",
     "ForceBreakdown",

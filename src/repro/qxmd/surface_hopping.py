@@ -8,6 +8,11 @@ occupation numbers that shape the excited-state energy landscape.  Hops
 upward in energy are accepted only when the nuclear kinetic energy can
 pay for them (velocity-rescaling criterion); the rescale factor is
 returned to the MD driver.
+
+All floating-point arithmetic lives in :mod:`repro.qxmd.sh_kernels` and
+runs here on single-row ``(1, nstates)`` views.  The ensemble engine
+calls the same kernels on ``(ntraj, nstates)`` stacks, which is what
+makes a batch-extracted trajectory bit-identical to this class.
 """
 
 from __future__ import annotations
@@ -17,7 +22,15 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.constants import HBAR
+from repro.qxmd.sh_kernels import (
+    HopPolicy,
+    apply_edc_batch,
+    batched_norm,
+    hop_probabilities_batch,
+    propagate_amplitudes_batch,
+    resolve_hops,
+    select_hops,
+)
 
 
 @dataclass
@@ -29,10 +42,18 @@ class SurfaceHoppingState:
 
     def __post_init__(self) -> None:
         self.amplitudes = np.asarray(self.amplitudes, dtype=np.complex128)
+        if self.amplitudes.ndim != 1:
+            # Normalize-on-construct would silently rescale every row of a
+            # stacked array by the *global* norm, hiding zero-amplitude
+            # rows; batches belong in repro.ensemble.SwarmState.
+            raise ValueError(
+                "SurfaceHoppingState holds one carrier (1-D amplitudes); "
+                "use repro.ensemble.SwarmState for stacked trajectories"
+            )
         n = self.amplitudes.size
         if not (0 <= self.active < n):
             raise ValueError("active state out of range")
-        norm = np.linalg.norm(self.amplitudes)
+        norm = float(batched_norm(self.amplitudes[None, :])[0])
         if norm == 0:
             raise ValueError("zero amplitude vector")
         self.amplitudes = self.amplitudes / norm
@@ -72,6 +93,15 @@ class FSSH:
         Random generator for hop decisions (explicit for reproducibility).
     substeps:
         Electronic sub-steps per MD step for amplitude integration (RK4).
+    decoherence_c:
+        Legacy shorthand: energy-based decoherence constant (Ha) of the
+        Granucci-Persico correction; ``None`` disables it.  Equivalent
+        to ``policy=HopPolicy(dec_correction="edc", edc_parameter=...)``.
+    policy:
+        Full unixmd-style hopping knob set (velocity rescaling,
+        frustrated-hop handling, decoherence).  Mutually exclusive with
+        ``decoherence_c``; defaults to the historical behaviour
+        (``hop_rescale="energy"``, ``hop_reject="keep"``, no decoherence).
     """
 
     def __init__(
@@ -79,27 +109,33 @@ class FSSH:
         rng: np.random.Generator,
         substeps: int = 20,
         decoherence_c: Optional[float] = None,
+        policy: Optional[HopPolicy] = None,
     ) -> None:
-        """``decoherence_c``: energy-based decoherence constant (Ha) of
-        the Granucci-Persico correction; ``None`` disables it.  The
-        conventional value is 0.1 Ha."""
         if substeps < 1:
             raise ValueError("substeps must be positive")
-        if decoherence_c is not None and decoherence_c < 0:
-            raise ValueError("decoherence_c must be non-negative")
+        if decoherence_c is not None:
+            if policy is not None:
+                raise ValueError(
+                    "pass either decoherence_c or policy, not both"
+                )
+            if decoherence_c < 0:
+                raise ValueError("decoherence_c must be non-negative")
+            policy = HopPolicy(dec_correction="edc",
+                               edc_parameter=decoherence_c)
         self.rng = rng
         self.substeps = substeps
-        self.decoherence_c = decoherence_c
+        self.policy = policy if policy is not None else HopPolicy()
         self.events: List[HopEvent] = []
         self._step_count = 0
 
-    # ------------------------------------------------------------------ #
-    def _derivative(
-        self, c: np.ndarray, energies: np.ndarray, nac: np.ndarray
-    ) -> np.ndarray:
-        """dc/dt = -(i/hbar) E c - D c (D = NAC matrix, anti-Hermitian)."""
-        return (-1j / HBAR) * energies * c - nac @ c
+    @property
+    def decoherence_c(self) -> Optional[float]:
+        """The EDC constant in Hartree, or ``None`` when EDC is off."""
+        if self.policy.dec_correction == "edc":
+            return self.policy.edc_parameter
+        return None
 
+    # ------------------------------------------------------------------ #
     def propagate_amplitudes(
         self,
         state: SurfaceHoppingState,
@@ -113,31 +149,21 @@ class FSSH:
         n = state.nstates
         if energies.shape != (n,) or nac.shape != (n, n):
             raise ValueError("energies/NAC dimensions do not match the state")
-        h = dt / self.substeps
-        c = state.amplitudes
-        for _ in range(self.substeps):
-            k1 = self._derivative(c, energies, nac)
-            k2 = self._derivative(c + 0.5 * h * k1, energies, nac)
-            k3 = self._derivative(c + 0.5 * h * k2, energies, nac)
-            k4 = self._derivative(c + h * k3, energies, nac)
-            c = c + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
-        # Anti-Hermitian NAC keeps the norm; renormalize the RK4 residual.
-        state.amplitudes = c / np.linalg.norm(c)
+        state.amplitudes = propagate_amplitudes_batch(
+            state.amplitudes[None, :], energies, nac, dt, self.substeps
+        )[0]
 
     def hop_probabilities(
         self, state: SurfaceHoppingState, nac: np.ndarray, dt: float
     ) -> np.ndarray:
         """Tully's fewest-switches probabilities g_{active -> j}."""
-        c = state.amplitudes
-        a = state.active
-        pop_a = float(np.abs(c[a]) ** 2)
-        if pop_a < 1e-12:
-            return np.zeros(state.nstates)
-        # b_ja = 2 Re( c_a c_j^* d_ja );  g_j = dt * b_ja / |c_a|^2.
-        b = 2.0 * np.real(c[a] * np.conj(c) * nac[:, a])
-        g = np.clip(dt * b / pop_a, 0.0, 1.0)
-        g[a] = 0.0
-        return g
+        nac = np.asarray(nac, dtype=np.complex128)
+        return hop_probabilities_batch(
+            state.amplitudes[None, :],
+            np.array([state.active]),
+            nac,
+            dt,
+        )[0]
 
     def attempt_hop(
         self,
@@ -150,32 +176,29 @@ class FSSH:
         """One stochastic hop attempt.
 
         Returns (hopped, velocity_scale): the factor by which nuclear
-        velocities must be rescaled to conserve total energy (1.0 when no
-        hop happened).  Upward hops exceeding the available kinetic energy
-        are frustrated (rejected, logged).
+        velocities must be rescaled (1.0 when nothing changed; ``-1.0``
+        reverses them under the ``hop_reject="reverse"`` policy).  Under
+        the default ``hop_rescale="energy"`` policy, upward hops
+        exceeding the available kinetic energy are frustrated (rejected,
+        logged).
         """
         self._step_count += 1
         g = self.hop_probabilities(state, nac, dt)
         xi = self.rng.random()
-        cumulative = 0.0
-        for j in np.argsort(-g):
-            if g[j] <= 0.0:
-                break
-            cumulative += g[j]
-            if xi < cumulative:
-                de = float(energies[j] - energies[state.active])
-                if de > kinetic_energy:
-                    self.events.append(
-                        HopEvent(self._step_count, state.active, int(j), False, de)
-                    )
-                    return False, 1.0
-                scale = np.sqrt(max(0.0, 1.0 - de / max(kinetic_energy, 1e-30)))
-                self.events.append(
-                    HopEvent(self._step_count, state.active, int(j), True, de)
-                )
-                state.active = int(j)
-                return True, float(scale)
-        return False, 1.0
+        target = int(select_hops(g[None, :], np.array([xi]))[0])
+        if target < 0:
+            return False, 1.0
+        de = float(energies[target] - energies[state.active])
+        accepted, scale = resolve_hops(
+            np.array([de]), np.array([kinetic_energy]), self.policy
+        )
+        hopped = bool(accepted[0])
+        self.events.append(
+            HopEvent(self._step_count, state.active, target, hopped, de)
+        )
+        if hopped:
+            state.active = target
+        return hopped, float(scale[0])
 
     def apply_decoherence(
         self,
@@ -191,27 +214,17 @@ class FSSH:
         amplitude is rescaled to restore the norm.  Counteracts the
         well-known FSSH overcoherence that biases hop statistics.
         """
-        if self.decoherence_c is None:
+        if self.policy.dec_correction != "edc":
             return
         energies = np.asarray(energies, dtype=float)
-        a = state.active
-        c = state.amplitudes
-        ekin = max(kinetic_energy, 1e-12)
-        factor = 1.0 + self.decoherence_c / ekin
-        other_pop = 0.0
-        for j in range(state.nstates):
-            if j == a:
-                continue
-            gap = abs(energies[j] - energies[a])
-            if gap < 1e-12:
-                continue
-            tau = HBAR / gap * factor
-            c[j] *= np.exp(-dt / tau)
-        other_pop = float(np.sum(np.abs(np.delete(c, a)) ** 2))
-        pop_a = float(np.abs(c[a]) ** 2)
-        if pop_a > 0.0:
-            c[a] *= np.sqrt(max(0.0, 1.0 - other_pop) / pop_a)
-        state.amplitudes = c / np.linalg.norm(c)
+        state.amplitudes = apply_edc_batch(
+            state.amplitudes[None, :].copy(),
+            np.array([state.active]),
+            energies,
+            dt,
+            np.array([kinetic_energy]),
+            self.policy.edc_parameter,
+        )[0]
 
     def step(
         self,
@@ -232,19 +245,31 @@ def occupations_from_states(
 ) -> np.ndarray:
     """Occupations from FSSH carriers layered on a closed-shell filling.
 
-    Each carrier represents one electron promoted out of the HOMO of the
-    base filling into its active state.
+    Each carrier represents one electron promoted out of the highest
+    orbital that still holds charge *at promotion time* into its active
+    state.  Recomputing the donor per carrier (instead of fixing it to
+    the HOMO of the base filling) keeps multi-carrier stacks physical:
+    three carriers drain HOMO twice and HOMO-1 once rather than driving
+    the HOMO occupation negative.
     """
     f = np.array(base_filling, dtype=float, copy=True)
     if f.shape != (norb,):
         raise ValueError("base filling length mismatch")
-    homo = int(np.nonzero(f > 1e-8)[0][-1])
+    valence = np.asarray(base_filling) > 1e-8
     for carrier in carriers:
         if carrier.active >= norb:
             raise ValueError("carrier active state outside the orbital set")
-        if carrier.active != homo:
-            f[homo] -= 1.0
-            f[carrier.active] += 1.0
+        # Donors come from the *base* (valence) orbitals only: a freshly
+        # promoted electron sitting in the conduction band must never be
+        # mistaken for the next carrier's source.
+        occupied = np.nonzero(valence & (f > 1e-8))[0]
+        if occupied.size == 0:
+            raise ValueError("no occupied orbital left to promote from")
+        donor = int(occupied[-1])
+        if carrier.active == donor:
+            continue
+        f[donor] -= 1.0
+        f[carrier.active] += 1.0
     if np.any(f < -1e-9) or np.any(f > 2.0 + 1e-9):
         raise ValueError("occupations left the physical range [0, 2]")
     return np.clip(f, 0.0, 2.0)

@@ -29,7 +29,7 @@ import json
 import os
 import pathlib
 import re
-from typing import TYPE_CHECKING, Dict, List, Union
+from typing import TYPE_CHECKING, Dict, List, Protocol, Union, cast
 
 if TYPE_CHECKING:  # layering: resilience never imports core at runtime
     from repro.core.mesh import DCMESHSimulation
@@ -39,6 +39,39 @@ from repro.resilience.atomicio import atomic_write_text, fsync_directory
 from repro.resilience.faults import fault_point
 
 _CKPT_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
+
+
+class CheckpointableRun(Protocol):
+    """Structural contract of anything this module can checkpoint.
+
+    :class:`~repro.core.mesh.DCMESHSimulation` satisfies it implicitly
+    (its state is archived by :mod:`repro.core.checkpoint`); other run
+    objects -- e.g. the trajectory-ensemble engine's partial-ensemble
+    state -- opt in by providing ``save_state(path)`` / ``load_state(path)``
+    methods, which :func:`write_checkpoint` / :func:`load_verified`
+    prefer over the mesh-specific archiver.
+    """
+
+    step_count: int
+    time: float
+
+
+def _save_state(sim: CheckpointableRun, path: pathlib.Path) -> None:
+    """Archive ``sim``; duck-dispatches to ``sim.save_state`` when present."""
+    saver = getattr(sim, "save_state", None)
+    if callable(saver):
+        saver(path)
+    else:
+        save_checkpoint(cast("DCMESHSimulation", sim), path)
+
+
+def _load_state(sim: CheckpointableRun, path: Union[str, pathlib.Path]) -> None:
+    """Restore ``sim``; duck-dispatches to ``sim.load_state`` when present."""
+    loader = getattr(sim, "load_state", None)
+    if callable(loader):
+        loader(path)
+    else:
+        load_checkpoint(cast("DCMESHSimulation", sim), path)
 
 
 class CheckpointCorruptError(RuntimeError):
@@ -91,7 +124,7 @@ def _corrupt_file(path: pathlib.Path, offset: int, nbytes: int) -> None:
 
 
 def write_checkpoint(
-    sim: "DCMESHSimulation", directory: Union[str, pathlib.Path], keep: int = 3
+    sim: CheckpointableRun, directory: Union[str, pathlib.Path], keep: int = 3
 ) -> pathlib.Path:
     """Atomically write one checkpoint generation; rotate to ``keep``.
 
@@ -113,7 +146,7 @@ def write_checkpoint(
         raise OSError(errno.ENOSPC,
                       "No space left on device (injected fault)", str(final))
     try:
-        save_checkpoint(sim, tmp)
+        _save_state(sim, tmp)
         meta: Dict = {
             "step": int(sim.step_count),
             "time": float(sim.time),
@@ -176,15 +209,15 @@ def verify_checkpoint(path: Union[str, pathlib.Path]) -> Dict:
     return meta
 
 
-def load_verified(sim: "DCMESHSimulation", path: Union[str, pathlib.Path]) -> Dict:
+def load_verified(sim: CheckpointableRun, path: Union[str, pathlib.Path]) -> Dict:
     """Verify integrity, then restore the checkpoint into ``sim``."""
     meta = verify_checkpoint(path)
-    load_checkpoint(sim, path)
+    _load_state(sim, path)
     return meta
 
 
 def restore_newest_verified(
-    sim: "DCMESHSimulation", directory: Union[str, pathlib.Path]
+    sim: CheckpointableRun, directory: Union[str, pathlib.Path]
 ) -> "tuple[pathlib.Path, Dict, List[pathlib.Path]]":
     """Restore the newest generation that passes verification.
 

@@ -30,9 +30,9 @@ import json
 import pathlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Protocol, Union
 
-from repro.core.mesh import DCMESHSimulation, MDStepRecord
+from repro.core.mesh import MDStepRecord
 from repro.core.timescale import TimescaleSplit
 from repro.device.allocator import DeviceMemoryError
 from repro.obs import trace_span
@@ -71,6 +71,29 @@ RECOVERABLE = (
 
 class SupervisorAbort(RuntimeError):
     """Raised when recovery is exhausted (retries or checkpoints ran out)."""
+
+
+class SupervisableRun(Protocol):
+    """Structural contract of a run the supervisor can drive.
+
+    :class:`~repro.core.mesh.DCMESHSimulation` satisfies it natively;
+    the trajectory-ensemble engine's
+    :class:`~repro.ensemble.engine.EnsembleRun` satisfies it by treating
+    one batch *round* as one "MD step" (plus ``save_state``/``load_state``
+    methods that route its partial-ensemble schema through the
+    checkpoint writer).  ``config`` only needs a ``timescale`` attribute
+    when ``degrade_mode`` is enabled.
+    """
+
+    step_count: int
+    time: float
+    config: Any
+    history: List[Any]
+    health_guard: Any
+
+    def md_step(self) -> Any:
+        """Advance the run by one supervisable unit of work."""
+        ...
 
 
 @dataclass
@@ -250,7 +273,7 @@ class RunSupervisor:
 
     def __init__(
         self,
-        sim: DCMESHSimulation,
+        sim: SupervisableRun,
         checkpoint_dir: Union[str, pathlib.Path],
         config: Optional[SupervisorConfig] = None,
     ) -> None:

@@ -252,11 +252,62 @@ def _poisson_tunable() -> Tunable:
     )
 
 
+# --------------------------------------------------------------------- #
+# ensemble.swarm
+# --------------------------------------------------------------------- #
+def _ensemble_probe() -> dict:
+    from repro.ensemble.engine import EnsembleConfig
+    from repro.ensemble.path import model_path
+
+    return {
+        "path": model_path(nsteps=24, nstates=4, dt=1.0,
+                           seed=PROBE_SEED + 3),
+        "config": EnsembleConfig(ntraj=64, seed=PROBE_SEED + 4),
+    }
+
+
+def _ensemble_trial(probe: dict, params: Params) -> np.ndarray:
+    from dataclasses import replace
+
+    from repro.ensemble.engine import run_ensemble
+
+    config = replace(probe["config"], batch_size=int(params["batch_size"]))
+    result = run_ensemble(probe["path"], config, backend="serial")
+    # Per-trajectory RNG streams + in-order reassembly make the stacked
+    # traces bitwise invariant to batch_size, so the gate is exact: only
+    # speed can distinguish candidates.
+    return np.concatenate([
+        result.stats.pop_mean.ravel(),
+        result.hops.astype(np.float64),
+        result.ke_factor,
+    ])
+
+
+def _ensemble_tunable() -> Tunable:
+    return Tunable(
+        tunable_id="ensemble.swarm",
+        space=ParamSpace((
+            Choice("batch_size", (8, 16, 32, 64)),
+        )),
+        defaults=default_params("ensemble.swarm"),
+        description="FSSH trajectory-swarm batch size",
+        paper_ref="QXMD surface-hopping ensembles (Sec. II-B context)",
+        source_modules=(
+            "repro.ensemble.swarm",
+            "repro.ensemble.engine",
+            "repro.qxmd.sh_kernels",
+        ),
+        make_probe=_ensemble_probe,
+        run_trial=_ensemble_trial,
+    )
+
+
 def build_registry() -> TunableRegistry:
-    """A fresh registry holding the four built-in tunables."""
+    """A fresh registry holding the five built-in tunables."""
     registry = TunableRegistry()
     registry.register(_kin_prop_tunable())
     registry.register(_nonlocal_tunable())
     registry.register(_executor_tunable())
     registry.register(_poisson_tunable())
+    registry.register(_ensemble_tunable())
     return registry

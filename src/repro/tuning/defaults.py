@@ -22,6 +22,7 @@ TUNABLE_IDS: Tuple[str, ...] = (
     "lfd.nonlocal",
     "parallel.executor",
     "multigrid.poisson",
+    "ensemble.swarm",
 )
 
 #: The untuned (seed-state) parameter choice of every tunable.
@@ -30,6 +31,7 @@ DEFAULT_PARAMS: Mapping[str, Params] = {
     "lfd.nonlocal": {"variant": "blas", "orb_block": 16},
     "parallel.executor": {"backend": "serial", "workers": 1, "chunk_size": 1},
     "multigrid.poisson": {"smoother": "rbgs", "pre_sweeps": 2, "post_sweeps": 2},
+    "ensemble.swarm": {"batch_size": 32},
 }
 
 

@@ -1,0 +1,1 @@
+"""Trajectory-ensemble engine tests (exact + statistical validation)."""

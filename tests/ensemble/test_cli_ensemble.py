@@ -1,0 +1,94 @@
+"""`repro-mesh ensemble` subcommand tests (invoked in-process)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["ensemble"])
+        assert args.ntraj == 32
+        assert args.nsteps == 50
+        assert args.coupling == pytest.approx(0.08)
+        assert args.hop_rescale == "energy"
+        assert args.hop_reject == "keep"
+        assert args.decoherence == "none"
+        assert args.edc_parameter == pytest.approx(0.1)
+        assert args.checkpoint_every == 0
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ensemble", "--hop-rescale", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ensemble", "--decoherence", "sdm"])
+
+
+SMALL = ["ensemble", "--ntraj", "8", "--nsteps", "10", "--batch-size", "4",
+         "--coupling", "0.12", "--path-seed", "11", "--seed", "44"]
+
+
+class TestRun:
+    def test_small_run_prints_stats(self, capsys):
+        assert main(SMALL) == 0
+        out = capsys.readouterr().out
+        assert "trajectories" in out
+        assert "total hops:" in out
+        assert "active" in out
+
+    def test_default_demo_hops(self, capsys):
+        """The no-flag invocation must show live hop statistics."""
+        assert main(["ensemble"]) == 0
+        out = capsys.readouterr().out
+        total = int(out.split("total hops:")[1].split()[0])
+        assert total > 0
+
+    def test_out_npz(self, tmp_path, capsys):
+        out_path = tmp_path / "stats.npz"
+        assert main(SMALL + ["--out", str(out_path)]) == 0
+        with np.load(out_path) as archive:
+            assert archive["pop_mean"].shape == (10, 4)
+            assert archive["pop_stderr"].shape == (10, 4)
+            assert archive["active_counts"].shape == (10, 4)
+            assert archive["coherence_mean"].shape == (10,)
+            assert archive["hops"].shape == (8,)
+
+    def test_policy_flags_flow_through(self, capsys):
+        assert main(SMALL + ["--hop-rescale", "none",
+                             "--decoherence", "edc",
+                             "--edc-parameter", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "cpa" in out or "none" in out
+
+    def test_thread_backend(self, capsys):
+        assert main(SMALL + ["--backend", "thread", "--workers", "2"]) == 0
+        assert "total hops:" in capsys.readouterr().out
+
+
+class TestCheckpointResume:
+    def test_stop_and_restart(self, tmp_path, capsys):
+        """Supervised partial run stops early; --restart replays only the
+        missing batches and lands on the uninterrupted answer."""
+        ckdir = str(tmp_path / "ck")
+        base = SMALL + ["--checkpoint-every", "1", "--checkpoint-dir", ckdir,
+                        "--round-size", "1"]
+        ref = tmp_path / "ref.npz"
+        resumed = tmp_path / "resumed.npz"
+
+        assert main(SMALL + ["--out", str(ref)]) == 0
+        assert main(base + ["--stop-after", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stopped early: 1/2 batches" in out
+
+        assert main(base + ["--restart", ckdir, "--out", str(resumed)]) == 0
+        out = capsys.readouterr().out
+        assert "total hops:" in out
+
+        with np.load(ref) as a, np.load(resumed) as b:
+            for key in ("pop_mean", "pop_stderr", "active_counts", "hops"):
+                assert np.array_equal(a[key], b[key]), key
+
+    def test_restart_with_empty_dir_fails(self, tmp_path, capsys):
+        code = main(SMALL + ["--restart", str(tmp_path / "nowhere")])
+        assert code != 0

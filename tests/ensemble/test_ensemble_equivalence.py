@@ -1,0 +1,196 @@
+"""The two-tier ensemble validation harness.
+
+Exact tier: every trajectory extracted from a batched swarm must be
+**bit-identical** to a standalone :class:`~repro.qxmd.surface_hopping.FSSH`
+loop on the same ``(seed, index)`` RNG stream -- across hop policies,
+batch sizes (including primes that straggle the chunking) and all three
+executor backends.
+
+Statistical tier: ensemble-level observables from the batched engine
+must match a plain serial loop of standalone runs exactly at the same
+seed (same streams => same numbers), and two *independently seeded*
+ensembles must agree statistically -- two-sample KS on the hop-count
+distribution, stderr overlap on the active-fraction traces.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    EnsembleConfig,
+    compute_stats,
+    ks_test,
+    model_path,
+    run_ensemble,
+    run_reference_trajectory,
+    stderr_overlap,
+)
+from repro.qxmd.sh_kernels import HopPolicy
+
+#: A lively path: avoided crossings narrow enough that every policy hops.
+PATH = model_path(nsteps=40, nstates=4, dt=1.0, seed=11, coupling=0.12)
+
+#: Kinetic energy cut to 1% so upward hops are frustrated (policy branches).
+LOWKE_PATH = dataclasses.replace(PATH, kinetic=PATH.kinetic * 0.01)
+
+SEED = 99
+
+POLICIES = {
+    "energy-keep": HopPolicy(),
+    "energy-reverse": HopPolicy(hop_reject="reverse"),
+    "energy-edc": HopPolicy(dec_correction="edc", edc_parameter=0.3),
+    "augment": HopPolicy(hop_rescale="augment"),
+    "cpa": HopPolicy.cpa(),
+}
+
+
+def loop_ensemble(path, config):
+    """The trivial reference: a Python loop of standalone FSSH runs."""
+    istate = (config.istate if config.istate is not None
+              else path.nstates - 1)
+    traces = [
+        run_reference_trajectory(path, i, config.seed, istate,
+                                 config.substeps, config.policy)
+        for i in range(config.ntraj)
+    ]
+    populations = np.stack([t.populations for t in traces], axis=1)
+    actives = np.stack([t.actives for t in traces], axis=1)
+    hops = np.array([t.hops for t in traces], dtype=np.int64)
+    ke_factor = np.array([t.ke_factor for t in traces])
+    final_amps = np.stack([t.amplitudes for t in traces])
+    return populations, actives, hops, ke_factor, final_amps
+
+
+def assert_trajectory_bitwise(result, path, config, index):
+    istate = (config.istate if config.istate is not None
+              else path.nstates - 1)
+    ref = run_reference_trajectory(path, index, config.seed, istate,
+                                   config.substeps, config.policy)
+    assert np.array_equal(result.populations[:, index, :], ref.populations)
+    assert np.array_equal(result.actives[:, index], ref.actives)
+    assert np.array_equal(result.final_amplitudes[index], ref.amplitudes)
+    assert int(result.hops[index]) == ref.hops
+    assert float(result.ke_factor[index]) == ref.ke_factor
+
+
+class TestExactTier:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_every_trajectory_bit_identical(self, name):
+        """Batched swarm row == standalone FSSH, for every hop policy."""
+        config = EnsembleConfig(ntraj=13, seed=SEED, batch_size=5,
+                                policy=POLICIES[name])
+        result = run_ensemble(PATH, config)
+        assert int(result.hops.sum()) > 0, "inert path proves nothing"
+        for i in range(config.ntraj):
+            assert_trajectory_bitwise(result, PATH, config, i)
+
+    def test_frustrated_hops_bit_identical(self):
+        """Exact tier holds where the energy budget frustrates hops."""
+        for policy in (HopPolicy(hop_reject="keep"),
+                       HopPolicy(hop_reject="reverse")):
+            config = EnsembleConfig(ntraj=9, seed=SEED, batch_size=4,
+                                    policy=policy)
+            result = run_ensemble(LOWKE_PATH, config)
+            for i in range(config.ntraj):
+                assert_trajectory_bitwise(result, LOWKE_PATH, config, i)
+
+    def test_frustrated_hops_actually_occur(self):
+        """The low-kinetic path really exercises the frustrated branch."""
+        from repro.ensemble.swarm import trajectory_rng
+        from repro.qxmd import FSSH, SurfaceHoppingState
+
+        rejected = 0
+        for i in range(9):
+            fssh = FSSH(trajectory_rng(SEED, i))
+            state = SurfaceHoppingState.on_state(LOWKE_PATH.nstates,
+                                                 LOWKE_PATH.nstates - 1)
+            ke_factor = 1.0
+            for s in range(LOWKE_PATH.nsteps):
+                _, scale = fssh.step(state, LOWKE_PATH.energies[s],
+                                     LOWKE_PATH.nac[s], LOWKE_PATH.dt,
+                                     LOWKE_PATH.kinetic[s] * ke_factor)
+                if scale != 1.0:
+                    ke_factor *= scale * scale
+            rejected += sum(1 for e in fssh.events if not e.accepted)
+        assert rejected > 0
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 13, 64])
+    def test_batch_size_invariance(self, batch_size):
+        """Prime, unit and oversized batches all give identical traces."""
+        base = run_ensemble(
+            PATH, EnsembleConfig(ntraj=13, seed=SEED, batch_size=13)
+        )
+        other = run_ensemble(
+            PATH, EnsembleConfig(ntraj=13, seed=SEED, batch_size=batch_size)
+        )
+        assert np.array_equal(base.populations, other.populations)
+        assert np.array_equal(base.actives, other.actives)
+        assert np.array_equal(base.hops, other.hops)
+        assert np.array_equal(base.final_amplitudes, other.final_amplitudes)
+        assert np.array_equal(base.ke_factor, other.ke_factor)
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("thread", 3), ("process", 2),
+    ])
+    def test_backend_bitwise_equivalence(self, backend, workers):
+        """serial == thread == process, bit for bit."""
+        config = EnsembleConfig(ntraj=12, seed=SEED, batch_size=3)
+        small = model_path(nsteps=15, nstates=4, dt=1.0, seed=11,
+                           coupling=0.12)
+        base = run_ensemble(small, config, backend="serial")
+        got = run_ensemble(small, config, backend=backend, workers=workers)
+        assert np.array_equal(base.populations, got.populations)
+        assert np.array_equal(base.actives, got.actives)
+        assert np.array_equal(base.hops, got.hops)
+        assert np.array_equal(base.final_amplitudes, got.final_amplitudes)
+        assert np.array_equal(base.ke_factor, got.ke_factor)
+
+
+class TestStatisticalTier:
+    def test_batched_matches_serial_loop_exactly(self):
+        """Same seed => the batched engine and a plain loop of standalone
+        runs produce the *same* ensemble: mean traces and hop-count
+        histogram equal exactly, not just statistically."""
+        config = EnsembleConfig(ntraj=24, seed=SEED, batch_size=7)
+        result = run_ensemble(PATH, config)
+        pops, actives, hops, ke, amps = loop_ensemble(PATH, config)
+        assert np.array_equal(result.populations, pops)
+        assert np.array_equal(result.actives, actives)
+        assert np.array_equal(result.hops, hops)
+        assert np.array_equal(result.ke_factor, ke)
+        assert np.array_equal(result.final_amplitudes, amps)
+        ref_stats = compute_stats(pops, actives)
+        assert np.array_equal(result.stats.pop_mean, ref_stats.pop_mean)
+        assert np.array_equal(result.stats.pop_stderr, ref_stats.pop_stderr)
+        assert np.array_equal(result.stats.active_counts,
+                              ref_stats.active_counts)
+        assert np.array_equal(
+            np.bincount(result.hops, minlength=8),
+            np.bincount(hops, minlength=8),
+        )
+
+    def test_independent_seeds_agree_statistically(self):
+        """Two disjoint-seed ensembles sample the same distribution:
+        KS on hop counts does not reject, active-fraction traces overlap
+        within combined binomial standard errors."""
+        a = run_ensemble(PATH, EnsembleConfig(ntraj=128, seed=1,
+                                              batch_size=32))
+        b = run_ensemble(PATH, EnsembleConfig(ntraj=128, seed=2,
+                                              batch_size=32))
+        d, p = ks_test(a.hops, b.hops)
+        assert p > 0.05, f"KS rejected same-distribution hops: d={d}, p={p}"
+        n = 128.0
+        se_a = np.sqrt(a.stats.active_fraction
+                       * (1 - a.stats.active_fraction) / n)
+        se_b = np.sqrt(b.stats.active_fraction
+                       * (1 - b.stats.active_fraction) / n)
+        assert stderr_overlap(a.stats.active_fraction, se_a,
+                              b.stats.active_fraction, se_b, nsigma=4.0)
+
+    def test_different_seeds_differ_somewhere(self):
+        """Sanity: the two ensembles are not secretly the same numbers."""
+        a = run_ensemble(PATH, EnsembleConfig(ntraj=16, seed=1))
+        b = run_ensemble(PATH, EnsembleConfig(ntraj=16, seed=2))
+        assert not np.array_equal(a.actives, b.actives)

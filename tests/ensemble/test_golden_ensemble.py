@@ -1,0 +1,109 @@
+"""Golden-ensemble regression test for the trajectory-swarm engine.
+
+A fixed-seed 32-trajectory swarm (synthetic avoided-crossing path, EDC
+decoherence on so amplitudes, hops *and* the decoherence kernel all
+shape the result) is pinned against a committed ``.npz`` of its per-step
+population/coherence statistics.  Any unintended change to the
+surface-hopping numerics -- kernels, RNG streams, batching, statistics
+-- shows up here as a diff.
+
+On the platform that generated the golden file the run is bit-exact
+(set ``REPRO_GOLDEN_EXACT=1`` to enforce that); across BLAS builds and
+architectures the default gate is a ``1e-10`` absolute tolerance,
+mirroring ``tests/integration/test_golden_trajectory.py``.
+
+Regenerate (after a *deliberate* numerics change) with::
+
+    PYTHONPATH=src:. python -m tests.ensemble.test_golden_ensemble
+"""
+
+import os
+import pathlib
+
+import numpy as np
+
+from repro.ensemble import EnsembleConfig, model_path, run_ensemble
+from repro.qxmd.sh_kernels import HopPolicy
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "data"
+    / "golden_ensemble.npz"
+)
+
+#: Cross-platform gate; REPRO_GOLDEN_EXACT=1 demands bit-identity.
+GOLDEN_ATOL = 1e-10
+
+NTRAJ = 32
+
+
+def golden_run():
+    """The pinned scenario; returns arrays keyed like the golden file."""
+    path = model_path(nsteps=30, nstates=4, dt=1.0, seed=11, coupling=0.12)
+    config = EnsembleConfig(
+        ntraj=NTRAJ,
+        seed=515,
+        batch_size=8,
+        policy=HopPolicy(dec_correction="edc", edc_parameter=0.3),
+    )
+    result = run_ensemble(path, config)
+    stats = result.stats
+    return {
+        "pop_mean": stats.pop_mean,
+        "pop_stderr": stats.pop_stderr,
+        "active_counts": stats.active_counts.astype(float),
+        "coherence_mean": stats.coherence_mean,
+        "coherence_stderr": stats.coherence_stderr,
+        "hops": result.hops.astype(float),
+        "ke_factor": result.ke_factor,
+        "final_active": result.final_active.astype(float),
+    }
+
+
+def regenerate(path=GOLDEN_PATH):
+    """Write a fresh golden file (deliberate-change workflow)."""
+    data = golden_run()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **data)
+    return path, data
+
+
+class TestGoldenEnsemble:
+    def test_matches_committed_golden(self):
+        assert GOLDEN_PATH.exists(), (
+            f"golden file missing: {GOLDEN_PATH}; regenerate with "
+            f"python -m tests.ensemble.test_golden_ensemble"
+        )
+        golden = np.load(GOLDEN_PATH)
+        current = golden_run()
+        assert set(golden.files) == set(current)
+        exact = os.environ.get("REPRO_GOLDEN_EXACT") == "1"
+        for key in golden.files:
+            want, got = golden[key], current[key]
+            assert want.shape == got.shape, key
+            if exact:
+                assert np.array_equal(want, got), f"{key} not bit-exact"
+            else:
+                diff = np.max(np.abs(want - got)) if want.size else 0.0
+                assert diff <= GOLDEN_ATOL, (
+                    f"{key}: max|diff| = {diff:.3e} > {GOLDEN_ATOL}"
+                )
+
+    def test_scenario_is_alive(self):
+        """The pinned swarm actually hops and decoheres -- an inert
+        golden file would regress nothing."""
+        current = golden_run()
+        assert current["hops"].sum() > 0
+        assert current["pop_stderr"].max() > 0
+        assert current["coherence_mean"].max() > 0.05
+
+    def test_run_is_deterministic(self):
+        a, b = golden_run(), golden_run()
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+
+
+if __name__ == "__main__":
+    p, data = regenerate()
+    print(f"golden ensemble written to {p}")
+    for key, val in data.items():
+        print(f"  {key}: shape {val.shape}")

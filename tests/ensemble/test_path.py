@@ -1,0 +1,109 @@
+"""ClassicalPath container, the synthetic model path, and sim harvesting."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    ClassicalPath,
+    EnsembleConfig,
+    model_path,
+    path_from_simulation,
+    run_ensemble,
+)
+
+
+class TestClassicalPath:
+    def test_properties(self):
+        path = model_path(nsteps=12, nstates=3)
+        assert path.nsteps == 12
+        assert path.nstates == 3
+        assert path.energies.shape == (12, 3)
+        assert path.nac.shape == (12, 3, 3)
+        assert path.kinetic.shape == (12,)
+
+    def test_validation(self):
+        e = np.zeros((4, 3))
+        nac = np.zeros((4, 3, 3), dtype=complex)
+        ke = np.ones(4)
+        with pytest.raises(ValueError, match="nsteps, nstates"):
+            ClassicalPath(energies=np.zeros(4), nac=nac, kinetic=ke, dt=1.0)
+        with pytest.raises(ValueError, match="nac"):
+            ClassicalPath(energies=e, nac=np.zeros((4, 2, 2)), kinetic=ke,
+                          dt=1.0)
+        with pytest.raises(ValueError, match="kinetic"):
+            ClassicalPath(energies=e, nac=nac, kinetic=np.ones(3), dt=1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            ClassicalPath(energies=e, nac=nac, kinetic=-ke, dt=1.0)
+        with pytest.raises(ValueError, match="dt"):
+            ClassicalPath(energies=e, nac=nac, kinetic=ke, dt=0.0)
+        with pytest.raises(ValueError, match=">= 2 states"):
+            ClassicalPath(energies=np.zeros((4, 1)),
+                          nac=np.zeros((4, 1, 1)), kinetic=ke, dt=1.0)
+
+
+class TestModelPath:
+    def test_deterministic(self):
+        a = model_path(nsteps=20, nstates=4, seed=3)
+        b = model_path(nsteps=20, nstates=4, seed=3)
+        assert np.array_equal(a.energies, b.energies)
+        assert np.array_equal(a.nac, b.nac)
+        assert np.array_equal(a.kinetic, b.kinetic)
+
+    def test_seed_matters(self):
+        a = model_path(nsteps=20, nstates=4, seed=3)
+        b = model_path(nsteps=20, nstates=4, seed=4)
+        assert not np.array_equal(a.nac, b.nac)
+
+    def test_nac_antisymmetric_real(self):
+        path = model_path(nsteps=25, nstates=5, seed=9)
+        assert np.allclose(path.nac.imag, 0.0)
+        assert np.allclose(path.nac, -np.swapaxes(path.nac, 1, 2))
+
+    def test_kinetic_positive(self):
+        path = model_path(nsteps=400, nstates=3, seed=1)
+        assert np.all(path.kinetic > 0)
+
+    def test_coupling_scales_nac(self):
+        weak = model_path(nsteps=10, nstates=3, seed=2, coupling=0.01)
+        strong = model_path(nsteps=10, nstates=3, seed=2, coupling=0.1)
+        assert np.allclose(strong.nac, 10.0 * weak.nac)
+
+
+class TestPathFromSimulation:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        from repro.core import DCMESHConfig, DCMESHSimulation, TimescaleSplit
+        from repro.grids import Grid3D
+        from repro.pseudo import get_species
+
+        grid = Grid3D((12, 12, 12), (0.6, 0.6, 0.6))
+        pos = np.array([[1.8, 3.6, 3.6], [5.4, 3.6, 3.6]])
+        species = [get_species("O"), get_species("O")]
+        config = DCMESHConfig(
+            timescale=TimescaleSplit(dt_md=2.0, n_qd=5),
+            nscf=2, ncg=2, norb_extra=2, seed=13,
+        )
+        return DCMESHSimulation(grid, (2, 1, 1), pos, species,
+                                config=config, buffer_width=3)
+
+    def test_harvest_and_run(self, sim):
+        """Harvest a 2-step path from a live sim and relax a swarm on it
+        (the CPA sampling workflow end to end)."""
+        path = path_from_simulation(sim, nsteps=2, nstates=3)
+        assert path.nsteps == 2 and path.nstates == 3
+        assert path.dt == sim.config.timescale.dt_md
+        assert np.all(path.kinetic >= 0)
+        # NAC blocks are anti-Hermitian up to the finite-difference error.
+        skew = path.nac + np.conj(np.swapaxes(path.nac, 1, 2))
+        assert np.max(np.abs(skew)) < 1e-6
+        result = run_ensemble(path, EnsembleConfig(ntraj=4, seed=3,
+                                                   batch_size=2))
+        assert result.populations.shape == (2, 4, 3)
+
+    def test_nsteps_validated(self, sim):
+        with pytest.raises(ValueError, match="nsteps"):
+            path_from_simulation(sim, nsteps=0, nstates=3)
+
+    def test_nstates_capped_by_orbitals(self, sim):
+        with pytest.raises(ValueError, match="orbitals"):
+            path_from_simulation(sim, nsteps=1, nstates=99)

@@ -1,0 +1,117 @@
+"""Ensemble statistics and the self-contained two-sample tests."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    compute_stats,
+    ks_pvalue,
+    ks_statistic,
+    ks_test,
+    stderr_overlap,
+)
+
+
+class TestComputeStats:
+    def test_hand_example(self):
+        # 1 step, 2 trajectories, 2 states.
+        pops = np.array([[[1.0, 0.0], [0.5, 0.5]]])
+        actives = np.array([[0, 1]])
+        s = compute_stats(pops, actives)
+        assert s.ntraj == 2
+        assert np.allclose(s.pop_mean, [[0.75, 0.25]])
+        # sample std (ddof=1) of {1.0, 0.5} is sqrt(0.125); stderr /= sqrt(2)
+        assert np.allclose(s.pop_stderr, np.sqrt(0.125) / np.sqrt(2))
+        assert np.array_equal(s.active_counts, [[1, 1]])
+        assert np.allclose(s.active_fraction, [[0.5, 0.5]])
+        # coherence: 1 - (1^2 + 0^2) = 0 and 1 - 0.5 = 0.5 -> mean 0.25
+        assert np.allclose(s.coherence_mean, [0.25])
+
+    def test_single_trajectory_zero_stderr(self):
+        pops = np.random.default_rng(0).dirichlet(np.ones(3), size=(5, 1))
+        actives = np.zeros((5, 1), dtype=int)
+        s = compute_stats(pops, actives)
+        assert np.all(s.pop_stderr == 0.0)
+        assert np.all(s.coherence_stderr == 0.0)
+
+    def test_pure_state_coherence_zero(self):
+        pops = np.zeros((3, 4, 2))
+        pops[:, :, 1] = 1.0
+        s = compute_stats(pops, np.ones((3, 4), dtype=int))
+        assert np.allclose(s.coherence_mean, 0.0)
+        assert np.allclose(s.active_fraction[:, 1], 1.0)
+
+    def test_uniform_state_coherence_max(self):
+        n = 4
+        pops = np.full((2, 3, n), 1.0 / n)
+        s = compute_stats(pops, np.zeros((2, 3), dtype=int))
+        assert np.allclose(s.coherence_mean, 1.0 - 1.0 / n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nsteps, ntraj, nstates"):
+            compute_stats(np.zeros((2, 3)), np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError, match="actives"):
+            compute_stats(np.zeros((2, 3, 4)), np.zeros((2, 2), dtype=int))
+
+
+class TestKolmogorovSmirnov:
+    def test_identical_samples_zero(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert ks_statistic(a, a) == 0.0
+
+    def test_disjoint_samples_one(self):
+        a = np.arange(10.0)
+        b = np.arange(10.0) + 100.0
+        assert ks_statistic(a, b) == 1.0
+
+    def test_statistic_symmetric(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=50), rng.normal(0.5, size=70)
+        assert ks_statistic(a, b) == ks_statistic(b, a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.array([1.0]))
+
+    def test_pvalue_limits(self):
+        assert ks_pvalue(0.0, 50, 50) == 1.0
+        assert ks_pvalue(1.0, 50, 50) < 1e-10
+        with pytest.raises(ValueError):
+            ks_pvalue(0.5, 0, 10)
+
+    def test_pvalue_monotone_in_d(self):
+        ps = [ks_pvalue(d, 40, 40) for d in (0.1, 0.2, 0.4, 0.8)]
+        assert all(ps[i] > ps[i + 1] for i in range(len(ps) - 1))
+
+    def test_same_distribution_not_rejected(self):
+        rng = np.random.default_rng(7)
+        a, b = rng.normal(size=200), rng.normal(size=200)
+        _, p = ks_test(a, b)
+        assert p > 0.05
+
+    def test_shifted_distribution_rejected(self):
+        rng = np.random.default_rng(7)
+        a, b = rng.normal(size=200), rng.normal(2.0, size=200)
+        _, p = ks_test(a, b)
+        assert p < 1e-6
+
+
+class TestStderrOverlap:
+    def test_identical_traces_pass(self):
+        m = np.linspace(0, 1, 10)
+        assert stderr_overlap(m, np.zeros(10), m, np.zeros(10))
+
+    def test_within_errors_pass(self):
+        m = np.zeros(5)
+        assert stderr_overlap(m, np.full(5, 0.1), m + 0.25, np.full(5, 0.1))
+
+    def test_outside_errors_fail(self):
+        m = np.zeros(5)
+        assert not stderr_overlap(m, np.full(5, 0.01), m + 0.5,
+                                  np.full(5, 0.01))
+
+    def test_nsigma_widens_gate(self):
+        m = np.zeros(3)
+        se = np.full(3, 0.1)
+        assert not stderr_overlap(m, se, m + 0.5, se, nsigma=3.0)
+        assert stderr_overlap(m, se, m + 0.5, se, nsigma=4.0)

@@ -1,0 +1,116 @@
+"""SwarmState and step_swarm unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import SwarmState, model_path, step_swarm, trajectory_rng
+from repro.parallel.executor import chunk_rng
+from repro.qxmd.sh_kernels import HopPolicy
+
+
+class TestSwarmState:
+    def test_on_state(self):
+        swarm = SwarmState.on_state(5, 3, 2)
+        assert swarm.ntraj == 5 and swarm.nstates == 3
+        assert np.all(swarm.active == 2)
+        assert np.allclose(swarm.populations[:, 2], 1.0)
+        assert np.array_equal(swarm.ke_factor, np.ones(5))
+        assert np.array_equal(swarm.hop_counts, np.zeros(5, dtype=np.int64))
+
+    def test_per_row_normalization(self):
+        amps = np.array([[3.0, 4.0], [1.0, 0.0], [0.0, 2.0]], dtype=complex)
+        swarm = SwarmState(amplitudes=amps, active=np.array([0, 0, 1]))
+        norms = np.sqrt(np.sum(np.abs(swarm.amplitudes) ** 2, axis=1))
+        assert np.allclose(norms, 1.0)
+
+    def test_zero_rows_rejected_by_name(self):
+        """Degenerate (zero-amplitude) rows raise, naming the rows, instead
+        of being silently buried by a global normalization."""
+        amps = np.ones((4, 3), dtype=complex)
+        amps[1] = 0.0
+        amps[3] = 0.0
+        with pytest.raises(ValueError, match=r"\[1, 3\]"):
+            SwarmState(amplitudes=amps, active=np.zeros(4, dtype=int))
+
+    def test_stacked_shape_required(self):
+        with pytest.raises(ValueError, match="ntraj, nstates"):
+            SwarmState(amplitudes=np.ones(3, dtype=complex),
+                       active=np.zeros(1, dtype=int))
+
+    def test_active_out_of_range(self):
+        with pytest.raises(ValueError, match="active"):
+            SwarmState(amplitudes=np.ones((2, 3), dtype=complex),
+                       active=np.array([0, 3]))
+
+    def test_bad_aux_shapes(self):
+        amps = np.ones((2, 3), dtype=complex)
+        with pytest.raises(ValueError, match="ke_factor"):
+            SwarmState(amplitudes=amps, active=np.zeros(2, dtype=int),
+                       ke_factor=np.ones(3))
+        with pytest.raises(ValueError, match="hop_counts"):
+            SwarmState(amplitudes=amps, active=np.zeros(2, dtype=int),
+                       hop_counts=np.zeros(5, dtype=int))
+
+    def test_extract_single_carrier(self):
+        swarm = SwarmState.on_state(3, 4, 1)
+        state = swarm.extract(2)
+        assert state.active == 1
+        assert np.array_equal(state.amplitudes, swarm.amplitudes[2])
+
+
+class TestTrajectoryRng:
+    def test_is_the_executor_chunk_stream(self):
+        """The (seed, index) stream is exactly the PR-4 executor's
+        chunk_rng(seed, 0, index) -- placement independence by scheme."""
+        a = trajectory_rng(123, 7).random(5)
+        b = chunk_rng(123, 0, 7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_streams_distinct_per_index_and_seed(self):
+        draws = {
+            (s, i): trajectory_rng(s, i).random()
+            for s in (1, 2) for i in range(4)
+        }
+        assert len(set(draws.values())) == len(draws)
+
+
+class TestStepSwarm:
+    def test_accepted_mask_matches_hop_counts(self):
+        path = model_path(nsteps=20, nstates=4, dt=1.0, seed=11,
+                          coupling=0.12)
+        swarm = SwarmState.on_state(8, 4, 3)
+        rngs = [trajectory_rng(99, t) for t in range(8)]
+        total = np.zeros(8, dtype=np.int64)
+        for s in range(path.nsteps):
+            xi = np.array([rng.random() for rng in rngs])
+            accepted = step_swarm(swarm, path.energies[s], path.nac[s],
+                                  path.dt, path.kinetic[s] * swarm.ke_factor,
+                                  xi, HopPolicy())
+            total += accepted
+        assert np.array_equal(total, swarm.hop_counts)
+        assert int(total.sum()) > 0
+
+    def test_cpa_never_touches_ke_factor(self):
+        path = model_path(nsteps=15, nstates=4, dt=1.0, seed=11,
+                          coupling=0.12)
+        swarm = SwarmState.on_state(6, 4, 3)
+        rngs = [trajectory_rng(99, t) for t in range(6)]
+        for s in range(path.nsteps):
+            xi = np.array([rng.random() for rng in rngs])
+            step_swarm(swarm, path.energies[s], path.nac[s], path.dt,
+                       path.kinetic[s] * swarm.ke_factor, xi,
+                       HopPolicy.cpa())
+        assert np.array_equal(swarm.ke_factor, np.ones(6))
+        assert int(swarm.hop_counts.sum()) > 0
+
+    def test_rows_keep_unit_norm(self):
+        path = model_path(nsteps=10, nstates=3, dt=1.0, seed=5,
+                          coupling=0.1)
+        swarm = SwarmState.on_state(4, 3, 2)
+        rngs = [trajectory_rng(7, t) for t in range(4)]
+        for s in range(path.nsteps):
+            xi = np.array([rng.random() for rng in rngs])
+            step_swarm(swarm, path.energies[s], path.nac[s], path.dt,
+                       path.kinetic[s] * swarm.ke_factor, xi, HopPolicy())
+        norms = np.sqrt(np.sum(np.abs(swarm.amplitudes) ** 2, axis=1))
+        assert np.allclose(norms, 1.0, atol=1e-12)

@@ -1,0 +1,192 @@
+"""Property-based tests of the batched hopping kernels.
+
+Three invariant families from the issue spec:
+
+* EDC preserves the amplitude norm to 1e-12 and decays every non-active,
+  non-degenerate coherence monotonically;
+* frustrated-hop policies never create kinetic energy out of nothing;
+* hop probabilities live in [0, 1] and, with the stay-probability,
+  partition unity (until the per-channel clip saturates).
+
+Plus the load-bearing contract of the whole ensemble engine: every
+kernel's row ``t`` is bit-identical between a batched call and the
+single-row call.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qxmd.sh_kernels import (
+    HopPolicy,
+    apply_edc_batch,
+    batched_norm,
+    hop_probabilities_batch,
+    propagate_amplitudes_batch,
+    resolve_hops,
+    select_hops,
+    stay_probabilities,
+)
+
+
+def random_swarm(seed, ntraj, nstates):
+    """Normalized stacked amplitudes + active states + a seeded rng."""
+    rng = np.random.default_rng(seed)
+    c = rng.standard_normal((ntraj, nstates)) \
+        + 1j * rng.standard_normal((ntraj, nstates))
+    c = c / batched_norm(c)[:, None]
+    active = rng.integers(0, nstates, size=ntraj)
+    return c, active, rng
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ntraj=st.integers(1, 8),
+    nstates=st.integers(2, 6),
+    ekin=st.floats(1e-4, 10.0),
+    cparam=st.floats(0.0, 1.0),
+    dt=st.floats(0.01, 2.0),
+)
+def test_edc_norm_and_monotone_decay(seed, ntraj, nstates, ekin, cparam, dt):
+    c, active, rng = random_swarm(seed, ntraj, nstates)
+    energies = np.sort(rng.standard_normal(nstates))
+    kinetic = np.full(ntraj, ekin)
+    before = np.abs(c) ** 2
+    out = apply_edc_batch(c.copy(), active, energies, dt, kinetic, cparam)
+    # Norm restored to unity within 1e-12 on every row.
+    assert np.all(np.abs(batched_norm(out) - 1.0) <= 1e-12)
+    after = np.abs(out) ** 2
+    rows = np.arange(ntraj)
+    gap = np.abs(energies[None, :] - energies[active][:, None])
+    decaying = gap >= 1e-12
+    decaying[rows, active] = False
+    # Every non-active, non-degenerate population decays monotonically;
+    # the active population absorbs what they release.
+    assert np.all(after[decaying] <= before[decaying] + 1e-12)
+    assert np.all(after[rows, active] >= before[rows, active] - 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 10),
+    rescale=st.sampled_from(["energy", "augment", "none"]),
+    reject=st.sampled_from(["keep", "reverse"]),
+)
+def test_hops_never_create_energy(seed, n, rescale, reject):
+    """ke * scale^2 never exceeds the energy budget ke + max(-de, 0)."""
+    rng = np.random.default_rng(seed)
+    de = rng.uniform(-2.0, 2.0, size=n)
+    kinetic = rng.uniform(1e-3, 1.0, size=n)
+    policy = HopPolicy(hop_rescale=rescale, hop_reject=reject)
+    accepted, scale = resolve_hops(de, kinetic, policy)
+    ke_after = kinetic * scale**2
+    budget = kinetic + np.maximum(-de, 0.0)
+    assert np.all(ke_after <= budget * (1.0 + 1e-12) + 1e-15)
+    if rescale == "energy":
+        # Accepted hops conserve total energy exactly; frustrated ones
+        # leave the kinetic energy untouched (|scale| == 1).
+        assert np.all(accepted == (de <= kinetic))
+        assert np.allclose((ke_after + de)[accepted], kinetic[accepted],
+                           atol=1e-12)
+        expected = 1.0 if reject == "keep" else -1.0
+        assert np.all(scale[~accepted] == expected)
+    elif rescale == "augment":
+        assert np.all(accepted)
+        assert np.allclose(ke_after, np.maximum(kinetic - de, 0.0),
+                           atol=1e-12)
+    else:
+        assert np.all(accepted)
+        assert np.all(scale == 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ntraj=st.integers(1, 8),
+    nstates=st.integers(2, 6),
+    dt=st.floats(0.01, 1.0),
+    nac_scale=st.floats(0.01, 3.0),
+)
+def test_hop_probabilities_partition_unity(seed, ntraj, nstates, dt,
+                                           nac_scale):
+    c, active, rng = random_swarm(seed, ntraj, nstates)
+    m = nac_scale * (rng.standard_normal((nstates, nstates))
+                     + 1j * rng.standard_normal((nstates, nstates)))
+    nac = 0.5 * (m - m.conj().T)
+    g = hop_probabilities_batch(c, active, nac, dt)
+    rows = np.arange(ntraj)
+    assert np.all(g >= 0.0) and np.all(g <= 1.0)
+    assert np.all(g[rows, active] == 0.0)
+    stay = stay_probabilities(g)
+    total = g.sum(axis=1)
+    assert np.all(stay >= 0.0) and np.all(stay <= 1.0)
+    # Partition of unity until the per-channel clip saturates the sum.
+    unsat = total <= 1.0
+    assert np.all(np.abs((total + stay)[unsat] - 1.0) <= 1e-12)
+    assert np.all(stay[~unsat] == 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ntraj=st.integers(1, 8),
+    nstates=st.integers(2, 6),
+)
+def test_select_hops_targets_valid(seed, ntraj, nstates):
+    c, active, rng = random_swarm(seed, ntraj, nstates)
+    m = rng.standard_normal((nstates, nstates))
+    nac = 0.5 * (m - m.T).astype(complex)
+    g = hop_probabilities_batch(c, active, nac, dt=0.5)
+    xi = rng.random(ntraj)
+    target = select_hops(g, xi)
+    rows = np.arange(ntraj)
+    hopped = target >= 0
+    assert np.all((target >= -1) & (target < nstates))
+    # A selected target always carries positive probability (never the
+    # active state, whose column is zeroed).
+    assert np.all(g[rows[hopped], target[hopped]] > 0.0)
+    assert np.all(target[hopped] != active[hopped])
+    # xi at/above the total hop probability means no hop.
+    total = g.sum(axis=1)
+    assert np.all(~hopped[xi >= total])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ntraj=st.integers(2, 7),
+    nstates=st.integers(2, 5),
+    dt=st.floats(0.05, 1.0),
+)
+def test_batched_rows_bit_identical_to_single(seed, ntraj, nstates, dt):
+    """The engine's foundation: kernels are batch-size invariant per row."""
+    c, active, rng = random_swarm(seed, ntraj, nstates)
+    energies = np.sort(rng.standard_normal(nstates))
+    m = rng.standard_normal((nstates, nstates))
+    nac = 0.5 * (m - m.T).astype(complex)
+    kinetic = rng.uniform(1e-3, 1.0, size=ntraj)
+    xi = rng.random(ntraj)
+
+    prop = propagate_amplitudes_batch(c, energies, nac, dt, substeps=5)
+    g = hop_probabilities_batch(prop, active, nac, dt)
+    tgt = select_hops(g, xi)
+    edc = apply_edc_batch(prop.copy(), active, energies, dt, kinetic, 0.1)
+    for t in range(ntraj):
+        row = slice(t, t + 1)
+        assert np.array_equal(
+            prop[t],
+            propagate_amplitudes_batch(c[row], energies, nac, dt,
+                                       substeps=5)[0],
+        )
+        assert np.array_equal(
+            g[t],
+            hop_probabilities_batch(prop[row], active[row], nac, dt)[0],
+        )
+        assert tgt[t] == select_hops(g[row], xi[row])[0]
+        assert np.array_equal(
+            edc[t],
+            apply_edc_batch(prop[row].copy(), active[row], energies, dt,
+                            kinetic[row], 0.1)[0],
+        )

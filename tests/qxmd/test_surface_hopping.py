@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.qxmd import FSSH, SurfaceHoppingState
+from repro.qxmd import FSSH, HopPolicy, SurfaceHoppingState
 from repro.qxmd.surface_hopping import occupations_from_states
 
 
@@ -29,6 +29,12 @@ class TestState:
     def test_active_range(self):
         with pytest.raises(ValueError):
             SurfaceHoppingState(amplitudes=np.ones(3), active=3)
+
+    def test_stacked_amplitudes_rejected(self):
+        """Batches are SwarmState's job: a global normalize-on-construct
+        here would silently bury zero-amplitude rows."""
+        with pytest.raises(ValueError, match="SwarmState"):
+            SurfaceHoppingState(amplitudes=np.ones((4, 3)), active=0)
 
 
 class TestAmplitudePropagation:
@@ -157,6 +163,36 @@ class TestOccupationLayering:
                 [SurfaceHoppingState.on_state(5, 4)], 4, np.array([2.0, 0, 0, 0])
             )
 
+    def test_multi_carrier_drains_valence_not_conduction(self):
+        """Regression (single-carrier bias): three carriers drain the
+        HOMO twice and HOMO-1 once -- the donor is recomputed per
+        carrier among the *base* valence orbitals, never an orbital that
+        only holds a previously promoted electron."""
+        base = np.array([2.0, 2.0, 0.0, 0.0])
+        carriers = [
+            SurfaceHoppingState.on_state(4, 3),
+            SurfaceHoppingState.on_state(4, 3),
+            SurfaceHoppingState.on_state(4, 2),
+        ]
+        f = occupations_from_states(carriers, 4, base)
+        assert np.allclose(f, [1.0, 0.0, 1.0, 2.0])
+        assert f.sum() == pytest.approx(base.sum())
+
+    def test_carriers_exhausting_valence_raise(self):
+        base = np.array([1.0, 1.0, 0.0, 0.0])
+        carriers = [SurfaceHoppingState.on_state(4, 3) for _ in range(3)]
+        with pytest.raises(ValueError, match="no occupied orbital"):
+            occupations_from_states(carriers, 4, base)
+
+    def test_relaxed_carrier_on_homo_is_noop(self):
+        """A carrier that relaxed back onto the donor level moves nothing."""
+        base = np.array([2.0, 2.0, 0.0, 0.0])
+        f = occupations_from_states(
+            [SurfaceHoppingState.on_state(4, 3),
+             SurfaceHoppingState.on_state(4, 1)], 4, base,
+        )
+        assert np.allclose(f, [2.0, 1.0, 0.0, 1.0])
+
 
 class TestDecoherence:
     def test_off_by_default(self, rng):
@@ -206,6 +242,18 @@ class TestDecoherence:
         with pytest.raises(ValueError):
             FSSH(rng, decoherence_c=-0.1)
 
+    def test_policy_and_decoherence_c_mutually_exclusive(self, rng):
+        with pytest.raises(ValueError, match="not both"):
+            FSSH(rng, decoherence_c=0.1,
+                 policy=HopPolicy(dec_correction="edc"))
+
+    def test_decoherence_c_maps_to_edc_policy(self, rng):
+        fssh = FSSH(rng, decoherence_c=0.25)
+        assert fssh.policy.dec_correction == "edc"
+        assert fssh.policy.edc_parameter == pytest.approx(0.25)
+        assert fssh.decoherence_c == pytest.approx(0.25)
+        assert FSSH(rng).decoherence_c is None
+
     def test_slower_nuclei_decohere_faster(self):
         """Smaller kinetic energy -> shorter coherence lifetime factor...
         actually the GP factor (1 + C/Ekin) grows at small Ekin, meaning
@@ -220,3 +268,68 @@ class TestDecoherence:
             return state.populations[1]
 
         assert run(10.0) < run(0.01)  # fast nuclei decohere more per step
+
+
+class TestHopPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hop_rescale"):
+            HopPolicy(hop_rescale="bogus")
+        with pytest.raises(ValueError, match="hop_reject"):
+            HopPolicy(hop_reject="bogus")
+        with pytest.raises(ValueError, match="dec_correction"):
+            HopPolicy(dec_correction="sdm")
+        with pytest.raises(ValueError, match="edc_parameter"):
+            HopPolicy(edc_parameter=-0.1)
+
+    def test_cpa_constructor(self):
+        policy = HopPolicy.cpa()
+        assert policy.hop_rescale == "none"
+        assert policy.dec_correction is None
+        edc = HopPolicy.cpa(dec_correction="edc", edc_parameter=0.2)
+        assert edc.dec_correction == "edc"
+        assert edc.edc_parameter == pytest.approx(0.2)
+
+    def test_reverse_policy_flips_velocities_on_frustration(self):
+        """Frustrated hop under hop_reject='reverse': not hopped, scale
+        -1 (momentum reversal, kinetic energy unchanged)."""
+        fssh = FSSH(np.random.default_rng(0),
+                    policy=HopPolicy(hop_reject="reverse"))
+        state = SurfaceHoppingState(
+            amplitudes=np.array([1.0, 1.0], dtype=complex), active=0
+        )
+        e = np.array([0.0, 10.0])
+        nac = np.array([[0.0, -5.0], [5.0, 0.0]], dtype=complex)
+        hopped, scale = fssh.attempt_hop(state, e, nac, dt=1.0,
+                                         kinetic_energy=0.01)
+        assert not hopped
+        assert scale == -1.0
+        assert state.active == 0
+
+    def test_augment_policy_accepts_frustrated_hop_draining_ke(self):
+        """hop_rescale='augment' accepts the hop the energy policy would
+        frustrate; the rescale factor floors at zero."""
+        fssh = FSSH(np.random.default_rng(0),
+                    policy=HopPolicy(hop_rescale="augment"))
+        state = SurfaceHoppingState(
+            amplitudes=np.array([1.0, 1.0], dtype=complex), active=0
+        )
+        e = np.array([0.0, 10.0])
+        nac = np.array([[0.0, -5.0], [5.0, 0.0]], dtype=complex)
+        hopped, scale = fssh.attempt_hop(state, e, nac, dt=1.0,
+                                         kinetic_energy=0.01)
+        assert hopped
+        assert scale == 0.0
+        assert state.active == 1
+
+    def test_cpa_policy_never_rescales(self):
+        fssh = FSSH(np.random.default_rng(0), policy=HopPolicy.cpa())
+        state = SurfaceHoppingState(
+            amplitudes=np.array([1.0, 1.0], dtype=complex), active=0
+        )
+        e = np.array([0.0, 10.0])
+        nac = np.array([[0.0, -5.0], [5.0, 0.0]], dtype=complex)
+        hopped, scale = fssh.attempt_hop(state, e, nac, dt=1.0,
+                                         kinetic_energy=0.01)
+        assert hopped
+        assert scale == 1.0
+        assert state.active == 1

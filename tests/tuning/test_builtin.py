@@ -17,7 +17,7 @@ def registry():
 class TestRegistryShape:
     def test_all_declared_ids_registered(self, registry):
         assert registry.ids() == TUNABLE_IDS
-        assert len(registry) == 4
+        assert len(registry) == 5
 
     def test_default_registry_is_cached_singleton(self):
         assert default_registry() is default_registry()
