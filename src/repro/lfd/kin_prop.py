@@ -39,7 +39,7 @@ floating-point reassociation) and are cross-checked in the tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -151,16 +151,25 @@ def kin_prop_blocked(  # dclint: disable=DCL006 -- timed by kinetic_step
     soa: np.ndarray,
     coeff: PairSplitCoefficients,
     axis: int,
-    block_size: int = 32,
+    block_size: Optional[int] = None,
 ) -> None:
     """Blocked kernel (Algorithm 4): per (j, orbital-block) tile updates.
 
     Each Python-level iteration updates a full (pairs, k, block) tile,
     mirroring the cache/register blocking of the paper while still keeping
-    the outer plane loop explicit.
+    the outer plane loop explicit.  ``block_size=None`` resolves the tile
+    width from the active :class:`~repro.tuning.profile.TuningProfile`
+    (the ``lfd.kin_prop`` tunable), so default callers get the persisted
+    per-machine winner instead of a hard-coded shape.
     """
     if soa.ndim != 4:
         raise ValueError("SoA data must have shape (nx, ny, nz, norb)")
+    if block_size is None:
+        from repro.tuning.profile import get_active_profile
+
+        block_size = int(
+            get_active_profile().params_for("lfd.kin_prop")["block_size"]
+        )
     if block_size < 1:
         raise ValueError("block_size must be positive")
     p = np.moveaxis(soa, axis, 0)  # (n, a, b, norb) view
@@ -215,7 +224,7 @@ def kinetic_step(
     dt: float,
     theta: Sequence[float] = (0.0, 0.0, 0.0),
     variant: str = "collapsed",
-    block_size: int = 32,
+    block_size: Optional[int] = None,
     mass: float = M_ELECTRON,
 ) -> None:
     """Propagate ``wf`` by ``exp(-i dt T / hbar)`` using a chosen kernel variant.
@@ -229,6 +238,10 @@ def kinetic_step(
     The ``baseline`` variant converts to AoS and back around the sweep --
     benchmark code that wants to time the kernel alone should call
     :func:`kin_prop_baseline` directly on pre-converted data.
+
+    ``block_size`` only affects the ``blocked`` variant; ``None`` defers
+    to :func:`kin_prop_blocked`, which resolves the tile width from the
+    active TuningProfile.
     """
     if variant not in KIN_PROP_VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; options: {sorted(KIN_PROP_VARIANTS)}")

@@ -92,7 +92,7 @@ def nonlocal_correction_blas_blocked(  # dclint: disable=DCL006 -- timed by Nonl
     scissor_shift: float,
     dt: float,
     normalize: bool = True,
-    orb_block: int = 16,
+    orb_block: Optional[int] = None,
 ) -> None:
     """Apply Eq. (9) as panel GEMMs over the unoccupied reference block.
 
@@ -102,9 +102,17 @@ def nonlocal_correction_blas_blocked(  # dclint: disable=DCL006 -- timed by Nonl
     :func:`nonlocal_correction_blas` (panel sums only reassociate the
     unoccupied-orbital reduction), but the panel width controls the
     BLAS-3 block shape -- the knob the tuning subsystem searches.
+    ``orb_block=None`` resolves that width from the active TuningProfile
+    (the ``lfd.nonlocal`` tunable) instead of a hard-coded panel shape.
     """
     if ref_unocc.grid.shape != wf.grid.shape:
         raise ValueError("reference orbitals live on a different grid")
+    if orb_block is None:
+        from repro.tuning.profile import get_active_profile
+
+        orb_block = int(
+            get_active_profile().params_for("lfd.nonlocal")["orb_block"]
+        )
     if orb_block < 1:
         raise ValueError("orb_block must be positive")
     dvol = wf.grid.dvol

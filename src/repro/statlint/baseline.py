@@ -73,11 +73,31 @@ class Baseline:
         cls,
         findings: Iterable[Finding],
         previous: "Baseline" | None = None,
+        covered_rules: Iterable[str] | None = None,
     ) -> "Baseline":
-        """Baseline the given findings, keeping surviving justifications."""
+        """Baseline the given findings, keeping surviving justifications.
+
+        ``covered_rules`` names the rule codes this run actually
+        executed.  Previous entries for rules *outside* that set are
+        preserved verbatim: re-baselining with ``--select DCL012`` (the
+        new-rule adoption path) must not silently drop the DCL001-011
+        entries -- and their justifications -- that the selective run
+        never re-checked.  ``None`` means every rule ran (the
+        historical behavior: the new findings replace everything).
+
+        Justifications match by exact key first, then fall back to
+        (rule, path, snippet) so a finding whose enclosing function was
+        renamed keeps its explanation instead of silently losing it.
+        """
         prev_just: Dict[Tuple[str, str, int], str] = {}
+        prev_fuzzy: Dict[Tuple[str, str, str], str] = {}
         if previous is not None:
             prev_just = {e.key: e.justification for e in previous.entries}
+            for e in previous.entries:
+                if e.justification:
+                    prev_fuzzy.setdefault(
+                        (e.rule, e.path, e.snippet), e.justification
+                    )
         entries = [
             BaselineEntry(
                 fingerprint=f.fingerprint,
@@ -87,10 +107,17 @@ class Baseline:
                 snippet=f.snippet,
                 occurrence=f.occurrence,
                 line=f.line,
-                justification=prev_just.get(f.key, ""),
+                justification=prev_just.get(f.key)
+                or prev_fuzzy.get((f.rule, f.path, f.snippet), ""),
             )
             for f in findings
         ]
+        if previous is not None and covered_rules is not None:
+            covered = {c.strip().upper() for c in covered_rules}
+            current_keys = {e.key for e in entries}
+            for e in previous.entries:
+                if e.rule.upper() not in covered and e.key not in current_keys:
+                    entries.append(e)
         entries.sort(key=lambda e: (e.path, e.line, e.rule, e.occurrence))
         return cls(entries)
 

@@ -10,8 +10,9 @@ a paper-taxonomy tracer span).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 #: Modules whose loops are Suzuki-Trotter / multigrid / CG hot paths: no
 #: hidden array construction inside ``for``/``while`` (paper Alg. 2).
@@ -107,6 +108,48 @@ NARROWING_DTYPES: Tuple[str, ...] = (
     "uint8",
 )
 
+#: Modules whose functions sit on the executor/ensemble/swarm fan-out
+#: paths: RNG values used here must derive from the deterministic
+#: ``worker_rng`` / ``chunk_rng`` / ``trajectory_rng`` streams (DCL013),
+#: and executor task callables dispatched from here must be picklable
+#: module-level functions (DCL012).
+RNG_SCOPE_PATHS: Tuple[str, ...] = (
+    "repro/parallel/",
+    "repro/ensemble/",
+    "repro/qxmd/scf.py",
+)
+
+#: The blessed deterministic RNG provenance functions: a Generator on an
+#: executor path must come from one of these (or from an explicitly
+#: seeded ``default_rng(seed)`` whose seed rides in the task item).
+RNG_PROVENANCE_FUNCS: Tuple[str, ...] = (
+    "worker_rng",
+    "chunk_rng",
+    "trajectory_rng",
+)
+
+#: Identifiers that mark a TuningProfile resolution point: an
+#: ``is None``-guarded tunable assignment must route through one of
+#: these, otherwise the persisted tuned winner is silently bypassed.
+TUNING_RESOLUTION_MARKERS: Tuple[str, ...] = (
+    "get_active_profile",
+    "params_for",
+    "resolve_tunable",
+)
+
+#: Real-valued cast targets: complex128 flowing into one of these loses
+#: its imaginary part with no runtime error on the ndarray path.
+REAL_SINK_DTYPES: Tuple[str, ...] = (
+    "float64",
+    "double",
+    "float",
+    "float_",
+    "float32",
+    "single",
+    "float16",
+    "half",
+)
+
 #: numpy.random attributes that are legitimate (seeded-Generator plumbing).
 SEEDED_RNG_OK: Tuple[str, ...] = (
     "default_rng",
@@ -182,6 +225,10 @@ DEFAULT_SEVERITIES: Mapping[str, str] = {
     "DCL009": "error",
     "DCL010": "error",
     "DCL011": "error",
+    "DCL012": "error",
+    "DCL013": "error",
+    "DCL014": "error",
+    "DCL015": "error",
 }
 
 _VALID_SEVERITIES = ("error", "warning", "note")
@@ -201,6 +248,30 @@ class LintConfig:
     executor_paths: Tuple[str, ...] = EXECUTOR_PATHS
     tuning_literal_paths: Tuple[str, ...] = TUNING_LITERAL_PATHS
     liveness_paths: Tuple[str, ...] = LIVENESS_PATHS
+    rng_scope_paths: Tuple[str, ...] = RNG_SCOPE_PATHS
+    #: Parallel parse/lint workers; 1 = serial, 0 = one per CPU.
+    jobs: int = 1
+    #: Incremental-cache path; None disables caching.
+    cache: Optional[str] = None
+    #: Default baseline path applied when the CLI gets no --baseline.
+    baseline: Optional[str] = None
+
+    def fingerprint_payload(self) -> str:
+        """Stable text of every behavior-affecting field, for cache keys.
+
+        ``jobs`` and ``cache`` are excluded on purpose: they change how
+        the lint runs, never what it finds.
+        """
+        skip = ("jobs", "cache", "baseline")
+        parts = []
+        for f in sorted(fields(self), key=lambda f: f.name):
+            if f.name in skip:
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value = tuple(sorted(value.items()))
+            parts.append(f"{f.name}={value!r}")
+        return ";".join(parts)
 
     def severity_for(self, code: str) -> str:
         """Effective severity of a rule after CLI overrides."""
@@ -233,3 +304,80 @@ def path_matches(relpath: str, patterns: Iterable[str]) -> bool:
     """True when the POSIX relpath falls under any substring pattern."""
     posix = relpath.replace("\\", "/")
     return any(pat in posix for pat in patterns)
+
+
+def find_pyproject(paths: Sequence[str]) -> Optional[Path]:
+    """The nearest pyproject.toml at or above the first lint path.
+
+    Discovery anchors on the *linted tree*, not the process cwd, so the
+    same invocation behaves identically from any directory and temp
+    trees in tests never inherit the repo's configuration.
+    """
+    if not paths:
+        return None
+    start = Path(paths[0]).resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_pyproject_settings(pyproject: Path) -> Dict[str, object]:
+    """The raw ``[tool.statlint]`` table of a pyproject.toml (or {})."""
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - python < 3.11
+        return {}
+    try:
+        doc = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):
+        return {}
+    tool = doc.get("tool")
+    if not isinstance(tool, dict):
+        return {}
+    table = tool.get("statlint")
+    return dict(table) if isinstance(table, dict) else {}
+
+
+def config_from_settings(settings: Mapping[str, object]) -> Dict[str, object]:
+    """Validated LintConfig keyword overrides from a settings table.
+
+    Recognized keys: ``select``, ``ignore`` (lists of rule codes),
+    ``severity`` (table of code -> level), ``jobs`` (int), ``cache``
+    and ``baseline`` (paths).  Unknown keys are ignored so a newer
+    config file degrades gracefully on an older linter.
+    """
+    out: Dict[str, object] = {}
+    for key in ("select", "ignore"):
+        raw = settings.get(key)
+        if isinstance(raw, (list, tuple)):
+            out[key] = tuple(str(c).strip().upper() for c in raw if str(c).strip())
+        elif isinstance(raw, str):
+            out[key] = tuple(
+                c.strip().upper() for c in raw.split(",") if c.strip()
+            )
+    severity = settings.get("severity")
+    if isinstance(severity, dict):
+        parsed: Dict[str, str] = {}
+        for code, level in severity.items():
+            level_s = str(level).strip().lower()
+            if level_s not in _VALID_SEVERITIES:
+                raise ValueError(
+                    f"[tool.statlint] severity.{code}: {level!r} is not one "
+                    f"of {'/'.join(_VALID_SEVERITIES)}"
+                )
+            parsed[str(code).strip().upper()] = level_s
+        out["severities"] = parsed
+    jobs = settings.get("jobs")
+    if isinstance(jobs, int) and not isinstance(jobs, bool):
+        if jobs < 0:
+            raise ValueError("[tool.statlint] jobs must be >= 0")
+        out["jobs"] = jobs
+    for key in ("cache", "baseline"):
+        raw = settings.get(key)
+        if isinstance(raw, str) and raw.strip():
+            out[key] = raw.strip()
+    return out

@@ -1,0 +1,659 @@
+"""Forward dataflow for the project-wide statlint rules.
+
+Two abstract domains are propagated through each function body in
+program order, with joins at control-flow merges:
+
+* a **dtype lattice** ``{complex128, float64, float32, int, unknown}``
+  mirroring the repo's kernel dtype contract.  Values are inferred from
+  constants, numpy constructors (``np.zeros(..., dtype=...)``),
+  ``astype`` casts, arithmetic promotion, and -- through the optional
+  ``call_resolver`` hook the project layer supplies -- the inferred
+  return dtype of cross-module calls.  DCL014 reads the per-expression
+  results to find complex128 values flowing into real-dtype sinks.
+
+* a **noneness domain** ``{none, notnone, maybe}`` with ``is None`` /
+  ``is not None`` branch narrowing, used by DCL015 to decide whether a
+  ``None``-default tunable parameter can reach a kernel use without
+  passing through the TuningProfile resolution point.
+
+The analysis is deliberately flow-sensitive but path-insensitive: loop
+bodies are interpreted once and joined with the pre-loop environment,
+which is sound for the "may reach" questions the rules ask.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+#: The dtype lattice, narrowest to widest; ``unknown`` is top.
+DTYPE_VALUES: Tuple[str, ...] = ("int", "float32", "float64", "complex128", "unknown")
+
+_RANK: Dict[str, int] = {"int": 0, "float32": 1, "float64": 2, "complex128": 3}
+
+#: Textual numpy dtype names folded onto the lattice.  ``complex64`` has
+#: no lattice point (the rules treat it as a *sink*, never a source), so
+#: it maps to unknown.
+_DTYPE_NAMES: Dict[str, str] = {
+    "complex128": "complex128",
+    "cdouble": "complex128",
+    "complex": "complex128",
+    "complex_": "complex128",
+    "float64": "float64",
+    "double": "float64",
+    "float": "float64",
+    "float_": "float64",
+    "float32": "float32",
+    "single": "float32",
+    "float16": "float32",
+    "half": "float32",
+    "int": "int",
+    "int8": "int",
+    "int16": "int",
+    "int32": "int",
+    "int64": "int",
+    "intp": "int",
+    "uint8": "int",
+    "uint16": "int",
+    "uint32": "int",
+    "uint64": "int",
+    "bool_": "int",
+    "bool": "int",
+}
+
+#: ndarray methods that preserve the receiver's dtype.
+_DTYPE_PRESERVING_METHODS: Tuple[str, ...] = (
+    "copy",
+    "reshape",
+    "ravel",
+    "flatten",
+    "transpose",
+    "squeeze",
+    "conj",
+    "conjugate",
+    "sum",
+    "mean",
+    "cumsum",
+    "take",
+    "clip",
+    "view",
+)
+
+#: numpy functions returning the promotion of their array arguments.
+_PROMOTING_FUNCS: Tuple[str, ...] = (
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "vdot",
+    "dot",
+    "matmul",
+    "einsum",
+    "tensordot",
+    "inner",
+    "outer",
+    "sum",
+    "mean",
+    "trace",
+    "conj",
+    "conjugate",
+    "where",
+    "concatenate",
+    "stack",
+    "roll",
+)
+
+#: Transcendental numpy functions: integer inputs promote to float64.
+_TRANSCENDENTAL_FUNCS: Tuple[str, ...] = (
+    "exp",
+    "expm1",
+    "log",
+    "log2",
+    "log10",
+    "sqrt",
+    "sin",
+    "cos",
+    "tan",
+    "sinh",
+    "cosh",
+    "tanh",
+    "arcsin",
+    "arccos",
+    "arctan",
+    "power",
+)
+
+#: numpy functions whose result is real even for complex input.
+_REALIZING_FUNCS: Tuple[str, ...] = ("abs", "absolute", "real", "imag", "angle")
+
+#: Array constructors that default to float64 when no dtype is given.
+_FLOAT_DEFAULT_CTORS: Tuple[str, ...] = ("zeros", "ones", "empty", "linspace")
+
+#: Constructors inferring dtype from their first (array) argument.
+_INFERRING_CTORS: Tuple[str, ...] = (
+    "array",
+    "asarray",
+    "ascontiguousarray",
+    "asfortranarray",
+    "copy",
+    "zeros_like",
+    "ones_like",
+    "empty_like",
+    "full_like",
+)
+
+
+def promote(a: str, b: str) -> str:
+    """Numpy-style binary promotion on the lattice; unknown poisons."""
+    if a == "unknown" or b == "unknown":
+        return "unknown"
+    return a if _RANK[a] >= _RANK[b] else b
+
+
+def join(a: str, b: str) -> str:
+    """Control-flow join: agreeing facts survive, disagreements widen."""
+    return a if a == b else "unknown"
+
+
+def real_of(d: str) -> str:
+    """The dtype of ``x.real`` / ``abs(x)`` for a value of dtype ``d``."""
+    return "float64" if d == "complex128" else d
+
+
+def lattice_of_dtype_name(name: Optional[str]) -> str:
+    """Fold a textual dtype name ("float32", "np.cdouble") to the lattice."""
+    if name is None:
+        return "unknown"
+    return _DTYPE_NAMES.get(name.strip(), "unknown")
+
+
+def join_noneness(a: str, b: str) -> str:
+    """Join in the ``{none, notnone, maybe}`` noneness domain."""
+    return a if a == b else "maybe"
+
+
+#: Resolver hook signature: given a Call node, return the inferred
+#: lattice dtype of its result, or None to fall back to local inference.
+CallResolver = Callable[[ast.Call], Optional[str]]
+
+#: Dtype-name resolver: maps an AST dtype expression (``np.float32``,
+#: ``"float32"``, ``float32``) to its textual dtype name, or None.
+DtypeNamer = Callable[[ast.expr], Optional[str]]
+
+
+class FunctionDataflow:
+    """One forward pass over a statement list, recording per-node facts.
+
+    After :meth:`run`, ``types`` maps ``id(expr-node)`` to the inferred
+    lattice dtype of every visited expression, and ``noneness`` maps
+    ``id(Name-load-node)`` to the noneness of that variable at that
+    program point.  ``literal_narrowings`` records ``is None``-guarded
+    assignments of tracked names to bare int literals (the DCL015
+    profile-bypass case).
+    """
+
+    def __init__(
+        self,
+        body: Sequence[ast.stmt],
+        dtype_namer: Optional[DtypeNamer] = None,
+        call_resolver: Optional[CallResolver] = None,
+        param_noneness: Optional[Dict[str, str]] = None,
+        param_dtypes: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.body = list(body)
+        self._dtype_namer = dtype_namer
+        self._call_resolver = call_resolver
+        self.types: Dict[int, str] = {}
+        self.noneness: Dict[int, str] = {}
+        #: (name, assignment node) pairs: tracked name narrowed from a
+        #: possible None straight to an int literal.
+        self.literal_narrowings: List[Tuple[str, ast.stmt]] = []
+        self.return_dtype: str = "unknown"
+        self._returns: List[str] = []
+        self._env: Dict[str, str] = dict(param_dtypes or {})
+        self._none_env: Dict[str, str] = dict(param_noneness or {})
+        #: Names whose noneness is tracked (DCL015 params); only these
+        #: get per-load noneness records and literal-narrowing records.
+        self._tracked: Set[str] = set(param_noneness or {})
+
+    # ------------------------------------------------------------- #
+    # driver
+    # ------------------------------------------------------------- #
+    def run(self) -> "FunctionDataflow":
+        """Interpret the body; returns self for chaining."""
+        self._exec_block(self.body)
+        if self._returns:
+            out = self._returns[0]
+            for r in self._returns[1:]:
+                out = join(out, r)
+            self.return_dtype = out
+        return self
+
+    # ------------------------------------------------------------- #
+    # statements
+    # ------------------------------------------------------------- #
+    def _exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            dt = self._eval(stmt.value)
+            nn = self._noneness_of_expr(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, dt, nn, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                dt = self._eval(stmt.value)
+                nn = self._noneness_of_expr(stmt.value)
+                self._assign_target(stmt.target, dt, nn, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            dt = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                cur = self._env.get(stmt.target.id, "unknown")
+                self._env[stmt.target.id] = promote(cur, dt)
+                self._set_noneness(stmt.target.id, "notnone", stmt)
+            else:
+                self._eval(stmt.target)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_dt = self._eval(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                self._env[stmt.target.id] = iter_dt
+                self._none_env[stmt.target.id] = "notnone"
+            pre_env, pre_none = dict(self._env), dict(self._none_env)
+            self._exec_block(stmt.body)
+            self._join_envs(pre_env, pre_none)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            pre_env, pre_none = dict(self._env), dict(self._none_env)
+            self._exec_block(stmt.body)
+            self._join_envs(pre_env, pre_none)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    self._env[item.optional_vars.id] = "unknown"
+                    self._none_env[item.optional_vars.id] = "notnone"
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            pre_env, pre_none = dict(self._env), dict(self._none_env)
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                env_snap, none_snap = dict(self._env), dict(self._none_env)
+                self._env, self._none_env = dict(pre_env), dict(pre_none)
+                self._exec_block(handler.body)
+                self._join_envs(env_snap, none_snap)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._returns.append(self._eval(stmt.value))
+            else:
+                self._returns.append("unknown")
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are opaque values; their bodies are not entered.
+            self._env[stmt.name] = "unknown"
+            self._none_env[stmt.name] = "notnone"
+        # Import/Global/Pass/Break/Continue/ClassDef: no dataflow effect.
+
+    def _assign_target(
+        self, target: ast.expr, dt: str, nn: str, stmt: ast.stmt
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._env[target.id] = dt
+            self._set_noneness(target.id, nn, stmt)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, "unknown", "maybe", stmt)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # Evaluate the store target's base so sink rules can query
+            # the dtype of ``out`` in ``out[i] = z``.
+            self._eval(target.value)
+            if isinstance(target, ast.Subscript):
+                self._eval(target.slice)
+
+    def _noneness_of_expr(self, node: ast.expr) -> str:
+        """Noneness of an assigned value expression.
+
+        Deliberately optimistic for calls and other opaque expressions
+        ("notnone"): DCL015 asks whether the *declared-None default*
+        can still be None, and any reassignment through a resolver call
+        is exactly the sanctioned fix.
+        """
+        if isinstance(node, ast.Constant):
+            return "none" if node.value is None else "notnone"
+        if isinstance(node, ast.Name):
+            return self._none_env.get(node.id, "notnone")
+        if isinstance(node, ast.IfExp):
+            return join_noneness(
+                self._noneness_of_expr(node.body),
+                self._noneness_of_expr(node.orelse),
+            )
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+            # ``x or 32``: the result is None only if the last arm is.
+            return self._noneness_of_expr(node.values[-1])
+        return "notnone"
+
+    def _set_noneness(self, name: str, nn: str, stmt: ast.stmt) -> None:
+        was = self._none_env.get(name)
+        self._none_env[name] = nn
+        if (
+            name in self._tracked
+            and was in ("none", "maybe")
+            and isinstance(stmt, (ast.Assign, ast.AnnAssign))
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, int)
+            and not isinstance(stmt.value.value, bool)
+        ):
+            self.literal_narrowings.append((name, stmt))
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        self._eval(stmt.test)
+        narrowed = _none_test(stmt.test)
+        body_env, body_none = dict(self._env), dict(self._none_env)
+        else_env, else_none = dict(self._env), dict(self._none_env)
+        if narrowed is not None:
+            name, is_none = narrowed
+            body_none[name] = "none" if is_none else "notnone"
+            else_none[name] = "notnone" if is_none else "none"
+        # Branch bodies that end in raise/return/continue do not merge
+        # back (the guard pattern ``if x is None: raise``).
+        self._env, self._none_env = body_env, body_none
+        self._exec_block(stmt.body)
+        body_exits = _block_exits(stmt.body)
+        out_env, out_none = dict(self._env), dict(self._none_env)
+        self._env, self._none_env = else_env, else_none
+        self._exec_block(stmt.orelse)
+        else_exits = bool(stmt.orelse) and _block_exits(stmt.orelse)
+        if body_exits and not else_exits:
+            return  # fall-through env is the else env, already active
+        if else_exits and not body_exits:
+            self._env, self._none_env = out_env, out_none
+            return
+        self._join_envs(out_env, out_none)
+
+    def _join_envs(self, env: Dict[str, str], none_env: Dict[str, str]) -> None:
+        merged: Dict[str, str] = {}
+        for name in set(self._env) | set(env):
+            merged[name] = join(
+                self._env.get(name, "unknown"), env.get(name, "unknown")
+            )
+        self._env = merged
+        merged_none: Dict[str, str] = {}
+        for name in set(self._none_env) | set(none_env):
+            merged_none[name] = join_noneness(
+                self._none_env.get(name, "maybe"), none_env.get(name, "maybe")
+            )
+        self._none_env = merged_none
+
+    # ------------------------------------------------------------- #
+    # expressions
+    # ------------------------------------------------------------- #
+    def _eval(self, node: ast.expr) -> str:
+        dt = self._eval_inner(node)
+        self.types[id(node)] = dt
+        return dt
+
+    def _eval_inner(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return "int"
+            if isinstance(v, int):
+                return "int"
+            if isinstance(v, float):
+                return "float64"
+            if isinstance(v, complex):
+                return "complex128"
+            return "unknown"
+        if isinstance(node, ast.Name):
+            if node.id in self._tracked and isinstance(node.ctx, ast.Load):
+                self.noneness[id(node)] = self._none_env.get(node.id, "maybe")
+            return self._env.get(node.id, "unknown")
+        if isinstance(node, ast.BinOp):
+            return promote(self._eval(node.left), self._eval(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out = "unknown"
+            for i, v in enumerate(node.values):
+                dt = self._eval(v)
+                out = dt if i == 0 else join(out, dt)
+            return out
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comp in node.comparators:
+                self._eval(comp)
+            return "int"
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return join(self._eval(node.body), self._eval(node.orelse))
+        if isinstance(node, ast.Subscript):
+            base = self._eval(node.value)
+            self._eval(node.slice)
+            return base
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value)
+            if node.attr in ("real", "imag"):
+                return real_of(base)
+            if node.attr == "T":
+                return base
+            return "unknown"
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._eval(elt)
+            return "unknown"
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if k is not None:
+                    self._eval(k)
+            for v in node.values:
+                self._eval(v)
+            return "unknown"
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for gen in node.generators:
+                self._eval(gen.iter)
+            return "unknown"
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self._eval(v.value)
+            return "unknown"
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part)
+            return "unknown"
+        return "unknown"
+
+    def _eval_call(self, node: ast.Call) -> str:
+        arg_dts = [self._eval(a) for a in node.args]
+        for kw in node.keywords:
+            self._eval(kw.value)
+        func = node.func
+        # Method calls: evaluate the receiver chain too.
+        if isinstance(func, ast.Attribute):
+            recv_dt = self._eval(func.value)
+            if func.attr == "astype":
+                target = self._dtype_arg(node)
+                return lattice_of_dtype_name(target)
+            if func.attr in _DTYPE_PRESERVING_METHODS:
+                return recv_dt
+            if func.attr in ("real", "imag"):
+                return real_of(recv_dt)
+        np_name = self._numpy_name(node)
+        if np_name is not None:
+            result = self._eval_numpy_call(node, np_name, arg_dts)
+            if result is not None:
+                return result
+        if self._call_resolver is not None:
+            resolved = self._call_resolver(node)
+            if resolved is not None:
+                return resolved
+        return "unknown"
+
+    def _numpy_name(self, node: ast.Call) -> Optional[str]:
+        if self._dtype_namer is None:
+            return None
+        # Reuse the dtype namer's module alias knowledge indirectly: the
+        # project layer passes a namer that also resolves call names.
+        name = self._dtype_namer(node.func)
+        return name
+
+    def _dtype_arg(self, node: ast.Call) -> Optional[str]:
+        """The textual dtype a cast/constructor targets, if recognizable."""
+        target: Optional[ast.expr] = None
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            if node.args:
+                target = node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                target = kw.value
+        if target is None or self._dtype_namer is None:
+            return None
+        return self._dtype_namer(target)
+
+    def _eval_numpy_call(
+        self, node: ast.Call, np_name: str, arg_dts: List[str]
+    ) -> Optional[str]:
+        dtype_kw = self._dtype_arg(node)
+        if dtype_kw is not None:
+            return lattice_of_dtype_name(dtype_kw)
+        if np_name in _FLOAT_DEFAULT_CTORS:
+            return "float64"
+        if np_name in _INFERRING_CTORS:
+            return arg_dts[0] if arg_dts else "unknown"
+        if np_name == "full":
+            return arg_dts[1] if len(arg_dts) > 1 else "unknown"
+        if np_name == "arange":
+            # arange never yields complex; unknown count/step args (the
+            # common ``arange(n)`` case) must not poison the result.
+            out = "int"
+            for dt in arg_dts:
+                if dt != "unknown":
+                    out = promote(out, dt)
+            return out
+        if np_name in _REALIZING_FUNCS:
+            return real_of(arg_dts[0]) if arg_dts else "unknown"
+        if np_name in _TRANSCENDENTAL_FUNCS:
+            # Promote over *known* args only: exp(unknown) is called
+            # float64 rather than unknown, which can only under-claim
+            # (a miss), never mislabel a real value as complex128.
+            out = "int"
+            for dt in arg_dts:
+                if dt != "unknown":
+                    out = promote(out, dt)
+            return "float64" if out == "int" else out
+        if np_name in _PROMOTING_FUNCS:
+            if not arg_dts:
+                return "unknown"
+            out = arg_dts[0]
+            for dt in arg_dts[1:]:
+                out = promote(out, dt)
+            return out
+        if np_name.startswith("fft."):
+            return "float64" if np_name in ("fft.irfft", "fft.hfft") else "complex128"
+        direct = lattice_of_dtype_name(np_name)
+        if direct != "unknown":
+            # np.float64(x) style scalar constructor.
+            return direct
+        return None
+
+
+def _none_test(test: ast.expr) -> Optional[Tuple[str, bool]]:
+    """Decompose ``X is None`` / ``X is not None``: (name, is_none)."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None
+    if not isinstance(test.left, ast.Name):
+        return None
+    comparator = test.comparators[0]
+    if not (isinstance(comparator, ast.Constant) and comparator.value is None):
+        return None
+    if isinstance(test.ops[0], ast.Is):
+        return (test.left.id, True)
+    if isinstance(test.ops[0], ast.IsNot):
+        return (test.left.id, False)
+    return None
+
+
+def _block_exits(stmts: Sequence[ast.stmt]) -> bool:
+    """Whether a block always leaves the function/loop (raise/return/...)."""
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Raise, ast.Return, ast.Continue, ast.Break)
+    )
+
+
+def analyze_function(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    dtype_namer: Optional[DtypeNamer] = None,
+    call_resolver: Optional[CallResolver] = None,
+    tracked_none_params: Optional[Sequence[str]] = None,
+) -> FunctionDataflow:
+    """Run the forward pass over one function definition.
+
+    ``tracked_none_params`` names parameters whose noneness should be
+    tracked starting from "maybe" (their declared default is None).
+    """
+    param_noneness = {p: "maybe" for p in (tracked_none_params or ())}
+    flow = FunctionDataflow(
+        fn.body,
+        dtype_namer=dtype_namer,
+        call_resolver=call_resolver,
+        param_noneness=param_noneness,
+    )
+    return flow.run()
+
+
+def analyze_module_body(
+    body: Sequence[ast.stmt],
+    dtype_namer: Optional[DtypeNamer] = None,
+    call_resolver: Optional[CallResolver] = None,
+) -> FunctionDataflow:
+    """Run the forward pass over module-level statements."""
+    flow = FunctionDataflow(
+        body, dtype_namer=dtype_namer, call_resolver=call_resolver
+    )
+    return flow.run()
+
+
+def none_default_params(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef", names: Sequence[str]
+) -> List[str]:
+    """Parameters of ``fn`` from ``names`` whose declared default is None."""
+    args = fn.args
+    out: List[str] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    # defaults align with the tail of the positional parameter list
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        if (
+            arg.arg in names
+            and isinstance(default, ast.Constant)
+            and default.value is None
+        ):
+            out.append(arg.arg)
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if (
+            arg.arg in names
+            and kw_default is not None
+            and isinstance(kw_default, ast.Constant)
+            and kw_default.value is None
+        ):
+            out.append(arg.arg)
+    return out

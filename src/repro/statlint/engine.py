@@ -12,11 +12,22 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import os
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.statlint.config import LintConfig
 
@@ -260,11 +271,16 @@ def lint_source(
     relpath: str,
     config: Optional[LintConfig] = None,
 ) -> List[Finding]:
-    """Run every enabled rule over one module's source text."""
-    from repro.statlint.rules import ALL_RULES
-
+    """Run every enabled per-module rule over one module's source text."""
     config = config or LintConfig()
     ctx = ModuleContext(relpath, source, config)
+    return _lint_module(ctx, config)
+
+
+def _lint_module(ctx: ModuleContext, config: LintConfig) -> List[Finding]:
+    """Per-module rules over a prebuilt context."""
+    from repro.statlint.rules import ALL_RULES
+
     raw: List[Tuple[str, int, int, str]] = []
     for rule in ALL_RULES:
         if not config.rule_enabled(rule.code):
@@ -273,9 +289,20 @@ def lint_source(
             continue
         for line, col, message in rule.check(ctx):
             raw.append((rule.code, line, col, message))
+    return _finalize_raw(ctx, config, raw)
 
-    # Stable ordering, then occurrence-number duplicates that share a
-    # fingerprint (identical snippet in the same function).
+
+def _finalize_raw(
+    ctx: ModuleContext,
+    config: LintConfig,
+    raw: List[Tuple[str, int, int, str]],
+) -> List[Finding]:
+    """Order, suppress, fingerprint and severity-stamp raw findings.
+
+    Occurrence numbers disambiguate identical (rule, context, snippet)
+    triples within one file; module and project rules have disjoint
+    codes, so their fingerprint spaces never collide.
+    """
     raw.sort(key=lambda item: (item[1], item[2], item[0]))
     counts: Dict[str, int] = {}
     findings: List[Finding] = []
@@ -301,6 +328,49 @@ def lint_source(
                 occurrence=occ,
             )
         )
+    return findings
+
+
+def finding_from_dict(data: Dict[str, object]) -> Finding:
+    """Rebuild a Finding from its ``to_dict`` form (cache reload path)."""
+    return Finding(
+        rule=str(data["rule"]),
+        path=str(data["path"]),
+        line=int(data["line"]),        # type: ignore[call-overload]
+        col=int(data["col"]),          # type: ignore[call-overload]
+        message=str(data["message"]),
+        severity=str(data["severity"]),
+        context=str(data["context"]),
+        snippet=str(data["snippet"]),
+        fingerprint=str(data["fingerprint"]),
+        occurrence=int(data["occurrence"]),  # type: ignore[call-overload]
+    )
+
+
+def lint_project(
+    contexts: Sequence[ModuleContext], config: LintConfig
+) -> List[Finding]:
+    """Run the enabled project-scope rules over all parsed modules."""
+    from repro.statlint.project import build_project
+    from repro.statlint.project_rules import PROJECT_RULES
+
+    enabled = [r for r in PROJECT_RULES if config.rule_enabled(r.code)]
+    if not enabled or not contexts:
+        return []
+    pctx = build_project(contexts, config)
+    by_file: Dict[str, List[Tuple[str, int, int, str]]] = {}
+    for rule in enabled:
+        for relpath, line, col, message in rule.check_project(pctx):
+            by_file.setdefault(relpath, []).append(
+                (rule.code, line, col, message)
+            )
+    ctx_map = {ctx.relpath: ctx for ctx in contexts}
+    findings: List[Finding] = []
+    for relpath in sorted(by_file):
+        ctx = ctx_map.get(relpath)
+        if ctx is None:  # pragma: no cover - rules only cite indexed files
+            continue
+        findings.extend(_finalize_raw(ctx, config, by_file[relpath]))
     return findings
 
 
@@ -348,26 +418,187 @@ def display_path(path: Path, root: Optional[Path] = None) -> str:
         return path.as_posix()
 
 
+def _finding_sort_key(f: Finding) -> Tuple[str, int, int, str, int]:
+    return (f.path, f.line, f.col, f.rule, f.occurrence)
+
+
+def _lint_file_worker(
+    task: Tuple[str, str, LintConfig],
+) -> Tuple[str, Optional[List[Finding]], Optional[str]]:
+    """Process-pool worker: per-module lint of one already-read source."""
+    relpath, source, config = task
+    try:
+        return relpath, lint_source(source, relpath, config), None
+    except SyntaxError as exc:
+        return relpath, None, f"{relpath}: syntax error ({exc.msg} @ {exc.lineno})"
+
+
 def lint_paths(
     paths: Sequence[str],
     config: Optional[LintConfig] = None,
     root: Optional[Path] = None,
+    jobs: Optional[int] = None,
+    cache_path: Optional[Union[str, Path]] = None,
 ) -> LintResult:
-    """Lint every python file under ``paths``; no baseline applied yet."""
+    """Lint every python file under ``paths``; no baseline applied yet.
+
+    Runs the per-module rules over each file, then the project-scope
+    rules (DCL012-DCL015) over all of them together.  ``jobs`` > 1
+    fans the per-module pass out over a process pool; ``cache_path``
+    enables the content-fingerprint incremental cache.  Both knobs are
+    observationally pure: serial/parallel and cold/warm runs produce
+    identical findings (the final ordering is a global deterministic
+    sort, independent of completion order).
+    """
     config = config or LintConfig()
+    if jobs is None:
+        jobs = config.jobs
+    if cache_path is None and config.cache:
+        cache_path = config.cache
     result = LintResult()
+
+    # -- read every file once; fingerprint what we could read -------- #
+    sources: Dict[str, str] = {}
+    file_fps: Dict[str, str] = {}
+    errors_map: Dict[str, str] = {}
+    read_errors: Dict[str, str] = {}
+    order: List[str] = []
     for path in iter_python_files(paths):
         relpath = display_path(path, root)
         try:
             source = path.read_text(encoding="utf-8")
         except OSError as exc:
-            result.errors.append(f"{relpath}: unreadable ({exc})")
+            read_errors[relpath] = f"{relpath}: unreadable ({exc})"
             continue
-        try:
-            findings = lint_source(source, relpath, config)
-        except SyntaxError as exc:
-            result.errors.append(f"{relpath}: syntax error ({exc.msg} @ {exc.lineno})")
+        from repro.statlint.cache import source_fingerprint
+
+        order.append(relpath)
+        sources[relpath] = source
+        file_fps[relpath] = source_fingerprint(source)
+
+    cache = None
+    if cache_path is not None:
+        from repro.statlint.cache import LintCache
+
+        cache = LintCache(Path(cache_path), config)
+
+    # -- full hit: rebuild everything from the cache, zero parsing --- #
+    if cache is not None and cache.full_hit(file_fps):
+        findings: List[Finding] = []
+        for relpath in order:
+            entry = cache.files[relpath]
+            err = entry.get("error")
+            if err is not None:
+                errors_map[relpath] = str(err)
+                continue
+            stored = entry.get("findings")
+            if isinstance(stored, list):
+                findings.extend(
+                    finding_from_dict(d) for d in stored if isinstance(d, dict)
+                )
+        stored_project = cache.project.get("findings")
+        if isinstance(stored_project, list):
+            findings.extend(
+                finding_from_dict(d)
+                for d in stored_project
+                if isinstance(d, dict)
+            )
+        return _assemble(result, findings, errors_map, read_errors)
+
+    # -- per-module pass: cache hits reused, the rest (re)linted ----- #
+    module_findings: Dict[str, List[Finding]] = {}
+    contexts: Dict[str, ModuleContext] = {}
+    need_lint: List[str] = []
+    for relpath in order:
+        entry = cache.file_entry(relpath, file_fps[relpath]) if cache else None
+        if entry is None:
+            need_lint.append(relpath)
             continue
-        result.findings.extend(findings)
+        err = entry.get("error")
+        if err is not None:
+            errors_map[relpath] = str(err)
+            continue
+        stored = entry.get("findings")
+        module_findings[relpath] = [
+            finding_from_dict(d)
+            for d in (stored if isinstance(stored, list) else [])
+            if isinstance(d, dict)
+        ]
+
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and len(need_lint) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(rel, sources[rel], config) for rel in need_lint]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for relpath, found, err in pool.map(_lint_file_worker, tasks):
+                if err is not None:
+                    errors_map[relpath] = err
+                else:
+                    module_findings[relpath] = found or []
+    else:
+        for relpath in need_lint:
+            try:
+                ctx = ModuleContext(relpath, sources[relpath], config)
+            except SyntaxError as exc:
+                errors_map[relpath] = (
+                    f"{relpath}: syntax error ({exc.msg} @ {exc.lineno})"
+                )
+                continue
+            contexts[relpath] = ctx
+            module_findings[relpath] = _lint_module(ctx, config)
+
+    # -- project pass needs a context for every parseable module ----- #
+    project_findings: List[Finding] = []
+    if _project_rules_enabled(config):
+        for relpath in order:
+            if relpath in contexts or relpath in errors_map:
+                continue
+            if relpath not in module_findings:
+                continue  # unreadable
+            try:
+                contexts[relpath] = ModuleContext(
+                    relpath, sources[relpath], config
+                )
+            except SyntaxError:  # pragma: no cover - caught above
+                continue
+        ordered = [contexts[r] for r in order if r in contexts]
+        project_findings = lint_project(ordered, config)
+
+    if cache is not None:
+        cache.store(
+            file_fps,
+            {
+                rel: [f.to_dict() for f in found]
+                for rel, found in module_findings.items()
+            },
+            errors_map,
+            [f.to_dict() for f in project_findings],
+        )
+        cache.save()
+
+    all_findings = [
+        f for rel in order for f in module_findings.get(rel, [])
+    ] + project_findings
+    return _assemble(result, all_findings, errors_map, read_errors)
+
+
+def _project_rules_enabled(config: LintConfig) -> bool:
+    from repro.statlint.project_rules import PROJECT_RULES
+
+    return any(config.rule_enabled(r.code) for r in PROJECT_RULES)
+
+
+def _assemble(
+    result: LintResult,
+    findings: List[Finding],
+    errors_map: Dict[str, str],
+    read_errors: Dict[str, str],
+) -> LintResult:
+    result.findings = sorted(findings, key=_finding_sort_key)
     result.new_findings = list(result.findings)
+    merged = dict(errors_map)
+    merged.update(read_errors)
+    result.errors = [merged[rel] for rel in sorted(merged)]
     return result

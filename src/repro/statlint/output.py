@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.statlint.baseline import Baseline
 from repro.statlint.engine import Finding, LintResult
-from repro.statlint.rules import ALL_RULES
+from repro.statlint.rules import all_rules
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
@@ -83,7 +83,7 @@ def render_json(result: LintResult, baseline: Optional[Baseline] = None) -> str:
 
 def _sarif_rules() -> List[Dict[str, object]]:
     rules = []
-    for r in ALL_RULES:
+    for r in all_rules():
         rules.append(
             {
                 "id": r.code,

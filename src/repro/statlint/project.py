@@ -1,0 +1,509 @@
+"""Project-wide analysis substrate: symbol index, call graph, summaries.
+
+Per-module rules see one :class:`~repro.statlint.engine.ModuleContext`;
+the interprocedural rules (DCL012-DCL015) see a :class:`ProjectContext`
+built over *every* linted module at once:
+
+* a **symbol index** mapping fully-qualified names
+  (``repro.parallel.executor.worker_rng``) to their defining AST nodes,
+  with ``import`` / ``from-import`` chains (including package
+  ``__init__`` re-exports) resolved to the defining module;
+* a **call graph** over module-level functions and methods, with
+  reverse edges so a rule can walk from a task function back to every
+  dispatch site that can reach it;
+* memoized **dtype summaries** (the inferred return dtype of any
+  indexed function, via :mod:`repro.statlint.dataflow`) so complex128
+  provenance survives module boundaries.
+
+Module names derive from POSIX relpaths with a leading ``src/``
+stripped, so ``src/repro/lfd/kin_prop.py`` indexes as
+``repro.lfd.kin_prop`` and fixtures can fake any layer by relpath.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.statlint.config import LintConfig
+from repro.statlint.dataflow import FunctionDataflow, analyze_function
+from repro.statlint.engine import ModuleContext
+
+FuncNode = "ast.FunctionDef | ast.AsyncFunctionDef"
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a POSIX relpath (``src/`` prefix dropped)."""
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] in ("src", "."):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+class FunctionRecord:
+    """One indexed function or method definition."""
+
+    def __init__(
+        self,
+        module: "ModuleInfo",
+        qualname: str,
+        node: FuncNode,
+    ) -> None:
+        self.module = module
+        self.qualname = qualname        # local, e.g. "KinProp.step"
+        self.node = node
+        self.fq = f"{module.modname}.{qualname}"
+
+    @property
+    def is_method(self) -> bool:
+        """Whether the function is defined inside a class body."""
+        return "." in self.qualname
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FunctionRecord({self.fq})"
+
+
+class ModuleInfo:
+    """Per-module slice of the project index."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.relpath = ctx.relpath
+        self.modname = module_name_for(ctx.relpath)
+        #: local qualname -> FunctionRecord (module funcs + class methods)
+        self.functions: Dict[str, FunctionRecord] = {}
+        #: class name -> ClassDef
+        self.classes: Dict[str, ast.ClassDef] = {}
+        #: local name -> fully-qualified imported target
+        self.imports: Dict[str, str] = {}
+        #: module-level ``NAME = <expr>`` aliases
+        self.assigns: Dict[str, ast.expr] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for node in self.ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionRecord(self, node.name, node)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = f"{node.name}.{sub.name}"
+                        self.functions[qual] = FunctionRecord(self, qual, sub)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # ``import a.b.c`` binds the top package name.
+                        top = alias.name.split(".", 1)[0]
+                        self.imports[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level and node.level > 0:
+                    base = self._relative_base(node.level)
+                    if base is None:
+                        continue
+                    mod = f"{base}.{node.module}" if node.module else base
+                else:
+                    mod = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{mod}.{alias.name}" if mod else alias.name
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    self.assigns[target.id] = node.value
+
+    def _relative_base(self, level: int) -> Optional[str]:
+        """Package name ``level`` dots up from this module, if derivable."""
+        parts = self.modname.split(".")
+        # level=1 -> the containing package, level=2 -> its parent, ...
+        if len(parts) < level:
+            return None
+        return ".".join(parts[:-level]) or None
+
+
+class ProjectIndex:
+    """Cross-module symbol and call-graph index."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_relpath: Dict[str, ModuleInfo] = {}
+        for ctx in contexts:
+            info = ModuleInfo(ctx)
+            self.modules[info.modname] = info
+            self.by_relpath[info.relpath] = info
+        #: caller fq -> set of callee fqs
+        self.calls: Dict[str, Set[str]] = {}
+        #: callee fq -> list of (caller ModuleInfo, caller fn node or None,
+        #: the Call node) for argument tracing
+        self.callers: Dict[str, List[Tuple[ModuleInfo, Optional[FuncNode], ast.Call]]]
+        self.callers = {}
+        self._build_call_graph()
+
+    # ------------------------------------------------------------- #
+    # name resolution
+    # ------------------------------------------------------------- #
+    def resolve_name(
+        self, info: ModuleInfo, dotted: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve a (possibly dotted) local name to a fully-qualified one.
+
+        Follows import aliases and ``from x import y`` chains through
+        package ``__init__`` re-exports.  Returns None for names that do
+        not lead to an indexed module.
+        """
+        if _depth > 8:
+            return None
+        head, _, rest = dotted.partition(".")
+        target: Optional[str] = None
+        if head in info.imports:
+            target = info.imports[head]
+        elif head in info.functions or head in info.classes:
+            target = f"{info.modname}.{head}"
+        elif head in info.assigns:
+            alias = info.assigns[head]
+            alias_name = dotted_name(alias)
+            if alias_name is not None:
+                resolved = self.resolve_name(info, alias_name, _depth + 1)
+                if resolved is not None:
+                    target = resolved
+        if target is None:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        return self._canonicalize(full, _depth)
+
+    def _canonicalize(self, fq: str, _depth: int = 0) -> Optional[str]:
+        """Chase re-export chains until ``fq`` names a real definition."""
+        if _depth > 8:
+            return fq
+        # Split fq into the longest module prefix we know + remainder.
+        parts = fq.split(".")
+        for cut in range(len(parts), 0, -1):
+            mod = ".".join(parts[:cut])
+            info = self.modules.get(mod)
+            if info is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return fq
+            # Resolve the first remainder segment inside that module.
+            head = rest[0]
+            if head in info.functions or head in info.classes:
+                return fq
+            if head in info.imports:
+                rebased = info.imports[head]
+                tail = ".".join(rest[1:])
+                rebuilt = f"{rebased}.{tail}" if tail else rebased
+                return self._canonicalize(rebuilt, _depth + 1)
+            if head in info.assigns:
+                alias_name = dotted_name(info.assigns[head])
+                if alias_name is not None:
+                    resolved = self.resolve_name(info, alias_name, _depth + 1)
+                    if resolved is not None:
+                        tail = ".".join(rest[1:])
+                        return self._canonicalize(
+                            f"{resolved}.{tail}" if tail else resolved, _depth + 1
+                        )
+            return fq
+        return fq
+
+    def lookup_function(self, fq: Optional[str]) -> Optional[FunctionRecord]:
+        """The FunctionRecord a fully-qualified name denotes, if indexed."""
+        if fq is None:
+            return None
+        parts = fq.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = ".".join(parts[:cut])
+            info = self.modules.get(mod)
+            if info is None:
+                continue
+            local = ".".join(parts[cut:])
+            rec = info.functions.get(local)
+            if rec is not None:
+                return rec
+            return None
+        return None
+
+    def resolve_call_target(
+        self, info: ModuleInfo, func: ast.expr, enclosing_class: Optional[str] = None
+    ) -> Optional[FunctionRecord]:
+        """Resolve a Call's ``func`` expression to an indexed function."""
+        if isinstance(func, ast.Name):
+            return self.lookup_function(self.resolve_name(info, func.id))
+        if isinstance(func, ast.Attribute):
+            # self.method() -> a method of the enclosing class
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and enclosing_class is not None
+            ):
+                return info.functions.get(f"{enclosing_class}.{func.attr}")
+            name = dotted_name(func)
+            if name is not None:
+                return self.lookup_function(self.resolve_name(info, name))
+        return None
+
+    # ------------------------------------------------------------- #
+    # call graph
+    # ------------------------------------------------------------- #
+    def _build_call_graph(self) -> None:
+        for info in self.modules.values():
+            for node in ast.walk(info.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                caller_fn = info.ctx.enclosing_function(node)
+                caller_qual = info.ctx.qualname(node)
+                enclosing_class = _class_of_qualname(caller_qual)
+                rec = self.resolve_call_target(info, node.func, enclosing_class)
+                if rec is None:
+                    continue
+                caller_fq = (
+                    f"{info.modname}.{caller_qual}"
+                    if caller_qual != "<module>"
+                    else info.modname
+                )
+                self.calls.setdefault(caller_fq, set()).add(rec.fq)
+                self.callers.setdefault(rec.fq, []).append(
+                    (info, caller_fn, node)
+                )
+
+    def reachable_from(self, roots: Sequence[str], max_depth: int = 16) -> Set[str]:
+        """Function fqs reachable from ``roots`` through the call graph."""
+        seen: Set[str] = set(roots)
+        frontier = list(roots)
+        depth = 0
+        while frontier and depth < max_depth:
+            nxt: List[str] = []
+            for fq in frontier:
+                for callee in self.calls.get(fq, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        nxt.append(callee)
+            frontier = nxt
+            depth += 1
+        return seen
+
+    def iter_functions(self) -> Iterator[FunctionRecord]:
+        """Every indexed function across every module."""
+        for info in self.modules.values():
+            yield from info.functions.values()
+
+
+def dotted_name(expr: ast.expr) -> Optional[str]:
+    """Render a Name/Attribute chain as a dotted string, else None."""
+    parts: List[str] = []
+    cur = expr
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _class_of_qualname(qual: str) -> Optional[str]:
+    """Class name a ``Class.method``-style qualname belongs to, if any."""
+    if qual == "<module>" or "." not in qual:
+        return None
+    return qual.rsplit(".", 1)[0]
+
+
+class ProjectContext:
+    """What a project-scope rule sees: the index plus shared summaries."""
+
+    def __init__(self, index: ProjectIndex, config: LintConfig) -> None:
+        self.index = index
+        self.config = config
+        self._return_dtypes: Dict[str, str] = {}
+        self._in_flight: Set[str] = set()
+        self._flows: Dict[Tuple[str, int], FunctionDataflow] = {}
+        self._dispatch_cache: Optional[List["DispatchSite"]] = None
+
+    # ------------------------------------------------------------- #
+    # dtype summaries
+    # ------------------------------------------------------------- #
+    def return_dtype(self, rec: FunctionRecord) -> str:
+        """Memoized inferred return dtype of an indexed function."""
+        if rec.fq in self._return_dtypes:
+            return self._return_dtypes[rec.fq]
+        if rec.fq in self._in_flight:           # recursion guard
+            return "unknown"
+        self._in_flight.add(rec.fq)
+        try:
+            flow = self.function_flow(rec)
+            out = flow.return_dtype
+        finally:
+            self._in_flight.discard(rec.fq)
+        self._return_dtypes[rec.fq] = out
+        return out
+
+    def function_flow(
+        self,
+        rec: FunctionRecord,
+        tracked_none_params: Optional[Sequence[str]] = None,
+    ) -> FunctionDataflow:
+        """Dataflow results for one function, with project call resolution."""
+        key = (rec.fq, id(rec.node))
+        if tracked_none_params is None and key in self._flows:
+            return self._flows[key]
+        info = rec.module
+        flow = analyze_function(
+            rec.node,
+            dtype_namer=lambda e, c=info.ctx: _dtype_namer(c, e),
+            call_resolver=lambda call, i=info, q=rec.qualname: self._resolve_call_dtype(
+                i, call, _class_of_qualname(q)
+            ),
+            tracked_none_params=tracked_none_params,
+        )
+        if tracked_none_params is None:
+            self._flows[key] = flow
+        return flow
+
+    def module_flow(self, info: ModuleInfo) -> FunctionDataflow:
+        """Dataflow over a module's top-level statements."""
+        key = (info.modname, id(info.ctx.tree))
+        if key in self._flows:
+            return self._flows[key]
+        flow = FunctionDataflow(
+            info.ctx.tree.body,
+            dtype_namer=lambda e, c=info.ctx: _dtype_namer(c, e),
+            call_resolver=lambda call, i=info: self._resolve_call_dtype(i, call, None),
+        ).run()
+        self._flows[key] = flow
+        return flow
+
+    def _resolve_call_dtype(
+        self, info: ModuleInfo, call: ast.Call, enclosing_class: Optional[str]
+    ) -> Optional[str]:
+        rec = self.index.resolve_call_target(info, call.func, enclosing_class)
+        if rec is None:
+            return None
+        dt = self.return_dtype(rec)
+        return dt if dt != "unknown" else None
+
+    # ------------------------------------------------------------- #
+    # executor dispatch discovery (shared by DCL012/DCL013)
+    # ------------------------------------------------------------- #
+    def dispatch_sites(self) -> List["DispatchSite"]:
+        """Every recognized executor-map dispatch across the project."""
+        if self._dispatch_cache is not None:
+            return self._dispatch_cache
+        sites: List[DispatchSite] = []
+        for info in self.index.modules.values():
+            for node in ast.walk(info.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_executor_map(node):
+                    continue
+                sites.append(
+                    DispatchSite(
+                        module=info,
+                        call=node,
+                        enclosing=info.ctx.enclosing_function(node),
+                        qualname=info.ctx.qualname(node),
+                    )
+                )
+        self._dispatch_cache = sites
+        return sites
+
+    def task_function_fqs(self) -> Set[str]:
+        """Fqs of functions dispatched as executor tasks anywhere."""
+        out: Set[str] = set()
+        for site in self.dispatch_sites():
+            task = site.call.args[0]
+            name = dotted_name(task)
+            if name is None:
+                continue
+            rec = self.index.lookup_function(
+                self.index.resolve_name(site.module, name)
+            )
+            if rec is not None:
+                out.add(rec.fq)
+        return out
+
+
+class DispatchSite:
+    """One ``executor.map(task, items)``-shaped call site."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        enclosing: Optional[FuncNode],
+        qualname: str,
+    ) -> None:
+        self.module = module
+        self.call = call
+        self.enclosing = enclosing
+        self.qualname = qualname
+
+
+def _is_executor_map(node: ast.Call) -> bool:
+    """Heuristic: a ``.map(fn, items)`` call on an executor-ish receiver.
+
+    Receivers count when they are named like executors (``executor``,
+    ``ex``), are produced by an executor factory call
+    (``make_executor`` / ``_get_executor`` / ``_executor``), or when the
+    call carries the DomainExecutor contract's ``label=`` keyword.
+    """
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "map"):
+        return False
+    if len(node.args) < 2:
+        return False
+    if any(kw.arg == "label" for kw in node.keywords):
+        return True
+    recv = func.value
+    if isinstance(recv, ast.Name):
+        rid = recv.id.lower()
+        return rid in ("ex", "pool") or "executor" in rid
+    if isinstance(recv, ast.Attribute):
+        return "executor" in recv.attr.lower()
+    if isinstance(recv, ast.Call):
+        inner = recv.func
+        name = None
+        if isinstance(inner, ast.Name):
+            name = inner.id
+        elif isinstance(inner, ast.Attribute):
+            name = inner.attr
+        return name is not None and "executor" in name.lower()
+    return False
+
+
+def _dtype_namer(ctx: ModuleContext, expr: ast.expr) -> Optional[str]:
+    """Shared namer: numpy call names AND textual dtype targets.
+
+    For Call ``func`` expressions this returns the numpy function name
+    ("zeros", "random.default_rng"); for dtype expressions it returns
+    the dtype text ("float32").  Both go through the module's import
+    alias table so ``import numpy as xp`` still resolves.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value.strip()
+    if isinstance(expr, ast.Name):
+        resolved = ctx.from_numpy_names.get(expr.id)
+        if resolved is not None:
+            return resolved
+        return expr.id if expr.id in ("float", "int", "complex", "bool") else None
+    name = ctx.numpy_call_name(expr)
+    if name is not None:
+        return name
+    if isinstance(expr, ast.Attribute):
+        # np.float32 as a dtype target resolves like a call name would.
+        return ctx.numpy_call_name(expr)
+    return None
+
+
+def build_project(
+    contexts: Sequence[ModuleContext], config: LintConfig
+) -> ProjectContext:
+    """Index every module and wrap the result for the project rules."""
+    return ProjectContext(ProjectIndex(contexts), config)

@@ -1,0 +1,835 @@
+"""The interprocedural rule family DCL012-DCL015.
+
+These rules see the whole project at once through a
+:class:`~repro.statlint.project.ProjectContext` -- symbol index, call
+graph, and cross-module dtype summaries -- so they can enforce the
+invariants that no single-module AST pass can check: executor tasks
+must be picklable module-level functions wherever they are *defined*,
+RNG provenance must hold through helper calls, complex128 values keep
+their imaginary part across module boundaries, and ``None``-default
+tunables must pass through the TuningProfile resolution point before
+any kernel arithmetic consumes them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.statlint.config import (
+    REAL_SINK_DTYPES,
+    RNG_PROVENANCE_FUNCS,
+    SEEDED_RNG_OK,
+    TUNED_LITERAL_KWARGS,
+    TUNING_RESOLUTION_MARKERS,
+    path_matches,
+)
+from repro.statlint.dataflow import none_default_params
+from repro.statlint.engine import ModuleContext
+from repro.statlint.project import (
+    FunctionRecord,
+    ModuleInfo,
+    ProjectContext,
+    dotted_name,
+)
+from repro.statlint.rules import Rule
+
+#: A raw project finding: (relpath, line, col, message).
+ProjectRawFinding = Tuple[str, int, int, str]
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class ProjectRule(Rule):
+    """Base class for rules that need the whole-project context."""
+
+    #: marks the rule for the engine's project pass
+    project = True
+
+    def check_project(
+        self, pctx: ProjectContext
+    ) -> Iterator[ProjectRawFinding]:  # pragma: no cover
+        """Yield ``(relpath, line, col, message)`` across the project."""
+        raise NotImplementedError
+
+    def check(self, ctx: ModuleContext) -> Iterator[Tuple[int, int, str]]:
+        """Project rules never run in the per-module pass."""
+        return iter(())
+
+
+class PickleUnsafeTask(ProjectRule):
+    """DCL012: executor task that cannot cross a process boundary.
+
+    The DomainExecutor contract (PR 4) requires every task dispatched
+    through ``executor.map`` / ``scf_solve_batch`` / the EnsembleRun
+    batch path to be a module-level picklable function: the process
+    backend ships tasks to spawn-context workers by pickle, and the
+    serial/thread backends must stay drop-in interchangeable with it.
+    A lambda, a closure (nested def), a factory-made closure, or a
+    bound method works on the serial backend and then fails -- or
+    silently diverges -- the moment the tuner or a CLI flag switches
+    the backend.  The rule resolves the task argument through local
+    assignments, imports, ``functools.partial`` and, when the task
+    arrives as a *parameter*, back through every caller in the call
+    graph.
+    """
+
+    code = "DCL012"
+    name = "pickle-unsafe-task"
+    summary = "executor task is not a picklable module-level function"
+    paper_ref = "Figs. 2-3 process-pool dispatch (PR-4 executor contract)"
+    scope_attr = None
+
+    _MAX_DEPTH = 4
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[ProjectRawFinding]:
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for site in pctx.dispatch_sites():
+            task = site.call.args[0]
+            for problem in self._resolve_task(
+                pctx, site.module, site.enclosing, task, 0, set()
+            ):
+                key = problem
+                if key not in seen:
+                    seen.add(key)
+                    yield problem
+
+    # ------------------------------------------------------------- #
+    def _resolve_task(
+        self,
+        pctx: ProjectContext,
+        info: ModuleInfo,
+        fn: Optional[ast.AST],
+        expr: ast.expr,
+        depth: int,
+        visiting: Set[int],
+    ) -> List[ProjectRawFinding]:
+        if depth > self._MAX_DEPTH or id(expr) in visiting:
+            return []
+        visiting = visiting | {id(expr)}
+        if isinstance(expr, ast.Lambda):
+            return [self._problem(info, expr, "a lambda")]
+        if isinstance(expr, ast.Name):
+            return self._resolve_name_task(pctx, info, fn, expr, depth, visiting)
+        if isinstance(expr, ast.Attribute):
+            return self._resolve_attr_task(pctx, info, expr)
+        if isinstance(expr, ast.Call):
+            return self._resolve_call_task(pctx, info, fn, expr, depth, visiting)
+        return []
+
+    def _resolve_name_task(
+        self,
+        pctx: ProjectContext,
+        info: ModuleInfo,
+        fn: Optional[ast.AST],
+        expr: ast.Name,
+        depth: int,
+        visiting: Set[int],
+    ) -> List[ProjectRawFinding]:
+        name = expr.id
+        if fn is not None and isinstance(fn, _FuncDef):
+            nested = _find_nested_def(fn, name)
+            if nested is not None:
+                return [
+                    self._problem(
+                        info,
+                        nested,
+                        f"the nested function {name}() (a closure)",
+                    )
+                ]
+            bound = _last_local_assign(fn, name)
+            if bound is not None:
+                return self._resolve_task(pctx, info, fn, bound, depth + 1, visiting)
+            if name in _param_names(fn):
+                return self._trace_parameter(pctx, info, fn, name, depth, visiting)
+        rec = pctx.index.lookup_function(pctx.index.resolve_name(info, name))
+        if rec is not None:
+            return self._check_record(rec)
+        if name in info.assigns:
+            return self._resolve_task(
+                pctx, info, None, info.assigns[name], depth + 1, visiting
+            )
+        return []
+
+    def _resolve_attr_task(
+        self, pctx: ProjectContext, info: ModuleInfo, expr: ast.Attribute
+    ) -> List[ProjectRawFinding]:
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return [
+                self._problem(
+                    info, expr, f"the bound method self.{expr.attr}"
+                )
+            ]
+        name = dotted_name(expr)
+        if name is not None:
+            fq = pctx.index.resolve_name(info, name)
+            rec = pctx.index.lookup_function(fq)
+            if rec is not None:
+                # Class.method accessed through the class is a plain
+                # function found by qualname; pickle handles it.
+                return self._check_record(rec)
+            head = name.split(".", 1)[0]
+            if head in info.imports:
+                return []  # attribute of an unindexed module: assume fine
+        if isinstance(expr.value, ast.Name):
+            return [
+                self._problem(
+                    info,
+                    expr,
+                    f"the bound method {expr.value.id}.{expr.attr}",
+                )
+            ]
+        return []
+
+    def _resolve_call_task(
+        self,
+        pctx: ProjectContext,
+        info: ModuleInfo,
+        fn: Optional[ast.AST],
+        expr: ast.Call,
+        depth: int,
+        visiting: Set[int],
+    ) -> List[ProjectRawFinding]:
+        callee_name = dotted_name(expr.func) or ""
+        if callee_name.rpartition(".")[2] == "partial" and expr.args:
+            # functools.partial is picklable iff its payload is.
+            return self._resolve_task(
+                pctx, info, fn, expr.args[0], depth + 1, visiting
+            )
+        rec = pctx.index.lookup_function(
+            pctx.index.resolve_name(info, callee_name) if callee_name else None
+        )
+        if rec is None:
+            return []
+        problems: List[ProjectRawFinding] = []
+        for ret in ast.walk(rec.node):
+            if not isinstance(ret, ast.Return) or ret.value is None:
+                continue
+            value = ret.value
+            if isinstance(value, ast.Lambda):
+                problems.append(
+                    self._problem(
+                        rec.module,
+                        value,
+                        f"a lambda returned by the factory {rec.qualname}()",
+                    )
+                )
+            elif isinstance(value, ast.Name):
+                nested = _find_nested_def(rec.node, value.id)
+                if nested is not None:
+                    problems.append(
+                        self._problem(
+                            rec.module,
+                            nested,
+                            f"the closure {value.id}() returned by the "
+                            f"factory {rec.qualname}()",
+                        )
+                    )
+        return problems
+
+    def _trace_parameter(
+        self,
+        pctx: ProjectContext,
+        info: ModuleInfo,
+        fn: ast.AST,
+        pname: str,
+        depth: int,
+        visiting: Set[int],
+    ) -> List[ProjectRawFinding]:
+        assert isinstance(fn, _FuncDef)
+        qual = info.ctx.qualname(fn.body[0]) if fn.body else fn.name
+        fq = f"{info.modname}.{qual}" if qual != "<module>" else info.modname
+        problems: List[ProjectRawFinding] = []
+        for caller_info, caller_fn, call in pctx.index.callers.get(fq, ()):
+            actual = _actual_for_param(fn, pname, call)
+            if actual is None:
+                continue
+            problems.extend(
+                self._resolve_task(
+                    pctx, caller_info, caller_fn, actual, depth + 1, visiting
+                )
+            )
+        return problems
+
+    def _check_record(self, rec: FunctionRecord) -> List[ProjectRawFinding]:
+        problems: List[ProjectRawFinding] = []
+        args = rec.node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, ast.Lambda):
+                problems.append(
+                    self._problem(
+                        rec.module,
+                        default,
+                        f"a lambda default of the task {rec.qualname}()",
+                    )
+                )
+        return problems
+
+    def _problem(
+        self, info: ModuleInfo, node: ast.AST, what: str
+    ) -> ProjectRawFinding:
+        return (
+            info.relpath,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            f"{what} reaches executor.map as a task; the process backend "
+            f"ships tasks by pickle, so tasks must be module-level "
+            f"functions with picklable defaults ({self.paper_ref})",
+        )
+
+
+class RngProvenance(ProjectRule):
+    """DCL013: RNG on an executor path without deterministic provenance.
+
+    Bit-reproducible ensembles (PR 7: per-trajectory ``(seed, i)``
+    streams) and the serial/process differential guarantee (PR 4) both
+    require every random draw on an executor/ensemble/swarm path to
+    derive from ``worker_rng`` / ``chunk_rng`` / ``trajectory_rng`` or
+    an explicitly seeded Generator carried in the task item.  An
+    entropy-seeded ``np.random.default_rng()`` is invisible to the
+    per-module global-RNG rule (``default_rng`` is whitelisted there)
+    but destroys replay the moment it runs inside a task -- including
+    transitively, through helpers in modules far from any executor.
+    The rule walks the call graph from every dispatched task function
+    and also flags entropy-seeded Generators *passed into* scope-path
+    functions from outside.
+    """
+
+    code = "DCL013"
+    name = "rng-provenance"
+    summary = "executor-path RNG not derived from worker/chunk/trajectory_rng"
+    paper_ref = "PR-4/PR-7 deterministic per-chunk and per-trajectory streams"
+    scope_attr = "rng_scope_paths"
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[ProjectRawFinding]:
+        index = pctx.index
+        config = pctx.config
+        task_fqs = pctx.task_function_fqs()
+        reachable = index.reachable_from(sorted(task_fqs))
+        checked: List[Tuple[ModuleInfo, Optional[FunctionRecord]]] = []
+        checked_fqs: Set[str] = set()
+        for info in index.modules.values():
+            in_scope = path_matches(info.relpath, config.rng_scope_paths)
+            if in_scope:
+                checked.append((info, None))  # module top level
+            for rec in info.functions.values():
+                if in_scope or rec.fq in reachable:
+                    checked.append((info, rec))
+                    checked_fqs.add(rec.fq)
+        for info, rec in checked:
+            yield from self._check_body(info, rec)
+        yield from self._check_flows(pctx, checked_fqs)
+
+    def _check_body(
+        self, info: ModuleInfo, rec: Optional[FunctionRecord]
+    ) -> Iterator[ProjectRawFinding]:
+        ctx = info.ctx
+        if rec is None:
+            nodes: Iterator[ast.AST] = iter(
+                n
+                for stmt in ctx.tree.body
+                if not isinstance(stmt, (*_FuncDef, ast.ClassDef))
+                for n in ast.walk(stmt)
+            )
+        else:
+            nodes = ast.walk(rec.node)
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            np_name = ctx.numpy_call_name(node.func)
+            if np_name is None:
+                continue
+            where = f"{rec.qualname}()" if rec is not None else "module scope"
+            if np_name == "random.default_rng" and _entropy_seeded(node):
+                yield (
+                    info.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"entropy-seeded default_rng() in {where} is on an "
+                    f"executor path; derive the stream from "
+                    f"{'/'.join(RNG_PROVENANCE_FUNCS)} or a seed carried "
+                    f"in the task item ({self.paper_ref})",
+                )
+            elif (
+                np_name.startswith("random.")
+                and np_name.split(".", 1)[1] not in SEEDED_RNG_OK
+            ):
+                yield (
+                    info.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"np.{np_name}() uses global RNG state in {where} on an "
+                    f"executor path; route randomness through "
+                    f"{'/'.join(RNG_PROVENANCE_FUNCS)} ({self.paper_ref})",
+                )
+
+    def _check_flows(
+        self, pctx: ProjectContext, checked_fqs: Set[str]
+    ) -> Iterator[ProjectRawFinding]:
+        """Entropy Generators handed into scope-path callees from outside."""
+        index = pctx.index
+        config = pctx.config
+        for info in index.modules.values():
+            for rec in info.functions.values():
+                if rec.fq in checked_fqs:
+                    continue  # creation sites there are flagged directly
+                tainted = _entropy_rng_names(info.ctx, rec.node)
+                if not tainted:
+                    continue
+                qual = rec.qualname
+                for node in ast.walk(rec.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = index.resolve_call_target(
+                        info, node.func, qual.rsplit(".", 1)[0] if "." in qual else None
+                    )
+                    if callee is None:
+                        continue
+                    if not path_matches(
+                        callee.module.relpath, config.rng_scope_paths
+                    ):
+                        continue
+                    passed = [
+                        a.id
+                        for a in (*node.args, *(kw.value for kw in node.keywords))
+                        if isinstance(a, ast.Name) and a.id in tainted
+                    ]
+                    for name in passed:
+                        yield (
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            f"{name} is an entropy-seeded Generator passed "
+                            f"into the executor-path function "
+                            f"{callee.qualname}(); derive it from "
+                            f"{'/'.join(RNG_PROVENANCE_FUNCS)} or an "
+                            f"explicit seed ({self.paper_ref})",
+                        )
+
+
+class DtypeFlowTruncation(ProjectRule):
+    """DCL014: complex128 silently truncated to a real dtype.
+
+    The kernel dtype contract keeps all propagation state complex128;
+    numpy's ``astype(float64)`` on a complex array *discards the
+    imaginary part* with only a runtime ComplexWarning, and a
+    float32-narrowing constructor halves precision on top.  The
+    per-module narrowing rule (DCL002) sees only textually narrow
+    targets; this rule runs the dtype dataflow -- with cross-module
+    return summaries -- so a complex value produced three calls away in
+    another module is still known to be complex when it hits a real
+    sink in a kernel module.  Take ``.real`` explicitly (and justify)
+    when the truncation is intended.
+    """
+
+    code = "DCL014"
+    name = "dtype-flow-truncation"
+    summary = "complex128 value flows into a real-dtype sink on a kernel path"
+    paper_ref = "fixed-dtype kernel contract (Table I reproducibility)"
+    scope_attr = "kernel_dtype_paths"
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[ProjectRawFinding]:
+        for info in pctx.index.modules.values():
+            if not path_matches(info.relpath, pctx.config.kernel_dtype_paths):
+                continue
+            types = dict(pctx.module_flow(info).types)
+            for rec in info.functions.values():
+                types.update(pctx.function_flow(rec).types)
+            yield from self._check_module(info, types)
+
+    def _check_module(
+        self, info: ModuleInfo, types: Dict[int, str]
+    ) -> Iterator[ProjectRawFinding]:
+        ctx = info.ctx
+
+        def dtype_of(node: ast.expr) -> str:
+            return types.get(id(node), "unknown")
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = self._real_target(ctx, node)
+                if target is None:
+                    continue
+                source = self._source_expr(ctx, node)
+                if source is not None and dtype_of(source) == "complex128":
+                    yield (
+                        info.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"complex128 value cast to {target} drops the "
+                        f"imaginary part silently; take .real explicitly "
+                        f"or keep complex128 ({self.paper_ref})",
+                    )
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if not isinstance(tgt, ast.Subscript):
+                        continue
+                    base_dt = dtype_of(tgt.value)
+                    if (
+                        base_dt in ("float64", "float32")
+                        and dtype_of(node.value) == "complex128"
+                    ):
+                        yield (
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            f"storing a complex128 value into a {base_dt} "
+                            f"array truncates the imaginary part; take "
+                            f".real explicitly or widen the buffer "
+                            f"({self.paper_ref})",
+                        )
+
+    def _real_target(self, ctx: ModuleContext, node: ast.Call) -> Optional[str]:
+        """The textual real dtype this call casts to, if it is a cast."""
+        from repro.statlint.project import _dtype_namer
+
+        target: Optional[ast.expr] = None
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            if node.args:
+                target = node.args[0]
+        np_name = ctx.numpy_call_name(node.func)
+        for kw in node.keywords:
+            if kw.arg == "dtype" and np_name is not None:
+                target = kw.value
+        if target is not None:
+            name = _dtype_namer(ctx, target)
+            return name if name in REAL_SINK_DTYPES else None
+        if np_name in REAL_SINK_DTYPES and node.args:
+            return np_name  # np.float64(x) scalar/array constructor
+        return None
+
+    def _source_expr(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Optional[ast.expr]:
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            return node.func.value
+        return node.args[0] if node.args else None
+
+
+class UnresolvedTunable(ProjectRule):
+    """DCL015: None-default tunable reaching a kernel use unresolved.
+
+    Tunable parameters (``block_size`` / ``chunk_size`` / ``orb_block``)
+    default to ``None`` so the active :class:`TuningProfile` can supply
+    the persisted, machine-fingerprinted winner.  A function that lets
+    the ``None`` reach arithmetic, ``range()``, an index, or a required
+    callee parameter either crashes (TypeError on None) or -- worse --
+    resolves the tunable to a hard-coded literal inside the ``is None``
+    guard, silently bypassing the tuning cache.  The noneness dataflow
+    (with ``is None`` branch narrowing) proves which uses are reachable
+    while still-maybe-None; callee summaries extend the check across
+    calls, so forwarding the unresolved value into a helper that does
+    arithmetic on it is flagged at the forwarding site.
+    """
+
+    code = "DCL015"
+    name = "unresolved-tunable"
+    summary = "None-default tunable used before TuningProfile resolution"
+    paper_ref = "Tables I-II block-shape selection (repro.tuning ownership)"
+    scope_attr = "tuning_literal_paths"
+
+    _ARITH_BUILTINS = ("range", "len", "min", "max", "divmod", "abs")
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[ProjectRawFinding]:
+        for info in pctx.index.modules.values():
+            if not path_matches(info.relpath, pctx.config.tuning_literal_paths):
+                continue
+            for rec in info.functions.values():
+                yield from self._check_function(pctx, info, rec)
+
+    def _check_function(
+        self, pctx: ProjectContext, info: ModuleInfo, rec: FunctionRecord
+    ) -> Iterator[ProjectRawFinding]:
+        yield from self._check_literal_defaults(info, rec)
+        params = none_default_params(rec.node, TUNED_LITERAL_KWARGS)
+        if not params:
+            return
+        flow = pctx.function_flow(rec, tracked_none_params=params)
+        for pname, stmt in flow.literal_narrowings:
+            if pname not in params:
+                continue
+            yield (
+                info.relpath,
+                stmt.lineno,
+                stmt.col_offset,
+                f"{pname} is resolved to a hard-coded literal instead of "
+                f"the active TuningProfile; route the default through "
+                f"get_active_profile().params_for(...) ({self.paper_ref})",
+            )
+        for node in ast.walk(rec.node):
+            if not (isinstance(node, ast.Name) and node.id in params):
+                continue
+            noneness = flow.noneness.get(id(node))
+            if noneness is None or noneness == "notnone":
+                continue
+            hit = self._unsafe_use(pctx, info, rec, node)
+            if hit is not None:
+                yield (
+                    info.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"{node.id} may still be None (unresolved tunable) when "
+                    f"it reaches {hit}; resolve it via the active "
+                    f"TuningProfile first ({self.paper_ref})",
+                )
+
+    def _check_literal_defaults(
+        self, info: ModuleInfo, rec: FunctionRecord
+    ) -> Iterator[ProjectRawFinding]:
+        """A tunable param defaulting to a bare int literal bypasses the
+        profile for every caller that relies on the default -- the
+        signature-level twin of the in-body literal-narrowing case."""
+        literals = _int_literal_default_params(rec.node, TUNED_LITERAL_KWARGS)
+        if not literals or _mentions_resolution(rec.node):
+            return
+        for pname, default in literals:
+            yield (
+                info.relpath,
+                default.lineno,
+                default.col_offset,
+                f"tunable parameter {pname} defaults to the hard-coded "
+                f"literal {ast.unparse(default)}, so default callers "
+                f"bypass the active TuningProfile; default it to None "
+                f"and resolve via get_active_profile().params_for(...) "
+                f"({self.paper_ref})",
+            )
+
+    def _unsafe_use(
+        self,
+        pctx: ProjectContext,
+        info: ModuleInfo,
+        rec: FunctionRecord,
+        node: ast.Name,
+    ) -> Optional[str]:
+        """Describe the unsafe consuming context, or None when safe."""
+        parent = info.ctx.parent(node)
+        if parent is None:
+            return None
+        if isinstance(parent, ast.Compare):
+            if any(
+                isinstance(c, ast.Constant) and c.value is None
+                for c in parent.comparators
+            ):
+                return None  # the `is None` guard itself
+            return "a numeric comparison"
+        if isinstance(parent, (ast.BinOp, ast.UnaryOp)):
+            return "arithmetic"
+        if isinstance(parent, ast.Subscript) and parent.slice is node:
+            return "an index expression"
+        if isinstance(parent, ast.Slice):
+            return "a slice bound"
+        if isinstance(parent, ast.keyword):
+            call = info.ctx.parent(parent)
+            if isinstance(call, ast.Call):
+                return self._unsafe_call_arg(pctx, info, rec, call, node, parent.arg)
+            return None
+        if isinstance(parent, ast.Call) and node in parent.args:
+            return self._unsafe_call_arg(pctx, info, rec, parent, node, None)
+        return None
+
+    def _unsafe_call_arg(
+        self,
+        pctx: ProjectContext,
+        info: ModuleInfo,
+        rec: FunctionRecord,
+        call: ast.Call,
+        node: ast.Name,
+        kwarg: Optional[str],
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in self._ARITH_BUILTINS:
+            return f"{func.id}()"
+        enclosing_class = (
+            rec.qualname.rsplit(".", 1)[0] if "." in rec.qualname else None
+        )
+        callee = pctx.index.resolve_call_target(info, func, enclosing_class)
+        if callee is None:
+            return None  # unresolvable callee: assume safe forwarding
+        pname = kwarg or _positional_param_name(callee, call, node)
+        if pname is None:
+            return None
+        if pname in none_default_params(callee.node, (pname,)):
+            return None  # callee accepts None and is checked on its own
+        if self._callee_uses_unsafely(pctx, callee, pname):
+            return (
+                f"{callee.qualname}(), which does arithmetic on "
+                f"{pname} without resolving it"
+            )
+        return None
+
+    def _callee_uses_unsafely(
+        self, pctx: ProjectContext, callee: FunctionRecord, pname: str
+    ) -> bool:
+        if pname not in _param_names(callee.node):
+            return False
+        flow = pctx.function_flow(callee, tracked_none_params=[pname])
+        info = callee.module
+        for node in ast.walk(callee.node):
+            if not (isinstance(node, ast.Name) and node.id == pname):
+                continue
+            noneness = flow.noneness.get(id(node))
+            if noneness is None or noneness == "notnone":
+                continue
+            parent = info.ctx.parent(node)
+            if isinstance(parent, (ast.BinOp, ast.UnaryOp, ast.Slice)):
+                return True
+            if isinstance(parent, ast.Subscript) and parent.slice is node:
+                return True
+            if isinstance(parent, ast.Compare) and not any(
+                isinstance(c, ast.Constant) and c.value is None
+                for c in parent.comparators
+            ):
+                return True
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in self._ARITH_BUILTINS
+            ):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------- #
+def _entropy_seeded(node: ast.Call) -> bool:
+    """Whether a default_rng call has no explicit seed."""
+    if node.keywords:
+        return False
+    if not node.args:
+        return True
+    return isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+
+
+def _entropy_rng_names(ctx: ModuleContext, fn: ast.AST) -> Set[str]:
+    """Local names bound to an entropy-seeded default_rng() in ``fn``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        if (
+            ctx.numpy_call_name(value.func) == "random.default_rng"
+            and _entropy_seeded(value)
+        ):
+            out.add(target.id)
+    return out
+
+
+def _int_literal_default_params(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef", names: Sequence[str]
+) -> List[Tuple[str, ast.expr]]:
+    """(param, default-node) pairs whose default is a bare int literal."""
+    args = fn.args
+    out: List[Tuple[str, ast.expr]] = []
+
+    def is_int_literal(node: Optional[ast.expr]) -> bool:
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool)
+        )
+
+    positional = list(args.posonlyargs) + list(args.args)
+    for arg, default in zip(
+        positional[len(positional) - len(args.defaults):], args.defaults
+    ):
+        if arg.arg in names and is_int_literal(default):
+            out.append((arg.arg, default))
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg in names and is_int_literal(kw_default):
+            assert kw_default is not None
+            out.append((arg.arg, kw_default))
+    return out
+
+
+def _mentions_resolution(fn: ast.AST) -> bool:
+    """Whether a function body touches the TuningProfile resolution API."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in TUNING_RESOLUTION_MARKERS:
+            return True
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in TUNING_RESOLUTION_MARKERS
+        ):
+            return True
+    return False
+
+
+def _find_nested_def(
+    fn: ast.AST, name: str
+) -> Optional["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    for node in ast.walk(fn):
+        if isinstance(node, _FuncDef) and node is not fn and node.name == name:
+            return node
+    return None
+
+
+def _last_local_assign(fn: ast.AST, name: str) -> Optional[ast.expr]:
+    found: Optional[ast.expr] = None
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == name:
+                found = node.value
+    return found
+
+
+def _param_names(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> List[str]:
+    args = fn.args
+    return [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+
+
+def _actual_for_param(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef", pname: str, call: ast.Call
+) -> Optional[ast.expr]:
+    """The argument expression a call binds to ``fn``'s parameter."""
+    for kw in call.keywords:
+        if kw.arg == pname:
+            return kw.value
+    positional = list(fn.args.posonlyargs) + list(fn.args.args)
+    names = [a.arg for a in positional]
+    if pname not in names:
+        return None
+    index = names.index(pname)
+    if names and names[0] == "self" and isinstance(call.func, ast.Attribute):
+        index -= 1  # bound-call: self is implicit
+    if 0 <= index < len(call.args):
+        arg = call.args[index]
+        return None if isinstance(arg, ast.Starred) else arg
+    return None
+
+
+def _positional_param_name(
+    callee: FunctionRecord, call: ast.Call, node: ast.expr
+) -> Optional[str]:
+    """Which callee parameter a positional argument lands on."""
+    try:
+        pos = call.args.index(node)
+    except ValueError:
+        return None
+    positional = list(callee.node.args.posonlyargs) + list(callee.node.args.args)
+    names = [a.arg for a in positional]
+    if names and names[0] == "self" and isinstance(call.func, ast.Attribute):
+        pos += 1
+    return names[pos] if pos < len(names) else None
+
+
+#: The project-scope rule set, in DCL code order.
+PROJECT_RULES: Tuple[ProjectRule, ...] = (
+    PickleUnsafeTask(),
+    RngProvenance(),
+    DtypeFlowTruncation(),
+    UnresolvedTunable(),
+)

@@ -1,9 +1,12 @@
-"""The DCL001-DCL010 rule set.
+"""The per-module rule set (DCL001-DCL011).
 
 Each rule is an AST check over one :class:`~repro.statlint.engine.ModuleContext`
 yielding ``(line, col, message)`` triples.  Rules carry the paper
 constraint they protect (``paper_ref``) so reports and SARIF output can
-explain *why* a finding matters, not just where it is.
+explain *why* a finding matters, not just where it is.  The
+interprocedural family (DCL012-DCL015) lives in
+:mod:`repro.statlint.project_rules` and runs over a whole-project
+context instead; :func:`all_rules` exposes both registries together.
 """
 
 from __future__ import annotations
@@ -633,14 +636,25 @@ ALL_RULES: Tuple[Rule, ...] = (
 )
 
 
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule: per-module (DCL001-011) + project (DCL012-015).
+
+    Imported lazily because the project rules build on top of this
+    module's :class:`Rule` base.
+    """
+    from repro.statlint.project_rules import PROJECT_RULES
+
+    return ALL_RULES + PROJECT_RULES
+
+
 def rule_codes() -> Tuple[str, ...]:
     """All registered rule codes, in DCL number order."""
-    return tuple(r.code for r in ALL_RULES)
+    return tuple(r.code for r in all_rules())
 
 
 def get_rule(code: str) -> Rule:
     """Look up one rule by its DCLnnn code (KeyError when unknown)."""
-    for r in ALL_RULES:
+    for r in all_rules():
         if r.code == code.upper():
             return r
     raise KeyError(f"unknown rule {code!r}; known: {', '.join(rule_codes())}")

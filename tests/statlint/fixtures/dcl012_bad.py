@@ -1,0 +1,20 @@
+"""DCL012 bad: pickle-unsafe callables reach executor.map."""
+
+
+def run_lambda(executor, items):
+    return list(executor.map(lambda x: x + 1, items))
+
+
+def run_closure(executor, items):
+    def local_task(x):
+        return x * 2
+
+    return list(executor.map(local_task, items))
+
+
+class Driver:
+    def task(self, x):
+        return x
+
+    def run(self, executor, items):
+        return list(executor.map(self.task, items))

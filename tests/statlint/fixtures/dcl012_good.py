@@ -1,0 +1,20 @@
+"""DCL012 good: module-level picklable tasks (directly and via partial)."""
+
+from functools import partial
+
+
+def module_task(x, scale=1):
+    return x * scale
+
+
+def run_direct(executor, items):
+    return list(executor.map(module_task, items))
+
+
+def run_partial(executor, items):
+    return list(executor.map(partial(module_task, scale=2), items))
+
+
+def run_indirect(executor, items):
+    task = module_task
+    return list(executor.map(task, items))

@@ -1,0 +1,14 @@
+"""DCL013 bad: executor-path randomness without deterministic provenance."""
+
+import numpy as np
+
+_NOISE_TABLE = np.random.random(16)
+
+
+def jitter(values):
+    rng = np.random.default_rng()
+    return values + rng.normal(size=len(values))
+
+
+def legacy_noise(n):
+    return np.random.normal(size=n)

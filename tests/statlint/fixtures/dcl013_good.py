@@ -1,0 +1,15 @@
+"""DCL013 good: every stream is derived or explicitly seeded."""
+
+import numpy as np
+
+from repro.parallel.rng import worker_rng
+
+
+def jitter(values, run_seed, worker_id):
+    rng = worker_rng(run_seed, worker_id)
+    return values + rng.normal(size=len(values))
+
+
+def explicit_seed(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(3)

@@ -1,0 +1,24 @@
+"""DCL014 bad: complex128 values flowing into real-dtype sinks."""
+
+import numpy as np
+
+
+def make_phase(n):
+    return np.exp(1j * np.linspace(0.0, 1.0, n))
+
+
+def bad_astype(n):
+    z = make_phase(n)
+    return z.astype(np.float64)
+
+
+def bad_dtype_kwarg(n):
+    z = make_phase(n)
+    return np.asarray(z, dtype="float64")
+
+
+def bad_store(n):
+    out = np.zeros(n)
+    z = make_phase(n)
+    out[...] = z
+    return out

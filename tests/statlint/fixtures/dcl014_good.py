@@ -1,0 +1,23 @@
+"""DCL014 good: real projections are explicit (.real / |z|^2)."""
+
+import numpy as np
+
+
+def make_phase(n):
+    return np.exp(1j * np.linspace(0.0, 1.0, n))
+
+
+def density(n):
+    z = make_phase(n)
+    return np.abs(z) ** 2
+
+
+def explicit_real(n):
+    z = make_phase(n)
+    return z.real.astype(np.float64)
+
+
+def stays_complex(n):
+    out = np.zeros(n, dtype=np.complex128)
+    out[...] = make_phase(n)
+    return out

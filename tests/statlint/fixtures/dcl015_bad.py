@@ -1,0 +1,25 @@
+"""DCL015 bad: tunables bypassing or never reaching TuningProfile resolution."""
+
+
+def hard_default(data, block_size=32):
+    return data[:block_size]
+
+
+def unresolved_range(data, block_size=None):
+    for i in range(block_size):
+        data[i] += 1.0
+    return data
+
+
+def literal_fallback(data, block_size=None):
+    if block_size is None:
+        block_size = 16
+    return data[:block_size]
+
+
+def _helper(data, block_size):
+    return data[:block_size]
+
+
+def forwards_unresolved(data, block_size=None):
+    return _helper(data, block_size)

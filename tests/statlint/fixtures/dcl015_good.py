@@ -1,0 +1,19 @@
+"""DCL015 good: None defaults resolved through the active TuningProfile."""
+
+from repro.tuning.profile import get_active_profile
+
+
+def resolved(data, block_size=None):
+    if block_size is None:
+        block_size = int(
+            get_active_profile().params_for("lfd.kin_prop")["block_size"]
+        )
+    return data[:block_size]
+
+
+def guarded_forward(data, block_size=None):
+    if block_size is None:
+        block_size = int(
+            get_active_profile().params_for("lfd.kin_prop")["block_size"]
+        )
+    return resolved(data, block_size)

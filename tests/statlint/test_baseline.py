@@ -81,6 +81,61 @@ def test_justification_preserved_on_rebaseline(tmp_path):
     )
 
 
+def test_selective_rebaseline_preserves_uncovered_rules(tmp_path):
+    """The new-rule adoption path: ``--select DCL012 --write-baseline``
+    must not drop the DCL001-011 entries the selective run never ran."""
+    findings = findings_of()
+    previous = Baseline.from_findings(findings)
+    previous.entries[0].justification = "legacy hot-loop allocation"
+
+    # A selective run covering only DCL012 sees zero findings; the
+    # DCL001 entry (with its justification) must survive verbatim.
+    rebaselined = Baseline.from_findings(
+        [], previous=previous, covered_rules={"DCL012"}
+    )
+    assert len(rebaselined.entries) == 1
+    assert rebaselined.entries[0].rule == "DCL001"
+    assert rebaselined.entries[0].justification == "legacy hot-loop allocation"
+
+    # Round-trip through disk keeps the preserved entry intact.
+    path = tmp_path / "bl.json"
+    rebaselined.save(path)
+    assert Baseline.load(path).entries[0].to_dict() == (
+        rebaselined.entries[0].to_dict()
+    )
+
+    # A later full rebaseline (all rules covered, finding still present)
+    # folds the entry back through the exact-key path.
+    full = Baseline.from_findings(
+        findings, previous=rebaselined, covered_rules={"DCL001", "DCL012"}
+    )
+    assert len(full.entries) == 1
+    assert full.entries[0].justification == "legacy hot-loop allocation"
+
+
+def test_covered_rebaseline_drops_fixed_findings():
+    """A covered rule's vanished findings ARE pruned (that is the point
+    of re-baselining); only uncovered rules are carried."""
+    previous = Baseline.from_findings(findings_of())
+    rebaselined = Baseline.from_findings(
+        [], previous=previous, covered_rules={"DCL001"}
+    )
+    assert rebaselined.entries == []
+
+
+def test_justification_fuzzy_fallback_on_context_rename():
+    """Renaming the enclosing function changes the fingerprint; the
+    (rule, path, snippet) fallback still carries the justification."""
+    previous = Baseline.from_findings(findings_of())
+    previous.entries[0].justification = "kept: reference implementation"
+    renamed = findings_of(BAD.replace("def f", "def h"))
+    assert renamed[0].fingerprint != previous.entries[0].fingerprint
+    rebaselined = Baseline.from_findings(renamed, previous=previous)
+    assert rebaselined.entries[0].justification == (
+        "kept: reference implementation"
+    )
+
+
 def test_version_mismatch_rejected(tmp_path):
     path = tmp_path / "baseline.json"
     path.write_text(json.dumps({"version": 99, "findings": []}))

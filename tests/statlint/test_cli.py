@@ -115,6 +115,30 @@ def test_write_baseline_preserves_justifications(bad_tree, capsys):
     assert doc2["findings"][0]["justification"] == "kept on purpose"
 
 
+def test_selective_write_baseline_keeps_other_rules(bad_tree, capsys):
+    """New-rule adoption: rebaselining with --select must not drop the
+    entries of rules the selective run never executed."""
+    assert main(["src", "--write-baseline", "bl.json"]) == 0
+    doc = json.loads((bad_tree / "bl.json").read_text())
+    doc["findings"][0]["justification"] = "legacy, kept"
+    (bad_tree / "bl.json").write_text(json.dumps(doc))
+    assert main(
+        ["src", "--select", "DCL012", "--write-baseline", "bl.json"]
+    ) == 0
+    doc2 = json.loads((bad_tree / "bl.json").read_text())
+    assert [e["rule"] for e in doc2["findings"]] == ["DCL001"]
+    assert doc2["findings"][0]["justification"] == "legacy, kept"
+
+
+def test_jobs_and_cache_flags(bad_tree, capsys):
+    assert main(["src", "--jobs", "2", "--cache", "c.json"]) == 1
+    first = capsys.readouterr().out
+    assert main(["src", "--jobs", "1", "--cache", "c.json"]) == 1
+    second = capsys.readouterr().out
+    assert second == first          # warm cache, serial: identical report
+    assert (bad_tree / "c.json").exists()
+
+
 def test_python_m_entry_point(bad_tree):
     """``python -m repro.statlint`` works and propagates the exit code."""
     src_root = Path(__file__).resolve().parents[2] / "src"

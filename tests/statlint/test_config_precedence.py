@@ -1,0 +1,149 @@
+"""Configuration precedence: CLI flags > [tool.statlint] > built-in defaults.
+
+Discovery anchors on the linted tree (the first path argument), so each
+test builds a self-contained temp project with its own pyproject.toml.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.statlint.cli import main
+from repro.statlint.config import (
+    config_from_settings,
+    find_pyproject,
+    load_pyproject_settings,
+)
+
+BAD = (
+    "import numpy as np\n"
+    "def f(x):\n"
+    "    for _ in range(3):\n"
+    "        t = np.zeros(3)\n"
+    "    return t\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "lfd"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(BAD)
+    old = Path.cwd()
+    os.chdir(tmp_path)
+    try:
+        yield tmp_path
+    finally:
+        os.chdir(old)
+
+
+def write_pyproject(tree: Path, body: str) -> None:
+    (tree / "pyproject.toml").write_text(body)
+
+
+def test_pyproject_select_applies(tree, capsys):
+    # DCL001 fires on the tree by default; selecting only DCL002 in
+    # pyproject must silence it.
+    write_pyproject(tree, "[tool.statlint]\nselect = [\"DCL002\"]\n")
+    assert main(["src"]) == 0
+
+
+def test_cli_select_overrides_pyproject(tree, capsys):
+    write_pyproject(tree, "[tool.statlint]\nselect = [\"DCL002\"]\n")
+    assert main(["src", "--select", "DCL001"]) == 1
+    assert "DCL001" in capsys.readouterr().out
+
+
+def test_pyproject_severity_downgrades_exit(tree, capsys):
+    write_pyproject(
+        tree, "[tool.statlint]\n[tool.statlint.severity]\nDCL001 = \"note\"\n"
+    )
+    assert main(["src"]) == 0
+    assert "note" in capsys.readouterr().out
+
+
+def test_cli_severity_wins_per_code(tree, capsys):
+    write_pyproject(
+        tree, "[tool.statlint]\n[tool.statlint.severity]\nDCL001 = \"note\"\n"
+    )
+    assert main(["src", "--severity", "DCL001=error"]) == 1
+
+
+def test_invalid_pyproject_severity_is_a_usage_error(tree):
+    write_pyproject(
+        tree, "[tool.statlint]\n[tool.statlint.severity]\nDCL001 = \"loud\"\n"
+    )
+    with pytest.raises(SystemExit) as exc:
+        main(["src"])
+    assert exc.value.code == 2
+
+
+def test_pyproject_baseline_default_applies(tree, capsys):
+    assert main(["src", "--write-baseline", "bl.json"]) == 0
+    write_pyproject(tree, "[tool.statlint]\nbaseline = \"bl.json\"\n")
+    assert main(["src"]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_baseline_overrides_pyproject(tree, capsys):
+    assert main(["src", "--write-baseline", "bl.json"]) == 0
+    write_pyproject(tree, "[tool.statlint]\nbaseline = \"missing.json\"\n")
+    assert main(["src", "--baseline", "bl.json"]) == 0
+
+
+def test_pyproject_cache_and_no_cache(tree, capsys):
+    write_pyproject(tree, "[tool.statlint]\ncache = \"lint-cache.json\"\n")
+    assert main(["src"]) == 1
+    assert (tree / "lint-cache.json").exists()
+    doc = json.loads((tree / "lint-cache.json").read_text())
+    assert doc["files"]
+    (tree / "lint-cache.json").unlink()
+    assert main(["src", "--no-cache"]) == 1
+    assert not (tree / "lint-cache.json").exists()
+
+
+def test_pyproject_jobs_applies_and_cli_wins(tree, capsys):
+    write_pyproject(tree, "[tool.statlint]\njobs = 2\n")
+    assert main(["src"]) == 1          # parallel run, same findings
+    assert main(["src", "--jobs", "1"]) == 1
+
+
+def test_defaults_without_pyproject(tree, capsys):
+    assert find_pyproject(["src"]) is None
+    assert main(["src"]) == 1          # all rules, no baseline, no cache
+
+
+def test_malformed_pyproject_degrades_to_defaults(tree, capsys):
+    write_pyproject(tree, "not [valid toml")
+    assert main(["src"]) == 1
+
+
+def test_config_from_settings_roundtrip():
+    out = config_from_settings(
+        {
+            "select": ["dcl001", "DCL014"],
+            "ignore": "DCL002, dcl003",
+            "severity": {"DCL001": "WARNING"},
+            "jobs": 4,
+            "cache": " .lint-cache.json ",
+            "baseline": "bl.json",
+            "unknown_future_key": object(),
+        }
+    )
+    assert out["select"] == ("DCL001", "DCL014")
+    assert out["ignore"] == ("DCL002", "DCL003")
+    assert out["severities"] == {"DCL001": "warning"}
+    assert out["jobs"] == 4
+    assert out["cache"] == ".lint-cache.json"
+    assert out["baseline"] == "bl.json"
+    assert "unknown_future_key" not in out
+
+
+def test_load_pyproject_settings_reads_table(tmp_path):
+    py = tmp_path / "pyproject.toml"
+    py.write_text("[tool.statlint]\nselect = [\"DCL001\"]\njobs = 3\n")
+    assert load_pyproject_settings(py) == {"select": ["DCL001"], "jobs": 3}

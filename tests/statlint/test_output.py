@@ -6,11 +6,11 @@ import json
 
 import pytest
 
-from repro.statlint import Baseline, LintConfig, lint_source
+from repro.statlint import Baseline, LintConfig, lint_paths, lint_source
 from repro.statlint.baseline import apply_baseline
 from repro.statlint.engine import LintResult
 from repro.statlint.output import render_json, render_sarif, render_text
-from repro.statlint.rules import ALL_RULES
+from repro.statlint.rules import all_rules
 
 BAD = (
     "import numpy as np\n"
@@ -151,10 +151,46 @@ def test_sarif_carries_full_rule_metadata():
     result, _ = make_result()
     doc = json.loads(render_sarif(result))
     rules = doc["runs"][0]["tool"]["driver"]["rules"]
-    assert [r["id"] for r in rules] == [r.code for r in ALL_RULES]
+    assert [r["id"] for r in rules] == [r.code for r in all_rules()]
+    assert {"DCL012", "DCL013", "DCL014", "DCL015"} <= {r["id"] for r in rules}
     for r in rules:
         assert r["shortDescription"]["text"]
         assert r["properties"]["paperRef"]
+
+
+def make_project_result(tmp_path):
+    """A LintResult holding one finding per project-wide rule."""
+    from tests.statlint.test_rules import FIXTURES, PROJECT_CASES
+    import shutil
+
+    for code, (stem, relpath, _) in PROJECT_CASES.items():
+        dst = tmp_path / relpath.replace("fixture.py", f"{stem}.py")
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / f"{stem}_bad.py", dst)
+    config = LintConfig(select=tuple(PROJECT_CASES))
+    result = lint_paths([str(tmp_path)], config, root=tmp_path)
+    result.new_findings = list(result.findings)
+    return result
+
+
+def test_sarif_project_findings_schema_valid(tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    result = make_project_result(tmp_path)
+    doc = json.loads(render_sarif(result))
+    jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+    rule_ids = {r["ruleId"] for r in doc["runs"][0]["results"]}
+    assert rule_ids == {"DCL012", "DCL013", "DCL014", "DCL015"}
+
+
+def test_sarif_project_results_carry_locations_and_fingerprints(tmp_path):
+    result = make_project_result(tmp_path)
+    doc = json.loads(render_sarif(result))
+    for res in doc["runs"][0]["results"]:
+        assert res["level"] == "error"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith(".py")
+        assert loc["region"]["startLine"] >= 1
+        assert res["partialFingerprints"]["dclint/v1"]
 
 
 def test_sarif_baseline_states():

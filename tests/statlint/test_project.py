@@ -1,0 +1,289 @@
+"""Project-wide analysis layer: index, dataflow, and cross-module rules.
+
+The adversarial cases in here are the reason the project pass exists:
+each one is *clean* when its modules are linted per-module (the hazard
+lives in the composition) and flagged only when the whole tree is
+analyzed together.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from textwrap import dedent
+from typing import Dict
+
+from repro.statlint import LintConfig, lint_paths, lint_source
+from repro.statlint.engine import ModuleContext
+from repro.statlint.project import (
+    ProjectContext,
+    build_project,
+    module_name_for,
+)
+
+PROJECT_CODES = ("DCL012", "DCL013", "DCL014", "DCL015")
+
+
+def write_tree(tmp_path: Path, files: Dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        dst = tmp_path / relpath
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(dedent(source))
+    return tmp_path
+
+
+def lint_tree(tmp_path: Path, files: Dict[str, str], select=PROJECT_CODES):
+    root = write_tree(tmp_path, files)
+    result = lint_paths([str(root)], LintConfig(select=select), root=root)
+    assert not result.errors, result.errors
+    return result.findings
+
+
+def build(tmp_path: Path, files: Dict[str, str]) -> ProjectContext:
+    root = write_tree(tmp_path, files)
+    config = LintConfig()
+    contexts = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        contexts.append(ModuleContext(relpath, path.read_text(), config))
+    return build_project(contexts, config)
+
+
+# --------------------------------------------------------------------- #
+# symbol index
+# --------------------------------------------------------------------- #
+def test_module_name_for_strips_src_and_init():
+    assert module_name_for("src/repro/lfd/kin_prop.py") == "repro.lfd.kin_prop"
+    assert module_name_for("src/repro/lfd/__init__.py") == "repro.lfd"
+    assert module_name_for("benchmarks/bench_x.py") == "benchmarks.bench_x"
+
+
+def test_index_resolves_import_aliases_and_reexports(tmp_path):
+    pctx = build(tmp_path, {
+        "src/pkg/core.py": """
+            def task(x):
+                return x
+        """,
+        "src/pkg/api.py": """
+            from pkg.core import task as exported_task
+        """,
+        "src/pkg/use.py": """
+            from pkg.api import exported_task
+
+            def drive(executor, items):
+                return list(executor.map(exported_task, items))
+        """,
+    })
+    info = pctx.index.modules["pkg.use"]
+    fq = pctx.index.resolve_name(info, "exported_task")
+    rec = pctx.index.lookup_function(fq)
+    assert rec is not None and rec.fq == "pkg.core.task"
+
+
+def test_call_graph_reachability(tmp_path):
+    pctx = build(tmp_path, {
+        "src/pkg/a.py": """
+            from pkg.b import middle
+
+            def entry():
+                return middle()
+        """,
+        "src/pkg/b.py": """
+            from pkg.c import leaf
+
+            def middle():
+                return leaf()
+        """,
+        "src/pkg/c.py": """
+            def leaf():
+                return 1
+
+            def unrelated():
+                return 2
+        """,
+    })
+    reachable = pctx.index.reachable_from(["pkg.a.entry"])
+    assert "pkg.b.middle" in reachable
+    assert "pkg.c.leaf" in reachable
+    assert "pkg.c.unrelated" not in reachable
+
+
+def test_cross_module_return_dtype_summary(tmp_path):
+    pctx = build(tmp_path, {
+        "src/pkg/maker.py": """
+            import numpy as np
+
+            def phase(n):
+                return np.exp(1j * np.linspace(0.0, 1.0, n))
+        """,
+        "src/pkg/user.py": """
+            from pkg.maker import phase
+        """,
+    })
+    rec = pctx.index.lookup_function("pkg.maker.phase")
+    assert rec is not None
+    assert pctx.return_dtype(rec) == "complex128"
+
+
+# --------------------------------------------------------------------- #
+# adversarial: project pass flags, per-module pass is blind
+# --------------------------------------------------------------------- #
+ADVERSARIAL_FACTORY = {
+    # The closure factory lives far from the dispatch site; each module
+    # alone is innocent.
+    "src/repro/parallel/taskfactory.py": """
+        def make_scaled_task(scale):
+            def scaled(x):
+                return x * scale
+            return scaled
+    """,
+    "src/repro/core/driver.py": """
+        from repro.parallel.taskfactory import make_scaled_task
+
+        def drive(executor, items):
+            task = make_scaled_task(2.0)
+            return list(executor.map(task, items))
+    """,
+}
+
+ADVERSARIAL_DTYPE = {
+    # complex128 is produced in one module, truncated in another.
+    "src/repro/core/signal.py": """
+        import numpy as np
+
+        def carrier(n):
+            return np.exp(1j * np.linspace(0.0, 1.0, n))
+    """,
+    "src/repro/lfd/consume.py": """
+        import numpy as np
+
+        from repro.core.signal import carrier
+
+        def envelope(n):
+            z = carrier(n)
+            return z.astype(np.float64)
+    """,
+}
+
+
+def test_adversarial_factory_closure_flagged_project_wide(tmp_path):
+    findings = lint_tree(tmp_path, ADVERSARIAL_FACTORY)
+    assert [f.rule for f in findings] == ["DCL012"]
+    assert "closure" in findings[0].message
+    # the finding points at the *definition* inside the factory module
+    assert findings[0].path.endswith("taskfactory.py")
+
+
+def test_adversarial_factory_invisible_per_module():
+    for relpath, source in ADVERSARIAL_FACTORY.items():
+        findings = lint_source(
+            dedent(source), relpath, LintConfig(select=PROJECT_CODES)
+        )
+        assert findings == [], [f.to_dict() for f in findings]
+
+
+def test_adversarial_cross_module_truncation_flagged_project_wide(tmp_path):
+    findings = lint_tree(tmp_path, ADVERSARIAL_DTYPE)
+    assert [f.rule for f in findings] == ["DCL014"]
+    assert findings[0].path.endswith("consume.py")
+
+
+def test_adversarial_cross_module_truncation_invisible_per_module():
+    for relpath, source in ADVERSARIAL_DTYPE.items():
+        findings = lint_source(
+            dedent(source), relpath, LintConfig(select=PROJECT_CODES)
+        )
+        assert findings == [], [f.to_dict() for f in findings]
+
+
+def test_entropy_rng_passed_into_scope_path_flagged(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/parallel/chunks.py": """
+            def run_chunk(items, rng):
+                return [rng.random() for _ in items]
+        """,
+        "src/repro/analysis/outside.py": """
+            import numpy as np
+
+            from repro.parallel.chunks import run_chunk
+
+            def launch(items):
+                rng = np.random.default_rng()
+                return run_chunk(items, rng)
+        """,
+    })
+    assert [f.rule for f in findings] == ["DCL013"]
+    assert findings[0].path.endswith("outside.py")
+
+
+def test_seeded_rng_passed_into_scope_path_clean(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/parallel/chunks.py": """
+            def run_chunk(items, rng):
+                return [rng.random() for _ in items]
+        """,
+        "src/repro/analysis/outside.py": """
+            import numpy as np
+
+            from repro.parallel.chunks import run_chunk
+
+            def launch(items, seed):
+                rng = np.random.default_rng(seed)
+                return run_chunk(items, rng)
+        """,
+    })
+    assert findings == [], [f.to_dict() for f in findings]
+
+
+def test_task_dispatched_by_parameter_traced_to_caller(tmp_path):
+    # run() receives the task as a parameter; the offending lambda sits
+    # at the *caller*, two modules away from any executor.
+    findings = lint_tree(tmp_path, {
+        "src/repro/core/runner.py": """
+            def run(executor, task, items):
+                return list(executor.map(task, items))
+        """,
+        "src/repro/analysis/caller.py": """
+            from repro.core.runner import run
+
+            def launch(executor, items):
+                return run(executor, lambda x: x + 1, items)
+        """,
+    })
+    assert [f.rule for f in findings] == ["DCL012"]
+    assert findings[0].path.endswith("caller.py")
+
+
+def test_inline_suppression_silences_project_finding(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/core/driver.py": """
+            def drive(executor, items):
+                return list(executor.map(lambda x: x, items))  # dclint: disable=DCL012
+        """,
+    })
+    assert findings == [], [f.to_dict() for f in findings]
+
+
+def test_transitive_rng_through_helper_module(tmp_path):
+    # The entropy RNG hides in a helper called (transitively) from a
+    # dispatched task; neither the task module nor the helper module is
+    # under repro/parallel/.
+    findings = lint_tree(tmp_path, {
+        "src/repro/core/tasks.py": """
+            from repro.analysis.noise import noisy
+
+            def worker_task(item):
+                return noisy(item)
+
+            def drive(executor, items):
+                return list(executor.map(worker_task, items))
+        """,
+        "src/repro/analysis/noise.py": """
+            import numpy as np
+
+            def noisy(item):
+                rng = np.random.default_rng()
+                return item + rng.random()
+        """,
+    })
+    assert [f.rule for f in findings] == ["DCL013"]
+    assert findings[0].path.endswith("noise.py")

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import shutil
 from pathlib import Path
 
 import pytest
 
-from repro.statlint import LintConfig, lint_source
-from repro.statlint.rules import ALL_RULES, get_rule, rule_codes
+from repro.statlint import LintConfig, lint_paths, lint_source
+from repro.statlint.rules import ALL_RULES, all_rules, get_rule, rule_codes
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -27,11 +28,32 @@ CASES = {
     "DCL011": ("dcl011", "src/repro/parallel/backends/fixture.py", 5),
 }
 
+#: The project-wide rules lint through lint_paths (they need the
+#: cross-module index), so their cases carry the same metadata but run
+#: against a temp tree holding the fixture at an in-scope relpath.
+PROJECT_CASES = {
+    "DCL012": ("dcl012", "src/repro/core/fixture.py", 3),
+    "DCL013": ("dcl013", "src/repro/parallel/fixture.py", 3),
+    "DCL014": ("dcl014", "src/repro/lfd/fixture.py", 3),
+    "DCL015": ("dcl015", "src/repro/lfd/fixture.py", 4),
+}
+
 
 def lint_fixture(name: str, relpath: str, code: str):
     source = (FIXTURES / f"{name}.py").read_text()
     config = LintConfig(select=(code,))
     return lint_source(source, relpath, config)
+
+
+def lint_project_fixture(tmp_path: Path, name: str, relpath: str, code: str):
+    dst = tmp_path / relpath
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(FIXTURES / f"{name}.py", dst)
+    result = lint_paths(
+        [str(tmp_path)], LintConfig(select=(code,)), root=tmp_path
+    )
+    assert not result.errors, result.errors
+    return result.findings
 
 
 @pytest.mark.parametrize("code", sorted(CASES))
@@ -65,15 +87,55 @@ def test_scoped_rules_skip_out_of_scope_paths(code):
     assert findings == []
 
 
-def test_rule_registry_complete():
-    assert rule_codes() == tuple(f"DCL00{i}" for i in range(1, 10)) + (
-        "DCL010",
-        "DCL011",
+@pytest.mark.parametrize("code", sorted(PROJECT_CASES))
+def test_project_bad_fixture_flags(code, tmp_path):
+    stem, relpath, expected = PROJECT_CASES[code]
+    findings = lint_project_fixture(tmp_path, f"{stem}_bad", relpath, code)
+    assert len(findings) == expected, [f.to_dict() for f in findings]
+    assert {f.rule for f in findings} == {code}
+    for f in findings:
+        assert f.severity == "error"
+        assert f.line >= 1
+        assert f.snippet
+        assert f.message
+
+
+@pytest.mark.parametrize("code", sorted(PROJECT_CASES))
+def test_project_good_fixture_clean(code, tmp_path):
+    stem, relpath, _ = PROJECT_CASES[code]
+    findings = lint_project_fixture(tmp_path, f"{stem}_good", relpath, code)
+    assert findings == [], [f.to_dict() for f in findings]
+
+
+@pytest.mark.parametrize("code", sorted(PROJECT_CASES))
+def test_project_scoped_rules_skip_out_of_scope_paths(code, tmp_path):
+    rule = get_rule(code)
+    if rule.scope_attr is None:
+        pytest.skip("rule applies everywhere")
+    stem, _, _ = PROJECT_CASES[code]
+    findings = lint_project_fixture(
+        tmp_path, f"{stem}_bad", "scripts/tooling/helper.py", code
     )
-    for rule in ALL_RULES:
+    assert findings == []
+
+
+def test_rule_registry_complete():
+    assert rule_codes() == tuple(
+        f"DCL{i:03d}" for i in range(1, 16)
+    )
+    assert tuple(r.code for r in ALL_RULES) == tuple(
+        f"DCL{i:03d}" for i in range(1, 12)
+    )
+    for rule in all_rules():
         assert rule.summary
         assert rule.paper_ref
         assert rule.__doc__
+
+
+def test_project_rules_marked():
+    for rule in all_rules():
+        expected = rule.code in PROJECT_CASES
+        assert bool(getattr(rule, "project", False)) is expected, rule.code
 
 
 def test_get_rule_unknown():
