@@ -20,6 +20,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.mesh import DCMESHSimulation
 from repro.qxmd.surface_hopping import SurfaceHoppingState
 from repro.tuning.profile import (
@@ -52,6 +53,9 @@ def save_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> pa
         # Active tuning profile: a resumed run must replay the identical
         # tuned parameters (optional key; version stays 1).
         "tuning_profile": get_active_profile().to_dict(),
+        # Array-API substrate the run was produced on (optional key;
+        # pre-substrate checkpoints simply lack it).
+        "array_backend": sim.config.array_backend or "numpy",
     }
     if sim._prev_forces is not None:
         arrays["prev_forces"] = sim._prev_forces
@@ -154,6 +158,11 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
             if "tuning_profile" in meta
             else None  # pre-tuning checkpoint: leave the active profile
         )
+        array_backend = meta.get("array_backend")
+        if array_backend is not None:
+            # Validate eagerly (phase 1): an unknown substrate name must
+            # fail before any state is applied.
+            array_backend = get_backend(str(array_backend)).name
 
         # ---- phase 2: apply (cannot fail on shape grounds anymore). ----
         sim.md_state.positions = data["positions"].copy()
@@ -183,3 +192,7 @@ def load_checkpoint(sim: DCMESHSimulation, path: Union[str, pathlib.Path]) -> No
         sim.rng.bit_generator.state = rng_state
         if profile is not None:
             set_active_profile(profile)
+        if array_backend is not None:
+            # Resume on the substrate the checkpoint was produced on so
+            # the trajectory continues through the same kernel paths.
+            sim.config.array_backend = array_backend

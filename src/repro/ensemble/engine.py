@@ -46,7 +46,9 @@ class EnsembleConfig:
     ``istate=None`` starts every trajectory on the highest state of the
     path (the photoexcited carrier relaxing downward).  ``batch_size=
     None`` resolves from the active tuning profile's ``ensemble.swarm``
-    tunable.
+    tunable.  ``array_backend`` names the array-API substrate for the
+    batched FSSH kernels (``None`` = native NumPy); it travels to the
+    workers as a plain name, so process-spawn batches use it too.
     """
 
     ntraj: int = 32
@@ -55,6 +57,7 @@ class EnsembleConfig:
     substeps: int = 20
     policy: HopPolicy = field(default_factory=HopPolicy)
     batch_size: Optional[int] = None
+    array_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.ntraj < 1:
@@ -65,6 +68,12 @@ class EnsembleConfig:
             raise ValueError("batch_size must be positive (or None)")
         if self.istate is not None and self.istate < 0:
             raise ValueError("istate must be non-negative (or None)")
+        if self.array_backend is not None:
+            from repro.backend import get_backend
+
+            # Validate and canonicalize eagerly ("auto" -> "numpy"), so
+            # every batch task carries a resolved name.
+            self.array_backend = get_backend(self.array_backend).name
 
 
 def resolve_batch_size(config: EnsembleConfig) -> int:
@@ -94,14 +103,16 @@ def _swarm_batch_task(args: Tuple[Any, ...]) -> BatchResult:
     """Executor task: sweep one batch of trajectories over the full path.
 
     ``args`` is ``(energies, nac, kinetic, dt, lo, hi, seed, istate,
-    substeps, policy)``.  Self-contained and placement-independent: the
-    RNG streams come from ``(seed, trajectory index)`` carried in the
-    item, never from worker state, so any backend, chunking or resume
-    produces identical results.  Inputs may be read-only shared-memory
-    views; they are only read, and every returned array is fresh.
+    substeps, policy, array_backend)``.  Self-contained and
+    placement-independent: the RNG streams come from ``(seed, trajectory
+    index)`` carried in the item, never from worker state, so any
+    backend, chunking or resume produces identical results.
+    ``array_backend`` is a plain substrate name (or ``None``), resolved
+    inside the worker.  Inputs may be read-only shared-memory views;
+    they are only read, and every returned array is fresh.
     """
     (energies, nac, kinetic, dt, lo, hi, seed, istate, substeps,
-     policy) = args
+     policy, array_backend) = args
     nsteps, nstates = energies.shape
     nb = hi - lo
     swarm = SwarmState.on_state(nb, nstates, istate)
@@ -112,7 +123,8 @@ def _swarm_batch_task(args: Tuple[Any, ...]) -> BatchResult:
         xi = np.array([rng.random() for rng in rngs])
         assert swarm.ke_factor is not None
         ke = kinetic[s] * swarm.ke_factor
-        step_swarm(swarm, energies[s], nac[s], dt, ke, xi, policy, substeps)
+        step_swarm(swarm, energies[s], nac[s], dt, ke, xi, policy,
+                   substeps, backend=array_backend)
         populations[s] = swarm.populations
         actives[s] = swarm.active
     assert swarm.hop_counts is not None and swarm.ke_factor is not None
@@ -239,7 +251,8 @@ class EnsembleRun:
         lo, hi = self.batches[index]
         return (self.path.energies, self.path.nac, self.path.kinetic,
                 self.path.dt, lo, hi, self.config.seed, self.istate,
-                self.config.substeps, self.config.policy)
+                self.config.substeps, self.config.policy,
+                self.config.array_backend)
 
     def _apply(self, index: int, res: BatchResult) -> None:
         lo, hi = res.lo, res.hi
@@ -315,6 +328,9 @@ class EnsembleRun:
             "dt": self.path.dt,
             "policy": [p.hop_rescale, p.hop_reject,
                        p.dec_correction or "", p.edc_parameter],
+            # Cross-substrate trajectories agree only to ~1e-10, so a
+            # resume on a different substrate must be rejected outright.
+            "array_backend": self.config.array_backend or "numpy",
         }
 
     def save_state(self, path: Union[str, pathlib.Path]) -> None:

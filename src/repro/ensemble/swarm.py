@@ -19,18 +19,22 @@ ordinal pinned to 0 -- so the stream depends on the trajectory's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend, to_numpy
 from repro.ensemble.path import ClassicalPath
 from repro.parallel.executor import chunk_rng
 from repro.qxmd.sh_kernels import (
     HopPolicy,
     apply_edc_batch,
+    apply_edc_batch_xp,
     batched_norm,
     hop_probabilities_batch,
+    hop_probabilities_batch_xp,
     propagate_amplitudes_batch,
+    propagate_amplitudes_batch_xp,
     resolve_hops,
     select_hops,
 )
@@ -132,6 +136,7 @@ def step_swarm(
     xi: np.ndarray,
     policy: HopPolicy,
     substeps: int = 20,
+    backend: Union[str, ArrayBackend, None] = None,
 ) -> np.ndarray:
     """One full U_SH step for every trajectory; returns accepted-hop mask.
 
@@ -140,16 +145,38 @@ def step_swarm(
     arrays.  ``kinetic`` and ``xi`` are per-trajectory: the caller
     supplies ``path.kinetic[s] * swarm.ke_factor`` and one uniform draw
     per trajectory from its :func:`trajectory_rng` stream.
+
+    ``backend`` selects the array-API substrate for the amplitude-heavy
+    kernels (propagation, decoherence, hop probabilities); hop selection
+    and pricing stay on the host either way.  The swarm's stored state
+    is always NumPy -- the substrate is internal to the step.
     """
     assert swarm.ke_factor is not None and swarm.hop_counts is not None
-    c = propagate_amplitudes_batch(
-        swarm.amplitudes, energies, nac, dt, substeps
-    )
-    if policy.dec_correction == "edc":
-        c = apply_edc_batch(
-            c, swarm.active, energies, dt, kinetic, policy.edc_parameter
+    b = get_backend(backend)
+    if b.native:
+        c = propagate_amplitudes_batch(
+            swarm.amplitudes, energies, nac, dt, substeps
         )
-    g = hop_probabilities_batch(c, swarm.active, nac, dt)
+        if policy.dec_correction == "edc":
+            c = apply_edc_batch(
+                c, swarm.active, energies, dt, kinetic, policy.edc_parameter
+            )
+        g = hop_probabilities_batch(c, swarm.active, nac, dt)
+    else:
+        xp = b.xp
+        cx = b.asarray(swarm.amplitudes)
+        ex = b.asarray(energies)
+        nacx = b.asarray(nac)
+        actx = b.asarray(swarm.active)
+        cx = propagate_amplitudes_batch_xp(xp, cx, ex, nacx, dt, substeps)
+        if policy.dec_correction == "edc":
+            cx = apply_edc_batch_xp(
+                xp, cx, actx, ex, dt, b.asarray(kinetic),
+                policy.edc_parameter,
+            )
+        gx = hop_probabilities_batch_xp(xp, cx, actx, nacx, dt)
+        c = to_numpy(cx)
+        g = to_numpy(gx)
     target = select_hops(g, xi)
     attempted = target >= 0
     safe_target = np.where(attempted, target, swarm.active)

@@ -9,16 +9,28 @@ electron-propagation kernel of Table II.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend, to_numpy
 from repro.constants import HBAR
 from repro.lfd.wavefunction import WaveFunctionSet
 from repro.obs import trace_charge, trace_span
 
 
-def potential_phase(vloc: np.ndarray, dt: float) -> np.ndarray:
+def potential_phase(  # dclint: disable=DCL006 -- timed by potential_phase_step
+    vloc: np.ndarray,
+    dt: float,
+    backend: Union[str, ArrayBackend, None] = None,
+) -> np.ndarray:
     """The diagonal phase field exp(-i dt v_loc / hbar)."""
-    return np.exp(-1j * (dt / HBAR) * np.asarray(vloc, dtype=float))
+    b = get_backend(backend)
+    if b.native:
+        return np.exp(-1j * (dt / HBAR) * np.asarray(vloc, dtype=float))
+    xp = b.xp
+    v = xp.asarray(np.asarray(vloc, dtype=float))
+    return to_numpy(xp.exp((-1j * (dt / HBAR)) * v))
 
 
 def potential_phase_step(
@@ -26,6 +38,7 @@ def potential_phase_step(
     vloc: np.ndarray,
     dt: float,
     phase: np.ndarray | None = None,
+    backend: Union[str, ArrayBackend, None] = None,
 ) -> np.ndarray:
     """Apply exp(-i dt v_loc / hbar) to every orbital in place.
 
@@ -41,18 +54,24 @@ def potential_phase_step(
         Optional precomputed phase field (re-used across orbital sets and
         QD sub-steps while the potential is frozen -- the shadow-dynamics
         amortization).
+    backend:
+        Array-API substrate; ``None``/``"numpy"`` is the pre-refactor
+        native path, anything else applies the phase in that namespace
+        with boundary conversion.
 
     Returns
     -------
-    The phase field actually used, so callers can cache it.
+    The phase field actually used (always host NumPy), so callers can
+    cache it across sub-steps regardless of the substrate.
     """
+    b = get_backend(backend)
     if phase is None:
         if vloc.shape != wf.grid.shape:
             raise ValueError(
                 f"potential shape {vloc.shape} != grid shape {wf.grid.shape}"
             )
-        phase = potential_phase(vloc, dt)
-    with trace_span("pot_prop", "potential"):
+        phase = potential_phase(vloc, dt, backend=b)
+    with trace_span("pot_prop", "potential", backend=b.name):
         # One complex multiply per point-orbital (see costs.pot_prop_half).
         pts = wf.grid.npoints * wf.norb
         trace_charge(6.0 * pts, 2.0 * wf.psi.itemsize * pts)
@@ -60,5 +79,12 @@ def potential_phase_step(
             phase_cast = phase.astype(np.complex64)
         else:
             phase_cast = phase
-        wf.psi *= phase_cast[..., None]
+        if b.native:
+            wf.psi *= phase_cast[..., None]
+        else:
+            xp = b.xp
+            psi = xp.asarray(wf.psi) * xp.expand_dims(
+                xp.asarray(phase_cast), axis=-1
+            )
+            wf.psi[...] = to_numpy(psi).astype(wf.dtype, copy=False)
     return phase

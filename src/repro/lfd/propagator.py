@@ -16,10 +16,11 @@ on the GPU.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend, to_numpy
 from repro.lfd.kin_prop import kinetic_step
 from repro.lfd.nonlocal_corr import NonlocalCorrector
 from repro.lfd.pot_prop import potential_phase, potential_phase_step
@@ -53,6 +54,13 @@ class PropagatorConfig:
         Re-normalize orbital norms every k steps (0 = never).  The
         propagator is unitary to round-off, so this is a guard, not a
         physics knob.
+    backend:
+        Array-API substrate for the propagation kernels (name or
+        :class:`~repro.backend.ArrayBackend` handle); None resolves from
+        the active tuning profile, falling back to ``"numpy"`` for
+        profiles persisted before the backend dimension existed.  The
+        resolved handle pickles by name, so configs cross the
+        process-spawn executor boundary intact.
     """
 
     dt: float = 0.05
@@ -61,6 +69,7 @@ class PropagatorConfig:
     nl_normalize: bool = True
     renormalize_every: int = 0
     order: int = 2
+    backend: Union[str, ArrayBackend, None] = None
 
     def __post_init__(self) -> None:
         from repro.tuning.profile import get_active_profile
@@ -70,6 +79,9 @@ class PropagatorConfig:
             self.kin_variant = str(params["variant"])
         if self.block_size is None:
             self.block_size = int(params["block_size"])  # type: ignore[arg-type]
+        if self.backend is None:
+            self.backend = str(params.get("backend", "numpy"))
+        self.backend = get_backend(self.backend)
         if self.dt <= 0.0:
             raise ValueError("dt must be positive")
         if self.block_size < 1:
@@ -122,7 +134,9 @@ class QDPropagator:
         self.time = 0.0
         self.steps_taken = 0
         # Shadow-dynamics amortization: the half-step phase is frozen.
-        self._half_phase = potential_phase(self.vloc, config.dt / 2.0)
+        self._half_phase = potential_phase(
+            self.vloc, config.dt / 2.0, backend=config.backend
+        )
         # Optional complex absorbing potential (see repro.lfd.cap): the
         # damping factor exp(-dt W) is exact for the CAP split term.
         self._cap_factor: Optional[np.ndarray] = None
@@ -155,7 +169,9 @@ class QDPropagator:
         if vloc.shape != self.wf.grid.shape:
             raise ValueError("potential shape does not match grid")
         self.vloc = np.asarray(vloc, dtype=float)
-        self._half_phase = potential_phase(self.vloc, self.config.dt / 2.0)
+        self._half_phase = potential_phase(
+            self.vloc, self.config.dt / 2.0, backend=self.config.backend
+        )
 
     def _theta(self, t: float) -> Sequence[float]:
         if self.a_of_t is None:
@@ -171,17 +187,22 @@ class QDPropagator:
         phase = (
             self._half_phase
             if dt == cfg.dt
-            else potential_phase(self.vloc, dt / 2.0)
+            else potential_phase(self.vloc, dt / 2.0, backend=cfg.backend)
         )
-        potential_phase_step(self.wf, self.vloc, dt / 2.0, phase=phase)
+        potential_phase_step(
+            self.wf, self.vloc, dt / 2.0, phase=phase, backend=cfg.backend
+        )
         kinetic_step(
             self.wf,
             dt,
             theta=self._theta(t_mid),
             variant=cfg.kin_variant,
             block_size=cfg.block_size,
+            backend=cfg.backend,
         )
-        potential_phase_step(self.wf, self.vloc, dt / 2.0, phase=phase)
+        potential_phase_step(
+            self.wf, self.vloc, dt / 2.0, phase=phase, backend=cfg.backend
+        )
         if self.corrector is not None:
             self.corrector.apply(self.wf, dt, normalize=cfg.nl_normalize)
 
@@ -209,7 +230,18 @@ class QDPropagator:
                     self._strang_substep(frac * dt, t)
                     t += frac * dt
             if self._cap_factor is not None:
-                self.wf.psi *= self._cap_factor[..., None].astype(self.wf.dtype)
+                b = get_backend(cfg.backend)
+                if b.native:
+                    self.wf.psi *= self._cap_factor[..., None].astype(self.wf.dtype)
+                else:
+                    xp = b.xp
+                    damp = xp.asarray(
+                        self._cap_factor.astype(self.wf.dtype, copy=False)
+                    )
+                    psi = xp.asarray(self.wf.psi) * xp.expand_dims(damp, axis=-1)
+                    self.wf.psi[...] = to_numpy(psi).astype(
+                        self.wf.dtype, copy=False
+                    )
         spec = fault_point("lfd.nan")
         if spec is not None:
             orb = int(spec.payload.get("orbital", 0)) % self.wf.norb

@@ -31,7 +31,7 @@ DC-MESH surface-hopping driver exposes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -318,3 +318,141 @@ def apply_edc_batch(
     ca = c[rows, active] * boost
     c[rows, active] = ca
     return c / batched_norm(c)[:, None]
+
+
+# --------------------------------------------------------------------- #
+# portable (array-API) formulations
+# --------------------------------------------------------------------- #
+# The xp variants below reformulate the batched kernels on the array-API
+# surface (:mod:`repro.backend`): no integer-array fancy indexing (the
+# ``c[rows, active]`` gathers become ``take``/``take_along_axis``), no
+# boolean-mask setitem (``where`` with a one-hot active mask instead).
+# The ordered state-axis ``for k`` accumulations -- the batch-size
+# invariance contract -- survive unchanged.  Hop *selection* and
+# *pricing* (:func:`select_hops`, :func:`resolve_hops`) stay NumPy-only:
+# they are host-side control flow, the shape a device port keeps on the
+# CPU as well.
+
+
+def _one_hot_active(xp: Any, active: Any, nstates: int) -> Any:
+    """Boolean mask ``(ntraj, nstates)`` selecting each row's active state."""
+    states = xp.reshape(xp.arange(nstates), (1, -1))
+    return xp.reshape(active, (-1, 1)) == states
+
+
+def _gather_active(xp: Any, c: Any, active: Any) -> Any:
+    """Portable ``c[rows, active]``: one element per row, shape ``(ntraj,)``."""
+    picked = xp.take_along_axis(c, xp.reshape(active, (-1, 1)), axis=1)
+    return xp.reshape(picked, (-1,))
+
+
+def batched_norm_xp(xp: Any, c: Any) -> Any:
+    """Array-API :func:`batched_norm` (same ordered partial sums)."""
+    ntraj, nstates = c.shape
+    acc = xp.zeros(ntraj, dtype=xp.float64)
+    for k in range(nstates):
+        acc = acc + xp.abs(c[:, k]) ** 2
+    return xp.sqrt(acc)
+
+
+def _apply_nac_xp(xp: Any, c: Any, nac: Any) -> Any:
+    """Array-API :func:`_apply_nac` (ordered state-axis accumulation)."""
+    ntraj, nstates = c.shape
+    acc = xp.zeros((ntraj, nstates), dtype=xp.complex128)
+    for k in range(nstates):
+        acc = acc + c[:, k, None] * nac[None, :, k]
+    return acc
+
+
+def amplitude_derivative_xp(
+    xp: Any, c: Any, energies: Any, nac: Any
+) -> Any:
+    """Array-API :func:`amplitude_derivative`."""
+    return (-1j / HBAR) * energies[None, :] * c - _apply_nac_xp(xp, c, nac)
+
+
+def propagate_amplitudes_batch_xp(
+    xp: Any, c: Any, energies: Any, nac: Any, dt: float, substeps: int
+) -> Any:
+    """Array-API :func:`propagate_amplitudes_batch` (RK4 + renormalize)."""
+    if substeps < 1:
+        raise ValueError("substeps must be positive")
+    h = dt / substeps
+    for _ in range(substeps):
+        k1 = amplitude_derivative_xp(xp, c, energies, nac)
+        k2 = amplitude_derivative_xp(xp, c + 0.5 * h * k1, energies, nac)
+        k3 = amplitude_derivative_xp(xp, c + 0.5 * h * k2, energies, nac)
+        k4 = amplitude_derivative_xp(xp, c + h * k3, energies, nac)
+        c = c + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+    return c / batched_norm_xp(xp, c)[:, None]
+
+
+def hop_probabilities_batch_xp(
+    xp: Any, c: Any, active: Any, nac: Any, dt: float
+) -> Any:
+    """Array-API :func:`hop_probabilities_batch`."""
+    ntraj, nstates = c.shape
+    onehot = _one_hot_active(xp, active, nstates)
+    ca = _gather_active(xp, c, active)
+    pop_a = xp.abs(ca) ** 2
+    # nac[:, active].T without fancy indexing: gather the active columns.
+    nac_a = xp.matrix_transpose(xp.take(nac, active, axis=1))
+    b = 2.0 * xp.real(ca[:, None] * xp.conj(c) * nac_a)
+    collapsed = pop_a < 1e-12
+    safe_pop = xp.where(collapsed, xp.asarray(1.0), pop_a)
+    g = xp.clip(dt * b / safe_pop[:, None], 0.0, 1.0)
+    g = xp.where(collapsed[:, None], xp.asarray(0.0), g)
+    return xp.where(onehot, xp.asarray(0.0), g)
+
+
+def stay_probabilities_xp(xp: Any, g: Any) -> Any:
+    """Array-API :func:`stay_probabilities` (ordered channel sum)."""
+    ntraj, nstates = g.shape
+    total = xp.zeros(ntraj, dtype=xp.float64)
+    for k in range(nstates):
+        total = total + g[:, k]
+    return xp.maximum(xp.asarray(0.0), 1.0 - total)
+
+
+def apply_edc_batch_xp(
+    xp: Any,
+    c: Any,
+    active: Any,
+    energies: Any,
+    dt: float,
+    kinetic: Any,
+    edc_parameter: float,
+) -> Any:
+    """Array-API :func:`apply_edc_batch`."""
+    ntraj, nstates = c.shape
+    onehot = _one_hot_active(xp, active, nstates)
+    ekin = xp.maximum(kinetic, xp.asarray(1e-12))
+    factor = 1.0 + edc_parameter / ekin
+    e_active = xp.take(energies, active, axis=0)
+    gap = xp.abs(energies[None, :] - e_active[:, None])
+    decaying = (gap >= 1e-12) & ~onehot
+    safe_gap = xp.where(decaying, gap, xp.asarray(1.0))
+    tau = HBAR / safe_gap * factor[:, None]
+    decay = xp.where(decaying, xp.exp(-dt / tau), xp.asarray(1.0))
+    c = c * decay
+    other_pop = xp.zeros(ntraj, dtype=xp.float64)
+    pop = xp.abs(c) ** 2
+    for k in range(nstates):
+        # Adding an exact 0.0 for the active column keeps the ordered
+        # partial-sum sequence identical to a sum that skips it.
+        other_pop = other_pop + xp.where(
+            active == k, xp.asarray(0.0), pop[:, k]
+        )
+    pop_a = _gather_active(xp, pop, active)
+    alive = pop_a > 0.0
+    boost = xp.where(
+        alive,
+        xp.sqrt(
+            xp.maximum(xp.asarray(0.0), 1.0 - other_pop)
+            / xp.where(alive, pop_a, xp.asarray(1.0))
+        ),
+        xp.asarray(1.0),
+    )
+    ca = _gather_active(xp, c, active) * boost
+    c = xp.where(onehot, ca[:, None], c)
+    return c / batched_norm_xp(xp, c)[:, None]

@@ -72,3 +72,18 @@ def o2_system(grid16):
 @pytest.fixture
 def decomposition16(grid16) -> DomainDecomposition:
     return DomainDecomposition(grid16, (2, 1, 1), buffer_width=3)
+
+
+@pytest.fixture(scope="session", params=["numpy", "array_api_strict"])
+def xp_backend(request):
+    """Every array-API substrate, as a resolved :class:`ArrayBackend`.
+
+    Session-scoped so the whole run shares the two cached handles; a
+    test taking this fixture executes once per substrate.  The strict
+    member is ``array-api-strict`` when installed, otherwise the
+    repo's pure-stdlib shim -- either way it rejects silent NumPy
+    round-trips, which is what backend-differential tests rely on.
+    """
+    from repro.backend import get_backend
+
+    return get_backend(request.param)

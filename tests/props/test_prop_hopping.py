@@ -17,15 +17,21 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backend import to_numpy
 from repro.qxmd.sh_kernels import (
     HopPolicy,
     apply_edc_batch,
+    apply_edc_batch_xp,
     batched_norm,
+    batched_norm_xp,
     hop_probabilities_batch,
+    hop_probabilities_batch_xp,
     propagate_amplitudes_batch,
+    propagate_amplitudes_batch_xp,
     resolve_hops,
     select_hops,
     stay_probabilities,
+    stay_probabilities_xp,
 )
 
 
@@ -151,6 +157,79 @@ def test_select_hops_targets_valid(seed, ntraj, nstates):
     # xi at/above the total hop probability means no hop.
     total = g.sum(axis=1)
     assert np.all(~hopped[xi >= total])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ntraj=st.integers(1, 6),
+    nstates=st.integers(2, 5),
+    dt=st.floats(0.05, 1.0),
+    cparam=st.floats(0.0, 0.5),
+)
+def test_xp_kernels_match_native_bitwise(xp_backend, seed, ntraj, nstates,
+                                         dt, cparam):
+    """Every portable FSSH kernel reproduces its native twin bit for bit.
+
+    The xp formulations replace fancy-indexing gathers with ``take``/
+    one-hot ``where`` -- pure re-spellings that pick or mask the same
+    values, so the per-row floating-point operation sequences (the
+    batch-size-invariance contract) are preserved exactly, on *both*
+    namespaces.  Under the strict member this also proves the kernels
+    never silently round-trip through NumPy.
+    """
+    c, active, rng = random_swarm(seed, ntraj, nstates)
+    energies = np.sort(rng.standard_normal(nstates))
+    m = rng.standard_normal((nstates, nstates))
+    nac = 0.5 * (m - m.T).astype(complex)
+    kinetic = rng.uniform(1e-3, 1.0, size=ntraj)
+
+    b = xp_backend
+    xp = b.xp
+    cx, ex = b.asarray(c), b.asarray(energies)
+    nacx, actx, kinx = b.asarray(nac), b.asarray(active), b.asarray(kinetic)
+
+    assert np.array_equal(batched_norm(c), to_numpy(batched_norm_xp(xp, cx)))
+    prop = propagate_amplitudes_batch(c, energies, nac, dt, substeps=4)
+    prop_x = propagate_amplitudes_batch_xp(xp, cx, ex, nacx, dt, 4)
+    assert np.array_equal(prop, to_numpy(prop_x))
+    g = hop_probabilities_batch(prop, active, nac, dt)
+    g_x = hop_probabilities_batch_xp(xp, prop_x, actx, nacx, dt)
+    assert np.array_equal(g, to_numpy(g_x))
+    assert np.array_equal(
+        stay_probabilities(g), to_numpy(stay_probabilities_xp(xp, g_x))
+    )
+    edc = apply_edc_batch(prop.copy(), active, energies, dt, kinetic, cparam)
+    edc_x = apply_edc_batch_xp(xp, prop_x, actx, ex, dt, kinx, cparam)
+    assert np.array_equal(edc, to_numpy(edc_x))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ntraj=st.integers(1, 6),
+    nstates=st.integers(2, 5),
+    dt=st.floats(0.01, 1.0),
+)
+def test_partition_of_unity_on_every_backend(xp_backend, seed, ntraj,
+                                             nstates, dt):
+    """Hop + stay probabilities partition unity on any substrate."""
+    c, active, rng = random_swarm(seed, ntraj, nstates)
+    m = rng.standard_normal((nstates, nstates)) \
+        + 1j * rng.standard_normal((nstates, nstates))
+    nac = 0.5 * (m - m.conj().T)
+    b = xp_backend
+    g = to_numpy(hop_probabilities_batch_xp(
+        b.xp, b.asarray(c), b.asarray(active), b.asarray(nac), dt
+    ))
+    stay = to_numpy(stay_probabilities_xp(b.xp, b.asarray(g)))
+    rows = np.arange(ntraj)
+    assert np.all(g >= 0.0) and np.all(g <= 1.0)
+    assert np.all(g[rows, active] == 0.0)
+    total = g.sum(axis=1)
+    unsat = total <= 1.0
+    assert np.all(np.abs((total + stay)[unsat] - 1.0) <= 1e-12)
+    assert np.all(stay[~unsat] == 0.0)
 
 
 @settings(max_examples=25, deadline=None)

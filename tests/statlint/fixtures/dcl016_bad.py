@@ -1,0 +1,21 @@
+"""Known-bad fixture for DCL016: np.* calls inside xp-first kernels."""
+
+import numpy as np
+from numpy import exp as np_exp
+
+
+def smooth_xp(xp, u, f, h2, omega):
+    """Host ufuncs and reductions pin the kernel to NumPy."""
+    r = np.add(f, u)  # finding 1
+    total = np.sum(r * r)  # finding 2
+    return u + omega * h2 * r / total
+
+
+def phase_xp(xp, psi, v, dt):
+    """A from-numpy import is still a bare numpy call."""
+    return np_exp(-1j * dt * v) * psi  # finding 3
+
+
+def spectrum_xp(xp, field):
+    """Submodule calls (np.fft.*) round-trip through the host too."""
+    return np.fft.fftn(field)  # finding 4

@@ -1,0 +1,26 @@
+"""Known-good fixture for DCL016: xp-first kernels stay on the namespace."""
+
+import numpy as np
+
+
+def smooth_xp(xp, u, f, h2, omega):
+    """Every array op routes through the namespace handle."""
+    r = xp.add(f, u)
+    total = xp.sum(r * r)
+    return u + omega * h2 * r / total
+
+
+def phase_xp(xp, psi, v, dt):
+    """Complex exponential on the namespace, scalar math on Python."""
+    return xp.exp(xp.asarray(-1j * dt) * v) * psi
+
+
+def boundary_xp(xp, host):
+    """The sanctioned crossings: asarray in, dtype constants as metadata."""
+    arr = xp.asarray(np.asarray(host), dtype=np.complex128)
+    return xp.real(arr)
+
+
+def host_side(field):
+    """No leading xp parameter: plain host-NumPy code is out of scope."""
+    return np.fft.fftn(field)
