@@ -1,0 +1,29 @@
+"""Content-addressed artifacts: shared fingerprints, stores, documents.
+
+The generalization of the tuning cache's keying discipline into a
+subsystem every layer can use: :mod:`repro.artifacts.fingerprint` is the
+single home of the config/code/machine digests,
+:mod:`repro.artifacts.store` maps fingerprint keys to bounded on-disk
+npz artifacts (the serve layer's result memoizer), and
+:mod:`repro.artifacts.jsondoc` holds the crash-safe single-file JSON
+document semantics the tuning cache now runs on.
+"""
+
+from repro.artifacts.fingerprint import (
+    canonical_json,
+    code_fingerprint,
+    config_hash,
+    machine_fingerprint,
+)
+from repro.artifacts.jsondoc import JsonDocumentStore
+from repro.artifacts.store import ArtifactKey, ArtifactStore
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "JsonDocumentStore",
+    "canonical_json",
+    "code_fingerprint",
+    "config_hash",
+    "machine_fingerprint",
+]

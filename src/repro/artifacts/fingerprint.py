@@ -1,0 +1,129 @@
+"""Shared fingerprint helpers: what makes a cached result trustworthy.
+
+Every persisted artifact in this codebase -- tuned kernel winners,
+memoized serve results, partial-ensemble checkpoints -- is only valid
+for the exact (configuration, code, machine) triple that produced it.
+This module is the single home of the three digests that capture that
+triple; :mod:`repro.tuning.cache` re-exports them for backward
+compatibility and :mod:`repro.serve` keys its artifact store with them.
+
+* :func:`config_hash` -- canonical-JSON digest of an arbitrary
+  JSON-serializable payload (sorted keys, compact separators), so two
+  semantically identical configs hash identically regardless of dict
+  ordering.
+* :func:`code_fingerprint` -- digest over ``(name, source text)`` pairs;
+  editing any contributing module invalidates everything keyed by it.
+* :func:`machine_fingerprint` -- digest of the hardware/software
+  substrate (platform, CPU count, NumPy/BLAS build); moving an artifact
+  file to another host invalidates it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import platform
+from types import ModuleType
+from typing import Any, Iterable, List, Protocol, Tuple, Union
+
+import numpy as np
+
+
+class SupportsSourceTexts(Protocol):
+    """Structural contract of objects exposing ``source_texts()``."""
+
+    def source_texts(self) -> Iterable[Tuple[str, str]]:
+        """Yield ``(name, source text)`` pairs."""
+        ...
+
+
+#: Something that can contribute source text to a code fingerprint:
+#: pre-extracted ``(name, text)`` pairs, an object exposing
+#: ``source_texts()`` (the tuning registry's ``Tunable``), or modules.
+SourceTexts = Union[
+    Iterable[Tuple[str, str]],
+    SupportsSourceTexts,
+    Iterable[ModuleType],
+]
+
+
+def _blas_signature() -> str:
+    """Best-effort BLAS vendor/version string from NumPy's build config."""
+    try:
+        cfg = np.show_config(mode="dicts")  # numpy >= 1.25
+    except TypeError:  # pragma: no cover - older numpy
+        return "unknown"
+    except Exception:  # dclint: disable=DCL004 -- fingerprint probe must never raise; "unknown" is a valid answer  # pragma: no cover
+        return "unknown"
+    deps = (cfg or {}).get("Build Dependencies", {})
+    blas = deps.get("blas", {})
+    name = blas.get("name", "unknown")
+    version = blas.get("version", "unknown")
+    return f"{name}-{version}"
+
+
+def machine_fingerprint() -> str:
+    """Digest of the hardware/software substrate results depend on."""
+    payload = json.dumps(
+        {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "processor": platform.processor(),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "blas": _blas_signature(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _source_pairs(source: SourceTexts) -> Iterable[Tuple[str, str]]:
+    """Normalize any accepted source spec to ``(name, text)`` pairs."""
+    texts = getattr(source, "source_texts", None)
+    if callable(texts):
+        return tuple(texts())
+    pairs: List[Tuple[str, str]] = []
+    for item in source:  # type: ignore[union-attr]
+        if isinstance(item, ModuleType):
+            pairs.append((item.__name__, inspect.getsource(item)))
+        else:
+            pairs.append((item[0], item[1]))
+    return pairs
+
+
+def code_fingerprint(source: SourceTexts) -> str:
+    """Digest over contributing source text.
+
+    Accepts ``(name, text)`` pairs, a list of modules, or any object with
+    a ``source_texts()`` method (the tuning registry's ``Tunable``), so
+    the tuning cache's historical ``code_fingerprint(tunable)`` call
+    keeps working unchanged.
+    """
+    digest = hashlib.sha256()
+    for name, text in _source_pairs(source):
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(text.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON text of a payload (sorted keys, compact).
+
+    Two payloads that differ only in dict ordering serialize
+    identically; floats round-trip exactly (``repr`` shortest-float), so
+    the text -- and hence :func:`config_hash` -- is a faithful identity
+    for numerical configs.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(payload: Any) -> str:
+    """Digest of a JSON-serializable configuration payload."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]

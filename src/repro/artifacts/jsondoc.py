@@ -1,0 +1,71 @@
+"""Schema'd single-file JSON documents with crash-safe semantics.
+
+The tuning cache established the durability contract for small JSON
+state files; this module generalizes it so any layer can persist one:
+
+* saves go through the fsync'd same-directory atomic writer
+  (:mod:`repro.resilience.atomicio`), honouring the caller's
+  ``<fault_prefix>.enospc`` / ``<fault_prefix>.torn_write`` fault sites
+  -- a killed writer or a full disk never leaves a half-written file;
+* a missing file loads as *absent* (``(None, None)``);
+* a file with the wrong ``schema`` marker loads as absent too (a future
+  format is not an error, it is simply not ours);
+* a truncated/corrupt file (torn by an unclean writer, bit rot) loads
+  as absent **with the decode error surfaced**, so callers can log the
+  corruption instead of silently rebuilding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+
+class JsonDocumentStore:
+    """One atomic, schema-checked JSON document on disk."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        schema: str,
+        fault_prefix: str = "jsondoc",
+    ) -> None:
+        self.path = Path(path)
+        self.schema = schema
+        self.fault_prefix = fault_prefix
+
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """Read the document: ``(payload, error)``.
+
+        ``payload`` is the decoded dict when the file exists, parses and
+        carries this store's schema marker; otherwise None.  ``error``
+        is a human-readable description when the file was present but
+        unreadable (corruption), otherwise None.
+        """
+        if not self.path.exists():
+            return None, None
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (json.JSONDecodeError, OSError) as exc:
+            # A corrupt document is a missing document, never a crash.
+            return None, f"{type(exc).__name__}: {exc}"
+        if not isinstance(data, dict) or data.get("schema") != self.schema:
+            return None, None
+        return data, None
+
+    def save(self, payload: Dict[str, Any]) -> Path:
+        """Atomically write the document (schema marker stamped in).
+
+        Raises ``OSError`` on a full disk (or an armed
+        ``<fault_prefix>.enospc`` site), leaving any previous document
+        byte-for-byte intact.
+        """
+        from repro.resilience.atomicio import atomic_write_text
+
+        record = dict(payload)
+        record["schema"] = self.schema
+        text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(self.path, text, fault_prefix=self.fault_prefix)
+        return self.path

@@ -8,6 +8,8 @@ Subcommands::
     repro-mesh spectrum [...]            # delta-kick absorption spectrum
     repro-mesh tune [...]                # correctness-gated autotuning
     repro-mesh ensemble [...]            # batched FSSH trajectory swarms
+    repro-mesh serve [...]               # persistent batching daemon
+    repro-mesh submit [...]              # client for a running daemon
 
 Every subcommand is also importable (``from repro.cli import main``) and
 returns a process exit code, so it is unit-testable without spawning
@@ -115,29 +117,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_body(args: argparse.Namespace) -> int:
-    from repro import DCMESHConfig, TimescaleSplit
-    from repro.grids import Grid3D
-    from repro.maxwell import GaussianPulse
     from repro.parallel.executor import make_executor
-    from repro.pseudo import get_species
+    from repro.serve.workloads import run_system
 
-    n = args.grid
-    grid = Grid3D((n, n, n), (args.spacing,) * 3)
-    L = grid.lengths[0]
-    positions = np.array(
-        [[L / 4, L / 2, L / 2], [3 * L / 4 - args.spacing, L / 2, L / 2]]
-    )
-    species = [get_species(args.species), get_species(args.species)]
-    laser = None
-    if args.e0 > 0:
-        laser = GaussianPulse(e0=args.e0, omega=args.omega, t0=10.0, sigma=6.0)
-    config = DCMESHConfig(
-        timescale=TimescaleSplit(dt_md=args.dt_md, n_qd=args.n_qd),
-        nscf=args.nscf,
-        ncg=args.ncg,
-        seed=args.seed,
-        array_backend=args.array_backend,
-    )
+    # The system is built by the same function the serving daemon uses,
+    # so daemon run jobs and CLI runs execute identical physics.
+    grid, positions, species, laser, config = run_system({
+        "grid": args.grid,
+        "spacing": args.spacing,
+        "species": args.species,
+        "dt_md": args.dt_md,
+        "n_qd": args.n_qd,
+        "nscf": args.nscf,
+        "ncg": args.ncg,
+        "e0": args.e0,
+        "omega": args.omega,
+        "seed": args.seed,
+        "array_backend": args.array_backend,
+    })
     extras = {}
     if args.hang_timeout is not None:
         if args.backend == "process":
@@ -307,45 +304,17 @@ def _tune_body(args: argparse.Namespace) -> int:
 
 
 def _spectrum_body(args: argparse.Namespace) -> int:
-    from repro import PropagatorConfig, QDPropagator, WaveFunctionSet
-    from repro.analysis import absorption_peaks, dipole_to_spectrum
-    from repro.grids import Grid3D
-    from repro.lfd.observables import dipole_moment
-    from repro.qxmd import KSHamiltonian, cg_eigensolve
+    from repro.serve.workloads import spectrum_ground_state, spectrum_payload
 
-    grid = Grid3D.cubic(args.grid, 0.5)
-    c = (args.grid - 1) * 0.5 / 2.0
-    xs, ys, zs = grid.meshgrid()
-    vloc = -args.depth * np.exp(
-        -((xs - c) ** 2 + (ys - c) ** 2 + (zs - c) ** 2) / 1.8
-    )
-    ham = KSHamiltonian(grid, vloc)
-    wf = WaveFunctionSet.random(grid, args.norb, np.random.default_rng(args.seed))
-    evals = cg_eigensolve(ham, wf, ncg=30)
-    print("KS levels (Ha):", np.round(evals, 4))
-
-    k0 = 1e-3
-    wf.psi *= np.exp(1j * k0 * xs)[..., None]
-    occ = np.zeros(args.norb)
-    occ[0] = 2.0
-    prop = QDPropagator(wf, vloc, PropagatorConfig(dt=0.05))
-    times, dips = [], []
-
-    def _observe(p) -> None:
-        # The per-step observer doubles as the deadline yield point: an
-        # armed --deadline bounds the propagation loop step by step.
-        check_deadline("spectrum.propagate")
-        times.append(p.time)
-        dips.append(dipole_moment(p.wf, occ)[0])
-
-    from repro.resilience.liveness import check_deadline, deadline_scope
-
-    with deadline_scope(args.deadline, "spectrum.propagate"):
-        prop.run(args.steps, observer=_observe)
-    omega, s = dipole_to_spectrum(np.array(times), np.array(dips),
-                                  kick_strength=k0, damping=0.01)
-    peaks = absorption_peaks(omega, s, min_height=0.3)
-    print("absorption peaks (Ha):", np.round(peaks[:5], 4))
+    # Both stages run through the daemon's workload functions, so a
+    # spectrum served warm from the daemon's pool is bit-identical to
+    # this one-shot path.
+    params = {"grid": args.grid, "norb": args.norb, "depth": args.depth,
+              "steps": args.steps, "seed": args.seed}
+    gs = spectrum_ground_state(params)
+    print("KS levels (Ha):", np.round(gs.evals, 4))
+    payload = spectrum_payload(gs, params, deadline_s=args.deadline)
+    print("absorption peaks (Ha):", np.round(payload["peaks"][:5], 4))
     return 0
 
 
@@ -480,6 +449,101 @@ def _ensemble_drive(args: argparse.Namespace, run) -> int:
             hops=result.hops,
         )
         print(f"statistics written to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import BatchPolicy, ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        socket_path=pathlib.Path(args.socket),
+        artifact_root=(None if args.no_artifacts
+                       else pathlib.Path(args.artifact_root)),
+        artifact_max_bytes=args.artifact_max_bytes,
+        scratch_root=(pathlib.Path(args.scratch_dir)
+                      if args.scratch_dir else None),
+        policy=BatchPolicy(max_batch=args.max_batch,
+                           max_wait_s=args.max_wait),
+        max_queue=args.max_queue,
+        pool_entries=args.pool_entries,
+        pool_max_bytes=args.pool_max_bytes,
+        default_deadline_s=args.deadline,
+        max_retries=args.max_retries,
+    )
+    daemon = ServeDaemon(config)
+    print(f"serving on {config.socket_path} "
+          f"(batch <= {config.policy.max_batch} jobs / "
+          f"{config.policy.max_wait_s:g}s linger, "
+          f"queue <= {config.max_queue}, "
+          f"artifacts: {config.artifact_root or 'off'})")
+    asyncio.run(daemon.run())
+    snapshot = daemon.metrics.snapshot()
+    print(f"drained: {snapshot['completed']} completed, "
+          f"{snapshot['failed']} failed, "
+          f"{snapshot['busy_shed']} shed busy, "
+          f"{snapshot['shutdown_shed']} shed at shutdown")
+    return 0
+
+
+def _parse_job_param(text: str):
+    """``key=value`` with JSON-typed values (bare words stay strings)."""
+    import json
+
+    key, sep, value = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.socket, timeout_s=args.timeout)
+    if args.op == "ping":
+        ok = client.ping()
+        print("pong" if ok else "no answer")
+        return 0 if ok else 1
+    if args.op == "stats":
+        import json
+
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.op == "invalidate":
+        dropped = client.invalidate(scope=args.scope)
+        print(f"invalidated: {dropped['pool']} pooled state(s), "
+              f"{dropped['artifacts']} artifact(s)")
+        return 0
+    if args.op == "shutdown":
+        client.shutdown()
+        print("daemon drained")
+        return 0
+    job = {"kind": args.kind, "params": dict(args.param or [])}
+    if args.deadline is not None:
+        job["deadline_s"] = args.deadline
+    if args.no_memoize:
+        job["memoize"] = False
+    try:
+        result = client.run_job(**job)  # type: ignore[arg-type]
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    arrays = {k: v for k, v in result.items() if isinstance(v, np.ndarray)}
+    for key in sorted(result):
+        value = result[key]
+        if isinstance(value, np.ndarray):
+            print(f"{key}: array{value.shape} {value.dtype}")
+        else:
+            print(f"{key}: {value}")
+    if args.out and arrays:
+        np.savez(args.out, **arrays)
+        print(f"arrays written to {args.out}")
     return 0
 
 
@@ -695,6 +759,70 @@ def build_parser() -> argparse.ArgumentParser:
                      help="activate a tuned parameter profile written by "
                           "'tune --profile-out'")
     ens.set_defaults(func=_cmd_ensemble)
+
+    serve = sub.add_parser(
+        "serve",
+        help="persistent serving daemon: batched jobs over a unix socket",
+    )
+    serve.add_argument("--socket", default=".repro-serve.sock",
+                       help="unix socket path to listen on")
+    serve.add_argument("--artifact-root", default=".repro-artifacts",
+                       help="content-addressed artifact store directory")
+    serve.add_argument("--no-artifacts", action="store_true",
+                       help="disable result memoization entirely")
+    serve.add_argument("--artifact-max-bytes", type=int, default=None,
+                       help="LRU byte budget of the artifact store "
+                            "(default: unbounded)")
+    serve.add_argument("--scratch-dir", default=None,
+                       help="supervisor checkpoint scratch directory "
+                            "(default: a private temp dir)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="max jobs coalesced into one batch")
+    serve.add_argument("--max-wait", type=float, default=0.05,
+                       help="seconds the scheduler lingers for "
+                            "coalescible company")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="bounded admission queue depth (beyond it, "
+                            "jobs are shed with a typed ServerBusy)")
+    serve.add_argument("--pool-entries", type=int, default=8,
+                       help="warm-state pool entry cap (LRU)")
+    serve.add_argument("--pool-max-bytes", type=int, default=None,
+                       help="warm-state pool byte budget (LRU)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-job wall-clock budget in seconds")
+    serve.add_argument("--max-retries", type=int, default=1,
+                       help="supervisor retries per job segment")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job (or op) to a serving daemon"
+    )
+    submit.add_argument("--socket", default=".repro-serve.sock",
+                        help="daemon unix socket path")
+    submit.add_argument("--op",
+                        choices=("submit", "ping", "stats", "invalidate",
+                                 "shutdown"),
+                        default="submit", help="operation to perform")
+    submit.add_argument("--kind",
+                        choices=("run", "spectrum", "scf", "ensemble"),
+                        default="ensemble", help="job kind (op=submit)")
+    submit.add_argument("--param", action="append", metavar="KEY=VALUE",
+                        type=_parse_job_param,
+                        help="job parameter override (repeatable; values "
+                             "parse as JSON, bare words as strings)")
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="per-job wall-clock budget in seconds")
+    submit.add_argument("--no-memoize", action="store_true",
+                        help="skip the artifact store for this job")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="client socket timeout in seconds")
+    submit.add_argument("--scope",
+                        choices=("pool", "artifacts", "all"),
+                        default="pool",
+                        help="what to drop (op=invalidate)")
+    submit.add_argument("--out",
+                        help="write the result's arrays to this .npz")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -314,9 +314,19 @@ class EnsembleRun:
         )
 
     # ------------------------------------------------------------------ #
-    def _fingerprint(self) -> dict:
+    def _fingerprint(self) -> str:
+        """Config digest a checkpoint must match to be resumable here.
+
+        The payload is hashed through the shared
+        :func:`repro.artifacts.fingerprint.config_hash` helper -- the
+        same canonical-JSON digest that keys tuning winners and serve
+        artifacts -- so "which run wrote this checkpoint" and "which
+        config produced this artifact" are answered by one scheme.
+        """
+        from repro.artifacts.fingerprint import config_hash
+
         p = self.config.policy
-        return {
+        return config_hash({
             "version": ENSEMBLE_CKPT_VERSION,
             "ntraj": self.config.ntraj,
             "seed": self.config.seed,
@@ -331,11 +341,11 @@ class EnsembleRun:
             # Cross-substrate trajectories agree only to ~1e-10, so a
             # resume on a different substrate must be rejected outright.
             "array_backend": self.config.array_backend or "numpy",
-        }
+        })
 
     def save_state(self, path: Union[str, pathlib.Path]) -> None:
         """Archive the partial ensemble (checkpoint-writer callback)."""
-        meta = dict(self._fingerprint())
+        meta = {"fingerprint": self._fingerprint()}
         meta["step_count"] = self.step_count
         np.savez(
             path,
@@ -369,10 +379,10 @@ class EnsembleRun:
             }
         step_count = int(meta.pop("step_count", -1))
         expected = self._fingerprint()
-        if meta != expected:
+        if meta.get("fingerprint") != expected:
             raise CheckpointCorruptError(
                 f"ensemble checkpoint fingerprint mismatch: "
-                f"{meta} != {expected}"
+                f"{meta.get('fingerprint')} != {expected}"
             )
         if loaded["populations"].shape != self.populations.shape or \
                 loaded["done"].shape != self.done.shape:

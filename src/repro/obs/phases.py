@@ -30,6 +30,7 @@ PHASES = (
     "md",
     "forces",
     "tuning",
+    "serve",
     "other",
 )
 

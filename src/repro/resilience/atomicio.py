@@ -30,11 +30,18 @@ exists to prevent -- so reader-side recovery can be tested).
 from __future__ import annotations
 
 import errno
+import itertools
 import os
 import pathlib
+import threading
 from typing import Optional, Union
 
 from repro.resilience.faults import FaultSpec, fault_point
+
+#: Disambiguates temp names when several threads of one process write
+#: the same destination concurrently (e.g. racing artifact-store puts):
+#: a pid-only suffix would make them scribble on each other's temp file.
+_TMP_COUNTER = itertools.count()
 
 
 def fsync_directory(directory: Union[str, pathlib.Path]) -> None:
@@ -81,7 +88,10 @@ def atomic_write_bytes(
         spec = fault_point(f"{fault_prefix}.torn_write")
         if spec is not None:
             data = _torn_bytes(data, spec)
-    tmp = path.parent / f".tmp-{path.name}.{os.getpid()}"
+    tmp = path.parent / (
+        f".tmp-{path.name}.{os.getpid()}"
+        f".{threading.get_ident()}.{next(_TMP_COUNTER)}"
+    )
     try:
         with open(tmp, "wb") as fh:
             fh.write(data)

@@ -63,6 +63,10 @@ KNOWN_SITES: Tuple[str, ...] = (
     "cache.enospc",           # disk full while saving the tuning cache
     "eventlog.torn_write",    # resilience event log line torn mid-append
     "eventlog.enospc",        # disk full while appending an event
+    "artifact.torn_write",    # artifact-store npz published truncated
+    "artifact.enospc",        # disk full while publishing an artifact
+    "jsondoc.torn_write",     # JSON document store published truncated
+    "jsondoc.enospc",         # disk full while saving a JSON document
 )
 
 

@@ -1,0 +1,39 @@
+"""repro.serve: the persistent serving daemon and its client.
+
+A long-lived asyncio daemon (``repro-mesh serve``) accepts run/
+spectrum/scf/ensemble jobs over a unix socket, coalesces compatible
+requests into single batched executions, reuses converged ground states
+from a warm-state pool, and memoizes whole results in the
+content-addressed artifact store (:mod:`repro.artifacts`) -- all while
+keeping results bit-identical to the equivalent one-shot CLI commands.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import (
+    DaemonHandle,
+    ServeConfig,
+    ServeDaemon,
+    ServeMetrics,
+)
+from repro.serve.jobs import JobSpec, artifact_key, batch_key, validate_job
+from repro.serve.pool import WarmStatePool
+from repro.serve.protocol import PROTOCOL, ProtocolError
+from repro.serve.scheduler import BatchPolicy, group_jobs
+
+__all__ = [
+    "PROTOCOL",
+    "BatchPolicy",
+    "DaemonHandle",
+    "JobSpec",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "ServeMetrics",
+    "WarmStatePool",
+    "artifact_key",
+    "batch_key",
+    "group_jobs",
+    "validate_job",
+]

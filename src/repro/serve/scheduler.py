@@ -1,0 +1,73 @@
+"""Batch assembly policy and compatibility grouping.
+
+The daemon's scheduler pulls one queued job, then lingers up to
+``max_wait_s`` hoping compatible requests arrive, capping the batch at
+``max_batch`` jobs.  The assembled batch is partitioned into
+*compatibility groups* by :func:`repro.serve.jobs.batch_key` -- each
+group becomes one coalesced execution, and jobs with no batch key fall
+out as singletons.  The policy is a pure latency/throughput dial: it
+never changes results, only how many requests share one execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.serve.jobs import JobSpec, batch_key
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How long to wait, and how wide to batch.
+
+    ``max_wait_s=0`` degenerates to singleton dispatch (every job runs
+    the moment the scheduler sees it); ``max_batch=1`` does the same.
+    """
+
+    max_batch: int = 16
+    max_wait_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+
+
+def group_jobs(
+    specs: Sequence[JobSpec],
+    carriers: Optional[Sequence[T]] = None,
+) -> List[Tuple[Tuple[JobSpec, ...], Tuple[T, ...]]]:
+    """Partition a batch into coalescible groups, order-preserving.
+
+    ``carriers`` is an optional parallel sequence (the daemon passes the
+    per-job response futures) sliced identically to the specs, so group
+    membership never desynchronizes from reply routing.  Returns
+    ``[(specs, carriers), ...]`` with groups ordered by first
+    appearance and singletons (``batch_key() is None``) kept alone.
+    """
+    if carriers is None:
+        carriers = [None] * len(specs)  # type: ignore[list-item]
+    if len(carriers) != len(specs):
+        raise ValueError("carriers must parallel specs")
+    groups: Dict[str, List[int]] = {}
+    order: List[List[int]] = []
+    for i, spec in enumerate(specs):
+        key = batch_key(spec)
+        if key is None:
+            order.append([i])
+            continue
+        existing = groups.get(key)
+        if existing is None:
+            groups[key] = bucket = [i]
+            order.append(bucket)
+        else:
+            existing.append(i)
+    return [
+        (tuple(specs[i] for i in bucket),
+         tuple(carriers[i] for i in bucket))
+        for bucket in order
+    ]

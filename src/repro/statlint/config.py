@@ -118,6 +118,45 @@ XP_KERNEL_NUMPY_OK: Tuple[str, ...] = (
     "bool_",
 )
 
+#: Modules hosting asyncio event-loop code (the serving daemon): a
+#: blocking call lexically inside an ``async def`` here stalls every
+#: connected client at once, so all compute and file I/O must route
+#: through ``run_in_executor`` (DCL017).
+ASYNC_PATHS: Tuple[str, ...] = (
+    "repro/serve/",
+)
+
+#: Call names that block the calling thread: module-level functions
+#: (``time.sleep``, ``subprocess.run``, ...) keyed as (module, attr).
+BLOCKING_MODULE_CALLS: Tuple[Tuple[str, str], ...] = (
+    ("time", "sleep"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+    ("os", "system"),
+    ("os", "popen"),
+    ("shutil", "rmtree"),
+    ("shutil", "copytree"),
+)
+
+#: Method names that block (socket ops without a timeout path, eager
+#: pathlib file I/O).  Matched lexically on the attribute name alone;
+#: awaited calls are exempt, so asyncio's own stream methods never trip.
+BLOCKING_METHODS: Tuple[str, ...] = (
+    "recv",
+    "recvfrom",
+    "send",
+    "sendall",
+    "accept",
+    "connect",
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+)
+
 #: Narrowing dtype names: casting *to* one of these inside a kernel
 #: module silently loses precision (complex128 -> complex64, 64 -> 32).
 NARROWING_DTYPES: Tuple[str, ...] = (
@@ -257,6 +296,7 @@ DEFAULT_SEVERITIES: Mapping[str, str] = {
     "DCL014": "error",
     "DCL015": "error",
     "DCL016": "error",
+    "DCL017": "error",
 }
 
 _VALID_SEVERITIES = ("error", "warning", "note")
@@ -278,6 +318,7 @@ class LintConfig:
     liveness_paths: Tuple[str, ...] = LIVENESS_PATHS
     rng_scope_paths: Tuple[str, ...] = RNG_SCOPE_PATHS
     xp_kernel_paths: Tuple[str, ...] = XP_KERNEL_PATHS
+    async_paths: Tuple[str, ...] = ASYNC_PATHS
     #: Parallel parse/lint workers; 1 = serial, 0 = one per CPU.
     jobs: int = 1
     #: Incremental-cache path; None disables caching.

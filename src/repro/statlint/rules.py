@@ -1,4 +1,4 @@
-"""The per-module rule set (DCL001-DCL011, DCL016).
+"""The per-module rule set (DCL001-DCL011, DCL016-DCL017).
 
 Each rule is an AST check over one :class:`~repro.statlint.engine.ModuleContext`
 yielding ``(line, col, message)`` triples.  Rules carry the paper
@@ -16,6 +16,8 @@ from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.statlint.config import (
     ARRAY_CONSTRUCTORS,
+    BLOCKING_METHODS,
+    BLOCKING_MODULE_CALLS,
     NARROWING_DTYPES,
     NON_ELEMENTWISE_OUT_OPS,
     SEEDED_RNG_OK,
@@ -670,6 +672,65 @@ class BareNumpyInXpKernel(Rule):
             )
 
 
+class EventLoopBlocker(Rule):
+    """DCL017: blocking call lexically inside an ``async def``.
+
+    The serving daemon multiplexes every client over one asyncio event
+    loop; a single blocking call inside an ``async def`` -- a
+    ``time.sleep``, an un-awaited socket op, eager file I/O, a
+    subprocess wait -- freezes *all* connections and the batching
+    scheduler for its full duration, silently destroying the tail
+    latencies the serve benchmarks gate.  Compute and file I/O must
+    hop to a worker thread via ``run_in_executor`` (a nested plain
+    ``def`` is the sanctioned carrier and is exempt: only the nearest
+    enclosing function matters).  Awaited calls are exempt too, so
+    asyncio's own ``sleep``/stream/socket coroutines never trip.
+    """
+
+    code = "DCL017"
+    name = "event-loop-blocker"
+    summary = "blocking call lexically inside an async def on a serve path"
+    paper_ref = "serving-layer latency contract (BENCH_serve p99 gates)"
+    scope_attr = "async_paths"
+
+    _BUILTINS = ("open", "input")
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = ctx.enclosing_function(node)
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            if isinstance(ctx.parent(node), ast.Await):
+                continue
+            blocked = self._blocking_name(node.func)
+            if blocked is None:
+                continue
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{blocked} blocks the event loop inside async "
+                f"{fn.name}(); every connected client stalls for its "
+                f"full duration -- run it on the worker thread via "
+                f"run_in_executor (or await the asyncio equivalent) "
+                f"({self.paper_ref})",
+            )
+
+    def _blocking_name(self, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name) and func.id in self._BUILTINS:
+            return f"{func.id}()"
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Name):
+            if (value.id, func.attr) in BLOCKING_MODULE_CALLS:
+                return f"{value.id}.{func.attr}()"
+        if func.attr in BLOCKING_METHODS:
+            return f".{func.attr}()"
+        return None
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     HotLoopAllocation(),
     DtypePromotionHazard(),
@@ -683,6 +744,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UntunedLiteral(),
     UnboundedBlocking(),
     BareNumpyInXpKernel(),
+    EventLoopBlocker(),
 )
 
 

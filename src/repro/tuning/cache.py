@@ -10,31 +10,36 @@ so every cache entry stores (and every lookup re-checks) three keys:
   module the tunable declares in ``source_modules``; editing a kernel
   re-tunes.
 
-The cache file is plain JSON (schema ``repro-tuning/1``) written with
-the fsync'd same-directory atomic writer of
-:mod:`repro.resilience.atomicio` (honouring the ``cache.enospc`` and
-``cache.torn_write`` fault sites), so a killed tuning run -- or a full
-disk -- can never leave a half-written cache behind.  A cache that is
-nevertheless found truncated or corrupt on load (torn by an unclean
-writer, bit rot) is treated as *missing*: every lookup misses, the
-affected tunables re-tune, and the next ``save`` atomically replaces
-the corrupt file with a good one.  The corruption is surfaced on
-``load_error`` so callers can log it rather than silently re-tuning.
+The cache file is one :class:`~repro.artifacts.jsondoc.JsonDocumentStore`
+document (schema ``repro-tuning/1``): written with the fsync'd
+same-directory atomic writer of :mod:`repro.resilience.atomicio`
+(honouring the ``cache.enospc`` and ``cache.torn_write`` fault sites),
+so a killed tuning run -- or a full disk -- can never leave a
+half-written cache behind.  A cache that is nevertheless found truncated
+or corrupt on load (torn by an unclean writer, bit rot) is treated as
+*missing*: every lookup misses, the affected tunables re-tune, and the
+next ``save`` atomically replaces the corrupt file with a good one.  The
+corruption is surfaced on ``load_error`` so callers can log it rather
+than silently re-tuning.
+
+The fingerprint helpers historically defined here now live in
+:mod:`repro.artifacts.fingerprint` (they key every artifact family, not
+just tuning); ``machine_fingerprint`` and ``code_fingerprint`` are
+re-exported unchanged for backward compatibility.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import platform
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
-import numpy as np
-
-from repro.resilience.atomicio import atomic_write_text
+from repro.artifacts.fingerprint import (  # noqa: F401  (re-exports)
+    _blas_signature,
+    code_fingerprint,
+    machine_fingerprint,
+)
+from repro.artifacts.jsondoc import JsonDocumentStore
 from repro.tuning.registry import Tunable
 from repro.tuning.spaces import Params
 
@@ -42,50 +47,6 @@ SCHEMA = "repro-tuning/1"
 
 #: Default cache location (repo-local, gitignored).
 DEFAULT_CACHE_PATH = Path(".repro-tuning") / "cache.json"
-
-
-def _blas_signature() -> str:
-    """Best-effort BLAS vendor/version string from NumPy's build config."""
-    try:
-        cfg = np.show_config(mode="dicts")  # numpy >= 1.25
-    except TypeError:  # pragma: no cover - older numpy
-        return "unknown"
-    except Exception:  # dclint: disable=DCL004 -- fingerprint probe must never raise; "unknown" is a valid answer  # pragma: no cover
-        return "unknown"
-    deps = (cfg or {}).get("Build Dependencies", {})
-    blas = deps.get("blas", {})
-    name = blas.get("name", "unknown")
-    version = blas.get("version", "unknown")
-    return f"{name}-{version}"
-
-
-def machine_fingerprint() -> str:
-    """Digest of the hardware/software substrate timings depend on."""
-    payload = json.dumps(
-        {
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "processor": platform.processor(),
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "blas": _blas_signature(),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    ).encode()
-    return hashlib.sha256(payload).hexdigest()[:16]
-
-
-def code_fingerprint(tunable: Tunable) -> str:
-    """Digest over the source text of the tunable's declared modules."""
-    digest = hashlib.sha256()
-    for name, text in tunable.source_texts():
-        digest.update(name.encode())
-        digest.update(b"\x00")
-        digest.update(text.encode())
-        digest.update(b"\x00")
-    return digest.hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -137,6 +98,7 @@ class TuningCache:
 
     def __init__(self, path: Path = DEFAULT_CACHE_PATH) -> None:
         self.path = Path(path)
+        self._doc = JsonDocumentStore(self.path, SCHEMA, fault_prefix="cache")
         self._entries: Dict[str, CacheEntry] = {}
         #: Why the on-disk cache was unusable (None = loaded cleanly or
         #: absent).  A truncated/corrupt file degrades to an empty cache
@@ -145,16 +107,8 @@ class TuningCache:
         self._load()
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
-        try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-        except (json.JSONDecodeError, OSError) as exc:
-            # A corrupt cache is a missing cache, never a crash.
-            self.load_error = f"{type(exc).__name__}: {exc}"
-            return
-        if data.get("schema") != SCHEMA:
+        data, self.load_error = self._doc.load()
+        if data is None:
             return
         for tid, raw in data.get("entries", {}).items():
             try:
@@ -169,13 +123,10 @@ class TuningCache:
         a failed write (disk full) raises ``OSError`` and leaves any
         previous cache file byte-for-byte intact.
         """
-        payload = {
-            "schema": SCHEMA,
+        self._doc.save({
             "entries": {tid: e.to_dict() for tid, e in
                         sorted(self._entries.items())},
-        }
-        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        atomic_write_text(self.path, text, fault_prefix="cache")
+        })
 
     def get(self, tunable: Tunable,
             machine: Optional[str] = None) -> Optional[CacheEntry]:

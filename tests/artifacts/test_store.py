@@ -1,0 +1,210 @@
+"""ArtifactStore: content addressing, durability, eviction, self-healing."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactKey, ArtifactStore
+from repro.resilience.faults import FaultPlan, arm, disarm
+
+
+@pytest.fixture(autouse=True)
+def _no_faults():
+    yield
+    disarm()
+
+
+def key(config="c1", code="k1", machine="m1", kind="serve.test"):
+    return ArtifactKey(kind=kind, config=config, code=code, machine=machine)
+
+
+def some_arrays(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"x": rng.standard_normal(16), "n": np.arange(4, dtype=np.int64)}
+
+
+class TestKey:
+    def test_digest_covers_every_field(self):
+        base = key()
+        assert key().digest == base.digest
+        for variant in (key(config="c2"), key(code="k2"),
+                        key(machine="m2"), key(kind="serve.other")):
+            assert variant.digest != base.digest
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            key(kind="")
+        with pytest.raises(ValueError):
+            key(kind="a/b")
+
+
+class TestRoundTrip:
+    def test_put_get_bit_exact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        arrays = some_arrays()
+        store.put(key(), arrays, meta={"kind": "test", "answer": 42})
+        hit = store.get(key())
+        assert hit is not None
+        got_arrays, meta = hit
+        for name, want in arrays.items():
+            assert got_arrays[name].dtype == want.dtype
+            assert np.array_equal(got_arrays[name], want)
+        assert meta["answer"] == 42
+        assert store.hits == 1 and store.misses == 0
+
+    def test_miss_and_contains(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get(key()) is None
+        assert not store.contains(key())
+        assert store.misses == 1
+
+    def test_code_fingerprint_invalidates(self, tmp_path):
+        """A changed code fingerprint is a different address: stale
+        results can never be served across a kernel edit."""
+        store = ArtifactStore(tmp_path)
+        store.put(key(code="k1"), some_arrays(), meta={})
+        assert store.get(key(code="k1")) is not None
+        assert store.get(key(code="k2")) is None
+        assert store.get(key(machine="m2")) is None
+
+    def test_overwrite_same_key_wins(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(key(), {"x": np.zeros(4)}, meta={"gen": 1})
+        store.put(key(), {"x": np.ones(4)}, meta={"gen": 2})
+        arrays, meta = store.get(key())
+        assert meta["gen"] == 2
+        assert np.array_equal(arrays["x"], np.ones(4))
+        assert len(store) == 1
+
+    def test_reserved_member_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put(key(), {"__meta__": np.zeros(2)}, meta={})
+
+
+class TestConcurrentWriters:
+    def test_same_key_one_winner_no_torn_artifact(self, tmp_path):
+        """Racing writers of one key: the survivor is one writer's
+        *complete* artifact (arrays and meta from the same put), never
+        an interleaving -- the atomic temp-file + rename publish."""
+        store = ArtifactStore(tmp_path)
+        n = 8
+        barrier = threading.Barrier(n)
+        errors = []
+
+        def writer(i):
+            try:
+                barrier.wait()
+                store.put(key(), {"x": np.full(256, float(i))},
+                          meta={"writer": i})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        arrays, meta = store.get(key())
+        winner = meta["writer"]
+        assert np.array_equal(arrays["x"], np.full(256, float(winner)))
+        assert store.corrupt == 0
+        assert len(store) == 1
+
+
+class TestFaults:
+    def test_enospc_leaves_no_partial_artifact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        arm(FaultPlan().add("artifact.enospc"))
+        with pytest.raises(OSError):
+            store.put(key(), some_arrays(), meta={})
+        disarm()
+        assert store.get(key()) is None
+        assert list(tmp_path.rglob(".tmp-*")) == []
+
+    def test_torn_write_reads_as_miss_then_heals(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        arm(FaultPlan().add("artifact.torn_write"))
+        store.put(key(), some_arrays(), meta={})
+        disarm()
+        # The torn npz is detected, counted, and treated as a miss...
+        assert store.get(key()) is None
+        assert store.corrupt == 1
+        # ...and a clean re-put self-heals the entry.
+        store.put(key(), some_arrays(), meta={"ok": True})
+        hit = store.get(key())
+        assert hit is not None and hit[1]["ok"] is True
+
+
+def _backdate(store, k, seconds_ago):
+    import os
+    import time
+
+    when = time.time() - seconds_ago
+    os.utime(store.path_for(k), (when, when))
+
+
+def _per_artifact_bytes(tmp_path):
+    probe = ArtifactStore(tmp_path / "probe")
+    probe.put(key(config="probe"), {"x": np.zeros(1024)}, meta={})
+    return probe.size_bytes()
+
+
+class TestEviction:
+    def test_lru_byte_budget(self, tmp_path):
+        """Oldest-touched artifacts fall out when the byte budget is
+        exceeded; the most recent put always survives."""
+        per = _per_artifact_bytes(tmp_path)
+        root = tmp_path / "s"
+        seed = ArtifactStore(root)  # unbounded while seeding
+        for i in range(3):
+            seed.put(key(config=f"c{i}"), {"x": np.zeros(1024)}, meta={})
+            _backdate(seed, key(config=f"c{i}"), 300 - i)
+
+        store = ArtifactStore(root, max_bytes=int(per * 2.5))
+        store.put(key(config="c3"), {"x": np.zeros(1024)}, meta={})
+        assert len(store) == 2
+        assert store.evictions == 2
+        # The newest entry must never be evicted by its own put; the two
+        # oldest-touched entries are the victims.
+        assert store.contains(key(config="c3"))
+        assert store.contains(key(config="c2"))
+        assert not store.contains(key(config="c1"))
+        assert not store.contains(key(config="c0"))
+
+    def test_get_refreshes_recency(self, tmp_path):
+        per = _per_artifact_bytes(tmp_path)
+        store = ArtifactStore(tmp_path / "s", max_bytes=int(per * 2.5))
+        store.put(key(config="a"), {"x": np.zeros(1024)}, meta={})
+        store.put(key(config="b"), {"x": np.zeros(1024)}, meta={})
+        for k in ("a", "b"):
+            _backdate(store, key(config=k), 60)
+        # Reading "a" touches its mtime: "b" becomes the LRU victim.
+        assert store.get(key(config="a")) is not None
+        store.put(key(config="c"), {"x": np.zeros(1024)}, meta={})
+        assert store.contains(key(config="a"))
+        assert not store.contains(key(config="b"))
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(key(config="a"), some_arrays(), meta={})
+        store.put(key(config="b"), some_arrays(), meta={})
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.size_bytes() == 0
+
+    def test_stats_shape(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(key(), some_arrays(), meta={})
+        store.get(key())
+        store.get(key(config="other"))
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["bytes"] > 0

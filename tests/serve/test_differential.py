@@ -1,0 +1,157 @@
+"""End-to-end determinism: daemon answers == one-shot execution, bitwise.
+
+The acceptance contract of the serving layer: a job routed through the
+daemon -- whether it ran alone or coalesced into a batch, whether its
+ground state came cold or from the warm pool, whether the answer was
+computed or memoized -- is numerically indistinguishable from running
+the same workload one-shot (the CLI bodies call the same
+``repro.serve.workloads`` functions compared against here).  Every
+comparison below is ``np.array_equal`` on the raw float64 arrays, which
+is stricter than the <=1e-12 the issue asks for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ensemble import EnsembleConfig, run_ensemble
+from repro.serve import BatchPolicy, DaemonHandle, ServeClient, ServeConfig
+from repro.serve import workloads
+from repro.serve.jobs import validate_job
+
+ENS = {"ntraj": 6, "nsteps": 20, "nstates": 3, "coupling": 0.3,
+       "batch_size": 4}
+SCF = {"grid": 8, "norb": 2, "nscf": 1, "ncg": 2}
+SPECT = {"grid": 8, "norb": 2, "steps": 30}
+RUN = {"grid": 12, "steps": 2, "n_qd": 3, "nscf": 1, "ncg": 2}
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-diff")
+    config = ServeConfig(
+        socket_path=root / "serve.sock",
+        artifact_root=root / "artifacts",
+        scratch_root=root / "scratch",
+        policy=BatchPolicy(max_batch=8, max_wait_s=0.02),
+    )
+    with DaemonHandle(config) as handle:
+        yield handle, ServeClient(config.socket_path, timeout_s=300)
+
+
+def canonical(kind, params):
+    """The fully-defaulted parameter dict the daemon will execute."""
+    return validate_job({"kind": kind, "params": dict(params)}).params
+
+
+def ensemble_reference(params):
+    full = canonical("ensemble", params)
+    path = workloads.ensemble_path(full)
+    istate = full["istate"]
+    result = run_ensemble(path, EnsembleConfig(
+        ntraj=int(full["ntraj"]),
+        seed=int(full["seed"]),
+        istate=(int(full["nstates"]) - 1 if istate is None else int(istate)),
+        batch_size=int(full["batch_size"]),
+        substeps=int(full["substeps"]),
+    ))
+    return workloads.ensemble_payload(result)
+
+
+def assert_payloads_bitwise_equal(got, want):
+    assert set(got) == set(want)
+    for name, ref in want.items():
+        if isinstance(ref, np.ndarray):
+            assert got[name].dtype == ref.dtype, name
+            assert np.array_equal(got[name], ref), name
+        else:
+            assert got[name] == ref, name
+
+
+class TestEnsemble:
+    def test_singleton_equals_one_shot(self, served):
+        _, client = served
+        got = client.run_job("ensemble", {**ENS, "seed": 41})
+        assert_payloads_bitwise_equal(
+            got, ensemble_reference({**ENS, "seed": 41})
+        )
+
+    def test_coalesced_batch_equals_each_one_shot(self, served):
+        """Jobs that share one stacked execution still answer exactly
+        what each would have answered alone."""
+        _, client = served
+        responses = client.submit([
+            {"kind": "ensemble", "params": {**ENS, "seed": 51}},
+            {"kind": "ensemble", "params": {**ENS, "seed": 52, "ntraj": 3}},
+            {"kind": "ensemble", "params": {**ENS, "seed": 53, "istate": 0}},
+        ])
+        assert all(r["status"] == "ok" for r in responses)
+        assert responses[0]["meta"]["coalesced"] == 3
+        for response, params in zip(responses, (
+            {**ENS, "seed": 51},
+            {**ENS, "seed": 52, "ntraj": 3},
+            {**ENS, "seed": 53, "istate": 0},
+        )):
+            assert_payloads_bitwise_equal(
+                response["result"], ensemble_reference(params)
+            )
+
+
+class TestScf:
+    def test_cold_and_warm_equal_one_shot(self, served):
+        from repro.qxmd.scf import scf_solve_batch
+
+        _, client = served
+        full = canonical("scf", SCF)
+        (result,) = scf_solve_batch([workloads.scf_task(full)])
+        want = workloads.scf_payload(result)
+
+        cold = client.submit([{"kind": "scf", "params": dict(SCF),
+                               "memoize": False}])
+        warm = client.submit([{"kind": "scf", "params": dict(SCF),
+                               "memoize": False}])
+        assert cold[0]["meta"]["warm"] is False
+        assert warm[0]["meta"]["warm"] is True
+        assert_payloads_bitwise_equal(cold[0]["result"], want)
+        assert_payloads_bitwise_equal(warm[0]["result"], want)
+
+
+class TestSpectrum:
+    def test_cold_and_warm_equal_one_shot(self, served):
+        _, client = served
+        full = canonical("spectrum", SPECT)
+        gs = workloads.spectrum_ground_state(full)
+        want = workloads.spectrum_payload(gs, full)
+
+        cold = client.submit([{"kind": "spectrum", "params": dict(SPECT),
+                               "memoize": False}])
+        warm = client.submit([{"kind": "spectrum", "params": dict(SPECT),
+                               "memoize": False}])
+        assert cold[0]["meta"]["warm"] is False
+        assert warm[0]["meta"]["warm"] is True
+        assert_payloads_bitwise_equal(cold[0]["result"], want)
+        assert_payloads_bitwise_equal(warm[0]["result"], want)
+
+
+class TestRun:
+    def test_full_simulation_equals_one_shot(self, served, tmp_path):
+        _, client = served
+        full = canonical("run", RUN)
+        want = workloads.run_payload(full, supervise_dir=tmp_path / "ck")
+        got = client.run_job("run", dict(RUN))
+        assert_payloads_bitwise_equal(got, want)
+
+
+class TestMemoizedWire:
+    def test_resubmission_is_bit_identical_on_the_wire(self, served):
+        """A memo hit replays the stored arrays through the same codec:
+        the encoded response payload (base64'd .npy blobs included) is
+        byte-for-byte the first answer."""
+        _, client = served
+        job = {"kind": "ensemble", "params": {**ENS, "seed": 61}}
+        first = client.submit([dict(job)], decode=False)
+        again = client.submit([dict(job)], decode=False)
+        assert first[0]["meta"]["memoized"] is False
+        assert again[0]["meta"]["memoized"] is True
+        assert again[0]["result"] == first[0]["result"]

@@ -1,0 +1,20 @@
+"""DCL017 bad: blocking calls lexically inside async defs (5 findings)."""
+
+import subprocess
+import time
+
+
+async def handle_request(sock, path):
+    time.sleep(0.1)                              # finding 1
+    data = sock.recv(4096)                       # finding 2
+    text = path.read_text()                      # finding 3
+    return data, text
+
+
+async def spawn_helper(cmd):
+    subprocess.run(cmd, check=True)              # finding 4
+
+
+async def load_config(path):
+    with open(path) as fh:                       # finding 5
+        return fh.read()

@@ -1,0 +1,30 @@
+"""DCL017 good: async bodies delegate blocking work; sync code is free."""
+
+import asyncio
+import time
+
+
+async def handle_request(reader, writer):
+    line = await reader.readline()
+    await asyncio.sleep(0.01)
+    writer.write(line)
+    await writer.drain()
+    return line
+
+
+async def load_config(loop, path):
+    # The sanctioned carrier: a nested plain def runs on the worker
+    # thread, so its blocking file I/O never touches the event loop.
+    def _read():
+        with open(path) as fh:
+            return fh.read()
+
+    return await loop.run_in_executor(None, _read)
+
+
+def wait_for_socket(path, budget_s):
+    deadline = time.monotonic() + budget_s
+    while not path.exists():
+        if time.monotonic() > deadline:
+            raise TimeoutError(str(path))
+        time.sleep(0.005)
